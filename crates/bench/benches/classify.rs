@@ -1,0 +1,55 @@
+//! E1 timing: SVM and BiGRU training and per-row inference on the
+//! metadata-classification task (§3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::setup::{labeled_rows, SEED};
+use covidkg_core::training::{build_tuple_examples, SvmFeaturizer};
+use covidkg_ml::model::{TupleClassifier, TupleClassifierConfig};
+use covidkg_ml::svm::{Svm, SvmConfig};
+
+fn bench_classify(c: &mut Criterion) {
+    let rows: Vec<_> = labeled_rows(32).into_iter().take(300).collect();
+    let featurizer = SvmFeaturizer::fit(&rows, 1000);
+    let vectors: Vec<_> = rows.iter().map(|r| featurizer.vectorize(&r.features, &r.cells)).collect();
+    let labels: Vec<bool> = rows.iter().map(|r| r.features.label.unwrap_or(false)).collect();
+
+    let mut group = c.benchmark_group("e1_training");
+    group.sample_size(10);
+    group.bench_function("svm_train_300_rows", |b| {
+        b.iter(|| std::hint::black_box(Svm::train(&vectors, &labels, &SvmConfig::default())))
+    });
+    let examples = build_tuple_examples(&rows);
+    let cfg = TupleClassifierConfig {
+        embed_dims: 12,
+        hidden: 16,
+        max_len: 8,
+        epochs: 2,
+        seed: SEED,
+        ..TupleClassifierConfig::default()
+    };
+    group.bench_function("bigru_train_2_epochs_300_rows", |b| {
+        b.iter(|| {
+            let mut model = TupleClassifier::new(&examples, None, cfg.clone());
+            std::hint::black_box(model.train(&examples));
+        })
+    });
+    group.finish();
+
+    let svm = Svm::train(&vectors, &labels, &SvmConfig::default());
+    let mut model = TupleClassifier::new(&examples, None, cfg);
+    model.train(&examples);
+    let mut group = c.benchmark_group("e1_inference");
+    group.bench_function("svm_predict_row", |b| {
+        b.iter(|| std::hint::black_box(svm.predict(&vectors[0])))
+    });
+    group.bench_function("bigru_predict_row", |b| {
+        b.iter(|| std::hint::black_box(model.predict(&examples[0])))
+    });
+    group.bench_function("featurize_row", |b| {
+        b.iter(|| std::hint::black_box(featurizer.vectorize(&rows[0].features, &rows[0].cells)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

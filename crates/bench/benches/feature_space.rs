@@ -1,0 +1,32 @@
+//! E5 timing: SVM training cost as the feature-space dimensionality
+//! grows (§3.2: larger vocabularies made training "significantly slower").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use covidkg_bench::setup::labeled_rows;
+use covidkg_core::training::build_svm_features;
+use covidkg_ml::svm::{Svm, SvmConfig};
+
+fn bench_feature_space(c: &mut Criterion) {
+    let rows: Vec<_> = labeled_rows(32).into_iter().take(250).collect();
+    let mut group = c.benchmark_group("e5_feature_space");
+    group.sample_size(10);
+    for max_vocab in [100usize, 500, 2000] {
+        let (vectors, labels, _) = build_svm_features(&rows, max_vocab);
+        group.bench_with_input(
+            BenchmarkId::new("svm_train", max_vocab),
+            &max_vocab,
+            |b, _| {
+                b.iter(|| std::hint::black_box(Svm::train(&vectors, &labels, &SvmConfig::default())))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("featurize_corpus", max_vocab),
+            &max_vocab,
+            |b, &mv| b.iter(|| std::hint::black_box(build_svm_features(&rows, mv))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_space);
+criterion_main!(benches);

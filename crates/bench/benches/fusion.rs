@@ -1,0 +1,72 @@
+//! E6 timing: fusion throughput — term matching only vs with the
+//! embedding fallback (§4.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::setup::{corpus, SEED};
+use covidkg_core::training::pretrain_embeddings;
+use covidkg_kg::{extract_subtrees, seed_graph, FusionConfig, FusionEngine};
+use covidkg_ml::Word2VecConfig;
+use covidkg_tables::{detect_orientation, Orientation};
+
+fn bench_fusion(c: &mut Criterion) {
+    let pubs = corpus(60);
+    let embeddings = pretrain_embeddings(
+        &pubs,
+        SEED,
+        &Word2VecConfig {
+            dims: 24,
+            epochs: 2,
+            seed: SEED,
+            ..Word2VecConfig::default()
+        },
+    );
+    let mut trees = Vec::new();
+    for p in &pubs {
+        for t in &p.tables {
+            let orientation = detect_orientation(&t.rows);
+            trees.extend(extract_subtrees(
+                &t.rows,
+                &t.metadata_rows,
+                orientation == Orientation::Vertical,
+                &t.caption,
+                &p.id,
+            ));
+        }
+    }
+
+    let mut group = c.benchmark_group("e6_fusion");
+    group.bench_function("term_match_only", |b| {
+        b.iter(|| {
+            let cfg = FusionConfig {
+                use_embeddings: false,
+                ..FusionConfig::default()
+            };
+            let mut engine = FusionEngine::new(seed_graph(), None, cfg);
+            for tree in &trees {
+                std::hint::black_box(engine.fuse(tree.clone()));
+            }
+        })
+    });
+    group.bench_function("with_embedding_fallback", |b| {
+        b.iter(|| {
+            let mut engine =
+                FusionEngine::new(seed_graph(), Some(&embeddings), FusionConfig::default());
+            for tree in &trees {
+                std::hint::black_box(engine.fuse(tree.clone()));
+            }
+        })
+    });
+    group.bench_function("kg_search_after_fusion", |b| {
+        let mut engine =
+            FusionEngine::new(seed_graph(), Some(&embeddings), FusionConfig::default());
+        for tree in &trees {
+            engine.fuse(tree.clone());
+        }
+        let kg = engine.into_graph();
+        b.iter(|| std::hint::black_box(kg.search("fever")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

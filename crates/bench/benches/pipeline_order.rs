@@ -1,0 +1,79 @@
+//! E3 timing: `$match`-first vs `$match`-last pipelines, and `$project`
+//! pruning on/off (§2.1's stated optimizations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::setup::{collection_with, corpus};
+use covidkg_corpus::Publication;
+use covidkg_json::Value;
+use covidkg_store::pipeline::{DocFn, Pipeline};
+use std::sync::Arc;
+
+fn bench_pipeline_order(c: &mut Criterion) {
+    let pubs = corpus(200);
+    let coll = collection_with(&pubs, 4);
+    let fields = Publication::text_fields();
+    let rank_fn: DocFn = Arc::new(|d: &Value| {
+        Value::float(
+            d.path("title")
+                .and_then(Value::as_str)
+                .map_or(0.0, |t| t.len() as f64),
+        )
+    });
+    let spec = covidkg_json::obj! { "$text" => covidkg_json::obj!{ "$search" => "ventilator" } };
+
+    let match_first = Pipeline::new()
+        .match_spec(&spec, &fields)
+        .unwrap()
+        .project(["title", "date"])
+        .function("rank", "score", Arc::clone(&rank_fn))
+        .sort_desc("score")
+        .limit(10);
+    let match_last = Pipeline::new()
+        .function("rank", "score", Arc::clone(&rank_fn))
+        .sort_desc("score")
+        .match_spec(&spec, &fields)
+        .unwrap()
+        .limit(10);
+    let no_project = Pipeline::new()
+        .match_spec(&spec, &fields)
+        .unwrap()
+        .function("rank", "score", Arc::clone(&rank_fn))
+        .sort_desc("score")
+        .limit(10);
+
+    let mut group = c.benchmark_group("e3_pipeline_order");
+    group.bench_function("match_first_with_project", |b| {
+        b.iter(|| std::hint::black_box(coll.aggregate(&match_first)))
+    });
+    group.bench_function("match_first_no_project", |b| {
+        b.iter(|| std::hint::black_box(coll.aggregate(&no_project)))
+    });
+    group.bench_function("match_last", |b| {
+        b.iter(|| std::hint::black_box(coll.aggregate(&match_last)))
+    });
+    group.finish();
+
+    // Sort+limit fusion ablation: the executor fuses adjacent $sort+$limit
+    // into a heap top-k; a $skip(0) wedge between them defeats the
+    // peephole and forces the full sort.
+    let fused = Pipeline::new()
+        .function("rank", "score", Arc::clone(&rank_fn))
+        .sort_desc("score")
+        .limit(10);
+    let unfused = Pipeline::new()
+        .function("rank", "score", Arc::clone(&rank_fn))
+        .sort_desc("score")
+        .skip(0)
+        .limit(10);
+    let mut group = c.benchmark_group("e3_topk_fusion");
+    group.bench_function("fused_heap_topk", |b| {
+        b.iter(|| std::hint::black_box(coll.aggregate(&fused)))
+    });
+    group.bench_function("full_sort_then_limit", |b| {
+        b.iter(|| std::hint::black_box(coll.aggregate(&unfused)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_order);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E7 timing: meta-profile construction throughput (Fig 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::setup::corpus;
+use covidkg_core::system::parse_side_effect_table;
+use covidkg_kg::profile::{build_meta_profiles, Observation};
+
+fn bench_profiles(c: &mut Criterion) {
+    let pubs = corpus(120);
+    let mut observations: Vec<Observation> = Vec::new();
+    for p in &pubs {
+        for t in &p.tables {
+            for parsed in covidkg_tables::parse_tables(&t.html).unwrap() {
+                observations.extend(parse_side_effect_table(&parsed.caption, &parsed.rows, &p.id));
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("e7_profiles");
+    group.bench_function("build_meta_profiles", |b| {
+        b.iter(|| std::hint::black_box(build_meta_profiles(&observations)))
+    });
+    group.bench_function("parse_side_effect_table", |b| {
+        let table = &pubs
+            .iter()
+            .flat_map(|p| p.tables.iter())
+            .find(|t| !t.side_effects.is_empty())
+            .expect("side-effect tables exist");
+        b.iter(|| {
+            std::hint::black_box(parse_side_effect_table(&table.caption, &table.rows, "p"))
+        })
+    });
+    let profiles = build_meta_profiles(&observations);
+    group.bench_function("render_profile", |b| {
+        b.iter(|| std::hint::black_box(profiles[0].render()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E2 timing: GRU vs LSTM cells — forward and forward+backward per
+//! sequence. The paper picked the BiGRU because "the training time was
+//! faster" (§3.6); the 3-vs-4-gate gap shows directly here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_ml::rnn::{BiRnn, CellKind, GruCell, LstmCell};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn seq(rng: &mut SmallRng, n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+fn bench_rnn_cells(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let xs = seq(&mut rng, 12, 24);
+    let hidden = 100; // the paper's layer width
+
+    let gru = GruCell::new(24, hidden, &mut rng);
+    let lstm = LstmCell::new(24, hidden, &mut rng);
+    let mut group = c.benchmark_group("e2_forward");
+    group.bench_function("gru_forward", |b| {
+        b.iter(|| std::hint::black_box(gru.forward(&xs)))
+    });
+    group.bench_function("lstm_forward", |b| {
+        b.iter(|| std::hint::black_box(lstm.forward(&xs)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("e2_forward_backward");
+    let dhs = vec![vec![1.0f32; hidden]; xs.len()];
+    let mut gru2 = GruCell::new(24, hidden, &mut rng);
+    let mut lstm2 = LstmCell::new(24, hidden, &mut rng);
+    group.bench_function("gru_fwd_bwd", |b| {
+        b.iter(|| {
+            let steps = gru2.forward(&xs);
+            std::hint::black_box(gru2.backward(&steps, &dhs));
+        })
+    });
+    group.bench_function("lstm_fwd_bwd", |b| {
+        b.iter(|| {
+            let steps = lstm2.forward(&xs);
+            std::hint::black_box(lstm2.backward(&steps, &dhs));
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("e2_bidirectional");
+    let bigru = BiRnn::new(CellKind::Gru, 24, hidden, &mut rng);
+    let bilstm = BiRnn::new(CellKind::Lstm, 24, hidden, &mut rng);
+    group.bench_function("bigru_forward", |b| {
+        b.iter(|| std::hint::black_box(bigru.forward(&xs)))
+    });
+    group.bench_function("bilstm_forward", |b| {
+        b.iter(|| std::hint::black_box(bilstm.forward(&xs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rnn_cells);
+criterion_main!(benches);

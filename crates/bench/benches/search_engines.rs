@@ -1,0 +1,55 @@
+//! E4 timing: query latency of the three §2.1 engines, plus the inverted
+//! index vs full-scan `$text` ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::setup::{collection_with, corpus};
+use covidkg_corpus::Publication;
+use covidkg_search::{SearchEngine, SearchMode};
+use covidkg_store::{Collection, CollectionConfig, Filter};
+use std::sync::Arc;
+
+fn bench_search_engines(c: &mut Criterion) {
+    let pubs = corpus(200);
+    let coll = collection_with(&pubs, 4);
+    let engine = SearchEngine::new(Arc::clone(&coll));
+
+    let mut group = c.benchmark_group("e4_search_engines");
+    group.bench_function("all_fields_stemmed", |b| {
+        b.iter(|| std::hint::black_box(engine.search(&SearchMode::AllFields("vaccine".into()), 0)))
+    });
+    group.bench_function("all_fields_exact", |b| {
+        b.iter(|| {
+            std::hint::black_box(engine.search(&SearchMode::AllFields("\"dose 2\"".into()), 0))
+        })
+    });
+    group.bench_function("tables_engine", |b| {
+        b.iter(|| std::hint::black_box(engine.search(&SearchMode::Tables("ventilators".into()), 0)))
+    });
+    group.bench_function("title_abstract_caption", |b| {
+        let mode = SearchMode::TitleAbstractCaption {
+            title: "vaccine".into(),
+            abstract_q: String::new(),
+            caption: "side-effects".into(),
+        };
+        b.iter(|| std::hint::black_box(engine.search(&mode, 0)))
+    });
+    group.finish();
+
+    // Inverted-index ablation at the filter level.
+    let no_index = Collection::new(CollectionConfig::new("noidx").with_shards(4));
+    no_index
+        .insert_many(pubs.iter().map(Publication::to_doc))
+        .unwrap();
+    let filter = Filter::text("ventilator intubation", Publication::text_fields());
+    let mut group = c.benchmark_group("e4_text_index");
+    group.bench_function("with_inverted_index", |b| {
+        b.iter(|| std::hint::black_box(coll.find(&filter)))
+    });
+    group.bench_function("full_scan", |b| {
+        b.iter(|| std::hint::black_box(no_index.find(&filter)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_engines);
+criterion_main!(benches);

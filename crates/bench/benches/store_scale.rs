@@ -1,0 +1,57 @@
+//! E8 timing: sharded-store scaling — parallel ingest throughput by shard
+//! count, point reads and filtered counts (§2 "Storage").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use covidkg_bench::setup::corpus;
+use covidkg_corpus::Publication;
+use covidkg_json::Value;
+use covidkg_store::{Collection, CollectionConfig, Filter};
+
+fn bench_store_scale(c: &mut Criterion) {
+    let pubs = corpus(150);
+    let docs: Vec<Value> = pubs.iter().map(Publication::to_doc).collect();
+
+    let mut group = c.benchmark_group("e8_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    for shards in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel_insert", shards), &shards, |b, &s| {
+            b.iter(|| {
+                let coll = Collection::new(
+                    CollectionConfig::new("pubs")
+                        .with_shards(s)
+                        .with_text_fields(Publication::text_fields()),
+                );
+                coll.insert_parallel(docs.clone(), 8).unwrap();
+                std::hint::black_box(coll.len());
+            })
+        });
+    }
+    group.finish();
+
+    let coll = Collection::new(
+        CollectionConfig::new("pubs")
+            .with_shards(4)
+            .with_text_fields(Publication::text_fields()),
+    );
+    coll.insert_parallel(docs, 8).unwrap();
+    let filter = Filter::parse(
+        &covidkg_json::obj! { "date" => covidkg_json::obj!{ "$gte" => "2021-01" } },
+        &[],
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("e8_reads");
+    group.bench_function("point_get", |b| {
+        b.iter(|| std::hint::black_box(coll.get("paper-000042")))
+    });
+    group.bench_function("filtered_count", |b| {
+        b.iter(|| std::hint::black_box(coll.count(&filter)))
+    });
+    group.bench_function("stats_report", |b| {
+        b.iter(|| std::hint::black_box(coll.stats()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_scale);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerate the paper's quantitative claims.
+//!
+//! ```text
+//! cargo run -p covidkg-bench --release --bin report            # all experiments
+//! cargo run -p covidkg-bench --release --bin report -- e1 e3   # a subset
+//! cargo run -p covidkg-bench --release --bin report -- quick   # smaller sizes
+//! ```
+
+use covidkg_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| a.starts_with('e'))
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    // Sizes tuned so the full run finishes in a few minutes in release.
+    let (c1, c2, c3, c4, c5, c6, c7, c8) = if quick {
+        (24, 24, 100, 60, 30, 40, 60, 100)
+    } else {
+        (72, 48, 400, 180, 60, 90, 150, 900)
+    };
+
+    println!("covidkg experiment report (quick={quick})");
+    println!("==================================================\n");
+    if want("e1") {
+        println!("{}", e1_classification(c1, if quick { 5 } else { 10 }));
+    }
+    if want("e2") {
+        println!("{}", e2_gru_vs_lstm(c2));
+    }
+    if want("e3") {
+        println!("{}", e3_pipeline_order(c3, 10));
+    }
+    if want("e4") {
+        println!("{}", e4_search_engines(c4));
+    }
+    if want("e5") {
+        println!("{}", e5_feature_space(c5));
+    }
+    if want("e6") {
+        println!("{}", e6_fusion(c6, 0.35));
+    }
+    if want("e7") {
+        println!("{}", e7_profiles(c7));
+    }
+    if want("e8") {
+        println!("{}", e8_store_scaling(c8));
+    }
+}

@@ -1,0 +1,834 @@
+//! Experiment implementations E1–E8 (see DESIGN.md §4 for the index).
+//!
+//! Each function regenerates one of the paper's quantitative claims and
+//! returns a printable report. The `report` binary runs them; EXPERIMENTS.md
+//! records paper-vs-measured.
+
+use crate::setup::{collection_with, corpus, labeled_rows, ms, TablePrinter, SEED};
+use covidkg_core::training::{
+    build_svm_features, build_tuple_examples, kfold_bigru, kfold_svm,
+    pretrain_embeddings, LabeledRow,
+};
+use covidkg_corpus::queries::{benchmark_queries, precision_at_k, reciprocal_rank};
+use covidkg_corpus::Publication;
+use covidkg_json::Value;
+use covidkg_kg::{
+    extract_subtrees, seed_graph, FusionConfig, FusionEngine, FusionOutcome, ScriptedExpert,
+};
+use covidkg_ml::model::{CellKind, TupleClassifier, TupleClassifierConfig};
+use covidkg_ml::svm::{Svm, SvmConfig};
+use covidkg_ml::{Word2VecConfig};
+use covidkg_search::{SearchEngine, SearchMode};
+use covidkg_store::pipeline::{DocFn, Pipeline};
+use covidkg_store::{Collection, CollectionConfig, Filter};
+use covidkg_tables::{detect_orientation, Orientation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fmt_metrics(m: &covidkg_ml::ClassMetrics) -> [String; 3] {
+    [
+        format!("{:.3}", m.precision),
+        format!("{:.3}", m.recall),
+        format!("{:.3}", m.f1),
+    ]
+}
+
+/// E1 (§3.3): metadata-classification quality under 10-fold CV for the
+/// SVM and BiGRU models, sliced by orientation and table size.
+pub fn e1_classification(n_pubs: usize, folds: usize) -> String {
+    let mut rows = labeled_rows(n_pubs);
+    rows.truncate(1200); // SMO is quadratic; cap like the system build
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E1 §3.3 — metadata classification, {}-fold CV over {} rows",
+        folds,
+        rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "paper: \"89% - 96% F-measure on average … for SVM and Bi-GRU-based models\n\
+         with slight differences depending on whether the classified metadata is\n\
+         horizontal or vertical, as well as its row/column number\"\n"
+    );
+    let tp = TablePrinter::new(&[8, 22, 9, 9, 9]);
+    let _ = writeln!(
+        out,
+        "{}",
+        tp.row(&["model".into(), "slice".into(), "precision".into(), "recall".into(), "F1".into()])
+    );
+    let _ = writeln!(out, "{}", tp.sep());
+
+    let svm_report = kfold_svm(&rows, folds, &SvmConfig::default(), SEED);
+    let bigru_rows: Vec<LabeledRow> = rows.iter().take(400).cloned().collect();
+    let bigru_cfg = TupleClassifierConfig {
+        embed_dims: 12,
+        hidden: 16,
+        max_len: 8,
+        epochs: 8,
+        seed: SEED,
+        ..TupleClassifierConfig::default()
+    };
+    let bigru_report = kfold_bigru(&bigru_rows, folds.min(5), &bigru_cfg, None, SEED);
+
+    for (model, report) in [("SVM", &svm_report), ("BiGRU", &bigru_report)] {
+        for (slice, m) in [
+            ("overall", &report.overall),
+            ("horizontal metadata", &report.horizontal),
+            ("vertical metadata", &report.vertical),
+            ("small tables (<6 rows)", &report.small_tables),
+            ("large tables (>=6 rows)", &report.large_tables),
+        ] {
+            let [p, r, f] = fmt_metrics(m);
+            let _ = writeln!(
+                out,
+                "{}",
+                tp.row(&[model.into(), slice.into(), p, r, f])
+            );
+        }
+        let _ = writeln!(out, "{}", tp.sep());
+    }
+    let _ = writeln!(
+        out,
+        "train time: SVM {} | BiGRU {}",
+        ms(svm_report.train_time),
+        ms(bigru_report.train_time)
+    );
+    let band = |f: f64| (0.80..=1.0).contains(&f);
+    let _ = writeln!(
+        out,
+        "shape check: overall F1 in high-80s+ band — SVM {} ({:.3}), BiGRU {} ({:.3})",
+        if band(svm_report.overall.f1) { "OK" } else { "MISS" },
+        svm_report.overall.f1,
+        if band(bigru_report.overall.f1) { "OK" } else { "MISS" },
+        bigru_report.overall.f1,
+    );
+    out
+}
+
+/// E2 (§3.6): BiGRU vs BiLSTM — quality deltas and training time.
+pub fn e2_gru_vs_lstm(n_pubs: usize) -> String {
+    let rows: Vec<LabeledRow> = labeled_rows(n_pubs).into_iter().take(360).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "E2 §3.6 — BiGRU vs BiLSTM over {} rows (3-fold CV)", rows.len());
+    let _ = writeln!(
+        out,
+        "paper: GRU vs LSTM \"-0.02 ΔF1-Score, -0.07 ΔPrecision, +0.06 ΔRecall,\n\
+         the training time was faster\"\n"
+    );
+    let cfg = |cell| TupleClassifierConfig {
+        cell,
+        embed_dims: 12,
+        hidden: 16,
+        max_len: 8,
+        epochs: 8,
+        seed: SEED,
+        ..TupleClassifierConfig::default()
+    };
+    let gru = kfold_bigru(&rows, 3, &cfg(CellKind::Gru), None, SEED);
+    let lstm = kfold_bigru(&rows, 3, &cfg(CellKind::Lstm), None, SEED);
+    // Extension ablation: drop the Fig 3 concat-with-original-embeddings.
+    let mut no_concat_cfg = cfg(CellKind::Gru);
+    no_concat_cfg.concat_embeddings = false;
+    let no_concat = kfold_bigru(&rows, 3, &no_concat_cfg, None, SEED);
+
+    let examples = build_tuple_examples(&rows);
+    let gru_params = TupleClassifier::new(&examples, None, cfg(CellKind::Gru)).param_count();
+    let lstm_params = TupleClassifier::new(&examples, None, cfg(CellKind::Lstm)).param_count();
+    let nc_params = TupleClassifier::new(&examples, None, no_concat_cfg).param_count();
+
+    let tp = TablePrinter::new(&[14, 9, 9, 9, 12, 12]);
+    let _ = writeln!(
+        out,
+        "{}",
+        tp.row(&["model".into(), "precision".into(), "recall".into(), "F1".into(), "train time".into(), "params".into()])
+    );
+    let _ = writeln!(out, "{}", tp.sep());
+    for (name, rep, params) in [
+        ("BiGRU", &gru, gru_params),
+        ("BiLSTM", &lstm, lstm_params),
+        ("BiGRU -concat", &no_concat, nc_params),
+    ] {
+        let [p, r, f] = fmt_metrics(&rep.overall);
+        let _ = writeln!(
+            out,
+            "{}",
+            tp.row(&[name.into(), p, r, f, ms(rep.train_time), params.to_string()])
+        );
+    }
+    let _ = writeln!(out, "{}", tp.sep());
+    let _ = writeln!(
+        out,
+        "deltas (GRU − LSTM): ΔF1 {:+.3}  ΔPrecision {:+.3}  ΔRecall {:+.3}",
+        gru.overall.f1 - lstm.overall.f1,
+        gru.overall.precision - lstm.overall.precision,
+        gru.overall.recall - lstm.overall.recall,
+    );
+    let speedup = lstm.train_time.as_secs_f64() / gru.train_time.as_secs_f64().max(1e-9);
+    let _ = writeln!(
+        out,
+        "training speed: GRU is {speedup:.2}x the LSTM's training rate (paper: \"faster\"; \
+         GRU has 3 gates vs 4 → {gru_params} vs {lstm_params} params)"
+    );
+    let _ = writeln!(
+        out,
+        "shape check: |ΔF1| small ({}), GRU trains faster ({})",
+        if (gru.overall.f1 - lstm.overall.f1).abs() < 0.1 { "OK" } else { "MISS" },
+        if speedup > 1.0 { "OK" } else { "MISS" },
+    );
+    out
+}
+
+/// E3 (§2.1): pipeline-ordering ablation — `$match` first vs last, and
+/// `$project` pruning on vs off.
+pub fn e3_pipeline_order(n_pubs: usize, reps: usize) -> String {
+    let pubs = corpus(n_pubs);
+    let coll = collection_with(&pubs, 4);
+    let fields = Publication::text_fields();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E3 §2.1 — pipeline ordering over {} documents ({} reps each)",
+        coll.len(),
+        reps
+    );
+    let _ = writeln!(
+        out,
+        "paper: \"mindful to use the $match stage first to minimize the amount of\n\
+         data being passed through all the latter stages, thus significantly\n\
+         increasing performance\"; \"$project … removing unnecessary fields that\n\
+         take up space and time passing through each proceeding stage\"\n"
+    );
+
+    let rank_fn: DocFn = Arc::new(|d: &Value| {
+        // A deliberately field-light scoring function (title length), so
+        // projection legitimately helps.
+        Value::float(
+            d.path("title")
+                .and_then(Value::as_str)
+                .map_or(0.0, |t| t.len() as f64),
+        )
+    });
+    let spec = covidkg_json::obj! { "$text" => covidkg_json::obj!{ "$search" => "ventilator" } };
+
+    let match_first = Pipeline::new()
+        .match_spec(&spec, &fields)
+        .unwrap()
+        .project(["title", "date"])
+        .function("len_rank", "score", Arc::clone(&rank_fn))
+        .sort_desc("score")
+        .limit(10);
+    let match_last = Pipeline::new()
+        .function("len_rank", "score", Arc::clone(&rank_fn))
+        .sort_desc("score")
+        .match_spec(&spec, &fields)
+        .unwrap()
+        .project(["title", "date", "score"])
+        .limit(10);
+    let no_project = Pipeline::new()
+        .match_spec(&spec, &fields)
+        .unwrap()
+        .function("len_rank", "score", Arc::clone(&rank_fn))
+        .sort_desc("score")
+        .limit(10);
+
+    let time = |p: &Pipeline| -> std::time::Duration {
+        // Warm once, then measure.
+        let _ = coll.aggregate(p);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let got = coll.aggregate(p);
+            std::hint::black_box(got);
+        }
+        t0.elapsed() / reps as u32
+    };
+    let t_first = time(&match_first);
+    let t_last = time(&match_last);
+    let t_noproj = time(&no_project);
+
+    // Result equivalence (ordering must not change the answer set).
+    let ids = |p: &Pipeline| -> Vec<String> {
+        let mut v: Vec<String> = coll
+            .aggregate(p)
+            .iter()
+            .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_string))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(ids(&match_first), ids(&match_last), "ordering changed results");
+
+    let tp = TablePrinter::new(&[34, 12, 10]);
+    let _ = writeln!(out, "{}", tp.row(&["pipeline".into(), "mean latency".into(), "speedup".into()]));
+    let _ = writeln!(out, "{}", tp.sep());
+    for (name, t) in [
+        ("$match first + $project", t_first),
+        ("$match first, no $project", t_noproj),
+        ("$match last ($function/sort first)", t_last),
+    ] {
+        let _ = writeln!(
+            out,
+            "{}",
+            tp.row(&[
+                name.into(),
+                ms(t),
+                format!("{:.2}x", t_last.as_secs_f64() / t.as_secs_f64().max(1e-12)),
+            ])
+        );
+    }
+    let _ = writeln!(out, "{}", tp.sep());
+    let _ = writeln!(
+        out,
+        "shape check: match-first dominates match-last ({}); projection helps or is neutral ({})",
+        if t_first < t_last { "OK" } else { "MISS" },
+        if t_first <= t_noproj.mul_f64(1.25) { "OK" } else { "MISS" },
+    );
+    out
+}
+
+/// E4 (§2.1, Figs 2 & 4): the three engines — quality (P@10, MRR) and
+/// latency, plus text-index-assisted vs full-scan `$match`.
+pub fn e4_search_engines(n_pubs: usize) -> String {
+    let pubs = corpus(n_pubs);
+    let coll = collection_with(&pubs, 4);
+    let engine = SearchEngine::new(Arc::clone(&coll));
+    let queries = benchmark_queries();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E4 §2.1 — search engines over {} documents, {} benchmark queries",
+        coll.len(),
+        queries.len()
+    );
+
+    let tp = TablePrinter::new(&[30, 8, 8, 12]);
+    let _ = writeln!(out, "{}", tp.row(&["engine / mode".into(), "P@10".into(), "MRR".into(), "mean latency".into()]));
+    let _ = writeln!(out, "{}", tp.sep());
+
+    let mut run_set = |label: &str,
+                       make: &dyn Fn(&str) -> SearchMode,
+                       pred: &dyn Fn(&covidkg_corpus::BenchQuery) -> bool| {
+        let mut p10 = 0.0;
+        let mut mrr = 0.0;
+        let mut total = std::time::Duration::ZERO;
+        let mut n = 0usize;
+        for q in &queries {
+            if !pred(q) {
+                continue;
+            }
+            let text = if q.exact {
+                format!("\"{}\"", q.text)
+            } else {
+                q.text.clone()
+            };
+            let mode = make(&text);
+            let t0 = Instant::now();
+            let page = engine.search(&mode, 0);
+            total += t0.elapsed();
+            let ranked: Vec<&str> = page.results.iter().map(|r| r.id.as_str()).collect();
+            let relevant = q.relevant_ids(&pubs);
+            p10 += precision_at_k(&ranked, &relevant, 10);
+            mrr += reciprocal_rank(&ranked, &relevant);
+            n += 1;
+        }
+        let n = n.max(1);
+        let _ = writeln!(
+            out,
+            "{}",
+            tp.row(&[
+                label.into(),
+                format!("{:.3}", p10 / n as f64),
+                format!("{:.3}", mrr / n as f64),
+                ms(total / n as u32),
+            ])
+        );
+    };
+
+    run_set("all fields (§2.1.2)", &|t| SearchMode::AllFields(t.to_string()), &|_| true);
+    run_set("tables (§2.1.3)", &|t| SearchMode::Tables(t.to_string()), &|_| true);
+    run_set(
+        // Fairness slice: the tables engine only sees table content, so
+        // grade it on entity queries from the topics whose themed tables
+        // actually carry those entities (vaccines, side-effects, symptoms).
+        "tables — table-borne entities",
+        &|t| SearchMode::Tables(t.to_string()),
+        &|q| q.exact && matches!(q.topic_id, 0 | 1 | 3),
+    );
+    run_set(
+        "title/abstract/caption (§2.1.1)",
+        &|t| SearchMode::TitleAbstractCaption {
+            title: String::new(),
+            abstract_q: t.trim_matches('"').to_string(),
+            caption: String::new(),
+        },
+        &|_| true,
+    );
+    run_set("all fields — stemmed only", &|t| SearchMode::AllFields(t.to_string()), &|q| !q.exact);
+    run_set("all fields — quoted/exact only", &|t| SearchMode::AllFields(t.to_string()), &|q| q.exact);
+    let _ = writeln!(out, "{}", tp.sep());
+
+    // Index ablation: identical $text filter with and without the
+    // inverted index behind it.
+    let no_index = Collection::new(CollectionConfig::new("pubs-noindex").with_shards(4));
+    no_index
+        .insert_many(pubs.iter().map(Publication::to_doc))
+        .unwrap();
+    let filter = Filter::text("ventilator intubation", Publication::text_fields());
+    let reps = 20;
+    let timed = |c: &Collection| {
+        let _ = c.find(&filter);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(c.find(&filter));
+        }
+        t0.elapsed() / reps
+    };
+    let with_idx = timed(&coll);
+    let without_idx = timed(&no_index);
+    let _ = writeln!(
+        out,
+        "$text with inverted index: {}   full scan: {}   speedup {:.1}x",
+        ms(with_idx),
+        ms(without_idx),
+        without_idx.as_secs_f64() / with_idx.as_secs_f64().max(1e-12)
+    );
+    let _ = writeln!(
+        out,
+        "shape check: topical queries retrieve their topic (P@10 ≫ random {:.3})",
+        1.0 / covidkg_corpus::all_topics().len() as f64
+    );
+    out
+}
+
+/// E5 (§3.2): feature-space dimensionality sweep — training time grows
+/// with vocabulary size while accuracy saturates.
+pub fn e5_feature_space(n_pubs: usize) -> String {
+    let rows: Vec<LabeledRow> = labeled_rows(n_pubs).into_iter().take(800).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "E5 §3.2 — feature-space dimensionality over {} rows", rows.len());
+    let _ = writeln!(
+        out,
+        "paper: \"100'000 dimensional feature space … Increasing the dimensionality\n\
+         further led to significantly slower training time\"\n"
+    );
+    let tp = TablePrinter::new(&[12, 12, 12, 8]);
+    let _ = writeln!(out, "{}", tp.row(&["max vocab".into(), "dims used".into(), "train time".into(), "F1".into()]));
+    let _ = writeln!(out, "{}", tp.sep());
+    let mut times = Vec::new();
+    for max_vocab in [4usize, 8, 16, 32, 64, 2000] {
+        let (vectors, labels, vocab) = build_svm_features(&rows, max_vocab);
+        // Single split: train on 80%, test 20% (time is the headline here).
+        let split = rows.len() * 4 / 5;
+        let t0 = Instant::now();
+        let svm = Svm::train(&vectors[..split], &labels[..split], &SvmConfig::default());
+        let train_time = t0.elapsed();
+        let (mut actual, mut predicted) = (Vec::new(), Vec::new());
+        for i in split..rows.len() {
+            actual.push(labels[i]);
+            predicted.push(svm.predict(&vectors[i]));
+        }
+        let f1 = covidkg_ml::f1_score(&actual, &predicted);
+        times.push(train_time);
+        let _ = writeln!(
+            out,
+            "{}",
+            tp.row(&[
+                max_vocab.to_string(),
+                (vocab + 5).to_string(),
+                ms(train_time),
+                format!("{f1:.3}"),
+            ])
+        );
+    }
+    let _ = writeln!(out, "{}", tp.sep());
+    let grew = times.last().unwrap() > times.first().unwrap();
+    let _ = writeln!(
+        out,
+        "shape check: training time grows with dimensionality ({})",
+        if grew { "OK" } else { "MISS" }
+    );
+    out
+}
+
+/// Ground truth for E6: heading → canonical KG category.
+const E6_TRUTH: &[(&str, &str)] = &[
+    ("Vaccine", "Vaccine(s)"),
+    ("Side effect", "Side-effects"),
+    ("Symptom", "Symptoms"),
+    ("Characteristic", "Epidemiology"),
+    ("Arm", "Treatments"),
+    ("Product", "Prevention"),
+];
+
+/// Unseen synonyms injected for E6 (root term → original heading).
+const E6_SYNONYMS: &[(&str, &str)] = &[
+    ("Immunization products", "Vaccine"),
+    ("Adverse reactions", "Side effect"),
+    ("Clinical manifestations", "Symptom"),
+    ("Cohort attributes", "Characteristic"),
+    ("Trial cohorts", "Arm"),
+    ("Catalog items", "Product"),
+];
+
+/// E6 (§4.2): fusion — term matching vs +embedding fallback on a stream
+/// with unseen root terms, and supervision decreasing across rounds.
+pub fn e6_fusion(n_pubs: usize, unseen_fraction: f64) -> String {
+    let pubs = corpus(n_pubs);
+    let embeddings = pretrain_embeddings(
+        &pubs,
+        SEED,
+        &Word2VecConfig {
+            dims: 24,
+            epochs: 6,
+            seed: SEED,
+            ..Word2VecConfig::default()
+        },
+    );
+    // Extract ground-truth subtrees and synonym-swap a fraction of roots.
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut trees = Vec::new();
+    for p in &pubs {
+        for t in &p.tables {
+            let orientation = detect_orientation(&t.rows);
+            for mut tree in extract_subtrees(
+                &t.rows,
+                &t.metadata_rows,
+                orientation == Orientation::Vertical,
+                &t.caption,
+                &p.id,
+            ) {
+                if rng.gen_bool(unseen_fraction) {
+                    if let Some((syn, _)) = E6_SYNONYMS
+                        .iter()
+                        .find(|(_, orig)| tree.root.starts_with(orig))
+                    {
+                        tree.root = syn.to_string();
+                    }
+                }
+                trees.push(tree);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E6 §4.2 — fusion of {} subtrees ({:.0}% with unseen root terms)",
+        trees.len(),
+        unseen_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "paper: embedding matching \"is especially important in context of new terms,\n\
+         unseen before\"; corrections are learned so fusion becomes \"minimally supervised\"\n"
+    );
+
+    // Seed a few known leaves so embedding matching has anchors.
+    let seeded = || {
+        let mut kg = seed_graph();
+        let vaccines = kg.find_by_term("Vaccine")[0];
+        kg.add_child(vaccines, "Pfizer", covidkg_kg::NodeKind::Entity, 1.0);
+        kg.add_child(vaccines, "Moderna", covidkg_kg::NodeKind::Entity, 1.0);
+        let side = kg.find_by_term("Side-effects")[0];
+        kg.add_child(side, "Fever", covidkg_kg::NodeKind::Entity, 1.0);
+        kg.add_child(side, "Fatigue", covidkg_kg::NodeKind::Entity, 1.0);
+        let sym = kg.find_by_term("Symptoms")[0];
+        kg.add_child(sym, "Cough", covidkg_kg::NodeKind::Entity, 1.0);
+        kg
+    };
+
+    let tp = TablePrinter::new(&[26, 10, 10, 12, 12]);
+    let _ = writeln!(
+        out,
+        "{}",
+        tp.row(&["variant".into(), "auto %".into(), "queued %".into(), "correct parent".into(), "expert reviews".into()])
+    );
+    let _ = writeln!(out, "{}", tp.sep());
+
+    for (label, use_embeddings) in [("term matching only", false), ("+ embedding fallback", true)] {
+        let cfg = FusionConfig {
+            use_embeddings,
+            ..FusionConfig::default()
+        };
+        let emb = use_embeddings.then_some(&embeddings);
+        let mut engine = FusionEngine::new(seeded(), emb, cfg);
+        // Expert ground truth covers both the original headings and the
+        // injected synonyms (all 'static strings).
+        let mut pairs: Vec<(&str, &str)> = E6_TRUTH.to_vec();
+        for (syn, orig) in E6_SYNONYMS {
+            if let Some((_, target)) = E6_TRUTH.iter().find(|(h, _)| h == orig) {
+                pairs.push((syn, target));
+            }
+        }
+        let mut expert = ScriptedExpert::new(&pairs);
+        let mut auto = 0usize;
+        let mut queued = 0usize;
+        let mut correct = 0usize;
+        let mut graded = 0usize;
+        for tree in &trees {
+            let expected = expected_parent(&tree.root);
+            match engine.fuse(tree.clone()) {
+                FusionOutcome::AutoFused { parent, .. } => {
+                    auto += 1;
+                    if let Some(want) = expected {
+                        graded += 1;
+                        if engine.graph().node(parent).label == want {
+                            correct += 1;
+                        }
+                    }
+                }
+                FusionOutcome::Queued { .. } => queued += 1,
+                FusionOutcome::Discarded => {}
+            }
+            engine.process_reviews(&mut expert);
+        }
+        let total = (auto + queued).max(1);
+        let _ = writeln!(
+            out,
+            "{}",
+            tp.row(&[
+                label.into(),
+                format!("{:.1}", auto as f64 * 100.0 / total as f64),
+                format!("{:.1}", queued as f64 * 100.0 / total as f64),
+                format!("{}/{}", correct, graded),
+                expert.reviews.to_string(),
+            ])
+        );
+    }
+    let _ = writeln!(out, "{}", tp.sep());
+
+    // Supervision over rounds (with embeddings + memory).
+    let mut engine = FusionEngine::new(seeded(), Some(&embeddings), FusionConfig::default());
+    let mut expert = ScriptedExpert::new(E6_TRUTH);
+    let chunk = (trees.len() / 3).max(1);
+    let _ = writeln!(out, "supervision per round (embedding + correction memory):");
+    for (round, batch) in trees.chunks(chunk).enumerate().take(3) {
+        let before = engine.stats();
+        for tree in batch {
+            engine.fuse(tree.clone());
+        }
+        engine.process_reviews(&mut expert);
+        let after = engine.stats();
+        let reviews = after.reviewed - before.reviewed;
+        let submitted = batch.len();
+        let _ = writeln!(
+            out,
+            "  round {}: {} submitted, {} expert reviews ({:.1}%)",
+            round + 1,
+            submitted,
+            reviews,
+            reviews as f64 * 100.0 / submitted as f64
+        );
+    }
+    out
+}
+
+fn expected_parent(root: &str) -> Option<&'static str> {
+    E6_TRUTH
+        .iter()
+        .find(|(h, _)| root.starts_with(h))
+        .map(|(_, t)| *t)
+        .or_else(|| {
+            E6_SYNONYMS.iter().find(|(s, _)| root == *s).and_then(|(_, orig)| {
+                E6_TRUTH.iter().find(|(h, _)| h == orig).map(|(_, t)| *t)
+            })
+        })
+}
+
+/// E7 (Fig 6): meta-profile construction — grouping, compression factor
+/// and throughput.
+pub fn e7_profiles(n_pubs: usize) -> String {
+    use covidkg_core::system::parse_side_effect_table;
+    use covidkg_kg::profile::{build_meta_profiles, compression_factor, Observation};
+
+    let pubs = corpus(n_pubs);
+    let mut observations: Vec<Observation> = Vec::new();
+    let t0 = Instant::now();
+    let mut tables = 0usize;
+    for p in &pubs {
+        for t in &p.tables {
+            for parsed in covidkg_tables::parse_tables(&t.html).unwrap() {
+                tables += 1;
+                observations.extend(parse_side_effect_table(&parsed.caption, &parsed.rows, &p.id));
+            }
+        }
+    }
+    let extract_time = t0.elapsed();
+    let t1 = Instant::now();
+    let profiles = build_meta_profiles(&observations);
+    let build_time = t1.elapsed();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "E7 Fig 6 — meta-profiles from {} papers", pubs.len());
+    let _ = writeln!(
+        out,
+        "paper: \"summarizes information from 9 different sources in one place and is\n\
+         much easier to comprehend than reading these 3 papers\"\n"
+    );
+    let _ = writeln!(out, "tables parsed            : {tables} (in {})", ms(extract_time));
+    let _ = writeln!(out, "side-effect observations : {}", observations.len());
+    let _ = writeln!(out, "meta-profiles built      : {} (in {})", profiles.len(), ms(build_time));
+    let _ = writeln!(
+        out,
+        "compression factor       : {:.1} sources per profile",
+        compression_factor(&profiles)
+    );
+    let tp = TablePrinter::new(&[14, 8, 8, 14]);
+    let _ = writeln!(out, "\n{}", tp.row(&["vaccine".into(), "doses".into(), "sources".into(), "observations".into()]));
+    let _ = writeln!(out, "{}", tp.sep());
+    for p in &profiles {
+        let _ = writeln!(
+            out,
+            "{}",
+            tp.row(&[
+                p.vaccine.clone(),
+                p.doses.len().to_string(),
+                p.source_count().to_string(),
+                p.observation_count().to_string(),
+            ])
+        );
+    }
+    let _ = writeln!(out, "{}", tp.sep());
+    let ok = compression_factor(&profiles) >= 3.0;
+    let _ = writeln!(
+        out,
+        "shape check: each profile folds several sources ({})",
+        if ok { "OK" } else { "MISS" }
+    );
+    out
+}
+
+/// E8 (§2 "Storage"): shard scaling — ingest throughput and balance.
+pub fn e8_store_scaling(n_pubs: usize) -> String {
+    let pubs = corpus(n_pubs);
+    let docs: Vec<Value> = pubs.iter().map(Publication::to_doc).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "E8 §2 — sharded storage scaling, {} documents", docs.len());
+    let _ = writeln!(
+        out,
+        "paper: \"scalable sharded MongoDB storage\" holding 450k+ publications\n\
+         (≈965GB dataset, >5TB raw)\n"
+    );
+    let tp = TablePrinter::new(&[8, 14, 14, 10, 12]);
+    let _ = writeln!(
+        out,
+        "{}",
+        tp.row(&["shards".into(), "ingest time".into(), "docs/sec".into(), "balance".into(), "scan query".into()])
+    );
+    let _ = writeln!(out, "{}", tp.sep());
+    for shards in [1usize, 2, 4, 8] {
+        let c = Collection::new(
+            CollectionConfig::new("pubs")
+                .with_shards(shards)
+                .with_text_fields(Publication::text_fields()),
+        );
+        let t0 = Instant::now();
+        c.insert_parallel(docs.clone(), 8).unwrap();
+        let ingest = t0.elapsed();
+        let stats = c.stats();
+        // A representative filtered scan.
+        let filter = Filter::parse(
+            &covidkg_json::obj! { "date" => covidkg_json::obj!{ "$gte" => "2021-01" } },
+            &[],
+        )
+        .unwrap();
+        let t1 = Instant::now();
+        for _ in 0..5 {
+            std::hint::black_box(c.count(&filter));
+        }
+        let scan = t1.elapsed() / 5;
+        let _ = writeln!(
+            out,
+            "{}",
+            tp.row(&[
+                shards.to_string(),
+                ms(ingest),
+                format!("{:.0}", docs.len() as f64 / ingest.as_secs_f64()),
+                format!("{:.2}", stats.balance_ratio()),
+                ms(scan),
+            ])
+        );
+    }
+    let _ = writeln!(out, "{}", tp.sep());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let _ = writeln!(
+        out,
+        "note: this harness machine exposes {cores} CPU core(s); shard scaling is\n\
+         measured for balance and correctness — wall-clock speedups require the\n\
+         multi-core hardware the paper's cluster provides."
+    );
+    let _ = writeln!(out, "storage report at this scale:");
+    let c = collection_with(&pubs, 4);
+    let db_stats = covidkg_store::DbStats {
+        collections: vec![c.stats()],
+    };
+    let _ = write!(out, "{}", db_stats.render_report());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Smoke tests with tiny sizes: every experiment must run and report
+    // its shape checks. (The report binary runs the full sizes.)
+
+    #[test]
+    fn e1_runs_and_reports() {
+        let r = e1_classification(16, 3);
+        assert!(r.contains("SVM"));
+        assert!(r.contains("BiGRU"));
+        assert!(r.contains("vertical"));
+    }
+
+    #[test]
+    fn e3_match_first_wins() {
+        let r = e3_pipeline_order(60, 3);
+        assert!(r.contains("match-first dominates match-last (OK)"), "{r}");
+    }
+
+    #[test]
+    fn e4_reports_quality() {
+        let r = e4_search_engines(48);
+        assert!(r.contains("P@10"));
+        assert!(r.contains("inverted index"));
+    }
+
+    #[test]
+    fn e5_time_grows() {
+        let r = e5_feature_space(24);
+        assert!(r.contains("training time grows"), "{r}");
+    }
+
+    #[test]
+    fn e6_embeddings_reduce_queueing() {
+        let r = e6_fusion(30, 0.4);
+        assert!(r.contains("term matching only"));
+        assert!(r.contains("+ embedding fallback"));
+        assert!(r.contains("round 3"));
+    }
+
+    #[test]
+    fn e7_profiles_compress() {
+        let r = e7_profiles(40);
+        assert!(r.contains("compression factor"));
+        assert!(r.contains("OK"), "{r}");
+    }
+
+    #[test]
+    fn e8_scales() {
+        let r = e8_store_scaling(60);
+        assert!(r.contains("shards"));
+        assert!(r.contains("storage report"));
+    }
+
+    #[test]
+    fn expected_parent_mapping() {
+        assert_eq!(expected_parent("Vaccine"), Some("Vaccine(s)"));
+        assert_eq!(expected_parent("Adverse reactions"), Some("Side-effects"));
+        assert_eq!(expected_parent("Unknown"), None);
+    }
+}

@@ -1,0 +1,13 @@
+//! Shared setup and experiment implementations for the COVIDKG benchmark
+//! harness.
+//!
+//! Every quantitative claim in the paper maps to one experiment here (see
+//! DESIGN.md §4); `cargo run -p covidkg-bench --release --bin report`
+//! prints the paper-shaped tables, and the criterion benches under
+//! `benches/` regenerate the timing-sensitive claims.
+
+pub mod experiments;
+pub mod setup;
+
+pub use experiments::*;
+pub use setup::*;

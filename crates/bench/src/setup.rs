@@ -1,0 +1,98 @@
+//! Shared fixtures: corpora, collections, labeled rows, query sets.
+
+use covidkg_corpus::{CorpusGenerator, Publication};
+use covidkg_core::training::{labeled_rows_from_corpus, LabeledRow};
+use covidkg_store::{Collection, CollectionConfig};
+use std::sync::Arc;
+
+/// Default experiment seed (all experiments are deterministic).
+pub const SEED: u64 = 0xC0BD;
+
+/// Generate the standard benchmark corpus.
+pub fn corpus(n: usize) -> Vec<Publication> {
+    CorpusGenerator::with_size(n, SEED).generate()
+}
+
+/// Load a corpus into a fresh sharded collection with the standard text
+/// index.
+pub fn collection_with(pubs: &[Publication], shards: usize) -> Arc<Collection> {
+    let c = Collection::new(
+        CollectionConfig::new("publications")
+            .with_shards(shards)
+            .with_text_fields(Publication::text_fields()),
+    );
+    c.insert_many(pubs.iter().map(Publication::to_doc))
+        .expect("bench corpus inserts");
+    Arc::new(c)
+}
+
+/// Labeled classification rows for a corpus of `n` publications.
+pub fn labeled_rows(n: usize) -> Vec<LabeledRow> {
+    labeled_rows_from_corpus(&corpus(n))
+}
+
+/// Simple fixed-width table printer for report output.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Printer with the given column widths.
+    pub fn new(widths: &[usize]) -> TablePrinter {
+        TablePrinter {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Format one row.
+    pub fn row(&self, cells: &[String]) -> String {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(12);
+            out.push_str(&format!("{cell:<w$}  "));
+        }
+        out.trim_end().to_string()
+    }
+
+    /// Format a separator line.
+    pub fn sep(&self) -> String {
+        let total: usize = self.widths.iter().map(|w| w + 2).sum();
+        "-".repeat(total)
+    }
+}
+
+/// Format a `Duration` human-readably (µs below 1 ms).
+pub fn ms(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1e-3 {
+        format!("{:.1}µs", secs * 1e6)
+    } else {
+        format!("{:.1}ms", secs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = corpus(5);
+        let b = corpus(5);
+        assert_eq!(a[3].title, b[3].title);
+    }
+
+    #[test]
+    fn collection_loads_all_documents() {
+        let pubs = corpus(8);
+        let c = collection_with(&pubs, 4);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn printer_aligns() {
+        let p = TablePrinter::new(&[6, 4]);
+        assert_eq!(p.row(&["ab".into(), "c".into()]), "ab      c");
+        assert!(p.sep().len() >= 10);
+    }
+}

@@ -1,0 +1,180 @@
+//! The released-model registry (№11/13 in Fig 1).
+//!
+//! "COVIDKG.ORG also releases hundreds of pre-trained models and
+//! embeddings as an API for reuse by data scientists and developers" and
+//! stores them alongside the data: "Our MongoDB sharded cluster storing
+//! data and all trained Deep-learning models and embeddings…" (§2). The
+//! registry keeps serialized models as documents in a `models` collection
+//! with name/kind/version metadata.
+
+use covidkg_json::{obj, Value};
+use covidkg_ml::Word2Vec;
+use covidkg_store::{Collection, CollectionConfig, StoreError};
+use std::sync::Arc;
+
+/// Registry over a `models` collection.
+pub struct ModelRegistry {
+    collection: Arc<Collection>,
+}
+
+/// Metadata for one released artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Kind tag (`embeddings`, `svm`, `bigru`, …).
+    pub kind: String,
+    /// Monotonic version (re-publishing bumps it).
+    pub version: i64,
+    /// Serialized payload size in bytes.
+    pub bytes: usize,
+}
+
+impl ModelRegistry {
+    /// Registry backed by a fresh in-memory collection.
+    pub fn in_memory() -> ModelRegistry {
+        ModelRegistry {
+            collection: Arc::new(Collection::new(
+                CollectionConfig::new("models").with_shards(2),
+            )),
+        }
+    }
+
+    /// Registry over an existing collection.
+    pub fn over(collection: Arc<Collection>) -> ModelRegistry {
+        ModelRegistry { collection }
+    }
+
+    /// The backing collection (for stats).
+    pub fn collection(&self) -> &Arc<Collection> {
+        &self.collection
+    }
+
+    /// Publish (or re-publish, bumping the version) a serialized model.
+    pub fn publish(
+        &self,
+        name: &str,
+        kind: &str,
+        payload: String,
+    ) -> Result<ModelInfo, StoreError> {
+        let id = format!("model:{name}");
+        let bytes = payload.len();
+        let version = match self.collection.get(&id) {
+            Some(existing) => existing.path("version").and_then(Value::as_i64).unwrap_or(0) + 1,
+            None => 1,
+        };
+        let doc = obj! {
+            "_id" => id.clone(),
+            "name" => name,
+            "kind" => kind,
+            "version" => version,
+            "payload" => payload,
+        };
+        if version == 1 {
+            self.collection.insert(doc)?;
+        } else {
+            self.collection.replace(&id, doc)?;
+        }
+        Ok(ModelInfo {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            version,
+            bytes,
+        })
+    }
+
+    /// Fetch a model's payload.
+    pub fn fetch(&self, name: &str) -> Option<String> {
+        self.collection
+            .get(&format!("model:{name}"))
+            .and_then(|d| d.path("payload").and_then(Value::as_str).map(str::to_string))
+    }
+
+    /// Publish Word2Vec embeddings.
+    pub fn publish_embeddings(&self, name: &str, model: &Word2Vec) -> Result<ModelInfo, StoreError> {
+        self.publish(name, "embeddings", model.save_text())
+    }
+
+    /// Fetch Word2Vec embeddings.
+    pub fn fetch_embeddings(&self, name: &str) -> Option<Word2Vec> {
+        Word2Vec::load_text(&self.fetch(name)?)
+    }
+
+    /// Fetch a serialized SVM classifier.
+    pub fn fetch_svm(&self, name: &str) -> Option<covidkg_ml::Svm> {
+        covidkg_ml::Svm::load_text(&self.fetch(name)?)
+    }
+
+    /// List released artifacts.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let mut out: Vec<ModelInfo> = self
+            .collection
+            .scan_all()
+            .into_iter()
+            .filter_map(|d| {
+                Some(ModelInfo {
+                    name: d.path("name")?.as_str()?.to_string(),
+                    kind: d.path("kind")?.as_str()?.to_string(),
+                    version: d.path("version")?.as_i64()?,
+                    bytes: d.path("payload")?.as_str()?.len(),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covidkg_ml::{Word2VecConfig};
+
+    #[test]
+    fn publish_fetch_round_trip() {
+        let reg = ModelRegistry::in_memory();
+        let info = reg.publish("ranker-v1", "weights", "{\"w\": 1}".into()).unwrap();
+        assert_eq!(info.version, 1);
+        assert_eq!(reg.fetch("ranker-v1").unwrap(), "{\"w\": 1}");
+        assert!(reg.fetch("missing").is_none());
+    }
+
+    #[test]
+    fn republish_bumps_version() {
+        let reg = ModelRegistry::in_memory();
+        reg.publish("m", "svm", "v1".into()).unwrap();
+        let info = reg.publish("m", "svm", "v2".into()).unwrap();
+        assert_eq!(info.version, 2);
+        assert_eq!(reg.fetch("m").unwrap(), "v2");
+        assert_eq!(reg.list().len(), 1);
+    }
+
+    #[test]
+    fn embeddings_round_trip() {
+        let sents = vec![vec!["covid".to_string(), "vaccine".to_string()]; 5];
+        let w2v = Word2Vec::train(
+            &sents,
+            &Word2VecConfig {
+                dims: 8,
+                epochs: 1,
+                ..Word2VecConfig::default()
+            },
+        );
+        let reg = ModelRegistry::in_memory();
+        reg.publish_embeddings("cord19-w2v", &w2v).unwrap();
+        let back = reg.fetch_embeddings("cord19-w2v").unwrap();
+        assert_eq!(back.vocab_size(), w2v.vocab_size());
+        assert_eq!(back.embed("covid"), w2v.embed("covid"));
+    }
+
+    #[test]
+    fn list_reports_metadata() {
+        let reg = ModelRegistry::in_memory();
+        reg.publish("a", "svm", "xx".into()).unwrap();
+        reg.publish("b", "embeddings", "yyyy".into()).unwrap();
+        let list = reg.list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].name, "a");
+        assert_eq!(list[1].bytes, 4);
+    }
+}

@@ -1,0 +1,867 @@
+//! [`CovidKg`]: the assembled system (Fig 1).
+//!
+//! `CovidKg::build` runs the whole construction flow: generate/ingest the
+//! corpus into the sharded store (№3), train embeddings and the metadata
+//! classifiers (№4), classify every table, cluster topics (№5), extract
+//! candidate subtrees (№6), fuse them into the expert-seeded KG with the
+//! review queue (№2/№14), build meta-profiles (№7) and publish the
+//! trained models (№11/13). The resulting value exposes the search
+//! engines (№9/10) and the interactive graph.
+
+use crate::registry::ModelRegistry;
+use crate::training::{self, build_tuple_examples, labeled_rows_from_corpus, LabeledRow};
+use covidkg_corpus::{CorpusConfig, CorpusGenerator, Publication};
+use covidkg_json::Value;
+use covidkg_kg::profile::{build_meta_profiles, Observation};
+use covidkg_kg::{
+    extract_subtrees, seed_graph, FusionConfig, FusionEngine, FusionStats,
+    KnowledgeGraph, MetaProfile, ScriptedExpert,
+};
+use covidkg_ml::model::{TupleClassifier, TupleClassifierConfig};
+use covidkg_ml::svm::{Svm, SvmConfig};
+use covidkg_ml::{kmeans, Word2Vec, Word2VecConfig};
+use covidkg_search::{SearchEngine, SearchMode, SearchPage};
+use covidkg_store::{Collection, CollectionConfig, Database, StoreError};
+use covidkg_tables::{detect_orientation, parse_tables, row_features, Orientation, Preprocessor};
+use covidkg_text::tokenize_lower;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which classifier drives metadata detection during ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassifierChoice {
+    /// The §3.5 SVM (fast; the default for interactive builds).
+    Svm,
+    /// The Fig 3 BiGRU ensemble.
+    BiGru,
+}
+
+/// System build configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CovidKgConfig {
+    /// Number of synthetic publications to generate.
+    pub corpus_size: usize,
+    /// Master seed (corpus, folds, model init).
+    pub seed: u64,
+    /// Store shards for the publications collection.
+    pub shards: usize,
+    /// Metadata classifier used during ingest.
+    pub classifier: ClassifierChoice,
+    /// Cap on classifier training rows (SMO is quadratic).
+    pub max_training_rows: usize,
+    /// Word2Vec embedding dimensionality.
+    pub embed_dims: usize,
+    /// Ingest worker threads.
+    pub ingest_threads: usize,
+    /// Data directory for durable storage (None = in-memory). With a
+    /// directory set, the publications, released models and the KG
+    /// survive restarts and [`CovidKg::reopen`] restores the system
+    /// without retraining.
+    pub data_dir: Option<String>,
+}
+
+impl Default for CovidKgConfig {
+    fn default() -> Self {
+        CovidKgConfig {
+            corpus_size: 120,
+            seed: 42,
+            shards: 4,
+            classifier: ClassifierChoice::Svm,
+            max_training_rows: 1200,
+            embed_dims: 24,
+            ingest_threads: 4,
+            data_dir: None,
+        }
+    }
+}
+
+/// What happened during construction.
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    /// Publications stored.
+    pub publications: usize,
+    /// Tables parsed from HTML.
+    pub tables_parsed: usize,
+    /// Rows classified.
+    pub rows_classified: usize,
+    /// Rows predicted to be metadata.
+    pub metadata_rows: usize,
+    /// Candidate subtrees extracted.
+    pub subtrees: usize,
+    /// Fusion statistics.
+    pub fusion: FusionStats,
+    /// Nodes in the final KG.
+    pub kg_nodes: usize,
+    /// Topical clusters found.
+    pub clusters: usize,
+    /// Cluster purity against ground-truth topics.
+    pub cluster_purity: f64,
+    /// Side-effect observations folded into meta-profiles.
+    pub observations: usize,
+}
+
+/// The assembled COVIDKG system.
+pub struct CovidKg {
+    config: CovidKgConfig,
+    db: Database,
+    publications: Arc<Collection>,
+    search: SearchEngine,
+    kg: KnowledgeGraph,
+    profiles: Vec<MetaProfile>,
+    registry: ModelRegistry,
+    embeddings: Word2Vec,
+    report: IngestReport,
+    /// Trained metadata classifier, kept for incremental ingest (№12).
+    classifier: TrainedClassifier,
+    /// Fusion correction memory carried across ingest calls.
+    fusion_memory: std::collections::HashMap<String, covidkg_kg::NodeId>,
+    /// Accumulated side-effect observations feeding the meta-profiles.
+    observations: Vec<Observation>,
+}
+
+impl CovidKg {
+    /// Build the full system from a synthetic corpus.
+    pub fn build(config: CovidKgConfig) -> Result<CovidKg, StoreError> {
+        let pubs = CorpusGenerator::new(CorpusConfig {
+            publications: config.corpus_size,
+            seed: config.seed,
+            ..CorpusConfig::default()
+        })
+        .generate();
+        Self::build_from(config, &pubs)
+    }
+
+    /// Build from an existing corpus (lets experiments share one corpus).
+    pub fn build_from(config: CovidKgConfig, pubs: &[Publication]) -> Result<CovidKg, StoreError> {
+        let mut report = IngestReport {
+            publications: pubs.len(),
+            ..IngestReport::default()
+        };
+
+        // №3 — the sharded document store of publications (durable when
+        // a data_dir is configured).
+        let db = match &config.data_dir {
+            Some(dir) => Database::open(dir)?,
+            None => Database::in_memory(),
+        };
+        let publications = db.create_collection(
+            CollectionConfig::new("publications")
+                .with_shards(config.shards)
+                .with_text_fields(Publication::text_fields()),
+        )?;
+        let docs: Vec<Value> = pubs.iter().map(Publication::to_doc).collect();
+        publications.insert_parallel(docs, config.ingest_threads)?;
+
+        // №4 — embeddings (WDC pre-train + corpus fine-tune) and the
+        // metadata classifiers.
+        let embeddings = training::pretrain_embeddings(
+            pubs,
+            config.seed ^ 0x57dc,
+            &Word2VecConfig {
+                dims: config.embed_dims,
+                epochs: 3,
+                seed: config.seed,
+                ..Word2VecConfig::default()
+            },
+        );
+        let mut rows = labeled_rows_from_corpus(pubs);
+        if rows.len() > config.max_training_rows {
+            rows.truncate(config.max_training_rows);
+        }
+        let classifier = TrainedClassifier::train(&rows, &config, &embeddings);
+
+        // Classify every stored table (running the real inference path on
+        // the HTML round-tripped through the store), extract subtrees.
+        let docs = publications.scan_all();
+        let (trees, observations, enrichments) =
+            classify_and_extract(&docs, &classifier, &mut report);
+        for (paper_id, update) in &enrichments {
+            publications.update_spec(paper_id, update)?;
+        }
+        report.subtrees = trees.len();
+
+        // №5 — topical clustering over TF-IDF-ish embedding vectors.
+        let (clusters, purity) = cluster_topics(pubs, &embeddings);
+        report.clusters = clusters;
+        report.cluster_purity = purity;
+
+        // №2/№14 — fusion into the expert-seeded KG.
+        let mut engine = FusionEngine::new(seed_graph(), Some(&embeddings), FusionConfig::default());
+        for tree in trees {
+            engine.fuse(tree);
+        }
+        let mut expert = default_expert();
+        engine.process_reviews(&mut expert);
+        report.fusion = engine.stats();
+        let (kg, fusion_memory) = engine.into_parts();
+        report.kg_nodes = kg.len();
+
+        // №7 — meta-profiles.
+        report.observations = observations.len();
+        let profiles = build_meta_profiles(&observations);
+
+        // №11/13 — release trained artifacts.
+        let registry =
+            ModelRegistry::over(db.create_collection(CollectionConfig::new("models").with_shards(2))?);
+        registry.publish_embeddings("cord19-wdc-w2v", &embeddings)?;
+        // Real payloads, reusable by API consumers (№11/13): both the SVM
+        // and the full BiGRU (weights + batch-norm statistics) serialize
+        // losslessly.
+        let classifier_payload = match &classifier {
+            TrainedClassifier::Svm { model, featurizer } => {
+                registry.publish("metadata-featurizer", "featurizer", featurizer.save_text())?;
+                model.save_text()
+            }
+            TrainedClassifier::BiGru(model) => model.save_text(),
+        };
+        registry.publish(
+            "metadata-classifier",
+            match config.classifier {
+                ClassifierChoice::Svm => "svm",
+                ClassifierChoice::BiGru => "bigru",
+            },
+            classifier_payload,
+        )?;
+
+        let search = SearchEngine::new(Arc::clone(&publications));
+        let system = CovidKg {
+            config,
+            db,
+            publications,
+            search,
+            kg,
+            profiles,
+            registry,
+            embeddings,
+            report,
+            classifier,
+            fusion_memory,
+            observations,
+        };
+        system.persist()?;
+        Ok(system)
+    }
+
+    /// Persist the KG document and snapshot every durable collection.
+    /// No-op for in-memory systems.
+    fn persist(&self) -> Result<(), StoreError> {
+        if self.config.data_dir.is_none() {
+            return Ok(());
+        }
+        let kg_coll = match self.db.collection("kg") {
+            Ok(c) => c,
+            Err(_) => self
+                .db
+                .create_collection(CollectionConfig::new("kg").with_shards(1))?,
+        };
+        let doc = covidkg_json::obj! { "_id" => "kg", "graph" => self.kg.to_json() };
+        match kg_coll.get("kg") {
+            Some(_) => kg_coll.replace("kg", doc)?,
+            None => {
+                kg_coll.insert(doc)?;
+            }
+        }
+        self.db.snapshot_all()?;
+        Ok(())
+    }
+
+    /// Reopen a durable system from `config.data_dir` **without
+    /// retraining**: the publications recover from snapshot+WAL, the
+    /// embeddings/classifier/featurizer come from the model registry, the
+    /// KG from its persisted JSON document, and the meta-profiles are
+    /// re-derived from the stored tables. `config.classifier` must match
+    /// the kind the system was built with.
+    pub fn reopen(config: CovidKgConfig) -> Result<CovidKg, StoreError> {
+        let Some(dir) = config.data_dir.clone() else {
+            return Err(StoreError::BadQuery(
+                "reopen requires config.data_dir".into(),
+            ));
+        };
+        let db = Database::open(&dir)?;
+        let publications = db.create_collection(
+            CollectionConfig::new("publications")
+                .with_shards(config.shards)
+                .with_text_fields(Publication::text_fields()),
+        )?;
+        let registry =
+            ModelRegistry::over(db.create_collection(CollectionConfig::new("models").with_shards(2))?);
+        let corrupt = |what: &str| StoreError::Corrupt(format!("missing persisted {what}"));
+        let embeddings = registry
+            .fetch_embeddings("cord19-wdc-w2v")
+            .ok_or_else(|| corrupt("embeddings"))?;
+        let classifier = match config.classifier {
+            ClassifierChoice::Svm => {
+                let model = registry
+                    .fetch_svm("metadata-classifier")
+                    .ok_or_else(|| corrupt("svm classifier"))?;
+                let featurizer = registry
+                    .fetch("metadata-featurizer")
+                    .and_then(|t| crate::training::SvmFeaturizer::load_text(&t))
+                    .ok_or_else(|| corrupt("featurizer"))?;
+                TrainedClassifier::Svm { model, featurizer }
+            }
+            ClassifierChoice::BiGru => {
+                let model = registry
+                    .fetch("metadata-classifier")
+                    .and_then(|t| TupleClassifier::load_text(&t))
+                    .ok_or_else(|| corrupt("bigru classifier"))?;
+                TrainedClassifier::BiGru(model)
+            }
+        };
+        let kg_coll = db.create_collection(CollectionConfig::new("kg").with_shards(1))?;
+        let kg = kg_coll
+            .get("kg")
+            .and_then(|d| d.path("graph").and_then(KnowledgeGraph::from_json))
+            .ok_or_else(|| corrupt("knowledge graph"))?;
+
+        // Re-derive observations/profiles from the stored tables (cheap,
+        // classifier-free).
+        let mut observations = Vec::new();
+        for doc in publications.scan_all() {
+            let paper_id = doc
+                .get("_id")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            if let Some(tables) = doc.path("tables").and_then(Value::as_array) {
+                for t in tables {
+                    if let Some(html) = t.path("html").and_then(Value::as_str) {
+                        for table in parse_tables(html).unwrap_or_default() {
+                            observations.extend(parse_side_effect_table(
+                                &table.caption,
+                                &table.rows,
+                                &paper_id,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let profiles = build_meta_profiles(&observations);
+        let report = IngestReport {
+            publications: publications.len(),
+            kg_nodes: kg.len(),
+            observations: observations.len(),
+            ..IngestReport::default()
+        };
+        let search = SearchEngine::new(Arc::clone(&publications));
+        Ok(CovidKg {
+            config,
+            db,
+            publications,
+            search,
+            kg,
+            profiles,
+            registry,
+            embeddings,
+            report,
+            classifier,
+            // Correction memory is session-scoped; the expert relearns
+            // quickly thanks to the persisted KG structure.
+            fusion_memory: std::collections::HashMap::new(),
+            observations,
+        })
+    }
+
+    /// Incrementally ingest new publications (№12 in Fig 1: "the World
+    /// Wide Web with new information on COVID-19" feeding the always-
+    /// fresh KG): store them, classify their tables with the already-
+    /// trained models, fuse the extracted subtrees into the existing
+    /// graph (reusing the learned correction memory), and refresh the
+    /// meta-profiles. Returns the number of publications added.
+    pub fn ingest(&mut self, pubs: &[Publication]) -> Result<usize, StoreError> {
+        let docs: Vec<Value> = pubs.iter().map(Publication::to_doc).collect();
+        self.publications
+            .insert_parallel(docs.clone(), self.config.ingest_threads)?;
+        self.report.publications += pubs.len();
+
+        let (trees, new_obs, enrichments) =
+            classify_and_extract(&docs, &self.classifier, &mut self.report);
+        for (paper_id, update) in &enrichments {
+            self.publications.update_spec(paper_id, update)?;
+        }
+        self.report.subtrees += trees.len();
+
+        // Resume fusion over the live graph with the learned memory.
+        let kg = std::mem::take(&mut self.kg);
+        let mut engine = FusionEngine::new(kg, Some(&self.embeddings), FusionConfig::default());
+        engine.set_memory(std::mem::take(&mut self.fusion_memory));
+        for tree in trees {
+            engine.fuse(tree);
+        }
+        let mut expert = default_expert();
+        engine.process_reviews(&mut expert);
+        // Merge fusion counters (engine stats restart at zero per engine).
+        let delta = engine.stats();
+        self.report.fusion.auto_fused += delta.auto_fused;
+        self.report.fusion.via_memory += delta.via_memory;
+        self.report.fusion.via_embedding += delta.via_embedding;
+        self.report.fusion.queued += delta.queued;
+        self.report.fusion.reviewed += delta.reviewed;
+        self.report.fusion.discarded += delta.discarded;
+        self.report.fusion.leaves_added += delta.leaves_added;
+        let (kg, memory) = engine.into_parts();
+        self.kg = kg;
+        self.fusion_memory = memory;
+        self.report.kg_nodes = self.kg.len();
+
+        self.observations.extend(new_obs);
+        self.report.observations = self.observations.len();
+        self.profiles = build_meta_profiles(&self.observations);
+        self.persist()?;
+        Ok(pubs.len())
+    }
+
+    /// Build configuration.
+    pub fn config(&self) -> &CovidKgConfig {
+        &self.config
+    }
+
+    /// The ingest/build report.
+    pub fn report(&self) -> &IngestReport {
+        &self.report
+    }
+
+    /// Run one of the three search engines (№9/10).
+    pub fn search(&self, mode: &SearchMode, page: usize) -> SearchPage {
+        self.search.search(mode, page)
+    }
+
+    /// The knowledge graph.
+    pub fn kg(&self) -> &KnowledgeGraph {
+        &self.kg
+    }
+
+    /// Vaccine side-effect meta-profiles (Fig 6).
+    pub fn profiles(&self) -> &[MetaProfile] {
+        &self.profiles
+    }
+
+    /// The released-model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The trained embeddings.
+    pub fn embeddings(&self) -> &Word2Vec {
+        &self.embeddings
+    }
+
+    /// The publications collection.
+    pub fn publications(&self) -> &Arc<Collection> {
+        &self.publications
+    }
+
+    /// Storage statistics (the §2 report).
+    pub fn stats(&self) -> covidkg_store::DbStats {
+        self.db.stats()
+    }
+
+    /// Interrogate the stored corpus for bias (title claim): embedding-
+    /// driven clustering with coverage/venue/freshness skew indicators.
+    pub fn bias_report(&self) -> crate::bias::BiasReport {
+        crate::bias::interrogate(
+            &self.publications.scan_all(),
+            &self.embeddings,
+            covidkg_corpus::all_topics().len(),
+        )
+    }
+}
+
+/// Run the trained classifier over every table in `docs`, extracting
+/// candidate subtrees and side-effect observations. Shared by the initial
+/// build and incremental [`CovidKg::ingest`].
+fn classify_and_extract(
+    docs: &[Value],
+    classifier: &TrainedClassifier,
+    report: &mut IngestReport,
+) -> (
+    Vec<covidkg_kg::ExtractedTree>,
+    Vec<Observation>,
+    Vec<(String, Value)>,
+) {
+    let pre = Preprocessor::new();
+    let mut trees = Vec::new();
+    let mut observations: Vec<Observation> = Vec::new();
+    let mut enrichments: Vec<(String, Value)> = Vec::new();
+    for doc in docs {
+        let paper_id = doc
+            .get("_id")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let mut paper_tables = 0usize;
+        let mut paper_meta_rows = 0usize;
+        let Some(tables) = doc.path("tables").and_then(Value::as_array) else {
+            continue;
+        };
+        for t in tables {
+            let Some(html) = t.path("html").and_then(Value::as_str) else {
+                continue;
+            };
+            let parsed = match parse_tables(html) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            for table in &parsed {
+                report.tables_parsed += 1;
+                paper_tables += 1;
+                let feats = row_features(&pre, &table.rows, None);
+                let predictions: Vec<bool> = feats
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| classifier.predict(f, &table.rows[i]))
+                    .collect();
+                report.rows_classified += predictions.len();
+                let meta = predictions.iter().filter(|&&p| p).count();
+                report.metadata_rows += meta;
+                paper_meta_rows += meta;
+                let orientation = detect_orientation(&table.rows);
+                trees.extend(extract_subtrees(
+                    &table.rows,
+                    &predictions,
+                    orientation == Orientation::Vertical,
+                    &table.caption,
+                    &paper_id,
+                ));
+                observations
+                    .extend(parse_side_effect_table(&table.caption, &table.rows, &paper_id));
+            }
+        }
+        // The paper's back-end stores publications "enriched with
+        // different classified characteristics by our Deep-Learning
+        // models"; write the classification summary back via a $set.
+        enrichments.push((
+            paper_id,
+            covidkg_json::obj! {
+                "$set" => covidkg_json::obj! {
+                    "enrichment" => covidkg_json::obj! {
+                        "tables" => paper_tables,
+                        "metadata_rows" => paper_meta_rows,
+                    },
+                },
+            },
+        ));
+    }
+    (trees, observations, enrichments)
+}
+
+/// The classifier actually used during ingest.
+enum TrainedClassifier {
+    Svm {
+        model: Svm,
+        featurizer: crate::training::SvmFeaturizer,
+    },
+    BiGru(TupleClassifier),
+}
+
+impl TrainedClassifier {
+    fn train(rows: &[LabeledRow], config: &CovidKgConfig, embeddings: &Word2Vec) -> Self {
+        match config.classifier {
+            ClassifierChoice::Svm => {
+                let featurizer = crate::training::SvmFeaturizer::fit(rows, 2000);
+                let vectors: Vec<_> = rows
+                    .iter()
+                    .map(|r| featurizer.vectorize(&r.features, &r.cells))
+                    .collect();
+                let labels: Vec<bool> = rows
+                    .iter()
+                    .map(|r| r.features.label.unwrap_or(false))
+                    .collect();
+                let model = Svm::train(
+                    &vectors,
+                    &labels,
+                    &SvmConfig {
+                        seed: config.seed,
+                        ..SvmConfig::default()
+                    },
+                );
+                TrainedClassifier::Svm { model, featurizer }
+            }
+            ClassifierChoice::BiGru => {
+                let examples = build_tuple_examples(rows);
+                let mut model = TupleClassifier::new(
+                    &examples,
+                    Some(embeddings),
+                    TupleClassifierConfig {
+                        embed_dims: config.embed_dims,
+                        hidden: 16,
+                        max_len: 10,
+                        epochs: 6,
+                        seed: config.seed,
+                        ..TupleClassifierConfig::default()
+                    },
+                );
+                model.train(&examples);
+                TrainedClassifier::BiGru(model)
+            }
+        }
+    }
+
+    fn predict(&self, features: &covidkg_tables::RowFeatures, cells: &[String]) -> bool {
+        match self {
+            TrainedClassifier::Svm { model, featurizer } => {
+                model.predict(&featurizer.vectorize(features, cells))
+            }
+            TrainedClassifier::BiGru(model) => {
+                let example = covidkg_ml::TupleExample {
+                    terms: features
+                        .processed
+                        .split_whitespace()
+                        .map(str::to_lowercase)
+                        .collect(),
+                    cells: cells.iter().map(|c| c.to_lowercase()).collect(),
+                    label: false,
+                };
+                model.predict(&example)
+            }
+        }
+    }
+}
+
+/// The scripted expert's default ground-truth mapping from the table
+/// attribute headings the synthetic corpus emits.
+fn default_expert() -> ScriptedExpert {
+    ScriptedExpert::new(&[
+        ("Vaccine", "Vaccine(s)"),
+        ("Side effect", "Side-effects"),
+        ("Symptom", "Symptoms"),
+        ("Characteristic", "Epidemiology"),
+        ("Arm", "Treatments"),
+        ("Product", "Prevention"),
+    ])
+}
+
+/// Topical clustering (№5): k-means over mean word embeddings of each
+/// abstract; purity graded against the generator's topic labels.
+fn cluster_topics(pubs: &[Publication], embeddings: &Word2Vec) -> (usize, f64) {
+    if pubs.is_empty() {
+        return (0, 0.0);
+    }
+    let points: Vec<Vec<f32>> = pubs
+        .iter()
+        .map(|p| embeddings.embed_phrase(&tokenize_lower(&p.abstract_text)))
+        .collect();
+    let k = covidkg_corpus::all_topics().len();
+    let result = kmeans(&points, k, 30, 17);
+    // Purity: each cluster votes for its majority ground-truth topic.
+    let mut majority = vec![std::collections::HashMap::<usize, usize>::new(); k];
+    for (p, &c) in pubs.iter().zip(&result.assignments) {
+        *majority[c].entry(p.topic_id).or_insert(0) += 1;
+    }
+    let pure: usize = majority
+        .iter()
+        .map(|m| m.values().copied().max().unwrap_or(0))
+        .sum();
+    (k, pure as f64 / pubs.len() as f64)
+}
+
+/// Recover structured side-effect observations from a parsed table whose
+/// caption marks it as a side-effect table (the real-code-path feed for
+/// the Fig 6 meta-profiles). Headers look like `Pfizer dose 2 (%)`.
+pub fn parse_side_effect_table(
+    caption: &str,
+    rows: &[Vec<String>],
+    paper_id: &str,
+) -> Vec<Observation> {
+    if !caption.to_lowercase().contains("side-effect")
+        && !caption.to_lowercase().contains("side effect")
+    {
+        return Vec::new();
+    }
+    if rows.len() < 2 || rows[0].len() < 2 {
+        return Vec::new();
+    }
+    // Parse headers: vaccine name + dose.
+    let mut columns: Vec<Option<(String, u8)>> = vec![None];
+    for h in &rows[0][1..] {
+        let toks = tokenize_lower(h);
+        let vaccine = toks.first().cloned();
+        let dose = toks
+            .iter()
+            .position(|t| t == "dose")
+            .and_then(|i| toks.get(i + 1))
+            .and_then(|d| d.parse::<u8>().ok());
+        columns.push(match (vaccine, dose) {
+            (Some(v), Some(d)) => Some((capitalize(&v), d)),
+            _ => None,
+        });
+    }
+    let mut out = Vec::new();
+    for row in &rows[1..] {
+        let Some(effect) = row.first() else { continue };
+        for (col, cell) in row.iter().enumerate().skip(1) {
+            let Some(Some((vaccine, dose))) = columns.get(col) else {
+                continue;
+            };
+            let Some(rate) = cell.trim().strip_suffix('%').and_then(|r| r.trim().parse::<f32>().ok())
+            else {
+                continue;
+            };
+            out.push(Observation {
+                vaccine: vaccine.clone(),
+                dose: *dose,
+                effect: effect.clone(),
+                rate,
+                paper_id: paper_id.to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn capitalize(w: &str) -> String {
+    let mut c = w.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CovidKgConfig {
+        CovidKgConfig {
+            corpus_size: 36,
+            max_training_rows: 400,
+            ..CovidKgConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_build_produces_all_artifacts() {
+        let system = CovidKg::build(small_config()).unwrap();
+        let r = system.report();
+        assert_eq!(r.publications, 36);
+        assert!(r.tables_parsed >= 36);
+        assert!(r.rows_classified > 100);
+        assert!(r.metadata_rows > 0);
+        assert!(r.subtrees > 0);
+        assert!(r.kg_nodes > seed_graph().len(), "fusion must grow the KG");
+        assert!(r.fusion.auto_fused > 0);
+        assert!(!system.profiles().is_empty(), "side-effect tables exist");
+        assert!(r.cluster_purity > 0.2, "purity {}", r.cluster_purity);
+        // Released artifacts present: embeddings + classifier + featurizer.
+        assert!(system.registry().fetch_embeddings("cord19-wdc-w2v").is_some());
+        assert!(system.registry().fetch_svm("metadata-classifier").is_some());
+        assert_eq!(system.registry().list().len(), 3);
+    }
+
+    #[test]
+    fn search_over_built_system_returns_ranked_pages() {
+        let system = CovidKg::build(small_config()).unwrap();
+        let page = system.search(&SearchMode::AllFields("vaccine".into()), 0);
+        assert!(page.total > 0);
+        assert!(page.results.len() <= 10);
+        // Scores are non-increasing.
+        for w in page.results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let tables = system.search(&SearchMode::Tables("side-effects".into()), 0);
+        assert!(tables.total > 0);
+    }
+
+    #[test]
+    fn kg_is_browsable_with_provenance() {
+        let system = CovidKg::build(small_config()).unwrap();
+        let kg = system.kg();
+        let hits = kg.search("side effect");
+        assert!(!hits.is_empty());
+        // Fused entity nodes carry provenance back to papers.
+        let with_prov = kg
+            .nodes()
+            .iter()
+            .filter(|n| !n.provenance.is_empty())
+            .count();
+        assert!(with_prov > 0);
+    }
+
+    #[test]
+    fn stats_report_covers_the_store() {
+        let system = CovidKg::build(small_config()).unwrap();
+        let stats = system.stats();
+        // publications + the models registry collection.
+        assert_eq!(stats.collections.len(), 2);
+        assert_eq!(
+            stats
+                .collections
+                .iter()
+                .find(|c| c.name == "publications")
+                .unwrap()
+                .docs,
+            36
+        );
+        assert!(stats.render_report().contains("publications"));
+    }
+
+    #[test]
+    fn side_effect_parser_extracts_observations() {
+        let rows = vec![
+            vec!["Side effect".to_string(), "Pfizer dose 2 (%)".to_string(), "Moderna dose 2 (%)".to_string()],
+            vec!["Fever".to_string(), "12.5%".to_string(), "15%".to_string()],
+            vec!["Chills".to_string(), "8%".to_string(), "n/a".to_string()],
+        ];
+        let obs = parse_side_effect_table("Reported side-effects after dose 2", &rows, "p9");
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs[0].vaccine, "Pfizer");
+        assert_eq!(obs[0].dose, 2);
+        assert_eq!(obs[0].effect, "Fever");
+        assert!((obs[0].rate - 12.5).abs() < 1e-6);
+        // Non-side-effect captions are skipped.
+        assert!(parse_side_effect_table("Demographics", &rows, "p9").is_empty());
+    }
+
+    #[test]
+    fn incremental_ingest_grows_every_artifact() {
+        let mut system = CovidKg::build(small_config()).unwrap();
+        let before = system.report().clone();
+        let kg_before = system.kg().len();
+        let profiles_before: usize = system
+            .profiles()
+            .iter()
+            .map(|p| p.observation_count())
+            .sum();
+
+        // New publications from a later index range (fresh ids).
+        let new_pubs: Vec<_> = covidkg_corpus::CorpusGenerator::with_size(48, 42)
+            .generate()
+            .into_iter()
+            .skip(36) // ids 36..48 don't collide with the build's 0..36
+            .collect();
+        let added = system.ingest(&new_pubs).unwrap();
+        assert_eq!(added, 12);
+
+        let after = system.report();
+        assert_eq!(after.publications, before.publications + 12);
+        assert!(after.tables_parsed > before.tables_parsed);
+        assert!(after.subtrees > before.subtrees);
+        assert!(system.kg().len() >= kg_before);
+        assert_eq!(system.publications().len(), 48);
+        // New docs are searchable immediately.
+        let page = system.search(
+            &covidkg_search::SearchMode::AllFields("vaccine".into()),
+            0,
+        );
+        assert!(page.total > 0);
+        // Profiles absorb the new observations.
+        let profiles_after: usize = system
+            .profiles()
+            .iter()
+            .map(|p| p.observation_count())
+            .sum();
+        assert!(profiles_after >= profiles_before);
+    }
+    #[test]
+    fn bigru_classifier_choice_builds() {
+        let cfg = CovidKgConfig {
+            corpus_size: 12,
+            classifier: ClassifierChoice::BiGru,
+            max_training_rows: 150,
+            ..CovidKgConfig::default()
+        };
+        let system = CovidKg::build(cfg).unwrap();
+        assert!(system.report().rows_classified > 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The synthetic publication model and its JSON document shape.
+//!
+//! The JSON layout follows what the COVIDKG back-end stores per §2/§3.1:
+//! paper fields (authors, title, abstract), body text, raw-HTML tables
+//! (plus their parsed form once the ingest pipeline runs) and figure
+//! captions. Ground-truth fields live under `"_truth"` and are never
+//! text-indexed, so experiments can grade results without leaking labels
+//! into the search path.
+
+use crate::tablegen::GeneratedTable;
+use covidkg_json::{obj, Value};
+
+/// A structured side-effect record (re-exported convenience alias).
+pub type SideEffectRecord = crate::tablegen::SideEffectCell;
+
+/// One synthetic publication.
+#[derive(Debug, Clone)]
+pub struct Publication {
+    /// Stable id (`paper-000042`).
+    pub id: String,
+    /// Title.
+    pub title: String,
+    /// Author names.
+    pub authors: Vec<String>,
+    /// Venue string.
+    pub venue: String,
+    /// Publication date `YYYY-MM`.
+    pub date: String,
+    /// Abstract text.
+    pub abstract_text: String,
+    /// Body sections `(heading, text)`.
+    pub sections: Vec<(String, String)>,
+    /// Tables with ground truth.
+    pub tables: Vec<GeneratedTable>,
+    /// Figure captions.
+    pub figure_captions: Vec<String>,
+    /// Ground-truth primary topic id.
+    pub topic_id: usize,
+    /// Ground-truth topic name.
+    pub topic_name: String,
+}
+
+impl Publication {
+    /// The JSON document stored in the `publications` collection.
+    pub fn to_doc(&self) -> Value {
+        obj! {
+            "_id" => self.id.clone(),
+            "title" => self.title.clone(),
+            "authors" => Value::Array(self.authors.iter().map(|a| Value::str(a.clone())).collect()),
+            "venue" => self.venue.clone(),
+            "date" => self.date.clone(),
+            "abstract" => self.abstract_text.clone(),
+            "body" => Value::Array(
+                self.sections
+                    .iter()
+                    .map(|(h, t)| obj! { "heading" => h.clone(), "text" => t.clone() })
+                    .collect()
+            ),
+            "tables" => Value::Array(
+                self.tables
+                    .iter()
+                    .map(|t| obj! {
+                        "caption" => t.caption.clone(),
+                        "html" => t.html.clone(),
+                    })
+                    .collect()
+            ),
+            "figure_captions" => Value::Array(
+                self.figure_captions.iter().map(|c| Value::str(c.clone())).collect()
+            ),
+            "_truth" => obj! {
+                "topic_id" => self.topic_id,
+                "topic" => self.topic_name.clone(),
+            },
+        }
+    }
+
+    /// The text-index field list matching [`Publication::to_doc`]'s shape —
+    /// everything searchable, nothing from `_truth`.
+    pub fn text_fields() -> Vec<String> {
+        [
+            "title",
+            "abstract",
+            "body",
+            "tables",
+            "figure_captions",
+            "authors",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    /// All tokens of the publication (lowercased) — used for vocabulary
+    /// building and Word2Vec sentences.
+    pub fn all_tokens(&self) -> Vec<String> {
+        let mut text = String::new();
+        text.push_str(&self.title);
+        text.push(' ');
+        text.push_str(&self.abstract_text);
+        for (h, t) in &self.sections {
+            text.push(' ');
+            text.push_str(h);
+            text.push(' ');
+            text.push_str(t);
+        }
+        for t in &self.tables {
+            text.push(' ');
+            text.push_str(&t.caption);
+        }
+        for c in &self.figure_captions {
+            text.push(' ');
+            text.push_str(c);
+        }
+        covidkg_text::tokenize_lower(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tablegen::{generate_table, TableTheme};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Publication {
+        let mut rng = SmallRng::seed_from_u64(1);
+        Publication {
+            id: "paper-000001".into(),
+            title: "Mask mandates and transmission".into(),
+            authors: vec!["A. Researcher".into(), "B. Scientist".into()],
+            venue: "Journal of Synthetic Medicine".into(),
+            date: "2021-03".into(),
+            abstract_text: "We study masks.".into(),
+            sections: vec![("Methods".into(), "We measured things.".into())],
+            tables: vec![generate_table(TableTheme::Dosage, false, &mut rng)],
+            figure_captions: vec!["Figure 1: flow diagram".into()],
+            topic_id: 5,
+            topic_name: "Masks".into(),
+        }
+    }
+
+    #[test]
+    fn doc_shape_has_all_sections() {
+        let doc = sample().to_doc();
+        assert_eq!(doc.path("_id").and_then(Value::as_str), Some("paper-000001"));
+        assert!(doc.path("abstract").is_some());
+        assert!(doc.path("body.0.heading").is_some());
+        assert!(doc.path("tables.0.html").unwrap().as_str().unwrap().contains("<table>"));
+        assert_eq!(doc.path("_truth.topic").and_then(Value::as_str), Some("Masks"));
+    }
+
+    #[test]
+    fn text_fields_exclude_truth() {
+        let fields = Publication::text_fields();
+        assert!(fields.contains(&"title".to_string()));
+        assert!(!fields.iter().any(|f| f.contains("_truth")));
+    }
+
+    #[test]
+    fn all_tokens_cover_title_and_body() {
+        let toks = sample().all_tokens();
+        assert!(toks.contains(&"mask".to_string()) || toks.contains(&"masks".to_string()));
+        assert!(toks.contains(&"measured".to_string()));
+        assert!(toks.contains(&"flow".to_string()));
+    }
+}

@@ -1,0 +1,117 @@
+//! Benchmark queries with relevance ground truth (experiment E4).
+//!
+//! Each query targets one topic; a publication is relevant iff its
+//! ground-truth topic matches. This is how the search-quality experiment
+//! scores P@10 / MRR without human judgments.
+
+use crate::publication::Publication;
+use crate::topics::all_topics;
+
+/// A benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Query text as a user would type it.
+    pub text: String,
+    /// Topic id whose publications count as relevant.
+    pub topic_id: usize,
+    /// Whether the query is quoted (exact-match mode, §2.1).
+    pub exact: bool,
+}
+
+impl BenchQuery {
+    /// Ids of the relevant publications within `pubs`.
+    pub fn relevant_ids<'p>(&self, pubs: &'p [Publication]) -> Vec<&'p str> {
+        pubs.iter()
+            .filter(|p| p.topic_id == self.topic_id)
+            .map(|p| p.id.as_str())
+            .collect()
+    }
+}
+
+/// The standard query set: two stemmed-mode queries per topic (one single
+/// term, one multi-term) plus one quoted exact query per topic.
+pub fn benchmark_queries() -> Vec<BenchQuery> {
+    let mut out = Vec::new();
+    for t in all_topics() {
+        out.push(BenchQuery {
+            text: t.terms[0].to_string(),
+            topic_id: t.id,
+            exact: false,
+        });
+        out.push(BenchQuery {
+            text: format!("{} {}", t.terms[1], t.terms[2]),
+            topic_id: t.id,
+            exact: false,
+        });
+        out.push(BenchQuery {
+            text: t.entities[0].to_string(),
+            topic_id: t.id,
+            exact: true,
+        });
+    }
+    out
+}
+
+/// Precision@k for a ranked id list against a relevant set.
+pub fn precision_at_k(ranked: &[&str], relevant: &[&str], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|id| relevant.contains(id))
+        .count();
+    hits as f64 / k.min(ranked.len()).max(1) as f64
+}
+
+/// Mean reciprocal rank of the first relevant result.
+pub fn reciprocal_rank(ranked: &[&str], relevant: &[&str]) -> f64 {
+    ranked
+        .iter()
+        .position(|id| relevant.contains(id))
+        .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusGenerator;
+
+    #[test]
+    fn three_queries_per_topic() {
+        let qs = benchmark_queries();
+        assert_eq!(qs.len(), all_topics().len() * 3);
+        assert!(qs.iter().any(|q| q.exact));
+        assert!(qs.iter().any(|q| !q.exact));
+    }
+
+    #[test]
+    fn relevance_follows_topic_labels() {
+        let pubs = CorpusGenerator::with_size(24, 1).generate();
+        let q = &benchmark_queries()[0]; // topic 0
+        let rel = q.relevant_ids(&pubs);
+        assert_eq!(rel.len(), 2); // 24 pubs over 12 topics round-robin
+        assert!(rel.contains(&"paper-000000"));
+        assert!(rel.contains(&"paper-000012"));
+    }
+
+    #[test]
+    fn precision_at_k_math() {
+        let ranked = ["a", "b", "c", "d"];
+        let relevant = ["b", "d", "z"];
+        assert_eq!(precision_at_k(&ranked, &relevant, 2), 0.5);
+        assert_eq!(precision_at_k(&ranked, &relevant, 4), 0.5);
+        assert_eq!(precision_at_k(&ranked, &relevant, 0), 0.0);
+        // k beyond list length normalizes by list length.
+        assert_eq!(precision_at_k(&ranked[..2], &relevant, 10), 0.5);
+        assert_eq!(precision_at_k(&[], &relevant, 10), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_math() {
+        assert_eq!(reciprocal_rank(&["x", "b"], &["b"]), 0.5);
+        assert_eq!(reciprocal_rank(&["b"], &["b"]), 1.0);
+        assert_eq!(reciprocal_rank(&["x", "y"], &["b"]), 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Themed table generation.
+//!
+//! Tables come out as raw HTML fragments — exactly what the §3.1 parser
+//! ingests from CORD-19 — together with ground truth: which rows are
+//! metadata, the orientation, and (for side-effect tables) the structured
+//! records behind the cells, which the Fig 6 meta-profile experiment
+//! needs.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What a generated table is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableTheme {
+    /// Vaccine side-effect rates by vaccine and dosage (feeds Fig 6).
+    SideEffects,
+    /// Dosage / efficacy trial arms.
+    Dosage,
+    /// Patient demographics.
+    Demographics,
+    /// Symptom prevalence.
+    Symptoms,
+    /// WDC-style generic web table (products), for pre-training.
+    WebGeneric,
+}
+
+/// A structured side-effect observation underlying one table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideEffectCell {
+    /// Vaccine name.
+    pub vaccine: String,
+    /// Dose number (1 or 2).
+    pub dose: u8,
+    /// Side-effect name.
+    pub effect: String,
+    /// Incidence percentage.
+    pub rate: f32,
+}
+
+/// A generated table: HTML plus ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedTable {
+    /// Raw HTML fragment (as CORD-19 would ship it).
+    pub html: String,
+    /// Caption text.
+    pub caption: String,
+    /// The cell grid (pre-HTML), header rows included.
+    pub rows: Vec<Vec<String>>,
+    /// True for metadata rows (ground truth for §3.3/§3.5 training).
+    pub metadata_rows: Vec<bool>,
+    /// True when the metadata runs down the first column instead.
+    pub vertical: bool,
+    /// Theme used.
+    pub theme: TableTheme,
+    /// Structured side-effect records (only for `SideEffects` theme).
+    pub side_effects: Vec<SideEffectCell>,
+}
+
+const VACCINES: &[&str] = &["Pfizer", "Moderna", "AstraZeneca", "Novavax", "Janssen"];
+const EFFECTS: &[&str] = &["Fever", "Fatigue", "Headache", "Myalgia", "Chills", "Rash"];
+const SYMPTOMS: &[&str] = &["Cough", "Fever", "Anosmia", "Dyspnea", "Fatigue", "Myalgia"];
+
+/// Generate a table for the given theme. `vertical` transposes the
+/// orientation so both §3.3 metadata classes occur in the corpus.
+pub fn generate_table(theme: TableTheme, vertical: bool, rng: &mut SmallRng) -> GeneratedTable {
+    generate_table_noisy(theme, vertical, 0.0, rng)
+}
+
+/// Like [`generate_table`] but with CORD-19-style extraction noise:
+///
+/// * some tables gain a "Total" summary row — numerically a data row but
+///   with a header-like textual lead cell — a classic hard case for
+///   metadata classifiers, and
+/// * a fraction `label_noise` of row labels is flipped (real CORD-19
+///   `<th>` markup is unreliable).
+pub fn generate_table_noisy(
+    theme: TableTheme,
+    vertical: bool,
+    label_noise: f64,
+    rng: &mut SmallRng,
+) -> GeneratedTable {
+    let (caption, mut rows, side_effects) = match theme {
+        TableTheme::SideEffects => side_effect_table(rng),
+        TableTheme::Dosage => dosage_table(rng),
+        TableTheme::Demographics => demographics_table(rng),
+        TableTheme::Symptoms => symptoms_table(rng),
+        TableTheme::WebGeneric => web_generic_table(rng),
+    };
+    // Hard case: append a "Total" summary row to some data tables.
+    if label_noise > 0.0 && rng.gen_bool(0.3) && rows[0].len() >= 3 {
+        let mut total = vec!["Total".to_string()];
+        for _ in 1..rows[0].len() {
+            total.push(format!("{}", rng.gen_range(50..5000)));
+        }
+        rows.push(total);
+    }
+    let mut metadata_rows: Vec<bool> = std::iter::once(true)
+        .chain(std::iter::repeat(false))
+        .take(rows.len())
+        .collect();
+    // Extraction noise: flip a fraction of the row labels.
+    if label_noise > 0.0 {
+        for flag in metadata_rows.iter_mut() {
+            if rng.gen_bool(label_noise) {
+                *flag = !*flag;
+            }
+        }
+    }
+    if vertical {
+        rows = transpose(&rows);
+        // After transposing, the header is the first *column*; row-level
+        // metadata labels no longer apply (every row mixes a header cell
+        // with data cells), so rows are labeled non-metadata and the
+        // orientation flag carries the truth.
+        metadata_rows = vec![false; rows.len()];
+        // side_effects records are layout-independent.
+    }
+    let html = render_html(&caption, &rows, &metadata_rows);
+    GeneratedTable {
+        html,
+        caption,
+        rows,
+        metadata_rows,
+        vertical,
+        theme,
+        side_effects,
+    }
+}
+
+fn side_effect_table(rng: &mut SmallRng) -> (String, Vec<Vec<String>>, Vec<SideEffectCell>) {
+    let n_vaccines = rng.gen_range(2..=3);
+    let mut vaccines: Vec<&str> = VACCINES.to_vec();
+    vaccines.shuffle(rng);
+    vaccines.truncate(n_vaccines);
+    let dose = rng.gen_range(1..=2u8);
+    let mut rows = vec![];
+    let header: Vec<String> = std::iter::once("Side effect".to_string())
+        .chain(vaccines.iter().map(|v| format!("{v} dose {dose} (%)")))
+        .collect();
+    rows.push(header);
+    let mut records = Vec::new();
+    let n_effects = rng.gen_range(3..=EFFECTS.len());
+    for effect in &EFFECTS[..n_effects] {
+        let mut row = vec![effect.to_string()];
+        for v in &vaccines {
+            let rate = (rng.gen_range(0.5..45.0f32) * 10.0).round() / 10.0;
+            row.push(format!("{rate}%"));
+            records.push(SideEffectCell {
+                vaccine: v.to_string(),
+                dose,
+                effect: effect.to_string(),
+                rate,
+            });
+        }
+        rows.push(row);
+    }
+    (
+        format!("Table: Reported side-effects after dose {dose}, by vaccine"),
+        rows,
+        records,
+    )
+}
+
+fn dosage_table(rng: &mut SmallRng) -> (String, Vec<Vec<String>>, Vec<SideEffectCell>) {
+    let mut rows = vec![vec![
+        "Arm".to_string(),
+        "Dose".to_string(),
+        "Participants".to_string(),
+        "Efficacy".to_string(),
+    ]];
+    for arm in 0..rng.gen_range(2..=4) {
+        rows.push(vec![
+            format!("Arm {}", arm + 1),
+            format!("{} mg", rng.gen_range(5..100) * 5),
+            format!("{}", rng.gen_range(50..2000)),
+            format!("{}%", rng.gen_range(40..97)),
+        ]);
+    }
+    ("Table: Trial arms and dosing".to_string(), rows, Vec::new())
+}
+
+fn demographics_table(rng: &mut SmallRng) -> (String, Vec<Vec<String>>, Vec<SideEffectCell>) {
+    let mut rows = vec![vec![
+        "Characteristic".to_string(),
+        "Cases".to_string(),
+        "Controls".to_string(),
+        "p-value".to_string(),
+    ]];
+    for chara in ["Age, median", "Female", "Comorbidity", "BMI >30", "Smoker"] {
+        rows.push(vec![
+            chara.to_string(),
+            format!("{}", rng.gen_range(10..90)),
+            format!("{}", rng.gen_range(10..90)),
+            format!("<0.{:02}", rng.gen_range(1..10)),
+        ]);
+    }
+    ("Table: Baseline demographics of the cohort".to_string(), rows, Vec::new())
+}
+
+fn symptoms_table(rng: &mut SmallRng) -> (String, Vec<Vec<String>>, Vec<SideEffectCell>) {
+    let mut rows = vec![vec![
+        "Symptom".to_string(),
+        "Prevalence".to_string(),
+        "Onset (days)".to_string(),
+    ]];
+    let n = rng.gen_range(3..=SYMPTOMS.len());
+    for s in &SYMPTOMS[..n] {
+        rows.push(vec![
+            s.to_string(),
+            format!("{}%", rng.gen_range(5..85)),
+            format!("{}-{}", rng.gen_range(1..4), rng.gen_range(4..14)),
+        ]);
+    }
+    ("Table: Symptom prevalence and onset".to_string(), rows, Vec::new())
+}
+
+fn web_generic_table(rng: &mut SmallRng) -> (String, Vec<Vec<String>>, Vec<SideEffectCell>) {
+    // WDC-flavored product table: exercises the same metadata-vs-data
+    // classification but with a non-medical vocabulary.
+    let mut rows = vec![vec![
+        "Product".to_string(),
+        "Price".to_string(),
+        "Rating".to_string(),
+        "Stock".to_string(),
+    ]];
+    for p in ["Laptop", "Monitor", "Keyboard", "Webcam", "Headset"] {
+        rows.push(vec![
+            p.to_string(),
+            format!("${}", rng.gen_range(20..2000)),
+            format!("{:.1}", rng.gen_range(1.0..5.0f32)),
+            format!("{}", rng.gen_range(0..500)),
+        ]);
+    }
+    ("Product catalog".to_string(), rows, Vec::new())
+}
+
+fn transpose(rows: &[Vec<String>]) -> Vec<Vec<String>> {
+    let width = rows.iter().map(Vec::len).max().unwrap_or(0);
+    (0..width)
+        .map(|c| {
+            rows.iter()
+                .map(|r| r.get(c).cloned().unwrap_or_default())
+                .collect()
+        })
+        .collect()
+}
+
+fn render_html(caption: &str, rows: &[Vec<String>], metadata_rows: &[bool]) -> String {
+    let mut html = String::from("<table>");
+    html.push_str(&format!("<caption>{}</caption>", escape(caption)));
+    for (i, row) in rows.iter().enumerate() {
+        html.push_str("<tr>");
+        let tag = if metadata_rows.get(i).copied().unwrap_or(false) {
+            "th"
+        } else {
+            "td"
+        };
+        for cell in row {
+            html.push_str(&format!("<{tag}>{}</{tag}>", escape(cell)));
+        }
+        html.push_str("</tr>");
+    }
+    html.push_str("</table>");
+    html
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn horizontal_tables_have_one_header_row() {
+        let t = generate_table(TableTheme::Dosage, false, &mut rng());
+        assert!(t.metadata_rows[0]);
+        assert!(t.metadata_rows[1..].iter().all(|&m| !m));
+        assert!(!t.vertical);
+        assert_eq!(t.rows[0][0], "Arm");
+    }
+
+    #[test]
+    fn vertical_tables_are_transposed() {
+        let h = generate_table(TableTheme::Symptoms, false, &mut rng());
+        let v = generate_table(TableTheme::Symptoms, true, &mut rng());
+        assert!(v.vertical);
+        // First row of the vertical table holds the old first column.
+        assert_eq!(v.rows[0][0], "Symptom");
+        assert!(v.rows[0].len() > 1);
+        assert_eq!(h.rows.len(), v.rows[0].len());
+    }
+
+    #[test]
+    fn side_effect_records_align_with_cells() {
+        let t = generate_table(TableTheme::SideEffects, false, &mut rng());
+        assert!(!t.side_effects.is_empty());
+        let n_vaccines = t.rows[0].len() - 1;
+        let n_effects = t.rows.len() - 1;
+        assert_eq!(t.side_effects.len(), n_vaccines * n_effects);
+        // Every record's rate appears in the grid.
+        for rec in &t.side_effects {
+            let cell = format!("{}%", rec.rate);
+            assert!(
+                t.rows.iter().any(|r| r.contains(&cell)),
+                "missing {cell} for {rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn html_parses_back_with_the_tables_crate() {
+        for theme in [
+            TableTheme::SideEffects,
+            TableTheme::Dosage,
+            TableTheme::Demographics,
+            TableTheme::Symptoms,
+            TableTheme::WebGeneric,
+        ] {
+            let t = generate_table(theme, false, &mut rng());
+            let parsed = covidkg_tables::parse_tables(&t.html).unwrap();
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(parsed[0].rows, t.rows, "{theme:?} round trip");
+            assert_eq!(parsed[0].caption, t.caption);
+            // th-rows in the HTML mark the metadata rows.
+            let parsed_headers: Vec<bool> = (0..t.rows.len())
+                .map(|i| parsed[0].header_rows.contains(&i))
+                .collect();
+            assert_eq!(parsed_headers, t.metadata_rows);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_table(TableTheme::SideEffects, false, &mut SmallRng::seed_from_u64(5));
+        let b = generate_table(TableTheme::SideEffects, false, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.html, b.html);
+    }
+
+    #[test]
+    fn escaping_handles_special_chars() {
+        assert_eq!(escape("a<b & c>d"), "a&lt;b &amp; c&gt;d");
+    }
+}

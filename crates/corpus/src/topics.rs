@@ -1,0 +1,209 @@
+//! The synthetic corpus's topic model.
+//!
+//! Each topic carries a term bank (words strongly associated with the
+//! topic) and named entities. Publications are generated from one primary
+//! topic plus background vocabulary, giving the clustering step (№5 in
+//! Fig 1) and the search-relevance experiments a recoverable signal.
+
+/// One COVID-19 topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topic {
+    /// Stable topic id (index into [`all_topics`]).
+    pub id: usize,
+    /// Human-readable name (also the KG node it feeds).
+    pub name: &'static str,
+    /// Terms characteristic of this topic.
+    pub terms: &'static [&'static str],
+    /// Named entities (vaccines, variants, drugs …).
+    pub entities: &'static [&'static str],
+}
+
+/// The full topic inventory.
+pub fn all_topics() -> &'static [Topic] {
+    TOPICS
+}
+
+/// Look up a topic by name.
+pub fn topic_by_name(name: &str) -> Option<&'static Topic> {
+    TOPICS.iter().find(|t| t.name == name)
+}
+
+static TOPICS: &[Topic] = &[
+    Topic {
+        id: 0,
+        name: "Vaccines",
+        terms: &[
+            "vaccine", "vaccination", "dose", "booster", "efficacy", "immunization",
+            "antibody", "titer", "mrna", "adjuvant", "seroconversion", "immunogenicity",
+            "trial", "placebo", "cohort",
+        ],
+        entities: &["pfizer", "moderna", "astrazeneca", "janssen", "novavax", "sinovac"],
+    },
+    Topic {
+        id: 1,
+        name: "Side-effects",
+        terms: &[
+            "side-effect", "adverse", "reaction", "fever", "fatigue", "headache",
+            "myalgia", "chills", "soreness", "anaphylaxis", "myocarditis", "rash",
+            "swelling", "nausea", "reactogenicity",
+        ],
+        entities: &["fever", "fatigue", "headache", "myalgia", "rash", "chills"],
+    },
+    Topic {
+        id: 2,
+        name: "Variants",
+        terms: &[
+            "variant", "strain", "mutation", "lineage", "spike", "genome",
+            "sequencing", "phylogenetic", "substitution", "emergence", "escape",
+            "transmissibility", "clade", "recombinant", "surveillance",
+        ],
+        entities: &["alpha", "beta", "gamma", "delta", "omicron", "lambda"],
+    },
+    Topic {
+        id: 3,
+        name: "Symptoms",
+        terms: &[
+            "symptom", "cough", "fever", "anosmia", "dyspnea", "fatigue",
+            "presentation", "onset", "asymptomatic", "severity", "prognosis",
+            "myalgia", "congestion", "ageusia", "malaise",
+        ],
+        entities: &["cough", "anosmia", "dyspnea", "ageusia", "pneumonia", "hypoxia"],
+    },
+    Topic {
+        id: 4,
+        name: "Transmission",
+        terms: &[
+            "transmission", "aerosol", "droplet", "airborne", "exposure", "contact",
+            "ventilation", "superspreading", "quarantine", "index", "secondary",
+            "household", "fomite", "distancing", "outbreak",
+        ],
+        entities: &["aerosol", "droplet", "fomite", "household", "workplace", "school"],
+    },
+    Topic {
+        id: 5,
+        name: "Masks",
+        terms: &[
+            "mask", "respirator", "ppe", "filtration", "n95", "surgical",
+            "cloth", "fit", "mandate", "adherence", "compliance", "protection",
+            "shield", "barrier", "efficacy",
+        ],
+        entities: &["n95", "kn95", "surgical", "cloth", "respirator", "faceshield"],
+    },
+    Topic {
+        id: 6,
+        name: "Treatments",
+        terms: &[
+            "treatment", "antiviral", "therapy", "remdesivir", "dexamethasone",
+            "monoclonal", "placebo", "randomized", "mortality", "recovery",
+            "administration", "dosage", "regimen", "efficacy", "outcome",
+        ],
+        entities: &["remdesivir", "dexamethasone", "tocilizumab", "paxlovid", "molnupiravir", "baricitinib"],
+    },
+    Topic {
+        id: 7,
+        name: "Ventilators",
+        terms: &[
+            "ventilator", "icu", "intubation", "oxygen", "respiratory", "saturation",
+            "mechanical", "capacity", "admission", "critical", "prone", "weaning",
+            "extubation", "hypoxemia", "support",
+        ],
+        entities: &["icu", "intubation", "oxygen", "cpap", "ecmo", "hfnc"],
+    },
+    Topic {
+        id: 8,
+        name: "Epidemiology",
+        terms: &[
+            "incidence", "prevalence", "reproduction", "surveillance", "wave",
+            "lockdown", "mobility", "seroprevalence", "modeling", "forecast",
+            "demographic", "mortality", "hospitalization", "peak", "decline",
+        ],
+        entities: &["r0", "seroprevalence", "lockdown", "wave", "cluster", "hotspot"],
+    },
+    Topic {
+        id: 9,
+        name: "Pediatrics",
+        terms: &[
+            "children", "pediatric", "school", "misc", "infant", "adolescent",
+            "daycare", "parent", "milder", "inflammatory", "closure", "classroom",
+            "teacher", "household", "immunity",
+        ],
+        entities: &["children", "infants", "adolescents", "schools", "daycare", "misc"],
+    },
+    Topic {
+        id: 10,
+        name: "Diagnostics",
+        terms: &[
+            "testing", "pcr", "antigen", "swab", "sensitivity", "specificity",
+            "assay", "saliva", "rapid", "detection", "threshold", "viral",
+            "load", "sample", "screening",
+        ],
+        entities: &["pcr", "antigen", "swab", "saliva", "elisa", "crispr"],
+    },
+    Topic {
+        id: 11,
+        name: "Immunology",
+        terms: &[
+            "immunity", "antibody", "tcell", "neutralizing", "memory", "waning",
+            "reinfection", "innate", "adaptive", "cytokine", "inflammation",
+            "response", "durability", "protection", "cellular",
+        ],
+        entities: &["igg", "igm", "tcell", "bcell", "interferon", "cytokine"],
+    },
+];
+
+/// Background vocabulary shared across all topics (academic filler).
+pub static BACKGROUND: &[&str] = &[
+    "study", "results", "analysis", "patients", "data", "clinical", "findings",
+    "methods", "participants", "observed", "significant", "associated", "compared",
+    "reported", "conducted", "measured", "period", "baseline", "followup", "evidence",
+    "hospital", "population", "sample", "confidence", "interval", "risk", "ratio",
+    "model", "adjusted", "median", "group", "control", "primary", "secondary",
+    "outcome", "estimate", "increase", "decrease", "effect", "research",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_ids_are_positional() {
+        for (i, t) in all_topics().iter().enumerate() {
+            assert_eq!(t.id, i, "topic {} id mismatch", t.name);
+        }
+    }
+
+    #[test]
+    fn topics_have_substance() {
+        assert!(all_topics().len() >= 10);
+        for t in all_topics() {
+            assert!(t.terms.len() >= 10, "{} too few terms", t.name);
+            assert!(t.entities.len() >= 4, "{} too few entities", t.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(topic_by_name("Vaccines").unwrap().id, 0);
+        assert!(topic_by_name("Astrology").is_none());
+    }
+
+    #[test]
+    fn topic_term_banks_are_mostly_distinct() {
+        // Topical signal requires limited overlap between term banks.
+        let topics = all_topics();
+        for a in topics {
+            for b in topics {
+                if a.id >= b.id {
+                    continue;
+                }
+                let overlap = a.terms.iter().filter(|t| b.terms.contains(t)).count();
+                assert!(
+                    overlap <= 3,
+                    "{} and {} share {overlap} terms",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The JSON value model.
+//!
+//! Objects keep insertion order (a `Vec` of pairs) because the COVIDKG
+//! documents are large and mostly read sequentially during aggregation;
+//! lookups by key over a handful of fields are faster on a small vector
+//! than on a hash map, and order preservation keeps serialized documents
+//! stable, which the WAL/snapshot round-trip tests rely on.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A JSON number, kept as either an integer or a float so that document
+/// sorting behaves like BSON: `2` and `2.0` compare equal, but `2` survives
+/// round-trips without becoming `2.0`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An integer that fits in `i64`.
+    Int(i64),
+    /// A double-precision float (also used for integers beyond `i64`).
+    Float(f64),
+}
+
+impl Number {
+    /// Value as `f64`, lossy for very large integers.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// Value as `i64` if it is an integer (or an integral float).
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i64),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Total order over numbers; NaN sorts before every other number so the
+    /// ordering stays total.
+    pub fn cmp_total(self, other: Self) -> Ordering {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a.cmp(&b),
+            _ => {
+                let (a, b) = (self.as_f64(), other.as_f64());
+                match (a.is_nan(), b.is_nan()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Less,
+                    (false, true) => Ordering::Greater,
+                    (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(*other) == Ordering::Equal
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Numeric value.
+    Num(Number),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse a JSON text into a value. Shorthand for [`crate::parse`].
+    pub fn parse(text: &str) -> Result<Value, crate::ParseError> {
+        crate::parse(text)
+    }
+
+    /// An integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Num(Number::Int(i))
+    }
+
+    /// A float value.
+    pub fn float(f: f64) -> Value {
+        Value::Num(Number::Float(f))
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `i64` (integral floats coerce).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a mutable array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as object entries.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow as mutable object entries.
+    pub fn as_object_mut(&mut self) -> Option<&mut Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Look up a direct object member.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Mutable direct object member lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut()
+            .and_then(|o| o.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Insert or replace a direct object member. Panics if `self` is not an
+    /// object (construction-time misuse, not a data error).
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let key = key.into();
+        let obj = self
+            .as_object_mut()
+            .expect("Value::insert called on a non-object");
+        if let Some(slot) = obj.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value.into();
+        } else {
+            obj.push((key, value.into()));
+        }
+    }
+
+    /// Remove a direct object member, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let obj = self.as_object_mut()?;
+        let idx = obj.iter().position(|(k, _)| k == key)?;
+        Some(obj.remove(idx).1)
+    }
+
+    /// A rough in-memory size estimate in bytes, used by the store's
+    /// storage-statistics report (the paper quotes 965 GB / 5 TB figures;
+    /// we reproduce the same report shape at laptop scale).
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) => 8,
+            Value::Num(_) => 16,
+            Value::Str(s) => 24 + s.len(),
+            Value::Array(a) => 24 + a.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Object(o) => {
+                24 + o
+                    .iter()
+                    .map(|(k, v)| 24 + k.len() + v.approx_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Total order across all JSON values, modeled on BSON's cross-type
+    /// ordering: Null < numbers < strings < objects < arrays < booleans.
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Num(_) => 1,
+                Value::Str(_) => 2,
+                Value::Object(_) => 3,
+                Value::Array(_) => 4,
+                Value::Bool(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => a.cmp_total(*b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Array(a), Value::Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.cmp_total(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Object(a), Value::Object(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let ord = ka.cmp(kb).then_with(|| va.cmp_total(vb));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::int(i64::from(i))
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::int(i)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::int(i64::from(i))
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::int(i as i64)
+    }
+}
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::float(f64::from(f))
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_equality_crosses_representations() {
+        assert_eq!(Value::int(2), Value::float(2.0));
+        assert_ne!(Value::int(2), Value::float(2.5));
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let mut v = crate::obj! { "a" => 1 };
+        v.insert("a", 2);
+        v.insert("b", 3);
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn remove_returns_member() {
+        let mut v = crate::obj! { "a" => 1, "b" => 2 };
+        assert_eq!(v.remove("a"), Some(Value::int(1)));
+        assert_eq!(v.remove("a"), None);
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cross_type_ordering_is_total_and_stable() {
+        let vals = [
+            Value::Null,
+            Value::int(1),
+            Value::str("a"),
+            crate::obj! { "k" => 1 },
+            crate::arr![1],
+            Value::Bool(false),
+        ];
+        for w in vals.windows(2) {
+            assert_eq!(w[0].cmp_total(&w[1]), Ordering::Less, "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn nan_sorts_first_among_numbers() {
+        let nan = Value::float(f64::NAN);
+        assert_eq!(nan.cmp_total(&Value::int(0)), Ordering::Less);
+        assert_eq!(nan.cmp_total(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn array_ordering_is_lexicographic() {
+        assert_eq!(
+            crate::arr![1, 2].cmp_total(&crate::arr![1, 3]),
+            Ordering::Less
+        );
+        assert_eq!(crate::arr![1].cmp_total(&crate::arr![1, 0]), Ordering::Less);
+    }
+
+    #[test]
+    fn approx_size_grows_with_content() {
+        let small = crate::obj! { "a" => 1 };
+        let big = crate::obj! { "a" => "a much longer string value here" };
+        assert!(big.approx_size() > small.approx_size());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(vec![1, 2]), crate::arr![1, 2]);
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+        assert_eq!(Value::from(Some("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn integral_float_coerces_to_i64() {
+        assert_eq!(Value::float(7.0).as_i64(), Some(7));
+        assert_eq!(Value::float(7.5).as_i64(), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests: every generated value round-trips through the
+//! compact and pretty writers, and cmp_total is a total order.
+
+use covidkg_json::{parse, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON values of bounded depth/size.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::int),
+        // Finite floats only: JSON has no NaN/Inf representation.
+        (-1.0e12f64..1.0e12).prop_map(Value::float),
+        "[ -~]{0,12}".prop_map(Value::str),
+        // Exercise escapes and non-ASCII.
+        prop_oneof![
+            Just(Value::str("quote\"back\\slash")),
+            Just(Value::str("tab\tnewline\n")),
+            Just(Value::str("naïve 漢字 😀")),
+        ],
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            // BTreeMap keys are unique; duplicate keys would make
+            // flatten/path disagree (get returns the first member).
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6)
+                .prop_map(|pairs| Value::Object(pairs.into_iter().collect())),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(v in value_strategy()) {
+        let text = v.to_json();
+        let back = parse(&text).expect("writer output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trip(v in value_strategy()) {
+        let back = parse(&v.to_json_pretty()).expect("pretty output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn cmp_total_is_reflexive_and_antisymmetric(a in value_strategy(), b in value_strategy()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp_total(&a), Ordering::Equal);
+        let ab = a.cmp_total(&b);
+        let ba = b.cmp_total(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn cmp_total_is_transitive(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        let mut vals = [a, b, c];
+        vals.sort_by(|x, y| x.cmp_total(y));
+        // After sorting, pairwise order must hold.
+        prop_assert_ne!(vals[0].cmp_total(&vals[1]), Ordering::Greater);
+        prop_assert_ne!(vals[1].cmp_total(&vals[2]), Ordering::Greater);
+        prop_assert_ne!(vals[0].cmp_total(&vals[2]), Ordering::Greater);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(text in "\\PC{0,64}") {
+        let _ = parse(&text);
+    }
+
+    #[test]
+    fn flatten_paths_resolve_back(v in value_strategy()) {
+        for (path, leaf) in v.flatten() {
+            prop_assert_eq!(v.path(&path), Some(leaf));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Subtree extraction from classified tables (№6 in Fig 1).
+//!
+//! Once the §3 classifier has separated metadata from data rows (and the
+//! orientation detector has picked the metadata axis), each table yields
+//! a candidate subtree: the attribute heading becomes the subtree root
+//! ("Vaccine"), the entity cells become its leaves ("NovoVac"). Caption
+//! qualifiers ("… in children …") introduce an intermediate layer,
+//! producing the multi-layer subtrees of the paper's
+//! `Side-effects → Children side-effects → Rash` example.
+
+use covidkg_text::tokenize_lower;
+
+/// A candidate subtree extracted from one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedTree {
+    /// Root label (the attribute heading, e.g. `Vaccine`).
+    pub root: String,
+    /// Intermediate category labels between root and leaves (often empty;
+    /// populated by caption qualifiers like `Children side-effects`).
+    pub layers: Vec<String>,
+    /// Leaf labels (entity cells).
+    pub leaves: Vec<String>,
+    /// Publication the table came from (provenance).
+    pub paper_id: String,
+}
+
+impl ExtractedTree {
+    /// Total depth including root and leaf levels.
+    pub fn depth(&self) -> usize {
+        2 + self.layers.len()
+    }
+
+    /// True when the tree has intermediate layers (requires expert review
+    /// per §4.2).
+    pub fn is_multi_layer(&self) -> bool {
+        !self.layers.is_empty()
+    }
+}
+
+/// Caption qualifiers that create an intermediate layer. The label is the
+/// qualified category that must stay separate from the general one.
+const QUALIFIERS: &[(&str, &str)] = &[
+    ("children", "Children side-effects"),
+    ("pediatric", "Children side-effects"),
+    ("infants", "Children side-effects"),
+    ("elderly", "Elderly side-effects"),
+    ("pregnant", "Pregnancy side-effects"),
+];
+
+/// Extract subtrees from a classified table.
+///
+/// * `rows` — the cell grid;
+/// * `metadata_rows` — the classifier's per-row verdicts;
+/// * `vertical` — orientation verdict (§3.3): when true, the metadata runs
+///   down the first column;
+/// * `caption` — table caption (qualifier source);
+/// * `paper_id` — provenance.
+///
+/// Returns an empty vector when the table has no usable structure (no
+/// metadata, a single row, empty cells).
+pub fn extract_subtrees(
+    rows: &[Vec<String>],
+    metadata_rows: &[bool],
+    vertical: bool,
+    caption: &str,
+    paper_id: &str,
+) -> Vec<ExtractedTree> {
+    if rows.len() < 2 {
+        return Vec::new();
+    }
+    let (root, leaves) = if vertical {
+        // Metadata is the first column; the first row holds the attribute
+        // name followed by entity labels.
+        let first = &rows[0];
+        if first.len() < 2 {
+            return Vec::new();
+        }
+        let root = first[0].clone();
+        let leaves: Vec<String> = first[1..]
+            .iter()
+            .filter(|c| !c.trim().is_empty())
+            .cloned()
+            .collect();
+        (root, leaves)
+    } else {
+        // Metadata rows are horizontal; attribute of the first column is
+        // the heading cell of the first metadata row, leaves are the first
+        // cells of the data rows.
+        let header_idx = metadata_rows.iter().position(|&m| m);
+        let Some(header_idx) = header_idx else {
+            return Vec::new();
+        };
+        let Some(root_cell) = rows[header_idx].first() else {
+            return Vec::new();
+        };
+        let leaves: Vec<String> = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !metadata_rows.get(*i).copied().unwrap_or(false))
+            .filter_map(|(_, r)| r.first())
+            .filter(|c| !c.trim().is_empty())
+            .cloned()
+            .collect();
+        (root_cell.clone(), leaves)
+    };
+    if root.trim().is_empty() || leaves.is_empty() {
+        return Vec::new();
+    }
+    // Caption qualifiers introduce an intermediate layer.
+    let caption_tokens = tokenize_lower(caption);
+    let layers: Vec<String> = QUALIFIERS
+        .iter()
+        .filter(|(q, _)| caption_tokens.iter().any(|t| t == q))
+        .map(|(_, label)| label.to_string())
+        .take(1)
+        .collect();
+
+    vec![ExtractedTree {
+        root,
+        layers,
+        leaves,
+        paper_id: paper_id.to_string(),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(data: &[&[&str]]) -> Vec<Vec<String>> {
+        data.iter()
+            .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect()
+    }
+
+    #[test]
+    fn horizontal_extraction() {
+        let table = rows(&[
+            &["Vaccine", "Doses", "Efficacy"],
+            &["Pfizer", "2", "95%"],
+            &["NovoVac", "1", "89%"],
+        ]);
+        let trees = extract_subtrees(&table, &[true, false, false], false, "Table 2: vaccines", "p1");
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert_eq!(t.root, "Vaccine");
+        assert_eq!(t.leaves, ["Pfizer", "NovoVac"]);
+        assert!(t.layers.is_empty());
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.paper_id, "p1");
+    }
+
+    #[test]
+    fn vertical_extraction() {
+        let table = rows(&[
+            &["Vaccine", "Pfizer", "Moderna"],
+            &["Doses", "2", "2"],
+        ]);
+        let trees = extract_subtrees(&table, &[false, false], true, "", "p2");
+        assert_eq!(trees[0].root, "Vaccine");
+        assert_eq!(trees[0].leaves, ["Pfizer", "Moderna"]);
+    }
+
+    #[test]
+    fn caption_qualifier_adds_layer() {
+        let table = rows(&[
+            &["Side effect", "Rate"],
+            &["Rash", "4%"],
+            &["Fever", "12%"],
+        ]);
+        let trees = extract_subtrees(
+            &table,
+            &[true, false, false],
+            false,
+            "Table 3: side-effects reported in children after vaccination",
+            "p3",
+        );
+        let t = &trees[0];
+        assert_eq!(t.layers, ["Children side-effects"]);
+        assert!(t.is_multi_layer());
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.leaves, ["Rash", "Fever"]);
+    }
+
+    #[test]
+    fn degenerate_tables_yield_nothing() {
+        assert!(extract_subtrees(&rows(&[&["only"]]), &[true], false, "", "p").is_empty());
+        assert!(extract_subtrees(&[], &[], false, "", "p").is_empty());
+        // No metadata rows detected.
+        let table = rows(&[&["a", "b"], &["c", "d"]]);
+        assert!(extract_subtrees(&table, &[false, false], false, "", "p").is_empty());
+        // Vertical with a single column.
+        let table = rows(&[&["a"], &["b"]]);
+        assert!(extract_subtrees(&table, &[false, false], true, "", "p").is_empty());
+    }
+
+    #[test]
+    fn empty_cells_are_skipped() {
+        let table = rows(&[
+            &["Symptom", "n"],
+            &["", "5"],
+            &["Cough", "10"],
+        ]);
+        let trees = extract_subtrees(&table, &[true, false, false], false, "", "p");
+        assert_eq!(trees[0].leaves, ["Cough"]);
+    }
+
+    #[test]
+    fn only_first_qualifier_applies() {
+        let table = rows(&[&["Side effect", "x"], &["Rash", "1"]]);
+        let trees = extract_subtrees(
+            &table,
+            &[true, false],
+            false,
+            "children and pregnant cohorts",
+            "p",
+        );
+        assert_eq!(trees[0].layers.len(), 1);
+    }
+}

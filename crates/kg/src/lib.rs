@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # covidkg-kg
+//!
+//! The COVIDKG knowledge graph (§4): an interactive hierarchical graph of
+//! COVID-19 medical knowledge with provenance back to publications.
+//!
+//! * [`graph`] — the hierarchical multi-parent node structure, JSON
+//!   persistence, and search with path highlighting ("the front-end …
+//!   also highlights the path to the matching nodes", §4.2);
+//! * [`seed`] — the medical-expert initial layout (№1 in Fig 1: "an
+//!   initial, small (10-20 nodes) structural layout");
+//! * [`extract`] — turning classified tables into candidate subtrees
+//!   (№6 in Fig 1: "newly discovered vaccines, strains, side-effects
+//!   extracted … later fused with the main KG");
+//! * [`fusion`] — the §4.2 fusion algorithm: normalized NLP term matching
+//!   amended by embedding-driven matching for unseen terms, multi-layer
+//!   subtrees routed to a human-expert review queue (№14), and a
+//!   correction memory that makes fusion "minimally supervised" over
+//!   time;
+//! * [`profile`] — multi-layered meta-profiles (Fig 6): side-effect
+//!   records grouped by vaccine, dosage and paper.
+
+pub mod extract;
+pub mod fusion;
+pub mod graph;
+pub mod profile;
+pub mod seed;
+
+pub use extract::{extract_subtrees, ExtractedTree};
+pub use fusion::{ExpertOracle, FusionConfig, FusionEngine, FusionOutcome, FusionStats, ScriptedExpert};
+pub use graph::{KnowledgeGraph, NodeId, NodeKind, SearchHit};
+pub use profile::{build_meta_profiles, MetaProfile};
+pub use seed::seed_graph;

@@ -1,0 +1,276 @@
+//! Multi-layered meta-profiles (Fig 6, and [40] in the references).
+//!
+//! "Figure 6 displays a multi-layered 3D profile for COVID-19 Vaccine
+//! Side-effects composed from three different COVID-19 papers. This 3D
+//! visualization summarizes information from 9 different sources in one
+//! place…" A [`MetaProfile`] groups extracted side-effect observations by
+//! vaccine → dosage → paper, exactly the three grouping axes of the
+//! figure, and reports the source-compression factor the paper touts.
+
+use std::collections::BTreeMap;
+
+/// One observation feeding a profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Vaccine name.
+    pub vaccine: String,
+    /// Dose number.
+    pub dose: u8,
+    /// Side-effect name.
+    pub effect: String,
+    /// Incidence percentage.
+    pub rate: f32,
+    /// Source publication id.
+    pub paper_id: String,
+}
+
+/// Side-effect rates for one (vaccine, dose) layer, per effect and paper.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileLayer {
+    /// effect → list of (paper id, rate).
+    pub effects: BTreeMap<String, Vec<(String, f32)>>,
+}
+
+impl ProfileLayer {
+    /// Mean rate for one effect across papers.
+    pub fn mean_rate(&self, effect: &str) -> Option<f32> {
+        let obs = self.effects.get(effect)?;
+        if obs.is_empty() {
+            return None;
+        }
+        Some(obs.iter().map(|(_, r)| r).sum::<f32>() / obs.len() as f32)
+    }
+}
+
+/// A multi-layered meta-profile for one vaccine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetaProfile {
+    /// Vaccine name.
+    pub vaccine: String,
+    /// dose → layer.
+    pub doses: BTreeMap<u8, ProfileLayer>,
+    /// Distinct source papers.
+    pub sources: Vec<String>,
+}
+
+impl MetaProfile {
+    /// Number of distinct sources summarized.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Total observations folded in.
+    pub fn observation_count(&self) -> usize {
+        self.doses
+            .values()
+            .map(|l| l.effects.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Render the Fig 6 panel as a layered chart: one row per side-effect,
+    /// one column block per dose, bar length ∝ mean reported rate — the
+    /// terminal stand-in for the paper's 3D visualization.
+    pub fn render_chart(&self) -> String {
+        use std::fmt::Write as _;
+        const BAR: usize = 24;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} — side-effect rates by dose ({} papers)",
+            self.vaccine,
+            self.source_count()
+        );
+        // Stable union of effects across doses.
+        let mut effects: Vec<&String> = self
+            .doses
+            .values()
+            .flat_map(|l| l.effects.keys())
+            .collect();
+        effects.sort();
+        effects.dedup();
+        let max_rate = self
+            .doses
+            .values()
+            .flat_map(|l| l.effects.keys().map(|e| l.mean_rate(e).unwrap_or(0.0)))
+            .fold(1.0f32, f32::max);
+        for effect in effects {
+            let _ = write!(out, "  {effect:<12}");
+            for (dose, layer) in &self.doses {
+                match layer.mean_rate(effect) {
+                    Some(rate) => {
+                        let filled =
+                            ((rate / max_rate) * BAR as f32).round().clamp(1.0, BAR as f32) as usize;
+                        let _ = write!(
+                            out,
+                            " d{dose} {:<BAR$} {rate:>5.1}%",
+                            "█".repeat(filled)
+                        );
+                    }
+                    None => {
+                        let _ = write!(out, " d{dose} {:<BAR$}      -", "");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the textual form of the Fig 6 panel.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} — side-effect meta-profile ({} observations from {} papers)",
+            self.vaccine,
+            self.observation_count(),
+            self.source_count()
+        );
+        for (dose, layer) in &self.doses {
+            let _ = writeln!(out, "  dose {dose}:");
+            for (effect, obs) in &layer.effects {
+                let mean = layer.mean_rate(effect).unwrap_or(0.0);
+                let papers: Vec<&str> = obs.iter().map(|(p, _)| p.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "    {effect:<12} mean {mean:>5.1}%  [{}]",
+                    papers.join(", ")
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Group observations into per-vaccine meta-profiles.
+pub fn build_meta_profiles(observations: &[Observation]) -> Vec<MetaProfile> {
+    let mut by_vaccine: BTreeMap<String, MetaProfile> = BTreeMap::new();
+    for obs in observations {
+        let profile = by_vaccine
+            .entry(obs.vaccine.clone())
+            .or_insert_with(|| MetaProfile {
+                vaccine: obs.vaccine.clone(),
+                ..MetaProfile::default()
+            });
+        profile
+            .doses
+            .entry(obs.dose)
+            .or_default()
+            .effects
+            .entry(obs.effect.clone())
+            .or_default()
+            .push((obs.paper_id.clone(), obs.rate));
+        if !profile.sources.contains(&obs.paper_id) {
+            profile.sources.push(obs.paper_id.clone());
+        }
+    }
+    by_vaccine.into_values().collect()
+}
+
+/// The headline number of Fig 6: how many sources a reader would have had
+/// to consult, now summarized in `profiles.len()` profiles.
+pub fn compression_factor(profiles: &[MetaProfile]) -> f64 {
+    if profiles.is_empty() {
+        return 0.0;
+    }
+    let sources: usize = profiles.iter().map(MetaProfile::source_count).sum();
+    sources as f64 / profiles.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(vaccine: &str, dose: u8, effect: &str, rate: f32, paper: &str) -> Observation {
+        Observation {
+            vaccine: vaccine.into(),
+            dose,
+            effect: effect.into(),
+            rate,
+            paper_id: paper.into(),
+        }
+    }
+
+    fn fig6_like() -> Vec<Observation> {
+        // Three papers reporting on two vaccines, mirroring Fig 6's
+        // "three different COVID-19 papers … 9 different sources" shape.
+        vec![
+            obs("Pfizer", 1, "Fever", 12.0, "p1"),
+            obs("Pfizer", 1, "Fatigue", 30.0, "p1"),
+            obs("Pfizer", 2, "Fever", 22.0, "p2"),
+            obs("Pfizer", 1, "Fever", 14.0, "p3"),
+            obs("Moderna", 1, "Fever", 15.0, "p2"),
+            obs("Moderna", 2, "Chills", 25.0, "p3"),
+        ]
+    }
+
+    #[test]
+    fn groups_by_vaccine_dose_effect_paper() {
+        let profiles = build_meta_profiles(&fig6_like());
+        assert_eq!(profiles.len(), 2);
+        let pfizer = profiles.iter().find(|p| p.vaccine == "Pfizer").unwrap();
+        assert_eq!(pfizer.source_count(), 3);
+        assert_eq!(pfizer.observation_count(), 4);
+        let dose1 = &pfizer.doses[&1];
+        assert_eq!(dose1.effects["Fever"].len(), 2);
+        // Mean over p1 (12) and p3 (14).
+        assert!((dose1.mean_rate("Fever").unwrap() - 13.0).abs() < 1e-6);
+        assert_eq!(dose1.mean_rate("Nonexistent"), None);
+    }
+
+    #[test]
+    fn compression_factor_counts_sources_per_profile() {
+        let profiles = build_meta_profiles(&fig6_like());
+        // Pfizer: 3 sources, Moderna: 2 → 5 sources in 2 profiles.
+        assert!((compression_factor(&profiles) - 2.5).abs() < 1e-9);
+        assert_eq!(compression_factor(&[]), 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_axes() {
+        let profiles = build_meta_profiles(&fig6_like());
+        let text = profiles
+            .iter()
+            .map(MetaProfile::render)
+            .collect::<String>();
+        assert!(text.contains("Pfizer"));
+        assert!(text.contains("dose 1"));
+        assert!(text.contains("dose 2"));
+        assert!(text.contains("Fever"));
+        assert!(text.contains("p3"));
+    }
+
+    #[test]
+    fn chart_renders_bars_per_dose() {
+        let profiles = build_meta_profiles(&fig6_like());
+        let pfizer = profiles.iter().find(|p| p.vaccine == "Pfizer").unwrap();
+        let chart = pfizer.render_chart();
+        assert!(chart.contains("Pfizer"), "{chart}");
+        assert!(chart.contains("█"), "{chart}");
+        assert!(chart.contains("d1"), "{chart}");
+        assert!(chart.contains("d2"), "{chart}");
+        // Fatigue appears only at dose 1; dose 2 shows the empty marker.
+        let fatigue_line = chart.lines().find(|l| l.contains("Fatigue")).unwrap();
+        assert!(fatigue_line.contains('-'), "{fatigue_line}");
+        // The largest rate fills the longest bar.
+        let fever_line = chart.lines().find(|l| l.contains("Fatigue")).unwrap();
+        assert!(fever_line.contains("30.0%"));
+    }
+
+    #[test]
+    fn empty_input_yields_no_profiles() {
+        assert!(build_meta_profiles(&[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let a = build_meta_profiles(&fig6_like());
+        let mut rev = fig6_like();
+        rev.reverse();
+        let b = build_meta_profiles(&rev);
+        let names_a: Vec<&str> = a.iter().map(|p| p.vaccine.as_str()).collect();
+        let names_b: Vec<&str> = b.iter().map(|p| p.vaccine.as_str()).collect();
+        assert_eq!(names_a, names_b);
+    }
+}

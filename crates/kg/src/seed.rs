@@ -1,0 +1,100 @@
+//! The expert-seeded initial layout (№1 in Fig 1).
+//!
+//! "A Medical Engineering professional … creates an initial, small (10-20
+//! nodes) structural layout that will initialize the base of our
+//! Knowledge Graph" (§2), with "the general characteristics of COVID-19
+//! as a virus … extracted from older, vetted ontologies about viral
+//! infections, e.g. symptoms, ways of transmission" (§4.1). This module
+//! hard-codes that seed: a root plus the top-level categories the §4.2
+//! fusion examples reference (including the overlapping symptom
+//! categorizations the paper discusses).
+
+use crate::graph::{KnowledgeGraph, NodeKind};
+
+/// Build the seeded knowledge graph (18 nodes).
+pub fn seed_graph() -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    let root = kg.add_root("COVID-19");
+
+    let clinical = kg.add_child(root, "Clinical presentation", NodeKind::Category, 1.0);
+    let symptoms = kg.add_child(clinical, "Symptoms", NodeKind::Category, 1.0);
+    // The paper: common/rare and organ-system categorizations overlap and
+    // are both kept (§4.2).
+    kg.add_child(symptoms, "Common symptoms", NodeKind::Category, 1.0);
+    kg.add_child(symptoms, "Rare symptoms", NodeKind::Category, 1.0);
+    let organ = kg.add_child(symptoms, "By organ system", NodeKind::Category, 1.0);
+    kg.add_child(organ, "Neurological symptoms", NodeKind::Category, 1.0);
+    kg.add_child(organ, "Cerebrovascular symptoms", NodeKind::Category, 1.0);
+
+    let transmission = kg.add_child(root, "Ways of transmission", NodeKind::Category, 1.0);
+    kg.add_child(transmission, "Airborne transmission", NodeKind::Category, 1.0);
+
+    let vaccines = kg.add_child(root, "Vaccine(s)", NodeKind::Category, 1.0);
+    let side_effects = kg.add_child(vaccines, "Side-effects", NodeKind::Category, 1.0);
+    kg.add_child(side_effects, "Children side-effects", NodeKind::Category, 1.0);
+
+    kg.add_child(root, "Treatments", NodeKind::Category, 1.0);
+    kg.add_child(root, "Variants", NodeKind::Category, 1.0);
+    kg.add_child(root, "Prevention", NodeKind::Category, 1.0);
+    kg.add_child(root, "Diagnostics", NodeKind::Category, 1.0);
+    kg.add_child(root, "Epidemiology", NodeKind::Category, 1.0);
+
+    kg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_size_matches_paper_range() {
+        let kg = seed_graph();
+        assert!(
+            (10..=20).contains(&kg.len()),
+            "seed has {} nodes; the paper says 10-20",
+            kg.len()
+        );
+    }
+
+    #[test]
+    fn fusion_reference_nodes_exist() {
+        let kg = seed_graph();
+        for term in [
+            "Vaccine",          // matches Vaccine(s)
+            "Side effects",     // matches Side-effects
+            "children side-effects",
+            "symptoms",
+            "transmission ways", // word order ignored
+        ] {
+            assert!(!kg.find_by_term(term).is_empty(), "missing {term:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_is_rooted_and_acyclic() {
+        let kg = seed_graph();
+        assert_eq!(kg.node(0).kind, NodeKind::Root);
+        for n in kg.nodes() {
+            if n.id != 0 {
+                assert!(!n.parents.is_empty(), "{} is orphaned", n.label);
+                let path = kg.path_to_root(n.id);
+                assert_eq!(path[0], 0, "{} does not reach the root", n.label);
+                assert!(path.len() <= kg.len());
+            }
+        }
+    }
+
+    #[test]
+    fn symptom_categorizations_overlap_by_design() {
+        let kg = seed_graph();
+        let symptoms = kg.find_by_term("Symptoms")[0];
+        let labels: Vec<&str> = kg.node(symptoms)
+            .children
+            .iter()
+            .map(|&c| kg.node(c).label.as_str())
+            .collect();
+        assert!(labels.contains(&"Common symptoms"));
+        assert!(labels.contains(&"Rare symptoms"));
+        assert!(labels.contains(&"By organ system"));
+    }
+}

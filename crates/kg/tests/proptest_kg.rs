@@ -1,0 +1,121 @@
+//! Property tests: fusion streams keep the knowledge graph a rooted DAG,
+//! JSON round-trips preserve structure, and search never panics.
+
+use covidkg_kg::{
+    seed_graph, ExtractedTree, FusionConfig, FusionEngine, FusionOutcome, KnowledgeGraph,
+    ScriptedExpert,
+};
+use proptest::prelude::*;
+
+fn tree_strategy() -> impl Strategy<Value = ExtractedTree> {
+    (
+        prop_oneof![
+            Just("Vaccine".to_string()),
+            Just("Side effect".to_string()),
+            Just("Symptoms".to_string()),
+            Just("Treatments".to_string()),
+            "[A-Z][a-z]{2,8}",
+        ],
+        prop::collection::vec("[A-Z][a-z]{2,8}", 0..4),
+        prop::collection::vec(Just("Children side-effects".to_string()), 0..2),
+        "[a-z0-9]{4,8}",
+    )
+        .prop_map(|(root, leaves, layers, paper)| ExtractedTree {
+            root,
+            layers,
+            leaves,
+            paper_id: format!("paper-{paper}"),
+        })
+}
+
+fn assert_rooted_dag(kg: &KnowledgeGraph) {
+    for node in kg.nodes() {
+        if node.id == 0 {
+            assert!(node.parents.is_empty());
+            continue;
+        }
+        assert!(!node.parents.is_empty(), "{} orphaned", node.label);
+        let path = kg.path_to_root(node.id);
+        assert_eq!(path[0], 0, "{} unreachable from root", node.label);
+        assert!(path.len() <= kg.len(), "cycle suspected at {}", node.label);
+        // Parent/child symmetry.
+        for &p in &node.parents {
+            assert!(
+                kg.node(p).children.contains(&node.id),
+                "asymmetric edge {} -> {}",
+                p,
+                node.id
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fusion_streams_preserve_graph_invariants(
+        trees in prop::collection::vec(tree_strategy(), 0..25),
+    ) {
+        let cfg = FusionConfig { use_embeddings: false, ..FusionConfig::default() };
+        let mut engine = FusionEngine::new(seed_graph(), None, cfg);
+        let mut expert = ScriptedExpert::default();
+        for tree in trees {
+            let _ = engine.fuse(tree);
+            engine.process_reviews(&mut expert);
+        }
+        let stats = engine.stats();
+        let kg = engine.into_graph();
+        assert_rooted_dag(&kg);
+        // Accounting: every submission is exactly one of the outcomes.
+        prop_assert_eq!(
+            stats.reviewed, stats.queued,
+            "all queued items must be reviewed"
+        );
+    }
+
+    #[test]
+    fn fusion_outcomes_are_exhaustive(tree in tree_strategy()) {
+        let cfg = FusionConfig { use_embeddings: false, ..FusionConfig::default() };
+        let mut engine = FusionEngine::new(seed_graph(), None, cfg);
+        let outcome = engine.fuse(tree.clone());
+        let stats = engine.stats();
+        match outcome {
+            FusionOutcome::AutoFused { .. } => prop_assert_eq!(stats.auto_fused, 1),
+            FusionOutcome::Queued { .. } => prop_assert_eq!(stats.queued, 1),
+            FusionOutcome::Discarded => prop_assert_eq!(stats.discarded, 1),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_fused_graphs(
+        trees in prop::collection::vec(tree_strategy(), 0..15),
+    ) {
+        let cfg = FusionConfig { use_embeddings: false, ..FusionConfig::default() };
+        let mut engine = FusionEngine::new(seed_graph(), None, cfg);
+        let mut expert = ScriptedExpert::default();
+        for tree in trees {
+            let _ = engine.fuse(tree);
+        }
+        engine.process_reviews(&mut expert);
+        let kg = engine.into_graph();
+        let back = KnowledgeGraph::from_json(&kg.to_json()).expect("round trip");
+        prop_assert_eq!(back.len(), kg.len());
+        for (a, b) in kg.nodes().iter().zip(back.nodes()) {
+            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(&a.parents, &b.parents);
+            prop_assert_eq!(&a.provenance, &b.provenance);
+        }
+        assert_rooted_dag(&back);
+    }
+
+    #[test]
+    fn kg_search_never_panics(query in "\\PC{0,24}") {
+        let kg = seed_graph();
+        let hits = kg.search(&query);
+        for hit in hits {
+            prop_assert!(hit.node < kg.len());
+            prop_assert_eq!(hit.path.last(), Some(&hit.node));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The Adam optimizer (Kingma & Ba), one state per parameter tensor.
+
+/// Adam moment state for one flat parameter tensor.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+impl Adam {
+    /// State for a tensor with `len` parameters (β₁=0.9, β₂=0.999).
+    pub fn new(len: usize) -> Adam {
+        Adam {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Apply one Adam update: `param -= lr * m̂ / (√v̂ + ε)`.
+    /// `grad` is the (already accumulated/averaged) gradient; it is left
+    /// untouched — callers zero their own accumulators.
+    pub fn step(&mut self, param: &mut [f32], grad: &[f32], lr: f32) {
+        assert_eq!(param.len(), self.m.len());
+        assert_eq!(grad.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..param.len() {
+            let g = grad[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            param[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Updates applied so far.
+    pub fn steps(&self) -> u32 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descends_a_quadratic() {
+        // Minimize f(x) = (x-3)², gradient 2(x-3).
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(1);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g, 0.01);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn multi_dim_descent() {
+        // Anisotropic quadratic: f = x₀² + 100·x₁².
+        let mut x = vec![5.0f32, -5.0];
+        let mut opt = Adam::new(2);
+        for _ in 0..3000 {
+            let g = vec![2.0 * x[0], 200.0 * x[1]];
+            opt.step(&mut x, &g, 0.01);
+        }
+        assert!(x[0].abs() < 0.05 && x[1].abs() < 0.05, "{x:?}");
+    }
+
+    #[test]
+    fn zero_gradient_is_stationary_from_start() {
+        let mut x = vec![1.5f32];
+        let mut opt = Adam::new(1);
+        opt.step(&mut x, &[0.0], 0.1);
+        assert_eq!(x[0], 1.5);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let mut opt = Adam::new(2);
+        opt.step(&mut [0.0], &[0.0], 0.1);
+    }
+}

@@ -1,0 +1,213 @@
+//! K-means clustering (k-means++ seeding, Lloyd iterations).
+//!
+//! Used for the topical-cluster extraction step of the enrichment
+//! pipeline (№5 in Fig 1: "the topical clusters that are categorized from
+//! the dataset by relevant COVID-19 topics"), running over document
+//! embedding vectors.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids (`k × dims`).
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Run k-means over dense points. `k` is clamped to the number of points.
+pub fn kmeans(points: &[Vec<f32>], k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans needs at least one point");
+    let dims = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dims), "ragged points");
+    let k = k.clamp(1, points.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dist2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points identical to existing centroids: pick arbitrary.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = 0;
+            for (i, &d) in dist2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().unwrap());
+            if d < dist2[i] {
+                dist2[i] = d;
+            }
+        }
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assign.
+        let mut moved = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, cen)| (c, sq_dist(p, cen)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|(c, _)| c)
+                .unwrap();
+            if assignments[i] != best {
+                assignments[i] = best;
+                moved = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p) {
+                *s += f64::from(v);
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        sq_dist(a, &centroids[assignments[0]])
+                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
+                            .unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap();
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            for d in 0..dims {
+                centroids[c][d] = (sums[c][d] / counts[c] as f64) as f32;
+            }
+        }
+        if !moved && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for center in [[0.0f32, 0.0], [10.0, 10.0], [0.0, 10.0]] {
+            for _ in 0..20 {
+                pts.push(vec![
+                    center[0] + rng.gen_range(-0.5..0.5),
+                    center[1] + rng.gen_range(-0.5..0.5),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = blobs();
+        let result = kmeans(&pts, 3, 50, 1);
+        // Every blob's 20 points share one cluster id.
+        for blob in 0..3 {
+            let ids: std::collections::HashSet<usize> =
+                (0..20).map(|i| result.assignments[blob * 20 + i]).collect();
+            assert_eq!(ids.len(), 1, "blob {blob} split: {ids:?}");
+        }
+        // Three distinct clusters used.
+        let used: std::collections::HashSet<usize> =
+            result.assignments.iter().copied().collect();
+        assert_eq!(used.len(), 3);
+        assert!(result.inertia < 60.0 * 0.5);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0f32], vec![1.0]];
+        let result = kmeans(&pts, 10, 10, 1);
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![1.0f32, 3.0], vec![3.0, 5.0]];
+        let result = kmeans(&pts, 1, 10, 1);
+        assert!((result.centroids[0][0] - 2.0).abs() < 1e-6);
+        assert!((result.centroids[0][1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = blobs();
+        let a = kmeans(&pts, 3, 50, 9);
+        let b = kmeans(&pts, 3, 50, 9);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let pts = vec![vec![1.0f32, 1.0]; 5];
+        let result = kmeans(&pts, 3, 10, 1);
+        assert_eq!(result.assignments.len(), 5);
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_input_panics() {
+        let _ = kmeans(&[], 2, 10, 1);
+    }
+}

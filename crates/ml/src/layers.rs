@@ -1,0 +1,537 @@
+//! Dense / BatchNorm / Dropout layers for the classifier head of Fig 3
+//! ("a dense layer of 16 units, a batch normalization layer, a dropout
+//! layer and a dense binary classifier").
+//!
+//! Layers operate on batch matrices (`batch × features`); the RNN encoders
+//! run per-example and their flattened outputs are stacked into a batch
+//! before entering the head.
+
+use crate::adam::Adam;
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Activation applied by a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// max(0, x).
+    Relu,
+    /// tanh(x).
+    Tanh,
+}
+
+/// Fully connected layer `y = act(x·Wᵀ + b)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix, // out × in
+    b: Vec<f32>,
+    act: Activation,
+    gw: Matrix,
+    gb: Vec<f32>,
+    aw: Adam,
+    ab: Adam,
+}
+
+/// Forward cache for [`Dense`].
+pub struct DenseCache {
+    x: Matrix,
+    /// Post-activation output.
+    pub y: Matrix,
+}
+
+impl Dense {
+    /// New layer.
+    pub fn new(input: usize, output: usize, act: Activation, rng: &mut SmallRng) -> Dense {
+        Dense {
+            w: Matrix::xavier(output, input, rng),
+            b: vec![0.0; output],
+            act,
+            gw: Matrix::zeros(output, input),
+            gb: vec![0.0; output],
+            aw: Adam::new(output * input),
+            ab: Adam::new(output),
+        }
+    }
+
+    /// Output width.
+    pub fn output(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Input width.
+    pub fn input(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w.data().len() + self.b.len()
+    }
+
+    /// Forward over a batch (`batch × input`).
+    pub fn forward(&self, x: &Matrix) -> DenseCache {
+        assert_eq!(x.cols(), self.input());
+        let mut y = Matrix::zeros(x.rows(), self.output());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let yrow = y.row_mut(r);
+            self.w.matvec(row, yrow);
+            for (v, &b) in yrow.iter_mut().zip(&self.b) {
+                *v += b;
+                *v = match self.act {
+                    Activation::None => *v,
+                    Activation::Relu => v.max(0.0),
+                    Activation::Tanh => v.tanh(),
+                };
+            }
+        }
+        DenseCache { x: x.clone(), y }
+    }
+
+    /// Backward: accumulate grads, return dL/dx.
+    pub fn backward(&mut self, cache: &DenseCache, dy: &Matrix) -> Matrix {
+        assert_eq!(dy.rows(), cache.x.rows());
+        assert_eq!(dy.cols(), self.output());
+        let mut dx = Matrix::zeros(cache.x.rows(), self.input());
+        for r in 0..dy.rows() {
+            // Back through the activation.
+            let mut da: Vec<f32> = dy.row(r).to_vec();
+            for (d, &y) in da.iter_mut().zip(cache.y.row(r)) {
+                *d *= match self.act {
+                    Activation::None => 1.0,
+                    Activation::Relu => {
+                        if y > 0.0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    Activation::Tanh => 1.0 - y * y,
+                };
+            }
+            self.gw.add_outer(&da, cache.x.row(r), 1.0);
+            for (g, &d) in self.gb.iter_mut().zip(&da) {
+                *g += d;
+            }
+            self.w.matvec_t_add(&da, dx.row_mut(r));
+        }
+        dx
+    }
+
+    /// Adam update; `scale` averages the accumulated gradient.
+    pub fn step(&mut self, lr: f32, scale: f32) {
+        if scale != 1.0 {
+            self.gw.data_mut().iter_mut().for_each(|g| *g *= scale);
+            self.gb.iter_mut().for_each(|g| *g *= scale);
+        }
+        self.aw.step(self.w.data_mut(), self.gw.data(), lr);
+        self.ab.step(&mut self.b, &self.gb, lr);
+        self.gw.fill_zero();
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Dump weights into a store under `prefix`.
+    pub fn export(&self, store: &mut crate::serialize::TensorStore, prefix: &str) {
+        store.put(format!("{prefix}.w"), self.w.clone());
+        store.put_vec(format!("{prefix}.b"), &self.b);
+    }
+
+    /// Rebuild from a store (activation is supplied by the caller's
+    /// architecture description; optimizer state starts fresh).
+    pub fn from_store(
+        store: &crate::serialize::TensorStore,
+        prefix: &str,
+        act: Activation,
+    ) -> Option<Dense> {
+        let w = store.get(&format!("{prefix}.w"))?.clone();
+        let b = store.get_vec(&format!("{prefix}.b"))?;
+        if b.len() != w.rows() {
+            return None;
+        }
+        let (out_w, in_w) = (w.rows(), w.cols());
+        Some(Dense {
+            gw: Matrix::zeros(out_w, in_w),
+            gb: vec![0.0; out_w],
+            aw: Adam::new(out_w * in_w),
+            ab: Adam::new(out_w),
+            w,
+            b,
+            act,
+        })
+    }
+}
+
+/// Batch normalization over the batch dimension with learned scale/shift
+/// and running statistics for inference.
+#[derive(Debug, Clone)]
+pub struct BatchNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    ggamma: Vec<f32>,
+    gbeta: Vec<f32>,
+    agamma: Adam,
+    abeta: Adam,
+}
+
+/// Forward cache for [`BatchNorm`].
+pub struct BnCache {
+    xhat: Matrix,
+    var: Vec<f32>,
+    /// Normalized, scaled output.
+    pub y: Matrix,
+}
+
+impl BatchNorm {
+    /// New layer over `features` columns.
+    pub fn new(features: usize) -> BatchNorm {
+        BatchNorm {
+            gamma: vec![1.0; features],
+            beta: vec![0.0; features],
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            momentum: 0.9,
+            eps: 1e-5,
+            ggamma: vec![0.0; features],
+            gbeta: vec![0.0; features],
+            agamma: Adam::new(features),
+            abeta: Adam::new(features),
+        }
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+
+    /// Training-mode forward (batch statistics; updates running stats).
+    pub fn forward_train(&mut self, x: &Matrix) -> BnCache {
+        let (n, f) = (x.rows(), x.cols());
+        assert_eq!(f, self.gamma.len());
+        assert!(n > 0);
+        let mut mean = vec![0.0f32; f];
+        for r in 0..n {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n as f32);
+        let mut var = vec![0.0f32; f];
+        for r in 0..n {
+            for (c, (&v, &m)) in x.row(r).iter().zip(&mean).enumerate() {
+                var[c] += (v - m) * (v - m);
+            }
+        }
+        var.iter_mut().for_each(|v| *v /= n as f32);
+        for c in 0..f {
+            self.running_mean[c] =
+                self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean[c];
+            self.running_var[c] =
+                self.momentum * self.running_var[c] + (1.0 - self.momentum) * var[c];
+        }
+        let mut xhat = Matrix::zeros(n, f);
+        let mut y = Matrix::zeros(n, f);
+        for r in 0..n {
+            for c in 0..f {
+                let h = (x.get(r, c) - mean[c]) / (var[c] + self.eps).sqrt();
+                xhat.set(r, c, h);
+                y.set(r, c, self.gamma[c] * h + self.beta[c]);
+            }
+        }
+        BnCache { xhat, var, y }
+    }
+
+    /// Inference-mode forward (running statistics).
+    pub fn forward_infer(&self, x: &Matrix) -> Matrix {
+        let (n, f) = (x.rows(), x.cols());
+        let mut y = Matrix::zeros(n, f);
+        for r in 0..n {
+            for c in 0..f {
+                let h = (x.get(r, c) - self.running_mean[c])
+                    / (self.running_var[c] + self.eps).sqrt();
+                y.set(r, c, self.gamma[c] * h + self.beta[c]);
+            }
+        }
+        y
+    }
+
+    /// Backward through the batch statistics; returns dL/dx.
+    pub fn backward(&mut self, cache: &BnCache, dy: &Matrix) -> Matrix {
+        let (n, f) = (dy.rows(), dy.cols());
+        let nf = n as f32;
+        let mut dx = Matrix::zeros(n, f);
+        for c in 0..f {
+            let inv_std = 1.0 / (cache.var[c] + self.eps).sqrt();
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for r in 0..n {
+                let d = dy.get(r, c);
+                sum_dy += d;
+                sum_dy_xhat += d * cache.xhat.get(r, c);
+                self.ggamma[c] += d * cache.xhat.get(r, c);
+                self.gbeta[c] += d;
+            }
+            for r in 0..n {
+                let d = dy.get(r, c);
+                let xh = cache.xhat.get(r, c);
+                let v = self.gamma[c] * inv_std / nf * (nf * d - sum_dy - xh * sum_dy_xhat);
+                dx.set(r, c, v);
+            }
+        }
+        dx
+    }
+
+    /// Adam update.
+    pub fn step(&mut self, lr: f32, scale: f32) {
+        if scale != 1.0 {
+            self.ggamma.iter_mut().for_each(|g| *g *= scale);
+            self.gbeta.iter_mut().for_each(|g| *g *= scale);
+        }
+        self.agamma.step(&mut self.gamma, &self.ggamma, lr);
+        self.abeta.step(&mut self.beta, &self.gbeta, lr);
+        self.ggamma.iter_mut().for_each(|g| *g = 0.0);
+        self.gbeta.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Dump parameters *and running statistics* (inference needs both).
+    pub fn export(&self, store: &mut crate::serialize::TensorStore, prefix: &str) {
+        store.put_vec(format!("{prefix}.gamma"), &self.gamma);
+        store.put_vec(format!("{prefix}.beta"), &self.beta);
+        store.put_vec(format!("{prefix}.running_mean"), &self.running_mean);
+        store.put_vec(format!("{prefix}.running_var"), &self.running_var);
+    }
+
+    /// Rebuild from a store.
+    pub fn from_store(store: &crate::serialize::TensorStore, prefix: &str) -> Option<BatchNorm> {
+        let gamma = store.get_vec(&format!("{prefix}.gamma"))?;
+        let beta = store.get_vec(&format!("{prefix}.beta"))?;
+        let running_mean = store.get_vec(&format!("{prefix}.running_mean"))?;
+        let running_var = store.get_vec(&format!("{prefix}.running_var"))?;
+        let n = gamma.len();
+        if beta.len() != n || running_mean.len() != n || running_var.len() != n {
+            return None;
+        }
+        let mut bn = BatchNorm::new(n);
+        bn.gamma = gamma;
+        bn.beta = beta;
+        bn.running_mean = running_mean;
+        bn.running_var = running_var;
+        Some(bn)
+    }
+}
+
+/// Inverted dropout: scales surviving activations by `1/(1-p)` during
+/// training so inference is a no-op.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f32,
+}
+
+impl Dropout {
+    /// Training-mode forward; returns the output and the mask for backward.
+    pub fn forward_train(&self, x: &Matrix, rng: &mut SmallRng) -> (Matrix, Matrix) {
+        let mut y = x.clone();
+        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        let keep = 1.0 - self.p;
+        if keep <= 0.0 {
+            y.fill_zero();
+            return (y, mask);
+        }
+        let scale = 1.0 / keep;
+        for (i, v) in y.data_mut().iter_mut().enumerate() {
+            if rng.gen::<f32>() < self.p {
+                *v = 0.0;
+            } else {
+                *v *= scale;
+                mask.data_mut()[i] = scale;
+            }
+        }
+        (y, mask)
+    }
+
+    /// Backward: elementwise multiply by the saved mask.
+    pub fn backward(&self, mask: &Matrix, dy: &Matrix) -> Matrix {
+        let mut dx = dy.clone();
+        for (d, &m) in dx.data_mut().iter_mut().zip(mask.data()) {
+            *d *= m;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut layer = Dense::new(2, 1, Activation::None, &mut rng);
+        layer.w = Matrix::from_vec(1, 2, vec![2.0, -1.0]);
+        layer.b = vec![0.5];
+        let x = Matrix::from_vec(2, 2, vec![1.0, 1.0, 0.0, 3.0]);
+        let cache = layer.forward(&x);
+        assert_eq!(cache.y.data(), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 0.9, 0.4, -0.6]);
+        let loss = |l: &Dense, x: &Matrix| -> f32 { l.forward(x).y.data().iter().sum() };
+        let cache = layer.forward(&x);
+        let dy = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let dx = layer.backward(&cache, &dy);
+        let eps = 1e-3;
+        // dx check.
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+                assert!(
+                    (num - dx.get(r, c)).abs() < 1e-2 * (1.0 + num.abs()),
+                    "dx[{r}][{c}]"
+                );
+            }
+        }
+        // Weight grad check.
+        let ana = layer.gw.get(0, 1);
+        let orig = layer.w.get(0, 1);
+        layer.w.set(0, 1, orig + eps);
+        let lp = loss(&layer, &x);
+        layer.w.set(0, 1, orig - eps);
+        let lm = loss(&layer, &x);
+        layer.w.set(0, 1, orig);
+        let num = (lp - lm) / (2.0 * eps);
+        assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    fn relu_kills_negative_gradients() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut layer = Dense::new(1, 1, Activation::Relu, &mut rng);
+        layer.w = Matrix::from_vec(1, 1, vec![1.0]);
+        layer.b = vec![0.0];
+        let x = Matrix::from_vec(1, 1, vec![-2.0]);
+        let cache = layer.forward(&x);
+        assert_eq!(cache.y.data(), &[0.0]);
+        let dx = layer.backward(&cache, &Matrix::from_vec(1, 1, vec![1.0]));
+        assert_eq!(dx.data(), &[0.0]);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_batches() {
+        let mut bn = BatchNorm::new(2);
+        let x = Matrix::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let cache = bn.forward_train(&x);
+        // Columns of xhat must have ~zero mean, ~unit variance.
+        for c in 0..2 {
+            let mean: f32 = (0..4).map(|r| cache.xhat.get(r, c)).sum::<f32>() / 4.0;
+            let var: f32 = (0..4).map(|r| cache.xhat.get(r, c).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient_check() {
+        let mut bn = BatchNorm::new(2);
+        bn.gamma = vec![1.5, 0.5];
+        bn.beta = vec![0.1, -0.2];
+        let x = Matrix::from_vec(3, 2, vec![0.5, 1.0, -0.4, 2.0, 0.9, -1.5]);
+        // Use a weighted-sum loss so gradients are not uniform.
+        let weights = [1.0f32, -2.0, 0.5, 1.5, -1.0, 2.0];
+        let loss = |bn: &mut BatchNorm, x: &Matrix| -> f32 {
+            // Save/restore running stats so repeated calls don't drift.
+            let (rm, rv) = (bn.running_mean.clone(), bn.running_var.clone());
+            let out = bn.forward_train(x);
+            bn.running_mean = rm;
+            bn.running_var = rv;
+            out.y.data().iter().zip(&weights).map(|(y, w)| y * w).sum()
+        };
+        let cache = bn.forward_train(&x);
+        let dy = Matrix::from_vec(3, 2, weights.to_vec());
+        let dx = bn.backward(&cache, &dy);
+        let eps = 1e-3;
+        for r in 0..3 {
+            for c in 0..2 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let num = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * eps);
+                assert!(
+                    (num - dx.get(r, c)).abs() < 3e-2 * (1.0 + num.abs()),
+                    "bn dx[{r}][{c}]: {num} vs {}",
+                    dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batchnorm_inference_uses_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        // Feed consistent batches so running stats converge.
+        let x = Matrix::from_vec(4, 1, vec![10.0, 12.0, 8.0, 10.0]);
+        for _ in 0..200 {
+            bn.forward_train(&x);
+        }
+        let y = bn.forward_infer(&Matrix::from_vec(1, 1, vec![10.0]));
+        // 10 is the mean, so the normalized output should be ~beta.
+        assert!(y.get(0, 0).abs() < 0.1, "{}", y.get(0, 0));
+    }
+
+    #[test]
+    fn dropout_masks_and_scales() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let d = Dropout { p: 0.5 };
+        let x = Matrix::from_vec(1, 1000, vec![1.0; 1000]);
+        let (y, mask) = d.forward_train(&x, &mut rng);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((380..620).contains(&zeros), "dropped {zeros}");
+        // Survivors are scaled by 2.
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // Backward respects the mask.
+        let dy = Matrix::from_vec(1, 1000, vec![1.0; 1000]);
+        let dx = d.backward(&mask, &dy);
+        for (o, m) in dx.data().iter().zip(mask.data()) {
+            assert_eq!(o, m);
+        }
+        // Expected value preserved.
+        let mean: f32 = y.data().iter().sum::<f32>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn dense_training_fits_linear_function() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut layer = Dense::new(2, 1, Activation::None, &mut rng);
+        // Target: y = 3x1 - 2x2 + 1.
+        use rand::Rng;
+        for _ in 0..2000 {
+            let x1 = rng.gen_range(-1.0..1.0f32);
+            let x2 = rng.gen_range(-1.0..1.0f32);
+            let target = 3.0 * x1 - 2.0 * x2 + 1.0;
+            let x = Matrix::from_vec(1, 2, vec![x1, x2]);
+            let cache = layer.forward(&x);
+            let dy = Matrix::from_vec(1, 1, vec![cache.y.get(0, 0) - target]);
+            layer.backward(&cache, &dy);
+            layer.step(0.02, 1.0);
+        }
+        assert!((layer.w.get(0, 0) - 3.0).abs() < 0.1);
+        assert!((layer.w.get(0, 1) + 2.0).abs() < 0.1);
+        assert!((layer.b[0] - 1.0).abs() < 0.1);
+    }
+}

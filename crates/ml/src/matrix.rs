@@ -1,0 +1,340 @@
+//! A minimal row-major `f32` matrix.
+//!
+//! Just enough linear algebra for the SVM, Word2Vec and RNN code: matmul,
+//! transposed products, elementwise maps, axpy. Loops are written over
+//! slices so LLVM auto-vectorizes the hot paths (see the workspace's
+//! performance notes).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix from explicit data (`data.len() == rows*cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "matrix shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = self · x` for a vector `x` (len == cols). Output len == rows.
+    pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *out = acc;
+        }
+    }
+
+    /// `y += selfᵀ · x` for a vector `x` (len == rows). Output len == cols.
+    pub fn matvec_t_add(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        for (r, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (out, &w) in y.iter_mut().zip(row.iter()) {
+                *out += w * xv;
+            }
+        }
+    }
+
+    /// Rank-1 update: `self += scale · a · bᵀ` (a len == rows, b len == cols).
+    pub fn add_outer(&mut self, a: &[f32], b: &[f32], scale: f32) {
+        assert_eq!(a.len(), self.rows);
+        assert_eq!(b.len(), self.cols);
+        for (r, &av) in a.iter().enumerate() {
+            let f = av * scale;
+            if f == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(r);
+            for (out, &bv) in row.iter_mut().zip(b.iter()) {
+                *out += f * bv;
+            }
+        }
+    }
+
+    /// General matmul `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j order: the inner loop runs over contiguous memory in both
+        // `other` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// `self += scale * other` (same shape).
+    pub fn axpy(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Set every element to zero (reuse allocation between batches).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Elementwise vector helpers used by the RNN cells.
+pub mod vecops {
+    /// `out[i] = a[i] * b[i]`.
+    pub fn hadamard(a: &[f32], b: &[f32], out: &mut [f32]) {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x * y;
+        }
+    }
+
+    /// `out[i] += a[i] * b[i]`.
+    pub fn hadamard_add(a: &[f32], b: &[f32], out: &mut [f32]) {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o += x * y;
+        }
+    }
+
+    /// `a · b`.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// `y += s * x`.
+    pub fn axpy(s: f32, x: &[f32], y: &mut [f32]) {
+        for (o, &v) in y.iter_mut().zip(x) {
+            *o += s * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_vec_validates_shape() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![0.0; 2];
+        m.matvec(&[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_accumulates() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![1.0; 3];
+        m.matvec_t_add(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn outer_product_update() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0], 0.5);
+        assert_eq!(m.data(), &[1.5, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_matches_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_agrees_with_transpose_identity() {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = Matrix::xavier(4, 5, &mut rng);
+        let b = Matrix::xavier(5, 3, &mut rng);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = Matrix::xavier(10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= bound));
+        // Not all zero.
+        assert!(m.frob_norm() > 0.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn vecops_basics() {
+        let mut out = vec![0.0; 3];
+        vecops::hadamard(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &mut out);
+        assert_eq!(out, [4.0, 10.0, 18.0]);
+        vecops::hadamard_add(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, [5.0, 11.0, 19.0]);
+        assert_eq!(vecops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        vecops::axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, [3.0, 5.0]);
+    }
+
+    #[test]
+    fn axpy_and_zero() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        a.axpy(&b, 2.0);
+        assert_eq!(a.data(), &[2.0, 4.0, 6.0, 8.0]);
+        a.fill_zero();
+        assert_eq!(a.data(), &[0.0; 4]);
+    }
+}

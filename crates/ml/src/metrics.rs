@@ -1,0 +1,266 @@
+//! Classification metrics and cross-validation (§3.3).
+//!
+//! The paper validates with 10-fold cross-validation and reports
+//! F-measure; [`Confusion`] accumulates a binary confusion matrix and
+//! derives precision/recall/F1, and [`kfold_indices`] produces the fold
+//! splits deterministically.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Record one prediction.
+    pub fn record(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Merge another confusion matrix (used across CV folds).
+    pub fn merge(&mut self, other: Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Derived metrics.
+    pub fn metrics(&self) -> ClassMetrics {
+        let precision = ratio(self.tp, self.tp + self.fp);
+        let recall = ratio(self.tp, self.tp + self.fn_);
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        ClassMetrics {
+            accuracy: ratio(self.tp + self.tn, self.total()),
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Precision / recall / F1 / accuracy bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassMetrics {
+    /// Fraction correct.
+    pub accuracy: f64,
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Convenience: F1 from parallel label/prediction slices.
+pub fn f1_score(actual: &[bool], predicted: &[bool]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    let mut c = Confusion::default();
+    for (&a, &p) in actual.iter().zip(predicted) {
+        c.record(a, p);
+    }
+    c.metrics().f1
+}
+
+/// Deterministic k-fold split: returns, per fold, the held-out test
+/// indices. Every index appears in exactly one fold; folds differ in size
+/// by at most 1. `seed` shuffles assignment.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, idx) in order.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    folds
+}
+
+/// Stratified k-fold: positives and negatives are split across folds
+/// independently, so every fold sees the base rate. With a ~20% minority
+/// class (metadata rows), plain random folds can starve a fold of
+/// positives and destabilize the §3.3 measurements.
+pub fn kfold_stratified(labels: &[bool], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut folds = vec![Vec::new(); k];
+    for class in [true, false] {
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        members.shuffle(&mut rng);
+        for (j, idx) in members.into_iter().enumerate() {
+            folds[j % k].push(idx);
+        }
+    }
+    folds
+}
+
+/// Complement of a fold: the training indices.
+pub fn train_indices(n: usize, test: &[usize]) -> Vec<usize> {
+    let mut is_test = vec![false; n];
+    for &i in test {
+        is_test[i] = true;
+    }
+    (0..n).filter(|&i| !is_test[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let m = {
+            let mut c = Confusion::default();
+            for _ in 0..5 {
+                c.record(true, true);
+                c.record(false, false);
+            }
+            c.metrics()
+        };
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        let mut c = Confusion::default();
+        // 8 TP, 2 FP, 6 TN, 4 FN.
+        for _ in 0..8 {
+            c.record(true, true);
+        }
+        for _ in 0..2 {
+            c.record(false, true);
+        }
+        for _ in 0..6 {
+            c.record(false, false);
+        }
+        for _ in 0..4 {
+            c.record(true, false);
+        }
+        let m = c.metrics();
+        assert!((m.precision - 0.8).abs() < 1e-12);
+        assert!((m.recall - 8.0 / 12.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0)).abs() < 1e-12);
+        assert!((m.accuracy - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let m = Confusion::default().metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        let mut all_neg = Confusion::default();
+        all_neg.record(false, false);
+        assert_eq!(all_neg.metrics().f1, 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Confusion { tp: 1, fp: 2, tn: 3, fn_: 4 };
+        a.merge(Confusion { tp: 10, fp: 20, tn: 30, fn_: 40 });
+        assert_eq!(a, Confusion { tp: 11, fp: 22, tn: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn f1_helper_matches_confusion() {
+        let actual = [true, true, false, false, true];
+        let pred = [true, false, false, true, true];
+        let f1 = f1_score(&actual, &pred);
+        assert!((f1 - 2.0 * (2.0 / 3.0) * (2.0 / 3.0) / (4.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kfold_partitions_everything_once() {
+        let folds = kfold_indices(103, 10, 42);
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![false; 103];
+        for fold in &folds {
+            for &i in fold {
+                assert!(!seen[i], "index {i} in two folds");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(mx - mn <= 1);
+    }
+
+    #[test]
+    fn kfold_is_deterministic_per_seed() {
+        assert_eq!(kfold_indices(50, 5, 7), kfold_indices(50, 5, 7));
+        assert_ne!(kfold_indices(50, 5, 7), kfold_indices(50, 5, 8));
+    }
+
+    #[test]
+    fn stratified_folds_balance_the_minority_class() {
+        // 20% positive rate over 100 items.
+        let labels: Vec<bool> = (0..100).map(|i| i % 5 == 0).collect();
+        let folds = kfold_stratified(&labels, 10, 3);
+        let mut seen = vec![false; 100];
+        for fold in &folds {
+            let pos = fold.iter().filter(|&&i| labels[i]).count();
+            assert_eq!(pos, 2, "every fold gets its share of positives");
+            for &i in fold {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Deterministic per seed.
+        assert_eq!(kfold_stratified(&labels, 10, 3), kfold_stratified(&labels, 10, 3));
+    }
+
+    #[test]
+    fn train_indices_complement() {
+        let folds = kfold_indices(20, 4, 1);
+        let train = train_indices(20, &folds[0]);
+        assert_eq!(train.len(), 20 - folds[0].len());
+        for i in &folds[0] {
+            assert!(!train.contains(i));
+        }
+    }
+}

@@ -1,0 +1,787 @@
+//! The Deep-learning metadata classifier of Fig 3: a BiGRU ensemble with
+//! parallel term- and cell-level embedding layers.
+//!
+//! Per the paper (§3.6): a tuple is pre-processed into term-wise and
+//! cell-wise representations; each path embeds its units (Word2Vec
+//! initialized, fine-tuned end-to-end), runs a BiGRU of 100 units, and
+//! concatenates the BiGRU outputs with the original embeddings to form
+//! "enriched contextualized vectors". Each path is flattened; the two
+//! flattened representations are concatenated and passed through a dense
+//! layer of 16 units, batch normalization, dropout and a dense binary
+//! classifier. `CellKind::Lstm` switches both paths to BiLSTM for the
+//! §3.6 ablation.
+
+use crate::adam::Adam;
+use crate::layers::{Activation, BatchNorm, Dense, Dropout};
+use crate::matrix::{sigmoid, Matrix};
+use crate::rnn::{BiCache, BiRnn};
+pub use crate::rnn::CellKind;
+use crate::word2vec::Word2Vec;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// One training/inference instance: a table row in both views.
+#[derive(Debug, Clone)]
+pub struct TupleExample {
+    /// Term-level units (pre-processed tokens of the whole row).
+    pub terms: Vec<String>,
+    /// Cell-level units (one string per cell).
+    pub cells: Vec<String>,
+    /// Metadata label (true = metadata row). Ignored at inference.
+    pub label: bool,
+}
+
+/// Hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TupleClassifierConfig {
+    /// GRU (paper's choice) or LSTM (ablation).
+    pub cell: CellKind,
+    /// Embedding width for both paths.
+    pub embed_dims: usize,
+    /// Recurrent units per direction (paper: 100).
+    pub hidden: usize,
+    /// Sequences are truncated/zero-padded to this length before
+    /// flattening.
+    pub max_len: usize,
+    /// Width of the post-concat dense layer (paper: 16).
+    pub dense_units: usize,
+    /// Dropout probability in the head.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Whether embeddings receive gradients ("fine-tuned with end-to-end
+    /// training", §3.6).
+    pub fine_tune_embeddings: bool,
+    /// Concatenate the original embeddings with the BiRNN outputs (Fig 3:
+    /// "the result is concatenated with the original embeddings to create
+    /// our enriched contextualized vectors"; the paper argues this lets
+    /// the model "additionally account for global correlation"). Setting
+    /// this false is the ablation arm: BiRNN outputs only.
+    pub concat_embeddings: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TupleClassifierConfig {
+    fn default() -> Self {
+        TupleClassifierConfig {
+            cell: CellKind::Gru,
+            embed_dims: 24,
+            hidden: 100,
+            max_len: 12,
+            dense_units: 16,
+            dropout: 0.3,
+            learning_rate: 3e-3,
+            epochs: 8,
+            batch_size: 16,
+            fine_tune_embeddings: true,
+            concat_embeddings: true,
+            seed: 42,
+        }
+    }
+}
+
+/// A trainable embedding table with an `<unk>` row at id 0.
+struct Embedding {
+    vocab: HashMap<String, usize>,
+    table: Matrix,
+    grads: Matrix,
+    adam: Adam,
+}
+
+impl Embedding {
+    /// Build the vocabulary from `units`, seeding rows from `pretrained`
+    /// where available (the Word2Vec initialization of Fig 3).
+    fn build<'a>(
+        units: impl Iterator<Item = &'a str>,
+        dims: usize,
+        pretrained: Option<&Word2Vec>,
+        rng: &mut SmallRng,
+    ) -> Embedding {
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        vocab.insert("<unk>".to_string(), 0);
+        let mut ordered = vec!["<unk>".to_string()];
+        for u in units {
+            if !vocab.contains_key(u) {
+                vocab.insert(u.to_string(), ordered.len());
+                ordered.push(u.to_string());
+            }
+        }
+        let mut table = Matrix::xavier(ordered.len(), dims, rng);
+        if let Some(w2v) = pretrained {
+            for (word, &id) in &vocab {
+                if let Some(vec) = w2v.embed(word) {
+                    let row = table.row_mut(id);
+                    let n = row.len().min(vec.len());
+                    row[..n].copy_from_slice(&vec[..n]);
+                }
+            }
+        }
+        let (r, c) = (table.rows(), table.cols());
+        Embedding {
+            vocab,
+            table,
+            grads: Matrix::zeros(r, c),
+            adam: Adam::new(r * c),
+        }
+    }
+
+    fn id(&self, unit: &str) -> usize {
+        self.vocab.get(unit).copied().unwrap_or(0)
+    }
+
+    fn lookup(&self, ids: &[usize]) -> Vec<Vec<f32>> {
+        ids.iter().map(|&i| self.table.row(i).to_vec()).collect()
+    }
+
+    fn accumulate(&mut self, id: usize, grad: &[f32]) {
+        let row = self.grads.row_mut(id);
+        for (g, &d) in row.iter_mut().zip(grad) {
+            *g += d;
+        }
+    }
+
+    fn step(&mut self, lr: f32, scale: f32) {
+        if scale != 1.0 {
+            self.grads.data_mut().iter_mut().for_each(|g| *g *= scale);
+        }
+        self.adam.step(self.table.data_mut(), self.grads.data(), lr);
+        self.grads.fill_zero();
+    }
+
+    fn export(&self, store: &mut crate::serialize::TensorStore, prefix: &str) {
+        let mut ordered: Vec<(&String, &usize)> = self.vocab.iter().collect();
+        ordered.sort_by_key(|(_, &id)| id);
+        store.put_strings(
+            format!("{prefix}.vocab"),
+            ordered.into_iter().map(|(w, _)| w.clone()).collect(),
+        );
+        store.put(format!("{prefix}.table"), self.table.clone());
+    }
+
+    fn from_store(store: &crate::serialize::TensorStore, prefix: &str) -> Option<Embedding> {
+        let words = store.get_strings(&format!("{prefix}.vocab"))?;
+        let table = store.get(&format!("{prefix}.table"))?.clone();
+        if table.rows() != words.len() {
+            return None;
+        }
+        let vocab: HashMap<String, usize> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        let (r, c) = (table.rows(), table.cols());
+        Some(Embedding {
+            vocab,
+            table,
+            grads: Matrix::zeros(r, c),
+            adam: Adam::new(r * c),
+        })
+    }
+}
+
+/// One path of Fig 3 (term-level or cell-level).
+struct Path {
+    embed: Embedding,
+    rnn: BiRnn,
+}
+
+/// Per-example forward cache for one path.
+struct PathCache {
+    ids: Vec<usize>,
+    embeds: Vec<Vec<f32>>,
+    rnn_cache: BiCache,
+}
+
+impl Path {
+    /// Flattened output width: `max_len × (2·hidden [+ embed])`.
+    fn flat_width(&self, cfg: &TupleClassifierConfig) -> usize {
+        cfg.max_len * Self::step_width(cfg)
+    }
+
+    /// Per-timestep width: BiRNN output, plus the original embedding when
+    /// the Fig 3 concat is enabled.
+    fn step_width(cfg: &TupleClassifierConfig) -> usize {
+        2 * cfg.hidden + if cfg.concat_embeddings { cfg.embed_dims } else { 0 }
+    }
+
+    /// Encode a unit sequence into the flattened enriched representation.
+    fn forward(&self, units: &[String], cfg: &TupleClassifierConfig) -> (Vec<f32>, PathCache) {
+        let ids: Vec<usize> = units
+            .iter()
+            .take(cfg.max_len)
+            .map(|u| self.embed.id(u))
+            .collect();
+        // An empty sequence still needs one step for the RNN.
+        let ids = if ids.is_empty() { vec![0] } else { ids };
+        let embeds = self.embed.lookup(&ids);
+        let (rnn_out, rnn_cache) = self.rnn.forward(&embeds);
+        let step_width = Self::step_width(cfg);
+        let mut flat = vec![0.0f32; self.flat_width(cfg)];
+        for (t, (h, e)) in rnn_out.iter().zip(&embeds).enumerate() {
+            let base = t * step_width;
+            flat[base..base + 2 * cfg.hidden].copy_from_slice(h);
+            if cfg.concat_embeddings {
+                flat[base + 2 * cfg.hidden..base + step_width].copy_from_slice(e);
+            }
+        }
+        (
+            flat,
+            PathCache {
+                ids,
+                embeds,
+                rnn_cache,
+            },
+        )
+    }
+
+    /// Backward from the flattened gradient; accumulates parameter grads.
+    fn backward(&mut self, cache: &PathCache, dflat: &[f32], cfg: &TupleClassifierConfig) {
+        let step_width = Self::step_width(cfg);
+        let n = cache.ids.len();
+        let mut dh: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut dembed_direct: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for t in 0..n {
+            let base = t * step_width;
+            dh.push(dflat[base..base + 2 * cfg.hidden].to_vec());
+            dembed_direct.push(if cfg.concat_embeddings {
+                dflat[base + 2 * cfg.hidden..base + step_width].to_vec()
+            } else {
+                vec![0.0; cfg.embed_dims]
+            });
+        }
+        let dxs = self.rnn.backward(&cache.rnn_cache, &dh);
+        if cfg.fine_tune_embeddings {
+            for t in 0..n {
+                let mut d = dxs[t].clone();
+                for (a, &b) in d.iter_mut().zip(&dembed_direct[t]) {
+                    *a += b;
+                }
+                self.embed.accumulate(cache.ids[t], &d);
+            }
+        }
+        // `cache.embeds` kept alive for symmetry/debug; silence the field.
+        let _ = &cache.embeds;
+    }
+
+    fn step(&mut self, lr: f32, scale: f32, fine_tune: bool) {
+        self.rnn.step(lr, scale);
+        if fine_tune {
+            self.embed.step(lr, scale);
+        }
+    }
+}
+
+/// The full Fig 3 model.
+pub struct TupleClassifier {
+    cfg: TupleClassifierConfig,
+    term_path: Path,
+    cell_path: Path,
+    dense1: Dense,
+    bn: BatchNorm,
+    dropout: Dropout,
+    dense2: Dense,
+    rng: SmallRng,
+}
+
+/// Per-epoch training log entry.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochLog {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean BCE loss.
+    pub loss: f64,
+    /// Training accuracy.
+    pub accuracy: f64,
+}
+
+impl TupleClassifier {
+    /// Build the model, constructing both paths' vocabularies from the
+    /// training examples and initializing embeddings from `pretrained`.
+    pub fn new(
+        examples: &[TupleExample],
+        pretrained: Option<&Word2Vec>,
+        cfg: TupleClassifierConfig,
+    ) -> TupleClassifier {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let term_embed = Embedding::build(
+            examples.iter().flat_map(|e| e.terms.iter().map(String::as_str)),
+            cfg.embed_dims,
+            pretrained,
+            &mut rng,
+        );
+        let cell_embed = Embedding::build(
+            examples.iter().flat_map(|e| e.cells.iter().map(String::as_str)),
+            cfg.embed_dims,
+            pretrained,
+            &mut rng,
+        );
+        let term_path = Path {
+            embed: term_embed,
+            rnn: BiRnn::new(cfg.cell, cfg.embed_dims, cfg.hidden, &mut rng),
+        };
+        let cell_path = Path {
+            embed: cell_embed,
+            rnn: BiRnn::new(cfg.cell, cfg.embed_dims, cfg.hidden, &mut rng),
+        };
+        let concat_width = term_path.flat_width(&cfg) + cell_path.flat_width(&cfg);
+        let dense1 = Dense::new(concat_width, cfg.dense_units, Activation::Relu, &mut rng);
+        let bn = BatchNorm::new(cfg.dense_units);
+        let dropout = Dropout { p: cfg.dropout };
+        let dense2 = Dense::new(cfg.dense_units, 1, Activation::None, &mut rng);
+        TupleClassifier {
+            cfg,
+            term_path,
+            cell_path,
+            dense1,
+            bn,
+            dropout,
+            dense2,
+            rng,
+        }
+    }
+
+    /// Hyperparameters in use.
+    pub fn config(&self) -> &TupleClassifierConfig {
+        &self.cfg
+    }
+
+    /// Total trainable parameters (the §3.6 GRU-vs-LSTM training-cost gap
+    /// is visible here: the LSTM variant has 4/3 the recurrent weights).
+    pub fn param_count(&self) -> usize {
+        self.term_path.rnn.param_count()
+            + self.cell_path.rnn.param_count()
+            + self.term_path.embed.table.data().len()
+            + self.cell_path.embed.table.data().len()
+            + self.dense1.param_count()
+            + self.bn.param_count()
+            + self.dense2.param_count()
+    }
+
+    /// A human-readable layer summary (validates the Fig 3 topology).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let cfg = &self.cfg;
+        let _ = writeln!(s, "TupleClassifier ({:?})", cfg.cell);
+        let _ = writeln!(
+            s,
+            "  term path : embed({} x {}) -> bi{:?}({}) -> concat -> flatten({})",
+            self.term_path.embed.table.rows(),
+            cfg.embed_dims,
+            cfg.cell,
+            cfg.hidden,
+            self.term_path.flat_width(cfg),
+        );
+        let _ = writeln!(
+            s,
+            "  cell path : embed({} x {}) -> bi{:?}({}) -> concat -> flatten({})",
+            self.cell_path.embed.table.rows(),
+            cfg.embed_dims,
+            cfg.cell,
+            cfg.hidden,
+            self.cell_path.flat_width(cfg),
+        );
+        let _ = writeln!(
+            s,
+            "  head      : dense({}) -> batchnorm -> dropout({}) -> dense(1, sigmoid)",
+            cfg.dense_units, cfg.dropout
+        );
+        let _ = writeln!(s, "  parameters: {}", self.param_count());
+        s
+    }
+
+    fn encode(&self, example: &TupleExample) -> (Vec<f32>, PathCache, PathCache) {
+        let (tflat, tcache) = self.term_path.forward(&example.terms, &self.cfg);
+        let (cflat, ccache) = self.cell_path.forward(&example.cells, &self.cfg);
+        let mut concat = tflat;
+        concat.extend_from_slice(&cflat);
+        (concat, tcache, ccache)
+    }
+
+    /// Train on labeled examples; returns per-epoch logs.
+    pub fn train(&mut self, examples: &[TupleExample]) -> Vec<EpochLog> {
+        assert!(!examples.is_empty(), "empty training set");
+        let mut logs = Vec::with_capacity(self.cfg.epochs);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for epoch in 0..self.cfg.epochs {
+            order.shuffle(&mut self.rng);
+            let mut total_loss = 0.0f64;
+            let mut correct = 0usize;
+            for batch in order.chunks(self.cfg.batch_size) {
+                let (loss, batch_correct) = self.train_batch(examples, batch);
+                total_loss += loss;
+                correct += batch_correct;
+            }
+            logs.push(EpochLog {
+                epoch,
+                loss: total_loss / examples.len() as f64,
+                accuracy: correct as f64 / examples.len() as f64,
+            });
+        }
+        logs
+    }
+
+    fn train_batch(&mut self, examples: &[TupleExample], batch: &[usize]) -> (f64, usize) {
+        let n = batch.len();
+        let concat_width = self.dense1.input();
+        // Encode each example.
+        let mut caches = Vec::with_capacity(n);
+        let mut xbatch = Matrix::zeros(n, concat_width);
+        for (r, &i) in batch.iter().enumerate() {
+            let (concat, tc, cc) = self.encode(&examples[i]);
+            xbatch.row_mut(r).copy_from_slice(&concat);
+            caches.push((tc, cc));
+        }
+        // Head forward (training mode).
+        let d1 = self.dense1.forward(&xbatch);
+        let bn = self.bn.forward_train(&d1.y);
+        let (dropped, mask) = self.dropout.forward_train(&bn.y, &mut self.rng);
+        let d2 = self.dense2.forward(&dropped);
+
+        // BCE loss + gradient at the logit.
+        let mut dlogit = Matrix::zeros(n, 1);
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+        for (r, &i) in batch.iter().enumerate() {
+            let y = if examples[i].label { 1.0f32 } else { 0.0 };
+            let p = sigmoid(d2.y.get(r, 0));
+            loss -= f64::from(y * p.max(1e-7).ln() + (1.0 - y) * (1.0 - p).max(1e-7).ln());
+            if (p >= 0.5) == examples[i].label {
+                correct += 1;
+            }
+            dlogit.set(r, 0, p - y);
+        }
+
+        // Head backward.
+        let ddrop = self.dense2.backward(&d2, &dlogit);
+        let dbn = self.dropout.backward(&mask, &ddrop);
+        let dd1 = self.bn.backward(&bn, &dbn);
+        let dx = self.dense1.backward(&d1, &dd1);
+
+        // Path backward per example.
+        let term_width = self.term_path.flat_width(&self.cfg);
+        for (r, (tc, cc)) in caches.iter().enumerate() {
+            let row = dx.row(r);
+            self.term_path.backward(tc, &row[..term_width], &self.cfg);
+            self.cell_path.backward(cc, &row[term_width..], &self.cfg);
+        }
+
+        // Updates (average over the batch).
+        let scale = 1.0 / n as f32;
+        let lr = self.cfg.learning_rate;
+        let ft = self.cfg.fine_tune_embeddings;
+        self.term_path.step(lr, scale, ft);
+        self.cell_path.step(lr, scale, ft);
+        self.dense1.step(lr, scale);
+        self.bn.step(lr, scale);
+        self.dense2.step(lr, scale);
+
+        (loss, correct)
+    }
+
+    /// Probability that the example is a metadata row (inference mode:
+    /// running batch-norm statistics, no dropout).
+    pub fn predict_proba(&self, example: &TupleExample) -> f32 {
+        let (concat, _, _) = self.encode(example);
+        let mut x = Matrix::zeros(1, concat.len());
+        x.row_mut(0).copy_from_slice(&concat);
+        let d1 = self.dense1.forward(&x);
+        let bn = self.bn.forward_infer(&d1.y);
+        let d2 = self.dense2.forward(&bn);
+        sigmoid(d2.y.get(0, 0))
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, example: &TupleExample) -> bool {
+        self.predict_proba(example) >= 0.5
+    }
+
+    /// Serialize the full model (architecture + weights + batch-norm
+    /// running statistics; optimizer state restarts on load) — the
+    /// registry payload for the №11/13 released models.
+    pub fn save_text(&self) -> String {
+        let mut store = crate::serialize::TensorStore::new();
+        let cfg = &self.cfg;
+        store.put_strings(
+            "cfg",
+            vec![
+                match cfg.cell {
+                    CellKind::Gru => "cell=gru".to_string(),
+                    CellKind::Lstm => "cell=lstm".to_string(),
+                },
+                format!("embed_dims={}", cfg.embed_dims),
+                format!("hidden={}", cfg.hidden),
+                format!("max_len={}", cfg.max_len),
+                format!("dense_units={}", cfg.dense_units),
+                format!("dropout={}", cfg.dropout),
+                format!("learning_rate={}", cfg.learning_rate),
+                format!("epochs={}", cfg.epochs),
+                format!("batch_size={}", cfg.batch_size),
+                format!("fine_tune_embeddings={}", cfg.fine_tune_embeddings),
+                format!("concat_embeddings={}", cfg.concat_embeddings),
+                format!("seed={}", cfg.seed),
+            ],
+        );
+        self.term_path.embed.export(&mut store, "term.embed");
+        self.term_path.rnn.export(&mut store, "term.rnn");
+        self.cell_path.embed.export(&mut store, "cell.embed");
+        self.cell_path.rnn.export(&mut store, "cell.rnn");
+        self.dense1.export(&mut store, "dense1");
+        self.bn.export(&mut store, "bn");
+        self.dense2.export(&mut store, "dense2");
+        store.save_text()
+    }
+
+    /// Restore a model saved by [`TupleClassifier::save_text`].
+    pub fn load_text(text: &str) -> Option<TupleClassifier> {
+        let store = crate::serialize::TensorStore::load_text(text)?;
+        let mut cfg = TupleClassifierConfig::default();
+        for entry in store.get_strings("cfg")? {
+            let (key, val) = entry.split_once('=')?;
+            match key {
+                "cell" => {
+                    cfg.cell = match val {
+                        "gru" => CellKind::Gru,
+                        "lstm" => CellKind::Lstm,
+                        _ => return None,
+                    }
+                }
+                "embed_dims" => cfg.embed_dims = val.parse().ok()?,
+                "hidden" => cfg.hidden = val.parse().ok()?,
+                "max_len" => cfg.max_len = val.parse().ok()?,
+                "dense_units" => cfg.dense_units = val.parse().ok()?,
+                "dropout" => cfg.dropout = val.parse().ok()?,
+                "learning_rate" => cfg.learning_rate = val.parse().ok()?,
+                "epochs" => cfg.epochs = val.parse().ok()?,
+                "batch_size" => cfg.batch_size = val.parse().ok()?,
+                "fine_tune_embeddings" => cfg.fine_tune_embeddings = val.parse().ok()?,
+                "concat_embeddings" => cfg.concat_embeddings = val.parse().ok()?,
+                "seed" => cfg.seed = val.parse().ok()?,
+                _ => return None,
+            }
+        }
+        let term_path = Path {
+            embed: Embedding::from_store(&store, "term.embed")?,
+            rnn: BiRnn::from_store(cfg.cell, &store, "term.rnn")?,
+        };
+        let cell_path = Path {
+            embed: Embedding::from_store(&store, "cell.embed")?,
+            rnn: BiRnn::from_store(cfg.cell, &store, "cell.rnn")?,
+        };
+        let dense1 = Dense::from_store(&store, "dense1", Activation::Relu)?;
+        let bn = BatchNorm::from_store(&store, "bn")?;
+        let dense2 = Dense::from_store(&store, "dense2", Activation::None)?;
+        if dense1.input() != term_path.flat_width(&cfg) + cell_path.flat_width(&cfg) {
+            return None;
+        }
+        Some(TupleClassifier {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            dropout: Dropout { p: cfg.dropout },
+            cfg,
+            term_path,
+            cell_path,
+            dense1,
+            bn,
+            dense2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A learnable toy task shaped like metadata classification: metadata
+    /// rows are made of header-ish words, data rows of value placeholders
+    /// (INT/FLOAT/etc., as produced by the §3.4 pre-processor).
+    fn toy_examples(n: usize) -> Vec<TupleExample> {
+        let headers = ["vaccine", "dose", "efficacy", "symptom", "severity", "group"];
+        let values = ["INT", "FLOAT", "SMALLPOS", "RANGE", "MG", "PERCENT"];
+        (0..n)
+            .map(|i| {
+                let label = i % 2 == 0;
+                let src: &[&str] = if label { &headers } else { &values };
+                let len = 2 + (i % 4);
+                let terms: Vec<String> =
+                    (0..len).map(|k| src[(i + k) % src.len()].to_string()).collect();
+                let cells = terms.clone();
+                TupleExample { terms, cells, label }
+            })
+            .collect()
+    }
+
+    fn small_cfg(cell: CellKind) -> TupleClassifierConfig {
+        TupleClassifierConfig {
+            cell,
+            embed_dims: 8,
+            hidden: 8,
+            max_len: 6,
+            dense_units: 8,
+            dropout: 0.1,
+            learning_rate: 5e-3,
+            epochs: 12,
+            batch_size: 8,
+            fine_tune_embeddings: true,
+            concat_embeddings: true,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn summary_reflects_fig3_topology() {
+        let examples = toy_examples(8);
+        let model = TupleClassifier::new(&examples, None, TupleClassifierConfig::default());
+        let s = model.summary();
+        assert!(s.contains("term path"), "{s}");
+        assert!(s.contains("cell path"), "{s}");
+        assert!(s.contains("dense(16)"), "{s}");
+        assert!(s.contains("batchnorm"), "{s}");
+        assert!(s.contains("dropout"), "{s}");
+        assert!(s.contains("biGru(100)"), "{s}");
+    }
+
+    #[test]
+    fn lstm_variant_has_more_parameters() {
+        let examples = toy_examples(8);
+        let gru = TupleClassifier::new(&examples, None, small_cfg(CellKind::Gru));
+        let lstm = TupleClassifier::new(&examples, None, small_cfg(CellKind::Lstm));
+        assert!(lstm.param_count() > gru.param_count());
+    }
+
+    #[test]
+    fn training_loss_decreases_and_fits_toy_task() {
+        let examples = toy_examples(60);
+        let mut model = TupleClassifier::new(&examples, None, small_cfg(CellKind::Gru));
+        let logs = model.train(&examples);
+        let first = logs.first().unwrap().loss;
+        let last = logs.last().unwrap().loss;
+        assert!(last < first * 0.7, "loss {first} -> {last}");
+        let correct = examples.iter().filter(|e| model.predict(e) == e.label).count();
+        assert!(
+            correct as f64 / examples.len() as f64 > 0.9,
+            "train accuracy {correct}/{}",
+            examples.len()
+        );
+    }
+
+    #[test]
+    fn lstm_variant_also_learns() {
+        let examples = toy_examples(60);
+        let mut model = TupleClassifier::new(&examples, None, small_cfg(CellKind::Lstm));
+        model.train(&examples);
+        let correct = examples.iter().filter(|e| model.predict(e) == e.label).count();
+        assert!(correct as f64 / examples.len() as f64 > 0.85);
+    }
+
+    #[test]
+    fn generalizes_to_held_out_rows() {
+        let examples = toy_examples(80);
+        let (train, test) = examples.split_at(60);
+        let mut model = TupleClassifier::new(train, None, small_cfg(CellKind::Gru));
+        model.train(train);
+        let correct = test.iter().filter(|e| model.predict(e) == e.label).count();
+        assert!(
+            correct as f64 / test.len() as f64 > 0.8,
+            "test accuracy {correct}/{}",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn pretrained_embeddings_are_loaded() {
+        use crate::word2vec::{Word2Vec, Word2VecConfig};
+        let sents: Vec<Vec<String>> = (0..10)
+            .map(|_| vec!["vaccine".to_string(), "dose".to_string(), "INT".to_string()])
+            .collect();
+        let w2v = Word2Vec::train(
+            &sents,
+            &Word2VecConfig {
+                dims: 8,
+                ..Word2VecConfig::default()
+            },
+        );
+        let examples = toy_examples(8);
+        let model = TupleClassifier::new(&examples, Some(&w2v), small_cfg(CellKind::Gru));
+        // The "vaccine" embedding row must equal the Word2Vec vector.
+        let id = model.term_path.embed.id("vaccine");
+        assert_ne!(id, 0, "vaccine must be in-vocabulary");
+        let row = model.term_path.embed.table.row(id);
+        let w = w2v.embed("vaccine").unwrap();
+        assert_eq!(&row[..8], &w[..8]);
+    }
+
+    #[test]
+    fn empty_sequences_do_not_crash() {
+        let examples = toy_examples(8);
+        let model = TupleClassifier::new(&examples, None, small_cfg(CellKind::Gru));
+        let empty = TupleExample {
+            terms: vec![],
+            cells: vec![],
+            label: false,
+        };
+        let p = model.predict_proba(&empty);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn long_sequences_are_truncated() {
+        let examples = toy_examples(8);
+        let model = TupleClassifier::new(&examples, None, small_cfg(CellKind::Gru));
+        let long = TupleExample {
+            terms: vec!["vaccine".to_string(); 100],
+            cells: vec!["INT".to_string(); 100],
+            label: true,
+        };
+        let p = model.predict_proba(&long);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn concat_ablation_shrinks_the_head_and_still_learns() {
+        let examples = toy_examples(60);
+        let mut no_concat = small_cfg(CellKind::Gru);
+        no_concat.concat_embeddings = false;
+        let full = TupleClassifier::new(&examples, None, small_cfg(CellKind::Gru));
+        let ablated = TupleClassifier::new(&examples, None, no_concat.clone());
+        assert!(ablated.param_count() < full.param_count());
+        let mut model = TupleClassifier::new(&examples, None, no_concat);
+        model.train(&examples);
+        let correct = examples.iter().filter(|e| model.predict(e) == e.label).count();
+        assert!(correct as f64 / examples.len() as f64 > 0.85);
+    }
+    #[test]
+    fn full_model_save_load_preserves_predictions() {
+        let examples = toy_examples(40);
+        for cell in [CellKind::Gru, CellKind::Lstm] {
+            let mut model = TupleClassifier::new(&examples, None, small_cfg(cell));
+            model.train(&examples);
+            let text = model.save_text();
+            let back = TupleClassifier::load_text(&text).expect("round trip");
+            assert_eq!(back.param_count(), model.param_count());
+            for e in &examples {
+                let (a, b) = (model.predict_proba(e), back.predict_proba(e));
+                assert!((a - b).abs() < 1e-6, "{cell:?}: {a} vs {b}");
+            }
+        }
+        assert!(TupleClassifier::load_text("").is_none());
+        assert!(TupleClassifier::load_text("tensorstore v1
+").is_none());
+    }
+
+    #[test]
+    fn predictions_are_deterministic_after_training() {
+        let examples = toy_examples(20);
+        let mut model = TupleClassifier::new(&examples, None, small_cfg(CellKind::Gru));
+        model.train(&examples);
+        let p1 = model.predict_proba(&examples[0]);
+        let p2 = model.predict_proba(&examples[0]);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,872 @@
+//! Recurrent cells (GRU, LSTM) with full backpropagation through time,
+//! and a bidirectional wrapper.
+//!
+//! §3.6: "we tried bidirectional RNNs (biLSTM and biGRU), since they have
+//! been shown to capture contextual dependencies by taking into account
+//! both forward and backward context … We opted for the biGRU layers over
+//! biLSTM because while performance was slightly worse … the training
+//! time was faster." Both cells are implemented so the E2 bench can
+//! regenerate that comparison.
+
+use crate::adam::Adam;
+use crate::matrix::{sigmoid, vecops, Matrix};
+use rand::rngs::SmallRng;
+
+/// Which recurrent cell a layer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// Gated Recurrent Unit (3 gates, no cell state) — the paper's choice.
+    Gru,
+    /// Long Short-Term Memory (4 gates + cell state) — the ablation arm.
+    Lstm,
+}
+
+/// One gate's parameters: `W·x + U·h + b`.
+#[derive(Debug, Clone)]
+struct Gate {
+    w: Matrix,
+    u: Matrix,
+    b: Vec<f32>,
+    gw: Matrix,
+    gu: Matrix,
+    gb: Vec<f32>,
+    aw: Adam,
+    au: Adam,
+    ab: Adam,
+}
+
+impl Gate {
+    fn new(input: usize, hidden: usize, rng: &mut SmallRng) -> Gate {
+        Gate {
+            w: Matrix::xavier(hidden, input, rng),
+            u: Matrix::xavier(hidden, hidden, rng),
+            b: vec![0.0; hidden],
+            gw: Matrix::zeros(hidden, input),
+            gu: Matrix::zeros(hidden, hidden),
+            gb: vec![0.0; hidden],
+            aw: Adam::new(hidden * input),
+            au: Adam::new(hidden * hidden),
+            ab: Adam::new(hidden),
+        }
+    }
+
+    /// pre[i] = W·x + U·h + b
+    fn pre(&self, x: &[f32], h: &[f32], out: &mut [f32]) {
+        self.w.matvec(x, out);
+        let mut uh = vec![0.0f32; out.len()];
+        self.u.matvec(h, &mut uh);
+        for ((o, &u), &b) in out.iter_mut().zip(&uh).zip(&self.b) {
+            *o += u + b;
+        }
+    }
+
+    /// Accumulate gradients for `da` (gradient at the pre-activation) and
+    /// propagate into dx / dh_prev.
+    fn backward(&mut self, da: &[f32], x: &[f32], h: &[f32], dx: &mut [f32], dh: &mut [f32]) {
+        self.gw.add_outer(da, x, 1.0);
+        self.gu.add_outer(da, h, 1.0);
+        for (g, &d) in self.gb.iter_mut().zip(da) {
+            *g += d;
+        }
+        self.w.matvec_t_add(da, dx);
+        self.u.matvec_t_add(da, dh);
+    }
+
+    fn step(&mut self, lr: f32, scale: f32) {
+        scale_slice(self.gw.data_mut(), scale);
+        scale_slice(self.gu.data_mut(), scale);
+        scale_slice(&mut self.gb, scale);
+        self.aw.step(self.w.data_mut(), self.gw.data(), lr);
+        self.au.step(self.u.data_mut(), self.gu.data(), lr);
+        self.ab.step(&mut self.b, &self.gb, lr);
+        self.gw.fill_zero();
+        self.gu.fill_zero();
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.data().len() + self.u.data().len() + self.b.len()
+    }
+
+    fn export(&self, store: &mut crate::serialize::TensorStore, prefix: &str) {
+        store.put(format!("{prefix}.w"), self.w.clone());
+        store.put(format!("{prefix}.u"), self.u.clone());
+        store.put_vec(format!("{prefix}.b"), &self.b);
+    }
+
+    fn from_store(store: &crate::serialize::TensorStore, prefix: &str) -> Option<Gate> {
+        let w = store.get(&format!("{prefix}.w"))?.clone();
+        let u = store.get(&format!("{prefix}.u"))?.clone();
+        let b = store.get_vec(&format!("{prefix}.b"))?;
+        let (hidden, input) = (w.rows(), w.cols());
+        if u.rows() != hidden || u.cols() != hidden || b.len() != hidden {
+            return None;
+        }
+        Some(Gate {
+            gw: Matrix::zeros(hidden, input),
+            gu: Matrix::zeros(hidden, hidden),
+            gb: vec![0.0; hidden],
+            aw: Adam::new(hidden * input),
+            au: Adam::new(hidden * hidden),
+            ab: Adam::new(hidden),
+            w,
+            u,
+            b,
+        })
+    }
+}
+
+fn scale_slice(xs: &mut [f32], s: f32) {
+    if s != 1.0 {
+        xs.iter_mut().for_each(|x| *x *= s);
+    }
+}
+
+/// A GRU cell.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    input: usize,
+    hidden: usize,
+    z: Gate,
+    r: Gate,
+    h: Gate,
+}
+
+/// Per-timestep cache for GRU backprop.
+#[derive(Debug, Clone)]
+pub struct GruStep {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    hhat: Vec<f32>,
+    /// Output hidden state.
+    pub h: Vec<f32>,
+}
+
+impl GruCell {
+    /// New cell with Xavier-initialized weights.
+    pub fn new(input: usize, hidden: usize, rng: &mut SmallRng) -> GruCell {
+        GruCell {
+            input,
+            hidden,
+            z: Gate::new(input, hidden, rng),
+            r: Gate::new(input, hidden, rng),
+            h: Gate::new(input, hidden, rng),
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.z.param_count() + self.r.param_count() + self.h.param_count()
+    }
+
+    /// Run the sequence, returning per-step caches (`.h` is the output).
+    pub fn forward(&self, xs: &[Vec<f32>]) -> Vec<GruStep> {
+        let mut steps = Vec::with_capacity(xs.len());
+        let mut h_prev = vec![0.0f32; self.hidden];
+        for x in xs {
+            debug_assert_eq!(x.len(), self.input);
+            let mut z = vec![0.0f32; self.hidden];
+            self.z.pre(x, &h_prev, &mut z);
+            z.iter_mut().for_each(|v| *v = sigmoid(*v));
+            let mut r = vec![0.0f32; self.hidden];
+            self.r.pre(x, &h_prev, &mut r);
+            r.iter_mut().for_each(|v| *v = sigmoid(*v));
+            let mut rh = vec![0.0f32; self.hidden];
+            vecops::hadamard(&r, &h_prev, &mut rh);
+            let mut hhat = vec![0.0f32; self.hidden];
+            self.h.pre(x, &rh, &mut hhat);
+            hhat.iter_mut().for_each(|v| *v = v.tanh());
+            let mut h = vec![0.0f32; self.hidden];
+            for i in 0..self.hidden {
+                h[i] = (1.0 - z[i]) * h_prev[i] + z[i] * hhat[i];
+            }
+            steps.push(GruStep {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                z,
+                r,
+                hhat,
+                h: h.clone(),
+            });
+            h_prev = h;
+        }
+        steps
+    }
+
+    /// BPTT: `dhs[t]` is ∂L/∂h_t from above. Returns ∂L/∂x_t per step and
+    /// accumulates parameter gradients.
+    pub fn backward(&mut self, steps: &[GruStep], dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(steps.len(), dhs.len());
+        let n = steps.len();
+        let mut dxs = vec![vec![0.0f32; self.input]; n];
+        let mut dh_next = vec![0.0f32; self.hidden];
+        for t in (0..n).rev() {
+            let s = &steps[t];
+            // Total gradient flowing into h_t.
+            let mut dh: Vec<f32> = dhs[t].clone();
+            for (a, &b) in dh.iter_mut().zip(&dh_next) {
+                *a += b;
+            }
+            let mut dh_prev = vec![0.0f32; self.hidden];
+            // h = (1-z)·h_prev + z·ĥ
+            let mut dhhat = vec![0.0f32; self.hidden];
+            let mut dz = vec![0.0f32; self.hidden];
+            for i in 0..self.hidden {
+                dhhat[i] = dh[i] * s.z[i];
+                dz[i] = dh[i] * (s.hhat[i] - s.h_prev[i]);
+                dh_prev[i] += dh[i] * (1.0 - s.z[i]);
+            }
+            // Candidate: ĥ = tanh(Wh x + Uh (r·h_prev) + bh)
+            let mut da_h = vec![0.0f32; self.hidden];
+            for i in 0..self.hidden {
+                da_h[i] = dhhat[i] * (1.0 - s.hhat[i] * s.hhat[i]);
+            }
+            let mut rh = vec![0.0f32; self.hidden];
+            vecops::hadamard(&s.r, &s.h_prev, &mut rh);
+            // d(r·h_prev) from the candidate's U path.
+            let mut drh = vec![0.0f32; self.hidden];
+            self.h.u.matvec_t_add(&da_h, &mut drh);
+            // Gate gradient paths (bias/W/U accumulation); the U product
+            // for the candidate uses rh, so call backward with rh as "h".
+            let mut dx = vec![0.0f32; self.input];
+            {
+                // Manual handling: gw/gb/W-transpose as usual; U uses rh.
+                self.h.gw.add_outer(&da_h, &s.x, 1.0);
+                self.h.gu.add_outer(&da_h, &rh, 1.0);
+                for (g, &d) in self.h.gb.iter_mut().zip(&da_h) {
+                    *g += d;
+                }
+                self.h.w.matvec_t_add(&da_h, &mut dx);
+            }
+            let mut dr = vec![0.0f32; self.hidden];
+            for i in 0..self.hidden {
+                dr[i] = drh[i] * s.h_prev[i];
+                dh_prev[i] += drh[i] * s.r[i];
+            }
+            // Sigmoid gate pre-activations.
+            let mut da_z = vec![0.0f32; self.hidden];
+            let mut da_r = vec![0.0f32; self.hidden];
+            for i in 0..self.hidden {
+                da_z[i] = dz[i] * s.z[i] * (1.0 - s.z[i]);
+                da_r[i] = dr[i] * s.r[i] * (1.0 - s.r[i]);
+            }
+            self.z.backward(&da_z, &s.x, &s.h_prev, &mut dx, &mut dh_prev);
+            self.r.backward(&da_r, &s.x, &s.h_prev, &mut dx, &mut dh_prev);
+            dxs[t] = dx;
+            dh_next = dh_prev;
+        }
+        dxs
+    }
+
+    /// Adam update; `scale` averages accumulated gradients (1/batch).
+    pub fn step(&mut self, lr: f32, scale: f32) {
+        self.z.step(lr, scale);
+        self.r.step(lr, scale);
+        self.h.step(lr, scale);
+    }
+
+    /// Dump weights into a [`crate::serialize::TensorStore`] under `prefix`.
+    pub fn export(&self, store: &mut crate::serialize::TensorStore, prefix: &str) {
+        self.z.export(store, &format!("{prefix}.z"));
+        self.r.export(store, &format!("{prefix}.r"));
+        self.h.export(store, &format!("{prefix}.h"));
+    }
+
+    /// Rebuild from a store (optimizer state starts fresh).
+    pub fn from_store(
+        store: &crate::serialize::TensorStore,
+        prefix: &str,
+    ) -> Option<GruCell> {
+        let z = Gate::from_store(store, &format!("{prefix}.z"))?;
+        let r = Gate::from_store(store, &format!("{prefix}.r"))?;
+        let h = Gate::from_store(store, &format!("{prefix}.h"))?;
+        let (hidden, input) = (z.w.rows(), z.w.cols());
+        Some(GruCell {
+            input,
+            hidden,
+            z,
+            r,
+            h,
+        })
+    }
+}
+
+/// An LSTM cell.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    input: usize,
+    hidden: usize,
+    i: Gate,
+    f: Gate,
+    o: Gate,
+    g: Gate,
+}
+
+/// Per-timestep cache for LSTM backprop.
+#[derive(Debug, Clone)]
+pub struct LstmStep {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    o: Vec<f32>,
+    g: Vec<f32>,
+    c: Vec<f32>,
+    /// Output hidden state.
+    pub h: Vec<f32>,
+}
+
+impl LstmCell {
+    /// New cell; the forget gate bias starts at 1 (standard practice).
+    pub fn new(input: usize, hidden: usize, rng: &mut SmallRng) -> LstmCell {
+        let mut f = Gate::new(input, hidden, rng);
+        f.b.iter_mut().for_each(|b| *b = 1.0);
+        LstmCell {
+            input,
+            hidden,
+            i: Gate::new(input, hidden, rng),
+            f,
+            o: Gate::new(input, hidden, rng),
+            g: Gate::new(input, hidden, rng),
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Total trainable parameters (4 gates — the source of the paper's
+    /// "training time was faster" for GRU, which has 3).
+    pub fn param_count(&self) -> usize {
+        self.i.param_count()
+            + self.f.param_count()
+            + self.o.param_count()
+            + self.g.param_count()
+    }
+
+    /// Run the sequence.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> Vec<LstmStep> {
+        let mut steps = Vec::with_capacity(xs.len());
+        let mut h_prev = vec![0.0f32; self.hidden];
+        let mut c_prev = vec![0.0f32; self.hidden];
+        for x in xs {
+            debug_assert_eq!(x.len(), self.input);
+            let mut gates = [
+                vec![0.0f32; self.hidden],
+                vec![0.0f32; self.hidden],
+                vec![0.0f32; self.hidden],
+                vec![0.0f32; self.hidden],
+            ];
+            self.i.pre(x, &h_prev, &mut gates[0]);
+            self.f.pre(x, &h_prev, &mut gates[1]);
+            self.o.pre(x, &h_prev, &mut gates[2]);
+            self.g.pre(x, &h_prev, &mut gates[3]);
+            let [mut gi, mut gf, mut go, mut gg] = gates;
+            gi.iter_mut().for_each(|v| *v = sigmoid(*v));
+            gf.iter_mut().for_each(|v| *v = sigmoid(*v));
+            go.iter_mut().for_each(|v| *v = sigmoid(*v));
+            gg.iter_mut().for_each(|v| *v = v.tanh());
+            let mut c = vec![0.0f32; self.hidden];
+            let mut h = vec![0.0f32; self.hidden];
+            for k in 0..self.hidden {
+                c[k] = gf[k] * c_prev[k] + gi[k] * gg[k];
+                h[k] = go[k] * c[k].tanh();
+            }
+            steps.push(LstmStep {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i: gi,
+                f: gf,
+                o: go,
+                g: gg,
+                c: c.clone(),
+                h: h.clone(),
+            });
+            h_prev = h;
+            c_prev = c;
+        }
+        steps
+    }
+
+    /// BPTT mirroring [`GruCell::backward`].
+    pub fn backward(&mut self, steps: &[LstmStep], dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(steps.len(), dhs.len());
+        let n = steps.len();
+        let mut dxs = vec![vec![0.0f32; self.input]; n];
+        let mut dh_next = vec![0.0f32; self.hidden];
+        let mut dc_next = vec![0.0f32; self.hidden];
+        for t in (0..n).rev() {
+            let s = &steps[t];
+            let mut dh: Vec<f32> = dhs[t].clone();
+            for (a, &b) in dh.iter_mut().zip(&dh_next) {
+                *a += b;
+            }
+            let mut dc = dc_next.clone();
+            let mut do_ = vec![0.0f32; self.hidden];
+            for k in 0..self.hidden {
+                let tc = s.c[k].tanh();
+                do_[k] = dh[k] * tc;
+                dc[k] += dh[k] * s.o[k] * (1.0 - tc * tc);
+            }
+            let mut di = vec![0.0f32; self.hidden];
+            let mut df = vec![0.0f32; self.hidden];
+            let mut dg = vec![0.0f32; self.hidden];
+            let mut dc_prev = vec![0.0f32; self.hidden];
+            for k in 0..self.hidden {
+                di[k] = dc[k] * s.g[k];
+                df[k] = dc[k] * s.c_prev[k];
+                dg[k] = dc[k] * s.i[k];
+                dc_prev[k] = dc[k] * s.f[k];
+            }
+            // Pre-activation gradients.
+            let mut da_i = vec![0.0f32; self.hidden];
+            let mut da_f = vec![0.0f32; self.hidden];
+            let mut da_o = vec![0.0f32; self.hidden];
+            let mut da_g = vec![0.0f32; self.hidden];
+            for k in 0..self.hidden {
+                da_i[k] = di[k] * s.i[k] * (1.0 - s.i[k]);
+                da_f[k] = df[k] * s.f[k] * (1.0 - s.f[k]);
+                da_o[k] = do_[k] * s.o[k] * (1.0 - s.o[k]);
+                da_g[k] = dg[k] * (1.0 - s.g[k] * s.g[k]);
+            }
+            let mut dx = vec![0.0f32; self.input];
+            let mut dh_prev = vec![0.0f32; self.hidden];
+            self.i.backward(&da_i, &s.x, &s.h_prev, &mut dx, &mut dh_prev);
+            self.f.backward(&da_f, &s.x, &s.h_prev, &mut dx, &mut dh_prev);
+            self.o.backward(&da_o, &s.x, &s.h_prev, &mut dx, &mut dh_prev);
+            self.g.backward(&da_g, &s.x, &s.h_prev, &mut dx, &mut dh_prev);
+            dxs[t] = dx;
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+        dxs
+    }
+
+    /// Adam update.
+    pub fn step(&mut self, lr: f32, scale: f32) {
+        self.i.step(lr, scale);
+        self.f.step(lr, scale);
+        self.o.step(lr, scale);
+        self.g.step(lr, scale);
+    }
+
+    /// Dump weights into a [`crate::serialize::TensorStore`] under `prefix`.
+    pub fn export(&self, store: &mut crate::serialize::TensorStore, prefix: &str) {
+        self.i.export(store, &format!("{prefix}.i"));
+        self.f.export(store, &format!("{prefix}.f"));
+        self.o.export(store, &format!("{prefix}.o"));
+        self.g.export(store, &format!("{prefix}.g"));
+    }
+
+    /// Rebuild from a store (optimizer state starts fresh).
+    pub fn from_store(
+        store: &crate::serialize::TensorStore,
+        prefix: &str,
+    ) -> Option<LstmCell> {
+        let i = Gate::from_store(store, &format!("{prefix}.i"))?;
+        let f = Gate::from_store(store, &format!("{prefix}.f"))?;
+        let o = Gate::from_store(store, &format!("{prefix}.o"))?;
+        let g = Gate::from_store(store, &format!("{prefix}.g"))?;
+        let (hidden, input) = (i.w.rows(), i.w.cols());
+        Some(LstmCell {
+            input,
+            hidden,
+            i,
+            f,
+            o,
+            g,
+        })
+    }
+}
+
+/// A bidirectional recurrent layer: forward and backward cells whose
+/// per-timestep hidden states are concatenated (`2 × hidden` outputs).
+#[derive(Debug, Clone)]
+pub enum BiRnn {
+    /// Bidirectional GRU.
+    Gru {
+        /// Left-to-right cell.
+        fwd: GruCell,
+        /// Right-to-left cell.
+        bwd: GruCell,
+    },
+    /// Bidirectional LSTM.
+    Lstm {
+        /// Left-to-right cell.
+        fwd: LstmCell,
+        /// Right-to-left cell.
+        bwd: LstmCell,
+    },
+}
+
+/// Cache for [`BiRnn::forward`].
+pub enum BiCache {
+    /// GRU caches.
+    Gru(Vec<GruStep>, Vec<GruStep>),
+    /// LSTM caches.
+    Lstm(Vec<LstmStep>, Vec<LstmStep>),
+}
+
+impl BiRnn {
+    /// New bidirectional layer.
+    pub fn new(kind: CellKind, input: usize, hidden: usize, rng: &mut SmallRng) -> BiRnn {
+        match kind {
+            CellKind::Gru => BiRnn::Gru {
+                fwd: GruCell::new(input, hidden, rng),
+                bwd: GruCell::new(input, hidden, rng),
+            },
+            CellKind::Lstm => BiRnn::Lstm {
+                fwd: LstmCell::new(input, hidden, rng),
+                bwd: LstmCell::new(input, hidden, rng),
+            },
+        }
+    }
+
+    /// Hidden size of each direction.
+    pub fn hidden(&self) -> usize {
+        match self {
+            BiRnn::Gru { fwd, .. } => fwd.hidden(),
+            BiRnn::Lstm { fwd, .. } => fwd.hidden(),
+        }
+    }
+
+    /// Trainable parameter count (both directions).
+    pub fn param_count(&self) -> usize {
+        match self {
+            BiRnn::Gru { fwd, bwd } => fwd.param_count() + bwd.param_count(),
+            BiRnn::Lstm { fwd, bwd } => fwd.param_count() + bwd.param_count(),
+        }
+    }
+
+    /// Run both directions; outputs `[h_fwd_t ‖ h_bwd_t]` per timestep.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, BiCache) {
+        let mut rev: Vec<Vec<f32>> = xs.to_vec();
+        rev.reverse();
+        match self {
+            BiRnn::Gru { fwd, bwd } => {
+                let fsteps = fwd.forward(xs);
+                let bsteps = bwd.forward(&rev);
+                let outs = concat_bi(&fsteps, &bsteps, |s| &s.h);
+                (outs, BiCache::Gru(fsteps, bsteps))
+            }
+            BiRnn::Lstm { fwd, bwd } => {
+                let fsteps = fwd.forward(xs);
+                let bsteps = bwd.forward(&rev);
+                let outs = concat_bi(&fsteps, &bsteps, |s| &s.h);
+                (outs, BiCache::Lstm(fsteps, bsteps))
+            }
+        }
+    }
+
+    /// BPTT through both directions; returns dx per timestep.
+    pub fn backward(&mut self, cache: &BiCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let hidden = self.hidden();
+        let n = dhs.len();
+        // Split the concatenated gradient and reverse the backward half.
+        let dfwd: Vec<Vec<f32>> = dhs.iter().map(|d| d[..hidden].to_vec()).collect();
+        let mut dbwd: Vec<Vec<f32>> = dhs.iter().map(|d| d[hidden..].to_vec()).collect();
+        dbwd.reverse();
+        let (dx_f, mut dx_b) = match (self, cache) {
+            (BiRnn::Gru { fwd, bwd }, BiCache::Gru(fs, bs)) => {
+                (fwd.backward(fs, &dfwd), bwd.backward(bs, &dbwd))
+            }
+            (BiRnn::Lstm { fwd, bwd }, BiCache::Lstm(fs, bs)) => {
+                (fwd.backward(fs, &dfwd), bwd.backward(bs, &dbwd))
+            }
+            _ => panic!("cache/cell kind mismatch"),
+        };
+        dx_b.reverse();
+        (0..n)
+            .map(|t| {
+                let mut dx = dx_f[t].clone();
+                for (a, &b) in dx.iter_mut().zip(&dx_b[t]) {
+                    *a += b;
+                }
+                dx
+            })
+            .collect()
+    }
+
+    /// Adam update on both cells.
+    pub fn step(&mut self, lr: f32, scale: f32) {
+        match self {
+            BiRnn::Gru { fwd, bwd } => {
+                fwd.step(lr, scale);
+                bwd.step(lr, scale);
+            }
+            BiRnn::Lstm { fwd, bwd } => {
+                fwd.step(lr, scale);
+                bwd.step(lr, scale);
+            }
+        }
+    }
+
+    /// Dump both directions into a store under `prefix`.
+    pub fn export(&self, store: &mut crate::serialize::TensorStore, prefix: &str) {
+        match self {
+            BiRnn::Gru { fwd, bwd } => {
+                fwd.export(store, &format!("{prefix}.fwd"));
+                bwd.export(store, &format!("{prefix}.bwd"));
+            }
+            BiRnn::Lstm { fwd, bwd } => {
+                fwd.export(store, &format!("{prefix}.fwd"));
+                bwd.export(store, &format!("{prefix}.bwd"));
+            }
+        }
+    }
+
+    /// Rebuild from a store.
+    pub fn from_store(
+        kind: CellKind,
+        store: &crate::serialize::TensorStore,
+        prefix: &str,
+    ) -> Option<BiRnn> {
+        Some(match kind {
+            CellKind::Gru => BiRnn::Gru {
+                fwd: GruCell::from_store(store, &format!("{prefix}.fwd"))?,
+                bwd: GruCell::from_store(store, &format!("{prefix}.bwd"))?,
+            },
+            CellKind::Lstm => BiRnn::Lstm {
+                fwd: LstmCell::from_store(store, &format!("{prefix}.fwd"))?,
+                bwd: LstmCell::from_store(store, &format!("{prefix}.bwd"))?,
+            },
+        })
+    }
+}
+
+fn concat_bi<S>(fsteps: &[S], bsteps: &[S], h: impl Fn(&S) -> &Vec<f32>) -> Vec<Vec<f32>> {
+    let n = fsteps.len();
+    (0..n)
+        .map(|t| {
+            let mut out = h(&fsteps[t]).clone();
+            out.extend_from_slice(h(&bsteps[n - 1 - t]));
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn seq(rng: &mut SmallRng, n: usize, dim: usize) -> Vec<Vec<f32>> {
+        use rand::Rng;
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn gru_forward_shapes_and_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cell = GruCell::new(4, 6, &mut rng);
+        let xs = seq(&mut rng, 5, 4);
+        let steps = cell.forward(&xs);
+        assert_eq!(steps.len(), 5);
+        for s in &steps {
+            assert_eq!(s.h.len(), 6);
+            // GRU hidden state is a convex combination of tanh outputs.
+            assert!(s.h.iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn lstm_forward_shapes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cell = LstmCell::new(3, 5, &mut rng);
+        let xs = seq(&mut rng, 4, 3);
+        let steps = cell.forward(&xs);
+        assert_eq!(steps.len(), 4);
+        assert!(steps.iter().all(|s| s.h.len() == 5));
+    }
+
+    #[test]
+    fn gru_has_fewer_params_than_lstm() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gru = GruCell::new(8, 16, &mut rng);
+        let lstm = LstmCell::new(8, 16, &mut rng);
+        assert!(gru.param_count() < lstm.param_count());
+        // 3 gates vs 4 gates exactly.
+        assert_eq!(gru.param_count() * 4, lstm.param_count() * 3);
+    }
+
+    /// Finite-difference gradient check for the GRU: compare analytic dx
+    /// and parameter grads against numeric derivatives of a scalar loss.
+    #[test]
+    fn gru_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut cell = GruCell::new(3, 4, &mut rng);
+        let xs = seq(&mut rng, 3, 3);
+        // Loss = sum of all outputs.
+        let loss = |cell: &GruCell, xs: &[Vec<f32>]| -> f32 {
+            cell.forward(xs).iter().map(|s| s.h.iter().sum::<f32>()).sum()
+        };
+        let steps = cell.forward(&xs);
+        let dhs = vec![vec![1.0f32; 4]; 3];
+        let dxs = cell.backward(&steps, &dhs);
+
+        let eps = 1e-3;
+        // Check dx numerically.
+        for t in 0..xs.len() {
+            for d in 0..3 {
+                let mut xp = xs.clone();
+                xp[t][d] += eps;
+                let mut xm = xs.clone();
+                xm[t][d] -= eps;
+                let num = (loss(&cell, &xp) - loss(&cell, &xm)) / (2.0 * eps);
+                let ana = dxs[t][d];
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                    "dx[{t}][{d}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+        // Check a few weight gradients numerically (z gate W).
+        for &(r, c) in &[(0usize, 0usize), (1, 2), (3, 1)] {
+            let ana = cell.z.gw.get(r, c);
+            let orig = cell.z.w.get(r, c);
+            cell.z.w.set(r, c, orig + eps);
+            let lp = loss(&cell, &xs);
+            cell.z.w.set(r, c, orig - eps);
+            let lm = loss(&cell, &xs);
+            cell.z.w.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "gw[{r}][{c}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    /// Same finite-difference check for the LSTM.
+    #[test]
+    fn lstm_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut cell = LstmCell::new(3, 4, &mut rng);
+        let xs = seq(&mut rng, 3, 3);
+        let loss = |cell: &LstmCell, xs: &[Vec<f32>]| -> f32 {
+            cell.forward(xs).iter().map(|s| s.h.iter().sum::<f32>()).sum()
+        };
+        let steps = cell.forward(&xs);
+        let dhs = vec![vec![1.0f32; 4]; 3];
+        let dxs = cell.backward(&steps, &dhs);
+        let eps = 1e-3;
+        for t in 0..xs.len() {
+            for d in 0..3 {
+                let mut xp = xs.clone();
+                xp[t][d] += eps;
+                let mut xm = xs.clone();
+                xm[t][d] -= eps;
+                let num = (loss(&cell, &xp) - loss(&cell, &xm)) / (2.0 * eps);
+                let ana = dxs[t][d];
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                    "dx[{t}][{d}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_output_concatenates_directions() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let bi = BiRnn::new(CellKind::Gru, 3, 5, &mut rng);
+        let xs = seq(&mut rng, 4, 3);
+        let (outs, _) = bi.forward(&xs);
+        assert_eq!(outs.len(), 4);
+        assert!(outs.iter().all(|o| o.len() == 10));
+        // The backward half of output t must equal the bwd cell's state at
+        // mirrored position when run on the reversed sequence.
+        let BiRnn::Gru { fwd, bwd } = &bi else { unreachable!() };
+        let fsteps = fwd.forward(&xs);
+        let mut rev = xs.clone();
+        rev.reverse();
+        let bsteps = bwd.forward(&rev);
+        for t in 0..4 {
+            assert_eq!(&outs[t][..5], fsteps[t].h.as_slice());
+            assert_eq!(&outs[t][5..], bsteps[3 - t].h.as_slice());
+        }
+    }
+
+    #[test]
+    fn bidirectional_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut bi = BiRnn::new(CellKind::Gru, 2, 3, &mut rng);
+        let xs = seq(&mut rng, 3, 2);
+        let loss = |bi: &BiRnn, xs: &[Vec<f32>]| -> f32 {
+            bi.forward(xs).0.iter().map(|h| h.iter().sum::<f32>()).sum()
+        };
+        let (_, cache) = bi.forward(&xs);
+        let dhs = vec![vec![1.0f32; 6]; 3];
+        let dxs = bi.backward(&cache, &dhs);
+        let eps = 1e-3;
+        for t in 0..3 {
+            for d in 0..2 {
+                let mut xp = xs.clone();
+                xp[t][d] += eps;
+                let mut xm = xs.clone();
+                xm[t][d] -= eps;
+                let num = (loss(&bi, &xp) - loss(&bi, &xm)) / (2.0 * eps);
+                assert!(
+                    (num - dxs[t][d]).abs() < 2e-2 * (1.0 + num.abs()),
+                    "bi dx[{t}][{d}]: {num} vs {}",
+                    dxs[t][d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_task() {
+        // Learn to output +1 on sequences whose first element is positive.
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut cell = GruCell::new(1, 4, &mut rng);
+        // Readout: mean of final hidden state.
+        let examples: Vec<(Vec<Vec<f32>>, f32)> = (0..40)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                let xs: Vec<Vec<f32>> = (0..4)
+                    .map(|t| vec![if t == 0 { sign } else { rng.gen_range(-0.2..0.2) }])
+                    .collect();
+                (xs, (sign + 1.0) / 2.0)
+            })
+            .collect();
+        let loss_of = |cell: &GruCell| -> f32 {
+            examples
+                .iter()
+                .map(|(xs, y)| {
+                    let steps = cell.forward(xs);
+                    let pred = sigmoid(steps.last().unwrap().h.iter().sum::<f32>());
+                    -(y * pred.max(1e-6).ln() + (1.0 - y) * (1.0 - pred).max(1e-6).ln())
+                })
+                .sum::<f32>()
+                / examples.len() as f32
+        };
+        let before = loss_of(&cell);
+        for _ in 0..60 {
+            for (xs, y) in &examples {
+                let steps = cell.forward(xs);
+                let pred = sigmoid(steps.last().unwrap().h.iter().sum::<f32>());
+                let dl = pred - y; // d BCE / d logit
+                let mut dhs = vec![vec![0.0f32; 4]; xs.len()];
+                dhs.last_mut().unwrap().iter_mut().for_each(|d| *d = dl);
+                cell.backward(&steps, &dhs);
+            }
+            cell.step(0.01, 1.0 / examples.len() as f32);
+        }
+        let after = loss_of(&cell);
+        assert!(after < before * 0.5, "loss {before} -> {after}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Named-tensor text serialization.
+//!
+//! The registry (№11/13) releases "hundreds of pre-trained models"; this
+//! module gives every trainable component a common dump/restore format: a
+//! line-oriented store of named tensors plus string tables (for embedding
+//! vocabularies). Inference state only — optimizer moments are not
+//! persisted, matching how frameworks export models for reuse.
+
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A bag of named tensors and named string lists.
+#[derive(Debug, Default, Clone)]
+pub struct TensorStore {
+    tensors: HashMap<String, Matrix>,
+    strings: HashMap<String, Vec<String>>,
+}
+
+impl TensorStore {
+    /// Empty store.
+    pub fn new() -> TensorStore {
+        TensorStore::default()
+    }
+
+    /// Insert a matrix under `name`.
+    pub fn put(&mut self, name: impl Into<String>, m: Matrix) {
+        self.tensors.insert(name.into(), m);
+    }
+
+    /// Insert a vector as a 1×n matrix.
+    pub fn put_vec(&mut self, name: impl Into<String>, v: &[f32]) {
+        self.tensors
+            .insert(name.into(), Matrix::from_vec(1, v.len(), v.to_vec()));
+    }
+
+    /// Insert a string list (e.g. an embedding vocabulary, in id order).
+    pub fn put_strings(&mut self, name: impl Into<String>, items: Vec<String>) {
+        self.strings.insert(name.into(), items);
+    }
+
+    /// Fetch a matrix.
+    pub fn get(&self, name: &str) -> Option<&Matrix> {
+        self.tensors.get(name)
+    }
+
+    /// Fetch a 1×n matrix back as a vector.
+    pub fn get_vec(&self, name: &str) -> Option<Vec<f32>> {
+        let m = self.tensors.get(name)?;
+        (m.rows() == 1).then(|| m.data().to_vec())
+    }
+
+    /// Fetch a string list.
+    pub fn get_strings(&self, name: &str) -> Option<&[String]> {
+        self.strings.get(name).map(Vec::as_slice)
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty() && self.strings.is_empty()
+    }
+
+    /// Serialize. Format:
+    ///
+    /// ```text
+    /// tensorstore v1
+    /// tensor <name> <rows> <cols>
+    /// <row of floats>
+    /// …
+    /// strings <name> <count>
+    /// <one item per line>
+    /// ```
+    ///
+    /// Names and string items must not contain newlines; names must not
+    /// contain spaces (both hold for every producer in this workspace).
+    pub fn save_text(&self) -> String {
+        let mut out = String::from("tensorstore v1\n");
+        let mut tnames: Vec<&String> = self.tensors.keys().collect();
+        tnames.sort();
+        for name in tnames {
+            let m = &self.tensors[name];
+            let _ = writeln!(out, "tensor {name} {} {}", m.rows(), m.cols());
+            for r in 0..m.rows() {
+                let row = m.row(r);
+                for (i, v) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "{v}");
+                }
+                out.push('\n');
+            }
+        }
+        let mut snames: Vec<&String> = self.strings.keys().collect();
+        snames.sort();
+        for name in snames {
+            let items = &self.strings[name];
+            let _ = writeln!(out, "strings {name} {}", items.len());
+            for item in items {
+                let _ = writeln!(out, "{item}");
+            }
+        }
+        out
+    }
+
+    /// Parse the [`TensorStore::save_text`] format.
+    pub fn load_text(text: &str) -> Option<TensorStore> {
+        let mut lines = text.lines();
+        if lines.next()? != "tensorstore v1" {
+            return None;
+        }
+        let mut store = TensorStore::new();
+        while let Some(header) = lines.next() {
+            let mut parts = header.split_whitespace();
+            match parts.next()? {
+                "tensor" => {
+                    let name = parts.next()?.to_string();
+                    let rows: usize = parts.next()?.parse().ok()?;
+                    let cols: usize = parts.next()?.parse().ok()?;
+                    let mut data = Vec::with_capacity(rows * cols);
+                    for _ in 0..rows {
+                        let line = lines.next()?;
+                        for v in line.split_whitespace() {
+                            data.push(v.parse().ok()?);
+                        }
+                    }
+                    if data.len() != rows * cols {
+                        return None;
+                    }
+                    store.put(name, Matrix::from_vec(rows, cols, data));
+                }
+                "strings" => {
+                    let name = parts.next()?.to_string();
+                    let count: usize = parts.next()?.parse().ok()?;
+                    let mut items = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        items.push(lines.next()?.to_string());
+                    }
+                    store.put_strings(name, items);
+                }
+                _ => return None,
+            }
+        }
+        Some(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_tensors_and_strings() {
+        let mut s = TensorStore::new();
+        s.put("w", Matrix::from_vec(2, 3, vec![1.5, -2.0, 0.0, 3.25, 4.0, -0.125]));
+        s.put_vec("b", &[0.5, -0.5]);
+        s.put_strings("vocab", vec!["<unk>".into(), "covid-19".into(), "naïve".into()]);
+        let text = s.save_text();
+        let back = TensorStore::load_text(&text).expect("round trip");
+        assert_eq!(back.get("w").unwrap().data(), s.get("w").unwrap().data());
+        assert_eq!(back.get_vec("b").unwrap(), vec![0.5, -0.5]);
+        assert_eq!(back.get_strings("vocab").unwrap()[2], "naïve");
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let mut s = TensorStore::new();
+        let vals = vec![1.0e-7f32, std::f32::consts::PI, -9.999999e8, 0.1];
+        s.put_vec("v", &vals);
+        let back = TensorStore::load_text(&s.save_text()).unwrap();
+        assert_eq!(back.get_vec("v").unwrap(), vals, "exact f32 round trip");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(TensorStore::load_text("").is_none());
+        assert!(TensorStore::load_text("wrong header").is_none());
+        assert!(TensorStore::load_text("tensorstore v1\ntensor w 2 2\n1 2\n").is_none());
+        assert!(TensorStore::load_text("tensorstore v1\nstrings v 3\na\n").is_none());
+        assert!(TensorStore::load_text("tensorstore v1\nbogus x\n").is_none());
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let s = TensorStore::new();
+        let back = TensorStore::load_text(&s.save_text()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,528 @@
+//! Support Vector Machine trained with Sequential Minimal Optimization.
+//!
+//! The paper's Machine-learning baseline is an SVM over bag-of-words +
+//! positional features (§3.5), implemented there with Scikit-learn and
+//! citing Lin & Lin's study of sigmoid kernels under SMO [63]. This is a
+//! Platt-style simplified SMO over sparse feature vectors with linear,
+//! RBF and sigmoid kernels.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Sparse feature vector: sorted `(feature, value)` pairs.
+pub type SparseVector = Vec<(u32, f32)>;
+
+/// Kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `K(a,b) = a·b`
+    Linear,
+    /// `K(a,b) = exp(−γ‖a−b‖²)`
+    Rbf {
+        /// Width parameter γ.
+        gamma: f32,
+    },
+    /// `K(a,b) = tanh(α a·b + c)` — the kernel of [63].
+    Sigmoid {
+        /// Slope α.
+        alpha: f32,
+        /// Offset c.
+        c: f32,
+    },
+}
+
+impl Kernel {
+    /// Evaluate the kernel on two sparse vectors.
+    pub fn eval(&self, a: &SparseVector, b: &SparseVector) -> f32 {
+        match *self {
+            Kernel::Linear => sparse_dot(a, b),
+            Kernel::Rbf { gamma } => {
+                let d2 = sparse_sq_dist(a, b);
+                (-gamma * d2).exp()
+            }
+            Kernel::Sigmoid { alpha, c } => (alpha * sparse_dot(a, b) + c).tanh(),
+        }
+    }
+}
+
+fn sparse_dot(a: &SparseVector, b: &SparseVector) -> f32 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f32);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+fn sparse_sq_dist(a: &SparseVector, b: &SparseVector) -> f32 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f32);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(fa, va)), Some(&(fb, vb))) => match fa.cmp(&fb) {
+                std::cmp::Ordering::Less => {
+                    acc += va * va;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    acc += vb * vb;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let d = va - vb;
+                    acc += d * d;
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some(&(_, va)), None) => {
+                acc += va * va;
+                i += 1;
+            }
+            (None, Some(&(_, vb))) => {
+                acc += vb * vb;
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    acc
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Soft-margin penalty C.
+    pub c: f32,
+    /// KKT violation tolerance.
+    pub tol: f32,
+    /// Stop after this many consecutive passes without α updates.
+    pub max_passes: usize,
+    /// Hard cap on optimization sweeps.
+    pub max_iters: usize,
+    /// RNG seed (partner selection).
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            kernel: Kernel::Linear,
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iters: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained SVM: support vectors with their coefficients.
+#[derive(Debug, Clone)]
+pub struct Svm {
+    kernel: Kernel,
+    support: Vec<SparseVector>,
+    /// `α_i · y_i` per support vector.
+    coef: Vec<f32>,
+    bias: f32,
+}
+
+impl Svm {
+    /// Train on sparse examples with ±1 labels (`true` ⇒ +1).
+    ///
+    /// Panics if `examples` is empty or lengths mismatch — training-set
+    /// construction bugs, not data errors.
+    pub fn train(examples: &[SparseVector], labels: &[bool], config: &SvmConfig) -> Svm {
+        assert!(!examples.is_empty(), "empty training set");
+        assert_eq!(examples.len(), labels.len());
+        let n = examples.len();
+        let y: Vec<f32> = labels.iter().map(|&l| if l { 1.0 } else { -1.0 }).collect();
+        let mut alpha = vec![0.0f32; n];
+        let mut b = 0.0f32;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+
+        // Cache the kernel matrix when it fits (n² f32s); the training
+        // sets in the experiments are ≤ a few thousand rows.
+        let cache: Option<Vec<f32>> = if n * n <= 16_000_000 {
+            let mut k = vec![0.0f32; n * n];
+            for i in 0..n {
+                for j in i..n {
+                    let v = config.kernel.eval(&examples[i], &examples[j]);
+                    k[i * n + j] = v;
+                    k[j * n + i] = v;
+                }
+            }
+            Some(k)
+        } else {
+            None
+        };
+        let kval = |i: usize, j: usize| -> f32 {
+            match &cache {
+                Some(k) => k[i * n + j],
+                None => config.kernel.eval(&examples[i], &examples[j]),
+            }
+        };
+        let f = |alpha: &[f32], b: f32, i: usize| -> f32 {
+            let mut acc = b;
+            for (j, &a) in alpha.iter().enumerate() {
+                if a != 0.0 {
+                    acc += a * y[j] * kval(j, i);
+                }
+            }
+            acc
+        };
+
+        let mut passes = 0;
+        let mut iters = 0;
+        while passes < config.max_passes && iters < config.max_iters {
+            let mut changed = 0;
+            for i in 0..n {
+                let ei = f(&alpha, b, i) - y[i];
+                let violates = (y[i] * ei < -config.tol && alpha[i] < config.c)
+                    || (y[i] * ei > config.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Random partner j != i.
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, b, j) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() < f32::EPSILON {
+                    ((ai_old + aj_old - config.c).max(0.0), (ai_old + aj_old).min(config.c))
+                } else {
+                    ((aj_old - ai_old).max(0.0), (config.c + aj_old - ai_old).min(config.c))
+                };
+                // Guard against degenerate or inverted boxes (hi can land
+                // an epsilon below lo from float cancellation).
+                if hi <= lo + 1e-8 {
+                    continue;
+                }
+                let eta = 2.0 * kval(i, j) - kval(i, i) - kval(j, j);
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-5 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+                // Bias update (Platt's rules).
+                let b1 = b - ei
+                    - y[i] * (ai - ai_old) * kval(i, i)
+                    - y[j] * (aj - aj_old) * kval(i, j);
+                let b2 = b - ej
+                    - y[i] * (ai - ai_old) * kval(i, j)
+                    - y[j] * (aj - aj_old) * kval(j, j);
+                b = if ai > 0.0 && ai < config.c {
+                    b1
+                } else if aj > 0.0 && aj < config.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+            iters += 1;
+        }
+
+        let mut support = Vec::new();
+        let mut coef = Vec::new();
+        for (i, &a) in alpha.iter().enumerate() {
+            if a > 1e-7 {
+                support.push(examples[i].clone());
+                coef.push(a * y[i]);
+            }
+        }
+        Svm {
+            kernel: config.kernel,
+            support,
+            coef,
+            bias: b,
+        }
+    }
+
+    /// Decision value (distance-ish from the separating surface).
+    pub fn decision(&self, x: &SparseVector) -> f32 {
+        let mut acc = self.bias;
+        for (sv, &c) in self.support.iter().zip(&self.coef) {
+            acc += c * self.kernel.eval(sv, x);
+        }
+        acc
+    }
+
+    /// Predicted label.
+    pub fn predict(&self, x: &SparseVector) -> bool {
+        self.decision(x) >= 0.0
+    }
+
+    /// Number of support vectors retained.
+    pub fn n_support(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Serialize to a text format (kernel header, bias, then one
+    /// `coef id:val id:val…` line per support vector) — the released-model
+    /// payload for the №11/13 registry.
+    pub fn save_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self.kernel {
+            Kernel::Linear => {
+                let _ = writeln!(out, "kernel linear");
+            }
+            Kernel::Rbf { gamma } => {
+                let _ = writeln!(out, "kernel rbf {gamma}");
+            }
+            Kernel::Sigmoid { alpha, c } => {
+                let _ = writeln!(out, "kernel sigmoid {alpha} {c}");
+            }
+        }
+        let _ = writeln!(out, "bias {}", self.bias);
+        let _ = writeln!(out, "support {}", self.support.len());
+        for (sv, coef) in self.support.iter().zip(&self.coef) {
+            let _ = write!(out, "{coef}");
+            for (id, val) in sv {
+                let _ = write!(out, " {id}:{val}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the format produced by [`Svm::save_text`].
+    pub fn load_text(text: &str) -> Option<Svm> {
+        let mut lines = text.lines();
+        let kernel_line = lines.next()?;
+        let mut parts = kernel_line.split_whitespace();
+        if parts.next()? != "kernel" {
+            return None;
+        }
+        let kernel = match parts.next()? {
+            "linear" => Kernel::Linear,
+            "rbf" => Kernel::Rbf {
+                gamma: parts.next()?.parse().ok()?,
+            },
+            "sigmoid" => Kernel::Sigmoid {
+                alpha: parts.next()?.parse().ok()?,
+                c: parts.next()?.parse().ok()?,
+            },
+            _ => return None,
+        };
+        let bias_line = lines.next()?;
+        let bias: f32 = bias_line.strip_prefix("bias ")?.trim().parse().ok()?;
+        let n: usize = lines.next()?.strip_prefix("support ")?.trim().parse().ok()?;
+        let mut support = Vec::with_capacity(n);
+        let mut coef = Vec::with_capacity(n);
+        for line in lines.take(n) {
+            let mut parts = line.split_whitespace();
+            coef.push(parts.next()?.parse().ok()?);
+            let mut sv: SparseVector = Vec::new();
+            for pair in parts {
+                let (id, val) = pair.split_once(':')?;
+                sv.push((id.parse().ok()?, val.parse().ok()?));
+            }
+            support.push(sv);
+        }
+        if support.len() != n {
+            return None;
+        }
+        Some(Svm {
+            kernel,
+            support,
+            coef,
+            bias,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(v: &[f32]) -> SparseVector {
+        v.iter()
+            .enumerate()
+            .filter(|(_, &x)| x != 0.0)
+            .map(|(i, &x)| (i as u32, x))
+            .collect()
+    }
+
+    #[test]
+    fn sparse_ops() {
+        let a = dense(&[1.0, 0.0, 2.0]);
+        let b = dense(&[0.0, 3.0, 4.0]);
+        assert_eq!(sparse_dot(&a, &b), 8.0);
+        assert_eq!(sparse_sq_dist(&a, &b), 1.0 + 9.0 + 4.0);
+        assert_eq!(sparse_sq_dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn kernels_have_expected_shape() {
+        let a = dense(&[1.0, 0.0]);
+        let b = dense(&[0.0, 1.0]);
+        assert_eq!(Kernel::Linear.eval(&a, &b), 0.0);
+        let rbf = Kernel::Rbf { gamma: 1.0 };
+        assert!((rbf.eval(&a, &a) - 1.0).abs() < 1e-6);
+        assert!(rbf.eval(&a, &b) < 1.0);
+        let sig = Kernel::Sigmoid { alpha: 1.0, c: 0.0 };
+        assert!((sig.eval(&a, &a) - 1.0f32.tanh()).abs() < 1e-6);
+    }
+
+    fn linearly_separable(n: usize) -> (Vec<SparseVector>, Vec<bool>) {
+        // Positive class around (2, 2), negative around (-2, -2).
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let label = i % 2 == 0;
+            let center = if label { 2.0 } else { -2.0 };
+            let x = center + rng.gen_range(-0.5..0.5);
+            let y = center + rng.gen_range(-0.5..0.5);
+            xs.push(dense(&[x, y]));
+            ys.push(label);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn linear_kernel_separates_blobs() {
+        let (xs, ys) = linearly_separable(60);
+        let svm = Svm::train(&xs, &ys, &SvmConfig::default());
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| svm.predict(x) == y)
+            .count();
+        assert_eq!(correct, xs.len(), "separable data must fit exactly");
+        assert!(svm.n_support() < xs.len(), "most alphas should be zero");
+    }
+
+    #[test]
+    fn rbf_kernel_fits_xor() {
+        // XOR is not linearly separable; RBF must handle it.
+        let xs = vec![
+            dense(&[0.0, 0.0]),
+            dense(&[1.0, 1.0]),
+            dense(&[1.0, 0.0]),
+            dense(&[0.0, 1.0]),
+        ];
+        let ys = vec![false, false, true, true];
+        let cfg = SvmConfig {
+            kernel: Kernel::Rbf { gamma: 2.0 },
+            c: 10.0,
+            max_iters: 2000,
+            max_passes: 20,
+            ..SvmConfig::default()
+        };
+        let svm = Svm::train(&xs, &ys, &cfg);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(svm.predict(x), y);
+        }
+        let lin = Svm::train(&xs, &ys, &SvmConfig::default());
+        let lin_correct = xs.iter().zip(&ys).filter(|(x, &y)| lin.predict(x) == y).count();
+        assert!(lin_correct < 4, "linear kernel must fail on XOR");
+    }
+
+    #[test]
+    fn sigmoid_kernel_trains() {
+        let (xs, ys) = linearly_separable(40);
+        let cfg = SvmConfig {
+            kernel: Kernel::Sigmoid { alpha: 0.25, c: 0.0 },
+            c: 5.0,
+            max_iters: 1000,
+            max_passes: 10,
+            ..SvmConfig::default()
+        };
+        let svm = Svm::train(&xs, &ys, &cfg);
+        let correct = xs.iter().zip(&ys).filter(|(x, &y)| svm.predict(x) == y).count();
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.9,
+            "sigmoid kernel accuracy {correct}/{}",
+            xs.len()
+        );
+    }
+
+    #[test]
+    fn decision_values_order_by_margin() {
+        let (xs, ys) = linearly_separable(40);
+        let svm = Svm::train(&xs, &ys, &SvmConfig::default());
+        let far_pos = dense(&[5.0, 5.0]);
+        let near_pos = dense(&[0.6, 0.6]);
+        assert!(svm.decision(&far_pos) > svm.decision(&near_pos));
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let (xs, ys) = linearly_separable(30);
+        let a = Svm::train(&xs, &ys, &SvmConfig::default());
+        let b = Svm::train(&xs, &ys, &SvmConfig::default());
+        assert_eq!(a.bias, b.bias);
+        assert_eq!(a.n_support(), b.n_support());
+    }
+
+    #[test]
+    fn generalizes_to_unseen_points() {
+        let (xs, ys) = linearly_separable(80);
+        let svm = Svm::train(&xs, &ys, &SvmConfig::default());
+        assert!(svm.predict(&dense(&[1.5, 2.5])));
+        assert!(!svm.predict(&dense(&[-1.5, -2.5])));
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_decisions() {
+        let (xs, ys) = linearly_separable(40);
+        for kernel in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.5 },
+            Kernel::Sigmoid { alpha: 0.25, c: 0.1 },
+        ] {
+            let cfg = SvmConfig {
+                kernel,
+                ..SvmConfig::default()
+            };
+            let svm = Svm::train(&xs, &ys, &cfg);
+            let back = Svm::load_text(&svm.save_text()).expect("round trip");
+            assert_eq!(back.n_support(), svm.n_support());
+            for x in &xs {
+                assert!(
+                    (svm.decision(x) - back.decision(x)).abs() < 1e-4,
+                    "{kernel:?} decision drift"
+                );
+                assert_eq!(svm.predict(x), back.predict(x));
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Svm::load_text("").is_none());
+        assert!(Svm::load_text("kernel bogus\nbias 0\nsupport 0\n").is_none());
+        assert!(Svm::load_text("kernel linear\nbias 0\nsupport 2\n1 0:1\n").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_panics() {
+        let _ = Svm::train(&[], &[], &SvmConfig::default());
+    }
+}

@@ -1,0 +1,452 @@
+//! Pattern parser: pattern text → [`Ast`].
+
+use std::fmt;
+
+/// Parsed regular-expression syntax tree.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A character class.
+    Class(ClassSet),
+    /// `^`
+    StartAnchor,
+    /// `$`
+    EndAnchor,
+    /// `\b` (true) / `\B` (false)
+    WordBoundary(bool),
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation between branches.
+    Alternate(Vec<Ast>),
+    /// Repetition of a sub-expression.
+    Repeat {
+        /// Repeated expression.
+        inner: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions (`None` = unbounded).
+        max: Option<u32>,
+        /// Greedy (default) or lazy (`?` suffix).
+        greedy: bool,
+    },
+    /// A `( … )` group (no capture semantics needed by covidkg).
+    Group(Box<Ast>),
+}
+
+/// A set of characters: ranges plus negation flag.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct ClassSet {
+    /// Inclusive character ranges.
+    pub ranges: Vec<(char, char)>,
+    /// True for `[^…]`.
+    pub negated: bool,
+}
+
+impl ClassSet {
+    pub(crate) fn single(c: char) -> Self {
+        ClassSet {
+            ranges: vec![(c, c)],
+            negated: false,
+        }
+    }
+
+    pub(crate) fn push(&mut self, lo: char, hi: char) {
+        self.ranges.push((lo, hi));
+    }
+
+    /// Built-in `\d`.
+    pub(crate) fn digit() -> Self {
+        ClassSet {
+            ranges: vec![('0', '9')],
+            negated: false,
+        }
+    }
+
+    /// Built-in `\w`.
+    pub(crate) fn word() -> Self {
+        ClassSet {
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+            negated: false,
+        }
+    }
+
+    /// Built-in `\s`.
+    pub(crate) fn space() -> Self {
+        ClassSet {
+            ranges: vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\u{b}', '\u{c}'),
+            ],
+            negated: false,
+        }
+    }
+
+    pub(crate) fn negate(mut self) -> Self {
+        self.negated = !self.negated;
+        self
+    }
+
+    /// Membership test (before case folding, which compilation handles).
+    pub(crate) fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+/// Error produced when a pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte position in the pattern.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub(crate) fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = PatParser { chars, pos: 0 };
+    let ast = p.alternate()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected ')'"));
+    }
+    Ok(ast)
+}
+
+struct PatParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl PatParser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn alternate(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom()?;
+            parts.push(self.maybe_repeat(atom)?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.alternate()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            Some('[') => Ok(Ast::Class(self.class()?)),
+            Some('.') => Ok(Ast::AnyChar),
+            Some('^') => Ok(Ast::StartAnchor),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('\\') => self.escape(),
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("dangling quantifier '{c}'"))),
+            Some(c) => Ok(Ast::Literal(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            Some('d') => Ok(Ast::Class(ClassSet::digit())),
+            Some('D') => Ok(Ast::Class(ClassSet::digit().negate())),
+            Some('w') => Ok(Ast::Class(ClassSet::word())),
+            Some('W') => Ok(Ast::Class(ClassSet::word().negate())),
+            Some('s') => Ok(Ast::Class(ClassSet::space())),
+            Some('S') => Ok(Ast::Class(ClassSet::space().negate())),
+            Some('b') => Ok(Ast::WordBoundary(true)),
+            Some('B') => Ok(Ast::WordBoundary(false)),
+            Some('n') => Ok(Ast::Literal('\n')),
+            Some('t') => Ok(Ast::Literal('\t')),
+            Some('r') => Ok(Ast::Literal('\r')),
+            Some(c) if !c.is_alphanumeric() => Ok(Ast::Literal(c)),
+            Some(c) => Err(self.err(format!("unknown escape '\\{c}'"))),
+            None => Err(self.err("trailing backslash")),
+        }
+    }
+
+    fn class(&mut self) -> Result<ClassSet, ParseError> {
+        let mut set = ClassSet::default();
+        if self.peek() == Some('^') {
+            self.pos += 1;
+            set.negated = true;
+        }
+        // A leading ']' or '-' is a literal.
+        let mut first = true;
+        loop {
+            let c = match self.bump() {
+                Some(']') if !first => return Ok(set),
+                Some(c) => c,
+                None => return Err(self.err("unclosed character class")),
+            };
+            first = false;
+            let lo = match c {
+                '\\' => match self.bump() {
+                    Some('d') => {
+                        set.push('0', '9');
+                        continue;
+                    }
+                    Some('w') => {
+                        for (a, b) in ClassSet::word().ranges {
+                            set.push(a, b);
+                        }
+                        continue;
+                    }
+                    Some('s') => {
+                        for (a, b) in ClassSet::space().ranges {
+                            set.push(a, b);
+                        }
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(e) => e,
+                    None => return Err(self.err("trailing backslash in class")),
+                },
+                c => c,
+            };
+            // Range if followed by '-' and a non-']' char.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1; // consume '-'
+                let hi = match self.bump() {
+                    Some('\\') => match self.bump() {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some('r') => '\r',
+                        Some(e) => e,
+                        None => return Err(self.err("trailing backslash in class")),
+                    },
+                    Some(h) => h,
+                    None => return Err(self.err("unclosed character class")),
+                };
+                if hi < lo {
+                    return Err(self.err(format!("invalid class range {lo}-{hi}")));
+                }
+                set.push(lo, hi);
+            } else {
+                set.push(lo, lo);
+            }
+        }
+    }
+
+    /// Apply `* + ? {m,n}` suffixes (with optional lazy `?`).
+    fn maybe_repeat(&mut self, atom: Ast) -> Result<Ast, ParseError> {
+        let (min, max) = match self.peek() {
+            Some('*') => (0, None),
+            Some('+') => (1, None),
+            Some('?') => (0, Some(1)),
+            Some('{') => {
+                // `{…}` only counts as a quantifier if it parses as one;
+                // otherwise it is a literal brace (Perl-compatible).
+                if let Some((min, max, len)) = self.try_braces() {
+                    self.pos += len;
+                    let greedy = if self.peek() == Some('?') {
+                        self.pos += 1;
+                        false
+                    } else {
+                        true
+                    };
+                    if let Some(m) = max {
+                        if m < min {
+                            return Err(self.err("repetition max below min"));
+                        }
+                    }
+                    if !repeatable(&atom) {
+                        return Err(self.err("quantifier on anchor"));
+                    }
+                    return Ok(Ast::Repeat {
+                        inner: Box::new(atom),
+                        min,
+                        max,
+                        greedy,
+                    });
+                }
+                return Ok(atom);
+            }
+            _ => return Ok(atom),
+        };
+        self.pos += 1;
+        let greedy = if self.peek() == Some('?') {
+            self.pos += 1;
+            false
+        } else {
+            true
+        };
+        if !repeatable(&atom) {
+            return Err(self.err("quantifier on anchor"));
+        }
+        Ok(Ast::Repeat {
+            inner: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    /// Try to read `{m}`, `{m,}` or `{m,n}` starting at the current `{`.
+    /// Returns `(min, max, consumed_chars)` without consuming on failure.
+    fn try_braces(&self) -> Option<(u32, Option<u32>, usize)> {
+        let rest = &self.chars[self.pos..];
+        debug_assert_eq!(rest.first(), Some(&'{'));
+        let close = rest.iter().position(|&c| c == '}')?;
+        let body: String = rest[1..close].iter().collect();
+        let (min_s, max_s) = match body.split_once(',') {
+            Some((a, b)) => (a, Some(b)),
+            None => (body.as_str(), None),
+        };
+        let min: u32 = min_s.parse().ok()?;
+        let max = match max_s {
+            None => Some(min),
+            Some("") => None,
+            Some(m) => Some(m.parse().ok()?),
+        };
+        Some((min, max, close + 1))
+    }
+}
+
+fn repeatable(ast: &Ast) -> bool {
+    !matches!(
+        ast,
+        Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_precedence() {
+        // a|bc == a | (bc)
+        let ast = parse("a|bc").unwrap();
+        match ast {
+            Ast::Alternate(branches) => {
+                assert_eq!(branches[0], Ast::Literal('a'));
+                assert!(matches!(branches[1], Ast::Concat(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_binds_to_atom() {
+        let ast = parse("ab*").unwrap();
+        match ast {
+            Ast::Concat(parts) => {
+                assert_eq!(parts[0], Ast::Literal('a'));
+                assert!(matches!(parts[1], Ast::Repeat { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_membership() {
+        let mut set = ClassSet::default();
+        set.push('a', 'f');
+        set.push('0', '3');
+        assert!(set.contains('c'));
+        assert!(set.contains('2'));
+        assert!(!set.contains('z'));
+        let neg = set.negate();
+        assert!(neg.contains('z'));
+        assert!(!neg.contains('c'));
+    }
+
+    #[test]
+    fn braces_parse_forms() {
+        assert!(matches!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat { min: 3, max: Some(3), .. }
+        ));
+        assert!(matches!(
+            parse("a{2,}").unwrap(),
+            Ast::Repeat { min: 2, max: None, .. }
+        ));
+        assert!(matches!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat { min: 2, max: Some(5), .. }
+        ));
+    }
+
+    #[test]
+    fn non_quantifier_braces_are_literals() {
+        let ast = parse("{x}").unwrap();
+        assert!(matches!(ast, Ast::Concat(_)));
+    }
+
+    #[test]
+    fn empty_pattern_is_empty_ast() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+        assert_eq!(parse("a|").unwrap(), Ast::Alternate(vec![Ast::Literal('a'), Ast::Empty]));
+    }
+
+    #[test]
+    fn quantified_anchor_rejected() {
+        assert!(parse("^*").is_err());
+        assert!(parse(r"\b+").is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! AST → NFA program compilation (Thompson construction over a flat
+//! instruction list, as in Pike's VM).
+
+use crate::ast::{Ast, ClassSet};
+
+/// One NFA instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum Inst {
+    /// Consume one character matching the class.
+    Class(ClassSet),
+    /// Consume any character except `\n`.
+    AnyChar,
+    /// Split execution: try `a` first (higher priority), then `b`.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Zero-width assertion.
+    Assert(Assertion),
+    /// Successful match.
+    Match,
+}
+
+/// Zero-width assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Assertion {
+    StartText,
+    EndText,
+    WordBoundary,
+    NotWordBoundary,
+}
+
+/// Compiled program plus match-time flags.
+#[derive(Debug, Clone)]
+pub(crate) struct Program {
+    pub insts: Vec<Inst>,
+    /// Case-insensitive matching: input chars are lowercased before class
+    /// tests (classes are compiled lowercased too).
+    pub case_insensitive: bool,
+    /// True when the pattern starts with `^` on every branch — lets the
+    /// search loop skip restarting at every position.
+    pub anchored_start: bool,
+}
+
+pub(crate) fn compile(ast: &Ast, case_insensitive: bool) -> Program {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        ci: case_insensitive,
+    };
+    c.emit(ast);
+    c.insts.push(Inst::Match);
+    let anchored_start = starts_anchored(ast);
+    Program {
+        insts: c.insts,
+        case_insensitive,
+        anchored_start,
+    }
+}
+
+fn starts_anchored(ast: &Ast) -> bool {
+    match ast {
+        Ast::StartAnchor => true,
+        Ast::Concat(parts) => parts.first().is_some_and(starts_anchored),
+        Ast::Alternate(branches) => branches.iter().all(starts_anchored),
+        Ast::Group(inner) => starts_anchored(inner),
+        _ => false,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    ci: bool,
+}
+
+impl Compiler {
+    fn emit(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => {
+                let c = if self.ci { c.to_ascii_lowercase() } else { *c };
+                self.insts.push(Inst::Class(ClassSet::single(c)));
+            }
+            Ast::AnyChar => self.insts.push(Inst::AnyChar),
+            Ast::Class(set) => {
+                let set = if self.ci { fold_class(set) } else { set.clone() };
+                self.insts.push(Inst::Class(set));
+            }
+            Ast::StartAnchor => self.insts.push(Inst::Assert(Assertion::StartText)),
+            Ast::EndAnchor => self.insts.push(Inst::Assert(Assertion::EndText)),
+            Ast::WordBoundary(true) => self.insts.push(Inst::Assert(Assertion::WordBoundary)),
+            Ast::WordBoundary(false) => {
+                self.insts.push(Inst::Assert(Assertion::NotWordBoundary))
+            }
+            Ast::Group(inner) => self.emit(inner),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit(p);
+                }
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Repeat {
+                inner,
+                min,
+                max,
+                greedy,
+            } => self.emit_repeat(inner, *min, *max, *greedy),
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) {
+        // For branches b1..bn:
+        //   split L1, next1 ; L1: b1 ; jmp END ; next1: split L2, next2 ; …
+        let mut jump_to_end = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split_at = self.insts.len();
+                self.insts.push(Inst::Split(0, 0)); // patched below
+                self.emit(branch);
+                jump_to_end.push(self.insts.len());
+                self.insts.push(Inst::Jmp(0)); // patched below
+                let after = self.insts.len();
+                self.insts[split_at] = Inst::Split(split_at + 1, after);
+            } else {
+                self.emit(branch);
+            }
+        }
+        let end = self.insts.len();
+        for j in jump_to_end {
+            self.insts[j] = Inst::Jmp(end);
+        }
+    }
+
+    fn emit_repeat(&mut self, inner: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Mandatory prefix: `min` copies.
+        for _ in 0..min {
+            self.emit(inner);
+        }
+        match max {
+            None => {
+                if min == 0 {
+                    // e* :  L: split B, END ; B: e ; jmp L ; END:
+                    let l = self.insts.len();
+                    self.insts.push(Inst::Split(0, 0));
+                    self.emit(inner);
+                    self.insts.push(Inst::Jmp(l));
+                    let end = self.insts.len();
+                    self.insts[l] = if greedy {
+                        Inst::Split(l + 1, end)
+                    } else {
+                        Inst::Split(end, l + 1)
+                    };
+                } else {
+                    // e+ tail after min copies: L: split B, END with loop back.
+                    let l = self.insts.len();
+                    self.insts.push(Inst::Split(0, 0));
+                    self.emit(inner);
+                    self.insts.push(Inst::Jmp(l));
+                    let end = self.insts.len();
+                    self.insts[l] = if greedy {
+                        Inst::Split(l + 1, end)
+                    } else {
+                        Inst::Split(end, l + 1)
+                    };
+                }
+            }
+            Some(max) => {
+                // (max - min) optional copies, each with its own exit split.
+                let mut splits = Vec::new();
+                for _ in min..max {
+                    let s = self.insts.len();
+                    self.insts.push(Inst::Split(0, 0));
+                    splits.push(s);
+                    self.emit(inner);
+                }
+                let end = self.insts.len();
+                for s in splits {
+                    self.insts[s] = if greedy {
+                        Inst::Split(s + 1, end)
+                    } else {
+                        Inst::Split(end, s + 1)
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Case-fold a class for ASCII case-insensitive matching: ranges that
+/// intersect A-Z get a lowercase twin and vice versa, then the VM
+/// lowercases input characters. (ASCII folding is sufficient for the
+/// search/pre-processing workloads in covidkg.)
+fn fold_class(set: &ClassSet) -> ClassSet {
+    let mut out = ClassSet {
+        ranges: Vec::with_capacity(set.ranges.len() * 2),
+        negated: set.negated,
+    };
+    for &(lo, hi) in &set.ranges {
+        out.push(lo, hi);
+        // Add the lowercase image of the uppercase overlap.
+        let ulo = lo.max('A');
+        let uhi = hi.min('Z');
+        if ulo <= uhi {
+            out.push(
+                ulo.to_ascii_lowercase(),
+                uhi.to_ascii_lowercase(),
+            );
+        }
+        // The VM lowercases input, so lowercase ranges already cover a-z
+        // input from either case; nothing more needed.
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    #[test]
+    fn literal_compiles_to_class_then_match() {
+        let p = compile(&parse("ab").unwrap(), false);
+        assert_eq!(p.insts.len(), 3);
+        assert!(matches!(p.insts[2], Inst::Match));
+    }
+
+    #[test]
+    fn star_emits_split_loop() {
+        let p = compile(&parse("a*").unwrap(), false);
+        assert!(matches!(p.insts[0], Inst::Split(1, 3)));
+        assert!(matches!(p.insts[2], Inst::Jmp(0)));
+    }
+
+    #[test]
+    fn lazy_star_swaps_split_priority() {
+        let p = compile(&parse("a*?").unwrap(), false);
+        assert!(matches!(p.insts[0], Inst::Split(3, 1)));
+    }
+
+    #[test]
+    fn anchored_detection() {
+        assert!(compile(&parse("^a").unwrap(), false).anchored_start);
+        assert!(compile(&parse("^a|^b").unwrap(), false).anchored_start);
+        assert!(!compile(&parse("a").unwrap(), false).anchored_start);
+        assert!(!compile(&parse("^a|b").unwrap(), false).anchored_start);
+    }
+
+    #[test]
+    fn case_fold_adds_lowercase_twins() {
+        let folded = fold_class(&ClassSet {
+            ranges: vec![('A', 'Z')],
+            negated: false,
+        });
+        assert!(folded.contains('q'));
+        assert!(folded.contains('Q'));
+    }
+}

@@ -1,0 +1,254 @@
+//! Pike-style NFA virtual machine.
+//!
+//! Runs every thread in lock-step over the input, so runtime is
+//! `O(len(input) × len(program))` regardless of pattern shape. Thread order
+//! encodes priority: earlier threads win, which yields Perl-style
+//! leftmost-first semantics (greedy/lazy behaviour falls out of the order
+//! of `Split` targets chosen at compile time).
+
+use crate::compile::{Assertion, Inst, Program};
+use crate::Match;
+
+/// A live NFA thread: program counter plus the match start position.
+#[derive(Clone, Copy)]
+struct Thread {
+    pc: usize,
+    start: usize,
+}
+
+/// Priority-ordered thread list with O(1) pc-dedup via generation stamps.
+struct ThreadList {
+    threads: Vec<Thread>,
+    seen_gen: Vec<u32>,
+    gen: u32,
+}
+
+impl ThreadList {
+    fn new(len: usize) -> Self {
+        ThreadList {
+            threads: Vec::with_capacity(len),
+            seen_gen: vec![0; len],
+            gen: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.gen += 1;
+    }
+
+    fn contains(&self, pc: usize) -> bool {
+        self.seen_gen[pc] == self.gen
+    }
+
+    fn mark(&mut self, pc: usize) {
+        self.seen_gen[pc] = self.gen;
+    }
+}
+
+/// Zero-width context at an input position.
+#[derive(Clone, Copy)]
+struct Ctx {
+    /// Absolute byte offset in the haystack.
+    at: usize,
+    /// Haystack length in bytes.
+    len: usize,
+    /// Character before the position, if any.
+    prev: Option<char>,
+    /// Character at the position, if any.
+    next: Option<char>,
+}
+
+impl Ctx {
+    fn check(&self, a: Assertion) -> bool {
+        match a {
+            Assertion::StartText => self.at == 0,
+            Assertion::EndText => self.at == self.len,
+            Assertion::WordBoundary => self.word_boundary(),
+            Assertion::NotWordBoundary => !self.word_boundary(),
+        }
+    }
+
+    fn word_boundary(&self) -> bool {
+        is_word(self.prev) != is_word(self.next)
+    }
+}
+
+fn is_word(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Add `pc`'s epsilon closure to `list`, stopping at consuming instructions
+/// and `Match`. Recursion depth is bounded by program length (each pc is
+/// visited at most once per step thanks to the dedup marks).
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, start: usize, ctx: Ctx) {
+    if list.contains(pc) {
+        return;
+    }
+    list.mark(pc);
+    match &prog.insts[pc] {
+        Inst::Jmp(to) => add_thread(prog, list, *to, start, ctx),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, *a, start, ctx);
+            add_thread(prog, list, *b, start, ctx);
+        }
+        Inst::Assert(a) => {
+            if ctx.check(*a) {
+                add_thread(prog, list, pc + 1, start, ctx);
+            }
+        }
+        Inst::Class(_) | Inst::AnyChar | Inst::Match => {
+            list.threads.push(Thread { pc, start });
+        }
+    }
+}
+
+/// Search `haystack[from..]` for the leftmost match.
+pub(crate) fn search(prog: &Program, haystack: &str, from: usize) -> Option<Match> {
+    let n_insts = prog.insts.len();
+    let mut clist = ThreadList::new(n_insts);
+    let mut nlist = ThreadList::new(n_insts);
+    clist.clear();
+    nlist.clear();
+
+    let tail = &haystack[from..];
+    let prev_of_from = haystack[..from].chars().next_back();
+    let mut matched: Option<Match> = None;
+
+    // Iterate over char positions from..=len. `iter` yields the char at the
+    // current position; `prev` tracks the previous char for \b.
+    let mut chars = tail.char_indices().peekable();
+    let mut prev = prev_of_from;
+    loop {
+        let (at, cur) = match chars.peek().copied() {
+            Some((i, c)) => (from + i, Some(c)),
+            None => (haystack.len(), None),
+        };
+        let ctx = Ctx {
+            at,
+            len: haystack.len(),
+            prev,
+            next: cur,
+        };
+
+        // Spawn a fresh lowest-priority thread at this position while no
+        // match has been committed (leftmost semantics).
+        if matched.is_none() && (!prog.anchored_start || at == 0) {
+            add_thread(prog, &mut clist, 0, at, ctx);
+        }
+        if clist.threads.is_empty() {
+            if matched.is_some() || cur.is_none() || prog.anchored_start {
+                break;
+            }
+        }
+
+        nlist.clear();
+        let next_ctx = |consumed: char| {
+            // Context at the position after consuming `cur`.
+            let next_at = at + consumed.len_utf8();
+            let next_char = {
+                let rest = &haystack[next_at..];
+                rest.chars().next()
+            };
+            Ctx {
+                at: next_at,
+                len: haystack.len(),
+                prev: Some(consumed),
+                next: next_char,
+            }
+        };
+
+        let mut i = 0;
+        while i < clist.threads.len() {
+            let th = clist.threads[i];
+            match &prog.insts[th.pc] {
+                Inst::Class(set) => {
+                    if let Some(c) = cur {
+                        let c = if prog.case_insensitive {
+                            c.to_ascii_lowercase()
+                        } else {
+                            c
+                        };
+                        if set.contains(c) {
+                            add_thread(prog, &mut nlist, th.pc + 1, th.start, next_ctx(cur.unwrap()));
+                        }
+                    }
+                }
+                Inst::AnyChar => {
+                    if let Some(c) = cur {
+                        if c != '\n' {
+                            add_thread(prog, &mut nlist, th.pc + 1, th.start, next_ctx(c));
+                        }
+                    }
+                }
+                Inst::Match => {
+                    matched = Some(Match {
+                        start: th.start,
+                        end: at,
+                    });
+                    // Lower-priority threads can only produce a later or
+                    // lower-priority match; cut them.
+                    break;
+                }
+                // Epsilon instructions never appear in the list.
+                Inst::Jmp(_) | Inst::Split(_, _) | Inst::Assert(_) => unreachable!(),
+            }
+            i += 1;
+        }
+
+        std::mem::swap(&mut clist, &mut nlist);
+        if cur.is_none() {
+            break;
+        }
+        prev = cur;
+        chars.next();
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    // The VM is exercised end-to-end through the public API in lib.rs;
+    // these tests pin down edge cases in the search loop itself.
+
+    #[test]
+    fn match_at_end_of_input() {
+        let re = Regex::new("d$").unwrap();
+        let m = re.find("covid").unwrap();
+        assert_eq!((m.start, m.end), (4, 5));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_prefix() {
+        let re = Regex::new("").unwrap();
+        let m = re.find("abc").unwrap();
+        assert_eq!((m.start, m.end), (0, 0));
+    }
+
+    #[test]
+    fn anchored_search_fails_fast_mid_string() {
+        let re = Regex::new("^x").unwrap();
+        assert!(!re.is_match("yyyyx"));
+    }
+
+    #[test]
+    fn find_from_offset_respects_word_boundary_context() {
+        // When find_iter resumes after "un", \bmask must not match inside
+        // "unmask" even though the scan starts at byte 2.
+        let re = Regex::new(r"\bmask").unwrap();
+        let hay = "unmask mask";
+        let ms: Vec<_> = re.find_iter(hay).collect();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].start, 7);
+    }
+
+    #[test]
+    fn multibyte_offsets_are_byte_accurate() {
+        let re = Regex::new("19").unwrap();
+        let hay = "é COVID‑19"; // non-ASCII dash
+        let m = re.find(hay).unwrap();
+        assert_eq!(m.as_str(hay), "19");
+    }
+}

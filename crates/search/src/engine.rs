@@ -1,0 +1,432 @@
+//! The three search engines (§2.1), compiled to aggregation pipelines.
+//!
+//! "The Search Engine receives results from the database by using an
+//! aggregation query … The first stage in the pipeline is a `$match`
+//! expression … It was mindful to use the `$match` stage first to
+//! minimize the amount of data being passed through all the latter
+//! stages … In the next stage, the data is passed through a `$project`
+//! stage, which streams only the specified fields … The pipeline also
+//! uses a few custom `$function` stages to derive calculations … for
+//! ranking results."
+
+use crate::query::{parse_query, ParsedQuery};
+use crate::rank::{RankWeights, Ranker};
+use crate::result::{build_result, SearchPage};
+use covidkg_json::Value;
+use covidkg_regex::escape;
+use covidkg_store::pipeline::{DocFn, Pipeline};
+use covidkg_store::{Collection, Filter};
+use std::sync::Arc;
+
+/// Which of the three §2.1 engines to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchMode {
+    /// §2.1.1 — separate queries over title, abstract and table captions;
+    /// every non-empty field query must match its field ("the search
+    /// fields are inclusive").
+    TitleAbstractCaption {
+        /// Query against `title` (empty = unused).
+        title: String,
+        /// Query against `abstract`.
+        abstract_q: String,
+        /// Query against table captions.
+        caption: String,
+    },
+    /// §2.1.2 — one query over all publication fields.
+    AllFields(String),
+    /// §2.1.3 — query over table captions and table data only.
+    Tables(String),
+}
+
+/// Results per page — "paginated as a list of ten per page".
+pub const PAGE_SIZE: usize = 10;
+
+/// A search engine bound to a publications collection.
+pub struct SearchEngine {
+    collection: Arc<Collection>,
+    weights: RankWeights,
+}
+
+impl SearchEngine {
+    /// Engine over `collection` with default publication weights.
+    pub fn new(collection: Arc<Collection>) -> SearchEngine {
+        SearchEngine {
+            collection,
+            weights: RankWeights::publication_default(),
+        }
+    }
+
+    /// Override ranking weights.
+    pub fn with_weights(mut self, weights: RankWeights) -> SearchEngine {
+        self.weights = weights;
+        self
+    }
+
+    /// Run a search, returning the requested 0-based page.
+    pub fn search(&self, mode: &SearchMode, page: usize) -> SearchPage {
+        let (query_text, parsed, filter, field_paths) = self.compile(mode);
+        if parsed.is_empty() {
+            return SearchPage {
+                query: query_text,
+                page,
+                page_size: PAGE_SIZE,
+                total: 0,
+                results: Vec::new(),
+            };
+        }
+        let weights = RankWeights {
+            fields: field_paths
+                .iter()
+                .map(|p| {
+                    let w = self
+                        .weights
+                        .fields
+                        .iter()
+                        .find(|(f, _)| f == p)
+                        .map_or(1.0, |(_, w)| *w);
+                    (p.clone(), w)
+                })
+                .collect(),
+            ..self.weights.clone()
+        };
+        let ranker = Arc::new(Ranker::new(
+            parsed,
+            weights,
+            self.collection.text_index(),
+            self.collection.len(),
+        ));
+
+        // $match → $project → $function(rank) → $sort → paginate.
+        let rank_fn: DocFn = {
+            let ranker = Arc::clone(&ranker);
+            Arc::new(move |doc: &Value| Value::float(ranker.score(doc)))
+        };
+        let mut project: Vec<String> = field_paths.clone();
+        for keep in ["title", "date"] {
+            if !project.iter().any(|p| p == keep) {
+                project.push(keep.to_string());
+            }
+        }
+        let pipeline = Pipeline::new()
+            .match_filter(filter)
+            .project(project)
+            .function("covidkg_rank", "score", rank_fn)
+            .sort_desc("score")
+            .stage(covidkg_store::pipeline::Stage::Sort(vec![
+                ("score".into(), covidkg_store::pipeline::Order::Desc),
+                ("_id".into(), covidkg_store::pipeline::Order::Asc),
+            ]));
+        let ranked = self.collection.aggregate(&pipeline);
+        let total = ranked.len();
+        let results = ranked
+            .iter()
+            .skip(page * PAGE_SIZE)
+            .take(PAGE_SIZE)
+            .map(|doc| {
+                let score = doc.path("score").and_then(Value::as_f64).unwrap_or(0.0);
+                build_result(doc, score, &ranker)
+            })
+            .collect();
+        SearchPage {
+            query: query_text,
+            page,
+            page_size: PAGE_SIZE,
+            total,
+            results,
+        }
+    }
+
+    /// Compile a mode into (display text, parsed query, `$match` filter,
+    /// searched field paths).
+    fn compile(&self, mode: &SearchMode) -> (String, ParsedQuery, Filter, Vec<String>) {
+        match mode {
+            SearchMode::AllFields(q) => {
+                let parsed = parse_query(q);
+                let fields = vec![
+                    "title".to_string(),
+                    "abstract".to_string(),
+                    "tables".to_string(),
+                    "figure_captions".to_string(),
+                    "body".to_string(),
+                ];
+                let filter = query_filter(&parsed, &fields);
+                (q.clone(), parsed, filter, fields)
+            }
+            SearchMode::Tables(q) => {
+                let parsed = parse_query(q);
+                // §2.1.3: "regular expression search over table captions
+                // and all of the table's data".
+                let fields = vec!["tables".to_string()];
+                let filter = query_filter(&parsed, &fields);
+                (q.clone(), parsed, filter, fields)
+            }
+            SearchMode::TitleAbstractCaption {
+                title,
+                abstract_q,
+                caption,
+            } => {
+                // Inclusive field semantics: AND over the non-empty field
+                // queries, each restricted to its own field.
+                let mut clauses = Vec::new();
+                let mut fields = Vec::new();
+                let mut combined = ParsedQuery::default();
+                let mut display = Vec::new();
+                for (q, field) in [
+                    (title, "title"),
+                    (abstract_q, "abstract"),
+                    (caption, "tables"),
+                ] {
+                    let parsed = parse_query(q);
+                    if parsed.is_empty() {
+                        continue;
+                    }
+                    display.push(format!("{field}:{q}"));
+                    clauses.push(query_filter(&parsed, &[field.to_string()]));
+                    fields.push(field.to_string());
+                    combined.exact_phrases.extend(parsed.exact_phrases);
+                    combined.terms.extend(parsed.terms);
+                    for s in parsed.stems {
+                        if !combined.stems.contains(&s) {
+                            combined.stems.push(s);
+                        }
+                    }
+                }
+                let filter = match clauses.len() {
+                    0 => Filter::True,
+                    1 => clauses.pop().unwrap(),
+                    _ => Filter::And(clauses),
+                };
+                (display.join(" "), combined, filter, fields)
+            }
+        }
+    }
+}
+
+/// Build the `$match` filter for a parsed query over `fields`: stems use
+/// the stemmed `$text` machinery; quoted phrases become case-insensitive
+/// regexes that must all be present (in any of the fields).
+fn query_filter(parsed: &ParsedQuery, fields: &[String]) -> Filter {
+    let mut clauses = Vec::new();
+    if !parsed.stems.is_empty() {
+        // Direct stems plus synonym stems: synonym recall is part of the
+        // §5 ranking claim ("matching terms and synonyms"); the ranking
+        // function then discounts synonym-only matches.
+        let mut stems = parsed.stems.clone();
+        stems.extend(parsed.synonym_stems.iter().cloned());
+        clauses.push(Filter::Text {
+            stems,
+            fields: fields.to_vec(),
+        });
+    }
+    for phrase in &parsed.exact_phrases {
+        let pattern = escape(phrase);
+        let per_field: Vec<Filter> = fields
+            .iter()
+            .map(|f| {
+                // Regex over nested fields needs the flattened text; the
+                // store's $regex resolves only direct string paths, so use
+                // a text+verify approach: regex against every string leaf
+                // under the field via a custom filter composition.
+                Filter::Regex(
+                    f.clone(),
+                    std::sync::Arc::new(
+                        covidkg_regex::Regex::new_ci(&pattern).expect("escaped pattern compiles"),
+                    ),
+                )
+            })
+            .collect();
+        clauses.push(Filter::Or(per_field));
+    }
+    match clauses.len() {
+        0 => Filter::True,
+        1 => clauses.pop().unwrap(),
+        _ => Filter::And(clauses),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covidkg_json::{arr, obj};
+    use covidkg_store::CollectionConfig;
+
+    fn collection() -> Arc<Collection> {
+        let c = Collection::new(
+            CollectionConfig::new("pubs").with_shards(4).with_text_fields([
+                "title",
+                "abstract",
+                "tables",
+                "figure_captions",
+                "body",
+            ]),
+        );
+        let docs = vec![
+            obj! {
+                "_id" => "p1",
+                "title" => "Mask mandates reduce transmission",
+                "abstract" => "Analysis of mask policies across regions.",
+                "date" => "2021-05",
+                "body" => arr![ obj!{ "heading" => "Intro", "text" => "masking works" } ],
+                "tables" => arr![ obj!{ "caption" => "Table 1: mask compliance", "html" => "<table></table>" } ],
+            },
+            obj! {
+                "_id" => "p2",
+                "title" => "Vaccine efficacy in adults",
+                "abstract" => "Vaccination outcomes after two doses.",
+                "date" => "2022-01",
+                "body" => arr![ obj!{ "heading" => "Intro", "text" => "vaccines and boosters" } ],
+                "tables" => arr![ obj!{ "caption" => "Table 1: efficacy by arm", "html" => "<table></table>" } ],
+            },
+            obj! {
+                "_id" => "p3",
+                "title" => "Ventilator capacity planning",
+                "abstract" => "ICU ventilators during surges; mask usage noted.",
+                "date" => "2020-11",
+                "body" => arr![ obj!{ "heading" => "Intro", "text" => "icu load" } ],
+                "tables" => arr![ obj!{ "caption" => "Table 1: ventilators per region", "html" => "<table></table>" } ],
+            },
+        ];
+        c.insert_many(docs).unwrap();
+        Arc::new(c)
+    }
+
+    #[test]
+    fn all_fields_search_ranks_title_hits_first() {
+        let engine = SearchEngine::new(collection());
+        let page = engine.search(&SearchMode::AllFields("masks".into()), 0);
+        assert_eq!(page.total, 2, "p1 (title) and p3 (abstract)");
+        assert_eq!(page.results[0].id, "p1");
+        assert!(page.results[0].score > page.results[1].score);
+    }
+
+    #[test]
+    fn stemming_matches_query_variants() {
+        let engine = SearchEngine::new(collection());
+        // "vaccinations" stems to "vaccin" like "Vaccine"/"Vaccination".
+        let page = engine.search(&SearchMode::AllFields("vaccinations".into()), 0);
+        assert_eq!(page.total, 1);
+        assert_eq!(page.results[0].id, "p2");
+    }
+
+    #[test]
+    fn quoted_query_requires_exact_presence() {
+        let engine = SearchEngine::new(collection());
+        let page = engine.search(&SearchMode::AllFields("\"mask mandates\"".into()), 0);
+        assert_eq!(page.total, 1);
+        assert_eq!(page.results[0].id, "p1");
+        // Stemmed variant of the same words appears in p3's abstract too,
+        // but the exact phrase does not.
+        let loose = engine.search(&SearchMode::AllFields("mask mandates".into()), 0);
+        assert!(loose.total >= 1);
+    }
+
+    #[test]
+    fn table_engine_searches_only_tables() {
+        let engine = SearchEngine::new(collection());
+        let page = engine.search(&SearchMode::Tables("ventilators".into()), 0);
+        assert_eq!(page.total, 1, "only p3's table mentions ventilators");
+        assert_eq!(page.results[0].id, "p3");
+        // "transmission" appears in p1's title but no table.
+        let none = engine.search(&SearchMode::Tables("transmission".into()), 0);
+        assert_eq!(none.total, 0);
+    }
+
+    #[test]
+    fn title_abstract_caption_fields_are_inclusive() {
+        let engine = SearchEngine::new(collection());
+        // Title must contain masks AND caption must contain compliance.
+        let page = engine.search(
+            &SearchMode::TitleAbstractCaption {
+                title: "masks".into(),
+                abstract_q: String::new(),
+                caption: "compliance".into(),
+            },
+            0,
+        );
+        assert_eq!(page.total, 1);
+        assert_eq!(page.results[0].id, "p1");
+        // Same title query with a caption that p1 lacks → no results.
+        let none = engine.search(
+            &SearchMode::TitleAbstractCaption {
+                title: "masks".into(),
+                abstract_q: String::new(),
+                caption: "efficacy".into(),
+            },
+            0,
+        );
+        assert_eq!(none.total, 0);
+    }
+
+    #[test]
+    fn empty_queries_return_empty_pages() {
+        let engine = SearchEngine::new(collection());
+        let page = engine.search(&SearchMode::AllFields("the of".into()), 0);
+        assert_eq!(page.total, 0);
+        assert!(page.results.is_empty());
+    }
+
+    #[test]
+    fn pagination_slices_results() {
+        let c = Collection::new(
+            CollectionConfig::new("pubs").with_text_fields(["title"]),
+        );
+        for i in 0..25 {
+            c.insert(obj! {
+                "_id" => format!("p{i:02}"),
+                "title" => format!("mask study number {i}"),
+                "date" => "2021-01",
+            })
+            .unwrap();
+        }
+        let engine = SearchEngine::new(Arc::new(c));
+        let p0 = engine.search(&SearchMode::AllFields("mask".into()), 0);
+        let p1 = engine.search(&SearchMode::AllFields("mask".into()), 1);
+        let p2 = engine.search(&SearchMode::AllFields("mask".into()), 2);
+        assert_eq!(p0.total, 25);
+        assert_eq!(p0.results.len(), 10);
+        assert_eq!(p1.results.len(), 10);
+        assert_eq!(p2.results.len(), 5);
+        assert_eq!(p0.page_count(), 3);
+        // No overlap between pages.
+        let ids0: Vec<&str> = p0.results.iter().map(|r| r.id.as_str()).collect();
+        let ids1: Vec<&str> = p1.results.iter().map(|r| r.id.as_str()).collect();
+        assert!(ids0.iter().all(|id| !ids1.contains(id)));
+    }
+
+    #[test]
+    fn snippets_highlight_matches() {
+        let engine = SearchEngine::new(collection());
+        let page = engine.search(&SearchMode::AllFields("masks".into()), 0);
+        let rendered = page.render();
+        assert!(rendered.to_lowercase().contains("[mask"), "{rendered}");
+    }
+
+    #[test]
+    fn synonyms_extend_recall_but_rank_below_direct_matches() {
+        let c = Collection::new(CollectionConfig::new("pubs").with_text_fields(["title"]));
+        c.insert(obj! { "_id" => "direct", "title" => "vaccine rollout", "date" => "2021-01" })
+            .unwrap();
+        c.insert(obj! { "_id" => "synonym", "title" => "immunization rollout", "date" => "2021-01" })
+            .unwrap();
+        c.insert(obj! { "_id" => "noise", "title" => "ventilator supply", "date" => "2021-01" })
+            .unwrap();
+        let engine = SearchEngine::new(Arc::new(c));
+        let page = engine.search(&SearchMode::AllFields("vaccine".into()), 0);
+        // Synonym doc is retrieved (recall) …
+        assert_eq!(page.total, 2, "expected direct + synonym hits");
+        // … but ranks below the direct match.
+        assert_eq!(page.results[0].id, "direct");
+        assert_eq!(page.results[1].id, "synonym");
+        assert!(page.results[0].score > page.results[1].score);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let engine = SearchEngine::new(collection());
+        let a = engine.search(&SearchMode::AllFields("masks".into()), 0);
+        let b = engine.search(&SearchMode::AllFields("masks".into()), 0);
+        let ids_a: Vec<&str> = a.results.iter().map(|r| r.id.as_str()).collect();
+        let ids_b: Vec<&str> = b.results.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+}

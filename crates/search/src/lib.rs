@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # covidkg-search
+//!
+//! The COVIDKG.ORG advanced search engines (§2.1), built on the store's
+//! aggregation pipeline. "We currently provide three different search
+//! engines for different types of structural queries. All three have a
+//! similar evaluation process, but produce different sets of results.
+//! Each one allows for exact match of the query if wrapped in quotes or
+//! stemming match capability on a tokenized query."
+//!
+//! * [`query`] — query parsing: quoted phrases become exact matches,
+//!   everything else is tokenized and stemmed;
+//! * [`rank`] — the ranking function: per-term TF-IDF, term proximity,
+//!   field weights and static document features ("The ranking is an
+//!   accumulation of various weighted features per document, such as the
+//!   number of matches, proximity between the matched terms and which
+//!   field the term was matched in");
+//! * [`engine`] — the three engines (title/abstract/caption, all fields,
+//!   tables) compiled into `$match` → `$project` → `$function` → `$sort`
+//!   pipelines with 10-per-page pagination;
+//! * [`result`] — result pages with snippets and highlight spans
+//!   (Figs 2 & 4).
+
+pub mod engine;
+pub mod query;
+pub mod rank;
+pub mod result;
+
+pub use engine::{SearchEngine, SearchMode};
+pub use query::{parse_query, ParsedQuery};
+pub use rank::{RankWeights, Ranker};
+pub use result::{SearchPage, SearchResult};

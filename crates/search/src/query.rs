@@ -1,0 +1,154 @@
+//! Query parsing (§2.1): quoted substrings request exact match, bare
+//! terms request stemmed match.
+
+use covidkg_text::{is_stopword, stem, tokenize_lower};
+
+/// A parsed user query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedQuery {
+    /// Quoted phrases requiring exact (case-insensitive) presence.
+    pub exact_phrases: Vec<String>,
+    /// Bare terms (lowercased, stopwords removed).
+    pub terms: Vec<String>,
+    /// Stems of `terms`, deduplicated, in first-seen order.
+    pub stems: Vec<String>,
+    /// Synonym stems of `stems` (curated groups, §5 "matching terms and
+    /// synonyms"); disjoint from `stems`, scored at a discount.
+    pub synonym_stems: Vec<String>,
+}
+
+impl ParsedQuery {
+    /// True when nothing searchable was entered.
+    pub fn is_empty(&self) -> bool {
+        self.exact_phrases.is_empty() && self.stems.is_empty()
+    }
+}
+
+/// Parse a raw query string.
+pub fn parse_query(input: &str) -> ParsedQuery {
+    let mut exact_phrases = Vec::new();
+    let mut rest = String::new();
+    let mut chars = input.chars();
+    // Extract "quoted phrases"; unbalanced quotes treat the tail as bare.
+    'outer: loop {
+        let mut buf = String::new();
+        for c in chars.by_ref() {
+            if c == '"' {
+                // Start of a quoted phrase: read until the closing quote.
+                let mut phrase = String::new();
+                for q in chars.by_ref() {
+                    if q == '"' {
+                        let trimmed = phrase.trim();
+                        if !trimmed.is_empty() {
+                            exact_phrases.push(trimmed.to_string());
+                        }
+                        rest.push_str(&buf);
+                        rest.push(' ');
+                        continue 'outer;
+                    }
+                    phrase.push(q);
+                }
+                // Unbalanced: treat as bare text.
+                rest.push_str(&buf);
+                rest.push(' ');
+                rest.push_str(&phrase);
+                break 'outer;
+            }
+            buf.push(c);
+        }
+        rest.push_str(&buf);
+        break;
+    }
+
+    let terms: Vec<String> = tokenize_lower(&rest)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .collect();
+    let mut stems = Vec::new();
+    for t in &terms {
+        let s = stem(t);
+        if !stems.contains(&s) {
+            stems.push(s);
+        }
+    }
+    let mut synonym_stems = Vec::new();
+    for s in &stems {
+        for syn in covidkg_text::synonym_stems(s) {
+            if !stems.contains(&syn) && !synonym_stems.contains(&syn) {
+                synonym_stems.push(syn);
+            }
+        }
+    }
+    ParsedQuery {
+        exact_phrases,
+        terms,
+        stems,
+        synonym_stems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_terms_are_stemmed() {
+        let q = parse_query("mask mandates");
+        assert!(q.exact_phrases.is_empty());
+        assert_eq!(q.terms, ["mask", "mandates"]);
+        assert_eq!(q.stems, ["mask", "mandat"]);
+    }
+
+    #[test]
+    fn quoted_phrases_stay_exact() {
+        let q = parse_query("\"mRNA-1273\" efficacy");
+        assert_eq!(q.exact_phrases, ["mRNA-1273"]);
+        assert_eq!(q.stems, ["efficaci"]);
+    }
+
+    #[test]
+    fn multiple_quotes() {
+        let q = parse_query("\"dose one\" and \"dose two\"");
+        assert_eq!(q.exact_phrases, ["dose one", "dose two"]);
+        // "and" is a stopword.
+        assert!(q.stems.is_empty());
+    }
+
+    #[test]
+    fn unbalanced_quote_degrades_to_bare() {
+        let q = parse_query("masks \"unclosed phrase");
+        assert!(q.exact_phrases.is_empty());
+        assert!(q.stems.contains(&"mask".to_string()));
+        assert!(q.stems.contains(&"phrase".to_string()));
+    }
+
+    #[test]
+    fn stopwords_dropped_and_stems_deduped() {
+        let q = parse_query("the vaccine of vaccines");
+        assert_eq!(q.terms, ["vaccine", "vaccines"]);
+        assert_eq!(q.stems, ["vaccin"]);
+    }
+
+    #[test]
+    fn synonym_expansion() {
+        let q = parse_query("vaccine");
+        assert!(q.synonym_stems.contains(&covidkg_text::stem("immunization")));
+        // Expansion never duplicates primary stems.
+        for s in &q.synonym_stems {
+            assert!(!q.stems.contains(s));
+        }
+        // Terms with no curated group expand to nothing.
+        assert!(parse_query("placebo").synonym_stems.is_empty());
+        // Querying two members of one group doesn't self-expand.
+        let q = parse_query("vaccine vaccination");
+        assert!(!q.synonym_stems.contains(&covidkg_text::stem("vaccine")));
+    }
+
+    #[test]
+    fn empty_queries() {
+        assert!(parse_query("").is_empty());
+        assert!(parse_query("the of and").is_empty());
+        assert!(parse_query("\"\"").is_empty());
+        assert!(!parse_query("\"x\"").is_empty());
+    }
+}

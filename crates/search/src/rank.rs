@@ -1,0 +1,372 @@
+//! The ranking function (§2.1).
+//!
+//! "The ranking is an accumulation of various weighted features per
+//! document, such as the number of matches, proximity between the matched
+//! terms and which field the term was matched in. Each term in the corpus
+//! has an associated TF-IDF weight in order to reward more important
+//! terms. For each matched term its TF-IDF is weighted in the ranking per
+//! document." §2.1.3 adds "static and dynamic features"; recency serves
+//! as the static document feature here.
+
+use crate::query::ParsedQuery;
+use covidkg_json::Value;
+use covidkg_store::index::TextIndex;
+use covidkg_text::{stem, tokenize, Token};
+
+/// Field weights and feature coefficients.
+#[derive(Debug, Clone)]
+pub struct RankWeights {
+    /// `(dot path, weight)` per searched field.
+    pub fields: Vec<(String, f64)>,
+    /// Bonus coefficient for term proximity.
+    pub proximity: f64,
+    /// Coefficient for the static recency feature.
+    pub recency: f64,
+    /// Score added per exact-phrase hit.
+    pub exact_bonus: f64,
+    /// Discount applied to synonym matches relative to direct term
+    /// matches (§5: the ranking "incorporates matching terms and
+    /// synonyms").
+    pub synonym: f64,
+}
+
+impl RankWeights {
+    /// The default publication weighting: title ≫ abstract > captions >
+    /// body.
+    pub fn publication_default() -> RankWeights {
+        RankWeights {
+            fields: vec![
+                ("title".into(), 3.0),
+                ("abstract".into(), 2.0),
+                ("tables".into(), 1.5),
+                ("figure_captions".into(), 1.5),
+                ("body".into(), 1.0),
+            ],
+            proximity: 1.0,
+            recency: 0.2,
+            exact_bonus: 4.0,
+            synonym: 0.4,
+        }
+    }
+}
+
+/// Scores documents for one parsed query.
+///
+/// IDF statistics are snapshotted from the collection's inverted text
+/// index at construction (the same statistics MongoDB's text index would
+/// supply the JS `$function`), so the ranker is `'static` and can live
+/// inside a `$function` pipeline stage.
+pub struct Ranker {
+    query: ParsedQuery,
+    weights: RankWeights,
+    /// IDF per query stem, aligned with `query.stems`.
+    stem_idf: Vec<f64>,
+    /// IDF per synonym stem, aligned with `query.synonym_stems`.
+    syn_idf: Vec<f64>,
+}
+
+impl Ranker {
+    /// Build a ranker, snapshotting IDF values from the text index.
+    pub fn new(
+        query: ParsedQuery,
+        weights: RankWeights,
+        index: Option<&TextIndex>,
+        corpus_size: usize,
+    ) -> Self {
+        let n = corpus_size.max(1);
+        let idf_of = |s: &String| {
+            let df = index.map_or(0, |i| i.doc_freq(s));
+            (((1 + n) as f64) / ((1 + df) as f64)).ln() + 1.0
+        };
+        let stem_idf = query.stems.iter().map(idf_of).collect();
+        let syn_idf = query.synonym_stems.iter().map(idf_of).collect();
+        Ranker {
+            query,
+            weights,
+            stem_idf,
+            syn_idf,
+        }
+    }
+
+    /// The parsed query being ranked.
+    pub fn query(&self) -> &ParsedQuery {
+        &self.query
+    }
+
+    fn idf_at(&self, qi: usize) -> f64 {
+        self.stem_idf.get(qi).copied().unwrap_or(1.0)
+    }
+
+    /// Score one document.
+    pub fn score(&self, doc: &Value) -> f64 {
+        let mut total = 0.0;
+        for (path, field_weight) in &self.weights.fields {
+            total += field_weight * self.score_field(doc.path(path));
+        }
+        // Static feature: recency from the date field ("YYYY-MM").
+        if let Some(date) = doc.path("date").and_then(Value::as_str) {
+            if let Some(year) = date.get(..4).and_then(|y| y.parse::<i32>().ok()) {
+                total += self.weights.recency * f64::from((year - 2019).clamp(0, 10));
+            }
+        }
+        total
+    }
+
+    fn score_field(&self, value: Option<&Value>) -> f64 {
+        let mut texts = Vec::new();
+        collect_strings(value, &mut texts);
+        if texts.is_empty() {
+            return 0.0;
+        }
+        let mut score = 0.0;
+        for text in &texts {
+            score += self.score_text(text);
+        }
+        score
+    }
+
+    fn score_text(&self, text: &str) -> f64 {
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return 0.0;
+        }
+        // Per-stem term frequency within this text (direct + synonym).
+        let mut tf: Vec<u64> = vec![0; self.query.stems.len()];
+        let mut syn_tf: Vec<u64> = vec![0; self.query.synonym_stems.len()];
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.query.stems.len()];
+        for (pos, tok) in tokens.iter().enumerate() {
+            let ts = stem(&tok.text.to_lowercase());
+            for (qi, qs) in self.query.stems.iter().enumerate() {
+                if &ts == qs {
+                    tf[qi] += 1;
+                    positions[qi].push(pos);
+                }
+            }
+            for (qi, qs) in self.query.synonym_stems.iter().enumerate() {
+                if &ts == qs {
+                    syn_tf[qi] += 1;
+                }
+            }
+        }
+        let mut score = 0.0;
+        for (qi, &count) in tf.iter().enumerate() {
+            if count > 0 {
+                score += (1.0 + (count as f64).ln()) * self.idf_at(qi);
+            }
+        }
+        // Synonym matches contribute at a discount.
+        for (qi, &count) in syn_tf.iter().enumerate() {
+            if count > 0 {
+                let idf = self.syn_idf.get(qi).copied().unwrap_or(1.0);
+                score += self.weights.synonym * (1.0 + (count as f64).ln()) * idf;
+            }
+        }
+        // Proximity: minimal token-distance window covering two or more
+        // distinct matched stems.
+        let matched: Vec<&Vec<usize>> = positions.iter().filter(|p| !p.is_empty()).collect();
+        if matched.len() >= 2 {
+            let dist = min_pair_distance(&matched);
+            score += self.weights.proximity / (1.0 + dist as f64);
+        }
+        // Exact phrases: case-insensitive substring presence.
+        if !self.query.exact_phrases.is_empty() {
+            let lower = text.to_lowercase();
+            for phrase in &self.query.exact_phrases {
+                if lower.contains(&phrase.to_lowercase()) {
+                    score += self.weights.exact_bonus;
+                }
+            }
+        }
+        score
+    }
+
+    /// Byte spans in `text` matching the query (stems or exact phrases) —
+    /// drives result-page highlighting.
+    pub fn match_spans(&self, text: &str) -> Vec<(usize, usize)> {
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for Token { text: tok, start, end } in tokenize(text) {
+            let ts = stem(&tok.to_lowercase());
+            if self.query.stems.iter().any(|s| s == &ts)
+                || self.query.synonym_stems.iter().any(|s| s == &ts)
+            {
+                spans.push((start, end));
+            }
+        }
+        let lower = text.to_lowercase();
+        for phrase in &self.query.exact_phrases {
+            let needle = phrase.to_lowercase();
+            let mut at = 0;
+            while let Some(p) = lower[at..].find(&needle) {
+                // `to_lowercase` can change byte lengths for non-ASCII;
+                // guard the span against boundary drift.
+                let (s, e) = (at + p, at + p + needle.len());
+                if text.is_char_boundary(s) && text.is_char_boundary(e.min(text.len())) {
+                    spans.push((s, e.min(text.len())));
+                }
+                at += p + needle.len().max(1);
+            }
+        }
+        spans.sort_unstable();
+        spans.dedup();
+        spans
+    }
+}
+
+/// Minimum distance between positions of two different matched stems.
+fn min_pair_distance(matched: &[&Vec<usize>]) -> usize {
+    let mut best = usize::MAX;
+    for i in 0..matched.len() {
+        for j in i + 1..matched.len() {
+            for &a in matched[i] {
+                for &b in matched[j] {
+                    best = best.min(a.abs_diff(b));
+                }
+            }
+        }
+    }
+    best.saturating_sub(1)
+}
+
+fn collect_strings<'v>(value: Option<&'v Value>, out: &mut Vec<&'v str>) {
+    match value {
+        Some(Value::Str(s)) => out.push(s),
+        Some(Value::Array(items)) => {
+            for i in items {
+                collect_strings(Some(i), out);
+            }
+        }
+        Some(Value::Object(members)) => {
+            for (_, v) in members {
+                collect_strings(Some(v), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use covidkg_json::{arr, obj};
+
+    fn ranker(q: &str) -> Ranker {
+        Ranker::new(parse_query(q), RankWeights::publication_default(), None, 100)
+    }
+
+    #[test]
+    fn title_matches_outweigh_body_matches() {
+        let r = ranker("masks");
+        let title_doc = obj! { "title" => "masks work", "body" => arr![obj!{"text" => "filler"}] };
+        let body_doc = obj! { "title" => "something", "body" => arr![obj!{"text" => "masks work"}] };
+        assert!(r.score(&title_doc) > r.score(&body_doc));
+    }
+
+    #[test]
+    fn more_matches_score_higher() {
+        let r = ranker("vaccine");
+        let one = obj! { "title" => "vaccine" };
+        let three = obj! { "title" => "vaccine vaccine vaccine" };
+        assert!(r.score(&three) > r.score(&one));
+    }
+
+    #[test]
+    fn proximity_bonus_rewards_adjacent_terms() {
+        let r = ranker("mask mandate");
+        let near = obj! { "title" => "mask mandate effects" };
+        let far = obj! { "title" => "mask policies and the later mandate" };
+        assert!(r.score(&near) > r.score(&far));
+    }
+
+    #[test]
+    fn stemming_matches_inflected_forms() {
+        let r = ranker("vaccination");
+        let doc = obj! { "title" => "vaccinations and vaccinating" };
+        assert!(r.score(&doc) > 0.0);
+    }
+
+    #[test]
+    fn exact_phrase_bonus() {
+        let r = ranker("\"dose two\"");
+        let hit = obj! { "title" => "after Dose Two reactions" };
+        let miss = obj! { "title" => "two separate dose arms" };
+        assert!(r.score(&hit) > r.score(&miss));
+        assert_eq!(r.score(&miss), 0.0);
+    }
+
+    #[test]
+    fn recency_is_a_static_feature() {
+        let r = ranker("masks");
+        let newer = obj! { "title" => "masks", "date" => "2022-01" };
+        let older = obj! { "title" => "masks", "date" => "2020-01" };
+        assert!(r.score(&newer) > r.score(&older));
+    }
+
+    #[test]
+    fn idf_rewards_rare_terms_with_index() {
+        let idx = TextIndex::new(vec!["title".into()]);
+        for i in 0..50 {
+            idx.add(&format!("d{i}"), &obj! { "title" => "vaccine study" });
+        }
+        idx.add("rare", &obj! { "title" => "molnupiravir study" });
+        let r = Ranker::new(
+            parse_query("vaccine molnupiravir"),
+            RankWeights::publication_default(),
+            Some(&idx),
+            51,
+        );
+        let vdoc = obj! { "title" => "vaccine" };
+        let mdoc = obj! { "title" => "molnupiravir" };
+        assert!(r.score(&mdoc) > r.score(&vdoc));
+    }
+
+    #[test]
+    fn match_spans_cover_stem_and_phrase_hits() {
+        let r = ranker("mask \"dose two\"");
+        let text = "Masks and dose two protocols";
+        let spans = r.match_spans(text);
+        let matched: Vec<&str> = spans.iter().map(|&(s, e)| &text[s..e]).collect();
+        assert!(matched.contains(&"Masks"));
+        assert!(matched.contains(&"dose two"));
+    }
+
+    #[test]
+    fn synonym_matches_score_at_a_discount() {
+        let r = ranker("vaccine");
+        let direct = obj! { "title" => "vaccine rollout" };
+        let synonym = obj! { "title" => "immunization rollout" };
+        let unrelated = obj! { "title" => "ventilator rollout" };
+        let (sd, ss, su) = (r.score(&direct), r.score(&synonym), r.score(&unrelated));
+        assert!(sd > ss, "direct {sd} must beat synonym {ss}");
+        assert!(ss > su, "synonym {ss} must beat unrelated {su}");
+        assert_eq!(su, 0.0);
+        // Synonym tokens are highlighted too.
+        let spans = r.match_spans("immunization works");
+        assert_eq!(spans.len(), 1);
+    }
+
+    #[test]
+    fn no_query_terms_scores_zero() {
+        let r = ranker("the of");
+        assert_eq!(r.score(&obj! { "title" => "anything" }), 0.0);
+    }
+
+    #[test]
+    fn nested_fields_are_searched() {
+        let r = ranker("ventilators");
+        let doc = obj! {
+            "tables" => arr![ obj!{ "caption" => "ventilator counts", "html" => "<table>…</table>" } ],
+        };
+        assert!(r.score(&doc) > 0.0);
+    }
+
+    #[test]
+    fn min_pair_distance_math() {
+        let a = vec![0usize, 10];
+        let b = vec![3usize];
+        assert_eq!(min_pair_distance(&[&a, &b]), 2);
+        let adjacent = vec![4usize];
+        let c = vec![5usize];
+        assert_eq!(min_pair_distance(&[&adjacent, &c]), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Result pages (Figs 2 & 4).
+//!
+//! "Once the aggregation is finished the results are paginated as a list
+//! of ten per page displaying brief snippets of the document and access
+//! to the full text." Each result carries per-field snippets with
+//! highlight spans; the renderer marks matches the way the screenshots
+//! show them in red.
+
+use crate::rank::Ranker;
+use covidkg_json::Value;
+use covidkg_text::{make_snippet, Snippet};
+
+/// A snippet of one field of a matching document.
+#[derive(Debug, Clone)]
+pub struct FieldSnippet {
+    /// Field label ("title", "abstract", "table", …).
+    pub field: String,
+    /// The excerpt with highlights.
+    pub snippet: Snippet,
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Document `_id` (access to the full text).
+    pub id: String,
+    /// Title (highlighted separately in the UI).
+    pub title: String,
+    /// Ranking score.
+    pub score: f64,
+    /// Field snippets shown in the brief view, most important first.
+    pub snippets: Vec<FieldSnippet>,
+    /// Further matching snippets, collapsed by default — the Figs 2/4
+    /// interface "allows the user to expand and collapse appropriately".
+    pub collapsed: Vec<FieldSnippet>,
+}
+
+/// A page of results.
+#[derive(Debug, Clone)]
+pub struct SearchPage {
+    /// The raw query text.
+    pub query: String,
+    /// 0-based page number.
+    pub page: usize,
+    /// Results per page (10 in the paper).
+    pub page_size: usize,
+    /// Total matching documents across all pages.
+    pub total: usize,
+    /// This page's results.
+    pub results: Vec<SearchResult>,
+}
+
+impl SearchPage {
+    /// Number of pages available.
+    pub fn page_count(&self) -> usize {
+        self.total.div_ceil(self.page_size.max(1))
+    }
+
+    /// Render the page as text (the CLI stand-in for the Figs 2/4 UI),
+    /// with `[matches]` marked. Collapsed sections show a summary line.
+    pub fn render(&self) -> String {
+        self.render_inner(false)
+    }
+
+    /// Render with every collapsed section expanded.
+    pub fn render_expanded(&self) -> String {
+        self.render_inner(true)
+    }
+
+    fn render_inner(&self, expanded: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "results for {:?} — page {}/{} ({} matches)",
+            self.query,
+            self.page + 1,
+            self.page_count().max(1),
+            self.total
+        );
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>2}. {}  (score {:.2}, id {})",
+                self.page * self.page_size + i + 1,
+                r.title,
+                r.score,
+                r.id
+            );
+            for fs in &r.snippets {
+                let _ = writeln!(out, "      {}: {}", fs.field, fs.snippet.render_marked());
+            }
+            if expanded {
+                for fs in &r.collapsed {
+                    let _ = writeln!(out, "      {}: {}", fs.field, fs.snippet.render_marked());
+                }
+            } else if !r.collapsed.is_empty() {
+                let _ = writeln!(out, "      ▸ {} more matching sections", r.collapsed.len());
+            }
+        }
+        out
+    }
+}
+
+/// Snippet window width in bytes.
+const SNIPPET_WINDOW: usize = 160;
+
+/// Build a [`SearchResult`] from a ranked document, extracting snippets
+/// for every field that has query matches.
+pub fn build_result(doc: &Value, score: f64, ranker: &Ranker) -> SearchResult {
+    let id = doc
+        .get("_id")
+        .and_then(Value::as_str)
+        .unwrap_or("<missing id>")
+        .to_string();
+    let title = doc
+        .get("title")
+        .and_then(Value::as_str)
+        .unwrap_or("<untitled>")
+        .to_string();
+    let mut snippets = Vec::new();
+    let mut collapsed = Vec::new();
+    for (field, label) in [
+        ("title", "title"),
+        ("abstract", "abstract"),
+        ("tables", "table"),
+        ("figure_captions", "figure"),
+        ("body", "body"),
+    ] {
+        let Some(value) = doc.path(field) else { continue };
+        let mut texts = Vec::new();
+        collect_strings(value, &mut texts);
+        let mut first_in_field = true;
+        for text in texts {
+            let spans = ranker.match_spans(text);
+            if spans.is_empty() {
+                continue;
+            }
+            let fs = FieldSnippet {
+                field: label.to_string(),
+                snippet: make_snippet(text, &spans, SNIPPET_WINDOW),
+            };
+            // One snippet per field keeps the page "brief" like the UI;
+            // further matches land in the collapsed section.
+            if first_in_field {
+                snippets.push(fs);
+                first_in_field = false;
+            } else {
+                collapsed.push(fs);
+            }
+        }
+    }
+    SearchResult {
+        id,
+        title,
+        score,
+        snippets,
+        collapsed,
+    }
+}
+
+fn collect_strings<'v>(value: &'v Value, out: &mut Vec<&'v str>) {
+    match value {
+        Value::Str(s) => out.push(s),
+        Value::Array(items) => {
+            for i in items {
+                collect_strings(i, out);
+            }
+        }
+        Value::Object(members) => {
+            for (_, v) in members {
+                collect_strings(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use crate::rank::RankWeights;
+    use covidkg_json::{arr, obj};
+
+    fn ranker(q: &str) -> Ranker {
+        Ranker::new(parse_query(q), RankWeights::publication_default(), None, 10)
+    }
+
+    fn doc() -> Value {
+        obj! {
+            "_id" => "paper-7",
+            "title" => "Mask mandates in schools",
+            "abstract" => "We found masks reduce transmission substantially.",
+            "body" => arr![ obj!{ "heading" => "Methods", "text" => "No relevant terms here." } ],
+        }
+    }
+
+    #[test]
+    fn result_includes_matching_field_snippets() {
+        let r = ranker("masks");
+        let result = build_result(&doc(), 5.0, &r);
+        assert_eq!(result.id, "paper-7");
+        let fields: Vec<&str> = result.snippets.iter().map(|s| s.field.as_str()).collect();
+        assert!(fields.contains(&"title"));
+        assert!(fields.contains(&"abstract"));
+        assert!(!fields.contains(&"body"));
+        let title_snip = &result.snippets[0];
+        assert!(title_snip.snippet.render_marked().contains("[Mask]"));
+    }
+
+    #[test]
+    fn page_renders_counts_and_highlights() {
+        let r = ranker("masks");
+        let page = SearchPage {
+            query: "masks".into(),
+            page: 0,
+            page_size: 10,
+            total: 23,
+            results: vec![build_result(&doc(), 5.0, &r)],
+        };
+        assert_eq!(page.page_count(), 3);
+        let text = page.render();
+        assert!(text.contains("page 1/3"));
+        assert!(text.contains("23 matches"));
+        assert!(text.contains("[masks]"));
+        assert!(text.contains("paper-7"));
+    }
+
+    #[test]
+    fn extra_matches_collapse_and_expand() {
+        let r = ranker("masks");
+        let multi = obj! {
+            "_id" => "p",
+            "title" => "masks",
+            "body" => arr![
+                obj!{ "heading" => "A", "text" => "masks here" },
+                obj!{ "heading" => "B", "text" => "more masks there" },
+            ],
+        };
+        let result = build_result(&multi, 1.0, &r);
+        // First body match is brief; the second collapses.
+        assert_eq!(
+            result.snippets.iter().filter(|s| s.field == "body").count(),
+            1
+        );
+        assert_eq!(result.collapsed.len(), 1);
+        let page = SearchPage {
+            query: "masks".into(),
+            page: 0,
+            page_size: 10,
+            total: 1,
+            results: vec![result],
+        };
+        let brief = page.render();
+        assert!(brief.contains("▸ 1 more matching sections"), "{brief}");
+        assert!(!brief.contains("more [masks] there"));
+        let full = page.render_expanded();
+        assert!(full.contains("more [masks] there"), "{full}");
+        assert!(!full.contains("▸"));
+    }
+
+    #[test]
+    fn missing_fields_degrade_gracefully() {
+        let r = ranker("masks");
+        let result = build_result(&obj! { "x" => 1 }, 0.0, &r);
+        assert_eq!(result.id, "<missing id>");
+        assert_eq!(result.title, "<untitled>");
+        assert!(result.snippets.is_empty());
+    }
+
+    #[test]
+    fn empty_page_count() {
+        let page = SearchPage {
+            query: "q".into(),
+            page: 0,
+            page_size: 10,
+            total: 0,
+            results: vec![],
+        };
+        assert_eq!(page.page_count(), 0);
+        assert!(page.render().contains("0 matches"));
+    }
+}

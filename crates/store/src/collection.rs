@@ -1,0 +1,669 @@
+//! A sharded collection of JSON documents.
+//!
+//! Routing: `shard = fnv1a(_id) % n_shards` (stable across runs).
+//! Aggregation pushes a leading `$match` down into the shard scan —
+//! exact-`_id` filters route to one shard, `$text` filters consult the
+//! inverted index, everything else runs a predicate scan that never
+//! materializes non-matching documents (the paper's `$match`-first
+//! rationale, §2.1).
+
+use crate::error::StoreError;
+use crate::filter::Filter;
+use crate::index::{HashIndex, TextIndex};
+use crate::pipeline::Pipeline;
+use crate::shard::{route_hash, Shard};
+use crate::stats::{CollectionStats, ShardStats};
+use crate::wal::{self, WalRecord, WalWriter};
+use covidkg_json::Value;
+use parking_lot::{Mutex, RwLock};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration for a collection.
+#[derive(Debug, Clone)]
+pub struct CollectionConfig {
+    /// Collection name (also the persistence file stem).
+    pub name: String,
+    /// Number of hash shards (≥ 1).
+    pub shards: usize,
+    /// Dot paths covered by the stemmed text index and used by `$text`.
+    pub text_fields: Vec<String>,
+}
+
+impl CollectionConfig {
+    /// A config with the given name, 4 shards and no text index.
+    pub fn new(name: impl Into<String>) -> Self {
+        CollectionConfig {
+            name: name.into(),
+            shards: 4,
+            text_fields: Vec::new(),
+        }
+    }
+
+    /// Set the shard count.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Enable the text index over the given paths.
+    pub fn with_text_fields<S: Into<String>>(mut self, fields: impl IntoIterator<Item = S>) -> Self {
+        self.text_fields = fields.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+/// A sharded document collection.
+pub struct Collection {
+    config: CollectionConfig,
+    shards: Vec<Shard>,
+    text_index: Option<TextIndex>,
+    hash_indexes: RwLock<Vec<Arc<HashIndex>>>,
+    wal: Option<Mutex<WalWriter>>,
+    snapshot_path: Option<PathBuf>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collection")
+            .field("name", &self.config.name)
+            .field("shards", &self.config.shards)
+            .field("docs", &self.len())
+            .finish()
+    }
+}
+
+impl Collection {
+    /// Create an in-memory collection.
+    pub fn new(config: CollectionConfig) -> Self {
+        let shards = (0..config.shards).map(|_| Shard::new()).collect();
+        let text_index = if config.text_fields.is_empty() {
+            None
+        } else {
+            Some(TextIndex::new(config.text_fields.clone()))
+        };
+        Collection {
+            config,
+            shards,
+            text_index,
+            hash_indexes: RwLock::new(Vec::new()),
+            wal: None,
+            snapshot_path: None,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Create a persistent collection in `dir`, recovering any existing
+    /// snapshot + WAL for this collection name.
+    pub fn open(config: CollectionConfig, dir: &std::path::Path) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join(format!("{}.snapshot", config.name));
+        let wal_path = dir.join(format!("{}.wal", config.name));
+        let mut coll = Collection::new(config);
+
+        for doc in wal::read_snapshot(&snapshot_path)? {
+            coll.apply_insert(doc, false)?;
+        }
+        let (records, _truncated) = wal::read_wal(&wal_path)?;
+        for record in records {
+            match record {
+                WalRecord::Insert(doc) => {
+                    // Re-inserting an id that the snapshot already holds
+                    // cannot happen (snapshot resets the WAL), but stay
+                    // tolerant during recovery.
+                    let _ = coll.apply_insert(doc, false);
+                }
+                WalRecord::Update { id, doc } => {
+                    let _ = coll.apply_replace(&id, doc, false);
+                }
+                WalRecord::Delete { id } => {
+                    let _ = coll.apply_delete(&id, false);
+                }
+            }
+        }
+        coll.wal = Some(Mutex::new(WalWriter::open(&wal_path)?));
+        coll.snapshot_path = Some(snapshot_path);
+        Ok(coll)
+    }
+
+    /// The collection's configuration.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Total document count.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Shard::is_empty)
+    }
+
+    fn shard_for(&self, id: &str) -> &Shard {
+        &self.shards[(route_hash(id) % self.shards.len() as u64) as usize]
+    }
+
+    fn fresh_id(&self) -> String {
+        loop {
+            let n = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let id = format!("{}-{n:08x}", self.config.name);
+            if self.get(&id).is_none() {
+                return id;
+            }
+        }
+    }
+
+    fn log(&self, record: &WalRecord) -> Result<(), StoreError> {
+        if let Some(wal) = &self.wal {
+            wal.lock().append(record)?;
+        }
+        Ok(())
+    }
+
+    /// Insert a document; a missing `_id` gets a generated one. Returns
+    /// the id. Fails on duplicate ids.
+    pub fn insert(&self, doc: Value) -> Result<String, StoreError> {
+        self.apply_insert(doc, true)
+    }
+
+    fn apply_insert(&self, mut doc: Value, log: bool) -> Result<String, StoreError> {
+        if doc.as_object().is_none() {
+            return Err(StoreError::BadQuery("documents must be objects".into()));
+        }
+        let id = match doc.get("_id").and_then(Value::as_str) {
+            Some(id) => id.to_string(),
+            None => {
+                let id = self.fresh_id();
+                // Keep _id first for readability of dumps.
+                let mut with_id = Value::Object(vec![("_id".into(), Value::str(id.clone()))]);
+                if let Some(members) = doc.as_object_mut() {
+                    for (k, v) in members.drain(..) {
+                        with_id.as_object_mut().unwrap().push((k, v));
+                    }
+                }
+                doc = with_id;
+                id
+            }
+        };
+        if log {
+            self.log(&WalRecord::Insert(doc.clone()))?;
+        }
+        if !self.shard_for(&id).put_new(&id, doc.clone()) {
+            return Err(StoreError::DuplicateId(id));
+        }
+        if let Some(ti) = &self.text_index {
+            ti.add(&id, &doc);
+        }
+        for idx in self.hash_indexes.read().iter() {
+            idx.add(&id, &doc);
+        }
+        Ok(id)
+    }
+
+    /// Insert many documents; stops at the first error.
+    pub fn insert_many(&self, docs: impl IntoIterator<Item = Value>) -> Result<Vec<String>, StoreError> {
+        docs.into_iter().map(|d| self.insert(d)).collect()
+    }
+
+    /// Insert a batch using `threads` worker threads (crossbeam scoped).
+    /// Returns the number inserted; duplicate-id errors abort the batch
+    /// with the first error observed.
+    pub fn insert_parallel(&self, docs: Vec<Value>, threads: usize) -> Result<usize, StoreError> {
+        let threads = threads.max(1);
+        let total = docs.len();
+        let queue = crossbeam::queue::SegQueue::new();
+        for d in docs {
+            queue.push(d);
+        }
+        let first_err: Mutex<Option<StoreError>> = Mutex::new(None);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    while let Some(doc) = queue.pop() {
+                        if let Err(e) = self.insert(doc) {
+                            let mut slot = first_err.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("ingest worker panicked");
+        match first_err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: &str) -> Option<Value> {
+        self.shard_for(id).get(id)
+    }
+
+    /// Replace a document wholesale (the `_id` in `doc` is overwritten).
+    pub fn replace(&self, id: &str, doc: Value) -> Result<(), StoreError> {
+        self.apply_replace(id, doc, true)
+    }
+
+    fn apply_replace(&self, id: &str, mut doc: Value, log: bool) -> Result<(), StoreError> {
+        if doc.as_object().is_none() {
+            return Err(StoreError::BadQuery("documents must be objects".into()));
+        }
+        doc.insert("_id", Value::str(id));
+        let shard = self.shard_for(id);
+        let Some(old) = shard.get(id) else {
+            return Err(StoreError::NotFound(id.to_string()));
+        };
+        if log {
+            self.log(&WalRecord::Update {
+                id: id.to_string(),
+                doc: doc.clone(),
+            })?;
+        }
+        if let Some(ti) = &self.text_index {
+            ti.remove(id, &old);
+            ti.add(id, &doc);
+        }
+        for idx in self.hash_indexes.read().iter() {
+            idx.remove(id, &old);
+            idx.add(id, &doc);
+        }
+        shard.put(id, doc);
+        Ok(())
+    }
+
+    /// Apply an in-place mutation, re-indexing afterwards.
+    pub fn update(&self, id: &str, f: impl FnOnce(&mut Value)) -> Result<(), StoreError> {
+        let Some(mut doc) = self.get(id) else {
+            return Err(StoreError::NotFound(id.to_string()));
+        };
+        f(&mut doc);
+        self.apply_replace(id, doc, true)
+    }
+
+    /// Delete a document.
+    pub fn delete(&self, id: &str) -> Result<Value, StoreError> {
+        self.apply_delete(id, true)
+    }
+
+    fn apply_delete(&self, id: &str, log: bool) -> Result<Value, StoreError> {
+        if log {
+            self.log(&WalRecord::Delete { id: id.to_string() })?;
+        }
+        let Some(old) = self.shard_for(id).remove(id) else {
+            return Err(StoreError::NotFound(id.to_string()));
+        };
+        if let Some(ti) = &self.text_index {
+            ti.remove(id, &old);
+        }
+        for idx in self.hash_indexes.read().iter() {
+            idx.remove(id, &old);
+        }
+        Ok(old)
+    }
+
+    /// Create (and backfill) a hash index over `path`.
+    pub fn create_hash_index(&self, path: impl Into<String>) -> Arc<HashIndex> {
+        let idx = Arc::new(HashIndex::new(path));
+        for shard in &self.shards {
+            shard.for_each(|id, doc| idx.add(id, doc));
+        }
+        self.hash_indexes.write().push(Arc::clone(&idx));
+        idx
+    }
+
+    /// The text index, if configured.
+    pub fn text_index(&self) -> Option<&TextIndex> {
+        self.text_index.as_ref()
+    }
+
+    /// Find documents matching a filter (cloned out of the shards).
+    pub fn find(&self, filter: &Filter) -> Vec<Value> {
+        // Exact-id fast path: route to a single shard.
+        if let Some(id) = filter.exact_id() {
+            return self
+                .get(id)
+                .into_iter()
+                .filter(|d| filter.matches(d))
+                .collect();
+        }
+        // Text-index pruning: verify candidates only.
+        if let Some(stems) = filter.text_stems() {
+            if let Some(ti) = &self.text_index {
+                let ids = ti.candidates(&stems);
+                return ids
+                    .iter()
+                    .filter_map(|id| self.get(id))
+                    .filter(|d| filter.matches(d))
+                    .collect();
+            }
+        }
+        self.parallel_scan(|_, doc| filter.matches(doc).then(|| doc.clone()))
+    }
+
+    /// Count documents matching a filter without materializing them.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.parallel_scan(|_, d| filter.matches(d).then_some(()))
+            .len()
+    }
+
+    /// Scan every shard with `f`, fanning out one worker per shard when
+    /// the collection is large enough that thread startup amortizes —
+    /// this is where the §2 sharding pays off on the read side.
+    fn parallel_scan<T: Send>(
+        &self,
+        f: impl Fn(&str, &Value) -> Option<T> + Sync,
+    ) -> Vec<T> {
+        const PARALLEL_THRESHOLD: usize = 512;
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if cores == 1 || self.shards.len() == 1 || self.len() < PARALLEL_THRESHOLD {
+            let mut out = Vec::new();
+            for shard in &self.shards {
+                out.extend(shard.scan(|id, doc| f(id, doc)));
+            }
+            return out;
+        }
+        let results: Vec<Vec<T>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(|_| shard.scan(|id, doc| f(id, doc))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("scan worker panicked");
+        results.into_iter().flatten().collect()
+    }
+
+    /// Run an aggregation pipeline. A leading `$match` is pushed into the
+    /// scan; the rest of the stages run on the matched stream.
+    pub fn aggregate(&self, pipeline: &Pipeline) -> Vec<Value> {
+        match pipeline.leading_match() {
+            Some(filter) => {
+                let matched = self.find(filter);
+                pipeline.run_from(matched, 1)
+            }
+            None => {
+                let mut all = Vec::with_capacity(self.len());
+                for shard in &self.shards {
+                    all.extend(shard.scan(|_, d| Some(d.clone())));
+                }
+                pipeline.run(all)
+            }
+        }
+    }
+
+    /// Every document (cloned). Prefer [`Collection::aggregate`] for
+    /// anything selective.
+    pub fn scan_all(&self) -> Vec<Value> {
+        let mut all = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.scan(|_, d| Some(d.clone())));
+        }
+        all
+    }
+
+    /// Write a snapshot and truncate the WAL. No-op for in-memory
+    /// collections.
+    pub fn snapshot(&self) -> Result<usize, StoreError> {
+        let Some(path) = &self.snapshot_path else {
+            return Ok(0);
+        };
+        let docs = self.scan_all();
+        let n = wal::write_snapshot(path, docs.iter())?;
+        if let Some(wal) = &self.wal {
+            wal.lock().reset()?;
+        }
+        Ok(n)
+    }
+
+    /// Flush and fsync the WAL.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        if let Some(wal) = &self.wal {
+            wal.lock().sync()?;
+        }
+        Ok(())
+    }
+
+    /// Per-shard and aggregate statistics.
+    pub fn stats(&self) -> CollectionStats {
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStats {
+                shard: i,
+                docs: s.len(),
+                bytes: s.approx_bytes(),
+            })
+            .collect();
+        CollectionStats {
+            name: self.config.name.clone(),
+            docs: shards.iter().map(|s| s.docs).sum(),
+            bytes: shards.iter().map(|s| s.bytes).sum(),
+            indexed_terms: self.text_index.as_ref().map_or(0, TextIndex::term_count),
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covidkg_json::obj;
+
+    fn coll() -> Collection {
+        Collection::new(
+            CollectionConfig::new("pubs")
+                .with_shards(4)
+                .with_text_fields(["title"]),
+        )
+    }
+
+    #[test]
+    fn insert_get_replace_delete_cycle() {
+        let c = coll();
+        let id = c.insert(obj! { "title" => "Masks work" }).unwrap();
+        assert!(id.starts_with("pubs-"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.get(&id).unwrap().path("title").unwrap().as_str(),
+            Some("Masks work")
+        );
+        c.replace(&id, obj! { "title" => "Masks really work" }).unwrap();
+        assert_eq!(
+            c.get(&id).unwrap().path("title").unwrap().as_str(),
+            Some("Masks really work")
+        );
+        c.delete(&id).unwrap();
+        assert!(c.get(&id).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn explicit_ids_and_duplicates() {
+        let c = coll();
+        c.insert(obj! { "_id" => "x", "n" => 1 }).unwrap();
+        let err = c.insert(obj! { "_id" => "x", "n" => 2 }).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateId(_)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn non_object_documents_rejected() {
+        let c = coll();
+        assert!(matches!(
+            c.insert(Value::int(3)),
+            Err(StoreError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn update_reindexes_text() {
+        let c = coll();
+        let id = c.insert(obj! { "title" => "ventilators" }).unwrap();
+        c.update(&id, |d| d.insert("title", "vaccines")).unwrap();
+        let found = c.find(&Filter::text("vaccine", vec!["title".into()]));
+        assert_eq!(found.len(), 1);
+        let none = c.find(&Filter::text("ventilator", vec!["title".into()]));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn find_uses_exact_id_route() {
+        let c = coll();
+        for i in 0..20 {
+            c.insert(obj! { "_id" => format!("p{i}"), "n" => i }).unwrap();
+        }
+        let f = Filter::parse(&obj! { "_id" => "p7" }, &[]).unwrap();
+        let hits = c.find(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get("n").unwrap().as_i64(), Some(7));
+    }
+
+    #[test]
+    fn text_search_via_index() {
+        let c = coll();
+        c.insert(obj! { "_id" => "a", "title" => "Mask mandates reduce spread" })
+            .unwrap();
+        c.insert(obj! { "_id" => "b", "title" => "Vaccine efficacy study" })
+            .unwrap();
+        let f = Filter::parse(
+            &obj! { "$text" => obj!{ "$search" => "masks" } },
+            &["title".to_string()],
+        )
+        .unwrap();
+        let hits = c.find(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get("_id").unwrap().as_str(), Some("a"));
+    }
+
+    #[test]
+    fn aggregate_pushes_down_leading_match() {
+        let c = coll();
+        for i in 0..50 {
+            c.insert(obj! { "_id" => format!("p{i}"), "year" => 2018 + (i % 5) })
+                .unwrap();
+        }
+        let p = Pipeline::new()
+            .match_spec(&obj! { "year" => 2020 }, &[])
+            .unwrap()
+            .count("n");
+        let out = c.aggregate(&p);
+        assert_eq!(out[0].get("n").unwrap().as_i64(), Some(10));
+    }
+
+    #[test]
+    fn hash_index_backfills() {
+        let c = coll();
+        for i in 0..10 {
+            c.insert(obj! { "_id" => format!("p{i}"), "year" => 2020 + (i % 2) })
+                .unwrap();
+        }
+        let idx = c.create_hash_index("year");
+        assert_eq!(idx.lookup(&Value::int(2021)).len(), 5);
+        // New inserts maintain the index.
+        c.insert(obj! { "_id" => "new", "year" => 2021 }).unwrap();
+        assert_eq!(idx.lookup(&Value::int(2021)).len(), 6);
+        // Deletes too.
+        c.delete("new").unwrap();
+        assert_eq!(idx.lookup(&Value::int(2021)).len(), 5);
+    }
+
+    #[test]
+    fn parallel_ingest_lands_every_document() {
+        let c = coll();
+        let docs: Vec<Value> = (0..500)
+            .map(|i| obj! { "_id" => format!("p{i}"), "n" => i })
+            .collect();
+        let n = c.insert_parallel(docs, 8).unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(c.len(), 500);
+        // Shards are reasonably balanced.
+        let stats = c.stats();
+        for s in &stats.shards {
+            assert!(s.docs > 50, "unbalanced: {:?}", stats.shards);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_agrees_with_sequential_and_keeps_order() {
+        // Above the parallel threshold the scan fans out per shard; the
+        // result must be identical (including order) to the sequential path.
+        let c = coll();
+        for i in 0..900 {
+            c.insert(obj! { "_id" => format!("p{i:04}"), "n" => i % 7 }).unwrap();
+        }
+        let f = Filter::parse(&obj! { "n" => 3 }, &[]).unwrap();
+        let par = c.find(&f);
+        let seq: Vec<Value> = c
+            .scan_all()
+            .into_iter()
+            .filter(|d| f.matches(d))
+            .collect();
+        assert_eq!(par.len(), seq.len());
+        assert_eq!(par, seq);
+        assert_eq!(c.count(&f), seq.len());
+    }
+
+    #[test]
+    fn stats_shapes() {
+        let c = coll();
+        c.insert(obj! { "title" => "some text here" }).unwrap();
+        let s = c.stats();
+        assert_eq!(s.docs, 1);
+        assert!(s.bytes > 0);
+        assert_eq!(s.shards.len(), 4);
+        assert!(s.indexed_terms > 0);
+    }
+
+    #[test]
+    fn missing_docs_error() {
+        let c = coll();
+        assert!(matches!(c.delete("nope"), Err(StoreError::NotFound(_))));
+        assert!(matches!(
+            c.replace("nope", obj! {}),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(matches!(
+            c.update("nope", |_| {}),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn persistence_recovers_snapshot_and_wal() {
+        let dir = std::env::temp_dir().join(format!("covidkg-coll-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CollectionConfig::new("pubs").with_text_fields(["title"]);
+        {
+            let c = Collection::open(cfg.clone(), &dir).unwrap();
+            c.insert(obj! { "_id" => "a", "title" => "first" }).unwrap();
+            c.insert(obj! { "_id" => "b", "title" => "second" }).unwrap();
+            c.snapshot().unwrap();
+            // Post-snapshot mutations only live in the WAL.
+            c.insert(obj! { "_id" => "c", "title" => "third" }).unwrap();
+            c.replace("a", obj! { "title" => "first-edited" }).unwrap();
+            c.delete("b").unwrap();
+            c.sync().unwrap();
+        }
+        let c = Collection::open(cfg, &dir).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.get("a").unwrap().path("title").unwrap().as_str(),
+            Some("first-edited")
+        );
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+        // Text index is rebuilt on recovery.
+        assert_eq!(c.find(&Filter::text("third", vec!["title".into()])).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,65 @@
+//! Store error type.
+
+use std::fmt;
+
+/// Errors surfaced by the document store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A document with the same `_id` already exists.
+    DuplicateId(String),
+    /// No document with the given `_id`.
+    NotFound(String),
+    /// A malformed query / filter / pipeline specification.
+    BadQuery(String),
+    /// Underlying I/O failure (WAL, snapshot).
+    Io(std::io::Error),
+    /// Persistent data failed to parse during recovery.
+    Corrupt(String),
+    /// The named collection does not exist.
+    NoSuchCollection(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateId(id) => write!(f, "duplicate _id {id:?}"),
+            StoreError::NotFound(id) => write!(f, "no document with _id {id:?}"),
+            StoreError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StoreError::NoSuchCollection(name) => write!(f, "no collection {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StoreError::DuplicateId("x".into()).to_string().contains("x"));
+        assert!(StoreError::BadQuery("oops".into()).to_string().contains("oops"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "disk").into();
+        assert!(matches!(e, StoreError::Io(_)));
+    }
+}

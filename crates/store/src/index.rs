@@ -1,0 +1,287 @@
+//! Secondary indexes: hash indexes on field values and a stemmed inverted
+//! text index.
+//!
+//! The paper's `$match`-first pipeline design (§2.1) "minimizes the amount
+//! of data being passed through all the latter stages". The inverted index
+//! extends that: a `$text` match resolves to a candidate id set before any
+//! document is touched, which the E4 bench compares against a full scan.
+
+use covidkg_json::Value;
+use covidkg_text::{stem, tokenize_lower};
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+
+/// A hash index over one dot path. Values are keyed by their compact JSON
+/// encoding so heterogeneous types stay distinct.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    path: String,
+    map: RwLock<HashMap<String, BTreeSet<String>>>,
+}
+
+impl HashIndex {
+    /// Index over `path`.
+    pub fn new(path: impl Into<String>) -> Self {
+        HashIndex {
+            path: path.into(),
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The indexed path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Index a document (array fields index every element).
+    pub fn add(&self, id: &str, doc: &Value) {
+        let Some(v) = doc.path(&self.path) else { return };
+        let mut map = self.map.write();
+        match v {
+            Value::Array(items) => {
+                for item in items {
+                    map.entry(item.to_json()).or_default().insert(id.to_string());
+                }
+            }
+            other => {
+                map.entry(other.to_json()).or_default().insert(id.to_string());
+            }
+        }
+    }
+
+    /// Remove a document's entries.
+    pub fn remove(&self, id: &str, doc: &Value) {
+        let Some(v) = doc.path(&self.path) else { return };
+        let mut map = self.map.write();
+        let mut drop_key = |key: String| {
+            if let Some(set) = map.get_mut(&key) {
+                set.remove(id);
+                if set.is_empty() {
+                    map.remove(&key);
+                }
+            }
+        };
+        match v {
+            Value::Array(items) => {
+                for item in items {
+                    drop_key(item.to_json());
+                }
+            }
+            other => drop_key(other.to_json()),
+        }
+    }
+
+    /// Ids whose field equals `value`.
+    pub fn lookup(&self, value: &Value) -> Vec<String> {
+        self.map
+            .read()
+            .get(&value.to_json())
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+}
+
+/// Number of lock stripes in the text index. Striping keeps concurrent
+/// ingest threads from serializing on one postings lock (the E8 scaling
+/// experiment measures this).
+const TEXT_STRIPES: usize = 16;
+
+/// Stemmed inverted index over a set of text fields, with postings
+/// striped across several locks by stem hash.
+#[derive(Debug)]
+pub struct TextIndex {
+    fields: Vec<String>,
+    stripes: Vec<RwLock<HashMap<String, BTreeSet<String>>>>,
+}
+
+impl Default for TextIndex {
+    fn default() -> Self {
+        TextIndex::new(Vec::new())
+    }
+}
+
+impl TextIndex {
+    /// Index over the given dot paths.
+    pub fn new(fields: Vec<String>) -> Self {
+        TextIndex {
+            fields,
+            stripes: (0..TEXT_STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The indexed field paths.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    fn stripe(&self, s: &str) -> &RwLock<HashMap<String, BTreeSet<String>>> {
+        &self.stripes[(crate::shard::route_hash(s) % TEXT_STRIPES as u64) as usize]
+    }
+
+    fn doc_stems(&self, doc: &Value) -> BTreeSet<String> {
+        let mut stems = BTreeSet::new();
+        for field in &self.fields {
+            collect_text(doc.path(field), &mut |text| {
+                for tok in tokenize_lower(text) {
+                    stems.insert(stem(&tok));
+                }
+            });
+        }
+        stems
+    }
+
+    /// Index a document.
+    pub fn add(&self, id: &str, doc: &Value) {
+        for s in self.doc_stems(doc) {
+            self.stripe(&s)
+                .write()
+                .entry(s)
+                .or_default()
+                .insert(id.to_string());
+        }
+    }
+
+    /// Remove a document.
+    pub fn remove(&self, id: &str, doc: &Value) {
+        for s in self.doc_stems(doc) {
+            let mut stripe = self.stripe(&s).write();
+            if let Some(set) = stripe.get_mut(&s) {
+                set.remove(id);
+                if set.is_empty() {
+                    stripe.remove(&s);
+                }
+            }
+        }
+    }
+
+    /// Ids containing **any** of the query stems (the `$match` stage still
+    /// re-verifies; this is candidate pruning, so OR keeps recall).
+    pub fn candidates(&self, stems: &[&str]) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for s in stems {
+            if let Some(ids) = self.stripe(s).read().get(*s) {
+                out.extend(ids.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Document frequency of a stem.
+    pub fn doc_freq(&self, s: &str) -> usize {
+        self.stripe(s).read().get(s).map_or(0, BTreeSet::len)
+    }
+
+    /// Number of distinct stems.
+    pub fn term_count(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// Walk a value collecting every string leaf (arrays/objects recurse).
+fn collect_text(v: Option<&Value>, f: &mut impl FnMut(&str)) {
+    match v {
+        Some(Value::Str(s)) => f(s),
+        Some(Value::Array(items)) => {
+            for item in items {
+                collect_text(Some(item), f);
+            }
+        }
+        Some(Value::Object(members)) => {
+            for (_, val) in members {
+                collect_text(Some(val), f);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covidkg_json::{arr, obj};
+
+    #[test]
+    fn hash_index_round_trip() {
+        let idx = HashIndex::new("year");
+        let d1 = obj! { "year" => 2020 };
+        let d2 = obj! { "year" => 2021 };
+        idx.add("a", &d1);
+        idx.add("b", &d2);
+        idx.add("c", &d2);
+        assert_eq!(idx.lookup(&Value::int(2021)), ["b", "c"]);
+        idx.remove("b", &d2);
+        assert_eq!(idx.lookup(&Value::int(2021)), ["c"]);
+        assert_eq!(idx.key_count(), 2);
+        idx.remove("c", &d2);
+        assert_eq!(idx.key_count(), 1);
+    }
+
+    #[test]
+    fn hash_index_arrays_index_elements() {
+        let idx = HashIndex::new("tags");
+        let d = obj! { "tags" => arr!["masks", "policy"] };
+        idx.add("a", &d);
+        assert_eq!(idx.lookup(&Value::str("policy")), ["a"]);
+        idx.remove("a", &d);
+        assert!(idx.lookup(&Value::str("policy")).is_empty());
+    }
+
+    #[test]
+    fn hash_index_distinguishes_types() {
+        let idx = HashIndex::new("v");
+        idx.add("s", &obj! { "v" => "1" });
+        idx.add("n", &obj! { "v" => 1 });
+        assert_eq!(idx.lookup(&Value::str("1")), ["s"]);
+        assert_eq!(idx.lookup(&Value::int(1)), ["n"]);
+    }
+
+    #[test]
+    fn text_index_stems_and_prunes() {
+        let idx = TextIndex::new(vec!["title".into(), "abstract".into()]);
+        idx.add("a", &obj! { "title" => "Mask mandates work" });
+        idx.add("b", &obj! { "abstract" => "Vaccination rates climb" });
+        idx.add("c", &obj! { "title" => "Ventilator supply" });
+
+        let hits = idx.candidates(&[&stem("mandate")]);
+        assert!(hits.contains("a") && hits.len() == 1);
+        // Query stem "vaccin" from "vaccine" reaches "Vaccination".
+        let hits = idx.candidates(&[&stem("vaccine")]);
+        assert!(hits.contains("b"));
+        // OR semantics across stems.
+        let hits = idx.candidates(&[&stem("mask"), &stem("ventilators")]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn text_index_nested_fields() {
+        let idx = TextIndex::new(vec!["tables".into()]);
+        idx.add(
+            "a",
+            &obj! { "tables" => arr![ obj!{ "caption" => "dosage outcomes" } ] },
+        );
+        assert!(idx.candidates(&[&stem("dosage")]).contains("a"));
+    }
+
+    #[test]
+    fn text_index_remove() {
+        let idx = TextIndex::new(vec!["t".into()]);
+        let d = obj! { "t" => "masks" };
+        idx.add("a", &d);
+        assert_eq!(idx.doc_freq(&stem("masks")), 1);
+        idx.remove("a", &d);
+        assert_eq!(idx.doc_freq(&stem("masks")), 0);
+        assert_eq!(idx.term_count(), 0);
+    }
+
+    #[test]
+    fn missing_fields_are_ignored() {
+        let idx = TextIndex::new(vec!["title".into()]);
+        idx.add("a", &obj! { "other" => "text" });
+        assert_eq!(idx.term_count(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # covidkg-store
+//!
+//! An in-process, sharded JSON document store modeled on the MongoDB
+//! deployment backing COVIDKG.ORG (§2, Fig 5). The paper's back-end is "a
+//! sharded MongoDB JSON storage that holds more than 450,000 publications
+//! … parsed into JSON and enriched … by our Deep-Learning models"; its
+//! search engines are aggregation pipelines whose first stage is a
+//! `$match`, followed by `$project` and custom `$function` ranking stages
+//! (§2.1). This crate reproduces that API surface so the rest of the
+//! system is written against the same dataflow:
+//!
+//! * [`Database`] / [`Collection`] — named collections of JSON documents,
+//!   hash-sharded across [`shard::Shard`]s guarded by `parking_lot`
+//!   RwLocks;
+//! * [`filter::Filter`] — MongoDB-style query documents (`$eq`, `$ne`,
+//!   `$gt(e)`, `$lt(e)`, `$in`, `$nin`, `$exists`, `$regex`, `$and`,
+//!   `$or`, `$not`, `$text`);
+//! * [`pipeline::Pipeline`] — aggregation stages: `$match`, `$project`,
+//!   `$function`, `$addFields`, `$sort`, `$skip`, `$limit`, `$group`,
+//!   `$unwind`, `$count`;
+//! * [`index`] — hash indexes and stemmed inverted text indexes that
+//!   accelerate `$match`-first pipelines;
+//! * [`wal`] — length-prefixed write-ahead log plus snapshots, giving
+//!   crash-recoverable persistence;
+//! * [`stats`] — the storage report (document counts, bytes per shard)
+//!   mirroring the paper's "≈965 GB … more than 5 TB raw" summary shape.
+
+pub mod collection;
+pub mod db;
+pub mod error;
+pub mod filter;
+pub mod flusher;
+pub mod index;
+pub mod pipeline;
+mod pipeline_parse;
+pub mod shard;
+pub mod update;
+pub mod stats;
+pub mod wal;
+
+pub use collection::{Collection, CollectionConfig};
+pub use db::Database;
+pub use error::StoreError;
+pub use filter::Filter;
+pub use flusher::{Flusher, FlusherStats};
+pub use pipeline::{Accumulator, Pipeline, Stage};
+pub use stats::{CollectionStats, DbStats, ShardStats};
+pub use update::UpdateSpec;

@@ -1,0 +1,303 @@
+//! Parsing aggregation pipelines from their JSON wire form.
+//!
+//! The paper's search engines send MongoDB aggregation documents — arrays
+//! of `{"$stage": spec}` objects. [`Pipeline::parse`] accepts that shape;
+//! `$function` stages reference implementations registered in a
+//! [`FunctionRegistry`] by name (the stand-in for the original's embedded
+//! JavaScript bodies).
+
+use crate::error::StoreError;
+use crate::filter::Filter;
+use crate::pipeline::{Accumulator, FunctionRegistry, Order, Pipeline, Stage};
+use covidkg_json::Value;
+
+impl Pipeline {
+    /// Parse a JSON aggregation pipeline:
+    ///
+    /// ```
+    /// # use covidkg_store::pipeline::{Pipeline, FunctionRegistry};
+    /// # use covidkg_json::parse;
+    /// let spec = parse(r#"[
+    ///     {"$match": {"year": {"$gte": 2021}}},
+    ///     {"$project": ["title", "year"]},
+    ///     {"$sort": {"year": -1}},
+    ///     {"$limit": 10}
+    /// ]"#).unwrap();
+    /// let p = Pipeline::parse(&spec, &[], &FunctionRegistry::new()).unwrap();
+    /// assert_eq!(p.stages().len(), 4);
+    /// ```
+    pub fn parse(
+        spec: &Value,
+        text_fields: &[String],
+        registry: &FunctionRegistry,
+    ) -> Result<Pipeline, StoreError> {
+        let stages_spec = spec
+            .as_array()
+            .ok_or_else(|| StoreError::BadQuery("pipeline must be an array".into()))?;
+        let mut pipeline = Pipeline::new();
+        for stage_doc in stages_spec {
+            let members = stage_doc.as_object().ok_or_else(|| {
+                StoreError::BadQuery("each pipeline stage must be an object".into())
+            })?;
+            if members.len() != 1 {
+                return Err(StoreError::BadQuery(
+                    "each stage must have exactly one operator".into(),
+                ));
+            }
+            let (op, body) = &members[0];
+            let stage = match op.as_str() {
+                "$match" => Stage::Match(Filter::parse(body, text_fields)?),
+                "$project" => Stage::Project(string_list(op, body)?),
+                "$unset" => Stage::Exclude(string_list(op, body)?),
+                "$function" => {
+                    let name = body
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| StoreError::BadQuery("$function requires name".into()))?;
+                    let output = body
+                        .get("output")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| StoreError::BadQuery("$function requires output".into()))?;
+                    let f = registry.get(name).ok_or_else(|| {
+                        StoreError::BadQuery(format!("unknown $function {name:?}"))
+                    })?;
+                    Stage::Function {
+                        name: name.to_string(),
+                        f,
+                        output: output.to_string(),
+                    }
+                }
+                "$addFields" => {
+                    let fields = body
+                        .as_object()
+                        .ok_or_else(|| StoreError::BadQuery("$addFields takes an object".into()))?
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    Stage::AddFields(fields)
+                }
+                "$sort" => {
+                    let keys = body
+                        .as_object()
+                        .ok_or_else(|| StoreError::BadQuery("$sort takes an object".into()))?
+                        .iter()
+                        .map(|(k, v)| {
+                            let dir = v.as_i64().ok_or_else(|| {
+                                StoreError::BadQuery("$sort directions are 1 or -1".into())
+                            })?;
+                            Ok((
+                                k.clone(),
+                                if dir >= 0 { Order::Asc } else { Order::Desc },
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, StoreError>>()?;
+                    Stage::Sort(keys)
+                }
+                "$skip" => Stage::Skip(usize_arg(op, body)?),
+                "$limit" => Stage::Limit(usize_arg(op, body)?),
+                "$unwind" => {
+                    let path = body
+                        .as_str()
+                        .ok_or_else(|| StoreError::BadQuery("$unwind takes a path string".into()))?;
+                    Stage::Unwind(path.trim_start_matches('$').to_string())
+                }
+                "$count" => {
+                    let field = body
+                        .as_str()
+                        .ok_or_else(|| StoreError::BadQuery("$count takes a field name".into()))?;
+                    Stage::Count(field.to_string())
+                }
+                "$group" => parse_group(body)?,
+                other => {
+                    return Err(StoreError::BadQuery(format!("unknown stage {other:?}")))
+                }
+            };
+            pipeline = pipeline.stage(stage);
+        }
+        Ok(pipeline)
+    }
+}
+
+fn string_list(op: &str, body: &Value) -> Result<Vec<String>, StoreError> {
+    body.as_array()
+        .ok_or_else(|| StoreError::BadQuery(format!("{op} takes an array of paths")))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| StoreError::BadQuery(format!("{op} paths must be strings")))
+        })
+        .collect()
+}
+
+fn usize_arg(op: &str, body: &Value) -> Result<usize, StoreError> {
+    body.as_i64()
+        .filter(|&n| n >= 0)
+        .map(|n| n as usize)
+        .ok_or_else(|| StoreError::BadQuery(format!("{op} takes a non-negative integer")))
+}
+
+/// `{"_id": "$topic", "n": {"$sum": 1}, "avg": {"$avg": "$score"}, …}`
+fn parse_group(body: &Value) -> Result<Stage, StoreError> {
+    let members = body
+        .as_object()
+        .ok_or_else(|| StoreError::BadQuery("$group takes an object".into()))?;
+    let mut by = None;
+    let mut accs = Vec::new();
+    for (key, val) in members {
+        if key == "_id" {
+            by = match val {
+                Value::Null => None,
+                Value::Str(path) => Some(path.trim_start_matches('$').to_string()),
+                _ => {
+                    return Err(StoreError::BadQuery(
+                        "$group _id must be null or a \"$path\"".into(),
+                    ))
+                }
+            };
+            continue;
+        }
+        let spec = val
+            .as_object()
+            .filter(|o| o.len() == 1)
+            .ok_or_else(|| StoreError::BadQuery("accumulators take one operator".into()))?;
+        let (op, operand) = &spec[0];
+        let path = || -> Result<String, StoreError> {
+            operand
+                .as_str()
+                .map(|p| p.trim_start_matches('$').to_string())
+                .ok_or_else(|| StoreError::BadQuery(format!("{op} takes a \"$path\"")))
+        };
+        let acc = match op.as_str() {
+            // Mongo idiom: {"$sum": 1} counts documents.
+            "$sum" if operand.as_i64() == Some(1) => Accumulator::Count,
+            "$sum" => Accumulator::Sum(path()?),
+            "$avg" => Accumulator::Avg(path()?),
+            "$min" => Accumulator::Min(path()?),
+            "$max" => Accumulator::Max(path()?),
+            "$push" => Accumulator::Push(path()?),
+            "$first" => Accumulator::First(path()?),
+            "$count" => Accumulator::Count,
+            other => return Err(StoreError::BadQuery(format!("unknown accumulator {other:?}"))),
+        };
+        accs.push((key.clone(), acc));
+    }
+    Ok(Stage::Group { by, accs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covidkg_json::{obj, parse};
+    use std::sync::Arc;
+
+    fn corpus() -> Vec<Value> {
+        vec![
+            obj! { "_id" => "a", "topic" => "masks", "year" => 2020, "cites" => 10 },
+            obj! { "_id" => "b", "topic" => "masks", "year" => 2021, "cites" => 5 },
+            obj! { "_id" => "c", "topic" => "vaccines", "year" => 2021, "cites" => 30 },
+        ]
+    }
+
+    #[test]
+    fn parses_and_runs_a_full_pipeline() {
+        let spec = parse(
+            r#"[
+                {"$match": {"year": {"$gte": 2020}}},
+                {"$sort": {"cites": -1}},
+                {"$skip": 1},
+                {"$limit": 1},
+                {"$project": ["topic"]}
+            ]"#,
+        )
+        .unwrap();
+        let p = Pipeline::parse(&spec, &[], &FunctionRegistry::new()).unwrap();
+        let out = p.run(corpus());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("_id").unwrap().as_str(), Some("a"));
+        assert!(out[0].get("cites").is_none());
+    }
+
+    #[test]
+    fn group_with_mongo_idioms() {
+        let spec = parse(
+            r#"[
+                {"$group": {"_id": "$topic", "n": {"$sum": 1}, "total": {"$sum": "$cites"}}},
+                {"$sort": {"_id": 1}}
+            ]"#,
+        )
+        .unwrap();
+        let p = Pipeline::parse(&spec, &[], &FunctionRegistry::new()).unwrap();
+        let out = p.run(corpus());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("_id").unwrap().as_str(), Some("masks"));
+        assert_eq!(out[0].get("n").unwrap().as_i64(), Some(2));
+        assert_eq!(out[0].get("total").unwrap().as_i64(), Some(15));
+    }
+
+    #[test]
+    fn function_stage_resolves_from_registry() {
+        let mut registry = FunctionRegistry::new();
+        registry.register(
+            "double_cites",
+            Arc::new(|d: &Value| {
+                Value::float(d.path("cites").and_then(Value::as_f64).unwrap_or(0.0) * 2.0)
+            }),
+        );
+        let spec = parse(
+            r#"[
+                {"$function": {"name": "double_cites", "output": "score"}},
+                {"$sort": {"score": -1}},
+                {"$limit": 1}
+            ]"#,
+        )
+        .unwrap();
+        let p = Pipeline::parse(&spec, &[], &registry).unwrap();
+        let out = p.run(corpus());
+        assert_eq!(out[0].get("_id").unwrap().as_str(), Some("c"));
+        assert_eq!(out[0].path("score").and_then(Value::as_f64), Some(60.0));
+        // Unknown function fails at parse time.
+        let missing = parse(r#"[{"$function": {"name": "nope", "output": "x"}}]"#).unwrap();
+        assert!(Pipeline::parse(&missing, &[], &registry).is_err());
+    }
+
+    #[test]
+    fn unwind_count_addfields_unset() {
+        let docs = vec![obj! { "_id" => "x", "tags" => covidkg_json::arr!["a", "b"], "junk" => 1 }];
+        let spec = parse(
+            r#"[
+                {"$addFields": {"src": "gen"}},
+                {"$unset": ["junk"]},
+                {"$unwind": "$tags"},
+                {"$count": "n"}
+            ]"#,
+        )
+        .unwrap();
+        let p = Pipeline::parse(&spec, &[], &FunctionRegistry::new()).unwrap();
+        let out = p.run(docs);
+        assert_eq!(out[0].get("n").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn malformed_pipelines_error() {
+        let registry = FunctionRegistry::new();
+        for bad in [
+            r#"{"$match": {}}"#,              // not an array
+            r#"[{"$match": {}, "$limit": 1}]"#, // two ops per stage
+            r#"[{"$bogus": {}}]"#,
+            r#"[{"$limit": -1}]"#,
+            r#"[{"$limit": "x"}]"#,
+            r#"[{"$sort": {"a": "up"}}]"#,
+            r#"[{"$group": {"_id": 3}}]"#,
+            r#"[{"$group": {"_id": null, "n": {"$bogus": 1}}}]"#,
+            r#"[{"$unwind": 3}]"#,
+            r#"[{"$project": "title"}]"#,
+        ] {
+            let spec = parse(bad).unwrap();
+            assert!(
+                Pipeline::parse(&spec, &[], &registry).is_err(),
+                "should reject {bad}"
+            );
+        }
+    }
+}

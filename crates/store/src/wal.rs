@@ -1,0 +1,315 @@
+//! Write-ahead log and snapshots.
+//!
+//! Each collection owning a data directory appends every mutation to a WAL
+//! before applying it, and can periodically compact the WAL into a
+//! snapshot. Records are length-prefixed JSON frames (`u32` little-endian
+//! length + payload) — the `bytes` crate handles framing. Recovery reads
+//! the snapshot then replays the WAL, tolerating a truncated final frame
+//! (the normal shape of a crash mid-append).
+
+use crate::error::StoreError;
+use bytes::{Buf, BufMut, BytesMut};
+use covidkg_json::{parse, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A document was inserted.
+    Insert(Value),
+    /// A document was replaced.
+    Update {
+        /// Target `_id`.
+        id: String,
+        /// New document body.
+        doc: Value,
+    },
+    /// A document was removed.
+    Delete {
+        /// Target `_id`.
+        id: String,
+    },
+}
+
+impl WalRecord {
+    fn to_value(&self) -> Value {
+        let mut v = Value::Object(Vec::new());
+        match self {
+            WalRecord::Insert(doc) => {
+                v.insert("op", "i");
+                v.insert("doc", doc.clone());
+            }
+            WalRecord::Update { id, doc } => {
+                v.insert("op", "u");
+                v.insert("id", id.clone());
+                v.insert("doc", doc.clone());
+            }
+            WalRecord::Delete { id } => {
+                v.insert("op", "d");
+                v.insert("id", id.clone());
+            }
+        }
+        v
+    }
+
+    fn from_value(v: &Value) -> Result<WalRecord, StoreError> {
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| StoreError::Corrupt("wal record missing op".into()))?;
+        let id = || -> Result<String, StoreError> {
+            Ok(v.get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| StoreError::Corrupt("wal record missing id".into()))?
+                .to_string())
+        };
+        let doc = || -> Result<Value, StoreError> {
+            v.get("doc")
+                .cloned()
+                .ok_or_else(|| StoreError::Corrupt("wal record missing doc".into()))
+        };
+        match op {
+            "i" => Ok(WalRecord::Insert(doc()?)),
+            "u" => Ok(WalRecord::Update { id: id()?, doc: doc()? }),
+            "d" => Ok(WalRecord::Delete { id: id()? }),
+            other => Err(StoreError::Corrupt(format!("unknown wal op {other:?}"))),
+        }
+    }
+}
+
+/// Appending WAL writer.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl WalWriter {
+    /// Open (creating or appending to) the WAL at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Result<WalWriter, StoreError> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(WalWriter {
+            path,
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// The log path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record (buffered; call [`WalWriter::sync`] for durability).
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        let payload = record.to_value().to_json();
+        let mut frame = BytesMut::with_capacity(4 + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_slice(payload.as_bytes());
+        self.out.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Flush buffers and fsync to disk.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Truncate the log (after a successful snapshot).
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.out.flush()?;
+        let file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
+        self.out = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+/// Read every complete record from a WAL file. A truncated final frame is
+/// tolerated (reported via the returned flag); corrupt JSON inside a
+/// complete frame is an error.
+pub fn read_wal(path: &Path) -> Result<(Vec<WalRecord>, bool), StoreError> {
+    let mut raw = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), false)),
+        Err(e) => return Err(e.into()),
+    }
+    let mut buf = &raw[..];
+    let mut records = Vec::new();
+    let mut truncated = false;
+    while buf.remaining() >= 4 {
+        let len = (&buf[..4]).get_u32_le() as usize;
+        if buf.remaining() < 4 + len {
+            truncated = true;
+            break;
+        }
+        buf.advance(4);
+        let payload = &buf[..len];
+        buf.advance(len);
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| StoreError::Corrupt("wal frame is not UTF-8".into()))?;
+        let value = parse(text).map_err(|e| StoreError::Corrupt(format!("wal frame: {e}")))?;
+        records.push(WalRecord::from_value(&value)?);
+    }
+    if buf.has_remaining() && !truncated {
+        truncated = true;
+    }
+    Ok((records, truncated))
+}
+
+/// Write a snapshot of documents to `path` atomically (tmp file + rename).
+pub fn write_snapshot<'a>(
+    path: &Path,
+    docs: impl Iterator<Item = &'a Value>,
+) -> Result<usize, StoreError> {
+    let tmp = path.with_extension("tmp");
+    let mut out = BufWriter::new(File::create(&tmp)?);
+    let mut n = 0;
+    for doc in docs {
+        let payload = doc.to_json();
+        let mut frame = BytesMut::with_capacity(4 + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_slice(payload.as_bytes());
+        out.write_all(&frame)?;
+        n += 1;
+    }
+    out.flush()?;
+    out.get_ref().sync_data()?;
+    drop(out);
+    std::fs::rename(&tmp, path)?;
+    Ok(n)
+}
+
+/// Read a snapshot written by [`write_snapshot`].
+pub fn read_snapshot(path: &Path) -> Result<Vec<Value>, StoreError> {
+    let mut raw = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    }
+    let mut buf = &raw[..];
+    let mut docs = Vec::new();
+    while buf.remaining() >= 4 {
+        let len = (&buf[..4]).get_u32_le() as usize;
+        if buf.remaining() < 4 + len {
+            return Err(StoreError::Corrupt("snapshot truncated".into()));
+        }
+        buf.advance(4);
+        let text = std::str::from_utf8(&buf[..len])
+            .map_err(|_| StoreError::Corrupt("snapshot frame is not UTF-8".into()))?;
+        docs.push(parse(text).map_err(|e| StoreError::Corrupt(format!("snapshot: {e}")))?);
+        buf.advance(len);
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covidkg_json::obj;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("covidkg-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn wal_round_trip() {
+        let dir = tmpdir("rt");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        let records = vec![
+            WalRecord::Insert(obj! { "_id" => "a", "v" => 1 }),
+            WalRecord::Update {
+                id: "a".into(),
+                doc: obj! { "_id" => "a", "v" => 2 },
+            },
+            WalRecord::Delete { id: "a".into() },
+        ];
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        let (back, truncated) = read_wal(&path).unwrap();
+        assert!(!truncated);
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "a" })).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "b" })).unwrap();
+        w.sync().unwrap();
+        // Chop off the last 3 bytes, simulating a crash mid-write.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 3]).unwrap();
+        let (records, truncated) = read_wal(&path).unwrap();
+        assert!(truncated);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_frame_is_an_error() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("test.wal");
+        let payload = b"not json";
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_slice(payload);
+        std::fs::write(&path, &frame).unwrap();
+        assert!(matches!(read_wal(&path), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn missing_wal_is_empty() {
+        let dir = tmpdir("missing");
+        let (records, truncated) = read_wal(&dir.join("nope.wal")).unwrap();
+        assert!(records.is_empty() && !truncated);
+    }
+
+    #[test]
+    fn reset_truncates() {
+        let dir = tmpdir("reset");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Delete { id: "x".into() }).unwrap();
+        w.reset().unwrap();
+        let (records, _) = read_wal(&path).unwrap();
+        assert!(records.is_empty());
+        // Writer still usable after reset.
+        w.append(&WalRecord::Delete { id: "y".into() }).unwrap();
+        w.sync().unwrap();
+        let (records, _) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let dir = tmpdir("snap");
+        let path = dir.join("c.snapshot");
+        let docs = vec![obj! { "_id" => "a" }, obj! { "_id" => "b", "n" => 2 }];
+        let n = write_snapshot(&path, docs.iter()).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(read_snapshot(&path).unwrap(), docs);
+    }
+
+    #[test]
+    fn missing_snapshot_is_empty() {
+        let dir = tmpdir("nosnap");
+        assert!(read_snapshot(&dir.join("nope")).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Positional features (§3.5) and metadata orientation (§3.3).
+//!
+//! "The feature vector consists of 7 features {f1, …, f7} where f1 is a
+//! data or metadata row with valid numerical substitutions …, f2 is the
+//! number of cells in the table row, f3 is a binary value conforming if
+//! the above row exists …, f4 … the row below exists …, f5 equals the
+//! total number of cells in the row above, f6 … in the below row, f7 is a
+//! boolean label indicating if it is a metadata row (NULL for the training
+//! instances). {f3, …, f7} … are called *positional* features."
+//!
+//! §3.3 additionally distinguishes horizontal metadata (header rows on
+//! top) from vertical metadata (header column at the left);
+//! [`detect_orientation`] provides that signal.
+
+use crate::preprocess::{preprocess_row, Preprocessor};
+
+/// The §3.5 feature vector for one table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowFeatures {
+    /// f1 — the row text after numeric substitution.
+    pub processed: String,
+    /// f2 — number of cells in this row.
+    pub cells: usize,
+    /// f3 — a row exists above this one.
+    pub has_above: bool,
+    /// f4 — a row exists below this one.
+    pub has_below: bool,
+    /// f5 — cell count of the row above (0 when f3 is false).
+    pub above_cells: usize,
+    /// f6 — cell count of the row below (0 when f4 is false).
+    pub below_cells: usize,
+    /// f7 — metadata label; `None` for unlabeled (inference) instances.
+    pub label: Option<bool>,
+}
+
+impl RowFeatures {
+    /// The numeric part of the vector `{f2…f6}` as f32s, in paper order,
+    /// ready to concatenate with the bag-of-words encoding of `f1`.
+    pub fn positional(&self) -> [f32; 5] {
+        [
+            self.cells as f32,
+            f32::from(u8::from(self.has_above)),
+            f32::from(u8::from(self.has_below)),
+            self.above_cells as f32,
+            self.below_cells as f32,
+        ]
+    }
+}
+
+/// Compute [`RowFeatures`] for every row of a table (rows as cell lists).
+/// `labels`, when provided, must be one bool per row (true = metadata).
+pub fn row_features(
+    pre: &Preprocessor,
+    rows: &[Vec<String>],
+    labels: Option<&[bool]>,
+) -> Vec<RowFeatures> {
+    if let Some(ls) = labels {
+        assert_eq!(
+            ls.len(),
+            rows.len(),
+            "labels must align with rows"
+        );
+    }
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let above = i.checked_sub(1).map(|j| rows[j].len());
+            let below = rows.get(i + 1).map(Vec::len);
+            RowFeatures {
+                processed: preprocess_row(pre, row),
+                cells: row.len(),
+                has_above: above.is_some(),
+                has_below: below.is_some(),
+                above_cells: above.unwrap_or(0),
+                below_cells: below.unwrap_or(0),
+                label: labels.map(|ls| ls[i]),
+            }
+        })
+        .collect()
+}
+
+/// Which axis the table's metadata lies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Header cells form the top row(s); attributes run left→right.
+    Horizontal,
+    /// Header cells form the left column(s); attributes run top→bottom.
+    Vertical,
+}
+
+/// Heuristic orientation detector.
+///
+/// Data cells are type-homogeneous along the data axis, and the header
+/// lane *breaks* the other axis's homogeneity: in a horizontal table each
+/// column is consistent over all rows except the header row on top, so
+/// column consistency measured over the whole table stays high while row
+/// consistency is diluted by the textual name column — and symmetrically
+/// for vertical tables. We score per-lane type consistency
+/// (`max(p_numeric, 1 − p_numeric)`) on both axes over the full grid;
+/// the more consistent axis is the data axis. Ties (e.g. all-text
+/// tables) default to horizontal, which dominates CORD-19.
+pub fn detect_orientation(rows: &[Vec<String>]) -> Orientation {
+    let height = rows.len();
+    let width = rows.iter().map(Vec::len).max().unwrap_or(0);
+    if height < 2 || width < 2 {
+        return Orientation::Horizontal;
+    }
+    // A cell reads as numeric when it *leads* with a number-ish glyph and
+    // contains a digit — "45 mg", "<0.05", "12.5%" are numeric; "Arm 1"
+    // and "Age, median" are labels that merely mention a digit.
+    let numeric = |cell: &str| -> f64 {
+        let t = cell.trim();
+        let leads_numeric = t
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '<' | '>' | '-' | '+' | '.' | '±' | '$'));
+        f64::from(u8::from(leads_numeric && t.chars().any(|c| c.is_ascii_digit())))
+    };
+    let consistency = |fracs: &[f64]| -> f64 {
+        if fracs.is_empty() {
+            return 0.0;
+        }
+        fracs.iter().map(|&p| p.max(1.0 - p)).sum::<f64>() / fracs.len() as f64
+    };
+    let row_fracs: Vec<f64> = rows
+        .iter()
+        .filter(|r| !r.is_empty())
+        .map(|r| r.iter().map(|c| numeric(c)).sum::<f64>() / r.len() as f64)
+        .collect();
+    let col_fracs: Vec<f64> = (0..width)
+        .map(|j| {
+            let mut n = 0.0;
+            let mut cnt = 0usize;
+            for r in rows {
+                if let Some(c) = r.get(j) {
+                    n += numeric(c);
+                    cnt += 1;
+                }
+            }
+            n / cnt.max(1) as f64
+        })
+        .collect();
+    if consistency(&row_fracs) > consistency(&col_fracs) {
+        Orientation::Vertical
+    } else {
+        Orientation::Horizontal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(data: &[&[&str]]) -> Vec<Vec<String>> {
+        data.iter()
+            .map(|r| r.iter().map(|c| c.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn feature_vector_matches_paper_definition() {
+        let pre = Preprocessor::new();
+        let table = rows(&[
+            &["Vaccine", "Dose", "Efficacy"],
+            &["Pfizer", "30 mg", "95%"],
+            &["Moderna", "100 mg", "94%"],
+        ]);
+        let feats = row_features(&pre, &table, Some(&[true, false, false]));
+        assert_eq!(feats.len(), 3);
+
+        let f0 = &feats[0];
+        assert_eq!(f0.cells, 3);
+        assert!(!f0.has_above);
+        assert!(f0.has_below);
+        assert_eq!(f0.above_cells, 0);
+        assert_eq!(f0.below_cells, 3);
+        assert_eq!(f0.label, Some(true));
+        assert_eq!(f0.processed, "Vaccine Dose Efficacy");
+
+        let f1 = &feats[1];
+        assert!(f1.has_above && f1.has_below);
+        assert_eq!(f1.processed, "Pfizer MG INT PERCENT");
+        assert_eq!(f1.label, Some(false));
+
+        let f2 = &feats[2];
+        assert!(!f2.has_below);
+        assert_eq!(f2.below_cells, 0);
+    }
+
+    #[test]
+    fn positional_array_order() {
+        let f = RowFeatures {
+            processed: String::new(),
+            cells: 4,
+            has_above: true,
+            has_below: false,
+            above_cells: 3,
+            below_cells: 0,
+            label: None,
+        };
+        assert_eq!(f.positional(), [4.0, 1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn unlabeled_rows_have_null_f7() {
+        let pre = Preprocessor::new();
+        let feats = row_features(&pre, &rows(&[&["a"]]), None);
+        assert_eq!(feats[0].label, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must align")]
+    fn misaligned_labels_panic() {
+        let pre = Preprocessor::new();
+        row_features(&pre, &rows(&[&["a"], &["b"]]), Some(&[true]));
+    }
+
+    #[test]
+    fn horizontal_table_detected() {
+        let t = rows(&[
+            &["Vaccine", "Doses", "Efficacy"],
+            &["Pfizer", "2", "95"],
+            &["Moderna", "2", "94"],
+            &["J&J", "1", "72"],
+        ]);
+        assert_eq!(detect_orientation(&t), Orientation::Horizontal);
+    }
+
+    #[test]
+    fn vertical_table_detected() {
+        let t = rows(&[
+            &["Vaccine", "Pfizer", "Moderna", "AstraZeneca"],
+            &["Doses", "2", "2", "2"],
+            &["Efficacy", "95", "94", "67"],
+        ]);
+        assert_eq!(detect_orientation(&t), Orientation::Vertical);
+    }
+
+    #[test]
+    fn degenerate_tables_default_horizontal() {
+        assert_eq!(detect_orientation(&rows(&[&["a"]])), Orientation::Horizontal);
+        assert_eq!(detect_orientation(&[]), Orientation::Horizontal);
+        assert_eq!(
+            detect_orientation(&rows(&[&["a", "b", "c"]])),
+            Orientation::Horizontal
+        );
+    }
+
+    #[test]
+    fn all_text_table_defaults_horizontal() {
+        let t = rows(&[
+            &["Symptom", "Severity"],
+            &["Fever", "mild"],
+            &["Cough", "moderate"],
+        ]);
+        assert_eq!(detect_orientation(&t), Orientation::Horizontal);
+    }
+}

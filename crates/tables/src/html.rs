@@ -1,0 +1,563 @@
+//! HTML table parser and post-processor (§3.1).
+//!
+//! CORD-19 ships table bodies as raw HTML fragments. This module extracts
+//! every `<table>` from a fragment into a [`CleanTable`]: caption, header
+//! rows (from `<thead>` / `<th>` cells) and data rows, with `colspan`
+//! expansion, nested-markup stripping and entity decoding. The result
+//! converts to the "semi-structured, clean JSON" format the paper stores
+//! in MongoDB via [`CleanTable::to_json`].
+
+use covidkg_json::{obj, Value};
+use std::fmt;
+
+/// A parsed table: caption plus a rectangular cell grid.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CleanTable {
+    /// Caption text (from `<caption>`), empty if absent.
+    pub caption: String,
+    /// Rows; each row is a list of cell strings. Header rows come first.
+    pub rows: Vec<Vec<String>>,
+    /// Indices of rows whose cells were `<th>` or inside `<thead>` —
+    /// ground-truth-ish hints that the classifier does NOT get to see
+    /// (they exist so the corpus generator can label training data).
+    pub header_rows: Vec<usize>,
+}
+
+impl CleanTable {
+    /// Number of columns (widest row).
+    pub fn width(&self) -> usize {
+        self.rows.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Convert to the clean JSON document shape stored in the backend:
+    /// `{caption, n_rows, n_cols, rows: [[…]]}`.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "caption" => self.caption.clone(),
+            "n_rows" => self.rows.len(),
+            "n_cols" => self.width(),
+            "rows" => Value::Array(
+                self.rows
+                    .iter()
+                    .map(|r| Value::Array(r.iter().map(|c| Value::str(c.clone())).collect()))
+                    .collect()
+            ),
+        }
+    }
+
+    /// Reconstruct from the JSON produced by [`CleanTable::to_json`]
+    /// (header hints are not persisted).
+    pub fn from_json(v: &Value) -> Option<CleanTable> {
+        let caption = v.get("caption")?.as_str()?.to_string();
+        let rows = v
+            .get("rows")?
+            .as_array()?
+            .iter()
+            .map(|r| {
+                r.as_array()
+                    .map(|cells| {
+                        cells
+                            .iter()
+                            .map(|c| c.as_str().unwrap_or_default().to_string())
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        Some(CleanTable {
+            caption,
+            rows,
+            header_rows: Vec::new(),
+        })
+    }
+}
+
+/// Error for fragments containing no parseable table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtmlParseError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for HtmlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "html table parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for HtmlParseError {}
+
+/// Extract all tables from an HTML fragment. Unknown tags inside cells are
+/// stripped; entities are decoded; whitespace is collapsed. Returns an
+/// error only if the fragment contains `<table>` markup that never closes
+/// a cell structure (wildly malformed input still yields best-effort rows).
+pub fn parse_tables(fragment: &str) -> Result<Vec<CleanTable>, HtmlParseError> {
+    let tokens = lex(fragment);
+    let mut tables = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Tok::Open(name, _) = &tokens[i] {
+            if name == "table" {
+                let (table, next) = parse_one_table(&tokens, i + 1);
+                tables.push(table);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if tables.is_empty() && fragment.contains("<table") {
+        return Err(HtmlParseError {
+            message: "fragment mentions <table but none parsed".into(),
+        });
+    }
+    Ok(tables)
+}
+
+/// Lexer tokens.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// `<name attr…>`; attrs kept as a raw lowercase string.
+    Open(String, String),
+    /// `</name>`
+    Close(String),
+    /// Text run.
+    Text(String),
+}
+
+fn lex(html: &str) -> Vec<Tok> {
+    let bytes = html.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut text_start = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if i > text_start {
+                toks.push(Tok::Text(html[text_start..i].to_string()));
+            }
+            // Comment?
+            if html[i..].starts_with("<!--") {
+                match html[i + 4..].find("-->") {
+                    Some(end) => {
+                        i = i + 4 + end + 3;
+                    }
+                    None => {
+                        i = bytes.len();
+                    }
+                }
+                text_start = i;
+                continue;
+            }
+            match html[i..].find('>') {
+                Some(rel_end) => {
+                    let inner = &html[i + 1..i + rel_end];
+                    let inner = inner.trim().trim_end_matches('/').trim();
+                    if let Some(name) = inner.strip_prefix('/') {
+                        toks.push(Tok::Close(name.trim().to_ascii_lowercase()));
+                    } else if !inner.is_empty() && !inner.starts_with('!') {
+                        let (name, attrs) = match inner.split_once(char::is_whitespace) {
+                            Some((n, a)) => (n, a),
+                            None => (inner, ""),
+                        };
+                        toks.push(Tok::Open(
+                            name.to_ascii_lowercase(),
+                            attrs.to_ascii_lowercase(),
+                        ));
+                    }
+                    i += rel_end + 1;
+                    text_start = i;
+                }
+                None => {
+                    // Unterminated tag: treat rest as text.
+                    text_start = i;
+                    break;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    if text_start < html.len() {
+        toks.push(Tok::Text(html[text_start..].to_string()));
+    }
+    toks
+}
+
+/// A pending `rowspan` fill owed to later rows.
+#[derive(Debug)]
+struct RowspanFill {
+    /// Column the cell occupied in its origin row.
+    col: usize,
+    /// Rows still owed a copy.
+    remaining: usize,
+    /// Cell text (patched when the origin cell closes).
+    text: String,
+    /// Index the origin row will get in `table.rows` — the fill must not
+    /// apply to its own row.
+    origin_row: usize,
+}
+
+/// An open cell being accumulated.
+#[derive(Debug)]
+struct OpenCell {
+    text: String,
+    colspan: usize,
+    /// Index into the rowspan list to patch with the final text.
+    rowspan_idx: Option<usize>,
+}
+
+/// Parse one table starting just after its `<table>` token. Returns the
+/// table and the token index after `</table>` (or end of input).
+fn parse_one_table(toks: &[Tok], mut i: usize) -> (CleanTable, usize) {
+    let mut table = CleanTable::default();
+    let mut in_thead = false;
+    let mut cur_row: Option<Vec<String>> = None;
+    let mut cur_row_is_header = false;
+    let mut cur_cell: Option<OpenCell> = None;
+    let mut rowspans: Vec<RowspanFill> = Vec::new();
+    let mut caption_depth = 0usize;
+
+    fn flush_cell(
+        cur_cell: &mut Option<OpenCell>,
+        cur_row: &mut Option<Vec<String>>,
+        rowspans: &mut [RowspanFill],
+    ) {
+        if let Some(cell) = cur_cell.take() {
+            let clean = clean_text(&cell.text);
+            if let Some(idx) = cell.rowspan_idx {
+                rowspans[idx].text = clean.clone();
+            }
+            let row = cur_row.get_or_insert_with(Vec::new);
+            for _ in 0..cell.colspan.max(1) {
+                row.push(clean.clone());
+            }
+        }
+    }
+
+    fn flush_row(
+        table: &mut CleanTable,
+        cur_cell: &mut Option<OpenCell>,
+        cur_row: &mut Option<Vec<String>>,
+        cur_row_is_header: &mut bool,
+        in_thead: bool,
+        rowspans: &mut Vec<RowspanFill>,
+    ) {
+        flush_cell(cur_cell, cur_row, rowspans);
+        if let Some(mut row) = cur_row.take() {
+            let row_idx = table.rows.len();
+            rowspans.sort_by_key(|f| f.col);
+            for fill in rowspans.iter_mut() {
+                if fill.remaining > 0 && fill.origin_row < row_idx {
+                    let at = fill.col.min(row.len());
+                    row.insert(at, fill.text.clone());
+                    fill.remaining -= 1;
+                }
+            }
+            rowspans.retain(|f| f.remaining > 0);
+            if *cur_row_is_header || in_thead {
+                table.header_rows.push(row_idx);
+            }
+            table.rows.push(row);
+        }
+        *cur_row_is_header = false;
+    }
+
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Open(name, attrs) => match name.as_str() {
+                "caption" => caption_depth += 1,
+                "thead" => in_thead = true,
+                "tbody" | "tfoot" => in_thead = false,
+                "tr" => {
+                    flush_row(
+                        &mut table,
+                        &mut cur_cell,
+                        &mut cur_row,
+                        &mut cur_row_is_header,
+                        in_thead,
+                        &mut rowspans,
+                    );
+                    cur_row = Some(Vec::new());
+                }
+                "td" | "th" => {
+                    flush_cell(&mut cur_cell, &mut cur_row, &mut rowspans);
+                    if cur_row.is_none() {
+                        cur_row = Some(Vec::new());
+                    }
+                    if name == "th" {
+                        cur_row_is_header = true;
+                    }
+                    let colspan = attr_usize(attrs, "colspan").unwrap_or(1);
+                    let rowspan = attr_usize(attrs, "rowspan").unwrap_or(1);
+                    let rowspan_idx = if rowspan > 1 {
+                        rowspans.push(RowspanFill {
+                            col: cur_row.as_ref().map_or(0, Vec::len),
+                            remaining: rowspan - 1,
+                            text: String::new(),
+                            origin_row: table.rows.len(),
+                        });
+                        Some(rowspans.len() - 1)
+                    } else {
+                        None
+                    };
+                    cur_cell = Some(OpenCell {
+                        text: String::new(),
+                        colspan,
+                        rowspan_idx,
+                    });
+                }
+                "table" => {
+                    // Nested table: parse and discard (rare in CORD-19; the
+                    // outer cell keeps its own text only).
+                    let (_inner, next) = parse_one_table(toks, i + 1);
+                    i = next;
+                    continue;
+                }
+                _ => {} // formatting tags inside cells are stripped
+            },
+            Tok::Close(name) => match name.as_str() {
+                "caption" => caption_depth = caption_depth.saturating_sub(1),
+                "thead" => in_thead = false,
+                "tr" => flush_row(
+                    &mut table,
+                    &mut cur_cell,
+                    &mut cur_row,
+                    &mut cur_row_is_header,
+                    in_thead,
+                    &mut rowspans,
+                ),
+                "td" | "th" => flush_cell(&mut cur_cell, &mut cur_row, &mut rowspans),
+                "table" => {
+                    flush_row(
+                        &mut table,
+                        &mut cur_cell,
+                        &mut cur_row,
+                        &mut cur_row_is_header,
+                        in_thead,
+                        &mut rowspans,
+                    );
+                    table.caption = clean_text(&table.caption);
+                    return (table, i + 1);
+                }
+                _ => {}
+            },
+            Tok::Text(text) => {
+                if caption_depth > 0 {
+                    table.caption.push_str(text);
+                } else if let Some(cell) = &mut cur_cell {
+                    cell.text.push_str(text);
+                }
+            }
+        }
+        i += 1;
+    }
+    flush_row(
+        &mut table,
+        &mut cur_cell,
+        &mut cur_row,
+        &mut cur_row_is_header,
+        in_thead,
+        &mut rowspans,
+    );
+    table.caption = clean_text(&table.caption);
+    (table, i)
+}
+
+fn attr_usize(attrs: &str, key: &str) -> Option<usize> {
+    let at = attrs.find(key)?;
+    let rest = &attrs[at + key.len()..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.trim_start_matches(['"', '\'']);
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Decode entities and collapse whitespace.
+fn clean_text(text: &str) -> String {
+    let decoded = decode_entities(text);
+    let mut out = String::with_capacity(decoded.len());
+    let mut last_space = true;
+    for c in decoded.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+fn decode_entities(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        let semi = tail.find(';').filter(|&s| s <= 10);
+        match semi {
+            Some(s) => {
+                let entity = &tail[1..s];
+                let decoded: Option<char> = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    "nbsp" => Some(' '),
+                    "ndash" => Some('–'),
+                    "mdash" => Some('—'),
+                    "plusmn" => Some('±'),
+                    "deg" => Some('°'),
+                    "micro" => Some('µ'),
+                    "times" => Some('×'),
+                    e if e.starts_with("#x") || e.starts_with("#X") => u32::from_str_radix(&e[2..], 16)
+                        .ok()
+                        .and_then(char::from_u32),
+                    e if e.starts_with('#') => e[1..].parse::<u32>().ok().and_then(char::from_u32),
+                    _ => None,
+                };
+                match decoded {
+                    Some(c) => {
+                        out.push(c);
+                        rest = &tail[s + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = &tail[1..];
+                    }
+                }
+            }
+            None => {
+                out.push('&');
+                rest = &tail[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_table() {
+        let html = "<table><caption>Table 1: doses</caption>\
+                    <tr><th>Vaccine</th><th>Dose</th></tr>\
+                    <tr><td>Pfizer</td><td>30 µg</td></tr></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.caption, "Table 1: doses");
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0], ["Vaccine", "Dose"]);
+        assert_eq!(t.rows[1], ["Pfizer", "30 µg"]);
+        assert_eq!(t.header_rows, [0]);
+    }
+
+    #[test]
+    fn thead_marks_header_rows() {
+        let html = "<table><thead><tr><td>h1</td><td>h2</td></tr></thead>\
+                    <tbody><tr><td>a</td><td>b</td></tr></tbody></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.header_rows, [0]);
+        assert_eq!(t.rows[1], ["a", "b"]);
+    }
+
+    #[test]
+    fn colspan_expands_cells() {
+        let html = "<table><tr><td colspan=\"3\">span</td></tr>\
+                    <tr><td>a</td><td>b</td><td>c</td></tr></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.rows[0], ["span", "span", "span"]);
+        assert_eq!(t.width(), 3);
+    }
+
+    #[test]
+    fn rowspan_fills_following_rows() {
+        let html = "<table>\
+                    <tr><td rowspan=2>v</td><td>x</td></tr>\
+                    <tr><td>y</td></tr></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.rows[0], ["v", "x"]);
+        assert_eq!(t.rows[1], ["v", "y"]);
+    }
+
+    #[test]
+    fn nested_markup_is_stripped() {
+        let html = "<table><tr><td><b>Fever</b> &amp; <i>chills</i></td></tr></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.rows[0], ["Fever & chills"]);
+    }
+
+    #[test]
+    fn entities_decode() {
+        assert_eq!(decode_entities("5&nbsp;&plusmn;&nbsp;2"), "5 ± 2");
+        assert_eq!(decode_entities("&lt;0.05"), "<0.05");
+        assert_eq!(decode_entities("&#37;"), "%");
+        assert_eq!(decode_entities("&#x2264;"), "≤");
+        assert_eq!(decode_entities("a&unknown;b"), "a&unknown;b");
+        assert_eq!(decode_entities("AT&T"), "AT&T");
+    }
+
+    #[test]
+    fn whitespace_collapses() {
+        let html = "<table><tr><td>  multi\n  line\t text </td></tr></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.rows[0], ["multi line text"]);
+    }
+
+    #[test]
+    fn multiple_tables_in_fragment() {
+        let html = "<p>intro</p><table><tr><td>1</td></tr></table>\
+                    <table><tr><td>2</td></tr></table>";
+        let ts = parse_tables(html).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].rows[0], ["1"]);
+        assert_eq!(ts[1].rows[0], ["2"]);
+    }
+
+    #[test]
+    fn fragment_without_tables_is_empty_ok() {
+        assert!(parse_tables("<p>no tables here</p>").unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_tr_close_tags_recover() {
+        // Real-world sloppy HTML omits </tr>/</td>.
+        let html = "<table><tr><td>a<td>b<tr><td>c<td>d</table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let html = "<table><!-- hidden --><tr><td>x</td></tr></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.rows[0], ["x"]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let html = "<table><caption>C</caption><tr><td>a</td><td>b</td></tr></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        let j = t.to_json();
+        let back = CleanTable::from_json(&j).unwrap();
+        assert_eq!(back.caption, t.caption);
+        assert_eq!(back.rows, t.rows);
+        assert_eq!(j.path("n_cols").and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn self_closing_and_attributes_survive() {
+        let html = "<table class='x'><tr><td align=\"left\">v<br/>w</td></tr></table>";
+        let t = &parse_tables(html).unwrap()[0];
+        assert_eq!(t.rows[0], ["vw"]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Numeric pre-processing (§3.4).
+//!
+//! "To streamline the processing of numerical data handled by the model, we
+//! have created several regular expressions that encode all numerical data
+//! falling in similar forms under its relevant category." The substitutions
+//! are applied **in order** — the paper stresses that "the order of these
+//! expressions is important as 0 in 50 is not the same as 0.0":
+//!
+//! 1. dates written with month words → `DATE` (before bare numbers would
+//!    swallow the day/year; `mm/dd/yy` is deliberately *not* handled,
+//!    matching the paper);
+//! 2. arithmetic ranges `5-10 mg` → `RANGE` (units survive for rule 8);
+//! 3. zeros in decimal and integer form → `ZERO`;
+//! 4. negative integers → `NEG` ("only takes negative numbers and not the
+//!    words/ranges with - in them");
+//! 5. numbers in (0, 1) → `SMALLPOS`;
+//! 6. remaining numbers ≥ 1 → `FLOAT` (fractional) or `INT` (integral) —
+//!    "these numbers have no limit and are not further binned";
+//! 7. `%` → `PERCENT` (so `0.5%` → `SMALLPOS PERCENT`, `5%` →
+//!    `INT PERCENT`; the paper's §3.4 prose swaps the two names in one
+//!    sentence — we follow its own earlier definitions, see DESIGN.md);
+//! 8. `<` → `LESS`, `>` → `GREATER`;
+//! 9. quantities with the frequent units (time units, `ml`, `mg`, `kg`)
+//!    → the unit's descriptive keyword (`TIME`/`ML`/`MG`/`KG`).
+
+use covidkg_regex::Regex;
+
+/// Compiled substitution pipeline. Construction compiles ~a dozen
+/// patterns; reuse one instance across a corpus.
+#[derive(Debug)]
+pub struct Preprocessor {
+    date: Regex,
+    range: Regex,
+    neg: Regex,
+    number: Regex,
+    percent: Regex,
+    unit_time: Regex,
+    unit_ml: Regex,
+    unit_mg: Regex,
+    unit_kg: Regex,
+}
+
+impl Default for Preprocessor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Preprocessor {
+    /// Compile the substitution patterns.
+    pub fn new() -> Self {
+        let month = "(january|february|march|april|may|june|july|august|september|october|november|december|jan|feb|mar|apr|jun|jul|aug|sep|sept|oct|nov|dec)";
+        Preprocessor {
+            // "March 15, 2021", "15 March 2021", "March 2020".
+            date: Regex::new_ci(&format!(
+                r"(\d{{1,2}}\s+{month}\.?,?\s+\d{{2,4}})|({month}\.?\s+\d{{1,2}},?\s+\d{{2,4}})|({month}\.?,?\s+\d{{4}})"
+            ))
+            .expect("date pattern"),
+            range: Regex::new(r"\d+(\.\d+)?\s?(-|–|—|to)\s?\d+(\.\d+)?").expect("range pattern"),
+            neg: Regex::new(r"(^|[\s(\[=:,;])-\d+(\.\d+)?\b").expect("neg pattern"),
+            number: Regex::new(r"\d+(\.\d+)?").expect("number pattern"),
+            percent: Regex::new("%").expect("percent pattern"),
+            unit_time: Regex::new_ci(
+                r"\b(INT|FLOAT|RANGE|ZERO|SMALLPOS)\s?(seconds|second|secs|sec|s|minutes|minute|mins|min|hours|hour|hrs|hr|h|days|day|weeks|week|wks|wk|months|month|years|year|yrs|yr)\b",
+            )
+            .expect("time pattern"),
+            unit_ml: Regex::new_ci(r"\b(INT|FLOAT|RANGE|ZERO|SMALLPOS)\s?(ml|milliliters|milliliter)\b")
+                .expect("ml pattern"),
+            unit_mg: Regex::new_ci(r"\b(INT|FLOAT|RANGE|ZERO|SMALLPOS)\s?(mg|milligrams|milligram|µg|mcg)\b")
+                .expect("mg pattern"),
+            unit_kg: Regex::new_ci(r"\b(INT|FLOAT|RANGE|ZERO|SMALLPOS)\s?(kg|kilograms|kilogram)\b")
+                .expect("kg pattern"),
+        }
+    }
+
+    /// Apply the full ordered substitution pipeline to one cell.
+    pub fn process(&self, cell: &str) -> String {
+        // 1. Dates first: "March 15, 2021" must not decay into INT INT.
+        let s = self.date.replace_all(cell, "DATE");
+        // 2. Ranges before single numbers: "5-10" is one RANGE, not NEG.
+        let s = self.range.replace_all(&s, "RANGE");
+        // 3. Negative integers; the leading context char is preserved.
+        let s = self.neg.replace_all_with(&s, |m| {
+            let keep: String = m.chars().take_while(|c| *c != '-').collect();
+            format!("{keep}NEG")
+        });
+        // 4–6. Remaining decimal tokens classified atomically, implementing
+        // the paper's ordered ZERO / SMALLPOS / FLOAT / INT rules ("0 in 50
+        // is not the same as 0.0") without partial-token mangling:
+        let s = self.number.replace_all_with(&s, |m| {
+            let v: f64 = m.parse().unwrap_or(0.0);
+            if v == 0.0 {
+                "ZERO".into()
+            } else if v < 1.0 {
+                "SMALLPOS".into()
+            } else if m.contains('.') {
+                "FLOAT".into()
+            } else {
+                "INT".into()
+            }
+        });
+        // 7. Percent signs.
+        let s = self.percent.replace_all(&s, " PERCENT");
+        // 8. Comparison symbols.
+        let s = s.replace('<', " LESS ").replace('>', " GREATER ");
+        // 9. Frequent units fold the preceding quantity into the unit keyword.
+        let s = self.unit_ml.replace_all(&s, "ML");
+        let s = self.unit_mg.replace_all(&s, "MG");
+        let s = self.unit_kg.replace_all(&s, "KG");
+        let s = self.unit_time.replace_all(&s, "TIME");
+        collapse_ws(&s)
+    }
+}
+
+fn collapse_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Process a single cell with a fresh pipeline (convenience for tests and
+/// one-off calls; hot paths should hold a [`Preprocessor`]).
+pub fn preprocess_cell(cell: &str) -> String {
+    Preprocessor::new().process(cell)
+}
+
+/// Process every cell of a row, joining with a single space — the tuple
+/// form consumed as feature `f1` (§3.5) and by the BiGRU tokenizer.
+pub fn preprocess_row(pre: &Preprocessor, row: &[String]) -> String {
+    let mut out = String::new();
+    for cell in row {
+        let p = pre.process(cell);
+        if !p.is_empty() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> String {
+        preprocess_cell(s)
+    }
+
+    #[test]
+    fn zeros_in_both_forms() {
+        assert_eq!(p("0"), "ZERO");
+        assert_eq!(p("0.0"), "ZERO");
+        assert_eq!(p("0.00"), "ZERO");
+    }
+
+    #[test]
+    fn zero_inside_larger_number_is_untouched() {
+        // The paper: "0 in 50 is not the same as 0.0".
+        assert_eq!(p("50"), "INT");
+        assert_eq!(p("105"), "INT");
+    }
+
+    #[test]
+    fn ranges_with_units_keep_the_unit_for_later() {
+        assert_eq!(p("5-10 mg"), "MG");
+        assert_eq!(p("5-10 bpm"), "RANGE bpm");
+        assert_eq!(p("1.5 - 2.5"), "RANGE");
+        assert_eq!(p("10 to 20"), "RANGE");
+    }
+
+    #[test]
+    fn negative_integers_only() {
+        assert_eq!(p("-5"), "NEG");
+        assert_eq!(p("temp -12.5"), "temp NEG");
+        // Hyphenated words keep their hyphen.
+        assert_eq!(p("covid-19"), "covid-INT");
+        assert_eq!(p("follow-up"), "follow-up");
+    }
+
+    #[test]
+    fn small_positvalues() {
+        assert_eq!(p("0.5"), "SMALLPOS");
+        assert_eq!(p("0.95"), "SMALLPOS");
+    }
+
+    #[test]
+    fn float_and_int_split() {
+        assert_eq!(p("3.75"), "FLOAT");
+        assert_eq!(p("42"), "INT");
+        assert_eq!(p("12345678901"), "INT"); // "no limit", not binned
+    }
+
+    #[test]
+    fn percent_variants() {
+        assert_eq!(p("5%"), "INT PERCENT");
+        assert_eq!(p("0.5%"), "SMALLPOS PERCENT");
+        assert_eq!(p("0%"), "ZERO PERCENT");
+    }
+
+    #[test]
+    fn word_month_dates() {
+        assert_eq!(p("March 15, 2021"), "DATE");
+        assert_eq!(p("15 March 2021"), "DATE");
+        assert_eq!(p("enrolled January 2020"), "enrolled DATE");
+        // Slash dates are explicitly NOT handled (paper §3.4).
+        assert_eq!(p("03/15/21"), "INT/INT/INT".to_string());
+    }
+
+    #[test]
+    fn comparison_symbols() {
+        assert_eq!(p("<0.05"), "LESS SMALLPOS");
+        assert_eq!(p("p>0.5"), "p GREATER SMALLPOS");
+    }
+
+    #[test]
+    fn unit_keywords() {
+        assert_eq!(p("5 mg"), "MG");
+        assert_eq!(p("2.5 ml"), "ML");
+        assert_eq!(p("70 kg"), "KG");
+        assert_eq!(p("30 min"), "TIME");
+        assert_eq!(p("2 hours"), "TIME");
+        assert_eq!(p("14 days"), "TIME");
+    }
+
+    #[test]
+    fn mixed_realistic_cells() {
+        assert_eq!(p("dose: 30 mg twice"), "dose: MG twice");
+        assert_eq!(
+            p("fever in 12 of 50 patients (24%)"),
+            "fever in INT of INT patients (INT PERCENT)"
+        );
+        assert_eq!(p("p < 0.001"), "p LESS SMALLPOS");
+    }
+
+    #[test]
+    fn text_without_numbers_is_unchanged() {
+        assert_eq!(p("Vaccine"), "Vaccine");
+        assert_eq!(p("Side effects"), "Side effects");
+    }
+
+    #[test]
+    fn row_processing_joins_cells() {
+        let pre = Preprocessor::new();
+        let row = vec!["Pfizer".to_string(), "30 mg".to_string(), "94%".to_string()];
+        assert_eq!(preprocess_row(&pre, &row), "Pfizer MG INT PERCENT");
+    }
+
+    #[test]
+    fn empty_cells_are_skipped_in_rows() {
+        let pre = Preprocessor::new();
+        let row = vec!["a".to_string(), String::new(), "b".to_string()];
+        assert_eq!(preprocess_row(&pre, &row), "a b");
+    }
+}

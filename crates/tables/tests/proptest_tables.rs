@@ -1,0 +1,115 @@
+//! Property tests: the §3.4 pre-processor eliminates every ASCII digit,
+//! the HTML parser never panics, and well-formed grids round-trip.
+
+use covidkg_tables::{detect_orientation, parse_tables, preprocess_cell, row_features, Preprocessor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// §3.4 substitutes "all numerical data"; after the pipeline no ASCII
+    /// digit may survive (every digit run becomes a category keyword).
+    #[test]
+    fn preprocessor_eliminates_all_digits(cell in "\\PC{0,40}") {
+        let out = preprocess_cell(&cell);
+        prop_assert!(
+            !out.bytes().any(|b| b.is_ascii_digit()),
+            "digits survived: {cell:?} -> {out:?}"
+        );
+    }
+
+    #[test]
+    fn preprocessor_is_idempotent(cell in "[a-zA-Z0-9 .%<>-]{0,32}") {
+        let once = preprocess_cell(&cell);
+        let twice = preprocess_cell(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn html_parser_never_panics(fragment in "\\PC{0,200}") {
+        let _ = parse_tables(&fragment);
+    }
+
+    #[test]
+    fn html_parser_handles_random_tag_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<table>".to_string()),
+                Just("</table>".to_string()),
+                Just("<tr>".to_string()),
+                Just("</tr>".to_string()),
+                Just("<td>".to_string()),
+                Just("</td>".to_string()),
+                Just("<th colspan=2>".to_string()),
+                Just("<caption>".to_string()),
+                "[a-z ]{0,6}",
+            ],
+            0..30,
+        )
+    ) {
+        let soup = parts.concat();
+        let _ = parse_tables(&soup); // must not panic or loop
+    }
+
+    #[test]
+    fn generated_grid_round_trips(
+        grid in prop::collection::vec(
+            prop::collection::vec("[a-zA-Z0-9 ]{1,8}", 2..5),
+            2..6,
+        )
+    ) {
+        // Regular grid: pad rows to equal width.
+        let width = grid.iter().map(Vec::len).max().unwrap();
+        let rows: Vec<Vec<String>> = grid
+            .into_iter()
+            .map(|mut r| {
+                while r.len() < width {
+                    r.push("x".to_string());
+                }
+                r.iter().map(|c| c.trim().to_string())
+                    .map(|c| if c.is_empty() { "x".to_string() } else { c })
+                    .collect()
+            })
+            .collect();
+        let mut html = String::from("<table>");
+        for row in &rows {
+            html.push_str("<tr>");
+            for cell in row {
+                html.push_str(&format!("<td>{cell}</td>"));
+            }
+            html.push_str("</tr>");
+        }
+        html.push_str("</table>");
+        let parsed = parse_tables(&html).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        // Cells survive modulo whitespace collapsing.
+        let expect: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.split_whitespace().collect::<Vec<_>>().join(" ")).collect())
+            .collect();
+        prop_assert_eq!(&parsed[0].rows, &expect);
+    }
+
+    #[test]
+    fn row_features_shapes_hold(
+        grid in prop::collection::vec(
+            prop::collection::vec("[a-z0-9 ]{0,6}", 1..5),
+            1..6,
+        )
+    ) {
+        let rows: Vec<Vec<String>> = grid;
+        let pre = Preprocessor::new();
+        let feats = row_features(&pre, &rows, None);
+        prop_assert_eq!(feats.len(), rows.len());
+        for (i, f) in feats.iter().enumerate() {
+            prop_assert_eq!(f.cells, rows[i].len());
+            prop_assert_eq!(f.has_above, i > 0);
+            prop_assert_eq!(f.has_below, i + 1 < rows.len());
+            if i > 0 {
+                prop_assert_eq!(f.above_cells, rows[i - 1].len());
+            }
+        }
+        // Orientation detection must never panic on ragged grids.
+        let _ = detect_orientation(&rows);
+    }
+}

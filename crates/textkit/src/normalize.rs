@@ -1,0 +1,148 @@
+//! Normalized NLP term matching (§4.2).
+//!
+//! KG fusion first matches extracted subtree roots to graph nodes "based on
+//! normalized NLP term matching". Normalization here means: lowercase,
+//! tokenize, drop stopwords and punctuation (including parenthesized
+//! qualifiers like `Vaccine(s)`), stem each token, and compare the token
+//! multisets order-insensitively — so `Vaccine(s)` matches `vaccines` and
+//! `side effect` matches `Side-Effects`.
+
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize_lower;
+
+/// A term reduced to its canonical matching form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NormalizedTerm {
+    /// Sorted stemmed tokens.
+    pub stems: Vec<String>,
+}
+
+impl NormalizedTerm {
+    /// Canonical single-string key, suitable for hash-map indexing.
+    pub fn key(&self) -> String {
+        self.stems.join(" ")
+    }
+
+    /// True when normalization removed everything (e.g. "(the)").
+    pub fn is_empty(&self) -> bool {
+        self.stems.is_empty()
+    }
+}
+
+/// Normalize a term per the fusion matcher's rules.
+pub fn normalize_term(term: &str) -> NormalizedTerm {
+    let mut stems: Vec<String> = tokenize_lower(term)
+        .into_iter()
+        // Split hyphenated/apostrophe compounds: "side-effects" == "side effects".
+        .flat_map(|t| {
+            t.split(['-', '\'', '’'])
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
+        // Drop stopwords and single-letter qualifiers like the "(s)" plural
+        // marker in "Vaccine(s)".
+        .filter(|t| !t.is_empty() && !is_stopword(t) && !(t.len() == 1 && !t.chars().next().unwrap().is_ascii_digit()))
+        .map(|t| stem(&t))
+        .collect();
+    stems.sort();
+    stems.dedup();
+    NormalizedTerm { stems }
+}
+
+/// Do two surface terms match after normalization?
+pub fn term_match(a: &str, b: &str) -> bool {
+    let (na, nb) = (normalize_term(a), normalize_term(b));
+    !na.is_empty() && na == nb
+}
+
+/// Levenshtein edit distance between two strings (char-wise). Used as a
+/// tie-breaker when several KG nodes normalize to nearby keys, and by
+/// tests asserting near-match behaviour.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row DP.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_and_parenthesized_forms_match() {
+        // The paper's own example: node `Vaccine` matches KG node `Vaccine(s)`.
+        assert!(term_match("Vaccine", "Vaccine(s)"));
+        assert!(term_match("vaccines", "Vaccine"));
+    }
+
+    #[test]
+    fn hyphen_and_spacing_variants_match() {
+        assert!(term_match("Side-Effects", "side effects"));
+        assert!(term_match("side effect", "Side Effects"));
+    }
+
+    #[test]
+    fn word_order_is_ignored() {
+        assert!(term_match("transmission airborne", "Airborne Transmission"));
+    }
+
+    #[test]
+    fn stopwords_are_dropped() {
+        assert!(term_match("ways of transmission", "transmission ways"));
+    }
+
+    #[test]
+    fn different_concepts_do_not_match() {
+        assert!(!term_match("vaccine", "ventilator"));
+        assert!(!term_match("symptoms", "side effects"));
+        assert!(!term_match("children side-effects", "side-effects"));
+    }
+
+    #[test]
+    fn empty_normalizations_never_match() {
+        assert!(!term_match("(the)", "(of)"));
+        assert!(normalize_term("...").is_empty());
+    }
+
+    #[test]
+    fn key_is_stable() {
+        assert_eq!(
+            normalize_term("Airborne Transmission").key(),
+            normalize_term("transmission, airborne").key()
+        );
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "ab"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("moderna", "moderna"), 0);
+        assert_eq!(levenshtein("pfizer", "pfizzer"), 1);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("novavax", "novovac"), levenshtein("novovac", "novavax"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Snippet extraction for search result pages.
+//!
+//! The COVIDKG result pages (Figs 2 & 4) display "brief snippets of the
+//! document" with every matched term highlighted in red. [`make_snippet`]
+//! picks the densest window of match spans, expands it to word boundaries,
+//! and returns the excerpt together with highlight spans re-based onto the
+//! excerpt.
+
+/// An excerpt with highlight spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snippet {
+    /// The excerpt text.
+    pub text: String,
+    /// Byte ranges within `text` to highlight.
+    pub highlights: Vec<(usize, usize)>,
+    /// True when text was elided before the excerpt.
+    pub leading_ellipsis: bool,
+    /// True when text was elided after the excerpt.
+    pub trailing_ellipsis: bool,
+}
+
+impl Snippet {
+    /// Render with `[` `]` markers around highlights (used by the CLI
+    /// front-end and by tests).
+    pub fn render_marked(&self) -> String {
+        let mut out = String::with_capacity(self.text.len() + 8);
+        if self.leading_ellipsis {
+            out.push_str("…");
+        }
+        let mut last = 0;
+        for &(s, e) in &self.highlights {
+            out.push_str(&self.text[last..s]);
+            out.push('[');
+            out.push_str(&self.text[s..e]);
+            out.push(']');
+            last = e;
+        }
+        out.push_str(&self.text[last..]);
+        if self.trailing_ellipsis {
+            out.push_str("…");
+        }
+        out
+    }
+}
+
+/// Build a snippet of roughly `window` bytes around the densest cluster of
+/// `matches` (byte spans into `text`, assumed sorted by start). With no
+/// matches, returns the head of the text.
+pub fn make_snippet(text: &str, matches: &[(usize, usize)], window: usize) -> Snippet {
+    if text.is_empty() {
+        return Snippet {
+            text: String::new(),
+            highlights: Vec::new(),
+            leading_ellipsis: false,
+            trailing_ellipsis: false,
+        };
+    }
+    let window = window.max(16);
+
+    // Choose the window start: the position maximizing matches inside
+    // [start, start+window). Slide over match starts only.
+    let (w_start, _count) = if matches.is_empty() {
+        (0, 0)
+    } else {
+        let mut best = (matches[0].0, 0usize);
+        for &(s, _) in matches {
+            let lo = s.saturating_sub(window / 4); // leave leading context
+            let count = matches
+                .iter()
+                .filter(|&&(ms, me)| ms >= lo && me <= lo + window)
+                .count();
+            if count > best.1 {
+                best = (lo, count);
+            }
+        }
+        best
+    };
+
+    let mut start = snap_to_char(text, w_start.min(text.len()));
+    let mut end = snap_to_char(text, (start + window).min(text.len()));
+    // Expand to word boundaries (do not cut words in half).
+    start = expand_left(text, start);
+    end = expand_right(text, end);
+
+    // Rebase spans onto the excerpt, then sort and merge overlaps — a
+    // quoted phrase and a stemmed token can cover the same bytes, and
+    // nested highlights would corrupt rendering.
+    let mut highlights: Vec<(usize, usize)> = matches
+        .iter()
+        .filter(|&&(s, e)| s >= start && e <= end && s < e)
+        .map(|&(s, e)| (s - start, e - start))
+        .collect();
+    highlights.sort_unstable();
+    let mut merged: Vec<(usize, usize)> = Vec::with_capacity(highlights.len());
+    for (s, e) in highlights {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let highlights = merged;
+
+    Snippet {
+        text: text[start..end].to_string(),
+        highlights,
+        leading_ellipsis: start > 0,
+        trailing_ellipsis: end < text.len(),
+    }
+}
+
+fn snap_to_char(text: &str, mut i: usize) -> usize {
+    while i < text.len() && !text.is_char_boundary(i) {
+        i += 1;
+    }
+    i.min(text.len())
+}
+
+/// Maximum distance (in chars) boundary expansion may travel; beyond this
+/// we accept cutting mid-word rather than dragging the window away from
+/// the matches (long unbroken runs occur in URLs and gene identifiers).
+const MAX_EXPAND: usize = 24;
+
+fn expand_left(text: &str, start: usize) -> usize {
+    let mut i = start;
+    for _ in 0..MAX_EXPAND {
+        if i == 0 {
+            return 0;
+        }
+        let prev = text[..i].chars().next_back().unwrap();
+        if prev.is_whitespace() {
+            return i;
+        }
+        i -= prev.len_utf8();
+    }
+    start
+}
+
+fn expand_right(text: &str, start: usize) -> usize {
+    let mut i = start;
+    for c in text[i..].chars().take(MAX_EXPAND) {
+        if c.is_whitespace() {
+            return i;
+        }
+        i += c.len_utf8();
+    }
+    if i >= text.len() {
+        text.len()
+    } else {
+        start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_matches_returns_head() {
+        let s = make_snippet("alpha beta gamma delta", &[], 16);
+        assert!(s.text.starts_with("alpha"));
+        assert!(!s.leading_ellipsis);
+        assert!(s.highlights.is_empty());
+    }
+
+    #[test]
+    fn highlight_spans_rebase_onto_excerpt() {
+        let text = "x".repeat(200) + " masks prevent spread " + &"y".repeat(200);
+        let m_start = text.find("masks").unwrap();
+        let s = make_snippet(&text, &[(m_start, m_start + 5)], 60);
+        assert_eq!(s.highlights.len(), 1);
+        let (hs, he) = s.highlights[0];
+        assert_eq!(&s.text[hs..he], "masks");
+        assert!(s.leading_ellipsis);
+        assert!(s.trailing_ellipsis);
+    }
+
+    #[test]
+    fn densest_cluster_wins() {
+        // One early lone match, three clustered matches later.
+        let text = format!(
+            "mask {} mask mask mask end",
+            "filler ".repeat(40)
+        );
+        let spans: Vec<(usize, usize)> = {
+            let mut v = Vec::new();
+            let mut at = 0;
+            while let Some(p) = text[at..].find("mask") {
+                v.push((at + p, at + p + 4));
+                at += p + 4;
+            }
+            v
+        };
+        let s = make_snippet(&text, &spans, 40);
+        assert!(s.highlights.len() >= 3, "got {:?}", s.highlights);
+    }
+
+    #[test]
+    fn render_marked_wraps_highlights() {
+        let text = "wearing masks works";
+        let s = make_snippet(text, &[(8, 13)], 64);
+        assert_eq!(s.render_marked(), "wearing [masks] works");
+    }
+
+    #[test]
+    fn words_are_not_cut() {
+        let text = "immunocompromised patients need protection from exposure";
+        let s = make_snippet(text, &[(0, 17)], 20);
+        // Each excerpt edge must be a word boundary.
+        assert!(text.contains(&s.text));
+        assert!(!s.text.starts_with(' '));
+        for part in s.text.split_whitespace() {
+            assert!(text.split_whitespace().any(|w| w == part), "{part}");
+        }
+    }
+
+    #[test]
+    fn overlapping_spans_merge_instead_of_corrupting() {
+        let text = "after dose two reactions";
+        // "dose two" phrase and "dose" stem overlap; nested/unsorted input.
+        let s = make_snippet(text, &[(6, 14), (6, 10)], 64);
+        assert_eq!(s.render_marked(), "after [dose two] reactions");
+        // Out-of-order + partially overlapping.
+        let s = make_snippet(text, &[(11, 14), (6, 12)], 64);
+        assert_eq!(s.render_marked(), "after [dose two] reactions");
+        // Adjacent-but-disjoint spans stay separate.
+        let s = make_snippet(text, &[(6, 10), (11, 14)], 64);
+        assert_eq!(s.render_marked(), "after [dose] [two] reactions");
+    }
+
+    #[test]
+    fn empty_text() {
+        let s = make_snippet("", &[], 32);
+        assert!(s.text.is_empty());
+    }
+
+    #[test]
+    fn multibyte_safety() {
+        let text = "é".repeat(100);
+        let s = make_snippet(&text, &[(10, 12)], 24);
+        // Must not panic and must be valid UTF-8 slicing.
+        assert!(!s.text.is_empty());
+    }
+}

@@ -1,0 +1,374 @@
+//! The Porter stemming algorithm (M.F. Porter, 1980), implemented in full.
+//!
+//! The COVIDKG search engines evaluate a "stemming match capability on a
+//! tokenized query" (§2.1): both the indexed terms and the query terms are
+//! reduced to stems so that `vaccinated`, `vaccination` and `vaccine`
+//! retrieve each other. The classic five-step Porter algorithm is the
+//! standard choice and is what we implement here, operating on ASCII
+//! lowercase; tokens with non-ASCII letters are returned unchanged.
+
+/// Stem a single lowercase word. Words shorter than 3 characters and words
+/// containing non-ASCII-alphabetic characters are returned as-is.
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut b: Vec<u8> = word.as_bytes().to_vec();
+    let mut k = b.len();
+    k = step1a(&mut b, k);
+    k = step1b(&mut b, k);
+    k = step1c(&mut b, k);
+    k = step2(&mut b, k);
+    k = step3(&mut b, k);
+    k = step4(&mut b, k);
+    k = step5a(&mut b, k);
+    k = step5b(&b, k);
+    String::from_utf8(b[..k].to_vec()).unwrap()
+}
+
+/// Is `b[i]` a consonant in the word `b[..=i]`? ('y' is a consonant when it
+/// follows a vowel position per Porter's definition.)
+fn is_cons(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_cons(b, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure m of `b[..k]`: number of VC sequences.
+fn measure(b: &[u8], k: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < k && is_cons(b, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < k && !is_cons(b, i) {
+            i += 1;
+        }
+        if i >= k {
+            return m;
+        }
+        m += 1;
+        // Skip consonants.
+        while i < k && is_cons(b, i) {
+            i += 1;
+        }
+        if i >= k {
+            return m;
+        }
+    }
+}
+
+/// Does the stem `b[..k]` contain a vowel?
+fn has_vowel(b: &[u8], k: usize) -> bool {
+    (0..k).any(|i| !is_cons(b, i))
+}
+
+/// Does `b[..k]` end with a double consonant?
+fn ends_double_cons(b: &[u8], k: usize) -> bool {
+    k >= 2 && b[k - 1] == b[k - 2] && is_cons(b, k - 1)
+}
+
+/// Does `b[..k]` end consonant-vowel-consonant, where the final consonant
+/// is not w, x or y? (Porter's *o condition.)
+fn cvc(b: &[u8], k: usize) -> bool {
+    if k < 3 || !is_cons(b, k - 1) || is_cons(b, k - 2) || !is_cons(b, k - 3) {
+        return false;
+    }
+    !matches!(b[k - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(b: &[u8], k: usize, suffix: &str) -> bool {
+    let s = suffix.as_bytes();
+    k >= s.len() && &b[k - s.len()..k] == s
+}
+
+/// Replace suffix of length `slen` with `rep`, returning the new k.
+fn set_to(b: &mut Vec<u8>, k: usize, slen: usize, rep: &str) -> usize {
+    let base = k - slen;
+    b.truncate(base);
+    b.extend_from_slice(rep.as_bytes());
+    base + rep.len()
+}
+
+fn step1a(b: &mut Vec<u8>, k: usize) -> usize {
+    if ends_with(b, k, "sses") {
+        set_to(b, k, 4, "ss")
+    } else if ends_with(b, k, "ies") {
+        set_to(b, k, 3, "i")
+    } else if ends_with(b, k, "ss") {
+        k
+    } else if ends_with(b, k, "s") {
+        set_to(b, k, 1, "")
+    } else {
+        k
+    }
+}
+
+fn step1b(b: &mut Vec<u8>, k: usize) -> usize {
+    if ends_with(b, k, "eed") {
+        if measure(b, k - 3) > 0 {
+            return set_to(b, k, 3, "ee");
+        }
+        return k;
+    }
+    let trimmed = if ends_with(b, k, "ed") && has_vowel(b, k - 2) {
+        Some(set_to(b, k, 2, ""))
+    } else if ends_with(b, k, "ing") && has_vowel(b, k - 3) {
+        Some(set_to(b, k, 3, ""))
+    } else {
+        None
+    };
+    let Some(k) = trimmed else { return k };
+    // Post-trim fixups: at -> ate, bl -> ble, iz -> ize, undouble, or add e.
+    if ends_with(b, k, "at") || ends_with(b, k, "bl") || ends_with(b, k, "iz") {
+        let mut nk = k;
+        b.truncate(nk);
+        b.push(b'e');
+        nk += 1;
+        nk
+    } else if ends_double_cons(b, k) && !matches!(b[k - 1], b'l' | b's' | b'z') {
+        b.truncate(k - 1);
+        k - 1
+    } else if measure(b, k) == 1 && cvc(b, k) {
+        b.truncate(k);
+        b.push(b'e');
+        k + 1
+    } else {
+        b.truncate(k);
+        k
+    }
+}
+
+fn step1c(b: &mut Vec<u8>, k: usize) -> usize {
+    if ends_with(b, k, "y") && has_vowel(b, k - 1) {
+        b[k - 1] = b'i';
+    }
+    k
+}
+
+/// Apply the first matching (suffix, replacement) rule whose stem measure
+/// exceeds `min_m`.
+fn rule_table(b: &mut Vec<u8>, k: usize, rules: &[(&str, &str)], min_m: usize) -> usize {
+    for (suffix, rep) in rules {
+        if ends_with(b, k, suffix) {
+            if measure(b, k - suffix.len()) > min_m {
+                return set_to(b, k, suffix.len(), rep);
+            }
+            return k;
+        }
+    }
+    k
+}
+
+fn step2(b: &mut Vec<u8>, k: usize) -> usize {
+    rule_table(
+        b,
+        k,
+        &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("bli", "ble"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+            ("logi", "log"),
+        ],
+        0,
+    )
+}
+
+fn step3(b: &mut Vec<u8>, k: usize) -> usize {
+    rule_table(
+        b,
+        k,
+        &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ],
+        0,
+    )
+}
+
+fn step4(b: &mut Vec<u8>, k: usize) -> usize {
+    // Like rule_table but with m > 1 and the special (s|t)ion case.
+    const RULES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+        "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    for suffix in RULES {
+        if ends_with(b, k, suffix) {
+            let base = k - suffix.len();
+            if *suffix == "ion" && !(base >= 1 && matches!(b[base - 1], b's' | b't')) {
+                return k;
+            }
+            if measure(b, base) > 1 {
+                return set_to(b, k, suffix.len(), "");
+            }
+            return k;
+        }
+    }
+    k
+}
+
+fn step5a(b: &mut Vec<u8>, k: usize) -> usize {
+    if ends_with(b, k, "e") {
+        let m = measure(b, k - 1);
+        if m > 1 || (m == 1 && !cvc(b, k - 1)) {
+            return set_to(b, k, 1, "");
+        }
+    }
+    k
+}
+
+fn step5b(b: &[u8], k: usize) -> usize {
+    if k >= 2 && b[k - 1] == b'l' && ends_double_cons(b, k) && measure(b, k) > 1 {
+        k - 1
+    } else {
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference pairs from Porter's published vocabulary output.
+    #[test]
+    fn classic_porter_examples() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(stem(input), want, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn covid_domain_terms_conflate() {
+        assert_eq!(stem("vaccination"), stem("vaccinations"));
+        assert_eq!(stem("vaccinated"), stem("vaccinate"));
+        assert_eq!(stem("masks"), stem("mask"));
+        assert_eq!(stem("ventilators"), stem("ventilator"));
+        assert_eq!(stem("infections"), stem("infection"));
+        assert_eq!(stem("symptomatic")[..7], stem("symptomatically")[..7]);
+    }
+
+    #[test]
+    fn short_words_pass_through() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("at"), "at");
+        assert_eq!(stem("a"), "a");
+    }
+
+    #[test]
+    fn non_ascii_words_pass_through() {
+        assert_eq!(stem("médecine"), "médecine");
+        assert_eq!(stem("covid-19"), "covid-19");
+    }
+
+    #[test]
+    fn idempotent_on_common_terms() {
+        for w in ["vaccination", "masks", "studied", "severity", "running"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "stemming {w:?} must be idempotent");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! English stopword ("noise word") list.
+//!
+//! §3.2 of the paper builds the 100k-term feature space by "sorting by
+//! frequency and cutting off the noise words and spam". This module
+//! provides the noise-word predicate used by the vocabulary builder and
+//! the query parser (stopwords never contribute to ranking scores).
+
+/// Sorted list of stopwords (binary-searchable).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any",
+    "are", "aren't", "as", "at", "be", "because", "been", "before", "being", "below",
+    "between", "both", "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't",
+    "do", "does", "doesn't", "doing", "don't", "down", "during", "each", "et", "etc",
+    "few", "for", "from", "further", "had", "hadn't", "has", "hasn't", "have", "haven't",
+    "having", "he", "he'd", "he'll", "he's", "her", "here", "here's", "hers", "herself",
+    "him", "himself", "his", "how", "how's", "i", "i'd", "i'll", "i'm", "i've", "if",
+    "in", "into", "is", "isn't", "it", "it's", "its", "itself", "let's", "me", "more",
+    "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off", "on", "once",
+    "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't", "so",
+    "some", "such", "than", "that", "that's", "the", "their", "theirs", "them",
+    "themselves", "then", "there", "there's", "these", "they", "they'd", "they'll",
+    "they're", "they've", "this", "those", "through", "to", "too", "under", "until",
+    "up", "very", "was", "wasn't", "we", "we'd", "we'll", "we're", "we've", "were",
+    "weren't", "what", "what's", "when", "when's", "where", "where's", "which", "while",
+    "who", "who's", "whom", "why", "why's", "with", "won't", "would", "wouldn't", "you",
+    "you'd", "you'll", "you're", "you've", "your", "yours", "yourself", "yourselves",
+];
+
+/// Is `word` (already lowercased) a stopword?
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// The full stopword list, for callers that need to iterate it.
+pub fn all() -> &'static [&'static str] {
+    STOPWORDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{:?} must sort before {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "and", "of", "is", "with", "a"] {
+            assert!(is_stopword(w), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["vaccine", "mask", "covid", "ventilator", "symptom"] {
+            assert!(!is_stopword(w), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn case_sensitivity_contract() {
+        // Callers must lowercase first.
+        assert!(!is_stopword("The"));
+    }
+}

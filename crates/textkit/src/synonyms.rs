@@ -1,0 +1,113 @@
+//! Medical synonym groups for query expansion.
+//!
+//! §5 of the paper: "The ranking function incorporates matching terms and
+//! synonyms, proximity, document, terms, and publication weights…" and
+//! §4.2 notes that "significant concepts and terms can be referred to
+//! differently (e.g. *COVID-19* and *coronavirus disease 2019*)". This
+//! module holds the curated single-token synonym groups; membership is
+//! tested on Porter stems so inflected forms resolve to the same group.
+
+use crate::stem::stem;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Curated synonym groups (surface forms; stems are derived).
+static GROUPS: &[&[&str]] = &[
+    &["covid", "covid-19", "coronavirus", "sars-cov-2"],
+    &["vaccine", "vaccination", "immunization", "inoculation", "jab"],
+    &["side-effect", "reactogenicity", "adverse"],
+    &["mask", "respirator", "ppe"],
+    &["ventilator", "intubation"],
+    &["symptom", "manifestation", "presentation"],
+    &["transmission", "spread", "contagion"],
+    &["treatment", "therapy", "therapeutic"],
+    &["children", "pediatric", "paediatric", "infant"],
+    &["test", "testing", "assay", "diagnostic"],
+    &["doctor", "physician", "clinician"],
+    &["drug", "medication", "medicine"],
+    &["strain", "variant", "lineage"],
+    &["fever", "pyrexia"],
+    &["efficacy", "effectiveness"],
+];
+
+fn index() -> &'static HashMap<String, usize> {
+    static INDEX: OnceLock<HashMap<String, usize>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut map = HashMap::new();
+        for (gid, group) in GROUPS.iter().enumerate() {
+            for word in *group {
+                map.insert(stem(&word.to_lowercase()), gid);
+            }
+        }
+        map
+    })
+}
+
+/// Stems synonymous with `query_stem` (excluding the stem itself);
+/// empty when the term has no curated group.
+pub fn synonym_stems(query_stem: &str) -> Vec<String> {
+    let Some(&gid) = index().get(query_stem) else {
+        return Vec::new();
+    };
+    let mut out: Vec<String> = GROUPS[gid]
+        .iter()
+        .map(|w| stem(&w.to_lowercase()))
+        .filter(|s| s != query_stem)
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Are two stems in the same synonym group (or equal)?
+pub fn are_synonyms(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    match (index().get(a), index().get(b)) {
+        (Some(ga), Some(gb)) => ga == gb,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vaccine_group_resolves_inflections() {
+        // "vaccinations" stems to "vaccin", in the vaccine group.
+        let syns = synonym_stems(&stem("vaccinations"));
+        assert!(syns.contains(&stem("immunization")), "{syns:?}");
+        assert!(syns.contains(&stem("inoculation")));
+        assert!(!syns.contains(&stem("vaccine")), "self excluded");
+    }
+
+    #[test]
+    fn symmetric_membership() {
+        assert!(are_synonyms(&stem("mask"), &stem("respirator")));
+        assert!(are_synonyms(&stem("respirator"), &stem("mask")));
+        assert!(are_synonyms(&stem("fever"), &stem("fever")));
+        assert!(!are_synonyms(&stem("mask"), &stem("vaccine")));
+        assert!(!are_synonyms(&stem("zzz"), &stem("mask")));
+    }
+
+    #[test]
+    fn ungrouped_terms_have_no_synonyms() {
+        assert!(synonym_stems(&stem("placebo")).is_empty());
+        assert!(synonym_stems("").is_empty());
+    }
+
+    #[test]
+    fn groups_are_disjoint_on_stems() {
+        let mut seen = HashMap::new();
+        for (gid, group) in GROUPS.iter().enumerate() {
+            for w in *group {
+                let s = stem(&w.to_lowercase());
+                if let Some(prev) = seen.insert(s.clone(), gid) {
+                    assert_eq!(prev, gid, "stem {s:?} appears in two groups");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! TF-IDF weighting (Sparck Jones [53] in the paper's references).
+//!
+//! §2.1: "Each term in the corpus has an associated Term
+//! Frequency-Inverse Document Frequency (TF-IDF) weight in order to reward
+//! more important terms. For each matched term its TF-IDF is weighted in
+//! the ranking per document." [`TfIdf`] holds the corpus statistics and
+//! produces [`SparseVec`] document vectors plus per-(term, doc) weights
+//! consumed by the ranking `$function` stages.
+
+use crate::vocab::Vocabulary;
+use std::collections::HashMap;
+
+/// A sparse feature vector: sorted `(feature id, weight)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVec {
+    /// Build from unsorted pairs; duplicate ids are summed.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_by_key(|&(id, _)| id);
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            match entries.last_mut() {
+                Some(last) if last.0 == id => last.1 += w,
+                _ => entries.push((id, w)),
+            }
+        }
+        SparseVec { entries }
+    }
+
+    /// Sorted entries.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Weight of a feature (0 if absent).
+    pub fn get(&self, id: u32) -> f64 {
+        self.entries
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .map_or(0.0, |idx| self.entries[idx].1)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product with another sparse vector (merge join over sorted ids).
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j, mut acc) = (0, 0, 0.0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, wa) = self.entries[i];
+            let (b, wb) = other.entries[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += wa * wb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity in `[−1, 1]`; 0 when either vector is zero.
+    pub fn cosine(&self, other: &SparseVec) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+}
+
+/// TF-IDF vectorizer bound to a [`Vocabulary`].
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    vocab: Vocabulary,
+}
+
+impl TfIdf {
+    /// Wrap a vocabulary.
+    pub fn new(vocab: Vocabulary) -> Self {
+        TfIdf { vocab }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Compute the TF-IDF weight for a term occurring `tf` times in a
+    /// document: `(1 + ln tf) · idf(term)`; 0 for out-of-vocabulary terms.
+    pub fn weight(&self, term: &str, tf: u64) -> f64 {
+        if tf == 0 {
+            return 0.0;
+        }
+        match self.vocab.id(term) {
+            Some(id) => (1.0 + (tf as f64).ln()) * self.vocab.idf(id),
+            None => 0.0,
+        }
+    }
+
+    /// Vectorize a tokenized (lowercased) document.
+    pub fn vectorize<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> SparseVec {
+        let mut tf: HashMap<u32, u64> = HashMap::new();
+        for tok in tokens {
+            if let Some(id) = self.vocab.id(tok) {
+                *tf.entry(id).or_insert(0) += 1;
+            }
+        }
+        SparseVec::from_pairs(
+            tf.into_iter()
+                .map(|(id, n)| (id, (1.0 + (n as f64).ln()) * self.vocab.idf(id)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::VocabularyBuilder;
+
+    fn model(docs: &[&str]) -> TfIdf {
+        let mut b = VocabularyBuilder::new();
+        for d in docs {
+            let toks = crate::tokenize_lower(d);
+            b.add_document(toks.iter().map(String::as_str));
+        }
+        TfIdf::new(b.build(1000))
+    }
+
+    #[test]
+    fn sparse_vec_dedupes_and_sorts() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 1.5)]);
+        assert_eq!(v.get(3), 1.5);
+        assert_eq!(v.get(9), 0.0);
+    }
+
+    #[test]
+    fn dot_and_cosine() {
+        let a = SparseVec::from_pairs(vec![(0, 1.0), (2, 2.0)]);
+        let b = SparseVec::from_pairs(vec![(2, 3.0), (5, 1.0)]);
+        assert!((a.dot(&b) - 6.0).abs() < 1e-12);
+        let self_cos = a.cosine(&a);
+        assert!((self_cos - 1.0).abs() < 1e-12);
+        assert_eq!(SparseVec::default().cosine(&a), 0.0);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let m = model(&[
+            "vaccine trial results",
+            "vaccine mask study",
+            "vaccine dosage remdesivir",
+        ]);
+        // "vaccine" appears in all docs, "remdesivir" in one.
+        assert!(m.weight("remdesivir", 1) > m.weight("vaccine", 1));
+    }
+
+    #[test]
+    fn tf_is_sublinear() {
+        let m = model(&["mask mask vaccine", "other words"]);
+        let w1 = m.weight("mask", 1);
+        let w4 = m.weight("mask", 4);
+        assert!(w4 > w1);
+        assert!(w4 < 4.0 * w1, "log damping expected");
+    }
+
+    #[test]
+    fn oov_terms_weigh_zero() {
+        let m = model(&["mask vaccine"]);
+        assert_eq!(m.weight("nonexistent", 3), 0.0);
+        assert_eq!(m.weight("mask", 0), 0.0);
+    }
+
+    #[test]
+    fn vectorize_matches_weight() {
+        let m = model(&["mask mask vaccine", "vaccine trial"]);
+        let toks = crate::tokenize_lower("mask mask vaccine");
+        let v = m.vectorize(toks.iter().map(String::as_str));
+        let id = m.vocabulary().id("mask").unwrap();
+        assert!((v.get(id) - m.weight("mask", 2)).abs() < 1e-12);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn similar_documents_have_higher_cosine() {
+        let m = model(&[
+            "vaccine side effects fever",
+            "vaccine side effects chills",
+            "ventilator icu capacity",
+        ]);
+        let v = |s: &str| {
+            let toks = crate::tokenize_lower(s);
+            m.vectorize(toks.iter().map(String::as_str))
+        };
+        let a = v("vaccine side effects fever");
+        let b = v("vaccine side effects chills");
+        let c = v("ventilator icu capacity");
+        assert!(a.cosine(&b) > a.cosine(&c));
+    }
+}

@@ -1,0 +1,124 @@
+//! Word tokenization with byte spans.
+//!
+//! A token is a maximal run of alphanumeric characters, possibly joined by
+//! single internal hyphens or apostrophes ("covid-19", "sars-cov-2",
+//! "patient's"). Spans are byte offsets into the original text so the
+//! search result renderer can highlight matches in place (Figs 2 & 4).
+
+/// A single token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text as it appears in the source.
+    pub text: String,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Tokenize `text` into words with spans.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(start, c)) = chars.peek() {
+        if !c.is_alphanumeric() {
+            chars.next();
+            continue;
+        }
+        let mut end = start;
+        let mut last_was_joiner = false;
+        while let Some(&(i, c)) = chars.peek() {
+            if c.is_alphanumeric() {
+                end = i + c.len_utf8();
+                last_was_joiner = false;
+                chars.next();
+            } else if (c == '-' || c == '\'' || c == '’') && !last_was_joiner {
+                // A joiner is only kept if followed by an alphanumeric; we
+                // tentatively consume it and roll back `end` otherwise.
+                last_was_joiner = true;
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        out.push(Token {
+            text: text[start..end].to_string(),
+            start,
+            end,
+        });
+    }
+    out
+}
+
+/// Tokenize and lowercase, returning only the token strings. This is the
+/// common indexing path (vocabulary building, TF-IDF, query parsing).
+pub fn tokenize_lower(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .map(|t| t.text.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(text: &str) -> Vec<String> {
+        tokenize(text).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        assert_eq!(texts("masks, ventilators; doses."), ["masks", "ventilators", "doses"]);
+    }
+
+    #[test]
+    fn keeps_internal_hyphens() {
+        assert_eq!(texts("COVID-19 and SARS-CoV-2"), ["COVID-19", "and", "SARS-CoV-2"]);
+    }
+
+    #[test]
+    fn trailing_hyphen_is_not_part_of_token() {
+        assert_eq!(texts("dose- escalation"), ["dose", "escalation"]);
+        assert_eq!(texts("end-"), ["end"]);
+    }
+
+    #[test]
+    fn double_hyphen_splits() {
+        assert_eq!(texts("a--b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn apostrophes_join() {
+        assert_eq!(texts("patient's recovery"), ["patient's", "recovery"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(texts("5-10 mg of 0.5%"), ["5-10", "mg", "of", "0", "5"]);
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let text = "é covid";
+        let toks = tokenize(text);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(&text[toks[1].start..toks[1].end], "covid");
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!?.,;:()").is_empty());
+    }
+
+    #[test]
+    fn lowercasing() {
+        assert_eq!(tokenize_lower("Pfizer BioNTech"), ["pfizer", "biontech"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(texts("médecine générale"), ["médecine", "générale"]);
+    }
+}

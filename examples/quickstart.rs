@@ -1,0 +1,69 @@
+//! Quickstart: build a small COVIDKG system and poke every major surface.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use covidkg::{ClassifierChoice, CovidKg, CovidKgConfig, SearchMode};
+
+fn main() {
+    println!("building a small COVIDKG system (synthetic corpus)…\n");
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: 48,
+        seed: 42,
+        classifier: ClassifierChoice::Svm,
+        max_training_rows: 600,
+        ..CovidKgConfig::default()
+    })
+    .expect("system builds");
+
+    let r = system.report();
+    println!("== build report ===================================");
+    println!("publications ingested : {}", r.publications);
+    println!("tables parsed         : {}", r.tables_parsed);
+    println!("rows classified       : {} ({} metadata)", r.rows_classified, r.metadata_rows);
+    println!("subtrees extracted    : {}", r.subtrees);
+    println!(
+        "fusion                : {} auto ({} via embeddings), {} reviewed",
+        r.fusion.auto_fused, r.fusion.via_embedding, r.fusion.reviewed
+    );
+    println!("KG nodes              : {}", r.kg_nodes);
+    println!(
+        "topic clusters        : {} (purity {:.2})",
+        r.clusters, r.cluster_purity
+    );
+
+    println!("\n== storage (cf. paper §2: ≈965GB / >5TB at web scale) ==");
+    print!("{}", system.stats().render_report());
+
+    println!("== search: all-fields query \"vaccine\" (§2.1.2) ====");
+    let page = system.search(&SearchMode::AllFields("vaccine".into()), 0);
+    for line in page.render().lines().take(12) {
+        println!("{line}");
+    }
+
+    println!("\n== knowledge graph: search \"side effects\" (§4.2) ==");
+    let kg = system.kg();
+    for hit in kg.search("side effects").into_iter().take(5) {
+        let labels: Vec<&str> = hit.path.iter().map(|&n| kg.node(n).label.as_str()).collect();
+        println!("  {}", labels.join(" → "));
+    }
+
+    println!("\n== interactive browse (№9/10), depth 2 ============");
+    for line in system.kg().render_tree(0, 2).lines().take(14) {
+        println!("  {line}");
+    }
+
+    println!("\n== bias interrogation (title claim) ================");
+    print!("{}", system.bias_report().render());
+
+    println!("\n== meta-profile (Fig 6) ============================");
+    if let Some(profile) = system.profiles().first() {
+        print!("{}", profile.render());
+    }
+
+    println!("\n== released models (№11/13) ========================");
+    for m in system.registry().list() {
+        println!("  {} [{}] v{} ({} bytes)", m.name, m.kind, m.version, m.bytes);
+    }
+}

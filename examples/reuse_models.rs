@@ -1,0 +1,93 @@
+//! №11/13 in Fig 1: API users "query the Knowledge Graph or fine-tune and
+//! reuse our released, pre-trained Deep-learning models or Embeddings on
+//! their own dataset."
+//!
+//! This example plays the downstream data scientist: it builds a COVIDKG
+//! system (the publisher), fetches the released embeddings from the model
+//! registry, fine-tunes them on its *own* corpus, and uses the result for
+//! a similarity task the original embeddings handle poorly.
+//!
+//! ```text
+//! cargo run --release --example reuse_models
+//! ```
+
+use covidkg::corpus::CorpusGenerator;
+use covidkg::ml::{Word2Vec, Word2VecConfig};
+use covidkg::{CovidKg, CovidKgConfig};
+
+fn main() {
+    // The publisher side: COVIDKG builds and releases its artifacts.
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: 48,
+        seed: 42,
+        max_training_rows: 500,
+        ..CovidKgConfig::default()
+    })
+    .expect("system builds");
+    println!("released artifacts:");
+    for m in system.registry().list() {
+        println!("  {} [{}] v{} ({} bytes)", m.name, m.kind, m.version, m.bytes);
+    }
+
+    // The consumer side: fetch the embeddings through the registry API.
+    let mut embeddings: Word2Vec = system
+        .registry()
+        .fetch_embeddings("cord19-wdc-w2v")
+        .expect("published embeddings resolve");
+    println!(
+        "\nfetched embeddings: {} terms x {} dims",
+        embeddings.vocab_size(),
+        embeddings.dims()
+    );
+
+    let probe = ("remdesivir", "dexamethasone");
+    let before = embeddings.similarity(probe.0, probe.1);
+    println!(
+        "similarity({}, {}) before fine-tuning: {:?}",
+        probe.0, probe.1, before
+    );
+
+    // Fine-tune on "their own dataset": a treatments-heavy corpus.
+    let own_corpus = CorpusGenerator::with_size(120, 777).generate();
+    let sentences: Vec<Vec<String>> = own_corpus
+        .iter()
+        .filter(|p| p.topic_name == "Treatments")
+        .map(|p| p.all_tokens())
+        .collect();
+    println!(
+        "fine-tuning on {} treatment-topic documents…",
+        sentences.len()
+    );
+    embeddings.continue_training(
+        &sentences,
+        &Word2VecConfig {
+            dims: embeddings.dims(),
+            epochs: 10,
+            ..Word2VecConfig::default()
+        },
+    );
+
+    let after = embeddings.similarity(probe.0, probe.1);
+    println!(
+        "similarity({}, {}) after fine-tuning:  {:?}",
+        probe.0, probe.1, after
+    );
+    match (before, after) {
+        (Some(b), Some(a)) => {
+            println!(
+                "fine-tuning moved the pair by {:+.3} ({}).",
+                a - b,
+                if a > b { "closer — the treatment cluster tightened" } else { "apart" }
+            );
+        }
+        _ => println!("(probe terms were out-of-vocabulary before fine-tuning)"),
+    }
+
+    // Nearest-neighbour sanity check on the fine-tuned space.
+    if let Some(q) = embeddings.embed("remdesivir").map(<[f32]>::to_vec) {
+        println!("\nnearest to \"remdesivir\" after fine-tuning:");
+        for (w, sim) in embeddings.nearest(&q, 6) {
+            println!("  {w:<16} {sim:.3}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Interactive-style search session over the three §2.1 engines.
+//!
+//! Replays the paper's screenshot queries — "masks" over all fields
+//! (Fig 2) and "ventilators" over tables (Fig 4) — plus a quoted
+//! exact-match query and field-scoped title/abstract/caption search,
+//! then pages through results.
+//!
+//! ```text
+//! cargo run --release --example search_cli            # canned session
+//! cargo run --release --example search_cli -- masks   # your own query
+//! ```
+
+use covidkg::{CovidKg, CovidKgConfig, SearchMode};
+
+fn main() {
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: 60,
+        seed: 7,
+        max_training_rows: 500,
+        ..CovidKgConfig::default()
+    })
+    .expect("system builds");
+
+    let user_query = std::env::args().nth(1);
+    if let Some(q) = user_query {
+        let page = system.search(&SearchMode::AllFields(q.clone()), 0);
+        println!("{}", page.render());
+        return;
+    }
+
+    // Fig 2: the all-fields engine, query "masks".
+    println!("──── engine 2 (§2.1.2): all publication fields — \"masks\" ────");
+    let page = system.search(&SearchMode::AllFields("masks".into()), 0);
+    println!("{}", page.render());
+
+    // Fig 4: the table engine, query "ventilators".
+    println!("──── engine 3 (§2.1.3): tables — \"ventilators\" ────");
+    let page = system.search(&SearchMode::Tables("ventilators".into()), 0);
+    println!("{}", page.render());
+
+    // Engine 1: inclusive field-scoped search.
+    println!("──── engine 1 (§2.1.1): title=vaccine caption=side-effects ────");
+    let page = system.search(
+        &SearchMode::TitleAbstractCaption {
+            title: "vaccine".into(),
+            abstract_q: String::new(),
+            caption: "side-effects".into(),
+        },
+        0,
+    );
+    println!("{}", page.render());
+
+    // Quoted exact match vs stemmed match.
+    println!("──── exact vs stemmed ────");
+    let exact = system.search(&SearchMode::AllFields("\"dose 2\"".into()), 0);
+    let stemmed = system.search(&SearchMode::AllFields("doses".into()), 0);
+    println!(
+        "\"dose 2\" (exact)  : {} matches\ndoses (stemmed)   : {} matches",
+        exact.total, stemmed.total
+    );
+
+    // Pagination: walk the first three pages of a broad query.
+    println!("\n──── pagination (10 per page, §2.1) ────");
+    let broad = system.search(&SearchMode::AllFields("study".into()), 0);
+    println!("query \"study\": {} matches, {} pages", broad.total, broad.page_count());
+    for p in 0..broad.page_count().min(3) {
+        let page = system.search(&SearchMode::AllFields("study".into()), p);
+        let first = page.results.first().map(|r| r.id.clone()).unwrap_or_default();
+        println!("  page {}: {} results (first: {})", p + 1, page.results.len(), first);
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig 6: multi-layered meta-profiles for vaccine side-effects.
+//!
+//! Builds profiles from side-effect tables across many synthetic papers
+//! — the paper's panel summarizes "information from 9 different sources
+//! in one place" — then drills into one vaccine/dose layer and compares
+//! reported rates across papers.
+//!
+//! ```text
+//! cargo run --release --example vaccine_profiles
+//! ```
+
+use covidkg::core::system::parse_side_effect_table;
+use covidkg::corpus::CorpusGenerator;
+use covidkg::kg::profile::{build_meta_profiles, compression_factor, Observation};
+use covidkg::tables::parse_tables;
+
+fn main() {
+    let pubs = CorpusGenerator::with_size(80, 23).generate();
+
+    // Run the real pipeline: HTML → parsed table → structured records.
+    let mut observations: Vec<Observation> = Vec::new();
+    let mut table_count = 0;
+    for p in &pubs {
+        for t in &p.tables {
+            for parsed in parse_tables(&t.html).expect("generator emits valid html") {
+                table_count += 1;
+                observations.extend(parse_side_effect_table(
+                    &parsed.caption,
+                    &parsed.rows,
+                    &p.id,
+                ));
+            }
+        }
+    }
+    println!(
+        "parsed {table_count} tables from {} papers → {} side-effect observations",
+        pubs.len(),
+        observations.len()
+    );
+
+    let profiles = build_meta_profiles(&observations);
+    println!(
+        "built {} meta-profiles; compression factor {:.1} sources/profile\n",
+        profiles.len(),
+        compression_factor(&profiles)
+    );
+
+    for profile in profiles.iter().take(2) {
+        print!("{}", profile.render());
+        println!();
+    }
+
+    // The Fig 6 "3D" layered view, per vaccine × dose × effect.
+    if let Some(profile) = profiles.first() {
+        println!("── layered chart (Fig 6 stand-in) ──");
+        print!("{}", profile.render_chart());
+        println!();
+    }
+
+    // Drill-down: which effect varies most across papers for one vaccine?
+    if let Some(profile) = profiles.first() {
+        println!("── cross-paper disagreement for {} ──", profile.vaccine);
+        for (dose, layer) in &profile.doses {
+            for (effect, obs) in &layer.effects {
+                if obs.len() < 2 {
+                    continue;
+                }
+                let rates: Vec<f32> = obs.iter().map(|(_, r)| *r).collect();
+                let min = rates.iter().cloned().fold(f32::MAX, f32::min);
+                let max = rates.iter().cloned().fold(f32::MIN, f32::max);
+                println!(
+                    "  dose {dose} {effect:<10} {:>4.1}%–{:>4.1}% across {} papers",
+                    min,
+                    max,
+                    obs.len()
+                );
+            }
+        }
+    }
+}

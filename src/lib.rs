@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # covidkg
+//!
+//! Umbrella crate for the COVIDKG.ORG reproduction (EDBT 2023). Re-exports
+//! every subsystem plus the assembled [`CovidKg`] system.
+//!
+//! ```
+//! use covidkg::{CovidKg, CovidKgConfig, SearchMode};
+//!
+//! let system = CovidKg::build(CovidKgConfig {
+//!     corpus_size: 12,
+//!     max_training_rows: 150,
+//!     ..CovidKgConfig::default()
+//! }).unwrap();
+//! let page = system.search(&SearchMode::AllFields("vaccine".into()), 0);
+//! assert!(page.total > 0);
+//! ```
+
+pub use covidkg_core::{
+    CovidKg, CovidKgConfig, CvReport, IngestReport, ModelRegistry,
+};
+pub use covidkg_core::system::ClassifierChoice;
+pub use covidkg_search::{SearchMode, SearchPage};
+
+/// JSON document model.
+pub use covidkg_json as json;
+/// Regular-expression engine.
+pub use covidkg_regex as regex;
+/// Text utilities (tokenizer, stemmer, TF-IDF, snippets).
+pub use covidkg_text as text;
+/// Table parsing, pre-processing and positional features.
+pub use covidkg_tables as tables;
+/// The sharded document store.
+pub use covidkg_store as store;
+/// From-scratch ML (SVM, Word2Vec, BiGRU/BiLSTM, k-means).
+pub use covidkg_ml as ml;
+/// Synthetic CORD-19/WDC corpus generators.
+pub use covidkg_corpus as corpus;
+/// The knowledge graph, fusion engine and meta-profiles.
+pub use covidkg_kg as kg;
+/// The three advanced search engines.
+pub use covidkg_search as search;
+/// System facade, training harness and model registry.
+pub use covidkg_core as core;

@@ -1,0 +1,216 @@
+//! `covidkg` — command-line front door to the reproduction.
+//!
+//! Stateless usage builds a fresh in-memory system per invocation; with
+//! `--data-dir` the system persists, so `build` once and then `search`,
+//! `kg`, `profiles`, `bias` and `stats` reopen it instantly (no
+//! retraining), mirroring how COVIDKG.ORG serves a long-lived cluster.
+//!
+//! ```text
+//! covidkg build --corpus 120 --data-dir /tmp/kgdata
+//! covidkg search "vaccine side effects" --data-dir /tmp/kgdata
+//! covidkg search "ventilators" --engine tables --expanded
+//! covidkg kg "side effects" --data-dir /tmp/kgdata
+//! covidkg profiles --data-dir /tmp/kgdata
+//! covidkg bias --data-dir /tmp/kgdata
+//! covidkg stats --data-dir /tmp/kgdata
+//! ```
+
+use covidkg::{CovidKg, CovidKgConfig, SearchMode};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+covidkg — COVIDKG.ORG reproduction CLI
+
+USAGE:
+    covidkg <command> [args] [options]
+
+COMMANDS:
+    build                    build a system (use --data-dir to persist it)
+    search <query>           run a search engine over the system
+    kg [query]               browse the knowledge graph / search its nodes
+    profiles                 print the vaccine side-effect meta-profiles
+    bias                     print the corpus bias-interrogation report
+    stats                    print the storage report
+
+OPTIONS:
+    --data-dir <path>        durable system location (reopened if built)
+    --corpus <n>             publications to generate on build [default 120]
+    --seed <n>               corpus/model seed [default 42]
+    --engine all|tables|scoped   search engine (default all)
+    --page <n>               result page, 0-based (default 0)
+    --expanded               expand collapsed result sections
+    --depth <n>              kg tree depth (default 2)
+";
+
+struct Args {
+    command: String,
+    positional: Vec<String>,
+    data_dir: Option<String>,
+    corpus: usize,
+    seed: u64,
+    engine: String,
+    page: usize,
+    expanded: bool,
+    depth: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| USAGE.to_string())?;
+    let mut out = Args {
+        command,
+        positional: Vec::new(),
+        data_dir: None,
+        corpus: 120,
+        seed: 42,
+        engine: "all".into(),
+        page: 0,
+        expanded: false,
+        depth: 2,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--data-dir" => out.data_dir = Some(value("--data-dir")?),
+            "--corpus" => {
+                out.corpus = value("--corpus")?
+                    .parse()
+                    .map_err(|_| "--corpus takes a number".to_string())?
+            }
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed takes a number".to_string())?
+            }
+            "--engine" => out.engine = value("--engine")?,
+            "--page" => {
+                out.page = value("--page")?
+                    .parse()
+                    .map_err(|_| "--page takes a number".to_string())?
+            }
+            "--depth" => {
+                out.depth = value("--depth")?
+                    .parse()
+                    .map_err(|_| "--depth takes a number".to_string())?
+            }
+            "--expanded" => out.expanded = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}\n\n{USAGE}"))
+            }
+            other => out.positional.push(other.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Open the system: reopen a durable one when possible, else build fresh.
+fn open_system(args: &Args, force_build: bool) -> Result<CovidKg, String> {
+    let config = CovidKgConfig {
+        corpus_size: args.corpus,
+        seed: args.seed,
+        data_dir: args.data_dir.clone(),
+        ..CovidKgConfig::default()
+    };
+    if !force_build && args.data_dir.is_some() {
+        if let Ok(system) = CovidKg::reopen(config.clone()) {
+            return Ok(system);
+        }
+        eprintln!("(no reusable system at the data dir; building fresh)");
+    }
+    CovidKg::build(config).map_err(|e| format!("build failed: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "build" => {
+            let system = open_system(&args, true)?;
+            let r = system.report();
+            println!(
+                "built: {} publications, {} tables, {} KG nodes, {} subtrees fused",
+                r.publications, r.tables_parsed, r.kg_nodes, r.fusion.auto_fused
+            );
+            if let Some(dir) = &args.data_dir {
+                println!("persisted to {dir} — subsequent commands reopen instantly");
+            } else {
+                println!("(in-memory only; pass --data-dir to persist)");
+            }
+        }
+        "search" => {
+            let query = args.positional.join(" ");
+            if query.is_empty() {
+                return Err("search needs a query\n\n".to_string() + USAGE);
+            }
+            let system = open_system(&args, false)?;
+            let mode = match args.engine.as_str() {
+                "all" => SearchMode::AllFields(query),
+                "tables" => SearchMode::Tables(query),
+                "scoped" => SearchMode::TitleAbstractCaption {
+                    title: query.clone(),
+                    abstract_q: query,
+                    caption: String::new(),
+                },
+                other => return Err(format!("unknown engine {other:?} (all|tables|scoped)")),
+            };
+            let page = system.search(&mode, args.page);
+            print!(
+                "{}",
+                if args.expanded {
+                    page.render_expanded()
+                } else {
+                    page.render()
+                }
+            );
+        }
+        "kg" => {
+            let system = open_system(&args, false)?;
+            let kg = system.kg();
+            if args.positional.is_empty() {
+                print!("{}", kg.render_tree(0, args.depth));
+            } else {
+                let query = args.positional.join(" ");
+                let hits = kg.search(&query);
+                if hits.is_empty() {
+                    println!("no KG nodes match {query:?}");
+                }
+                for hit in hits {
+                    print!("{}", kg.render_node(hit.node));
+                }
+            }
+        }
+        "profiles" => {
+            let system = open_system(&args, false)?;
+            if system.profiles().is_empty() {
+                println!("no side-effect observations in this corpus");
+            }
+            for p in system.profiles() {
+                print!("{}", p.render());
+                println!();
+            }
+        }
+        "bias" => {
+            let system = open_system(&args, false)?;
+            print!("{}", system.bias_report().render());
+        }
+        "stats" => {
+            let system = open_system(&args, false)?;
+            print!("{}", system.stats().render_report());
+        }
+        other => return Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `covidkg` CLI binary.
+
+use std::process::Command;
+
+fn covidkg(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_covidkg"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn build_then_query_a_durable_system() {
+    let dir = std::env::temp_dir().join(format!("covidkg-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    let (stdout, stderr, ok) = covidkg(&[
+        "build", "--corpus", "24", "--data-dir", &dir_s, "--seed", "5",
+    ]);
+    assert!(ok, "build failed: {stderr}");
+    assert!(stdout.contains("built: 24 publications"), "{stdout}");
+    assert!(stdout.contains("persisted"));
+
+    // Search reopens the persisted system.
+    let (stdout, stderr, ok) = covidkg(&["search", "vaccine", "--data-dir", &dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("results for"), "{stdout}");
+    assert!(!stderr.contains("building fresh"), "must reopen, not rebuild: {stderr}");
+
+    // Tables engine + expanded view.
+    let (stdout, _, ok) = covidkg(&[
+        "search", "side-effects", "--engine", "tables", "--expanded", "--data-dir", &dir_s,
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("matches"));
+
+    // KG browse and node detail.
+    let (stdout, _, ok) = covidkg(&["kg", "--depth", "1", "--data-dir", &dir_s]);
+    assert!(ok);
+    assert!(stdout.starts_with("COVID-19"), "{stdout}");
+    let (stdout, _, ok) = covidkg(&["kg", "vaccine", "--data-dir", &dir_s]);
+    assert!(ok);
+    assert!(stdout.contains("COVID-19 → Vaccine(s)"), "{stdout}");
+
+    // Stats report.
+    let (stdout, _, ok) = covidkg(&["stats", "--data-dir", &dir_s]);
+    assert!(ok);
+    assert!(stdout.contains("storage report"));
+    assert!(stdout.contains("publications"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (_, stderr, ok) = covidkg(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+
+    let (_, stderr, ok) = covidkg(&["bogus-command"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = covidkg(&["search"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a query"));
+
+    let (_, stderr, ok) = covidkg(&["search", "x", "--engine", "bogus", "--corpus", "8"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"));
+}

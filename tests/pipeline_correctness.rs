@@ -1,0 +1,153 @@
+//! Integration tests spanning store + search + corpus: the aggregation
+//! pipeline semantics the paper's §2.1 engines depend on.
+
+use covidkg::corpus::{CorpusGenerator, Publication};
+use covidkg::json::Value;
+use covidkg::store::pipeline::{Accumulator, Pipeline};
+use covidkg::store::{Collection, CollectionConfig, Filter};
+use std::sync::Arc;
+
+fn pubs_collection(n: usize, seed: u64) -> (Arc<Collection>, Vec<Publication>) {
+    let pubs = CorpusGenerator::with_size(n, seed).generate();
+    let c = Collection::new(
+        CollectionConfig::new("publications")
+            .with_shards(4)
+            .with_text_fields(Publication::text_fields()),
+    );
+    c.insert_many(pubs.iter().map(Publication::to_doc)).unwrap();
+    (Arc::new(c), pubs)
+}
+
+#[test]
+fn match_first_pipeline_equals_match_late() {
+    // The paper's ordering claim is a performance optimization; results
+    // must be identical either way.
+    let (c, _) = pubs_collection(40, 3);
+    let spec = covidkg::json::obj! { "$text" => covidkg::json::obj!{ "$search" => "vaccine" } };
+    let fields = Publication::text_fields();
+
+    let early = Pipeline::new()
+        .match_spec(&spec, &fields)
+        .unwrap()
+        .project(["title"])
+        .sort_asc("_id");
+    let late = Pipeline::new()
+        .project(["title", "abstract", "tables", "figure_captions", "body"])
+        .match_spec(&spec, &fields)
+        .unwrap()
+        .project(["title"])
+        .sort_asc("_id");
+    let a = c.aggregate(&early);
+    let b = c.aggregate(&late);
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn text_index_candidates_agree_with_full_scan() {
+    let (c, _) = pubs_collection(40, 9);
+    let filter = Filter::text("ventilator", Publication::text_fields());
+    // Indexed path (collection.find uses candidates).
+    let indexed: Vec<String> = {
+        let mut ids: Vec<String> = c
+            .find(&filter)
+            .iter()
+            .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_string))
+            .collect();
+        ids.sort();
+        ids
+    };
+    // Brute-force path.
+    let brute: Vec<String> = {
+        let mut ids: Vec<String> = c
+            .scan_all()
+            .iter()
+            .filter(|d| filter.matches(d))
+            .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_string))
+            .collect();
+        ids.sort();
+        ids
+    };
+    assert_eq!(indexed, brute);
+    assert!(!indexed.is_empty());
+}
+
+#[test]
+fn group_by_topic_counts_match_generator() {
+    let (c, pubs) = pubs_collection(48, 5);
+    let out = c.aggregate(
+        &Pipeline::new()
+            .group(
+                Some("_truth.topic".into()),
+                vec![("n".into(), Accumulator::Count)],
+            )
+            .sort_asc("_id"),
+    );
+    let topics = covidkg::corpus::all_topics().len();
+    assert_eq!(out.len(), topics);
+    for g in &out {
+        let topic = g.get("_id").unwrap().as_str().unwrap();
+        let n = g.get("n").unwrap().as_i64().unwrap() as usize;
+        let expected = pubs.iter().filter(|p| p.topic_name == topic).count();
+        assert_eq!(n, expected, "topic {topic}");
+    }
+}
+
+#[test]
+fn unwind_tables_then_count() {
+    let (c, pubs) = pubs_collection(20, 7);
+    let out = c.aggregate(&Pipeline::new().unwind("tables").count("tables_total"));
+    let expected: usize = pubs.iter().map(|p| p.tables.len()).sum();
+    assert_eq!(
+        out[0].get("tables_total").unwrap().as_i64().unwrap() as usize,
+        expected
+    );
+}
+
+#[test]
+fn persistence_round_trips_a_corpus() {
+    let dir = std::env::temp_dir().join(format!("covidkg-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pubs = CorpusGenerator::with_size(15, 2).generate();
+    {
+        let db = covidkg::store::Database::open(&dir).unwrap();
+        let c = db
+            .create_collection(
+                CollectionConfig::new("publications")
+                    .with_text_fields(Publication::text_fields()),
+            )
+            .unwrap();
+        c.insert_many(pubs.iter().map(Publication::to_doc)).unwrap();
+        db.snapshot_all().unwrap();
+    }
+    {
+        let db = covidkg::store::Database::open(&dir).unwrap();
+        let c = db
+            .create_collection(
+                CollectionConfig::new("publications")
+                    .with_text_fields(Publication::text_fields()),
+            )
+            .unwrap();
+        assert_eq!(c.len(), 15);
+        // Text search works after recovery (index rebuilt).
+        let hits = c.find(&Filter::text("study", Publication::text_fields()));
+        assert!(!hits.is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn html_tables_round_trip_through_store_and_parser() {
+    let (c, pubs) = pubs_collection(10, 11);
+    for p in &pubs {
+        let doc = c.get(&p.id).unwrap();
+        let tables = doc.path("tables").unwrap().as_array().unwrap();
+        assert_eq!(tables.len(), p.tables.len());
+        for (stored, original) in tables.iter().zip(&p.tables) {
+            let html = stored.path("html").unwrap().as_str().unwrap();
+            let parsed = covidkg::tables::parse_tables(html).unwrap();
+            assert_eq!(parsed[0].rows, original.rows);
+            assert_eq!(parsed[0].caption, original.caption);
+        }
+    }
+}
