@@ -1,7 +1,8 @@
 //! E1 timing: SVM and BiGRU training and per-row inference on the
 //! metadata-classification task (§3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::timer::{Criterion};
+use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_bench::setup::{labeled_rows, SEED};
 use covidkg_core::training::{build_tuple_examples, SvmFeaturizer};
 use covidkg_ml::model::{TupleClassifier, TupleClassifierConfig};

@@ -1,7 +1,8 @@
 //! E5 timing: SVM training cost as the feature-space dimensionality
 //! grows (§3.2: larger vocabularies made training "significantly slower").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use covidkg_bench::timer::{BenchmarkId, Criterion};
+use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_bench::setup::labeled_rows;
 use covidkg_core::training::build_svm_features;
 use covidkg_ml::svm::{Svm, SvmConfig};

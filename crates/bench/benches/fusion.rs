@@ -1,7 +1,8 @@
 //! E6 timing: fusion throughput — term matching only vs with the
 //! embedding fallback (§4.2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::timer::{Criterion};
+use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_bench::setup::{corpus, SEED};
 use covidkg_core::training::pretrain_embeddings;
 use covidkg_kg::{extract_subtrees, seed_graph, FusionConfig, FusionEngine};

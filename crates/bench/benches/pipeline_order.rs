@@ -1,7 +1,8 @@
 //! E3 timing: `$match`-first vs `$match`-last pipelines, and `$project`
 //! pruning on/off (§2.1's stated optimizations).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::timer::{Criterion};
+use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_bench::setup::{collection_with, corpus};
 use covidkg_corpus::Publication;
 use covidkg_json::Value;

@@ -1,6 +1,7 @@
 //! E7 timing: meta-profile construction throughput (Fig 6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::timer::{Criterion};
+use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_bench::setup::corpus;
 use covidkg_core::system::parse_side_effect_table;
 use covidkg_kg::profile::{build_meta_profiles, Observation};

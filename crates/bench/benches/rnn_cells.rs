@@ -2,10 +2,11 @@
 //! sequence. The paper picked the BiGRU because "the training time was
 //! faster" (§3.6); the 3-vs-4-gate gap shows directly here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::timer::{Criterion};
+use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_ml::rnn::{BiRnn, CellKind, GruCell, LstmCell};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::{Rng, SeedableRng};
 
 fn seq(rng: &mut SmallRng, n: usize, dim: usize) -> Vec<Vec<f32>> {
     (0..n)

@@ -1,7 +1,8 @@
 //! E4 timing: query latency of the three §2.1 engines, plus the inverted
 //! index vs full-scan `$text` ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use covidkg_bench::timer::{Criterion};
+use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_bench::setup::{collection_with, corpus};
 use covidkg_corpus::Publication;
 use covidkg_search::{SearchEngine, SearchMode};

@@ -1,7 +1,8 @@
 //! E8 timing: sharded-store scaling — parallel ingest throughput by shard
 //! count, point reads and filtered counts (§2 "Storage").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use covidkg_bench::timer::{BenchmarkId, Criterion, Throughput};
+use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_bench::setup::corpus;
 use covidkg_corpus::Publication;
 use covidkg_json::Value;

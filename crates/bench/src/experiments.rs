@@ -22,8 +22,8 @@ use covidkg_search::{SearchEngine, SearchMode};
 use covidkg_store::pipeline::{DocFn, Pipeline};
 use covidkg_store::{Collection, CollectionConfig, Filter};
 use covidkg_tables::{detect_orientation, Orientation};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;

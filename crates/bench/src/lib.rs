@@ -8,6 +8,7 @@
 
 pub mod experiments;
 pub mod setup;
+pub mod timer;
 
 pub use experiments::*;
 pub use setup::*;

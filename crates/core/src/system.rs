@@ -24,11 +24,10 @@ use covidkg_search::{SearchEngine, SearchMode, SearchPage};
 use covidkg_store::{Collection, CollectionConfig, Database, StoreError};
 use covidkg_tables::{detect_orientation, parse_tables, row_features, Orientation, Preprocessor};
 use covidkg_text::tokenize_lower;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which classifier drives metadata detection during ingest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClassifierChoice {
     /// The §3.5 SVM (fast; the default for interactive builds).
     Svm,
@@ -36,8 +35,27 @@ pub enum ClassifierChoice {
     BiGru,
 }
 
+impl ClassifierChoice {
+    /// Stable name used in persisted config and the model registry.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassifierChoice::Svm => "svm",
+            ClassifierChoice::BiGru => "bigru",
+        }
+    }
+
+    /// Parse a persisted [`ClassifierChoice::name`].
+    pub fn from_name(name: &str) -> Option<ClassifierChoice> {
+        match name {
+            "svm" => Some(ClassifierChoice::Svm),
+            "bigru" => Some(ClassifierChoice::BiGru),
+            _ => None,
+        }
+    }
+}
+
 /// System build configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CovidKgConfig {
     /// Number of synthetic publications to generate.
     pub corpus_size: usize,
@@ -70,6 +88,47 @@ impl Default for CovidKgConfig {
             max_training_rows: 1200,
             embed_dims: 24,
             ingest_threads: 4,
+            data_dir: None,
+        }
+    }
+}
+
+impl CovidKgConfig {
+    /// Hand-written JSON encoding (the workspace carries no serde; see
+    /// DESIGN.md "Hermetic build"). `data_dir` is deliberately omitted:
+    /// a persisted config must describe the system, not where the bytes
+    /// currently live.
+    pub fn to_json(&self) -> Value {
+        covidkg_json::obj! {
+            "corpus_size" => self.corpus_size as i64,
+            "seed" => Value::int(self.seed as i64),
+            "shards" => self.shards as i64,
+            "classifier" => self.classifier.name(),
+            "max_training_rows" => self.max_training_rows as i64,
+            "embed_dims" => self.embed_dims as i64,
+            "ingest_threads" => self.ingest_threads as i64,
+        }
+    }
+
+    /// Decode [`CovidKgConfig::to_json`] output; unknown or missing
+    /// fields fall back to the defaults so old data dirs stay readable.
+    pub fn from_json(v: &Value) -> CovidKgConfig {
+        let d = CovidKgConfig::default();
+        let usize_of = |key: &str, default: usize| {
+            v.get(key).and_then(Value::as_i64).map_or(default, |n| n.max(0) as usize)
+        };
+        CovidKgConfig {
+            corpus_size: usize_of("corpus_size", d.corpus_size),
+            seed: v.get("seed").and_then(Value::as_i64).map_or(d.seed, |n| n as u64),
+            shards: usize_of("shards", d.shards),
+            classifier: v
+                .get("classifier")
+                .and_then(Value::as_str)
+                .and_then(ClassifierChoice::from_name)
+                .unwrap_or(d.classifier),
+            max_training_rows: usize_of("max_training_rows", d.max_training_rows),
+            embed_dims: usize_of("embed_dims", d.embed_dims),
+            ingest_threads: usize_of("ingest_threads", d.ingest_threads),
             data_dir: None,
         }
     }
@@ -117,6 +176,10 @@ pub struct CovidKg {
     fusion_memory: std::collections::HashMap<String, covidkg_kg::NodeId>,
     /// Accumulated side-effect observations feeding the meta-profiles.
     observations: Vec<Observation>,
+    /// Data generation: bumped by every completed [`CovidKg::ingest`].
+    /// Serving layers key cached query results on this so a write
+    /// invalidates all earlier entries (covidkg-serve).
+    generation: u64,
 }
 
 impl CovidKg {
@@ -214,14 +277,7 @@ impl CovidKg {
             }
             TrainedClassifier::BiGru(model) => model.save_text(),
         };
-        registry.publish(
-            "metadata-classifier",
-            match config.classifier {
-                ClassifierChoice::Svm => "svm",
-                ClassifierChoice::BiGru => "bigru",
-            },
-            classifier_payload,
-        )?;
+        registry.publish("metadata-classifier", config.classifier.name(), classifier_payload)?;
 
         let search = SearchEngine::new(Arc::clone(&publications));
         let system = CovidKg {
@@ -237,6 +293,7 @@ impl CovidKg {
             classifier,
             fusion_memory,
             observations,
+            generation: 1,
         };
         system.persist()?;
         Ok(system)
@@ -254,11 +311,17 @@ impl CovidKg {
                 .db
                 .create_collection(CollectionConfig::new("kg").with_shards(1))?,
         };
-        let doc = covidkg_json::obj! { "_id" => "kg", "graph" => self.kg.to_json() };
-        match kg_coll.get("kg") {
-            Some(_) => kg_coll.replace("kg", doc)?,
-            None => {
-                kg_coll.insert(doc)?;
+        let docs = [
+            covidkg_json::obj! { "_id" => "kg", "graph" => self.kg.to_json() },
+            covidkg_json::obj! { "_id" => "config", "config" => self.config.to_json() },
+        ];
+        for doc in docs {
+            let id = doc.get("_id").and_then(Value::as_str).unwrap().to_string();
+            match kg_coll.get(&id) {
+                Some(_) => kg_coll.replace(&id, doc)?,
+                None => {
+                    kg_coll.insert(doc)?;
+                }
             }
         }
         self.db.snapshot_all()?;
@@ -309,6 +372,16 @@ impl CovidKg {
             }
         };
         let kg_coll = db.create_collection(CollectionConfig::new("kg").with_shards(1))?;
+        if let Some(saved) = kg_coll.get("config") {
+            let saved = CovidKgConfig::from_json(saved.get("config").unwrap_or(&Value::Null));
+            if saved.classifier != config.classifier {
+                return Err(StoreError::BadQuery(format!(
+                    "data dir was built with the {} classifier, reopen requested {}",
+                    saved.classifier.name(),
+                    config.classifier.name()
+                )));
+            }
+        }
         let kg = kg_coll
             .get("kg")
             .and_then(|d| d.path("graph").and_then(KnowledgeGraph::from_json))
@@ -360,6 +433,7 @@ impl CovidKg {
             // quickly thanks to the persisted KG structure.
             fusion_memory: std::collections::HashMap::new(),
             observations,
+            generation: 1,
         })
     }
 
@@ -408,6 +482,7 @@ impl CovidKg {
         self.observations.extend(new_obs);
         self.report.observations = self.observations.len();
         self.profiles = build_meta_profiles(&self.observations);
+        self.generation += 1;
         self.persist()?;
         Ok(pubs.len())
     }
@@ -420,6 +495,13 @@ impl CovidKg {
     /// The ingest/build report.
     pub fn report(&self) -> &IngestReport {
         &self.report
+    }
+
+    /// Monotonic data generation: starts at 1 and increments after every
+    /// completed [`CovidKg::ingest`]. A cached search result tagged with
+    /// an older generation is stale and must not be served.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Run one of the three search engines (№9/10).
@@ -547,6 +629,7 @@ fn classify_and_extract(
 }
 
 /// The classifier actually used during ingest.
+#[allow(clippy::large_enum_variant)] // one long-lived instance per system
 enum TrainedClassifier {
     Svm {
         model: Svm,

@@ -8,10 +8,10 @@
 use crate::publication::Publication;
 use crate::tablegen::{generate_table, GeneratedTable, TableTheme};
 use crate::topics::{all_topics, Topic, BACKGROUND};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::seq::SliceRandom;
+use covidkg_rand::Rng;
+use covidkg_rand::SeedableRng;
 
 /// Generator settings.
 #[derive(Debug, Clone)]

@@ -29,6 +29,6 @@ pub mod topics;
 
 pub use generator::{CorpusConfig, CorpusGenerator};
 pub use publication::{Publication, SideEffectRecord};
-pub use queries::{benchmark_queries, BenchQuery};
+pub use queries::{benchmark_queries, query_workload, BenchQuery};
 pub use tablegen::{GeneratedTable, TableTheme};
 pub use topics::{all_topics, Topic};

@@ -120,8 +120,8 @@ impl Publication {
 mod tests {
     use super::*;
     use crate::tablegen::{generate_table, TableTheme};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use covidkg_rand::rngs::SmallRng;
+    use covidkg_rand::SeedableRng;
 
     fn sample() -> Publication {
         let mut rng = SmallRng::seed_from_u64(1);

@@ -52,6 +52,27 @@ pub fn benchmark_queries() -> Vec<BenchQuery> {
     out
 }
 
+/// Deterministic query workload for the serving load generator: `n`
+/// query texts drawn with repetition from [`benchmark_queries`], quoted
+/// when the source query is exact-mode. Seed per client so concurrent
+/// clients issue different streams while runs stay reproducible.
+pub fn query_workload(n: usize, seed: u64) -> Vec<String> {
+    use covidkg_rand::seq::SliceRandom;
+    use covidkg_rand::{SeedableRng, SmallRng};
+    let base = benchmark_queries();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let q = base.choose(&mut rng).expect("benchmark set is non-empty");
+            if q.exact {
+                format!("\"{}\"", q.text)
+            } else {
+                q.text.clone()
+            }
+        })
+        .collect()
+}
+
 /// Precision@k for a ranked id list against a relevant set.
 pub fn precision_at_k(ranked: &[&str], relevant: &[&str], k: usize) -> f64 {
     if k == 0 {
@@ -94,6 +115,28 @@ mod tests {
         assert_eq!(rel.len(), 2); // 24 pubs over 12 topics round-robin
         assert!(rel.contains(&"paper-000000"));
         assert!(rel.contains(&"paper-000012"));
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed_and_quotes_exact_queries() {
+        let a = query_workload(40, 7);
+        let b = query_workload(40, 7);
+        let c = query_workload(40, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 40);
+        let texts: Vec<String> = benchmark_queries()
+            .iter()
+            .map(|q| {
+                if q.exact {
+                    format!("\"{}\"", q.text)
+                } else {
+                    q.text.clone()
+                }
+            })
+            .collect();
+        assert!(a.iter().all(|q| texts.contains(q)));
+        assert!(a.iter().any(|q| q.starts_with('"')), "exact queries appear");
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! records behind the cells, which the Fig 6 meta-profile experiment
 //! needs.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::seq::SliceRandom;
+use covidkg_rand::Rng;
 
 /// What a generated table is about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,7 +272,7 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use covidkg_rand::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(11)

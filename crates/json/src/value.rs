@@ -64,8 +64,10 @@ impl PartialEq for Number {
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
 pub enum Value {
     /// `null`
+    #[default]
     Null,
     /// `true` / `false`
     Bool(bool),
@@ -266,11 +268,6 @@ impl fmt::Display for Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
-}
 
 impl From<bool> for Value {
     fn from(b: bool) -> Self {

@@ -1,79 +1,108 @@
 //! Property-based tests: every generated value round-trips through the
-//! compact and pretty writers, and cmp_total is a total order.
+//! compact and pretty writers, and cmp_total is a total order. Runs on
+//! the in-repo `covidkg_rand::prop` harness (offline proptest
+//! replacement).
 
 use covidkg_json::{parse, Value};
-use proptest::prelude::*;
+use covidkg_rand::prop::{self, any_string, ascii_string, lowercase_string, vec_of};
+use covidkg_rand::{Rng, SmallRng};
 
-/// Strategy producing arbitrary JSON values of bounded depth/size.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::int),
-        // Finite floats only: JSON has no NaN/Inf representation.
-        (-1.0e12f64..1.0e12).prop_map(Value::float),
-        "[ -~]{0,12}".prop_map(Value::str),
-        // Exercise escapes and non-ASCII.
-        prop_oneof![
-            Just(Value::str("quote\"back\\slash")),
-            Just(Value::str("tab\tnewline\n")),
-            Just(Value::str("naïve 漢字 😀")),
-        ],
-    ];
-    leaf.prop_recursive(4, 64, 8, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            // BTreeMap keys are unique; duplicate keys would make
-            // flatten/path disagree (get returns the first member).
-            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6)
-                .prop_map(|pairs| Value::Object(pairs.into_iter().collect())),
-        ]
-    })
+/// Arbitrary JSON value of bounded depth/size (mirrors the old proptest
+/// recursive strategy: depth ≤ 4, branching ≤ 6).
+fn random_value(rng: &mut SmallRng, depth: usize) -> Value {
+    let leaf_only = depth == 0 || rng.gen_bool(0.4);
+    if leaf_only {
+        match rng.gen_range(0..6) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen_bool(0.5)),
+            2 => Value::int(rng.gen_range(i64::MIN..=i64::MAX)),
+            // Finite floats only: JSON has no NaN/Inf representation.
+            3 => Value::float(rng.gen_range(-1.0e12..1.0e12f64)),
+            4 => Value::str(ascii_string(rng, 0, 12)),
+            // Exercise escapes and non-ASCII.
+            _ => Value::str(
+                *prop::pick(rng, &["quote\"back\\slash", "tab\tnewline\n", "naïve 漢字 😀"]),
+            ),
+        }
+    } else if rng.gen_bool(0.5) {
+        Value::Array(vec_of(rng, 0, 5, |r| random_value(r, depth - 1)))
+    } else {
+        // Unique keys: duplicate keys would make flatten/path disagree
+        // (get returns the first member).
+        let mut keys = vec_of(rng, 0, 5, |r| lowercase_string(r, 1, 6));
+        keys.sort();
+        keys.dedup();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k, random_value(rng, depth - 1)))
+                .collect(),
+        )
+    }
 }
 
-proptest! {
-    #[test]
-    fn compact_round_trip(v in value_strategy()) {
+#[test]
+fn compact_round_trip() {
+    prop::run(192, |rng| {
+        let v = random_value(rng, 4);
         let text = v.to_json();
         let back = parse(&text).expect("writer output must parse");
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v);
+    });
+}
 
-    #[test]
-    fn pretty_round_trip(v in value_strategy()) {
+#[test]
+fn pretty_round_trip() {
+    prop::run(192, |rng| {
+        let v = random_value(rng, 4);
         let back = parse(&v.to_json_pretty()).expect("pretty output must parse");
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v);
+    });
+}
 
-    #[test]
-    fn cmp_total_is_reflexive_and_antisymmetric(a in value_strategy(), b in value_strategy()) {
+#[test]
+fn cmp_total_is_reflexive_and_antisymmetric() {
+    prop::run(128, |rng| {
         use std::cmp::Ordering;
-        prop_assert_eq!(a.cmp_total(&a), Ordering::Equal);
+        let a = random_value(rng, 3);
+        let b = random_value(rng, 3);
+        assert_eq!(a.cmp_total(&a), Ordering::Equal);
         let ab = a.cmp_total(&b);
         let ba = b.cmp_total(&a);
-        prop_assert_eq!(ab, ba.reverse());
-    }
+        assert_eq!(ab, ba.reverse());
+    });
+}
 
-    #[test]
-    fn cmp_total_is_transitive(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+#[test]
+fn cmp_total_is_transitive() {
+    prop::run(128, |rng| {
         use std::cmp::Ordering;
-        let mut vals = [a, b, c];
+        let mut vals = [
+            random_value(rng, 3),
+            random_value(rng, 3),
+            random_value(rng, 3),
+        ];
         vals.sort_by(|x, y| x.cmp_total(y));
         // After sorting, pairwise order must hold.
-        prop_assert_ne!(vals[0].cmp_total(&vals[1]), Ordering::Greater);
-        prop_assert_ne!(vals[1].cmp_total(&vals[2]), Ordering::Greater);
-        prop_assert_ne!(vals[0].cmp_total(&vals[2]), Ordering::Greater);
-    }
+        assert_ne!(vals[0].cmp_total(&vals[1]), Ordering::Greater);
+        assert_ne!(vals[1].cmp_total(&vals[2]), Ordering::Greater);
+        assert_ne!(vals[0].cmp_total(&vals[2]), Ordering::Greater);
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(text in "\\PC{0,64}") {
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    prop::run(256, |rng| {
+        let text = any_string(rng, 0, 64);
         let _ = parse(&text);
-    }
+    });
+}
 
-    #[test]
-    fn flatten_paths_resolve_back(v in value_strategy()) {
+#[test]
+fn flatten_paths_resolve_back() {
+    prop::run(128, |rng| {
+        let v = random_value(rng, 4);
         for (path, leaf) in v.flatten() {
-            prop_assert_eq!(v.path(&path), Some(leaf));
+            assert_eq!(v.path(&path), Some(leaf));
         }
-    }
+    });
 }

@@ -1,31 +1,46 @@
 //! Property tests: fusion streams keep the knowledge graph a rooted DAG,
-//! JSON round-trips preserve structure, and search never panics.
+//! JSON round-trips preserve structure, and search never panics. Runs on
+//! the in-repo `covidkg_rand::prop` harness.
 
 use covidkg_kg::{
     seed_graph, ExtractedTree, FusionConfig, FusionEngine, FusionOutcome, KnowledgeGraph,
     ScriptedExpert,
 };
-use proptest::prelude::*;
+use covidkg_rand::prop::{self, any_string, charset_string, lowercase_string, vec_of};
+use covidkg_rand::{Rng, SmallRng};
 
-fn tree_strategy() -> impl Strategy<Value = ExtractedTree> {
-    (
-        prop_oneof![
-            Just("Vaccine".to_string()),
-            Just("Side effect".to_string()),
-            Just("Symptoms".to_string()),
-            Just("Treatments".to_string()),
-            "[A-Z][a-z]{2,8}",
-        ],
-        prop::collection::vec("[A-Z][a-z]{2,8}", 0..4),
-        prop::collection::vec(Just("Children side-effects".to_string()), 0..2),
-        "[a-z0-9]{4,8}",
-    )
-        .prop_map(|(root, leaves, layers, paper)| ExtractedTree {
-            root,
-            layers,
-            leaves,
-            paper_id: format!("paper-{paper}"),
-        })
+const UPPER: &[char] = &[
+    'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S',
+    'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
+];
+const DIGITS_LOWER: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
+];
+
+/// A capitalised word like the old `[A-Z][a-z]{2,8}` strategy produced.
+fn cap_word(rng: &mut SmallRng) -> String {
+    let head = charset_string(rng, UPPER, 1, 1);
+    let tail = lowercase_string(rng, 2, 8);
+    format!("{head}{tail}")
+}
+
+fn random_tree(rng: &mut SmallRng) -> ExtractedTree {
+    let root = match rng.gen_range(0u32..5) {
+        0 => "Vaccine".to_string(),
+        1 => "Side effect".to_string(),
+        2 => "Symptoms".to_string(),
+        3 => "Treatments".to_string(),
+        _ => cap_word(rng),
+    };
+    let leaves = vec_of(rng, 0, 3, cap_word);
+    let layers = vec_of(rng, 0, 1, |_| "Children side-effects".to_string());
+    let paper = charset_string(rng, DIGITS_LOWER, 4, 8);
+    ExtractedTree {
+        root,
+        layers,
+        leaves,
+        paper_id: format!("paper-{paper}"),
+    }
 }
 
 fn assert_rooted_dag(kg: &KnowledgeGraph) {
@@ -50,13 +65,10 @@ fn assert_rooted_dag(kg: &KnowledgeGraph) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn fusion_streams_preserve_graph_invariants(
-        trees in prop::collection::vec(tree_strategy(), 0..25),
-    ) {
+#[test]
+fn fusion_streams_preserve_graph_invariants() {
+    prop::run(48, |rng| {
+        let trees = vec_of(rng, 0, 24, random_tree);
         let cfg = FusionConfig { use_embeddings: false, ..FusionConfig::default() };
         let mut engine = FusionEngine::new(seed_graph(), None, cfg);
         let mut expert = ScriptedExpert::default();
@@ -68,29 +80,30 @@ proptest! {
         let kg = engine.into_graph();
         assert_rooted_dag(&kg);
         // Accounting: every submission is exactly one of the outcomes.
-        prop_assert_eq!(
-            stats.reviewed, stats.queued,
-            "all queued items must be reviewed"
-        );
-    }
+        assert_eq!(stats.reviewed, stats.queued, "all queued items must be reviewed");
+    });
+}
 
-    #[test]
-    fn fusion_outcomes_are_exhaustive(tree in tree_strategy()) {
+#[test]
+fn fusion_outcomes_are_exhaustive() {
+    prop::run(48, |rng| {
+        let tree = random_tree(rng);
         let cfg = FusionConfig { use_embeddings: false, ..FusionConfig::default() };
         let mut engine = FusionEngine::new(seed_graph(), None, cfg);
         let outcome = engine.fuse(tree.clone());
         let stats = engine.stats();
         match outcome {
-            FusionOutcome::AutoFused { .. } => prop_assert_eq!(stats.auto_fused, 1),
-            FusionOutcome::Queued { .. } => prop_assert_eq!(stats.queued, 1),
-            FusionOutcome::Discarded => prop_assert_eq!(stats.discarded, 1),
+            FusionOutcome::AutoFused { .. } => assert_eq!(stats.auto_fused, 1),
+            FusionOutcome::Queued { .. } => assert_eq!(stats.queued, 1),
+            FusionOutcome::Discarded => assert_eq!(stats.discarded, 1),
         }
-    }
+    });
+}
 
-    #[test]
-    fn json_round_trip_preserves_fused_graphs(
-        trees in prop::collection::vec(tree_strategy(), 0..15),
-    ) {
+#[test]
+fn json_round_trip_preserves_fused_graphs() {
+    prop::run(48, |rng| {
+        let trees = vec_of(rng, 0, 14, random_tree);
         let cfg = FusionConfig { use_embeddings: false, ..FusionConfig::default() };
         let mut engine = FusionEngine::new(seed_graph(), None, cfg);
         let mut expert = ScriptedExpert::default();
@@ -100,22 +113,25 @@ proptest! {
         engine.process_reviews(&mut expert);
         let kg = engine.into_graph();
         let back = KnowledgeGraph::from_json(&kg.to_json()).expect("round trip");
-        prop_assert_eq!(back.len(), kg.len());
+        assert_eq!(back.len(), kg.len());
         for (a, b) in kg.nodes().iter().zip(back.nodes()) {
-            prop_assert_eq!(&a.label, &b.label);
-            prop_assert_eq!(&a.parents, &b.parents);
-            prop_assert_eq!(&a.provenance, &b.provenance);
+            assert_eq!(&a.label, &b.label);
+            assert_eq!(&a.parents, &b.parents);
+            assert_eq!(&a.provenance, &b.provenance);
         }
         assert_rooted_dag(&back);
-    }
+    });
+}
 
-    #[test]
-    fn kg_search_never_panics(query in "\\PC{0,24}") {
+#[test]
+fn kg_search_never_panics() {
+    prop::run(96, |rng| {
+        let query = any_string(rng, 0, 24);
         let kg = seed_graph();
         let hits = kg.search(&query);
         for hit in hits {
-            prop_assert!(hit.node < kg.len());
-            prop_assert_eq!(hit.path.last(), Some(&hit.node));
+            assert!(hit.node < kg.len());
+            assert_eq!(hit.path.last(), Some(&hit.node));
         }
-    }
+    });
 }

@@ -5,9 +5,9 @@
 //! the dataset by relevant COVID-19 topics"), running over document
 //! embedding vectors.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use rand::SeedableRng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::Rng;
+use covidkg_rand::SeedableRng;
 
 /// Result of a k-means run.
 #[derive(Debug, Clone)]
@@ -149,8 +149,8 @@ mod tests {
         for center in [[0.0f32, 0.0], [10.0, 10.0], [0.0, 10.0]] {
             for _ in 0..20 {
                 pts.push(vec![
-                    center[0] + rng.gen_range(-0.5..0.5),
-                    center[1] + rng.gen_range(-0.5..0.5),
+                    center[0] + rng.gen_range(-0.5f32..0.5),
+                    center[1] + rng.gen_range(-0.5f32..0.5),
                 ]);
             }
         }

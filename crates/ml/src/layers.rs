@@ -8,8 +8,8 @@
 
 use crate::adam::Adam;
 use crate::matrix::Matrix;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::Rng;
 
 /// Activation applied by a dense layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -368,7 +368,7 @@ impl Dropout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use covidkg_rand::SeedableRng;
 
     #[test]
     fn dense_forward_known_values() {
@@ -519,7 +519,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let mut layer = Dense::new(2, 1, Activation::None, &mut rng);
         // Target: y = 3x1 - 2x2 + 1.
-        use rand::Rng;
+        use covidkg_rand::Rng;
         for _ in 0..2000 {
             let x1 = rng.gen_range(-1.0..1.0f32);
             let x2 = rng.gen_range(-1.0..1.0f32);

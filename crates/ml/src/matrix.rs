@@ -5,8 +5,8 @@
 //! slices so LLVM auto-vectorizes the hot paths (see the workspace's
 //! performance notes).
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::Rng;
 
 /// Dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -227,7 +227,7 @@ pub mod vecops {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use covidkg_rand::SeedableRng;
 
     #[test]
     fn construction_and_access() {

@@ -5,9 +5,9 @@
 //! derives precision/recall/F1, and [`kfold_indices`] produces the fold
 //! splits deterministically.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::seq::SliceRandom;
+use covidkg_rand::SeedableRng;
 
 /// Binary confusion matrix.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -215,7 +215,7 @@ mod tests {
     fn kfold_partitions_everything_once() {
         let folds = kfold_indices(103, 10, 42);
         assert_eq!(folds.len(), 10);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for fold in &folds {
             for &i in fold {
                 assert!(!seen[i], "index {i} in two folds");
@@ -240,7 +240,7 @@ mod tests {
         // 20% positive rate over 100 items.
         let labels: Vec<bool> = (0..100).map(|i| i % 5 == 0).collect();
         let folds = kfold_stratified(&labels, 10, 3);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for fold in &folds {
             let pos = fold.iter().filter(|&&i| labels[i]).count();
             assert_eq!(pos, 2, "every fold gets its share of positives");

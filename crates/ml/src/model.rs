@@ -17,9 +17,9 @@ use crate::matrix::{sigmoid, Matrix};
 use crate::rnn::{BiCache, BiRnn};
 pub use crate::rnn::CellKind;
 use crate::word2vec::Word2Vec;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::seq::SliceRandom;
+use covidkg_rand::SeedableRng;
 use std::collections::HashMap;
 
 /// One training/inference instance: a table row in both views.

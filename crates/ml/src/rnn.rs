@@ -10,7 +10,7 @@
 
 use crate::adam::Adam;
 use crate::matrix::{sigmoid, vecops, Matrix};
-use rand::rngs::SmallRng;
+use covidkg_rand::rngs::SmallRng;
 
 /// Which recurrent cell a layer uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -492,6 +492,7 @@ impl LstmCell {
 /// A bidirectional recurrent layer: forward and backward cells whose
 /// per-timestep hidden states are concatenated (`2 × hidden` outputs).
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // both variants are large; boxing buys nothing
 pub enum BiRnn {
     /// Bidirectional GRU.
     Gru {
@@ -658,10 +659,10 @@ fn concat_bi<S>(fsteps: &[S], bsteps: &[S], h: impl Fn(&S) -> &Vec<f32>) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use covidkg_rand::SeedableRng;
 
     fn seq(rng: &mut SmallRng, n: usize, dim: usize) -> Vec<Vec<f32>> {
-        use rand::Rng;
+        use covidkg_rand::Rng;
         (0..n)
             .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect()
@@ -830,7 +831,7 @@ mod tests {
     #[test]
     fn training_reduces_loss_on_toy_task() {
         // Learn to output +1 on sequences whose first element is positive.
-        use rand::Rng;
+        use covidkg_rand::Rng;
         let mut rng = SmallRng::seed_from_u64(11);
         let mut cell = GruCell::new(1, 4, &mut rng);
         // Readout: mean of final hidden state.

@@ -6,9 +6,9 @@
 //! Platt-style simplified SMO over sparse feature vectors with linear,
 //! RBF and sigmoid kernels.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use rand::SeedableRng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::Rng;
+use covidkg_rand::SeedableRng;
 
 /// Sparse feature vector: sorted `(feature, value)` pairs.
 pub type SparseVector = Vec<(u32, f32)>;
@@ -396,8 +396,8 @@ mod tests {
         for i in 0..n {
             let label = i % 2 == 0;
             let center = if label { 2.0 } else { -2.0 };
-            let x = center + rng.gen_range(-0.5..0.5);
-            let y = center + rng.gen_range(-0.5..0.5);
+            let x = center + rng.gen_range(-0.5f32..0.5);
+            let y = center + rng.gen_range(-0.5f32..0.5);
             xs.push(dense(&[x, y]));
             ys.push(label);
         }

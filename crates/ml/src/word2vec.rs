@@ -7,9 +7,9 @@
 //! during KG fusion.
 
 use crate::matrix::Matrix;
-use rand::rngs::SmallRng;
-use rand::Rng;
-use rand::SeedableRng;
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::Rng;
+use covidkg_rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Training hyperparameters.
@@ -87,7 +87,7 @@ impl Word2Vec {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let mut input = Matrix::zeros(v, config.dims);
         for x in input.data_mut() {
-            *x = rng.gen_range(-0.5..0.5) / config.dims as f32;
+            *x = rng.gen_range(-0.5f32..0.5) / config.dims as f32;
         }
         let output = Matrix::zeros(v, config.dims);
         let mut model = Word2Vec {
@@ -173,11 +173,10 @@ impl Word2Vec {
                     let window = rng.gen_range(1..=config.window);
                     let lo = pos.saturating_sub(window);
                     let hi = (pos + window + 1).min(ids.len());
-                    for ctx_pos in lo..hi {
+                    for (ctx_pos, &context) in ids.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
-                        let context = ids[ctx_pos];
                         grad_in.iter_mut().for_each(|g| *g = 0.0);
                         // Positive pair + negatives.
                         for k in 0..=config.negatives {

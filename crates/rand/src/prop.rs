@@ -1,0 +1,142 @@
+//! Minimal property-test harness (offline replacement for `proptest`).
+//!
+//! [`run`] executes a closure for `cases` independently seeded
+//! generators; a failing case panics with its case index and seed so the
+//! failure replays deterministically via [`replay`]. The string and
+//! collection helpers below cover the generator shapes the workspace's
+//! property suites need (`proptest` regex strategies like `"[a-z]{1,6}"`
+//! or `"\\PC{0,64}"` map onto [`charset_string`] / [`any_string`]).
+
+use crate::{Rng, SeedableRng, SmallRng};
+
+/// Golden ratio increment decorrelating case seeds.
+const CASE_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Run `check` against `cases` freshly seeded generators. Panics (with
+/// the replayable case seed) as soon as one case fails.
+pub fn run(cases: usize, mut check: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let seed = 0xC0BD ^ (case as u64).wrapping_mul(CASE_STRIDE);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property failed at case {case}/{cases} — replay with \
+                 covidkg_rand::prop::replay({seed:#x}, check)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Re-run a single case from the seed printed by a failing [`run`].
+pub fn replay(seed: u64, mut check: impl FnMut(&mut SmallRng)) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    check(&mut rng);
+}
+
+/// Uniform length in `[min, max]`, then one uniform char per slot from
+/// `chars`. Equivalent to the `proptest` strategy `"[chars]{min,max}"`.
+pub fn charset_string(rng: &mut SmallRng, chars: &[char], min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| chars[rng.gen_range(0..chars.len())]).collect()
+}
+
+/// Printable-ASCII string (space through `~`), like `"[ -~]{min,max}"`.
+pub fn ascii_string(rng: &mut SmallRng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(0x20u8..=0x7E)))
+        .collect()
+}
+
+/// Arbitrary non-control text, like `proptest`'s `"\\PC{min,max}"`:
+/// mostly printable ASCII with multi-byte letters, combining marks,
+/// symbols and emoji mixed in to exercise char-boundary handling.
+pub fn any_string(rng: &mut SmallRng, min: usize, max: usize) -> String {
+    const EXOTIC: &[char] = &[
+        'é', 'ï', 'ß', 'ñ', 'Ω', 'λ', 'д', '中', '漢', '字', 'の', '한',
+        '€', '£', '°', '·', '—', '“', '”', '😀', '🦠', '𝕍', '\u{0301}',
+    ];
+    let len = rng.gen_range(min..=max);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.15) {
+                EXOTIC[rng.gen_range(0..EXOTIC.len())]
+            } else {
+                char::from(rng.gen_range(0x20u8..=0x7E))
+            }
+        })
+        .collect()
+}
+
+/// Lowercase a–z string, like `"[a-z]{min,max}"`.
+pub fn lowercase_string(rng: &mut SmallRng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| char::from(rng.gen_range(b'a'..=b'z'))).collect()
+}
+
+/// A vec of `gen(rng)` values with uniform length in `[min, max]`.
+pub fn vec_of<T>(
+    rng: &mut SmallRng,
+    min: usize,
+    max: usize,
+    mut gen: impl FnMut(&mut SmallRng) -> T,
+) -> Vec<T> {
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| gen(rng)).collect()
+}
+
+/// One uniformly chosen element of `options` (cf. `prop_oneof!` over
+/// `Just` literals).
+pub fn pick<'a, T>(rng: &mut SmallRng, options: &'a [T]) -> &'a T {
+    &options[rng.gen_range(0..options.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_every_case() {
+        let mut n = 0;
+        run(64, |_| n += 1);
+        assert_eq!(n, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn failures_propagate() {
+        run(8, |rng| {
+            if rng.gen_bool(0.9) {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn string_generators_respect_shape() {
+        run(64, |rng| {
+            let s = lowercase_string(rng, 1, 6);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let a = ascii_string(rng, 0, 12);
+            assert!(a.chars().all(|c| (' '..='~').contains(&c)));
+
+            let u = any_string(rng, 0, 32);
+            assert!(u.chars().count() <= 32);
+            assert!(u.chars().all(|c| c == '\u{0301}' || !c.is_control()));
+        });
+    }
+
+    #[test]
+    fn vec_of_and_pick_cover_inputs() {
+        run(32, |rng| {
+            let v = vec_of(rng, 2, 5, |r| r.gen_range(0..10));
+            assert!((2..=5).contains(&v.len()));
+            let opts = ["a", "b", "c"];
+            assert!(opts.contains(pick(rng, &opts)));
+        });
+    }
+}

@@ -136,11 +136,10 @@ pub(crate) fn search(prog: &Program, haystack: &str, from: usize) -> Option<Matc
         if matched.is_none() && (!prog.anchored_start || at == 0) {
             add_thread(prog, &mut clist, 0, at, ctx);
         }
-        if clist.threads.is_empty() {
-            if matched.is_some() || cur.is_none() || prog.anchored_start {
+        if clist.threads.is_empty()
+            && (matched.is_some() || cur.is_none() || prog.anchored_start) {
                 break;
             }
-        }
 
         nlist.clear();
         let next_ctx = |consumed: char| {

@@ -1,59 +1,88 @@
 //! Property tests for the regex engine: escaped literals always self-match,
 //! match offsets are valid char boundaries, and the engine never panics.
+//! Runs on the in-repo `covidkg_rand::prop` harness.
 
+use covidkg_rand::prop::{self, any_string, charset_string};
 use covidkg_regex::{escape, Regex};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn escaped_literal_matches_itself(s in "\\PC{0,24}") {
+const AB_SPACE: &[char] = &['a', 'b', ' '];
+const HAY_CHARS: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', '0', '1', '2', '9', ' ', '.', '-',
+];
+const ALPHA: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'A', 'B', 'C', 'D', 'E', 'Z',
+];
+const ALPHA_SPACE: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'A', 'B', 'C', 'D', 'E', ' ', ' ',
+];
+
+#[test]
+fn escaped_literal_matches_itself() {
+    prop::run(192, |rng| {
+        let s = any_string(rng, 0, 24);
         let re = Regex::new(&escape(&s)).expect("escaped pattern must compile");
-        prop_assert!(re.is_match(&s));
+        assert!(re.is_match(&s));
         if !s.is_empty() {
             let hay = format!("@@{s}@@");
             let m = re.find(&hay).expect("must find embedded literal");
-            prop_assert_eq!(m.as_str(&hay), s.as_str());
+            assert_eq!(m.as_str(&hay), s.as_str());
         }
-    }
+    });
+}
 
-    #[test]
-    fn match_offsets_are_char_boundaries(hay in "\\PC{0,48}") {
+#[test]
+fn match_offsets_are_char_boundaries() {
+    prop::run(192, |rng| {
+        let hay = any_string(rng, 0, 48);
         let re = Regex::new(r"\w+").unwrap();
         for m in re.find_iter(&hay) {
-            prop_assert!(hay.is_char_boundary(m.start));
-            prop_assert!(hay.is_char_boundary(m.end));
-            prop_assert!(m.start <= m.end);
+            assert!(hay.is_char_boundary(m.start));
+            assert!(hay.is_char_boundary(m.end));
+            assert!(m.start <= m.end);
         }
-    }
+    });
+}
 
-    #[test]
-    fn find_iter_is_non_overlapping_and_ordered(hay in "[ab ]{0,48}") {
+#[test]
+fn find_iter_is_non_overlapping_and_ordered() {
+    prop::run(192, |rng| {
+        let hay = charset_string(rng, AB_SPACE, 0, 48);
         let re = Regex::new("a+b?").unwrap();
         let mut last_end = 0;
         for m in re.find_iter(&hay) {
-            prop_assert!(m.start >= last_end);
+            assert!(m.start >= last_end);
             last_end = m.end.max(last_end + usize::from(m.start == m.end));
         }
-    }
+    });
+}
 
-    #[test]
-    fn replace_then_no_match_remains(hay in "[a-z0-9 .-]{0,48}") {
+#[test]
+fn replace_then_no_match_remains() {
+    prop::run(192, |rng| {
+        let hay = charset_string(rng, HAY_CHARS, 0, 48);
         let re = Regex::new(r"\d+").unwrap();
         let replaced = re.replace_all(&hay, "NUM");
-        prop_assert!(!Regex::new(r"\d").unwrap().is_match(&replaced));
-    }
+        assert!(!Regex::new(r"\d").unwrap().is_match(&replaced));
+    });
+}
 
-    #[test]
-    fn compiler_never_panics(pattern in "\\PC{0,16}") {
+#[test]
+fn compiler_never_panics() {
+    prop::run(256, |rng| {
+        let pattern = any_string(rng, 0, 16);
         if let Ok(re) = Regex::new(&pattern) {
             let _ = re.is_match("the quick brown fox 123");
         }
-    }
+    });
+}
 
-    #[test]
-    fn case_insensitive_agrees_with_lowercased_input(word in "[a-zA-Z]{1,12}", hay in "[a-zA-Z ]{0,32}") {
+#[test]
+fn case_insensitive_agrees_with_lowercased_input() {
+    prop::run(192, |rng| {
+        let word = charset_string(rng, ALPHA, 1, 12);
+        let hay = charset_string(rng, ALPHA_SPACE, 0, 32);
         let ci = Regex::new_ci(&escape(&word)).unwrap();
         let cs = Regex::new(&escape(&word.to_ascii_lowercase())).unwrap();
-        prop_assert_eq!(ci.is_match(&hay), cs.is_match(&hay.to_ascii_lowercase()));
-    }
+        assert_eq!(ci.is_match(&hay), cs.is_match(&hay.to_ascii_lowercase()));
+    });
 }

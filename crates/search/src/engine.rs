@@ -202,6 +202,42 @@ impl SearchEngine {
     }
 }
 
+/// Canonical cache key for an (engine, query, page) triple, used by the
+/// `covidkg-serve` result cache.
+///
+/// Ranking depends only on the *sets* of stems, synonym stems and exact
+/// phrases (`rank.rs` sums per-stem statistics and phrase matching is
+/// case-insensitive), so the key sorts each set and lowercases phrases:
+/// textually different but semantically identical queries ("masks
+/// vaccine" vs "Vaccines mask") share one entry. Note the cached page's
+/// `query` display string is whichever spelling was cached first.
+pub fn cache_key(mode: &SearchMode, page: usize) -> String {
+    fn norm(q: &str) -> String {
+        let p = parse_query(q);
+        let mut stems = p.stems;
+        stems.sort();
+        let mut syn = p.synonym_stems;
+        syn.sort();
+        let mut phrases: Vec<String> = p.exact_phrases.iter().map(|s| s.to_lowercase()).collect();
+        phrases.sort();
+        format!("s={};y={};p={}", stems.join(","), syn.join(","), phrases.join("\u{1}"))
+    }
+    match mode {
+        SearchMode::AllFields(q) => format!("all|{}|{page}", norm(q)),
+        SearchMode::Tables(q) => format!("tab|{}|{page}", norm(q)),
+        SearchMode::TitleAbstractCaption {
+            title,
+            abstract_q,
+            caption,
+        } => format!(
+            "tac|t:{}|a:{}|c:{}|{page}",
+            norm(title),
+            norm(abstract_q),
+            norm(caption)
+        ),
+    }
+}
+
 /// Build the `$match` filter for a parsed query over `fields`: stems use
 /// the stemmed `$text` machinery; quoted phrases become case-insensitive
 /// regexes that must all be present (in any of the fields).
@@ -418,6 +454,37 @@ mod tests {
         assert_eq!(page.results[0].id, "direct");
         assert_eq!(page.results[1].id, "synonym");
         assert!(page.results[0].score > page.results[1].score);
+    }
+
+    #[test]
+    fn cache_keys_canonicalize_equivalent_queries() {
+        let a = cache_key(&SearchMode::AllFields("Vaccines mask".into()), 0);
+        let b = cache_key(&SearchMode::AllFields("masks vaccine".into()), 0);
+        assert_eq!(a, b, "term order and inflection must not split the key");
+        let c = cache_key(&SearchMode::AllFields("masks vaccine".into()), 1);
+        assert_ne!(a, c, "page is part of the key");
+        let d = cache_key(&SearchMode::Tables("masks vaccine".into()), 0);
+        assert_ne!(a, d, "engine is part of the key");
+        let e = cache_key(&SearchMode::AllFields("\"Mask Mandates\"".into()), 0);
+        let f = cache_key(&SearchMode::AllFields("\"mask mandates\"".into()), 0);
+        assert_eq!(e, f, "phrase matching is case-insensitive");
+        let tac = cache_key(
+            &SearchMode::TitleAbstractCaption {
+                title: "masks".into(),
+                abstract_q: String::new(),
+                caption: String::new(),
+            },
+            0,
+        );
+        let tac_swapped = cache_key(
+            &SearchMode::TitleAbstractCaption {
+                title: String::new(),
+                abstract_q: "masks".into(),
+                caption: String::new(),
+            },
+            0,
+        );
+        assert_ne!(tac, tac_swapped, "field assignment is part of the key");
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod query;
 pub mod rank;
 pub mod result;
 
-pub use engine::{SearchEngine, SearchMode};
+pub use engine::{cache_key, SearchEngine, SearchMode};
 pub use query::{parse_query, ParsedQuery};
 pub use rank::{RankWeights, Ranker};
 pub use result::{SearchPage, SearchResult};

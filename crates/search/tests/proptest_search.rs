@@ -1,11 +1,13 @@
 //! Property tests for the search layer: engines never panic on arbitrary
 //! queries, pages respect their size, scores order monotonically, and
-//! pagination partitions the result set.
+//! pagination partitions the result set. Runs on the in-repo
+//! `covidkg_rand::prop` harness.
 
 use covidkg_json::{arr, obj};
+use covidkg_rand::prop::{self, any_string, pick};
+use covidkg_rand::Rng;
 use covidkg_search::{SearchEngine, SearchMode};
 use covidkg_store::{Collection, CollectionConfig};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn engine() -> SearchEngine {
@@ -30,11 +32,11 @@ fn engine() -> SearchEngine {
     SearchEngine::new(Arc::new(c))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engines_never_panic_on_arbitrary_queries(q in "\\PC{0,32}", page in 0usize..4) {
+#[test]
+fn engines_never_panic_on_arbitrary_queries() {
+    prop::run(48, |rng| {
+        let q = any_string(rng, 0, 32);
+        let page = rng.gen_range(0usize..4);
         let e = engine();
         for mode in [
             SearchMode::AllFields(q.clone()),
@@ -46,43 +48,44 @@ proptest! {
             },
         ] {
             let result = e.search(&mode, page);
-            prop_assert!(result.results.len() <= result.page_size);
+            assert!(result.results.len() <= result.page_size);
             // Scores are non-increasing down the page.
             for w in result.results.windows(2) {
-                prop_assert!(w[0].score >= w[1].score);
+                assert!(w[0].score >= w[1].score);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pagination_partitions_results(word in prop_oneof![
-        Just("mask".to_string()),
-        Just("vaccine".to_string()),
-        Just("study".to_string()),
-        Just("cohorts".to_string()),
-    ]) {
+#[test]
+fn pagination_partitions_results() {
+    prop::run(48, |rng| {
+        let word = pick(rng, &["mask", "vaccine", "study", "cohorts"]).to_string();
         let e = engine();
         let mode = SearchMode::AllFields(word);
         let first = e.search(&mode, 0);
         let mut seen = Vec::new();
         for page in 0..first.page_count() {
             let p = e.search(&mode, page);
-            prop_assert_eq!(p.total, first.total, "total stable across pages");
+            assert_eq!(p.total, first.total, "total stable across pages");
             seen.extend(p.results.iter().map(|r| r.id.clone()));
         }
-        prop_assert_eq!(seen.len(), first.total, "pages cover every match");
+        assert_eq!(seen.len(), first.total, "pages cover every match");
         let mut dedup = seen.clone();
         dedup.sort();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), seen.len(), "no document on two pages");
-    }
+        assert_eq!(dedup.len(), seen.len(), "no document on two pages");
+    });
+}
 
-    #[test]
-    fn rendering_never_panics(q in "\\PC{0,24}") {
+#[test]
+fn rendering_never_panics() {
+    prop::run(48, |rng| {
+        let q = any_string(rng, 0, 24);
         let e = engine();
         let page = e.search(&SearchMode::AllFields(q), 0);
         let brief = page.render();
         let full = page.render_expanded();
-        prop_assert!(brief.len() <= full.len() + brief.len()); // both built fine
-    }
+        assert!(brief.len() <= full.len() + brief.len()); // both built fine
+    });
 }

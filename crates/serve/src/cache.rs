@@ -1,0 +1,189 @@
+//! Sharded LRU cache for search-result pages with generation-based
+//! invalidation.
+//!
+//! Keys are the canonical `(engine, normalized query, page)` strings from
+//! [`covidkg_search::cache_key`]; values are whole [`SearchPage`]s tagged
+//! with the data generation that produced them. A lookup only hits when
+//! the entry's generation equals the caller's *current* generation, so a
+//! page cached before an ingest can never be served after it — stale
+//! entries are dropped lazily on the next lookup or eviction.
+//!
+//! Sharding (key-hash → shard, each with its own mutex) keeps concurrent
+//! clients from serializing on one lock; per-shard LRU order is tracked
+//! with a monotone use-counter, and eviction removes the
+//! least-recently-used entry of the full shard.
+
+use covidkg_search::SearchPage;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+#[derive(Debug)]
+struct Entry {
+    page: SearchPage,
+    generation: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// Sharded, generation-aware LRU cache.
+#[derive(Debug)]
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl QueryCache {
+    /// Cache holding at most `capacity` pages across `shards` shards
+    /// (both floored at 1; per-shard capacity is the ceiling division so
+    /// total capacity is at least `capacity`).
+    pub fn new(capacity: usize, shards: usize) -> QueryCache {
+        let shards = shards.max(1);
+        let capacity = capacity.max(1);
+        QueryCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// The page cached under `key` at exactly `current_generation`, or
+    /// `None`. A generation mismatch removes the stale entry.
+    pub fn get(&self, key: &str, current_generation: u64) -> Option<SearchPage> {
+        let mut shard = self.shard(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) if entry.generation == current_generation => {
+                entry.last_used = tick;
+                Some(entry.page.clone())
+            }
+            Some(_) => {
+                shard.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Cache `page` under `key` as of `generation`, evicting the shard's
+    /// least-recently-used entry when full (stale entries evict first).
+    pub fn insert(&self, key: String, generation: u64, page: SearchPage) {
+        let mut shard = self.shard(&key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            // Prefer evicting an invalidated entry; otherwise the LRU.
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.generation == generation, e.last_used))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                shard.map.remove(&victim);
+            }
+        }
+        shard.map.insert(key, Entry { page, generation, last_used: tick });
+    }
+
+    /// Entries currently resident (any generation).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(query: &str, total: usize) -> SearchPage {
+        SearchPage {
+            query: query.to_string(),
+            page: 0,
+            page_size: 10,
+            total,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hit_requires_matching_generation() {
+        let c = QueryCache::new(8, 2);
+        c.insert("k".into(), 1, page("q", 3));
+        assert_eq!(c.get("k", 1).unwrap().total, 3);
+        // Generation moved on (ingest): the stale page must not hit and
+        // must be dropped.
+        assert!(c.get("k", 2).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        // Single shard, capacity 2, so order is fully observable.
+        let c = QueryCache::new(2, 1);
+        c.insert("a".into(), 1, page("a", 1));
+        c.insert("b".into(), 1, page("b", 2));
+        // Touch "a" so "b" becomes the LRU.
+        assert!(c.get("a", 1).is_some());
+        c.insert("c".into(), 1, page("c", 3));
+        assert!(c.get("a", 1).is_some(), "recently used entry survives");
+        assert!(c.get("b", 1).is_none(), "LRU entry was evicted");
+        assert!(c.get("c", 1).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn stale_entries_are_preferred_eviction_victims() {
+        let c = QueryCache::new(2, 1);
+        c.insert("old".into(), 1, page("old", 1));
+        c.insert("new".into(), 2, page("new", 2));
+        // "old" is generation-1; at generation 2 it is stale and must be
+        // evicted before the live "new" entry even though "new" is older
+        // in LRU terms after we touch "old"'s slot indirectly.
+        c.insert("extra".into(), 2, page("extra", 3));
+        assert!(c.get("new", 2).is_some(), "live entry kept");
+        assert!(c.get("extra", 2).is_some());
+        assert!(c.get("old", 2).is_none());
+    }
+
+    #[test]
+    fn reinserting_same_key_updates_without_eviction() {
+        let c = QueryCache::new(2, 1);
+        c.insert("a".into(), 1, page("a", 1));
+        c.insert("b".into(), 1, page("b", 2));
+        c.insert("a".into(), 1, page("a", 9));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a", 1).unwrap().total, 9);
+        assert!(c.get("b", 1).is_some());
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace() {
+        let c = QueryCache::new(64, 8);
+        for i in 0..64 {
+            c.insert(format!("key-{i}"), 1, page("q", i));
+        }
+        assert!(c.len() >= 48, "hash spread should keep most entries");
+        for i in 0..64 {
+            if let Some(p) = c.get(&format!("key-{i}"), 1) {
+                assert_eq!(p.total, i);
+            }
+        }
+    }
+}

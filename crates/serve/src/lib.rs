@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # covidkg-serve
+//!
+//! Concurrent query-serving frontend for the COVIDKG reproduction — the
+//! layer that turns the single-threaded `CovidKg::search` API into the
+//! "Web-scale … interrogated" serving story of the paper's deployment
+//! (§2: the site serves its three search engines to concurrent users
+//! from one long-lived sharded store).
+//!
+//! Architecture (std-only, no external dependencies):
+//!
+//! * [`Server`] — a worker thread pool draining a **bounded request
+//!   queue**. Admission control is explicit: a full queue rejects with
+//!   [`ServeError::Overloaded`] instead of queueing unboundedly, and
+//!   every request carries a deadline after which the caller gets
+//!   [`ServeError::DeadlineExceeded`] instead of waiting forever.
+//! * [`cache::QueryCache`] — a sharded LRU over whole result pages keyed
+//!   by `(engine, normalized query, page)` ([`covidkg_search::cache_key`]),
+//!   invalidated by data generation: [`Server::ingest`] bumps the
+//!   generation, and a cached page whose tag no longer matches is never
+//!   served (see `server.rs` for the stale-freedom argument).
+//! * [`metrics`] — per-engine request counts, cache hit/miss, queue
+//!   depth and a log-bucketed latency histogram, snapshotted into
+//!   [`ServeStats`] (p50/p95/p99).
+//! * [`loadgen`] — a closed-loop load generator (N client threads × M
+//!   queries from `covidkg-corpus`) with direct-search spot checks,
+//!   driving the `covidkg serve-bench` CLI command.
+
+pub mod cache;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use cache::QueryCache;
+pub use loadgen::{LoadGenConfig, LoadGenReport};
+pub use metrics::{EngineKind, LatencyHistogram, ServeStats};
+pub use server::{ServeConfig, ServeError, ServeResponse, Server};

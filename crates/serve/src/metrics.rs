@@ -1,0 +1,338 @@
+//! Serving metrics: per-engine request counters, cache hit/miss,
+//! admission-control outcomes, queue depth and a latency histogram with
+//! percentile snapshots.
+//!
+//! Counters are lock-free atomics so the request hot path never blocks
+//! on the metrics layer; only the histogram takes a (short) mutex, and
+//! only after a request already completed.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which of the three §2.1 engines a request targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// §2.1.2 all-fields engine.
+    AllFields,
+    /// §2.1.3 tables engine.
+    Tables,
+    /// §2.1.1 scoped title/abstract/caption engine.
+    Scoped,
+}
+
+impl EngineKind {
+    fn index(self) -> usize {
+        match self {
+            EngineKind::AllFields => 0,
+            EngineKind::Tables => 1,
+            EngineKind::Scoped => 2,
+        }
+    }
+
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::AllFields => "all-fields",
+            EngineKind::Tables => "tables",
+            EngineKind::Scoped => "scoped",
+        }
+    }
+}
+
+/// Log-scaled latency histogram: buckets grow by 25% from 1 µs, so the
+/// whole 1 µs – 30 s range fits in ~80 buckets with bounded relative
+/// error on reported percentiles.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<AtomicU64>,
+    bounds_ns: Vec<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        let mut bounds_ns = Vec::new();
+        let mut b = 1_000f64; // 1 µs
+        while b < 30e9 {
+            bounds_ns.push(b as u64);
+            b *= 1.25;
+        }
+        bounds_ns.push(u64::MAX);
+        LatencyHistogram {
+            counts: (0..bounds_ns.len()).map(|_| AtomicU64::new(0)).collect(),
+            bounds_ns,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = self.bounds_ns.partition_point(|&b| b < ns);
+        self.counts[idx.min(self.counts.len() - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// where the cumulative count crosses, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(Duration::from_nanos(self.bounds_ns[i]));
+            }
+        }
+        Some(Duration::from_nanos(*self.bounds_ns.last().unwrap()))
+    }
+}
+
+/// Live metric registry owned by the server.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    engine_requests: [AtomicU64; 3],
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    completed: AtomicU64,
+    queue_depth: AtomicUsize,
+    max_queue_depth: AtomicUsize,
+    /// Hot-path latencies go to a lock-free histogram; the mutex only
+    /// guards nothing today but reserves room for reset-on-snapshot.
+    latency: LatencyHistogram,
+    _reset: Mutex<()>,
+}
+
+impl Metrics {
+    pub(crate) fn record_request(&self, engine: EngineKind) {
+        self.engine_requests[engine.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Pre-admission increment: called *before* the `try_send` so a
+    /// worker's matching [`Metrics::dequeued`] can never drive the gauge
+    /// negative. The max watermark is recorded separately, only once the
+    /// job was actually admitted.
+    pub(crate) fn enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_admitted_depth(&self) {
+        let depth = self.queue_depth.load(Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time snapshot for reporting.
+    pub fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests_all_fields: self.engine_requests[0].load(Ordering::Relaxed),
+            requests_tables: self.engine_requests[1].load(Ordering::Relaxed),
+            requests_scoped: self.engine_requests[2].load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            p50: self.latency.quantile(0.50),
+            p95: self.latency.quantile(0.95),
+            p99: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time serving statistics (the `ServeStats` of the design
+/// note): request mix, cache effectiveness, backpressure outcomes and
+/// the latency tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests routed to the all-fields engine.
+    pub requests_all_fields: u64,
+    /// Requests routed to the tables engine.
+    pub requests_tables: u64,
+    /// Requests routed to the scoped engine.
+    pub requests_scoped: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests that had to run a search.
+    pub cache_misses: u64,
+    /// Requests rejected because the queue was full.
+    pub overloaded: u64,
+    /// Requests that missed their deadline.
+    pub deadline_exceeded: u64,
+    /// Requests that completed a search.
+    pub completed: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Highest queue depth observed.
+    pub max_queue_depth: usize,
+    /// Median end-to-end latency of completed searches.
+    pub p50: Option<Duration>,
+    /// 95th-percentile latency.
+    pub p95: Option<Duration>,
+    /// 99th-percentile latency.
+    pub p99: Option<Duration>,
+}
+
+impl ServeStats {
+    /// Total requests across all engines.
+    pub fn total_requests(&self) -> u64 {
+        self.requests_all_fields + self.requests_tables + self.requests_scoped
+    }
+
+    /// Cache hit rate over answered lookups (0 when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        fn dur(d: Option<Duration>) -> String {
+            match d {
+                None => "-".into(),
+                Some(d) if d.as_secs_f64() >= 1.0 => format!("{:.2} s", d.as_secs_f64()),
+                Some(d) if d.as_micros() >= 1000 => format!("{:.2} ms", d.as_secs_f64() * 1e3),
+                Some(d) => format!("{} µs", d.as_micros()),
+            }
+        }
+        let mut out = String::new();
+        out.push_str("serving stats\n");
+        out.push_str(&format!(
+            "  requests     {} (all-fields {}, tables {}, scoped {})\n",
+            self.total_requests(),
+            self.requests_all_fields,
+            self.requests_tables,
+            self.requests_scoped,
+        ));
+        out.push_str(&format!(
+            "  cache        {} hits / {} misses ({:.1}% hit rate)\n",
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0,
+        ));
+        out.push_str(&format!(
+            "  admission    {} overloaded, {} deadline-exceeded\n",
+            self.overloaded, self.deadline_exceeded,
+        ));
+        out.push_str(&format!(
+            "  queue        depth {} now, {} peak\n",
+            self.queue_depth, self.max_queue_depth,
+        ));
+        out.push_str(&format!(
+            "  latency      p50 {}  p95 {}  p99 {}  ({} completed)\n",
+            dur(self.p50),
+            dur(self.p95),
+            dur(self.p99),
+            self.completed,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_known_distribution() {
+        let h = LatencyHistogram::default();
+        // 100 observations: 1..=100 ms.
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Bucket bounds grow by 25%, so each quantile lands within 25%
+        // above its exact value.
+        assert!(p50 >= Duration::from_millis(50) && p50 <= Duration::from_micros(62_500), "{p50:?}");
+        assert!(p95 >= Duration::from_millis(95) && p95 <= Duration::from_micros(118_750), "{p95:?}");
+        assert!(p99 >= Duration::from_millis(99) && p99 <= Duration::from_micros(123_750), "{p99:?}");
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn histogram_is_empty_safe_and_monotone_in_q() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_millis(10));
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let m = Metrics::default();
+        m.record_request(EngineKind::AllFields);
+        m.record_request(EngineKind::AllFields);
+        m.record_request(EngineKind::Tables);
+        m.record_hit();
+        m.record_miss();
+        m.record_overloaded();
+        m.record_deadline_exceeded();
+        m.enqueued();
+        m.record_admitted_depth();
+        m.enqueued();
+        m.record_admitted_depth();
+        m.dequeued();
+        m.record_completed(Duration::from_millis(3));
+        let s = m.snapshot();
+        assert_eq!(s.requests_all_fields, 2);
+        assert_eq!(s.requests_tables, 1);
+        assert_eq!(s.requests_scoped, 0);
+        assert_eq!(s.total_requests(), 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(s.overloaded, 1);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.max_queue_depth, 2);
+        assert_eq!(s.completed, 1);
+        assert!(s.p50.is_some());
+        assert!(s.render().contains("hit rate"));
+    }
+}

@@ -1,0 +1,322 @@
+//! The serving frontend: a bounded request queue drained by a worker
+//! thread pool, fronted by the generation-keyed result cache.
+//!
+//! Request lifecycle:
+//!
+//! 1. [`Server::search`] computes the canonical cache key and probes the
+//!    cache — a hit (entry generation == current generation) returns
+//!    immediately without touching the queue.
+//! 2. On a miss the request is `try_send`-enqueued. A full queue rejects
+//!    with [`ServeError::Overloaded`] (admission control: the caller gets
+//!    a typed backpressure signal instead of unbounded queueing).
+//! 3. A worker dequeues the job, drops it with `DeadlineExceeded` if the
+//!    deadline already passed, else runs `CovidKg::search` under the
+//!    system read lock, capturing the data generation *under that same
+//!    lock*, caches the page tagged with it, and replies.
+//! 4. The caller waits on its private reply channel at most until its
+//!    deadline; a timeout reports [`ServeError::DeadlineExceeded`]
+//!    (the worker's late reply lands in the buffered channel and is
+//!    dropped with it).
+//!
+//! Stale-freedom argument: [`Server::ingest`] mutates the system under
+//! the write lock and stores the new generation into the atomic mirror
+//! *before* releasing it. A search result was computed under a read lock
+//! at generation `g` and cached tagged `g`; any later lookup compares
+//! that tag against the mirror, which an intervening ingest has already
+//! advanced — so the stale page can never be returned. Entries cached
+//! concurrently with an ingest carry the pre-ingest generation and are
+//! equally unservable.
+
+use crate::cache::QueryCache;
+use crate::metrics::{EngineKind, Metrics, ServeStats};
+use covidkg_core::CovidKg;
+use covidkg_corpus::Publication;
+use covidkg_search::{cache_key, SearchMode, SearchPage};
+use covidkg_store::StoreError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Total cached result pages.
+    pub cache_capacity: usize,
+    /// Cache shards (locks) the capacity is spread over.
+    pub cache_shards: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 512,
+            cache_shards: 8,
+            default_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Typed serving failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full — back off and retry.
+    Overloaded,
+    /// The request missed its deadline (either queued too long or the
+    /// caller stopped waiting).
+    DeadlineExceeded,
+    /// The server has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "server overloaded: request queue full"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Closed => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served search result.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The result page.
+    pub page: SearchPage,
+    /// Whether the page came from the cache.
+    pub cached: bool,
+    /// Data generation the page was computed at.
+    pub generation: u64,
+    /// End-to-end latency observed by the server.
+    pub latency: Duration,
+}
+
+struct Job {
+    mode: SearchMode,
+    page: usize,
+    key: String,
+    deadline: Instant,
+    submitted: Instant,
+    reply: SyncSender<Result<ServeResponse, ServeError>>,
+}
+
+struct Inner {
+    system: RwLock<CovidKg>,
+    /// Mirror of `CovidKg::generation`, readable without the system lock.
+    generation: AtomicU64,
+    cache: QueryCache,
+    metrics: Metrics,
+}
+
+/// Concurrent query-serving frontend over one [`CovidKg`] system.
+pub struct Server {
+    inner: Arc<Inner>,
+    /// `None` once shut down; dropping the last sender disconnects the
+    /// workers' shared receiver, which ends their loops.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    /// Keeps the queue connected even with zero workers, so a full
+    /// queue reports `Overloaded` (Full) rather than `Closed`
+    /// (Disconnected).
+    _queue_rx: Arc<Mutex<Receiver<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    default_deadline: Duration,
+}
+
+impl Server {
+    /// Start a server (spawns `config.workers` worker threads).
+    pub fn start(system: CovidKg, config: ServeConfig) -> Server {
+        let generation = system.generation();
+        let inner = Arc::new(Inner {
+            system: RwLock::new(system),
+            generation: AtomicU64::new(generation),
+            cache: QueryCache::new(config.cache_capacity, config.cache_shards),
+            metrics: Metrics::default(),
+        });
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue itself.
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // queue sender dropped: shutdown
+                    };
+                    inner.metrics.dequeued();
+                    run_job(&inner, job);
+                })
+            })
+            .collect();
+        Server {
+            inner,
+            queue: Mutex::new(Some(tx)),
+            _queue_rx: rx,
+            workers: Mutex::new(workers),
+            default_deadline: config.default_deadline,
+        }
+    }
+
+    /// Serve a search with the configured default deadline.
+    pub fn search(&self, mode: &SearchMode, page: usize) -> Result<ServeResponse, ServeError> {
+        self.search_with_deadline(mode, page, self.default_deadline)
+    }
+
+    /// Serve a search, waiting at most `deadline` for the result.
+    pub fn search_with_deadline(
+        &self,
+        mode: &SearchMode,
+        page: usize,
+        deadline: Duration,
+    ) -> Result<ServeResponse, ServeError> {
+        let submitted = Instant::now();
+        self.inner.metrics.record_request(engine_kind(mode));
+        let key = cache_key(mode, page);
+
+        // Cache sits in front of the queue: hits cost two mutex hops and
+        // never consume queue capacity or a worker.
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        if let Some(cached) = self.inner.cache.get(&key, generation) {
+            self.inner.metrics.record_hit();
+            let latency = submitted.elapsed();
+            self.inner.metrics.record_completed(latency);
+            return Ok(ServeResponse { page: cached, cached: true, generation, latency });
+        }
+        self.inner.metrics.record_miss();
+
+        // Buffered reply slot so a worker finishing after we time out
+        // never blocks on a reader that left.
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            mode: mode.clone(),
+            page,
+            key,
+            deadline: submitted + deadline,
+            submitted,
+            reply: reply_tx,
+        };
+        let sender = match &*self.queue.lock().unwrap() {
+            Some(tx) => tx.clone(),
+            None => return Err(ServeError::Closed),
+        };
+        // Count the enqueue before the send: a worker may dequeue (and
+        // decrement the depth) the instant the job lands, so counting
+        // afterwards could drive the gauge below zero.
+        self.inner.metrics.enqueued();
+        match sender.try_send(job) {
+            Ok(()) => self.inner.metrics.record_admitted_depth(),
+            Err(TrySendError::Full(_)) => {
+                self.inner.metrics.dequeued();
+                self.inner.metrics.record_overloaded();
+                return Err(ServeError::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.inner.metrics.dequeued();
+                return Err(ServeError::Closed);
+            }
+        }
+        match reply_rx.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                self.inner.metrics.record_deadline_exceeded();
+                Err(ServeError::DeadlineExceeded)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Ingest new publications, invalidating the result cache: the data
+    /// generation advances before the write lock is released, so every
+    /// previously cached page stops matching on its generation tag.
+    pub fn ingest(&self, pubs: &[Publication]) -> Result<usize, StoreError> {
+        let mut system = self.inner.system.write().unwrap();
+        let added = system.ingest(pubs)?;
+        self.inner
+            .generation
+            .store(system.generation(), Ordering::Release);
+        Ok(added)
+    }
+
+    /// Uncached, unqueued search straight against the system — the
+    /// ground truth the load generator verifies served responses with.
+    pub fn search_direct(&self, mode: &SearchMode, page: usize) -> SearchPage {
+        self.inner.system.read().unwrap().search(mode, page)
+    }
+
+    /// Current data generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Cached result pages currently resident.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Stop accepting work and join the workers. Already-queued jobs are
+    /// drained first; subsequent `search` calls return
+    /// [`ServeError::Closed`]. Idempotent.
+    pub fn shutdown(&self) {
+        drop(self.queue.lock().unwrap().take());
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run_job(inner: &Inner, job: Job) {
+    if Instant::now() >= job.deadline {
+        // Expired while queued: don't waste a search on it.
+        inner.metrics.record_deadline_exceeded();
+        let _ = job.reply.try_send(Err(ServeError::DeadlineExceeded));
+        return;
+    }
+    let (page, generation) = {
+        let system = inner.system.read().unwrap();
+        // Generation read under the same read lock the search runs
+        // under: the pair is consistent even against concurrent ingests.
+        (system.search(&job.mode, job.page), system.generation())
+    };
+    inner.cache.insert(job.key, generation, page.clone());
+    let latency = job.submitted.elapsed();
+    inner.metrics.record_completed(latency);
+    let _ = job.reply.try_send(Ok(ServeResponse {
+        page,
+        cached: false,
+        generation,
+        latency,
+    }));
+}
+
+fn engine_kind(mode: &SearchMode) -> EngineKind {
+    match mode {
+        SearchMode::AllFields(_) => EngineKind::AllFields,
+        SearchMode::Tables(_) => EngineKind::Tables,
+        SearchMode::TitleAbstractCaption { .. } => EngineKind::Scoped,
+    }
+}

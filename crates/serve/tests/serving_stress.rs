@@ -1,0 +1,219 @@
+//! End-to-end serving tests: concurrent correctness against the direct
+//! search path, generation-based cache invalidation under a racing
+//! ingest, and the two admission-control failure modes.
+
+use covidkg_core::{CovidKg, CovidKgConfig};
+use covidkg_search::SearchMode;
+use covidkg_serve::{loadgen, LoadGenConfig, ServeConfig, ServeError, Server};
+use std::time::{Duration, Instant};
+
+fn build_system() -> CovidKg {
+    CovidKg::build(CovidKgConfig {
+        corpus_size: 36,
+        max_training_rows: 400,
+        ..CovidKgConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn concurrent_clients_get_correct_results_and_cache_hits() {
+    let server = Server::start(build_system(), ServeConfig::default());
+    let report = loadgen::run(
+        &server,
+        &LoadGenConfig {
+            clients: 8,
+            queries_per_client: 30,
+            verify_every: 4,
+            ..LoadGenConfig::default()
+        },
+    );
+    assert_eq!(report.mismatches, 0, "served page disagreed with direct search");
+    assert_eq!(report.abandoned, 0);
+    assert_eq!(report.deadline_exceeded, 0, "default deadline is generous");
+    assert_eq!(report.ok, 8 * 30, "closed loop completes every request");
+    assert!(report.verified > 0);
+    // 8 clients × 30 draws from a ~36-query pool: repeats are certain,
+    // so the cache must have served a large share.
+    assert!(
+        report.cached > report.ok / 4,
+        "expected substantial cache hits, got {}/{}",
+        report.cached,
+        report.ok
+    );
+    let stats = server.stats();
+    assert_eq!(stats.total_requests(), 8 * 30);
+    assert!(stats.requests_all_fields > 0);
+    assert!(stats.requests_tables > 0);
+    assert!(stats.requests_scoped > 0);
+    assert!(stats.p50.is_some() && stats.p99.is_some());
+    assert!(stats.p50 <= stats.p99);
+}
+
+#[test]
+fn full_queue_rejects_immediately_with_overloaded() {
+    // No workers: enqueued jobs are never drained, so the bounded queue
+    // fills deterministically.
+    let server = Server::start(
+        build_system(),
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let deadline = Duration::from_millis(50);
+    // Distinct queries so the (empty) cache is bypassed.
+    let q1 = SearchMode::AllFields("vaccine".into());
+    let q2 = SearchMode::AllFields("masks".into());
+    let q3 = SearchMode::AllFields("ventilator".into());
+    // First two occupy the queue (and time out waiting for a worker).
+    assert!(matches!(
+        server.search_with_deadline(&q1, 0, deadline),
+        Err(ServeError::DeadlineExceeded)
+    ));
+    assert!(matches!(
+        server.search_with_deadline(&q2, 0, deadline),
+        Err(ServeError::DeadlineExceeded)
+    ));
+    // Queue is now full: the third request must be rejected without
+    // blocking — admission control, not queueing.
+    let start = Instant::now();
+    assert!(matches!(
+        server.search_with_deadline(&q3, 0, deadline),
+        Err(ServeError::Overloaded)
+    ));
+    assert!(
+        start.elapsed() < deadline,
+        "overload rejection must not wait out the deadline"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.overloaded, 1);
+    assert_eq!(stats.deadline_exceeded, 2);
+    assert_eq!(stats.max_queue_depth, 2);
+}
+
+#[test]
+fn deadline_expiry_is_reported_not_hung() {
+    let server = Server::start(
+        build_system(),
+        ServeConfig {
+            workers: 0, // nothing will ever answer
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let out = server.search_with_deadline(
+        &SearchMode::AllFields("vaccine".into()),
+        0,
+        Duration::from_millis(30),
+    );
+    assert!(matches!(out, Err(ServeError::DeadlineExceeded)));
+    let waited = start.elapsed();
+    assert!(waited >= Duration::from_millis(30));
+    assert!(waited < Duration::from_secs(5), "must not hang");
+    assert_eq!(server.stats().deadline_exceeded, 1);
+}
+
+#[test]
+fn shutdown_closes_the_front_door() {
+    let server = Server::start(build_system(), ServeConfig::default());
+    let mode = SearchMode::AllFields("vaccine".into());
+    assert!(server.search(&mode, 0).is_ok());
+    server.shutdown();
+    // Cache may still answer identical queries; a fresh query must see
+    // Closed instead of hanging.
+    let out = server.search(&SearchMode::AllFields("quarantine periods".into()), 0);
+    assert!(matches!(out, Err(ServeError::Closed)));
+}
+
+/// The headline invariant: readers racing an ingest never observe a
+/// stale cache hit. Every response is tagged with the generation it was
+/// computed at; a response claiming the post-ingest generation must show
+/// post-ingest totals, and pre-ingest-tagged responses must show
+/// pre-ingest totals. A cache serving a stale page would violate the
+/// first clause (current generation tag, old totals).
+#[test]
+fn readers_racing_ingest_never_see_stale_results() {
+    let queries = ["vaccine", "masks", "symptom", "treatment"];
+    let server = Server::start(build_system(), ServeConfig::default());
+    let gen_before = server.generation();
+
+    let pre_totals: Vec<usize> = queries
+        .iter()
+        .map(|q| server.search_direct(&SearchMode::AllFields((*q).into()), 0).total)
+        .collect();
+
+    // Fresh ids beyond the build's 0..36 range.
+    let new_pubs: Vec<_> = covidkg_corpus::CorpusGenerator::with_size(48, 42)
+        .generate()
+        .into_iter()
+        .skip(36)
+        .collect();
+
+    let observations: Vec<(usize, u64, usize)> = std::thread::scope(|scope| {
+        let server = &server;
+        let readers: Vec<_> = (0..6)
+            .map(|reader| {
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    for i in 0..120 {
+                        let qi = (i + reader) % queries.len();
+                        let mode = SearchMode::AllFields(queries[qi].into());
+                        let resp = server.search(&mode, 0).expect("serving must not fail");
+                        seen.push((qi, resp.generation, resp.page.total));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let writer = scope.spawn(move || {
+            // Let readers warm the cache first so stale entries exist.
+            std::thread::sleep(Duration::from_millis(5));
+            server.ingest(&new_pubs).unwrap();
+        });
+        writer.join().unwrap();
+        readers
+            .into_iter()
+            .flat_map(|r| r.join().unwrap())
+            .collect()
+    });
+
+    let gen_after = server.generation();
+    assert_eq!(gen_after, gen_before + 1, "one ingest bumps one generation");
+    let post_totals: Vec<usize> = queries
+        .iter()
+        .map(|q| server.search_direct(&SearchMode::AllFields((*q).into()), 0).total)
+        .collect();
+    // The 12 new publications must be searchable: corpus topics repeat
+    // round-robin, so the query set gains matches overall.
+    assert!(
+        post_totals.iter().sum::<usize>() > pre_totals.iter().sum::<usize>(),
+        "ingest must add matches: {pre_totals:?} -> {post_totals:?}"
+    );
+
+    for (qi, generation, total) in observations {
+        if generation == gen_before {
+            assert_eq!(
+                total, pre_totals[qi],
+                "pre-ingest response for {:?} must show pre-ingest totals",
+                queries[qi]
+            );
+        } else {
+            assert_eq!(generation, gen_after);
+            assert_eq!(
+                total, post_totals[qi],
+                "post-ingest-tagged response for {:?} served stale data",
+                queries[qi]
+            );
+        }
+    }
+
+    // And the cache still works at the new generation.
+    let mode = SearchMode::AllFields("vaccine".into());
+    let _ = server.search(&mode, 0).unwrap();
+    let again = server.search(&mode, 0).unwrap();
+    assert!(again.cached, "post-ingest pages are cacheable again");
+    assert_eq!(again.generation, gen_after);
+}

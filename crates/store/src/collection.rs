@@ -15,7 +15,7 @@ use crate::shard::{route_hash, Shard};
 use crate::stats::{CollectionStats, ShardStats};
 use crate::wal::{self, WalRecord, WalWriter};
 use covidkg_json::Value;
-use parking_lot::{Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -159,7 +159,7 @@ impl Collection {
 
     fn log(&self, record: &WalRecord) -> Result<(), StoreError> {
         if let Some(wal) = &self.wal {
-            wal.lock().append(record)?;
+            wal.lock().unwrap().append(record)?;
         }
         Ok(())
     }
@@ -198,7 +198,7 @@ impl Collection {
         if let Some(ti) = &self.text_index {
             ti.add(&id, &doc);
         }
-        for idx in self.hash_indexes.read().iter() {
+        for idx in self.hash_indexes.read().unwrap().iter() {
             idx.add(&id, &doc);
         }
         Ok(id)
@@ -209,34 +209,32 @@ impl Collection {
         docs.into_iter().map(|d| self.insert(d)).collect()
     }
 
-    /// Insert a batch using `threads` worker threads (crossbeam scoped).
+    /// Insert a batch using `threads` worker threads (std scoped
+    /// threads pulling from a shared work queue).
     /// Returns the number inserted; duplicate-id errors abort the batch
     /// with the first error observed.
     pub fn insert_parallel(&self, docs: Vec<Value>, threads: usize) -> Result<usize, StoreError> {
         let threads = threads.max(1);
         let total = docs.len();
-        let queue = crossbeam::queue::SegQueue::new();
-        for d in docs {
-            queue.push(d);
-        }
+        let queue = Mutex::new(docs.into_iter());
         let first_err: Mutex<Option<StoreError>> = Mutex::new(None);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
-                    while let Some(doc) = queue.pop() {
-                        if let Err(e) = self.insert(doc) {
-                            let mut slot = first_err.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            return;
+                scope.spawn(|| loop {
+                    let Some(doc) = queue.lock().unwrap().next() else {
+                        return;
+                    };
+                    if let Err(e) = self.insert(doc) {
+                        let mut slot = first_err.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(e);
                         }
+                        return;
                     }
                 });
             }
-        })
-        .expect("ingest worker panicked");
-        match first_err.into_inner() {
+        });
+        match first_err.into_inner().unwrap() {
             Some(e) => Err(e),
             None => Ok(total),
         }
@@ -271,7 +269,7 @@ impl Collection {
             ti.remove(id, &old);
             ti.add(id, &doc);
         }
-        for idx in self.hash_indexes.read().iter() {
+        for idx in self.hash_indexes.read().unwrap().iter() {
             idx.remove(id, &old);
             idx.add(id, &doc);
         }
@@ -303,7 +301,7 @@ impl Collection {
         if let Some(ti) = &self.text_index {
             ti.remove(id, &old);
         }
-        for idx in self.hash_indexes.read().iter() {
+        for idx in self.hash_indexes.read().unwrap().iter() {
             idx.remove(id, &old);
         }
         Ok(old)
@@ -315,7 +313,7 @@ impl Collection {
         for shard in &self.shards {
             shard.for_each(|id, doc| idx.add(id, doc));
         }
-        self.hash_indexes.write().push(Arc::clone(&idx));
+        self.hash_indexes.write().unwrap().push(Arc::clone(&idx));
         idx
     }
 
@@ -370,15 +368,17 @@ impl Collection {
             }
             return out;
         }
-        let results: Vec<Vec<T>> = crossbeam::scope(|scope| {
+        let results: Vec<Vec<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|shard| scope.spawn(|_| shard.scan(|id, doc| f(id, doc))))
+                .map(|shard| scope.spawn(|| shard.scan(|id, doc| f(id, doc))))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("scan worker panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
         results.into_iter().flatten().collect()
     }
 
@@ -419,7 +419,7 @@ impl Collection {
         let docs = self.scan_all();
         let n = wal::write_snapshot(path, docs.iter())?;
         if let Some(wal) = &self.wal {
-            wal.lock().reset()?;
+            wal.lock().unwrap().reset()?;
         }
         Ok(n)
     }
@@ -427,7 +427,7 @@ impl Collection {
     /// Flush and fsync the WAL.
     pub fn sync(&self) -> Result<(), StoreError> {
         if let Some(wal) = &self.wal {
-            wal.lock().sync()?;
+            wal.lock().unwrap().sync()?;
         }
         Ok(())
     }

@@ -5,7 +5,7 @@
 use crate::collection::{Collection, CollectionConfig};
 use crate::error::StoreError;
 use crate::stats::DbStats;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -42,7 +42,7 @@ impl Database {
             None => Collection::new(config),
         };
         let coll = Arc::new(coll);
-        let mut guard = self.collections.write();
+        let mut guard = self.collections.write().unwrap();
         if guard.contains_key(&name) {
             return Err(StoreError::BadQuery(format!(
                 "collection {name:?} already exists"
@@ -55,7 +55,7 @@ impl Database {
     /// Look up a live collection.
     pub fn collection(&self, name: &str) -> Result<Arc<Collection>, StoreError> {
         self.collections
-            .read()
+            .read().unwrap()
             .get(name)
             .cloned()
             .ok_or_else(|| StoreError::NoSuchCollection(name.to_string()))
@@ -63,12 +63,12 @@ impl Database {
 
     /// Names of live collections.
     pub fn collection_names(&self) -> Vec<String> {
-        self.collections.read().keys().cloned().collect()
+        self.collections.read().unwrap().keys().cloned().collect()
     }
 
     /// Drop a collection from the database (persistent files are removed).
     pub fn drop_collection(&self, name: &str) -> Result<(), StoreError> {
-        let removed = self.collections.write().remove(name);
+        let removed = self.collections.write().unwrap().remove(name);
         if removed.is_none() {
             return Err(StoreError::NoSuchCollection(name.to_string()));
         }
@@ -86,7 +86,7 @@ impl Database {
     /// Snapshot every persistent collection.
     pub fn snapshot_all(&self) -> Result<usize, StoreError> {
         let mut total = 0;
-        for coll in self.collections.read().values() {
+        for coll in self.collections.read().unwrap().values() {
             total += coll.snapshot()?;
         }
         Ok(total)
@@ -97,7 +97,7 @@ impl Database {
         DbStats {
             collections: self
                 .collections
-                .read()
+                .read().unwrap()
                 .values()
                 .map(|c| c.stats())
                 .collect(),

@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn io_errors_convert() {
-        let e: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "disk").into();
+        let e: StoreError = std::io::Error::other("disk").into();
         assert!(matches!(e, StoreError::Io(_)));
     }
 }

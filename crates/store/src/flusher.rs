@@ -4,12 +4,12 @@
 //! gives a persistent [`crate::Collection`] the equivalent of MongoDB's
 //! periodic journal commit: a background thread fsyncs the WAL on an
 //! interval (group commit) and optionally compacts it into a snapshot
-//! every N syncs. Built on `crossbeam` channels so shutdown is prompt and
-//! loss-free (a final sync runs on stop).
+//! every N syncs. Built on a bounded std `mpsc` channel so shutdown is
+//! prompt and loss-free (a final sync runs on stop).
 
 use crate::collection::Collection;
 use crate::error::StoreError;
-use crossbeam::channel::{bounded, Sender};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -18,7 +18,7 @@ use std::time::Duration;
 /// final sync.
 #[derive(Debug)]
 pub struct Flusher {
-    stop: Option<Sender<()>>,
+    stop: Option<SyncSender<()>>,
     handle: Option<JoinHandle<Result<FlusherStats, StoreError>>>,
 }
 
@@ -39,7 +39,7 @@ impl Flusher {
         interval: Duration,
         snapshot_every: u64,
     ) -> Flusher {
-        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let (stop_tx, stop_rx) = sync_channel::<()>(1);
         let handle = std::thread::Builder::new()
             .name("covidkg-wal-flusher".into())
             .spawn(move || -> Result<FlusherStats, StoreError> {

@@ -8,7 +8,7 @@
 
 use covidkg_json::Value;
 use covidkg_text::{stem, tokenize_lower};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::{BTreeSet, HashMap};
 
 /// A hash index over one dot path. Values are keyed by their compact JSON
@@ -36,7 +36,7 @@ impl HashIndex {
     /// Index a document (array fields index every element).
     pub fn add(&self, id: &str, doc: &Value) {
         let Some(v) = doc.path(&self.path) else { return };
-        let mut map = self.map.write();
+        let mut map = self.map.write().unwrap();
         match v {
             Value::Array(items) => {
                 for item in items {
@@ -52,7 +52,7 @@ impl HashIndex {
     /// Remove a document's entries.
     pub fn remove(&self, id: &str, doc: &Value) {
         let Some(v) = doc.path(&self.path) else { return };
-        let mut map = self.map.write();
+        let mut map = self.map.write().unwrap();
         let mut drop_key = |key: String| {
             if let Some(set) = map.get_mut(&key) {
                 set.remove(id);
@@ -74,7 +74,7 @@ impl HashIndex {
     /// Ids whose field equals `value`.
     pub fn lookup(&self, value: &Value) -> Vec<String> {
         self.map
-            .read()
+            .read().unwrap()
             .get(&value.to_json())
             .map(|s| s.iter().cloned().collect())
             .unwrap_or_default()
@@ -82,7 +82,7 @@ impl HashIndex {
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.map.read().len()
+        self.map.read().unwrap().len()
     }
 }
 
@@ -139,7 +139,7 @@ impl TextIndex {
     pub fn add(&self, id: &str, doc: &Value) {
         for s in self.doc_stems(doc) {
             self.stripe(&s)
-                .write()
+                .write().unwrap()
                 .entry(s)
                 .or_default()
                 .insert(id.to_string());
@@ -149,7 +149,7 @@ impl TextIndex {
     /// Remove a document.
     pub fn remove(&self, id: &str, doc: &Value) {
         for s in self.doc_stems(doc) {
-            let mut stripe = self.stripe(&s).write();
+            let mut stripe = self.stripe(&s).write().unwrap();
             if let Some(set) = stripe.get_mut(&s) {
                 set.remove(id);
                 if set.is_empty() {
@@ -164,7 +164,7 @@ impl TextIndex {
     pub fn candidates(&self, stems: &[&str]) -> BTreeSet<String> {
         let mut out = BTreeSet::new();
         for s in stems {
-            if let Some(ids) = self.stripe(s).read().get(*s) {
+            if let Some(ids) = self.stripe(s).read().unwrap().get(*s) {
                 out.extend(ids.iter().cloned());
             }
         }
@@ -173,12 +173,12 @@ impl TextIndex {
 
     /// Document frequency of a stem.
     pub fn doc_freq(&self, s: &str) -> usize {
-        self.stripe(s).read().get(s).map_or(0, BTreeSet::len)
+        self.stripe(s).read().unwrap().get(s).map_or(0, BTreeSet::len)
     }
 
     /// Number of distinct stems.
     pub fn term_count(&self) -> usize {
-        self.stripes.iter().map(|s| s.read().len()).sum()
+        self.stripes.iter().map(|s| s.read().unwrap().len()).sum()
     }
 }
 

@@ -12,7 +12,7 @@
 //! system is written against the same dataflow:
 //!
 //! * [`Database`] / [`Collection`] — named collections of JSON documents,
-//!   hash-sharded across [`shard::Shard`]s guarded by `parking_lot`
+//!   hash-sharded across [`shard::Shard`]s guarded by `std::sync`
 //!   RwLocks;
 //! * [`filter::Filter`] — MongoDB-style query documents (`$eq`, `$ne`,
 //!   `$gt(e)`, `$lt(e)`, `$in`, `$nin`, `$exists`, `$regex`, `$and`,

@@ -5,7 +5,7 @@
 //! set of these shards so reads of different shards never contend.
 
 use covidkg_json::Value;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::BTreeMap;
 
 /// One shard of a collection.
@@ -24,12 +24,12 @@ impl Shard {
 
     /// Insert or replace; returns the previous document if any.
     pub fn put(&self, id: &str, doc: Value) -> Option<Value> {
-        self.docs.write().insert(id.to_string(), doc)
+        self.docs.write().unwrap().insert(id.to_string(), doc)
     }
 
     /// Insert only if absent; returns false when the id already exists.
     pub fn put_new(&self, id: &str, doc: Value) -> bool {
-        let mut guard = self.docs.write();
+        let mut guard = self.docs.write().unwrap();
         if guard.contains_key(id) {
             return false;
         }
@@ -39,28 +39,28 @@ impl Shard {
 
     /// Fetch a clone of a document.
     pub fn get(&self, id: &str) -> Option<Value> {
-        self.docs.read().get(id).cloned()
+        self.docs.read().unwrap().get(id).cloned()
     }
 
     /// Remove a document, returning it.
     pub fn remove(&self, id: &str) -> Option<Value> {
-        self.docs.write().remove(id)
+        self.docs.write().unwrap().remove(id)
     }
 
     /// Number of documents.
     pub fn len(&self) -> usize {
-        self.docs.read().len()
+        self.docs.read().unwrap().len()
     }
 
     /// True when the shard holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.docs.read().is_empty()
+        self.docs.read().unwrap().is_empty()
     }
 
     /// Approximate resident bytes (document payloads only).
     pub fn approx_bytes(&self) -> usize {
         self.docs
-            .read()
+            .read().unwrap()
             .iter()
             .map(|(k, v)| k.len() + v.approx_size())
             .sum()
@@ -69,7 +69,7 @@ impl Shard {
     /// Run `f` over every document under the read lock, collecting its
     /// non-`None` outputs. Scans clone nothing unless `f` does.
     pub fn scan<T>(&self, mut f: impl FnMut(&str, &Value) -> Option<T>) -> Vec<T> {
-        let guard = self.docs.read();
+        let guard = self.docs.read().unwrap();
         let mut out = Vec::new();
         for (id, doc) in guard.iter() {
             if let Some(t) = f(id, doc) {
@@ -81,7 +81,7 @@ impl Shard {
 
     /// Visit every document (used by snapshotting and index rebuilds).
     pub fn for_each(&self, mut f: impl FnMut(&str, &Value)) {
-        for (id, doc) in self.docs.read().iter() {
+        for (id, doc) in self.docs.read().unwrap().iter() {
             f(id, doc);
         }
     }
@@ -89,7 +89,7 @@ impl Shard {
     /// Apply an in-place mutation to one document. Returns false when the
     /// document does not exist.
     pub fn update(&self, id: &str, f: impl FnOnce(&mut Value)) -> bool {
-        let mut guard = self.docs.write();
+        let mut guard = self.docs.write().unwrap();
         match guard.get_mut(id) {
             Some(doc) => {
                 f(doc);
@@ -101,7 +101,7 @@ impl Shard {
 
     /// Drop all documents.
     pub fn clear(&self) {
-        self.docs.write().clear();
+        self.docs.write().unwrap().clear();
     }
 }
 

@@ -3,12 +3,11 @@
 //! Each collection owning a data directory appends every mutation to a WAL
 //! before applying it, and can periodically compact the WAL into a
 //! snapshot. Records are length-prefixed JSON frames (`u32` little-endian
-//! length + payload) — the `bytes` crate handles framing. Recovery reads
-//! the snapshot then replays the WAL, tolerating a truncated final frame
-//! (the normal shape of a crash mid-append).
+//! length + payload), framed by hand over plain byte slices. Recovery
+//! reads the snapshot then replays the WAL, tolerating a truncated final
+//! frame (the normal shape of a crash mid-append).
 
 use crate::error::StoreError;
-use bytes::{Buf, BufMut, BytesMut};
 use covidkg_json::{parse, Value};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -105,9 +104,7 @@ impl WalWriter {
     /// Append one record (buffered; call [`WalWriter::sync`] for durability).
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
         let payload = record.to_value().to_json();
-        let mut frame = BytesMut::with_capacity(4 + payload.len());
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_slice(payload.as_bytes());
+        let frame = frame_bytes(payload.as_bytes());
         self.out.write_all(&frame)?;
         Ok(())
     }
@@ -128,6 +125,24 @@ impl WalWriter {
     }
 }
 
+/// Length-prefix `payload` into one wire frame.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Split the next `u32`-length-prefixed frame off `buf`, or `None` when
+/// fewer bytes remain than the header promises (a truncated tail).
+fn next_frame<'a>(buf: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let header: [u8; 4] = buf.get(..4)?.try_into().ok()?;
+    let len = u32::from_le_bytes(header) as usize;
+    let payload = buf.get(4..4 + len)?;
+    *buf = &buf[4 + len..];
+    Some(payload)
+}
+
 /// Read every complete record from a WAL file. A truncated final frame is
 /// tolerated (reported via the returned flag); corrupt JSON inside a
 /// complete frame is an error.
@@ -142,25 +157,13 @@ pub fn read_wal(path: &Path) -> Result<(Vec<WalRecord>, bool), StoreError> {
     }
     let mut buf = &raw[..];
     let mut records = Vec::new();
-    let mut truncated = false;
-    while buf.remaining() >= 4 {
-        let len = (&buf[..4]).get_u32_le() as usize;
-        if buf.remaining() < 4 + len {
-            truncated = true;
-            break;
-        }
-        buf.advance(4);
-        let payload = &buf[..len];
-        buf.advance(len);
+    while let Some(payload) = next_frame(&mut buf) {
         let text = std::str::from_utf8(payload)
             .map_err(|_| StoreError::Corrupt("wal frame is not UTF-8".into()))?;
         let value = parse(text).map_err(|e| StoreError::Corrupt(format!("wal frame: {e}")))?;
         records.push(WalRecord::from_value(&value)?);
     }
-    if buf.has_remaining() && !truncated {
-        truncated = true;
-    }
-    Ok((records, truncated))
+    Ok((records, !buf.is_empty()))
 }
 
 /// Write a snapshot of documents to `path` atomically (tmp file + rename).
@@ -173,10 +176,7 @@ pub fn write_snapshot<'a>(
     let mut n = 0;
     for doc in docs {
         let payload = doc.to_json();
-        let mut frame = BytesMut::with_capacity(4 + payload.len());
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_slice(payload.as_bytes());
-        out.write_all(&frame)?;
+        out.write_all(&frame_bytes(payload.as_bytes()))?;
         n += 1;
     }
     out.flush()?;
@@ -198,16 +198,13 @@ pub fn read_snapshot(path: &Path) -> Result<Vec<Value>, StoreError> {
     }
     let mut buf = &raw[..];
     let mut docs = Vec::new();
-    while buf.remaining() >= 4 {
-        let len = (&buf[..4]).get_u32_le() as usize;
-        if buf.remaining() < 4 + len {
-            return Err(StoreError::Corrupt("snapshot truncated".into()));
-        }
-        buf.advance(4);
-        let text = std::str::from_utf8(&buf[..len])
+    while let Some(payload) = next_frame(&mut buf) {
+        let text = std::str::from_utf8(payload)
             .map_err(|_| StoreError::Corrupt("snapshot frame is not UTF-8".into()))?;
         docs.push(parse(text).map_err(|e| StoreError::Corrupt(format!("snapshot: {e}")))?);
-        buf.advance(len);
+    }
+    if !buf.is_empty() {
+        return Err(StoreError::Corrupt("snapshot truncated".into()));
     }
     Ok(docs)
 }
@@ -267,10 +264,7 @@ mod tests {
         let dir = tmpdir("corrupt");
         let path = dir.join("test.wal");
         let payload = b"not json";
-        let mut frame = BytesMut::new();
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_slice(payload);
-        std::fs::write(&path, &frame).unwrap();
+        std::fs::write(&path, frame_bytes(payload)).unwrap();
         assert!(matches!(read_wal(&path), Err(StoreError::Corrupt(_))));
     }
 

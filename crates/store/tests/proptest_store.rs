@@ -1,37 +1,32 @@
 //! Property tests for the document store: filter/scan agreement, CRUD
-//! accounting, sort totality, and pipeline-order result equivalence.
+//! accounting, sort totality, and pagination partitioning. Runs on the
+//! in-repo `covidkg_rand::prop` harness (offline proptest replacement).
 
 use covidkg_json::{obj, Value};
+use covidkg_rand::prop::{self, charset_string, vec_of};
+use covidkg_rand::{Rng, SmallRng};
 use covidkg_store::pipeline::Pipeline;
 use covidkg_store::{Collection, CollectionConfig, Filter};
-use proptest::prelude::*;
 
-fn doc_strategy() -> impl Strategy<Value = Value> {
-    (
-        0i64..50,
-        "[a-d]{1,3}",
-        prop::collection::vec("[a-c]{1,2}", 0..3),
-        any::<bool>(),
-    )
-        .prop_map(|(n, s, tags, b)| {
-            obj! {
-                "n" => n,
-                "s" => s,
-                "tags" => Value::Array(tags.into_iter().map(Value::from).collect()),
-                "b" => b,
-            }
-        })
+fn random_doc(rng: &mut SmallRng) -> Value {
+    let n = rng.gen_range(0i64..50);
+    let s = charset_string(rng, &['a', 'b', 'c', 'd'], 1, 3);
+    let tags = vec_of(rng, 0, 2, |r| charset_string(r, &['a', 'b', 'c'], 1, 2));
+    let b = rng.gen_bool(0.5);
+    obj! {
+        "n" => n,
+        "s" => s,
+        "tags" => Value::Array(tags.into_iter().map(Value::from).collect()),
+        "b" => b,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn find_agrees_with_manual_scan(
-        docs in prop::collection::vec(doc_strategy(), 0..30),
-        threshold in 0i64..50,
-        probe in "[a-d]{1,3}",
-    ) {
+#[test]
+fn find_agrees_with_manual_scan() {
+    prop::run(64, |rng| {
+        let docs = vec_of(rng, 0, 29, random_doc);
+        let threshold = rng.gen_range(0i64..50);
+        let probe = charset_string(rng, &['a', 'b', 'c', 'd'], 1, 3);
         let c = Collection::new(CollectionConfig::new("t").with_shards(3));
         for d in &docs {
             c.insert(d.clone()).unwrap();
@@ -40,52 +35,57 @@ proptest! {
             "$or" => covidkg_json::arr![
                 obj! { "n" => obj!{ "$gte" => threshold } },
                 obj! { "s" => probe.clone() },
-                obj! { "tags" => probe.clone() },
+                obj! { "tags" => probe },
             ]
         };
         let filter = Filter::parse(&spec, &[]).unwrap();
         let found = c.find(&filter).len();
         let manual = c.scan_all().iter().filter(|d| filter.matches(d)).count();
-        prop_assert_eq!(found, manual);
-        prop_assert_eq!(c.count(&filter), manual);
-    }
+        assert_eq!(found, manual);
+        assert_eq!(c.count(&filter), manual);
+    });
+}
 
-    #[test]
-    fn insert_delete_accounting(docs in prop::collection::vec(doc_strategy(), 1..20)) {
+#[test]
+fn insert_delete_accounting() {
+    prop::run(64, |rng| {
+        let docs = vec_of(rng, 1, 19, random_doc);
         let c = Collection::new(CollectionConfig::new("t").with_shards(4));
         let ids = c.insert_many(docs.clone()).unwrap();
-        prop_assert_eq!(c.len(), docs.len());
+        assert_eq!(c.len(), docs.len());
         // Delete every other document.
         for id in ids.iter().step_by(2) {
             c.delete(id).unwrap();
         }
-        prop_assert_eq!(c.len(), docs.len() - ids.iter().step_by(2).count());
+        assert_eq!(c.len(), docs.len() - ids.iter().step_by(2).count());
         // Remaining ids still resolve.
         for (i, id) in ids.iter().enumerate() {
-            prop_assert_eq!(c.get(id).is_some(), i % 2 == 1);
+            assert_eq!(c.get(id).is_some(), i % 2 == 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sort_outputs_a_permutation_in_order(
-        docs in prop::collection::vec(doc_strategy(), 0..25),
-    ) {
+#[test]
+fn sort_outputs_a_permutation_in_order() {
+    prop::run(64, |rng| {
+        let docs = vec_of(rng, 0, 24, random_doc);
         let c = Collection::new(CollectionConfig::new("t").with_shards(2));
         c.insert_many(docs.clone()).unwrap();
         let out = c.aggregate(&Pipeline::new().sort_asc("n"));
-        prop_assert_eq!(out.len(), docs.len());
+        assert_eq!(out.len(), docs.len());
         for w in out.windows(2) {
             let a = w[0].path("n").unwrap();
             let b = w[1].path("n").unwrap();
-            prop_assert_ne!(a.cmp_total(b), std::cmp::Ordering::Greater);
+            assert_ne!(a.cmp_total(b), std::cmp::Ordering::Greater);
         }
-    }
+    });
+}
 
-    #[test]
-    fn skip_limit_never_overlap_or_lose(
-        docs in prop::collection::vec(doc_strategy(), 0..30),
-        page_size in 1usize..7,
-    ) {
+#[test]
+fn skip_limit_never_overlap_or_lose() {
+    prop::run(64, |rng| {
+        let docs = vec_of(rng, 0, 29, random_doc);
+        let page_size = rng.gen_range(1usize..7);
         let c = Collection::new(CollectionConfig::new("t").with_shards(2));
         c.insert_many(docs.clone()).unwrap();
         let mut collected = Vec::new();
@@ -105,18 +105,22 @@ proptest! {
                     .map(|d| d.get("_id").unwrap().as_str().unwrap().to_string()),
             );
             page += 1;
-            prop_assert!(page < 100, "runaway pagination");
+            assert!(page < 100, "runaway pagination");
         }
-        prop_assert_eq!(collected.len(), docs.len());
+        assert_eq!(collected.len(), docs.len());
         let mut dedup = collected.clone();
         dedup.sort();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), collected.len(), "pages overlapped");
-    }
+        assert_eq!(dedup.len(), collected.len(), "pages overlapped");
+    });
+}
 
-    #[test]
-    fn filter_parse_never_panics(spec_n in 0i64..100, field in "[a-z$.]{0,8}") {
+#[test]
+fn filter_parse_never_panics() {
+    prop::run(128, |rng| {
+        let spec_n = rng.gen_range(0i64..100);
+        let field = charset_string(rng, &['a', 'b', 'z', '$', '.'], 0, 8);
         let spec = obj! { field => spec_n };
         let _ = Filter::parse(&spec, &[]);
-    }
+    });
 }

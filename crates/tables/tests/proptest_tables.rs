@@ -1,63 +1,77 @@
 //! Property tests: the §3.4 pre-processor eliminates every ASCII digit,
-//! the HTML parser never panics, and well-formed grids round-trip.
+//! the HTML parser never panics, and well-formed grids round-trip. Runs
+//! on the in-repo `covidkg_rand::prop` harness.
 
+use covidkg_rand::prop::{self, any_string, charset_string, pick, vec_of};
+use covidkg_rand::{Rng, SmallRng};
 use covidkg_tables::{detect_orientation, parse_tables, preprocess_cell, row_features, Preprocessor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CELL_CHARS: &[char] = &[
+    'a', 'b', 'c', 'x', 'Y', 'Z', '0', '1', '5', '9', ' ', '.', '%', '<', '>', '-',
+];
+const GRID_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'A', 'B', 'C', '0', '1', '2', '9', ' ',
+];
 
-    /// §3.4 substitutes "all numerical data"; after the pipeline no ASCII
-    /// digit may survive (every digit run becomes a category keyword).
-    #[test]
-    fn preprocessor_eliminates_all_digits(cell in "\\PC{0,40}") {
+/// §3.4 substitutes "all numerical data"; after the pipeline no ASCII
+/// digit may survive (every digit run becomes a category keyword).
+#[test]
+fn preprocessor_eliminates_all_digits() {
+    prop::run(256, |rng| {
+        let cell = any_string(rng, 0, 40);
         let out = preprocess_cell(&cell);
-        prop_assert!(
+        assert!(
             !out.bytes().any(|b| b.is_ascii_digit()),
             "digits survived: {cell:?} -> {out:?}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn preprocessor_is_idempotent(cell in "[a-zA-Z0-9 .%<>-]{0,32}") {
+#[test]
+fn preprocessor_is_idempotent() {
+    prop::run(256, |rng| {
+        let cell = charset_string(rng, CELL_CHARS, 0, 32);
         let once = preprocess_cell(&cell);
         let twice = preprocess_cell(&once);
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    #[test]
-    fn html_parser_never_panics(fragment in "\\PC{0,200}") {
+#[test]
+fn html_parser_never_panics() {
+    prop::run(192, |rng| {
+        let fragment = any_string(rng, 0, 200);
         let _ = parse_tables(&fragment);
-    }
+    });
+}
 
-    #[test]
-    fn html_parser_handles_random_tag_soup(
-        parts in prop::collection::vec(
-            prop_oneof![
-                Just("<table>".to_string()),
-                Just("</table>".to_string()),
-                Just("<tr>".to_string()),
-                Just("</tr>".to_string()),
-                Just("<td>".to_string()),
-                Just("</td>".to_string()),
-                Just("<th colspan=2>".to_string()),
-                Just("<caption>".to_string()),
-                "[a-z ]{0,6}",
-            ],
-            0..30,
-        )
-    ) {
+#[test]
+fn html_parser_handles_random_tag_soup() {
+    const TAGS: &[&str] = &[
+        "<table>", "</table>", "<tr>", "</tr>", "<td>", "</td>", "<th colspan=2>", "<caption>",
+    ];
+    const FILLER: &[char] = &['a', 'b', 'z', ' '];
+    prop::run(192, |rng| {
+        let parts = vec_of(rng, 0, 29, |r| {
+            if r.gen_bool(0.8) {
+                pick(r, TAGS).to_string()
+            } else {
+                charset_string(r, FILLER, 0, 6)
+            }
+        });
         let soup = parts.concat();
         let _ = parse_tables(&soup); // must not panic or loop
-    }
+    });
+}
 
-    #[test]
-    fn generated_grid_round_trips(
-        grid in prop::collection::vec(
-            prop::collection::vec("[a-zA-Z0-9 ]{1,8}", 2..5),
-            2..6,
-        )
-    ) {
+fn grid_cell(rng: &mut SmallRng) -> String {
+    charset_string(rng, GRID_CHARS, 1, 8)
+}
+
+#[test]
+fn generated_grid_round_trips() {
+    prop::run(96, |rng| {
+        let grid = vec_of(rng, 2, 5, |r| vec_of(r, 2, 4, grid_cell));
         // Regular grid: pad rows to equal width.
         let width = grid.iter().map(Vec::len).max().unwrap();
         let rows: Vec<Vec<String>> = grid
@@ -66,7 +80,8 @@ proptest! {
                 while r.len() < width {
                     r.push("x".to_string());
                 }
-                r.iter().map(|c| c.trim().to_string())
+                r.iter()
+                    .map(|c| c.trim().to_string())
                     .map(|c| if c.is_empty() { "x".to_string() } else { c })
                     .collect()
             })
@@ -81,35 +96,38 @@ proptest! {
         }
         html.push_str("</table>");
         let parsed = parse_tables(&html).unwrap();
-        prop_assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.len(), 1);
         // Cells survive modulo whitespace collapsing.
         let expect: Vec<Vec<String>> = rows
             .iter()
-            .map(|r| r.iter().map(|c| c.split_whitespace().collect::<Vec<_>>().join(" ")).collect())
+            .map(|r| {
+                r.iter()
+                    .map(|c| c.split_whitespace().collect::<Vec<_>>().join(" "))
+                    .collect()
+            })
             .collect();
-        prop_assert_eq!(&parsed[0].rows, &expect);
-    }
+        assert_eq!(&parsed[0].rows, &expect);
+    });
+}
 
-    #[test]
-    fn row_features_shapes_hold(
-        grid in prop::collection::vec(
-            prop::collection::vec("[a-z0-9 ]{0,6}", 1..5),
-            1..6,
-        )
-    ) {
-        let rows: Vec<Vec<String>> = grid;
+#[test]
+fn row_features_shapes_hold() {
+    const LOWER_DIGIT: &[char] = &['a', 'b', 'c', 'x', '0', '1', '9', ' '];
+    prop::run(96, |rng| {
+        let rows: Vec<Vec<String>> =
+            vec_of(rng, 1, 5, |r| vec_of(r, 1, 4, |rr| charset_string(rr, LOWER_DIGIT, 0, 6)));
         let pre = Preprocessor::new();
         let feats = row_features(&pre, &rows, None);
-        prop_assert_eq!(feats.len(), rows.len());
+        assert_eq!(feats.len(), rows.len());
         for (i, f) in feats.iter().enumerate() {
-            prop_assert_eq!(f.cells, rows[i].len());
-            prop_assert_eq!(f.has_above, i > 0);
-            prop_assert_eq!(f.has_below, i + 1 < rows.len());
+            assert_eq!(f.cells, rows[i].len());
+            assert_eq!(f.has_above, i > 0);
+            assert_eq!(f.has_below, i + 1 < rows.len());
             if i > 0 {
-                prop_assert_eq!(f.above_cells, rows[i - 1].len());
+                assert_eq!(f.above_cells, rows[i - 1].len());
             }
         }
         // Orientation detection must never panic on ragged grids.
         let _ = detect_orientation(&rows);
-    }
+    });
 }

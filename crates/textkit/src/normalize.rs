@@ -42,7 +42,11 @@ pub fn normalize_term(term: &str) -> NormalizedTerm {
         })
         // Drop stopwords and single-letter qualifiers like the "(s)" plural
         // marker in "Vaccine(s)".
-        .filter(|t| !t.is_empty() && !is_stopword(t) && !(t.len() == 1 && !t.chars().next().unwrap().is_ascii_digit()))
+        .filter(|t| {
+            !t.is_empty()
+                && !is_stopword(t)
+                && (t.len() != 1 || t.chars().next().unwrap().is_ascii_digit())
+        })
         .map(|t| stem(&t))
         .collect();
     stems.sort();

@@ -25,7 +25,7 @@ impl Snippet {
     pub fn render_marked(&self) -> String {
         let mut out = String::with_capacity(self.text.len() + 8);
         if self.leading_ellipsis {
-            out.push_str("…");
+            out.push('…');
         }
         let mut last = 0;
         for &(s, e) in &self.highlights {
@@ -37,7 +37,7 @@ impl Snippet {
         }
         out.push_str(&self.text[last..]);
         if self.trailing_ellipsis {
-            out.push_str("…");
+            out.push('…');
         }
         out
     }

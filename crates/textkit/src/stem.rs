@@ -144,7 +144,7 @@ fn step1b(b: &mut Vec<u8>, k: usize) -> usize {
     }
 }
 
-fn step1c(b: &mut Vec<u8>, k: usize) -> usize {
+fn step1c(b: &mut [u8], k: usize) -> usize {
     if ends_with(b, k, "y") && has_vowel(b, k - 1) {
         b[k - 1] = b'i';
     }

@@ -1,62 +1,95 @@
-//! Property tests for the text substrate.
+//! Property tests for the text substrate. Runs on the in-repo
+//! `covidkg_rand::prop` harness (offline proptest replacement).
 
-use covidkg_text::{levenshtein, make_snippet, normalize_term, stem, tokenize, TfIdf, VocabularyBuilder};
-use proptest::prelude::*;
+use covidkg_rand::prop::{self, any_string, charset_string, lowercase_string};
+use covidkg_rand::Rng;
+use covidkg_text::{
+    levenshtein, make_snippet, normalize_term, stem, tokenize, TfIdf, VocabularyBuilder,
+};
 
-proptest! {
-    #[test]
-    fn token_spans_slice_back_to_token_text(text in "\\PC{0,64}") {
+const ALNUM_SPACE: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', ' ', ' ', '-',
+];
+
+#[test]
+fn token_spans_slice_back_to_token_text() {
+    prop::run(256, |rng| {
+        let text = any_string(rng, 0, 64);
         for tok in tokenize(&text) {
-            prop_assert_eq!(&text[tok.start..tok.end], tok.text.as_str());
+            assert_eq!(&text[tok.start..tok.end], tok.text.as_str());
         }
-    }
+    });
+}
 
-    #[test]
-    fn tokens_are_ordered_and_disjoint(text in "\\PC{0,64}") {
+#[test]
+fn tokens_are_ordered_and_disjoint() {
+    prop::run(256, |rng| {
+        let text = any_string(rng, 0, 64);
         let toks = tokenize(&text);
         for w in toks.windows(2) {
-            prop_assert!(w[0].end <= w[1].start);
+            assert!(w[0].end <= w[1].start);
         }
-    }
+    });
+}
 
-    // NOTE: Porter stemming is *not* idempotent on arbitrary strings
-    // (e.g. "uase" → "uas" → "ua"), so we assert shape invariants instead.
-    #[test]
-    fn stem_output_is_lowercase_ascii(word in "[a-z]{1,16}") {
+// NOTE: Porter stemming is *not* idempotent on arbitrary strings
+// (e.g. "uase" → "uas" → "ua"), so we assert shape invariants instead.
+#[test]
+fn stem_output_is_lowercase_ascii() {
+    prop::run(256, |rng| {
+        let word = lowercase_string(rng, 1, 16);
         let s = stem(&word);
-        prop_assert!(!s.is_empty());
-        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
-    }
+        assert!(!s.is_empty());
+        assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    });
+}
 
-    #[test]
-    fn stem_never_grows_much(word in "[a-z]{3,16}") {
+#[test]
+fn stem_never_grows_much() {
+    prop::run(256, |rng| {
+        let word = lowercase_string(rng, 3, 16);
         // Porter may add at most one char (e.g. undoubling then +e).
-        prop_assert!(stem(&word).len() <= word.len() + 1);
-    }
+        assert!(stem(&word).len() <= word.len() + 1);
+    });
+}
 
-    #[test]
-    fn normalization_is_symmetric(a in "[a-zA-Z -]{0,24}", b in "[a-zA-Z -]{0,24}") {
-        prop_assert_eq!(
+#[test]
+fn normalization_is_symmetric() {
+    prop::run(128, |rng| {
+        let a = charset_string(rng, ALNUM_SPACE, 0, 24);
+        let b = charset_string(rng, ALNUM_SPACE, 0, 24);
+        assert_eq!(
             normalize_term(&a) == normalize_term(&b),
             normalize_term(&b) == normalize_term(&a)
         );
-    }
+    });
+}
 
-    #[test]
-    fn levenshtein_triangle_inequality(a in "[a-z]{0,10}", b in "[a-z]{0,10}", c in "[a-z]{0,10}") {
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
-    }
+#[test]
+fn levenshtein_triangle_inequality() {
+    prop::run(128, |rng| {
+        let a = lowercase_string(rng, 0, 10);
+        let b = lowercase_string(rng, 0, 10);
+        let c = lowercase_string(rng, 0, 10);
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    });
+}
 
-    #[test]
-    fn levenshtein_zero_iff_equal(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
-        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
-    }
+#[test]
+fn levenshtein_zero_iff_equal() {
+    prop::run(128, |rng| {
+        let a = lowercase_string(rng, 0, 12);
+        let b = lowercase_string(rng, 0, 12);
+        assert_eq!(levenshtein(&a, &b) == 0, a == b);
+    });
+}
 
-    #[test]
-    fn snippet_never_panics_and_highlights_are_valid(
-        text in "\\PC{0,128}",
-        window in 16usize..128,
-    ) {
+#[test]
+fn snippet_never_panics_and_highlights_are_valid() {
+    prop::run(128, |rng| {
+        let text = any_string(rng, 0, 128);
+        let window = rng.gen_range(16usize..128);
         // Derive plausible match spans from token positions.
         let spans: Vec<(usize, usize)> = tokenize(&text)
             .into_iter()
@@ -65,13 +98,21 @@ proptest! {
             .collect();
         let s = make_snippet(&text, &spans, window);
         for (a, b) in s.highlights {
-            prop_assert!(a < b && b <= s.text.len());
-            prop_assert!(s.text.is_char_boundary(a) && s.text.is_char_boundary(b));
+            assert!(a < b && b <= s.text.len());
+            assert!(s.text.is_char_boundary(a) && s.text.is_char_boundary(b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn tfidf_cosine_bounds(d1 in "[a-z ]{0,48}", d2 in "[a-z ]{0,48}") {
+#[test]
+fn tfidf_cosine_bounds() {
+    const LOWER_SPACE: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z', ' ', ' ', ' ',
+    ];
+    prop::run(64, |rng| {
+        let d1 = charset_string(rng, LOWER_SPACE, 0, 48);
+        let d2 = charset_string(rng, LOWER_SPACE, 0, 48);
         let mut b = VocabularyBuilder::new();
         for d in [&d1, &d2] {
             let toks = covidkg_text::tokenize_lower(d);
@@ -83,6 +124,6 @@ proptest! {
         let v1 = m.vectorize(toks1.iter().map(String::as_str));
         let v2 = m.vectorize(toks2.iter().map(String::as_str));
         let cos = v1.cosine(&v2);
-        prop_assert!((-1.0001..=1.0001).contains(&cos));
-    }
+        assert!((-1.0001..=1.0001).contains(&cos));
+    });
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Offline verification: the whole workspace must build, test and (when
+# clippy is installed) lint with the network disabled. This is the
+# hermeticity gate — a crates.io dependency sneaking into any manifest
+# fails resolution here immediately.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --offline -q (tier-1: root package)"
+cargo test --offline -q
+
+echo "==> cargo test --workspace --offline -q"
+cargo test --workspace --offline -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets --offline"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint"
+fi
+
+echo "==> verify OK"

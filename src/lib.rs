@@ -22,6 +22,7 @@ pub use covidkg_core::{
 };
 pub use covidkg_core::system::ClassifierChoice;
 pub use covidkg_search::{SearchMode, SearchPage};
+pub use covidkg_serve::{LoadGenConfig, ServeConfig, ServeError, ServeStats, Server};
 
 /// JSON document model.
 pub use covidkg_json as json;
@@ -43,3 +44,5 @@ pub use covidkg_kg as kg;
 pub use covidkg_search as search;
 /// System facade, training harness and model registry.
 pub use covidkg_core as core;
+/// Concurrent query serving (thread pool, admission control, result cache).
+pub use covidkg_serve as serve;

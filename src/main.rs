@@ -15,8 +15,9 @@
 //! covidkg stats --data-dir /tmp/kgdata
 //! ```
 
-use covidkg::{CovidKg, CovidKgConfig, SearchMode};
+use covidkg::{CovidKg, CovidKgConfig, LoadGenConfig, SearchMode, ServeConfig, Server};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 covidkg — COVIDKG.ORG reproduction CLI
@@ -30,7 +31,8 @@ COMMANDS:
     kg [query]               browse the knowledge graph / search its nodes
     profiles                 print the vaccine side-effect meta-profiles
     bias                     print the corpus bias-interrogation report
-    stats                    print the storage report
+    stats                    print the storage report + data generation
+    serve-bench              benchmark the concurrent serving frontend
 
 OPTIONS:
     --data-dir <path>        durable system location (reopened if built)
@@ -40,6 +42,9 @@ OPTIONS:
     --page <n>               result page, 0-based (default 0)
     --expanded               expand collapsed result sections
     --depth <n>              kg tree depth (default 2)
+    --clients <n>            serve-bench concurrent clients [default 8]
+    --requests <n>           serve-bench queries per client [default 50]
+    --workers <n>            serve-bench worker threads [default 4]
 ";
 
 struct Args {
@@ -52,6 +57,9 @@ struct Args {
     page: usize,
     expanded: bool,
     depth: usize,
+    clients: usize,
+    requests: usize,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,6 +75,9 @@ fn parse_args() -> Result<Args, String> {
         page: 0,
         expanded: false,
         depth: 2,
+        clients: 8,
+        requests: 50,
+        workers: 4,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -95,6 +106,21 @@ fn parse_args() -> Result<Args, String> {
                 out.depth = value("--depth")?
                     .parse()
                     .map_err(|_| "--depth takes a number".to_string())?
+            }
+            "--clients" => {
+                out.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| "--clients takes a number".to_string())?
+            }
+            "--requests" => {
+                out.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests takes a number".to_string())?
+            }
+            "--workers" => {
+                out.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers takes a number".to_string())?
             }
             "--expanded" => out.expanded = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -199,10 +225,90 @@ fn run() -> Result<(), String> {
         "stats" => {
             let system = open_system(&args, false)?;
             print!("{}", system.stats().render_report());
+            println!("data generation: {}", system.generation());
+        }
+        "serve-bench" => {
+            let system = open_system(&args, false)?;
+            let server = Server::start(
+                system,
+                ServeConfig {
+                    workers: args.workers.max(1),
+                    ..ServeConfig::default()
+                },
+            );
+            serve_bench(&server, &args)?;
         }
         other => return Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
     Ok(())
+}
+
+/// The `serve-bench` body: a sequential cold-vs-warm cache probe, then a
+/// closed-loop concurrent run, then the server's own statistics.
+fn serve_bench(server: &Server, args: &Args) -> Result<(), String> {
+    // Phase 1 — cache effectiveness, measured sequentially so the two
+    // distributions are clean: every query is a miss on the first pass
+    // and a hit on the second.
+    let probes: Vec<SearchMode> = covidkg::corpus::query_workload(24, args.seed)
+        .into_iter()
+        .map(SearchMode::AllFields)
+        .collect();
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for mode in &probes {
+        let resp = server
+            .search(mode, 0)
+            .map_err(|e| format!("serve failed: {e}"))?;
+        if !resp.cached {
+            cold.push(resp.latency);
+        }
+        let resp = server
+            .search(mode, 0)
+            .map_err(|e| format!("serve failed: {e}"))?;
+        if resp.cached {
+            warm.push(resp.latency);
+        }
+    }
+    let (cold_p50, warm_p50) = (median(&mut cold), median(&mut warm));
+    println!(
+        "cache probe: cold p50 {:.1} µs ({} misses), warm p50 {:.1} µs ({} hits), speedup {:.1}x",
+        cold_p50.as_secs_f64() * 1e6,
+        cold.len(),
+        warm_p50.as_secs_f64() * 1e6,
+        warm.len(),
+        if warm_p50.as_nanos() == 0 {
+            f64::INFINITY
+        } else {
+            cold_p50.as_secs_f64() / warm_p50.as_secs_f64()
+        },
+    );
+
+    // Phase 2 — the concurrent closed loop across all three engines.
+    let report = covidkg::serve::loadgen::run(
+        server,
+        &LoadGenConfig {
+            clients: args.clients.max(1),
+            queries_per_client: args.requests.max(1),
+            ..LoadGenConfig::default()
+        },
+    );
+    print!("{}", report.render());
+    if report.mismatches > 0 {
+        return Err(format!(
+            "{} spot checks disagreed with direct search",
+            report.mismatches
+        ));
+    }
+    print!("{}", server.stats().render());
+    Ok(())
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort();
+    samples[samples.len() / 2]
 }
 
 fn main() -> ExitCode {
