@@ -445,8 +445,7 @@ impl CovidKg {
     /// meta-profiles. Returns the number of publications added.
     pub fn ingest(&mut self, pubs: &[Publication]) -> Result<usize, StoreError> {
         let docs: Vec<Value> = pubs.iter().map(Publication::to_doc).collect();
-        self.publications
-            .insert_parallel(docs.clone(), self.config.ingest_threads)?;
+        self.store_docs(&docs)?;
         self.report.publications += pubs.len();
 
         let (trees, new_obs, enrichments) =
@@ -485,6 +484,44 @@ impl CovidKg {
         self.generation += 1;
         self.persist()?;
         Ok(pubs.len())
+    }
+
+    /// Store a batch of new documents, riding out transient I/O faults.
+    ///
+    /// The parallel fast path may have landed an arbitrary subset of the
+    /// batch before a fault surfaced, so the transient-error fallback
+    /// walks the batch sequentially — tolerating `DuplicateId` for
+    /// documents that already made it — with a bounded number of passes
+    /// per document. Permanent errors propagate immediately; a batch that
+    /// returns `Ok` is fully acknowledged (every document durable in the
+    /// WAL).
+    fn store_docs(&self, docs: &[Value]) -> Result<(), StoreError> {
+        match self
+            .publications
+            .insert_parallel(docs.to_vec(), self.config.ingest_threads)
+        {
+            Ok(_) => return Ok(()),
+            Err(e) if e.is_transient() => {}
+            Err(e) => return Err(e),
+        }
+        const SEQUENTIAL_PASSES: usize = 8;
+        for doc in docs {
+            let mut last = None;
+            for _ in 0..SEQUENTIAL_PASSES {
+                match self.publications.insert(doc.clone()) {
+                    Ok(_) | Err(StoreError::DuplicateId(_)) => {
+                        last = None;
+                        break;
+                    }
+                    Err(e) if e.is_transient() => last = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            if let Some(e) = last {
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// Build configuration.

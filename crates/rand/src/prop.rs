@@ -35,6 +35,120 @@ pub fn replay(seed: u64, mut check: impl FnMut(&mut SmallRng)) {
     check(&mut rng);
 }
 
+/// Candidate budget for one shrinking session; greedy descent almost
+/// always converges far below this.
+const MAX_SHRINK_ATTEMPTS: usize = 4096;
+
+/// Like [`run`], but over explicit generated values with
+/// minimal-counterexample shrinking. `gen` produces an input, `check`
+/// judges it (`Err` = property violated), and on the first failure the
+/// harness greedily walks `shrink`'s candidates — accepting any candidate
+/// that still fails — until no candidate reproduces the failure, then
+/// panics with the minimal input, its error, and the replay seed.
+///
+/// `check` reports failures as `Err` rather than panicking so shrinking
+/// doesn't spray hundreds of panic backtraces through the test output.
+pub fn run_shrink<T: std::fmt::Debug>(
+    cases: usize,
+    mut gen: impl FnMut(&mut SmallRng) -> T,
+    shrink: impl Fn(&T) -> Vec<T>,
+    mut check: impl FnMut(&T) -> Result<(), String>,
+) {
+    for case in 0..cases {
+        let seed = 0xC0BD ^ (case as u64).wrapping_mul(CASE_STRIDE);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let input = gen(&mut rng);
+        if let Err(first) = check(&input) {
+            let (minimal, error, steps) = shrink_to_minimal(input, first, &shrink, &mut check);
+            panic!(
+                "property failed at case {case}/{cases} (replay seed {seed:#x})\n  \
+                 minimal counterexample ({steps} shrink steps): {minimal:?}\n  error: {error}"
+            );
+        }
+    }
+}
+
+/// Greedy descent: repeatedly move to the first shrink candidate that
+/// still fails the property, until none does or the budget runs out.
+fn shrink_to_minimal<T>(
+    mut current: T,
+    mut error: String,
+    shrink: &impl Fn(&T) -> Vec<T>,
+    check: &mut impl FnMut(&T) -> Result<(), String>,
+) -> (T, String, usize) {
+    let mut steps = 0;
+    let mut attempts = 0;
+    'descend: while attempts < MAX_SHRINK_ATTEMPTS {
+        for candidate in shrink(&current) {
+            attempts += 1;
+            if attempts > MAX_SHRINK_ATTEMPTS {
+                break 'descend;
+            }
+            if let Err(e) = check(&candidate) {
+                current = candidate;
+                error = e;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current, error, steps)
+}
+
+/// Shrink candidates for an integer: zero, halved, decremented.
+pub fn shrink_usize(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if n > 0 {
+        out.push(0);
+        if n / 2 > 0 {
+            out.push(n / 2);
+        }
+        if n - 1 > n / 2 {
+            out.push(n - 1);
+        }
+    }
+    out
+}
+
+/// Shrink candidates for a vec: progressively smaller chunk removals
+/// (halving), then per-element shrinks via `shrink_elem` over a prefix.
+pub fn shrink_vec<T: Clone>(v: &[T], shrink_elem: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+    let n = v.len();
+    let mut out = Vec::new();
+    let mut chunk = n;
+    while chunk > 0 {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let mut candidate = Vec::with_capacity(n - (end - start));
+            candidate.extend_from_slice(&v[..start]);
+            candidate.extend_from_slice(&v[end..]);
+            out.push(candidate);
+            start += chunk;
+        }
+        chunk /= 2;
+    }
+    for (i, item) in v.iter().enumerate().take(8) {
+        for smaller in shrink_elem(item) {
+            let mut candidate = v.to_vec();
+            candidate[i] = smaller;
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// Shrink candidates for a string: shorter substrings and characters
+/// simplified towards `'a'`.
+pub fn shrink_string(s: &str) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    shrink_vec(&chars, |&c| if c == 'a' { Vec::new() } else { vec!['a'] })
+        .into_iter()
+        .map(|cs| cs.into_iter().collect())
+        .collect()
+}
+
 /// Uniform length in `[min, max]`, then one uniform char per slot from
 /// `chars`. Equivalent to the `proptest` strategy `"[chars]{min,max}"`.
 pub fn charset_string(rng: &mut SmallRng, chars: &[char], min: usize, max: usize) -> String {
@@ -128,6 +242,70 @@ mod tests {
             assert!(u.chars().count() <= 32);
             assert!(u.chars().all(|c| c == '\u{0301}' || !c.is_control()));
         });
+    }
+
+    #[test]
+    fn run_shrink_passes_clean_properties() {
+        let mut n = 0;
+        run_shrink(
+            32,
+            |rng| rng.gen_range(0usize..100),
+            |&v| shrink_usize(v),
+            |_| {
+                n += 1;
+                Ok(())
+            },
+        );
+        // `n` counts checks on generated inputs only (no shrinking ran).
+        assert!(n >= 32);
+    }
+
+    #[test]
+    fn shrinking_finds_minimal_counterexample() {
+        // Property: every element < 10. The minimal failing input is the
+        // one-element vec [10]; greedy shrinking must land exactly there.
+        let outcome = std::panic::catch_unwind(|| {
+            run_shrink(
+                64,
+                |rng| vec_of(rng, 0, 20, |r| r.gen_range(0usize..100)),
+                |v| shrink_vec(v, |&e| shrink_usize(e)),
+                |v| {
+                    if v.iter().all(|&e| e < 10) {
+                        Ok(())
+                    } else {
+                        Err(format!("{} >= 10", v.iter().max().unwrap()))
+                    }
+                },
+            )
+        });
+        let payload = outcome.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a String");
+        assert!(msg.contains("[10]"), "not minimal: {msg}");
+        assert!(msg.contains("10 >= 10"), "wrong error: {msg}");
+    }
+
+    #[test]
+    fn string_shrinker_simplifies_towards_short_a_strings() {
+        // Property: no 'z' anywhere. Minimal counterexample is "z".
+        let outcome = std::panic::catch_unwind(|| {
+            run_shrink(
+                64,
+                |rng| charset_string(rng, &['x', 'y', 'z'], 0, 12),
+                |s| shrink_string(s),
+                |s| {
+                    if s.contains('z') {
+                        Err("contains z".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        let payload = outcome.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("\"z\""), "not minimal: {msg}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod server;
 
-pub use cache::QueryCache;
+pub use cache::{CacheStats, QueryCache};
 pub use loadgen::{LoadGenConfig, LoadGenReport};
 pub use metrics::{EngineKind, LatencyHistogram, ServeStats};
-pub use server::{ServeConfig, ServeError, ServeResponse, Server};
+pub use server::{InjectedFaults, ServeConfig, ServeError, ServeResponse, Server};

@@ -52,6 +52,13 @@ pub struct LoadGenReport {
     pub overloaded: u64,
     /// Requests that hit their deadline.
     pub deadline_exceeded: u64,
+    /// Requests answered degraded with a stale cached page (counted in
+    /// `ok` too; excluded from spot checks, which compare against the
+    /// *current* ground truth).
+    pub stale_served: u64,
+    /// Requests that failed with the typed `Degraded` error (engine
+    /// unhealthy, nothing cached to stand in).
+    pub degraded: u64,
     /// Requests abandoned after `max_retries` rejections.
     pub abandoned: u64,
     /// Responses spot-checked against a direct search.
@@ -76,12 +83,14 @@ impl LoadGenReport {
     /// Human-readable one-paragraph summary.
     pub fn render(&self) -> String {
         format!(
-            "loadgen: {} ok ({} cached), {} overloaded, {} deadline-exceeded, \
-             {} abandoned, {}/{} spot checks ok, {:.2} req/s over {:.2} s\n",
+            "loadgen: {} ok ({} cached, {} stale), {} overloaded, {} deadline-exceeded, \
+             {} degraded, {} abandoned, {}/{} spot checks ok, {:.2} req/s over {:.2} s\n",
             self.ok,
             self.cached,
+            self.stale_served,
             self.overloaded,
             self.deadline_exceeded,
+            self.degraded,
             self.abandoned,
             self.verified - self.mismatches,
             self.verified,
@@ -114,6 +123,8 @@ pub fn run(server: &Server, config: &LoadGenConfig) -> LoadGenReport {
     let cached = AtomicU64::new(0);
     let overloaded = AtomicU64::new(0);
     let deadline_exceeded = AtomicU64::new(0);
+    let stale_served = AtomicU64::new(0);
+    let degraded = AtomicU64::new(0);
     let abandoned = AtomicU64::new(0);
     let verified = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
@@ -121,11 +132,14 @@ pub fn run(server: &Server, config: &LoadGenConfig) -> LoadGenReport {
     let start = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..config.clients {
-            let (ok, cached, overloaded, deadline_exceeded, abandoned, verified, mismatches) = (
+            #[allow(clippy::type_complexity)]
+            let (ok, cached, overloaded, deadline_exceeded, stale_served, degraded, abandoned, verified, mismatches) = (
                 &ok,
                 &cached,
                 &overloaded,
                 &deadline_exceeded,
+                &stale_served,
+                &degraded,
                 &abandoned,
                 &verified,
                 &mismatches,
@@ -143,7 +157,15 @@ pub fn run(server: &Server, config: &LoadGenConfig) -> LoadGenReport {
                                 if resp.cached {
                                     cached.fetch_add(1, Ordering::Relaxed);
                                 }
-                                if config.verify_every != 0 && i % config.verify_every == 0 {
+                                if resp.stale {
+                                    stale_served.fetch_add(1, Ordering::Relaxed);
+                                }
+                                // Stale (degraded) pages may legitimately
+                                // predate the current ground truth.
+                                if !resp.stale
+                                    && config.verify_every != 0
+                                    && i % config.verify_every == 0
+                                {
                                     verified.fetch_add(1, Ordering::Relaxed);
                                     let direct = server.search_direct(&mode, page);
                                     let same_ids = direct.total == resp.page.total
@@ -171,6 +193,10 @@ pub fn run(server: &Server, config: &LoadGenConfig) -> LoadGenReport {
                                 deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                 break;
                             }
+                            Err(ServeError::Degraded) => {
+                                degraded.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
                             Err(ServeError::Closed) => {
                                 abandoned.fetch_add(1, Ordering::Relaxed);
                                 break;
@@ -187,6 +213,8 @@ pub fn run(server: &Server, config: &LoadGenConfig) -> LoadGenReport {
         cached: cached.into_inner(),
         overloaded: overloaded.into_inner(),
         deadline_exceeded: deadline_exceeded.into_inner(),
+        stale_served: stale_served.into_inner(),
+        degraded: degraded.into_inner(),
         abandoned: abandoned.into_inner(),
         verified: verified.into_inner(),
         mismatches: mismatches.into_inner(),
@@ -207,7 +235,7 @@ mod tests {
             ..LoadGenReport::default()
         };
         assert!((r.throughput() - 50.0).abs() < 1e-9);
-        assert!(r.render().contains("100 ok (40 cached)"));
+        assert!(r.render().contains("100 ok (40 cached, 0 stale)"));
         let empty = LoadGenReport::default();
         assert_eq!(empty.throughput(), 0.0);
     }

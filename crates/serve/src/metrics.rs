@@ -6,6 +6,7 @@
 //! on the metrics layer; only the histogram takes a (short) mutex, and
 //! only after a request already completed.
 
+use crate::cache::CacheStats;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -22,7 +23,7 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             EngineKind::AllFields => 0,
             EngineKind::Tables => 1,
@@ -106,6 +107,11 @@ pub struct Metrics {
     overloaded: AtomicU64,
     deadline_exceeded: AtomicU64,
     completed: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    degraded: AtomicU64,
+    stale_served: AtomicU64,
+    breaker_opens: AtomicU64,
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
     /// Hot-path latencies go to a lock-free histogram; the mutex only
@@ -140,6 +146,26 @@ impl Metrics {
         self.latency.record(latency);
     }
 
+    pub(crate) fn record_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stale_served(&self) {
+        self.stale_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Pre-admission increment: called *before* the `try_send` so a
     /// worker's matching [`Metrics::dequeued`] can never drive the gauge
     /// negative. The max watermark is recorded separately, only once the
@@ -168,6 +194,13 @@ impl Metrics {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            io_retries: 0,
+            cache: CacheStats::default(),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             p50: self.latency.quantile(0.50),
@@ -198,6 +231,23 @@ pub struct ServeStats {
     pub deadline_exceeded: u64,
     /// Requests that completed a search.
     pub completed: u64,
+    /// Worker panics caught or suffered while running jobs.
+    pub worker_panics: u64,
+    /// Workers respawned after dying to a panic.
+    pub worker_respawns: u64,
+    /// Requests answered degraded (stale page or typed `Degraded` error)
+    /// because the target engine's circuit breaker was open or its
+    /// worker crashed mid-request.
+    pub degraded: u64,
+    /// Degraded requests that could be answered with a stale cached page.
+    pub stale_served: u64,
+    /// Times an engine circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Transient store-level I/O retries absorbed by ingest (0 unless
+    /// a fault plan is attached to the backing collection).
+    pub io_retries: u64,
+    /// Result-cache occupancy and eviction counters.
+    pub cache: CacheStats,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Highest queue depth observed.
@@ -266,6 +316,23 @@ impl ServeStats {
             dur(self.p95),
             dur(self.p99),
             self.completed,
+        ));
+        out.push_str(&format!(
+            "  survival     {} panics, {} respawns, {} breaker-opens, {} degraded ({} stale-served), {} io-retries\n",
+            self.worker_panics,
+            self.worker_respawns,
+            self.breaker_opens,
+            self.degraded,
+            self.stale_served,
+            self.io_retries,
+        ));
+        out.push_str(&format!(
+            "  cache bound  {} resident ({} B), evicted {} lru / {} ttl / {} bytes\n",
+            self.cache.resident,
+            self.cache.resident_bytes,
+            self.cache.evicted_lru,
+            self.cache.evicted_ttl,
+            self.cache.evicted_bytes,
         ));
         out
     }

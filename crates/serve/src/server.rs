@@ -6,9 +6,11 @@
 //! 1. [`Server::search`] computes the canonical cache key and probes the
 //!    cache — a hit (entry generation == current generation) returns
 //!    immediately without touching the queue.
-//! 2. On a miss the request is `try_send`-enqueued. A full queue rejects
-//!    with [`ServeError::Overloaded`] (admission control: the caller gets
-//!    a typed backpressure signal instead of unbounded queueing).
+//! 2. On a miss, the target engine's circuit breaker is consulted: an
+//!    open breaker short-circuits to the degradation ladder below. Else
+//!    the request is `try_send`-enqueued; a full queue rejects with
+//!    [`ServeError::Overloaded`] (admission control: the caller gets a
+//!    typed backpressure signal instead of unbounded queueing).
 //! 3. A worker dequeues the job, drops it with `DeadlineExceeded` if the
 //!    deadline already passed, else runs `CovidKg::search` under the
 //!    system read lock, capturing the data generation *under that same
@@ -18,14 +20,36 @@
 //!    (the worker's late reply lands in the buffered channel and is
 //!    dropped with it).
 //!
-//! Stale-freedom argument: [`Server::ingest`] mutates the system under
-//! the write lock and stores the new generation into the atomic mirror
-//! *before* releasing it. A search result was computed under a read lock
-//! at generation `g` and cached tagged `g`; any later lookup compares
-//! that tag against the mirror, which an intervening ingest has already
-//! advanced — so the stale page can never be returned. Entries cached
-//! concurrently with an ingest carry the pre-ingest generation and are
-//! equally unservable.
+//! # Panic isolation and the degradation ladder
+//!
+//! A panicking query must cost exactly one request, never the server:
+//!
+//! * every search job runs under `catch_unwind`, so a panic mid-search
+//!   is caught, counted, fed to the engine's circuit breaker, and the
+//!   waiting caller still gets a reply (stale page or typed error) —
+//!   the worker thread survives;
+//! * a panic that does escape the catch (e.g. an injected worker crash)
+//!   trips a sentinel that **respawns a replacement worker**, so the
+//!   pool never shrinks;
+//! * every lock acquisition recovers from poisoning instead of
+//!   `unwrap`ing, so stats, shutdown and later requests keep working
+//!   after any panic anywhere;
+//! * per-engine circuit breakers open after `breaker_threshold`
+//!   consecutive failures and short-circuit requests for
+//!   `breaker_cooldown`, after which one probe request is let through
+//!   (half-open). While open, requests are served **degraded**: a
+//!   cached page of *any* generation marked [`ServeResponse::stale`],
+//!   or the typed [`ServeError::Degraded`] when none exists — never a
+//!   hang, never a panic.
+//!
+//! Stale-freedom argument (healthy path): [`Server::ingest`] mutates the
+//! system under the write lock and stores the new generation into the
+//! atomic mirror *before* releasing it. A search result was computed
+//! under a read lock at generation `g` and cached tagged `g`; any later
+//! lookup compares that tag against the mirror, which an intervening
+//! ingest has already advanced — so the stale page can never be returned
+//! silently. Degraded mode is the deliberate exception: it may serve an
+//! old-generation page, but always labeled `stale: true`.
 
 use crate::cache::QueryCache;
 use crate::metrics::{EngineKind, Metrics, ServeStats};
@@ -33,11 +57,28 @@ use covidkg_core::CovidKg;
 use covidkg_corpus::Publication;
 use covidkg_search::{cache_key, SearchMode, SearchPage};
 use covidkg_store::StoreError;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Poison-recovering `Mutex` lock (satellite of the fault-injection
+/// work: a dead worker must never wedge shutdown, stats or the queue).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Poison-recovering `RwLock` read guard.
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Poison-recovering `RwLock` write guard.
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -50,8 +91,17 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Cache shards (locks) the capacity is spread over.
     pub cache_shards: usize,
+    /// Cached pages older than this never hit (None = no TTL).
+    pub cache_ttl: Option<Duration>,
+    /// Approximate total-bytes budget for cached pages (None = none).
+    pub cache_max_bytes: Option<usize>,
     /// Deadline applied when a request does not carry its own.
     pub default_deadline: Duration,
+    /// Consecutive failures that trip an engine's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker short-circuits before allowing a
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -61,7 +111,11 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             cache_capacity: 512,
             cache_shards: 8,
+            cache_ttl: Some(Duration::from_secs(120)),
+            cache_max_bytes: Some(8 << 20),
             default_deadline: Duration::from_secs(5),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -74,6 +128,10 @@ pub enum ServeError {
     /// The request missed its deadline (either queued too long or the
     /// caller stopped waiting).
     DeadlineExceeded,
+    /// The target engine is unhealthy (circuit breaker open or the
+    /// worker crashed on this request) and no cached page — not even a
+    /// stale one — could stand in.
+    Degraded,
     /// The server has shut down.
     Closed,
 }
@@ -83,6 +141,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Overloaded => write!(f, "server overloaded: request queue full"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Degraded => write!(f, "engine degraded and no cached page available"),
             ServeError::Closed => write!(f, "server closed"),
         }
     }
@@ -97,19 +156,89 @@ pub struct ServeResponse {
     pub page: SearchPage,
     /// Whether the page came from the cache.
     pub cached: bool,
+    /// Degraded-mode answer: the page may predate the current data
+    /// generation (served from cache while the engine is unhealthy).
+    pub stale: bool,
     /// Data generation the page was computed at.
     pub generation: u64,
     /// End-to-end latency observed by the server.
     pub latency: Duration,
 }
 
-struct Job {
+/// Deterministic worker-side fault schedule for chaos runs: every
+/// `panic_every`-th search job panics mid-query, every `delay_every`-th
+/// sleeps for `delay` first (0 disables either). Jobs are numbered by a
+/// global sequence, so a fixed schedule yields a fixed fault pattern.
+#[derive(Debug, Clone, Default)]
+pub struct InjectedFaults {
+    /// Panic on jobs where `seq % panic_every == panic_every - 1`.
+    pub panic_every: u64,
+    /// Delay jobs where `seq % delay_every == delay_every - 1`.
+    pub delay_every: u64,
+    /// Length of the injected delay.
+    pub delay: Duration,
+}
+
+struct SearchJob {
     mode: SearchMode,
     page: usize,
     key: String,
+    engine: EngineKind,
     deadline: Instant,
     submitted: Instant,
     reply: SyncSender<Result<ServeResponse, ServeError>>,
+}
+
+enum Job {
+    Search(Box<SearchJob>),
+    /// Chaos hook: makes the dequeuing worker panic *outside* the
+    /// per-job `catch_unwind`, exercising the respawn sentinel.
+    CrashWorker,
+}
+
+/// Per-engine circuit breaker: `threshold` consecutive failures open it
+/// for `cooldown`, after which one probe request is allowed through
+/// (half-open); a success fully closes it again.
+#[derive(Debug, Default)]
+struct Breaker {
+    consecutive_failures: AtomicU32,
+    open_until: Mutex<Option<Instant>>,
+}
+
+impl Breaker {
+    /// True when a request may proceed. Transitions open → half-open
+    /// once the cooldown has elapsed (clearing `open_until`, so exactly
+    /// the requests racing this call become probes).
+    fn allow(&self) -> bool {
+        let mut open = lock(&self.open_until);
+        match *open {
+            Some(until) if Instant::now() < until => false,
+            Some(_) => {
+                *open = None;
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Record a failed request; returns true when this failure newly
+    /// opened the breaker.
+    fn record_failure(&self, threshold: u32, cooldown: Duration) -> bool {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= threshold.max(1) {
+            let mut open = lock(&self.open_until);
+            let newly = open.is_none();
+            *open = Some(Instant::now() + cooldown);
+            newly
+        } else {
+            false
+        }
+    }
+
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        *lock(&self.open_until) = None;
+    }
 }
 
 struct Inner {
@@ -118,6 +247,71 @@ struct Inner {
     generation: AtomicU64,
     cache: QueryCache,
     metrics: Metrics,
+    breakers: [Breaker; 3],
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    /// Worker-side fault schedule (chaos testing); None in production.
+    faults: RwLock<Option<InjectedFaults>>,
+    /// Global search-job sequence driving the fault schedule.
+    job_seq: AtomicU64,
+    /// Live worker handles; the respawn sentinel pushes replacements
+    /// here so shutdown can join every worker that ever ran.
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn breaker(&self, engine: EngineKind) -> &Breaker {
+        &self.breakers[engine.index()]
+    }
+
+    fn record_engine_failure(&self, engine: EngineKind) {
+        if self
+            .breaker(engine)
+            .record_failure(self.breaker_threshold, self.breaker_cooldown)
+        {
+            self.metrics.record_breaker_open();
+        }
+    }
+}
+
+/// Respawns a replacement worker when its thread dies to a panic that
+/// escaped the per-job catch (armed only while unwinding).
+struct RespawnSentinel {
+    inner: Arc<Inner>,
+    rx: Arc<Mutex<Receiver<Job>>>,
+}
+
+impl Drop for RespawnSentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.inner.metrics.record_panic();
+            self.inner.metrics.record_respawn();
+            spawn_worker(Arc::clone(&self.inner), Arc::clone(&self.rx));
+        }
+    }
+}
+
+fn spawn_worker(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
+    let handle_registry = Arc::clone(&inner);
+    let handle = std::thread::spawn(move || {
+        let sentinel = RespawnSentinel {
+            inner: Arc::clone(&inner),
+            rx: Arc::clone(&rx),
+        };
+        loop {
+            // Hold the receiver lock only for the dequeue itself.
+            let job = match lock(&sentinel.rx).recv() {
+                Ok(job) => job,
+                Err(_) => return, // queue sender dropped: shutdown
+            };
+            sentinel.inner.metrics.dequeued();
+            match job {
+                Job::CrashWorker => panic!("injected worker crash"),
+                Job::Search(job) => run_isolated(&sentinel.inner, *job),
+            }
+        }
+    });
+    lock(&handle_registry.worker_handles).push(handle);
 }
 
 /// Concurrent query-serving frontend over one [`CovidKg`] system.
@@ -130,7 +324,6 @@ pub struct Server {
     /// queue reports `Overloaded` (Full) rather than `Closed`
     /// (Disconnected).
     _queue_rx: Arc<Mutex<Receiver<Job>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
     default_deadline: Duration,
 }
 
@@ -141,31 +334,29 @@ impl Server {
         let inner = Arc::new(Inner {
             system: RwLock::new(system),
             generation: AtomicU64::new(generation),
-            cache: QueryCache::new(config.cache_capacity, config.cache_shards),
+            cache: QueryCache::with_limits(
+                config.cache_capacity,
+                config.cache_shards,
+                config.cache_ttl,
+                config.cache_max_bytes,
+            ),
             metrics: Metrics::default(),
+            breakers: Default::default(),
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
+            faults: RwLock::new(None),
+            job_seq: AtomicU64::new(0),
+            worker_handles: Mutex::new(Vec::new()),
         });
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers)
-            .map(|_| {
-                let inner = Arc::clone(&inner);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
-                    // Hold the receiver lock only for the dequeue itself.
-                    let job = match rx.lock().unwrap().recv() {
-                        Ok(job) => job,
-                        Err(_) => return, // queue sender dropped: shutdown
-                    };
-                    inner.metrics.dequeued();
-                    run_job(&inner, job);
-                })
-            })
-            .collect();
+        for _ in 0..config.workers {
+            spawn_worker(Arc::clone(&inner), Arc::clone(&rx));
+        }
         Server {
             inner,
             queue: Mutex::new(Some(tx)),
             _queue_rx: rx,
-            workers: Mutex::new(workers),
             default_deadline: config.default_deadline,
         }
     }
@@ -183,7 +374,8 @@ impl Server {
         deadline: Duration,
     ) -> Result<ServeResponse, ServeError> {
         let submitted = Instant::now();
-        self.inner.metrics.record_request(engine_kind(mode));
+        let engine = engine_kind(mode);
+        self.inner.metrics.record_request(engine);
         let key = cache_key(mode, page);
 
         // Cache sits in front of the queue: hits cost two mutex hops and
@@ -193,22 +385,35 @@ impl Server {
             self.inner.metrics.record_hit();
             let latency = submitted.elapsed();
             self.inner.metrics.record_completed(latency);
-            return Ok(ServeResponse { page: cached, cached: true, generation, latency });
+            return Ok(ServeResponse {
+                page: cached,
+                cached: true,
+                stale: false,
+                generation,
+                latency,
+            });
         }
         self.inner.metrics.record_miss();
+
+        // Unhealthy engine: don't waste queue capacity on it — serve
+        // degraded from whatever the cache still holds.
+        if !self.inner.breaker(engine).allow() {
+            return degraded_response(&self.inner, &key, submitted);
+        }
 
         // Buffered reply slot so a worker finishing after we time out
         // never blocks on a reader that left.
         let (reply_tx, reply_rx) = sync_channel(1);
-        let job = Job {
+        let job = Job::Search(Box::new(SearchJob {
             mode: mode.clone(),
             page,
             key,
+            engine,
             deadline: submitted + deadline,
             submitted,
             reply: reply_tx,
-        };
-        let sender = match &*self.queue.lock().unwrap() {
+        }));
+        let sender = match &*lock(&self.queue) {
             Some(tx) => tx.clone(),
             None => return Err(ServeError::Closed),
         };
@@ -242,7 +447,7 @@ impl Server {
     /// generation advances before the write lock is released, so every
     /// previously cached page stops matching on its generation tag.
     pub fn ingest(&self, pubs: &[Publication]) -> Result<usize, StoreError> {
-        let mut system = self.inner.system.write().unwrap();
+        let mut system = write_lock(&self.inner.system);
         let added = system.ingest(pubs)?;
         self.inner
             .generation
@@ -253,7 +458,7 @@ impl Server {
     /// Uncached, unqueued search straight against the system — the
     /// ground truth the load generator verifies served responses with.
     pub fn search_direct(&self, mode: &SearchMode, page: usize) -> SearchPage {
-        self.inner.system.read().unwrap().search(mode, page)
+        read_lock(&self.inner.system).search(mode, page)
     }
 
     /// Current data generation.
@@ -261,9 +466,13 @@ impl Server {
         self.inner.generation.load(Ordering::Acquire)
     }
 
-    /// Point-in-time serving statistics.
+    /// Point-in-time serving statistics (including cache occupancy /
+    /// eviction counters and store-level transient-retry totals).
     pub fn stats(&self) -> ServeStats {
-        self.inner.metrics.snapshot()
+        let mut stats = self.inner.metrics.snapshot();
+        stats.cache = self.inner.cache.stats();
+        stats.io_retries = read_lock(&self.inner.system).publications().io_retries();
+        stats
     }
 
     /// Cached result pages currently resident.
@@ -271,14 +480,55 @@ impl Server {
         self.inner.cache.len()
     }
 
+    /// Install (or clear) a deterministic worker-side fault schedule.
+    pub fn set_injected_faults(&self, faults: Option<InjectedFaults>) {
+        *write_lock(&self.inner.faults) = faults;
+    }
+
+    /// Chaos hook: enqueue a job that makes one worker panic *outside*
+    /// its per-job `catch_unwind`, killing the thread and exercising the
+    /// respawn path. Blocks until queue space is available.
+    pub fn inject_worker_panic(&self) -> Result<(), ServeError> {
+        let sender = match &*lock(&self.queue) {
+            Some(tx) => tx.clone(),
+            None => return Err(ServeError::Closed),
+        };
+        // The worker decrements the depth gauge for every dequeue, so
+        // the crash job must increment it like any other.
+        self.inner.metrics.enqueued();
+        match sender.send(Job::CrashWorker) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.inner.metrics.dequeued();
+                Err(ServeError::Closed)
+            }
+        }
+    }
+
+    /// Live worker threads (respawns keep this at the configured size).
+    pub fn worker_count(&self) -> usize {
+        lock(&self.inner.worker_handles)
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
     /// Stop accepting work and join the workers. Already-queued jobs are
     /// drained first; subsequent `search` calls return
     /// [`ServeError::Closed`]. Idempotent.
     pub fn shutdown(&self) {
-        drop(self.queue.lock().unwrap().take());
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
-        for h in handles {
-            let _ = h.join();
+        drop(lock(&self.queue).take());
+        // Workers may still respawn replacements while dying (the
+        // replacement sees the disconnected queue and exits); loop until
+        // the registry stays empty.
+        loop {
+            let handle = lock(&self.inner.worker_handles).pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => return,
+            }
         }
     }
 }
@@ -289,25 +539,78 @@ impl Drop for Server {
     }
 }
 
-fn run_job(inner: &Inner, job: Job) {
+/// Answer a request in degraded mode: a cached page of any generation,
+/// marked stale, or the typed [`ServeError::Degraded`].
+fn degraded_response(
+    inner: &Inner,
+    key: &str,
+    submitted: Instant,
+) -> Result<ServeResponse, ServeError> {
+    inner.metrics.record_degraded();
+    match inner.cache.get_stale(key) {
+        Some((page, generation)) => {
+            inner.metrics.record_stale_served();
+            let latency = submitted.elapsed();
+            inner.metrics.record_completed(latency);
+            Ok(ServeResponse {
+                page,
+                cached: true,
+                stale: true,
+                generation,
+                latency,
+            })
+        }
+        None => Err(ServeError::Degraded),
+    }
+}
+
+/// Run one search job with panic isolation: a panicking query is caught,
+/// counted, fed to the engine's breaker, and answered degraded — the
+/// worker thread (and every other queued request) survives.
+fn run_isolated(inner: &Inner, job: SearchJob) {
+    let reply = job.reply.clone();
+    let key = job.key.clone();
+    let engine = job.engine;
+    let submitted = job.submitted;
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_job(inner, job)));
+    if outcome.is_err() {
+        inner.metrics.record_panic();
+        inner.record_engine_failure(engine);
+        let _ = reply.try_send(degraded_response(inner, &key, submitted));
+    }
+}
+
+fn run_job(inner: &Inner, job: SearchJob) {
     if Instant::now() >= job.deadline {
         // Expired while queued: don't waste a search on it.
         inner.metrics.record_deadline_exceeded();
         let _ = job.reply.try_send(Err(ServeError::DeadlineExceeded));
         return;
     }
+    // Chaos schedule: deterministic panics/delays keyed by job sequence.
+    let seq = inner.job_seq.fetch_add(1, Ordering::Relaxed);
+    if let Some(faults) = read_lock(&inner.faults).clone() {
+        if faults.delay_every > 0 && seq % faults.delay_every == faults.delay_every - 1 {
+            std::thread::sleep(faults.delay);
+        }
+        if faults.panic_every > 0 && seq % faults.panic_every == faults.panic_every - 1 {
+            panic!("injected query panic (seq {seq})");
+        }
+    }
     let (page, generation) = {
-        let system = inner.system.read().unwrap();
+        let system = read_lock(&inner.system);
         // Generation read under the same read lock the search runs
         // under: the pair is consistent even against concurrent ingests.
         (system.search(&job.mode, job.page), system.generation())
     };
+    inner.breaker(job.engine).record_success();
     inner.cache.insert(job.key, generation, page.clone());
     let latency = job.submitted.elapsed();
     inner.metrics.record_completed(latency);
     let _ = job.reply.try_send(Ok(ServeResponse {
         page,
         cached: false,
+        stale: false,
         generation,
         latency,
     }));

@@ -4,7 +4,7 @@
 
 use covidkg_core::{CovidKg, CovidKgConfig};
 use covidkg_search::SearchMode;
-use covidkg_serve::{loadgen, LoadGenConfig, ServeConfig, ServeError, Server};
+use covidkg_serve::{loadgen, InjectedFaults, LoadGenConfig, ServeConfig, ServeError, Server};
 use std::time::{Duration, Instant};
 
 fn build_system() -> CovidKg {
@@ -216,4 +216,127 @@ fn readers_racing_ingest_never_see_stale_results() {
     let again = server.search(&mode, 0).unwrap();
     assert!(again.cached, "post-ingest pages are cacheable again");
     assert_eq!(again.generation, gen_after);
+}
+
+/// A panicking query must cost exactly one request: the worker pool
+/// survives, no lock is left poisoned, and every subsequent request is
+/// answered normally.
+#[test]
+fn panicking_query_neither_kills_pool_nor_poisons_requests() {
+    let server = Server::start(
+        build_system(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    // Every search job panics while this schedule is installed.
+    server.set_injected_faults(Some(InjectedFaults {
+        panic_every: 1,
+        ..InjectedFaults::default()
+    }));
+    let out = server.search(&SearchMode::AllFields("vaccine".into()), 0);
+    // Nothing cached yet, so the degraded answer is the typed error —
+    // crucially a *reply*, not a hang or a worker death.
+    assert!(matches!(out, Err(ServeError::Degraded)), "{out:?}");
+    server.set_injected_faults(None);
+
+    // The pool is intact and later requests (including the one that just
+    // panicked) succeed; stats and shutdown don't hit poisoned locks.
+    for q in ["vaccine", "masks", "treatment", "symptom"] {
+        let resp = server.search(&SearchMode::AllFields(q.into()), 0).unwrap();
+        assert!(!resp.stale);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.worker_respawns, 0, "caught panic keeps the worker");
+    assert_eq!(server.worker_count(), 2);
+    server.shutdown();
+}
+
+/// A panic that escapes the per-job catch kills the worker thread; the
+/// sentinel must respawn a replacement so the pool never shrinks.
+#[test]
+fn crashed_workers_are_respawned() {
+    let server = Server::start(
+        build_system(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    server.inject_worker_panic().unwrap();
+    server.inject_worker_panic().unwrap();
+    // Respawn happens during the dying thread's unwind; give it a beat.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().worker_respawns < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.worker_respawns, 2, "both crashed workers replaced");
+    assert_eq!(stats.worker_panics, 2);
+    // The replacement workers serve real traffic.
+    let resp = server.search(&SearchMode::AllFields("vaccine".into()), 0).unwrap();
+    assert!(!resp.page.query.is_empty() || resp.page.total == 0);
+    assert_eq!(server.worker_count(), 2);
+    server.shutdown();
+}
+
+/// Repeated failures trip the engine breaker; while it is open the
+/// server answers from the stale cache (marked stale) instead of
+/// queueing doomed work, and it closes again after the cooldown.
+#[test]
+fn open_breaker_serves_stale_pages_then_recovers() {
+    let server = Server::start(
+        build_system(),
+        ServeConfig {
+            workers: 2,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+    let mode = SearchMode::AllFields("vaccine".into());
+    // Warm the cache at the current generation…
+    let warm = server.search(&mode, 0).unwrap();
+    assert!(!warm.stale);
+    let gen_before = server.generation();
+    // …then advance the generation so the entry is stale-but-resident.
+    let new_pubs: Vec<_> = covidkg_corpus::CorpusGenerator::with_size(40, 7)
+        .generate()
+        .into_iter()
+        .skip(36)
+        .collect();
+    server.ingest(&new_pubs).unwrap();
+
+    server.set_injected_faults(Some(InjectedFaults {
+        panic_every: 1,
+        ..InjectedFaults::default()
+    }));
+    // Two failures: each panicking request is still answered — with the
+    // stale pre-ingest page — and the second trips the breaker.
+    for _ in 0..2 {
+        let resp = server.search(&mode, 0).unwrap();
+        assert!(resp.stale, "degraded fallback serves the stale page");
+        assert_eq!(resp.generation, gen_before);
+    }
+    // Breaker now open: requests short-circuit (no queue, no worker) but
+    // still get the stale page.
+    let resp = server.search(&mode, 0).unwrap();
+    assert!(resp.stale);
+    let stats = server.stats();
+    assert_eq!(stats.breaker_opens, 1);
+    assert!(stats.stale_served >= 3, "{stats:?}");
+    assert!(stats.degraded >= 3, "{stats:?}");
+
+    // Heal the backend, wait out the cooldown: the half-open probe runs
+    // a real search and fully closes the breaker.
+    server.set_injected_faults(None);
+    std::thread::sleep(Duration::from_millis(150));
+    let healed = server.search(&mode, 0).unwrap();
+    assert!(!healed.stale, "half-open probe serves fresh data");
+    assert_eq!(healed.generation, server.generation());
+    let after = server.search(&mode, 0).unwrap();
+    assert!(after.cached && !after.stale, "breaker closed, cache refilled");
+    server.shutdown();
 }

@@ -8,6 +8,7 @@
 //! rationale, §2.1).
 
 use crate::error::StoreError;
+use crate::fault::{with_backoff, FaultPlan, RetryPolicy};
 use crate::filter::Filter;
 use crate::index::{HashIndex, TextIndex};
 use crate::pipeline::Pipeline;
@@ -54,6 +55,23 @@ impl CollectionConfig {
     }
 }
 
+/// Poison-recovering `Mutex` lock: a panic elsewhere must not cascade
+/// into the storage path (the protected state is a WAL writer whose own
+/// torn-tail repair handles interrupted appends).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Poison-recovering `RwLock` read guard.
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Poison-recovering `RwLock` write guard.
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A sharded document collection.
 pub struct Collection {
     config: CollectionConfig,
@@ -63,6 +81,9 @@ pub struct Collection {
     wal: Option<Mutex<WalWriter>>,
     snapshot_path: Option<PathBuf>,
     next_id: AtomicU64,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    retry: RwLock<RetryPolicy>,
+    retries: AtomicU64,
 }
 
 impl std::fmt::Debug for Collection {
@@ -92,6 +113,9 @@ impl Collection {
             wal: None,
             snapshot_path: None,
             next_id: AtomicU64::new(1),
+            faults: RwLock::new(None),
+            retry: RwLock::new(RetryPolicy::default()),
+            retries: AtomicU64::new(0),
         }
     }
 
@@ -157,9 +181,46 @@ impl Collection {
         }
     }
 
+    /// Attach (or detach) a fault plan. Every subsequent WAL append,
+    /// sync, reset and snapshot write consults it; injected faults
+    /// surface as [`StoreError::Transient`] and go through the
+    /// collection's retry policy like real transient I/O errors.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        if let Some(wal) = &self.wal {
+            lock(wal).set_fault_plan(plan.clone());
+        }
+        *write(&self.faults) = plan;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        read(&self.faults).clone()
+    }
+
+    /// Replace the retry policy used for transient WAL/snapshot faults.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *write(&self.retry) = policy;
+    }
+
+    /// Transient-fault retries performed so far (across all I/O paths).
+    pub fn io_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        *read(&self.retry)
+    }
+
+    fn count_retry(&self, _e: &StoreError) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn log(&self, record: &WalRecord) -> Result<(), StoreError> {
         if let Some(wal) = &self.wal {
-            wal.lock().unwrap().append(record)?;
+            let policy = self.retry_policy();
+            with_backoff(&policy, |e| self.count_retry(e), || {
+                lock(wal).append(record)
+            })?;
         }
         Ok(())
     }
@@ -198,7 +259,7 @@ impl Collection {
         if let Some(ti) = &self.text_index {
             ti.add(&id, &doc);
         }
-        for idx in self.hash_indexes.read().unwrap().iter() {
+        for idx in read(&self.hash_indexes).iter() {
             idx.add(&id, &doc);
         }
         Ok(id)
@@ -221,11 +282,11 @@ impl Collection {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let Some(doc) = queue.lock().unwrap().next() else {
+                    let Some(doc) = lock(&queue).next() else {
                         return;
                     };
                     if let Err(e) = self.insert(doc) {
-                        let mut slot = first_err.lock().unwrap();
+                        let mut slot = lock(&first_err);
                         if slot.is_none() {
                             *slot = Some(e);
                         }
@@ -234,7 +295,7 @@ impl Collection {
                 });
             }
         });
-        match first_err.into_inner().unwrap() {
+        match first_err.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
             Some(e) => Err(e),
             None => Ok(total),
         }
@@ -269,7 +330,7 @@ impl Collection {
             ti.remove(id, &old);
             ti.add(id, &doc);
         }
-        for idx in self.hash_indexes.read().unwrap().iter() {
+        for idx in read(&self.hash_indexes).iter() {
             idx.remove(id, &old);
             idx.add(id, &doc);
         }
@@ -301,7 +362,7 @@ impl Collection {
         if let Some(ti) = &self.text_index {
             ti.remove(id, &old);
         }
-        for idx in self.hash_indexes.read().unwrap().iter() {
+        for idx in read(&self.hash_indexes).iter() {
             idx.remove(id, &old);
         }
         Ok(old)
@@ -313,7 +374,7 @@ impl Collection {
         for shard in &self.shards {
             shard.for_each(|id, doc| idx.add(id, doc));
         }
-        self.hash_indexes.write().unwrap().push(Arc::clone(&idx));
+        write(&self.hash_indexes).push(Arc::clone(&idx));
         idx
     }
 
@@ -416,10 +477,14 @@ impl Collection {
         let Some(path) = &self.snapshot_path else {
             return Ok(0);
         };
+        let policy = self.retry_policy();
+        let plan = self.fault_plan();
         let docs = self.scan_all();
-        let n = wal::write_snapshot(path, docs.iter())?;
+        let n = with_backoff(&policy, |e| self.count_retry(e), || {
+            wal::write_snapshot_with(path, docs.iter(), plan.as_deref())
+        })?;
         if let Some(wal) = &self.wal {
-            wal.lock().unwrap().reset()?;
+            with_backoff(&policy, |e| self.count_retry(e), || lock(wal).reset())?;
         }
         Ok(n)
     }
@@ -427,7 +492,8 @@ impl Collection {
     /// Flush and fsync the WAL.
     pub fn sync(&self) -> Result<(), StoreError> {
         if let Some(wal) = &self.wal {
-            wal.lock().unwrap().sync()?;
+            let policy = self.retry_policy();
+            with_backoff(&policy, |e| self.count_retry(e), || lock(wal).sync())?;
         }
         Ok(())
     }

@@ -17,6 +17,29 @@ pub enum StoreError {
     Corrupt(String),
     /// The named collection does not exist.
     NoSuchCollection(String),
+    /// A transient I/O fault (injected by a [`crate::fault::FaultPlan`]
+    /// or an `EINTR`-class kernel error). Safe to retry: the WAL writer
+    /// repairs any partially written tail before the next append.
+    Transient(String),
+}
+
+impl StoreError {
+    /// True when retrying the failed operation may succeed (the fault was
+    /// injected or the kernel reported an interruption-class error);
+    /// permanent errors — corrupt data, bad queries, missing documents —
+    /// return false and must surface to the caller.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Transient(_) => true,
+            StoreError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -28,6 +51,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "io error: {e}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             StoreError::NoSuchCollection(name) => write!(f, "no collection {name:?}"),
+            StoreError::Transient(msg) => write!(f, "transient fault: {msg}"),
         }
     }
 }
@@ -61,5 +85,16 @@ mod tests {
     fn io_errors_convert() {
         let e: StoreError = std::io::Error::other("disk").into();
         assert!(matches!(e, StoreError::Io(_)));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(StoreError::Transient("injected".into()).is_transient());
+        let eintr: StoreError =
+            std::io::Error::from(std::io::ErrorKind::Interrupted).into();
+        assert!(eintr.is_transient());
+        assert!(!StoreError::Corrupt("x".into()).is_transient());
+        assert!(!StoreError::Io(std::io::Error::other("disk gone")).is_transient());
+        assert!(!StoreError::DuplicateId("a".into()).is_transient());
     }
 }

@@ -1,0 +1,381 @@
+//! Deterministic fault injection and bounded-backoff retry.
+//!
+//! A [`FaultPlan`] is a seeded source of storage faults shared (via
+//! `Arc`) between a [`crate::Collection`], its WAL writer and the
+//! snapshot path. Every injectable I/O point asks the plan whether to
+//! fail, short-write or delay the operation; decisions come from one
+//! `covidkg-rand` stream, so a fixed seed replays the same fault
+//! schedule. Injected failures surface as [`StoreError::Transient`] —
+//! the retry half of this module ([`RetryPolicy`] / [`with_backoff`])
+//! distinguishes them from permanent errors and retries with bounded
+//! exponential backoff, which is how the ingest path and the background
+//! flusher survive fault storms without acknowledging lost writes.
+
+use crate::error::StoreError;
+use covidkg_rand::{Rng, SeedableRng, SmallRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// An injectable storage operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Appending one frame to the WAL.
+    WalAppend,
+    /// Flushing + fsyncing the WAL.
+    WalSync,
+    /// Truncating the WAL after a snapshot.
+    WalReset,
+    /// Writing a snapshot file.
+    SnapshotWrite,
+}
+
+impl FaultOp {
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultOp::WalAppend => "wal-append",
+            FaultOp::WalSync => "wal-sync",
+            FaultOp::WalReset => "wal-reset",
+            FaultOp::SnapshotWrite => "snapshot-write",
+        }
+    }
+}
+
+/// What the plan decided to do to one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Fail the operation outright (no bytes reach the file).
+    Fail,
+    /// Write only this fraction (in `(0, 1)`) of the frame, then fail —
+    /// the torn-tail shape of a crash mid-write.
+    ShortWrite(f64),
+    /// Delay the operation, then let it proceed.
+    Delay(Duration),
+}
+
+/// Fault probabilities and bounds for a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the decision stream.
+    pub seed: u64,
+    /// Probability an operation fails outright.
+    pub fail: f64,
+    /// Probability a `WalAppend`/`SnapshotWrite` is short-written
+    /// (other ops treat this as `fail`).
+    pub short_write: f64,
+    /// Probability an operation is delayed.
+    pub delay: f64,
+    /// Length of an injected delay.
+    pub delay_for: Duration,
+    /// Stop injecting after this many faults (0 = unlimited).
+    pub max_faults: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0xC0BD,
+            fail: 0.2,
+            short_write: 0.05,
+            delay: 0.05,
+            delay_for: Duration::from_micros(200),
+            max_faults: 0,
+        }
+    }
+}
+
+/// Counters of what a plan injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Operations that consulted the plan.
+    pub decisions: u64,
+    /// Outright failures injected.
+    pub fails: u64,
+    /// Short writes injected.
+    pub short_writes: u64,
+    /// Delays injected.
+    pub delays: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected (fails + short writes + delays).
+    pub fn injected(&self) -> u64 {
+        self.fails + self.short_writes + self.delays
+    }
+}
+
+/// A seeded, shareable fault schedule.
+///
+/// `decide` draws from one mutex-guarded RNG, so for a fixed seed and a
+/// fixed sequence of operations the schedule is fully deterministic;
+/// under concurrency the interleaving varies but the totals remain
+/// seed-reproducible. A plan starts **armed**; [`FaultPlan::disarm`]
+/// turns it into a no-op (used by recovery phases that must run clean).
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: Mutex<SmallRng>,
+    decisions: AtomicU64,
+    fails: AtomicU64,
+    short_writes: AtomicU64,
+    delays: AtomicU64,
+    armed: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A new, armed plan.
+    pub fn new(config: FaultConfig) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan {
+            rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
+            config,
+            decisions: AtomicU64::new(0),
+            fails: AtomicU64::new(0),
+            short_writes: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            armed: AtomicU64::new(1),
+        })
+    }
+
+    /// Stop injecting (idempotent; counters are preserved).
+    pub fn disarm(&self) {
+        self.armed.store(0, Ordering::Release);
+    }
+
+    /// Resume injecting.
+    pub fn arm(&self) {
+        self.armed.store(1, Ordering::Release);
+    }
+
+    /// Ask the plan what to do to `op`. `None` means "proceed normally".
+    pub fn decide(&self, op: FaultOp) -> Option<Fault> {
+        if self.armed.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        if self.config.max_faults > 0 && self.stats().injected() >= self.config.max_faults {
+            return None;
+        }
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        let mut rng = self.rng.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let c = &self.config;
+        if roll < c.fail {
+            self.fails.fetch_add(1, Ordering::Relaxed);
+            Some(Fault::Fail)
+        } else if roll < c.fail + c.short_write {
+            match op {
+                FaultOp::WalAppend | FaultOp::SnapshotWrite => {
+                    let frac = rng.gen_range(0.05..0.95);
+                    self.short_writes.fetch_add(1, Ordering::Relaxed);
+                    Some(Fault::ShortWrite(frac))
+                }
+                _ => {
+                    self.fails.fetch_add(1, Ordering::Relaxed);
+                    Some(Fault::Fail)
+                }
+            }
+        } else if roll < c.fail + c.short_write + c.delay {
+            self.delays.fetch_add(1, Ordering::Relaxed);
+            Some(Fault::Delay(c.delay_for))
+        } else {
+            None
+        }
+    }
+
+    /// The injected-fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            decisions: self.decisions.load(Ordering::Relaxed),
+            fails: self.fails.load(Ordering::Relaxed),
+            short_writes: self.short_writes.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The transient error an injected failure of `op` surfaces as.
+    pub fn error(op: FaultOp) -> StoreError {
+        StoreError::Transient(format!("injected {} fault", op.label()))
+    }
+}
+
+/// Bounded exponential backoff for transient faults.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = never retry).
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 6,
+            base: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(20).saturating_sub(1));
+        exp.min(self.max_backoff)
+    }
+}
+
+/// Run `op`, retrying transient failures per `policy` with exponential
+/// backoff. `on_retry` observes each retried error (for counters).
+/// Permanent errors and transient errors that survive every retry are
+/// returned to the caller.
+pub fn with_backoff<T>(
+    policy: &RetryPolicy,
+    mut on_retry: impl FnMut(&StoreError),
+    mut op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                attempt += 1;
+                on_retry(&e);
+                std::thread::sleep(policy.backoff(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            seed: 99,
+            fail: 0.3,
+            short_write: 0.1,
+            delay: 0.1,
+            ..FaultConfig::default()
+        };
+        let a = FaultPlan::new(cfg.clone());
+        let b = FaultPlan::new(cfg);
+        let da: Vec<_> = (0..200).map(|_| a.decide(FaultOp::WalAppend)).collect();
+        let db: Vec<_> = (0..200).map(|_| b.decide(FaultOp::WalAppend)).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().injected() > 0, "with p=0.5 over 200 ops some faults fire");
+    }
+
+    #[test]
+    fn disarmed_plans_inject_nothing() {
+        let plan = FaultPlan::new(FaultConfig {
+            fail: 1.0,
+            ..FaultConfig::default()
+        });
+        assert!(plan.decide(FaultOp::WalSync).is_some());
+        plan.disarm();
+        assert!(plan.decide(FaultOp::WalSync).is_none());
+        plan.arm();
+        assert!(plan.decide(FaultOp::WalSync).is_some());
+    }
+
+    #[test]
+    fn max_faults_caps_injection() {
+        let plan = FaultPlan::new(FaultConfig {
+            fail: 1.0,
+            max_faults: 3,
+            ..FaultConfig::default()
+        });
+        let injected = (0..50)
+            .filter(|_| plan.decide(FaultOp::WalAppend).is_some())
+            .count();
+        assert_eq!(injected, 3);
+    }
+
+    #[test]
+    fn short_writes_only_target_framed_writes() {
+        let plan = FaultPlan::new(FaultConfig {
+            fail: 0.0,
+            short_write: 1.0,
+            delay: 0.0,
+            ..FaultConfig::default()
+        });
+        assert!(matches!(
+            plan.decide(FaultOp::WalAppend),
+            Some(Fault::ShortWrite(f)) if (0.05..0.95).contains(&f)
+        ));
+        assert!(matches!(plan.decide(FaultOp::WalSync), Some(Fault::Fail)));
+    }
+
+    #[test]
+    fn backoff_retries_transient_until_success() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+        };
+        let mut left = 3;
+        let mut retries = 0;
+        let out = with_backoff(&policy, |_| retries += 1, || {
+            if left > 0 {
+                left -= 1;
+                Err(StoreError::Transient("flaky".into()))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn backoff_gives_up_and_skips_permanent() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(2),
+        };
+        let mut calls = 0;
+        let out: Result<(), _> = with_backoff(&policy, |_| {}, || {
+            calls += 1;
+            Err(StoreError::Transient("always".into()))
+        });
+        assert!(matches!(out, Err(StoreError::Transient(_))));
+        assert_eq!(calls, 3, "initial try + 2 retries");
+
+        let mut calls = 0;
+        let out: Result<(), _> = with_backoff(&policy, |_| {}, || {
+            calls += 1;
+            Err(StoreError::Corrupt("permanent".into()))
+        });
+        assert!(matches!(out, Err(StoreError::Corrupt(_))));
+        assert_eq!(calls, 1, "permanent errors never retry");
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(1));
+        assert_eq!(p.backoff(2), Duration::from_millis(2));
+        assert_eq!(p.backoff(3), Duration::from_millis(4));
+        assert_eq!(p.backoff(9), Duration::from_millis(4), "capped");
+    }
+}

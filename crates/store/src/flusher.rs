@@ -29,6 +29,10 @@ pub struct FlusherStats {
     pub syncs: u64,
     /// Snapshot compactions performed.
     pub snapshots: u64,
+    /// Ticks skipped because the sync/snapshot failed transiently even
+    /// after the collection's bounded retries; the next interval tries
+    /// again. Permanent errors still stop the daemon.
+    pub transient_skips: u64,
 }
 
 impl Flusher {
@@ -48,11 +52,22 @@ impl Flusher {
                     // Wait for the interval or a stop signal, whichever
                     // comes first.
                     let stopping = stop_rx.recv_timeout(interval).is_ok();
-                    collection.sync()?;
-                    stats.syncs += 1;
-                    if snapshot_every > 0 && stats.syncs % snapshot_every == 0 {
-                        collection.snapshot()?;
-                        stats.snapshots += 1;
+                    // A transiently failed tick is skipped, not fatal:
+                    // the WAL repairs its tail and the next interval (or
+                    // the final stop sync) retries the whole operation.
+                    match collection.sync() {
+                        Ok(()) => {
+                            stats.syncs += 1;
+                            if snapshot_every > 0 && stats.syncs % snapshot_every == 0 {
+                                match collection.snapshot() {
+                                    Ok(_) => stats.snapshots += 1,
+                                    Err(e) if e.is_transient() => stats.transient_skips += 1,
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                        }
+                        Err(e) if e.is_transient() => stats.transient_skips += 1,
+                        Err(e) => return Err(e),
                     }
                     if stopping {
                         return Ok(stats);
@@ -140,6 +155,31 @@ mod tests {
             let _flusher = Flusher::start(Arc::clone(&c), Duration::from_secs(60), 0);
             // Dropping must not wait for the 60 s interval.
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flusher_skips_transient_faults_instead_of_dying() {
+        use crate::fault::{FaultConfig, FaultPlan, RetryPolicy};
+        let (c, dir) = persistent_collection("faulty");
+        c.insert(obj! { "_id" => "keep" }).unwrap();
+        // No retries + a high fault rate: most ticks fail transiently and
+        // must be skipped, not kill the daemon.
+        c.set_retry_policy(RetryPolicy::none());
+        c.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            fail: 0.8,
+            short_write: 0.0,
+            delay: 0.0,
+            ..FaultConfig::default()
+        })));
+        let flusher = Flusher::start(Arc::clone(&c), Duration::from_millis(2), 0);
+        std::thread::sleep(Duration::from_millis(60));
+        let stats = flusher.stop().expect("transient faults must not be fatal");
+        assert!(stats.transient_skips >= 1, "{stats:?}");
+        c.set_fault_plan(None);
+        c.sync().unwrap();
+        let re = Collection::open(CollectionConfig::new("pubs"), &dir).unwrap();
+        assert_eq!(re.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,314 @@
+//! Crash-at-every-point recovery gauntlet.
+//!
+//! Production storage must come back from a crash at *any* instant, not
+//! just the instants a hand-written test happens to pick. The gauntlet
+//! makes that systematic: it records a pristine WAL from a deterministic
+//! workload (inserts, updates, deletes), then simulates a crash at every
+//! frame boundary — plus truncations *inside* each frame and a flipped
+//! byte *per* frame — and re-opens the collection from each damaged log,
+//! asserting **prefix consistency**: the recovered state must equal the
+//! result of replaying exactly the complete, checksum-valid frames that
+//! survive, never a torn suffix and never a resurrected deleted doc.
+//! After each boundary crash it also proves the log is still writable:
+//! a post-crash insert must land and survive one more recovery.
+
+use crate::collection::{Collection, CollectionConfig};
+use crate::error::StoreError;
+use crate::wal::{self, WalRecord};
+use covidkg_json::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Gauntlet workload and damage parameters.
+#[derive(Debug, Clone)]
+pub struct GauntletConfig {
+    /// Documents inserted by the recorded workload (every 3rd is then
+    /// updated and every 5th deleted, so all record kinds appear).
+    pub docs: usize,
+    /// Shards of the gauntlet collection.
+    pub shards: usize,
+    /// Mid-frame truncation points tried after each frame boundary.
+    pub intra_frame_cuts: usize,
+    /// Unique suffix for the scratch directory (lets concurrent runs —
+    /// e.g. the test harness and the chaos CLI — coexist).
+    pub tag: String,
+}
+
+impl Default for GauntletConfig {
+    fn default() -> Self {
+        GauntletConfig {
+            docs: 18,
+            shards: 2,
+            intra_frame_cuts: 2,
+            tag: "default".into(),
+        }
+    }
+}
+
+/// Outcome of a gauntlet run.
+#[derive(Debug, Clone, Default)]
+pub struct GauntletReport {
+    /// Frames in the pristine WAL.
+    pub frames: usize,
+    /// Crash points simulated by truncation (boundaries + mid-frame).
+    pub truncations: usize,
+    /// Crash points simulated by flipping one byte.
+    pub corruptions: usize,
+    /// Recoveries that matched the expected prefix state.
+    pub recovered: usize,
+    /// Post-crash write-and-recover round trips proven.
+    pub resumed_writes: usize,
+    /// Human-readable descriptions of every failed crash point.
+    pub failures: Vec<String>,
+}
+
+impl GauntletReport {
+    /// True when every simulated crash recovered prefix-consistently.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for GauntletReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crash gauntlet: {} frames, {} truncation points, {} corruptions",
+            self.frames, self.truncations, self.corruptions
+        )?;
+        writeln!(
+            f,
+            "  {} prefix-consistent recoveries, {} post-crash writes resumed",
+            self.recovered, self.resumed_writes
+        )?;
+        if self.passed() {
+            write!(f, "  PASS: all crash points recovered")
+        } else {
+            writeln!(f, "  FAIL: {} crash points broke recovery:", self.failures.len())?;
+            for failure in &self.failures {
+                writeln!(f, "    - {failure}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// State expected after replaying the first `k` records.
+fn apply_prefix(records: &[WalRecord], k: usize) -> HashMap<String, Value> {
+    let mut state = HashMap::new();
+    for record in &records[..k] {
+        match record {
+            WalRecord::Insert(doc) => {
+                if let Some(id) = doc.get("_id").and_then(Value::as_str) {
+                    state.insert(id.to_string(), doc.clone());
+                }
+            }
+            WalRecord::Update { id, doc } => {
+                state.insert(id.clone(), doc.clone());
+            }
+            WalRecord::Delete { id } => {
+                state.remove(id);
+            }
+        }
+    }
+    state
+}
+
+/// Compare a recovered collection against the expected prefix state.
+fn diff_state(c: &Collection, expected: &HashMap<String, Value>) -> Option<String> {
+    if c.len() != expected.len() {
+        return Some(format!("recovered {} docs, expected {}", c.len(), expected.len()));
+    }
+    for (id, doc) in expected {
+        match c.get(id) {
+            None => return Some(format!("doc {id:?} lost in recovery")),
+            Some(got) if &got != doc => return Some(format!("doc {id:?} diverged after recovery")),
+            Some(_) => {}
+        }
+    }
+    None
+}
+
+/// Record the pristine workload WAL, returning its records and bytes.
+fn record_workload(
+    dir: &Path,
+    config: &GauntletConfig,
+) -> Result<(Vec<WalRecord>, Vec<u8>), StoreError> {
+    let coll_config = CollectionConfig::new("gauntlet").with_shards(config.shards);
+    let c = Collection::open(coll_config, dir)?;
+    for i in 0..config.docs {
+        let id = format!("g{i:04}");
+        c.insert(covidkg_json::obj! { "_id" => id.clone(), "n" => i as i64 })?;
+        if i % 3 == 2 {
+            c.update(&id, |d| d.insert("updated", true))?;
+        }
+        if i % 5 == 4 {
+            c.delete(&id)?;
+        }
+    }
+    c.sync()?;
+    drop(c);
+    let wal_path = dir.join("gauntlet.wal");
+    let bytes = std::fs::read(&wal_path)?;
+    let (records, truncated) = wal::read_wal(&wal_path)?;
+    debug_assert!(!truncated, "pristine workload WAL must be clean");
+    Ok((records, bytes))
+}
+
+/// One crash point: install `damaged` as the WAL, recover, and check
+/// prefix consistency against `records`. Returns the number of valid
+/// frames the damaged log retains.
+fn check_crash_point(
+    dir: &Path,
+    damaged: &[u8],
+    records: &[WalRecord],
+    label: &str,
+    report: &mut GauntletReport,
+) -> Result<usize, StoreError> {
+    let wal_path = dir.join("gauntlet.wal");
+    // The snapshot file must not exist: the workload never compacts, so
+    // recovery state comes from the WAL alone.
+    std::fs::write(&wal_path, damaged)?;
+    let k = wal::frame_ends(damaged).len();
+    let expected = apply_prefix(records, k);
+    match Collection::open(CollectionConfig::new("gauntlet").with_shards(2), dir) {
+        Ok(c) => match diff_state(&c, &expected) {
+            None => report.recovered += 1,
+            Some(diff) => report.failures.push(format!("{label}: {diff}")),
+        },
+        Err(e) => report.failures.push(format!("{label}: recovery failed: {e}")),
+    }
+    Ok(k)
+}
+
+/// Prove the damaged-then-recovered log accepts and persists new writes.
+fn check_resumed_write(
+    dir: &Path,
+    records: &[WalRecord],
+    k: usize,
+    label: &str,
+    report: &mut GauntletReport,
+) -> Result<(), StoreError> {
+    let config = CollectionConfig::new("gauntlet").with_shards(2);
+    {
+        let c = Collection::open(config.clone(), dir)?;
+        c.insert(covidkg_json::obj! { "_id" => "post-crash", "ok" => true })?;
+        c.sync()?;
+    }
+    let c = Collection::open(config, dir)?;
+    let mut expected = apply_prefix(records, k);
+    expected.insert(
+        "post-crash".into(),
+        covidkg_json::obj! { "_id" => "post-crash", "ok" => true },
+    );
+    match diff_state(&c, &expected) {
+        None => report.resumed_writes += 1,
+        Some(diff) => report
+            .failures
+            .push(format!("{label}: post-crash write lost: {diff}")),
+    }
+    Ok(())
+}
+
+/// Run the gauntlet. Scratch files live under the system temp dir and
+/// are removed on success and failure alike; only genuine I/O errors
+/// (not recovery mismatches, which land in the report) are `Err`.
+pub fn run_gauntlet(config: &GauntletConfig) -> Result<GauntletReport, StoreError> {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "covidkg-gauntlet-{}-{}",
+        config.tag,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = run_in(&dir, config);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_in(dir: &Path, config: &GauntletConfig) -> Result<GauntletReport, StoreError> {
+    let (records, pristine) = record_workload(dir, config)?;
+    let boundaries = wal::frame_ends(&pristine);
+    let mut report = GauntletReport {
+        frames: boundaries.len(),
+        ..GauntletReport::default()
+    };
+
+    // Crash exactly on every frame boundary (including the empty log),
+    // then prove the survivor still accepts writes.
+    for &end in std::iter::once(&0).chain(boundaries.iter()) {
+        let label = format!("truncate@{end}");
+        report.truncations += 1;
+        let k = check_crash_point(dir, &pristine[..end], &records, &label, &mut report)?;
+        check_resumed_write(dir, &records, k, &label, &mut report)?;
+    }
+
+    // Crash mid-frame: a handful of torn-tail lengths inside each frame.
+    let mut start = 0;
+    for &end in &boundaries {
+        let span = end - start;
+        for i in 1..=config.intra_frame_cuts {
+            let cut = start + (span * i) / (config.intra_frame_cuts + 1);
+            if cut <= start || cut >= end {
+                continue;
+            }
+            report.truncations += 1;
+            check_crash_point(
+                dir,
+                &pristine[..cut],
+                &records,
+                &format!("truncate@{cut} (mid-frame)"),
+                &mut report,
+            )?;
+        }
+        start = end;
+    }
+
+    // Flip one byte in the middle of every frame: the checksum must stop
+    // replay at the damaged frame, keeping the clean prefix.
+    let mut start = 0;
+    for &end in &boundaries {
+        let offset = start + (end - start) / 2;
+        let mut damaged = pristine[..end].to_vec();
+        damaged[offset] ^= 0x01;
+        report.corruptions += 1;
+        check_crash_point(
+            dir,
+            &damaged,
+            &records,
+            &format!("flip@{offset}"),
+            &mut report,
+        )?;
+        start = end;
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauntlet_passes_on_healthy_wal_implementation() {
+        let report = run_gauntlet(&GauntletConfig {
+            docs: 12,
+            tag: "unit".into(),
+            ..GauntletConfig::default()
+        })
+        .unwrap();
+        assert!(report.frames > 12, "workload should mix record kinds");
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.resumed_writes, report.frames + 1);
+    }
+
+    #[test]
+    fn report_renders_failures() {
+        let mut r = GauntletReport::default();
+        assert!(r.passed());
+        r.failures.push("truncate@7: doc lost".into());
+        assert!(!r.passed());
+        let text = r.to_string();
+        assert!(text.contains("FAIL") && text.contains("truncate@7"));
+    }
+}

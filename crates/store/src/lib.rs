@@ -22,16 +22,23 @@
 //!   `$unwind`, `$count`;
 //! * [`index`] — hash indexes and stemmed inverted text indexes that
 //!   accelerate `$match`-first pipelines;
-//! * [`wal`] — length-prefixed write-ahead log plus snapshots, giving
-//!   crash-recoverable persistence;
+//! * [`wal`] — length-prefixed, CRC32-checksummed write-ahead log plus
+//!   snapshots, giving crash-recoverable persistence;
+//! * [`fault`] — deterministic seeded fault injection ([`FaultPlan`])
+//!   and bounded-backoff retry ([`RetryPolicy`]) for every WAL/snapshot
+//!   I/O path;
+//! * [`gauntlet`] — crash-at-every-point recovery gauntlet asserting
+//!   prefix-consistent recovery from any torn or corrupt WAL tail;
 //! * [`stats`] — the storage report (document counts, bytes per shard)
 //!   mirroring the paper's "≈965 GB … more than 5 TB raw" summary shape.
 
 pub mod collection;
 pub mod db;
 pub mod error;
+pub mod fault;
 pub mod filter;
 pub mod flusher;
+pub mod gauntlet;
 pub mod index;
 pub mod pipeline;
 mod pipeline_parse;
@@ -43,8 +50,10 @@ pub mod wal;
 pub use collection::{Collection, CollectionConfig};
 pub use db::Database;
 pub use error::StoreError;
+pub use fault::{Fault, FaultConfig, FaultOp, FaultPlan, FaultStats, RetryPolicy};
 pub use filter::Filter;
 pub use flusher::{Flusher, FlusherStats};
+pub use gauntlet::{run_gauntlet, GauntletConfig, GauntletReport};
 pub use pipeline::{Accumulator, Pipeline, Stage};
 pub use stats::{CollectionStats, DbStats, ShardStats};
 pub use update::UpdateSpec;

@@ -2,16 +2,27 @@
 //!
 //! Each collection owning a data directory appends every mutation to a WAL
 //! before applying it, and can periodically compact the WAL into a
-//! snapshot. Records are length-prefixed JSON frames (`u32` little-endian
-//! length + payload), framed by hand over plain byte slices. Recovery
-//! reads the snapshot then replays the WAL, tolerating a truncated final
-//! frame (the normal shape of a crash mid-append).
+//! snapshot. Records are length-prefixed, CRC32-checksummed JSON frames
+//! (`u32` little-endian length, then `u32` little-endian CRC32 of the
+//! payload, then the payload), framed by hand. Recovery reads the
+//! snapshot then replays the WAL, stopping at the first torn or corrupt
+//! frame (the normal shape of a crash mid-append): everything before it
+//! is a prefix of acknowledged writes, everything after is untrusted.
+//!
+//! The writer is crash- and fault-aware: it tracks the last known-good
+//! file length, and if an append fails partway (a real I/O error or an
+//! injected [`Fault::ShortWrite`]) the torn tail is truncated away before
+//! the next append — so a retried append never corrupts the middle of
+//! the log. [`crate::fault::FaultPlan`] hooks cover appends, syncs,
+//! resets and snapshot writes.
 
 use crate::error::StoreError;
+use crate::fault::{Fault, FaultOp, FaultPlan};
 use covidkg_json::{parse, Value};
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One logged mutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,21 +89,72 @@ impl WalRecord {
     }
 }
 
-/// Appending WAL writer.
+/// CRC32 (IEEE 802.3) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 checksum of `bytes` (IEEE polynomial, as used by zip/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Bytes of frame overhead before the payload (length + checksum).
+pub const FRAME_HEADER: usize = 8;
+
+/// Appending WAL writer with torn-tail repair.
 #[derive(Debug)]
 pub struct WalWriter {
     path: PathBuf,
-    out: BufWriter<File>,
+    file: File,
+    /// Bytes of the file known to hold complete, checksummed frames.
+    committed: u64,
+    /// True when a failed append may have left garbage past `committed`.
+    tail_dirty: bool,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl WalWriter {
-    /// Open (creating or appending to) the WAL at `path`.
+    /// Open (creating or appending to) the WAL at `path`. Any torn or
+    /// corrupt tail left by a previous crash is truncated away so new
+    /// appends extend the valid prefix rather than burying records
+    /// behind garbage.
     pub fn open(path: impl Into<PathBuf>) -> Result<WalWriter, StoreError> {
         let path = path.into();
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let committed = valid_prefix_len(&raw) as u64;
+        if committed < raw.len() as u64 {
+            file.set_len(committed)?;
+            file.seek(SeekFrom::End(0))?;
+        }
         Ok(WalWriter {
             path,
-            out: BufWriter::new(file),
+            file,
+            committed,
+            tail_dirty: false,
+            faults: None,
         })
     }
 
@@ -101,51 +163,135 @@ impl WalWriter {
         &self.path
     }
 
-    /// Append one record (buffered; call [`WalWriter::sync`] for durability).
-    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
-        let payload = record.to_value().to_json();
-        let frame = frame_bytes(payload.as_bytes());
-        self.out.write_all(&frame)?;
+    /// Attach (or detach) a fault plan consulted on every append, sync
+    /// and reset.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
+    }
+
+    /// Truncate a torn tail left by a previously failed append.
+    fn repair_tail(&mut self) -> Result<(), StoreError> {
+        if self.tail_dirty {
+            self.file.set_len(self.committed)?;
+            self.file.seek(SeekFrom::End(0))?;
+            self.tail_dirty = false;
+        }
         Ok(())
     }
 
-    /// Flush buffers and fsync to disk.
+    /// Append one record (unbuffered single write; call
+    /// [`WalWriter::sync`] for durability). On a transient failure the
+    /// record is **not** committed and the call is safe to retry: the
+    /// next append truncates whatever the failed write left behind.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        self.repair_tail()?;
+        let payload = record.to_value().to_json();
+        let frame = frame_bytes(payload.as_bytes());
+        if let Some(plan) = self.faults.clone() {
+            match plan.decide(FaultOp::WalAppend) {
+                Some(Fault::Fail) => return Err(FaultPlan::error(FaultOp::WalAppend)),
+                Some(Fault::ShortWrite(frac)) => {
+                    // Land a genuine torn tail on disk, then fail.
+                    let keep = ((frame.len() as f64 * frac) as usize)
+                        .clamp(1, frame.len() - 1);
+                    self.tail_dirty = true;
+                    let _ = self.file.write_all(&frame[..keep]);
+                    return Err(FaultPlan::error(FaultOp::WalAppend));
+                }
+                Some(Fault::Delay(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        }
+        if let Err(e) = self.file.write_all(&frame) {
+            self.tail_dirty = true;
+            return Err(e.into());
+        }
+        self.committed += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Fsync to disk.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.out.flush()?;
-        self.out.get_ref().sync_data()?;
+        if let Some(plan) = &self.faults {
+            match plan.decide(FaultOp::WalSync) {
+                Some(Fault::Fail | Fault::ShortWrite(_)) => {
+                    return Err(FaultPlan::error(FaultOp::WalSync))
+                }
+                Some(Fault::Delay(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        }
+        self.file.sync_data()?;
         Ok(())
     }
 
     /// Truncate the log (after a successful snapshot).
     pub fn reset(&mut self) -> Result<(), StoreError> {
-        self.out.flush()?;
-        let file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
-        self.out = BufWriter::new(file);
+        if let Some(plan) = &self.faults {
+            match plan.decide(FaultOp::WalReset) {
+                Some(Fault::Fail | Fault::ShortWrite(_)) => {
+                    return Err(FaultPlan::error(FaultOp::WalReset))
+                }
+                Some(Fault::Delay(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        }
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.committed = 0;
+        self.tail_dirty = false;
         Ok(())
     }
 }
 
-/// Length-prefix `payload` into one wire frame.
+/// Length-prefix and checksum `payload` into one wire frame.
 fn frame_bytes(payload: &[u8]) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(4 + payload.len());
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
     frame.extend_from_slice(payload);
     frame
 }
 
-/// Split the next `u32`-length-prefixed frame off `buf`, or `None` when
-/// fewer bytes remain than the header promises (a truncated tail).
+/// Split the next frame off `buf`, verifying its checksum. `None` when
+/// fewer bytes remain than the header promises or the CRC disagrees —
+/// either way the tail is untrusted and replay must stop.
 fn next_frame<'a>(buf: &mut &'a [u8]) -> Option<&'a [u8]> {
     let header: [u8; 4] = buf.get(..4)?.try_into().ok()?;
     let len = u32::from_le_bytes(header) as usize;
-    let payload = buf.get(4..4 + len)?;
-    *buf = &buf[4 + len..];
+    let sum: [u8; 4] = buf.get(4..8)?.try_into().ok()?;
+    let payload = buf.get(FRAME_HEADER..FRAME_HEADER + len)?;
+    if crc32(payload) != u32::from_le_bytes(sum) {
+        return None;
+    }
+    *buf = &buf[FRAME_HEADER + len..];
     Some(payload)
 }
 
-/// Read every complete record from a WAL file. A truncated final frame is
-/// tolerated (reported via the returned flag); corrupt JSON inside a
-/// complete frame is an error.
+/// Length of the longest prefix of `raw` made of complete, checksummed
+/// frames.
+pub(crate) fn valid_prefix_len(raw: &[u8]) -> usize {
+    let mut buf = raw;
+    while next_frame(&mut buf).is_some() {}
+    raw.len() - buf.len()
+}
+
+/// Cumulative end offsets of every complete, checksummed frame in `raw`
+/// (the last entry equals [`valid_prefix_len`]).
+pub(crate) fn frame_ends(raw: &[u8]) -> Vec<usize> {
+    let mut buf = raw;
+    let mut ends = Vec::new();
+    while next_frame(&mut buf).is_some() {
+        ends.push(raw.len() - buf.len());
+    }
+    ends
+}
+
+/// Read every trustworthy record from a WAL file. A torn or corrupt tail
+/// (truncated frame, checksum mismatch — the shapes a crash mid-write
+/// leaves behind) stops replay and is reported via the returned flag;
+/// corrupt JSON inside a frame whose checksum verifies indicates a
+/// writer bug and is a hard error.
 pub fn read_wal(path: &Path) -> Result<(Vec<WalRecord>, bool), StoreError> {
     let mut raw = Vec::new();
     match File::open(path) {
@@ -166,22 +312,50 @@ pub fn read_wal(path: &Path) -> Result<(Vec<WalRecord>, bool), StoreError> {
     Ok((records, !buf.is_empty()))
 }
 
-/// Write a snapshot of documents to `path` atomically (tmp file + rename).
+/// Write a snapshot of documents to `path` atomically (tmp file +
+/// rename). A fault injected anywhere before the rename leaves the old
+/// snapshot untouched, so a failed snapshot is always safe to retry.
 pub fn write_snapshot<'a>(
     path: &Path,
     docs: impl Iterator<Item = &'a Value>,
 ) -> Result<usize, StoreError> {
+    write_snapshot_with(path, docs, None)
+}
+
+/// [`write_snapshot`] with an optional fault plan covering the write.
+pub fn write_snapshot_with<'a>(
+    path: &Path,
+    docs: impl Iterator<Item = &'a Value>,
+    faults: Option<&FaultPlan>,
+) -> Result<usize, StoreError> {
+    let mut truncate_after: Option<f64> = None;
+    if let Some(plan) = faults {
+        match plan.decide(FaultOp::SnapshotWrite) {
+            Some(Fault::Fail) => return Err(FaultPlan::error(FaultOp::SnapshotWrite)),
+            Some(Fault::ShortWrite(frac)) => truncate_after = Some(frac),
+            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            None => {}
+        }
+    }
     let tmp = path.with_extension("tmp");
-    let mut out = BufWriter::new(File::create(&tmp)?);
+    let mut out = Vec::new();
     let mut n = 0;
     for doc in docs {
         let payload = doc.to_json();
-        out.write_all(&frame_bytes(payload.as_bytes()))?;
+        out.extend_from_slice(&frame_bytes(payload.as_bytes()));
         n += 1;
     }
-    out.flush()?;
-    out.get_ref().sync_data()?;
-    drop(out);
+    if let Some(frac) = truncate_after {
+        // Crash mid-snapshot-write: only a prefix of the tmp file lands,
+        // and the rename never happens.
+        let keep = ((out.len() as f64 * frac) as usize).min(out.len());
+        std::fs::write(&tmp, &out[..keep])?;
+        return Err(FaultPlan::error(FaultOp::SnapshotWrite));
+    }
+    let mut f = File::create(&tmp)?;
+    f.write_all(&out)?;
+    f.sync_data()?;
+    drop(f);
     std::fs::rename(&tmp, path)?;
     Ok(n)
 }
@@ -204,7 +378,7 @@ pub fn read_snapshot(path: &Path) -> Result<Vec<Value>, StoreError> {
         docs.push(parse(text).map_err(|e| StoreError::Corrupt(format!("snapshot: {e}")))?);
     }
     if !buf.is_empty() {
-        return Err(StoreError::Corrupt("snapshot truncated".into()));
+        return Err(StoreError::Corrupt("snapshot truncated or corrupt".into()));
     }
     Ok(docs)
 }
@@ -212,6 +386,7 @@ pub fn read_snapshot(path: &Path) -> Result<Vec<Value>, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
     use covidkg_json::obj;
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -219,6 +394,13 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -260,11 +442,31 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_final_frame_is_dropped_not_fatal() {
+        let dir = tmpdir("flip");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "a" })).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "b" })).unwrap();
+        w.sync().unwrap();
+        // Flip one payload byte of the final frame: the checksum must
+        // catch it and recovery must keep the clean prefix.
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 2;
+        raw[last] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        let (records, truncated) = read_wal(&path).unwrap();
+        assert!(truncated);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
     fn corrupt_frame_is_an_error() {
+        // A frame whose checksum verifies but whose payload is not JSON
+        // means the writer itself misbehaved — hard error, not a torn tail.
         let dir = tmpdir("corrupt");
         let path = dir.join("test.wal");
-        let payload = b"not json";
-        std::fs::write(&path, frame_bytes(payload)).unwrap();
+        std::fs::write(&path, frame_bytes(b"not json")).unwrap();
         assert!(matches!(read_wal(&path), Err(StoreError::Corrupt(_))));
     }
 
@@ -292,6 +494,57 @@ mod tests {
     }
 
     #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "a" })).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Simulate a crash that left half a frame on disk.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&[9, 0, 0, 0, 1, 2]);
+        std::fs::write(&path, &raw).unwrap();
+        // Appending through a fresh writer must not bury the new record
+        // behind the garbage.
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "b" })).unwrap();
+        w.sync().unwrap();
+        let (records, truncated) = read_wal(&path).unwrap();
+        assert!(!truncated);
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn short_write_fault_repairs_on_retry() {
+        let dir = tmpdir("short");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "a" })).unwrap();
+        // One guaranteed short write, then clean.
+        let plan = FaultPlan::new(FaultConfig {
+            fail: 0.0,
+            short_write: 1.0,
+            delay: 0.0,
+            max_faults: 1,
+            ..FaultConfig::default()
+        });
+        w.set_fault_plan(Some(plan));
+        let rec = WalRecord::Insert(obj! { "_id" => "b" });
+        assert!(matches!(w.append(&rec), Err(StoreError::Transient(_))));
+        // The torn bytes are on disk right now…
+        let (records, truncated) = read_wal(&path).unwrap();
+        assert!(truncated, "short write left a torn tail");
+        assert_eq!(records.len(), 1);
+        // …and the retry repairs them before re-appending.
+        w.append(&rec).unwrap();
+        w.sync().unwrap();
+        let (records, truncated) = read_wal(&path).unwrap();
+        assert!(!truncated);
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
     fn snapshot_round_trip() {
         let dir = tmpdir("snap");
         let path = dir.join("c.snapshot");
@@ -299,6 +552,27 @@ mod tests {
         let n = write_snapshot(&path, docs.iter()).unwrap();
         assert_eq!(n, 2);
         assert_eq!(read_snapshot(&path).unwrap(), docs);
+    }
+
+    #[test]
+    fn snapshot_fault_leaves_previous_snapshot_intact() {
+        let dir = tmpdir("snapfault");
+        let path = dir.join("c.snapshot");
+        let old = vec![obj! { "_id" => "a" }];
+        write_snapshot(&path, old.iter()).unwrap();
+        let plan = FaultPlan::new(FaultConfig {
+            fail: 0.0,
+            short_write: 1.0,
+            delay: 0.0,
+            ..FaultConfig::default()
+        });
+        let new = vec![obj! { "_id" => "a" }, obj! { "_id" => "b" }];
+        let err = write_snapshot_with(&path, new.iter(), Some(&plan)).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(read_snapshot(&path).unwrap(), old, "old snapshot untouched");
+        plan.disarm();
+        write_snapshot_with(&path, new.iter(), Some(&plan)).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), new);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Torn-write recovery properties for the WAL.
+//!
+//! Two attack shapes: exhaustive single-byte corruption over every
+//! offset of the final frame (checksums must fence off the damage), and
+//! a randomized torn-tail property — arbitrary workloads cut at
+//! arbitrary byte offsets — with minimal-counterexample shrinking, so a
+//! regression reports the smallest workload/cut that breaks
+//! prefix-consistent recovery.
+
+use covidkg_json::obj;
+use covidkg_rand::prop;
+use covidkg_store::wal::{read_wal, WalRecord, WalWriter};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("covidkg-recov-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write `sizes.len()` records whose payloads carry `sizes[i]` bytes of
+/// padding, returning the WAL bytes and the records.
+fn build_wal(dir: &Path, sizes: &[usize]) -> (Vec<u8>, Vec<WalRecord>) {
+    let path = dir.join("prop.wal");
+    let _ = std::fs::remove_file(&path);
+    let mut w = WalWriter::open(&path).unwrap();
+    let records: Vec<WalRecord> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &pad)| {
+            WalRecord::Insert(obj! {
+                "_id" => format!("r{i}"),
+                "pad" => "x".repeat(pad)
+            })
+        })
+        .collect();
+    for r in &records {
+        w.append(r).unwrap();
+    }
+    w.sync().unwrap();
+    (std::fs::read(&path).unwrap(), records)
+}
+
+#[test]
+fn every_single_byte_corruption_of_the_final_frame_is_fenced() {
+    let dir = tmpdir("flip-exhaustive");
+    let (pristine, records) = build_wal(&dir, &[4, 9, 17]);
+    let path = dir.join("prop.wal");
+    // The last frame starts where the first two end; find it by
+    // re-framing the first two records through a scratch writer.
+    let (two_bytes, _) = build_wal(&tmpdir("flip-prefix"), &[4, 9]);
+    let last_start = two_bytes.len();
+    assert!(last_start < pristine.len());
+
+    for offset in last_start..pristine.len() {
+        let mut damaged = pristine.clone();
+        damaged[offset] ^= 0xA5;
+        std::fs::write(&path, &damaged).unwrap();
+        let (recovered, truncated) =
+            read_wal(&path).unwrap_or_else(|e| panic!("offset {offset}: hard error {e}"));
+        assert!(truncated, "offset {offset}: corruption went unnoticed");
+        assert_eq!(
+            recovered,
+            records[..2],
+            "offset {offset}: clean prefix not preserved"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tails_always_recover_a_record_prefix() {
+    let dir = tmpdir("torn-prop");
+    prop::run_shrink(
+        48,
+        |rng| {
+            use covidkg_rand::Rng;
+            let sizes = prop::vec_of(rng, 0, 8, |r| r.gen_range(0usize..48));
+            let cut_back = rng.gen_range(0usize..64);
+            (sizes, cut_back)
+        },
+        |(sizes, cut_back)| {
+            // Shrink the workload and the cut independently.
+            let mut candidates: Vec<(Vec<usize>, usize)> = prop::shrink_vec(sizes, |&s| {
+                prop::shrink_usize(s)
+            })
+            .into_iter()
+            .map(|s| (s, *cut_back))
+            .collect();
+            candidates.extend(
+                prop::shrink_usize(*cut_back)
+                    .into_iter()
+                    .map(|c| (sizes.clone(), c)),
+            );
+            candidates
+        },
+        |(sizes, cut_back)| {
+            let (pristine, records) = build_wal(&dir, sizes);
+            let keep = pristine.len().saturating_sub(*cut_back);
+            let path = dir.join("prop.wal");
+            std::fs::write(&path, &pristine[..keep]).unwrap();
+            let (recovered, _truncated) =
+                read_wal(&path).map_err(|e| format!("hard error on torn tail: {e}"))?;
+            if recovered.len() > records.len() || recovered[..] != records[..recovered.len()] {
+                return Err(format!(
+                    "recovered {} records that are not a prefix of the {} written",
+                    recovered.len(),
+                    records.len()
+                ));
+            }
+            // A fresh writer over the torn log must repair it: one more
+            // append, then a clean (untruncated) read.
+            let mut w = WalWriter::open(&path).map_err(|e| format!("reopen failed: {e}"))?;
+            w.append(&WalRecord::Delete { id: "tail".into() })
+                .map_err(|e| format!("post-crash append failed: {e}"))?;
+            let (after, truncated) =
+                read_wal(&path).map_err(|e| format!("post-repair read failed: {e}"))?;
+            if truncated {
+                return Err("tail still torn after reopen+append".into());
+            }
+            if after.len() != recovered.len() + 1 {
+                return Err(format!(
+                    "expected {} records after repair, found {}",
+                    recovered.len() + 1,
+                    after.len()
+                ));
+            }
+            Ok(())
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

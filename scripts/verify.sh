@@ -16,6 +16,10 @@ cargo test --offline -q
 echo "==> cargo test --workspace --offline -q"
 cargo test --workspace --offline -q
 
+echo "==> chaos gauntlet (deterministic seed, scaled-down storm)"
+./target/release/covidkg chaos --seed 42 --corpus 12 --faults 40 \
+    --clients 3 --requests 8 --workers 2
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets --offline"
     cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -17,6 +17,9 @@
 //! assert!(page.total > 0);
 //! ```
 
+pub mod chaos;
+
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use covidkg_core::{
     CovidKg, CovidKgConfig, CvReport, IngestReport, ModelRegistry,
 };

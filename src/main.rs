@@ -33,6 +33,7 @@ COMMANDS:
     bias                     print the corpus bias-interrogation report
     stats                    print the storage report + data generation
     serve-bench              benchmark the concurrent serving frontend
+    chaos                    deterministic fault-injection survival run
 
 OPTIONS:
     --data-dir <path>        durable system location (reopened if built)
@@ -42,9 +43,10 @@ OPTIONS:
     --page <n>               result page, 0-based (default 0)
     --expanded               expand collapsed result sections
     --depth <n>              kg tree depth (default 2)
-    --clients <n>            serve-bench concurrent clients [default 8]
-    --requests <n>           serve-bench queries per client [default 50]
-    --workers <n>            serve-bench worker threads [default 4]
+    --clients <n>            serve-bench/chaos concurrent clients [default 8]
+    --requests <n>           serve-bench/chaos queries per client [default 50]
+    --workers <n>            serve-bench/chaos worker threads [default 4]
+    --faults <n>             chaos injected-fault target [default 100]
 ";
 
 struct Args {
@@ -60,6 +62,7 @@ struct Args {
     clients: usize,
     requests: usize,
     workers: usize,
+    faults: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -78,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         clients: 8,
         requests: 50,
         workers: 4,
+        faults: 100,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -121,6 +125,11 @@ fn parse_args() -> Result<Args, String> {
                 out.workers = value("--workers")?
                     .parse()
                     .map_err(|_| "--workers takes a number".to_string())?
+            }
+            "--faults" => {
+                out.faults = value("--faults")?
+                    .parse()
+                    .map_err(|_| "--faults takes a number".to_string())?
             }
             "--expanded" => out.expanded = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -237,6 +246,24 @@ fn run() -> Result<(), String> {
                 },
             );
             serve_bench(&server, &args)?;
+        }
+        "chaos" => {
+            let report = covidkg::chaos::run(&covidkg::ChaosConfig {
+                seed: args.seed,
+                corpus: args.corpus.clamp(8, 60),
+                fault_target: args.faults,
+                workers: args.workers.max(1),
+                clients: args.clients.max(1),
+                requests: args.requests.max(1),
+                ..covidkg::ChaosConfig::default()
+            })?;
+            println!("{report}");
+            if !report.passed() {
+                return Err(format!(
+                    "chaos run violated {} invariants",
+                    report.failures.len()
+                ));
+            }
         }
         other => return Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }

@@ -58,6 +58,18 @@ fn build_then_query_a_durable_system() {
 }
 
 #[test]
+fn chaos_command_prints_a_survival_report() {
+    let (stdout, stderr, ok) = covidkg(&[
+        "chaos", "--corpus", "12", "--faults", "25", "--clients", "3", "--requests", "6",
+        "--workers", "2", "--seed", "7",
+    ]);
+    assert!(ok, "chaos run failed: {stderr}\n{stdout}");
+    assert!(stdout.contains("crash gauntlet:"), "{stdout}");
+    assert!(stdout.contains("faults injected"), "{stdout}");
+    assert!(stdout.contains("SURVIVED"), "{stdout}");
+}
+
+#[test]
 fn bad_usage_fails_with_help() {
     let (_, stderr, ok) = covidkg(&[]);
     assert!(!ok);
