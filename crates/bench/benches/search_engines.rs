@@ -1,13 +1,16 @@
 //! E4 timing: query latency of the three §2.1 engines, plus the inverted
-//! index vs full-scan `$text` ablation.
+//! index vs full-scan `$text` ablation, plus the naive-scan vs
+//! index-pruned top-k comparison emitted to `BENCH_search.json`.
 
 use covidkg_bench::timer::{Criterion};
 use covidkg_bench::{criterion_group, criterion_main};
 use covidkg_bench::setup::{collection_with, corpus};
 use covidkg_corpus::Publication;
-use covidkg_search::{SearchEngine, SearchMode};
+use covidkg_json::{obj, Value};
+use covidkg_search::{SearchEngine, SearchMode, SearchPage};
 use covidkg_store::{Collection, CollectionConfig, Filter};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn bench_search_engines(c: &mut Criterion) {
     let pubs = corpus(200);
@@ -52,5 +55,100 @@ fn bench_search_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search_engines);
+/// Time `run` repeatedly: warm up, then sample until 120 samples or a
+/// 900 ms budget (minimum 12), returning sorted per-call durations.
+fn sample(mut run: impl FnMut() -> SearchPage) -> Vec<Duration> {
+    for _ in 0..3 {
+        std::hint::black_box(run());
+    }
+    let budget = Duration::from_millis(900);
+    let started = Instant::now();
+    let mut samples = Vec::new();
+    while samples.len() < 120 && (samples.len() < 12 || started.elapsed() < budget) {
+        let t = Instant::now();
+        std::hint::black_box(run());
+        samples.push(t.elapsed());
+    }
+    samples.sort_unstable();
+    samples
+}
+
+fn quantile_us(sorted: &[Duration], pct: usize) -> f64 {
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+/// Naive full-scan full-sort vs index-pruned shard-parallel top-k across
+/// the three engines at three corpus sizes; medians, tails and speedups
+/// land in `BENCH_search.json` at the workspace root.
+fn bench_naive_vs_pruned(_c: &mut Criterion) {
+    let sizes = [100usize, 400, 1200];
+    let modes: [(&str, SearchMode); 3] = [
+        ("all_fields", SearchMode::AllFields("vaccine side effects".into())),
+        ("tables", SearchMode::Tables("ventilators".into())),
+        (
+            "title_abstract_caption",
+            SearchMode::TitleAbstractCaption {
+                title: "vaccine".into(),
+                abstract_q: String::new(),
+                caption: "side-effects".into(),
+            },
+        ),
+    ];
+
+    println!("\nnaive full-scan vs index-pruned top-k (page 0)");
+    let mut results = Vec::new();
+    let mut speedups = Vec::new();
+    for &size in &sizes {
+        let pubs = corpus(size);
+        let coll = collection_with(&pubs, 4);
+        let engine = SearchEngine::new(Arc::clone(&coll));
+        for (label, mode) in &modes {
+            // Pruned and naive paths must agree before we time them.
+            let fast = engine.search(mode, 0);
+            let slow = engine.search_naive(mode, 0);
+            assert_eq!(fast.total, slow.total, "{label}@{size}: totals diverge");
+            let naive = sample(|| engine.search_naive(mode, 0));
+            let pruned = sample(|| engine.search(mode, 0));
+            let naive_p50 = quantile_us(&naive, 50);
+            let pruned_p50 = quantile_us(&pruned, 50);
+            let speedup = naive_p50 / pruned_p50;
+            println!(
+                "  {label:<24} corpus {size:>5}: naive p50 {naive_p50:>9.1} µs, \
+                 pruned p50 {pruned_p50:>8.1} µs → {speedup:.1}x",
+            );
+            for (variant, samples, p50) in
+                [("naive", &naive, naive_p50), ("pruned", &pruned, pruned_p50)]
+            {
+                results.push(obj! {
+                    "engine" => *label,
+                    "corpus" => size as i64,
+                    "variant" => variant,
+                    "ops_per_sec" => 1e6 / p50,
+                    "p50_us" => p50,
+                    "p99_us" => quantile_us(samples, 99),
+                    "samples" => samples.len() as i64,
+                });
+            }
+            speedups.push(obj! {
+                "engine" => *label,
+                "corpus" => size as i64,
+                "p50_speedup" => speedup,
+            });
+        }
+    }
+
+    let report = obj! {
+        "bench" => "search_engines:naive_vs_pruned",
+        "note" => "per-query latency of search_naive (full scan, tokenizing scorer, full sort) vs search (postings candidates, shard-parallel top-k), page 0, shards=4",
+        "corpus_sizes" => Value::Array(sizes.iter().map(|s| Value::int(*s as i64)).collect()),
+        "results" => Value::Array(results),
+        "speedups" => Value::Array(speedups),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+    std::fs::write(path, report.to_json_pretty() + "\n").expect("write BENCH_search.json");
+    println!("  wrote {path}");
+}
+
+criterion_group!(benches, bench_search_engines, bench_naive_vs_pruned);
 criterion_main!(benches);

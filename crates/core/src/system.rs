@@ -20,11 +20,16 @@ use covidkg_kg::{
 use covidkg_ml::model::{TupleClassifier, TupleClassifierConfig};
 use covidkg_ml::svm::{Svm, SvmConfig};
 use covidkg_ml::{kmeans, Word2Vec, Word2VecConfig};
-use covidkg_search::{SearchEngine, SearchMode, SearchPage};
+use covidkg_search::{RenderCache, SearchEngine, SearchMode, SearchPage};
 use covidkg_store::{Collection, CollectionConfig, Database, StoreError};
 use covidkg_tables::{detect_orientation, parse_tables, row_features, Orientation, Preprocessor};
 use covidkg_text::tokenize_lower;
 use std::sync::Arc;
+
+/// Capacity of the search render cache (memoized snippets/highlights);
+/// entries are small (a title plus a handful of snippet strings), so a few
+/// thousand covers many concurrent query working sets.
+const RENDER_CACHE_CAP: usize = 4096;
 
 /// Which classifier drives metadata detection during ingest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -279,7 +284,8 @@ impl CovidKg {
         };
         registry.publish("metadata-classifier", config.classifier.name(), classifier_payload)?;
 
-        let search = SearchEngine::new(Arc::clone(&publications));
+        let search = SearchEngine::new(Arc::clone(&publications))
+            .with_render_cache(Arc::new(RenderCache::new(RENDER_CACHE_CAP)));
         let system = CovidKg {
             config,
             db,
@@ -417,7 +423,8 @@ impl CovidKg {
             observations: observations.len(),
             ..IngestReport::default()
         };
-        let search = SearchEngine::new(Arc::clone(&publications));
+        let search = SearchEngine::new(Arc::clone(&publications))
+            .with_render_cache(Arc::new(RenderCache::new(RENDER_CACHE_CAP)));
         Ok(CovidKg {
             config,
             db,

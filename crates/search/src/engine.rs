@@ -11,10 +11,11 @@
 
 use crate::query::{parse_query, ParsedQuery};
 use crate::rank::{RankWeights, Ranker};
-use crate::result::{build_result, SearchPage};
+use crate::render_cache::{RenderCache, RenderCacheStats};
+use crate::result::{build_result, SearchPage, SearchResult};
 use covidkg_json::Value;
 use covidkg_regex::escape;
-use covidkg_store::pipeline::{DocFn, Pipeline};
+use covidkg_store::pipeline::{project, DocFn, Pipeline};
 use covidkg_store::{Collection, Filter};
 use std::sync::Arc;
 
@@ -41,10 +42,22 @@ pub enum SearchMode {
 /// Results per page — "paginated as a list of ten per page".
 pub const PAGE_SIZE: usize = 10;
 
+/// How to execute a compiled search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecStrategy {
+    /// Index-pruned, shard-parallel, postings-scored top-k when the index
+    /// covers every ranked field; otherwise the pushdown pipeline.
+    Auto,
+    /// Full scan of every shard, tokenizing scorer, full sort — the
+    /// correctness oracle and the unindexed-collection fallback semantics.
+    FullScan,
+}
+
 /// A search engine bound to a publications collection.
 pub struct SearchEngine {
     collection: Arc<Collection>,
     weights: RankWeights,
+    render_cache: Option<Arc<RenderCache>>,
 }
 
 impl SearchEngine {
@@ -53,6 +66,7 @@ impl SearchEngine {
         SearchEngine {
             collection,
             weights: RankWeights::publication_default(),
+            render_cache: None,
         }
     }
 
@@ -62,8 +76,38 @@ impl SearchEngine {
         self
     }
 
+    /// Attach a render-level cache memoizing built snippets/highlights
+    /// across searches (invalidated by the collection's mutation epoch).
+    pub fn with_render_cache(mut self, cache: Arc<RenderCache>) -> SearchEngine {
+        self.render_cache = Some(cache);
+        self
+    }
+
+    /// Render-cache counters, if a cache is attached.
+    pub fn render_cache_stats(&self) -> Option<RenderCacheStats> {
+        self.render_cache.as_ref().map(|c| c.stats())
+    }
+
     /// Run a search, returning the requested 0-based page.
+    ///
+    /// When the inverted index covers every ranked field, execution is
+    /// index-pruned (candidates from the `$match` filter), scored from
+    /// posting lists across one worker per shard, and bounded to the top
+    /// `(page+1)·PAGE_SIZE` — returning exactly the same page (ids, order,
+    /// scores) as [`SearchEngine::search_naive`].
     pub fn search(&self, mode: &SearchMode, page: usize) -> SearchPage {
+        self.run_search(mode, page, ExecStrategy::Auto)
+    }
+
+    /// The naive reference path: score every document with the tokenizing
+    /// ranker over a full shard scan and fully sort all matches. This is
+    /// the oracle the equivalence property test holds [`SearchEngine::search`]
+    /// against, and the semantics every optimized path must preserve.
+    pub fn search_naive(&self, mode: &SearchMode, page: usize) -> SearchPage {
+        self.run_search(mode, page, ExecStrategy::FullScan)
+    }
+
+    fn run_search(&self, mode: &SearchMode, page: usize, strategy: ExecStrategy) -> SearchPage {
         let (query_text, parsed, filter, field_paths) = self.compile(mode);
         if parsed.is_empty() {
             return SearchPage {
@@ -95,28 +139,67 @@ impl SearchEngine {
             self.collection.text_index(),
             self.collection.len(),
         ));
+        let mut projection: Vec<String> = field_paths.clone();
+        for keep in ["title", "date"] {
+            if !projection.iter().any(|p| p == keep) {
+                projection.push(keep.to_string());
+            }
+        }
+        // Snippets depend on the projected fields and the query's stem/
+        // phrase sets (not on scores), so that pair is the render key.
+        let render_key = render_key(&projection, &ranker);
+        let epoch = self.collection.mutation_epoch();
+
+        // Fast path: index-pruned candidates, postings-based scoring, one
+        // worker per shard, bounded to the page's top-k.
+        if strategy == ExecStrategy::Auto {
+            if let Some(index) = self.collection.text_index() {
+                if ranker.postings_cover(index) {
+                    let k = (page + 1) * PAGE_SIZE;
+                    let (total, top) = self.collection.scored_top_k(&filter, k, |id, doc| {
+                        ranker.score_postings(id, doc, index)
+                    });
+                    let results = top
+                        .iter()
+                        .skip(page * PAGE_SIZE)
+                        .map(|(score, doc)| {
+                            // Project like the pipeline does so snippets
+                            // come from the same field subset.
+                            let projected = project(doc, &projection);
+                            self.build_cached(&projected, *score, &ranker, &render_key, epoch)
+                        })
+                        .collect();
+                    return SearchPage {
+                        query: query_text,
+                        page,
+                        page_size: PAGE_SIZE,
+                        total,
+                        results,
+                    };
+                }
+            }
+        }
 
         // $match → $project → $function(rank) → $sort → paginate.
         let rank_fn: DocFn = {
             let ranker = Arc::clone(&ranker);
             Arc::new(move |doc: &Value| Value::float(ranker.score(doc)))
         };
-        let mut project: Vec<String> = field_paths.clone();
-        for keep in ["title", "date"] {
-            if !project.iter().any(|p| p == keep) {
-                project.push(keep.to_string());
-            }
-        }
         let pipeline = Pipeline::new()
             .match_filter(filter)
-            .project(project)
+            .project(projection)
             .function("covidkg_rank", "score", rank_fn)
             .sort_desc("score")
             .stage(covidkg_store::pipeline::Stage::Sort(vec![
                 ("score".into(), covidkg_store::pipeline::Order::Desc),
                 ("_id".into(), covidkg_store::pipeline::Order::Asc),
             ]));
-        let ranked = self.collection.aggregate(&pipeline);
+        let ranked = match strategy {
+            // Pushdown: a leading `$match` seeds from the index.
+            ExecStrategy::Auto => self.collection.aggregate(&pipeline),
+            // Oracle: materialize everything, no index assistance.
+            ExecStrategy::FullScan => pipeline.run(self.collection.scan_all()),
+        };
         let total = ranked.len();
         let results = ranked
             .iter()
@@ -124,7 +207,7 @@ impl SearchEngine {
             .take(PAGE_SIZE)
             .map(|doc| {
                 let score = doc.path("score").and_then(Value::as_f64).unwrap_or(0.0);
-                build_result(doc, score, &ranker)
+                self.build_cached(doc, score, &ranker, &render_key, epoch)
             })
             .collect();
         SearchPage {
@@ -134,6 +217,34 @@ impl SearchEngine {
             total,
             results,
         }
+    }
+
+    /// Build one result, memoizing the score-free render parts when a
+    /// render cache is attached.
+    fn build_cached(
+        &self,
+        doc: &Value,
+        score: f64,
+        ranker: &Ranker,
+        render_key: &str,
+        epoch: u64,
+    ) -> SearchResult {
+        let Some(cache) = &self.render_cache else {
+            return build_result(doc, score, ranker);
+        };
+        let id = doc.get("_id").and_then(Value::as_str).unwrap_or("<missing id>");
+        if let Some(cached) = cache.get(epoch, id, render_key) {
+            return SearchResult {
+                id: id.to_string(),
+                title: cached.title,
+                score,
+                snippets: cached.snippets,
+                collapsed: cached.collapsed,
+            };
+        }
+        let built = build_result(doc, score, ranker);
+        cache.put(epoch, id, render_key, &built);
+        built
     }
 
     /// Compile a mode into (display text, parsed query, `$match` filter,
@@ -200,6 +311,27 @@ impl SearchEngine {
             }
         }
     }
+}
+
+/// Canonical key for the render-level cache: the projected field set plus
+/// the query's sorted stem/synonym/phrase sets. Snippets and highlights
+/// (`match_spans`) depend on nothing else, so equivalent queries across
+/// pages and engines with the same field scope share renders.
+fn render_key(projection: &[String], ranker: &Ranker) -> String {
+    let q = ranker.query();
+    let mut stems = q.stems.clone();
+    stems.sort();
+    let mut syn = q.synonym_stems.clone();
+    syn.sort();
+    let mut phrases: Vec<String> = q.exact_phrases.iter().map(|s| s.to_lowercase()).collect();
+    phrases.sort();
+    format!(
+        "f={}|s={};y={};p={}",
+        projection.join(","),
+        stems.join(","),
+        syn.join(","),
+        phrases.join("\u{1}")
+    )
 }
 
 /// Canonical cache key for an (engine, query, page) triple, used by the
@@ -495,5 +627,73 @@ mod tests {
         let ids_a: Vec<&str> = a.results.iter().map(|r| r.id.as_str()).collect();
         let ids_b: Vec<&str> = b.results.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids_a, ids_b);
+    }
+
+    /// Pages must agree between the pruned/postings/top-k path and the
+    /// full-scan oracle down to rendered snippets and score bits.
+    fn assert_pages_identical(fast: &SearchPage, naive: &SearchPage, ctx: &str) {
+        assert_eq!(fast.total, naive.total, "{ctx}: total");
+        assert_eq!(fast.results.len(), naive.results.len(), "{ctx}: page len");
+        for (f, n) in fast.results.iter().zip(&naive.results) {
+            assert_eq!(f.id, n.id, "{ctx}: id order");
+            assert_eq!(f.score.to_bits(), n.score.to_bits(), "{ctx}: score bits for {}", f.id);
+            assert_eq!(f.title, n.title, "{ctx}");
+            assert_eq!(f.snippets.len(), n.snippets.len(), "{ctx}: snippets for {}", f.id);
+            for (a, b) in f.snippets.iter().zip(&n.snippets) {
+                assert_eq!(a.field, b.field, "{ctx}");
+                assert_eq!(a.snippet.render_marked(), b.snippet.render_marked(), "{ctx}");
+            }
+            assert_eq!(f.collapsed.len(), n.collapsed.len(), "{ctx}: collapsed for {}", f.id);
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_naive_oracle_across_engines() {
+        let engine = SearchEngine::new(collection());
+        let modes = [
+            SearchMode::AllFields("masks vaccine".into()),
+            SearchMode::AllFields("\"mask mandates\" transmission".into()),
+            SearchMode::Tables("ventilators efficacy".into()),
+            SearchMode::TitleAbstractCaption {
+                title: "masks".into(),
+                abstract_q: "policies".into(),
+                caption: "compliance".into(),
+            },
+        ];
+        for mode in &modes {
+            for page in 0..2 {
+                let fast = engine.search(mode, page);
+                let naive = engine.search_naive(mode, page);
+                assert_pages_identical(&fast, &naive, &format!("{mode:?} page {page}"));
+            }
+        }
+    }
+
+    #[test]
+    fn render_cache_reuses_snippets_until_mutation() {
+        let coll = collection();
+        let cache = Arc::new(crate::render_cache::RenderCache::new(64));
+        let engine = SearchEngine::new(Arc::clone(&coll)).with_render_cache(Arc::clone(&cache));
+        let mode = SearchMode::AllFields("masks".into());
+        let first = engine.search(&mode, 0);
+        let cold = engine.render_cache_stats().unwrap();
+        assert!(cold.misses > 0 && cold.hits == 0);
+        let second = engine.search(&mode, 0);
+        let warm = engine.render_cache_stats().unwrap();
+        assert_eq!(warm.misses, cold.misses, "second render fully cached");
+        assert!(warm.hits >= first.results.len() as u64);
+        assert_eq!(first.render(), second.render());
+        // A mutation bumps the epoch; renders must reflect the new text.
+        coll.replace(
+            "p1",
+            obj! {
+                "title" => "Mask mandates revisited",
+                "abstract" => "Updated mask analysis.",
+                "date" => "2023-01",
+            },
+        )
+        .unwrap();
+        let third = engine.search(&mode, 0);
+        assert!(third.render().contains("revisited"), "{}", third.render());
     }
 }

@@ -20,14 +20,18 @@
 //!   tables) compiled into `$match` → `$project` → `$function` → `$sort`
 //!   pipelines with 10-per-page pagination;
 //! * [`result`] — result pages with snippets and highlight spans
-//!   (Figs 2 & 4).
+//!   (Figs 2 & 4);
+//! * [`render_cache`] — a bounded, epoch-invalidated memo of built
+//!   snippets/highlights so cache-warm renders skip snippet work.
 
 pub mod engine;
 pub mod query;
 pub mod rank;
+pub mod render_cache;
 pub mod result;
 
 pub use engine::{cache_key, SearchEngine, SearchMode};
 pub use query::{parse_query, ParsedQuery};
 pub use rank::{RankWeights, Ranker};
+pub use render_cache::{CachedRender, RenderCache, RenderCacheStats};
 pub use result::{SearchPage, SearchResult};

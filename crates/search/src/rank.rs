@@ -10,8 +10,9 @@
 
 use crate::query::ParsedQuery;
 use covidkg_json::Value;
-use covidkg_store::index::TextIndex;
+use covidkg_store::index::{Posting, TextIndex};
 use covidkg_text::{stem, tokenize, Token};
+use std::collections::BTreeMap;
 
 /// Field weights and feature coefficients.
 #[derive(Debug, Clone)]
@@ -176,6 +177,155 @@ impl Ranker {
                     score += self.weights.exact_bonus;
                 }
             }
+        }
+        score
+    }
+
+    /// True when the index can stand in for the documents: every ranked
+    /// field is covered, so [`Ranker::score_postings`] reproduces
+    /// [`Ranker::score`] bit-for-bit from posting lists alone.
+    pub fn postings_cover(&self, index: &TextIndex) -> bool {
+        self.weights
+            .fields
+            .iter()
+            .all(|(path, _)| index.field_id(path).is_some())
+    }
+
+    /// Score one document from the inverted index's posting lists instead
+    /// of re-tokenizing its text — the query-time half of the postings
+    /// index. Returns **exactly** the same `f64` as [`Ranker::score`]
+    /// (float addition is non-associative, so every partial sum is
+    /// accumulated in the same order: fields in weight order, string
+    /// leaves in depth-first order, per leaf direct stems in query order,
+    /// then synonyms, proximity, phrases, and finally recency).
+    ///
+    /// Callers must check [`Ranker::postings_cover`] first; an uncovered
+    /// field falls back to the tokenizing scorer for the whole document.
+    pub fn score_postings(&self, id: &str, doc: &Value, index: &TextIndex) -> f64 {
+        if !self.postings_cover(index) {
+            return self.score(doc);
+        }
+        // One postings lookup per query stem, shared across fields.
+        let direct: Vec<Vec<Posting>> = self
+            .query
+            .stems
+            .iter()
+            .map(|s| index.postings(s, id).unwrap_or_default())
+            .collect();
+        let synonym: Vec<Vec<Posting>> = self
+            .query
+            .synonym_stems
+            .iter()
+            .map(|s| index.postings(s, id).unwrap_or_default())
+            .collect();
+        let mut total = 0.0;
+        for (path, field_weight) in &self.weights.fields {
+            let fid = index.field_id(path).expect("covered field");
+            total += field_weight * self.field_score_postings(doc, path, fid, &direct, &synonym);
+        }
+        if let Some(date) = doc.path("date").and_then(Value::as_str) {
+            if let Some(year) = date.get(..4).and_then(|y| y.parse::<i32>().ok()) {
+                total += self.weights.recency * f64::from((year - 2019).clamp(0, 10));
+            }
+        }
+        total
+    }
+
+    /// One field's score from postings: group the document's postings for
+    /// this field by string-leaf ordinal, then fold the leaves in the same
+    /// depth-first order `score_field` walks them.
+    fn field_score_postings(
+        &self,
+        doc: &Value,
+        path: &str,
+        fid: u16,
+        direct: &[Vec<Posting>],
+        synonym: &[Vec<Posting>],
+    ) -> f64 {
+        // leaf ordinal -> (direct matches as (query index, positions),
+        // synonym matches as (query index, tf)); both in query order
+        // because the outer loops ascend.
+        type LeafMatches<'p> = (Vec<(usize, &'p [u32])>, Vec<(usize, u64)>);
+        let mut leaves: BTreeMap<u32, LeafMatches<'_>> = BTreeMap::new();
+        for (qi, postings) in direct.iter().enumerate() {
+            for p in postings.iter().filter(|p| p.field == fid) {
+                leaves.entry(p.leaf).or_default().0.push((qi, &p.positions));
+            }
+        }
+        for (qi, postings) in synonym.iter().enumerate() {
+            for p in postings.iter().filter(|p| p.field == fid) {
+                leaves
+                    .entry(p.leaf)
+                    .or_default()
+                    .1
+                    .push((qi, p.positions.len() as u64));
+            }
+        }
+        if self.query.exact_phrases.is_empty() {
+            // Leaves without matches contribute exactly 0.0, so folding
+            // only the matched leaves (ascending ordinal = DFS order)
+            // yields the same sum as walking every leaf.
+            let mut score = 0.0;
+            for (direct_m, syn_m) in leaves.values() {
+                score += self.leaf_score(direct_m, syn_m);
+            }
+            score
+        } else {
+            // Phrase bonuses need each leaf's raw text (a leaf with no
+            // stem match can still contain the phrase), so walk the
+            // field's strings in the same DFS order the index numbered
+            // them and merge postings by ordinal.
+            let mut texts = Vec::new();
+            collect_strings(doc.path(path), &mut texts);
+            let mut score = 0.0;
+            for (ordinal, text) in texts.iter().enumerate() {
+                // `score_text` returns early on token-less text — phrase
+                // bonuses included — and a text has a token iff it has an
+                // alphanumeric character.
+                if !text.chars().any(char::is_alphanumeric) {
+                    continue;
+                }
+                let mut leaf = 0.0;
+                if let Some((direct_m, syn_m)) = leaves.get(&(ordinal as u32)) {
+                    leaf += self.leaf_score(direct_m, syn_m);
+                }
+                let lower = text.to_lowercase();
+                for phrase in &self.query.exact_phrases {
+                    if lower.contains(&phrase.to_lowercase()) {
+                        leaf += self.weights.exact_bonus;
+                    }
+                }
+                score += leaf;
+            }
+            score
+        }
+    }
+
+    /// Replay `score_text`'s accumulation for one leaf from its matches:
+    /// direct TF·IDF in query order, synonym TF·IDF at the discount, then
+    /// the proximity bonus over direct-match positions.
+    fn leaf_score(&self, direct: &[(usize, &[u32])], synonym: &[(usize, u64)]) -> f64 {
+        let mut score = 0.0;
+        for &(qi, positions) in direct {
+            score += (1.0 + (positions.len() as f64).ln()) * self.idf_at(qi);
+        }
+        for &(qi, tf) in synonym {
+            let idf = self.syn_idf.get(qi).copied().unwrap_or(1.0);
+            score += self.weights.synonym * (1.0 + (tf as f64).ln()) * idf;
+        }
+        if direct.len() >= 2 {
+            let mut best = usize::MAX;
+            for i in 0..direct.len() {
+                for j in i + 1..direct.len() {
+                    for &a in direct[i].1 {
+                        for &b in direct[j].1 {
+                            best = best.min((a as usize).abs_diff(b as usize));
+                        }
+                    }
+                }
+            }
+            let dist = best.saturating_sub(1);
+            score += self.weights.proximity / (1.0 + dist as f64);
         }
         score
     }
@@ -358,6 +508,58 @@ mod tests {
             "tables" => arr![ obj!{ "caption" => "ventilator counts", "html" => "<table>…</table>" } ],
         };
         assert!(r.score(&doc) > 0.0);
+    }
+
+    #[test]
+    fn postings_scorer_is_bit_identical_to_tokenizing_scorer() {
+        let fields: Vec<String> = ["title", "abstract", "tables", "figure_captions", "body"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let idx = TextIndex::new(fields);
+        let docs = [
+            obj! {
+                "_id" => "a",
+                "title" => "Mask mandate efficacy for mask use",
+                "abstract" => "Immunization and vaccine dose two outcomes",
+                "tables" => arr![
+                    obj!{ "caption" => "dose outcomes", "html" => "<table>…</table>" },
+                    obj!{ "caption" => "§§§" },
+                ],
+                "body" => arr![ obj!{ "heading" => "Methods", "text" => "masked cohort" } ],
+                "date" => "2022-03",
+            },
+            obj! { "_id" => "b", "title" => "dose two", "date" => "2019-01" },
+            obj! { "_id" => "c", "body" => arr![] },
+        ];
+        for d in &docs {
+            idx.add(d.get("_id").unwrap().as_str().unwrap(), d);
+        }
+        for q in [
+            "mask",
+            "mask mandate",
+            "vaccine dose",
+            "\"dose two\" mask",
+            "\"dose outcomes\"",
+            "unmatched query words",
+        ] {
+            let r = Ranker::new(parse_query(q), RankWeights::publication_default(), Some(&idx), 3);
+            assert!(r.postings_cover(&idx));
+            for d in &docs {
+                let id = d.get("_id").unwrap().as_str().unwrap();
+                let naive = r.score(d);
+                let fast = r.score_postings(id, d, &idx);
+                assert_eq!(
+                    naive.to_bits(),
+                    fast.to_bits(),
+                    "query {q:?} doc {id}: naive {naive} vs postings {fast}"
+                );
+            }
+        }
+        // An index missing a ranked field is not a valid stand-in.
+        let partial = TextIndex::new(vec!["title".into()]);
+        let r = Ranker::new(parse_query("mask"), RankWeights::publication_default(), None, 1);
+        assert!(!r.postings_cover(&partial));
     }
 
     #[test]

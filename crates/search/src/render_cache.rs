@@ -1,0 +1,209 @@
+//! Render-level cache: memoized snippet/highlight construction.
+//!
+//! `covidkg-serve` already caches whole result *pages*, but any page miss
+//! (new query, new page number, generation bump) rebuilds every result
+//! from scratch — re-walking each document's fields for match spans and
+//! snippet windows. This cache memoizes the per-document render instead,
+//! keyed on `(mutation epoch, document id, canonical query stems)`:
+//! different pages, engines and paginations of overlapping result sets
+//! share the rendered snippets, and an epoch bump (replace/update/delete
+//! in the store) invalidates everything at once. Scores are *not* cached
+//! — they depend on corpus-level IDF and are filled in fresh per search.
+
+use crate::result::{FieldSnippet, SearchResult};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The memoized, score-free part of a [`SearchResult`].
+#[derive(Debug, Clone)]
+pub struct CachedRender {
+    /// Rendered title.
+    pub title: String,
+    /// Brief-view snippets.
+    pub snippets: Vec<FieldSnippet>,
+    /// Collapsed further matches.
+    pub collapsed: Vec<FieldSnippet>,
+}
+
+/// Hit/miss/occupancy counters for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the render.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub resident: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Epoch the resident entries were rendered at; a different epoch on
+    /// lookup clears the map wholesale (documents may have changed).
+    epoch: u64,
+    map: HashMap<(String, String), CachedRender>,
+    /// Insertion order for FIFO eviction once `cap` is reached.
+    order: VecDeque<(String, String)>,
+}
+
+/// Bounded, epoch-invalidated memo of built result renders.
+///
+/// Eviction is FIFO over insertion order — renders are cheap enough to
+/// rebuild that recency tracking isn't worth a per-hit write.
+pub struct RenderCache {
+    cap: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for RenderCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("RenderCache")
+            .field("cap", &self.cap)
+            .field("resident", &s.resident)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl RenderCache {
+    /// Cache bounded to `cap` entries (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        RenderCache {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a render for `(doc_id, query_key)` at the given store
+    /// epoch. A stale epoch drops every resident entry first.
+    pub fn get(&self, epoch: u64, doc_id: &str, query_key: &str) -> Option<CachedRender> {
+        let mut inner = self.lock();
+        if inner.epoch != epoch {
+            inner.map.clear();
+            inner.order.clear();
+            inner.epoch = epoch;
+        }
+        let hit = inner
+            .map
+            .get(&(doc_id.to_string(), query_key.to_string()))
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Store the render built from a [`SearchResult`].
+    pub fn put(&self, epoch: u64, doc_id: &str, query_key: &str, result: &SearchResult) {
+        let mut inner = self.lock();
+        if inner.epoch != epoch {
+            inner.map.clear();
+            inner.order.clear();
+            inner.epoch = epoch;
+        }
+        let key = (doc_id.to_string(), query_key.to_string());
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        while inner.map.len() >= self.cap {
+            let Some(oldest) = inner.order.pop_front() else { break };
+            inner.map.remove(&oldest);
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(
+            key,
+            CachedRender {
+                title: result.title.clone(),
+                snippets: result.snippets.clone(),
+                collapsed: result.collapsed.clone(),
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RenderCacheStats {
+        let resident = self.lock().map.len();
+        RenderCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            resident,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covidkg_text::Snippet;
+
+    fn render(tag: &str) -> SearchResult {
+        SearchResult {
+            id: tag.to_string(),
+            title: format!("title {tag}"),
+            score: 1.0,
+            snippets: vec![FieldSnippet {
+                field: "title".into(),
+                snippet: Snippet {
+                    text: format!("snippet {tag}"),
+                    highlights: vec![],
+                    leading_ellipsis: false,
+                    trailing_ellipsis: false,
+                },
+            }],
+            collapsed: vec![],
+        }
+    }
+
+    #[test]
+    fn hit_after_put_and_counters() {
+        let cache = RenderCache::new(8);
+        assert!(cache.get(1, "d1", "q").is_none());
+        cache.put(1, "d1", "q", &render("d1"));
+        let hit = cache.get(1, "d1", "q").expect("cached");
+        assert_eq!(hit.title, "title d1");
+        assert_eq!(hit.snippets[0].snippet.text, "snippet d1");
+        // Different query key is a different entry.
+        assert!(cache.get(1, "d1", "other").is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (1, 2, 1));
+    }
+
+    #[test]
+    fn epoch_change_invalidates_everything() {
+        let cache = RenderCache::new(8);
+        cache.put(1, "d1", "q", &render("d1"));
+        cache.put(1, "d2", "q", &render("d2"));
+        assert!(cache.get(1, "d2", "q").is_some());
+        // The store mutated: epoch 2 lookups see an empty cache.
+        assert!(cache.get(2, "d1", "q").is_none());
+        assert_eq!(cache.stats().resident, 0);
+        // And the old epoch's entries never resurface.
+        assert!(cache.get(1, "d1", "q").is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = RenderCache::new(2);
+        cache.put(1, "a", "q", &render("a"));
+        cache.put(1, "b", "q", &render("b"));
+        cache.put(1, "c", "q", &render("c"));
+        assert!(cache.get(1, "a", "q").is_none(), "oldest evicted");
+        assert!(cache.get(1, "b", "q").is_some());
+        assert!(cache.get(1, "c", "q").is_some());
+        assert_eq!(cache.stats().resident, 2);
+    }
+}

@@ -23,7 +23,8 @@
 //! * [`metrics`] — per-engine request counts, cache hit/miss, queue
 //!   depth and a log-bucketed latency histogram, snapshotted into
 //!   [`ServeStats`] (p50/p95/p99).
-//! * [`loadgen`] — a closed-loop load generator (N client threads × M
+//! * [`loadgen`] — closed-loop and open-loop (fixed arrival rate,
+//!   coordinated-omission-aware) load generators (N client threads × M
 //!   queries from `covidkg-corpus`) with direct-search spot checks,
 //!   driving the `covidkg serve-bench` CLI command.
 
@@ -33,6 +34,6 @@ pub mod metrics;
 pub mod server;
 
 pub use cache::{CacheStats, QueryCache};
-pub use loadgen::{LoadGenConfig, LoadGenReport};
+pub use loadgen::{LoadGenConfig, LoadGenReport, OpenLoopConfig, OpenLoopReport};
 pub use metrics::{EngineKind, LatencyHistogram, ServeStats};
 pub use server::{InjectedFaults, ServeConfig, ServeError, ServeResponse, Server};

@@ -79,8 +79,14 @@ impl LatencyHistogram {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
-    /// where the cumulative count crosses, or `None` when empty.
+    /// The `q`-quantile (`0.0..=1.0`) via linear interpolation inside the
+    /// bucket where the cumulative count crosses, or `None` when empty.
+    ///
+    /// Reporting the bucket's *upper bound* overestimates by up to a full
+    /// bucket width (25%); assuming observations spread uniformly across
+    /// the crossed bucket halves the worst case and is exact when they do.
+    /// The overflow bucket has no finite upper bound, so a quantile
+    /// landing there reports the last finite bound (its lower edge).
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         let total = self.count();
         if total == 0 {
@@ -89,12 +95,22 @@ impl LatencyHistogram {
         let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= target {
-                return Some(Duration::from_nanos(self.bounds_ns[i]));
+            let in_bucket = c.load(Ordering::Relaxed);
+            if seen + in_bucket >= target {
+                let lower = if i == 0 { 0 } else { self.bounds_ns[i - 1] };
+                let upper = self.bounds_ns[i];
+                if upper == u64::MAX {
+                    return Some(Duration::from_nanos(lower));
+                }
+                // target > seen and in_bucket >= target - seen >= 1 here.
+                let frac = (target - seen) as f64 / in_bucket as f64;
+                let ns = lower as f64 + frac * (upper - lower) as f64;
+                return Some(Duration::from_nanos(ns as u64));
             }
+            seen += in_bucket;
         }
-        Some(Duration::from_nanos(*self.bounds_ns.last().unwrap()))
+        // Unreachable when total > 0, but stay finite regardless.
+        Some(Duration::from_nanos(self.bounds_ns[self.bounds_ns.len() - 2]))
     }
 }
 
@@ -353,12 +369,42 @@ mod tests {
         let p50 = h.quantile(0.50).unwrap();
         let p95 = h.quantile(0.95).unwrap();
         let p99 = h.quantile(0.99).unwrap();
-        // Bucket bounds grow by 25%, so each quantile lands within 25%
-        // above its exact value.
-        assert!(p50 >= Duration::from_millis(50) && p50 <= Duration::from_micros(62_500), "{p50:?}");
-        assert!(p95 >= Duration::from_millis(95) && p95 <= Duration::from_micros(118_750), "{p95:?}");
-        assert!(p99 >= Duration::from_millis(99) && p99 <= Duration::from_micros(123_750), "{p99:?}");
+        // Buckets grow by 25% and interpolation assumes a uniform spread
+        // inside the crossed bucket, so each reported quantile lands
+        // within half a bucket width (12.5%) of the exact value.
+        for (got, exact_ms) in [(p50, 50u64), (p95, 95), (p99, 99)] {
+            let exact = Duration::from_millis(exact_ms).as_nanos() as f64;
+            let rel = (got.as_nanos() as f64 - exact).abs() / exact;
+            assert!(rel <= 0.125, "rel err {rel:.4} for exact {exact_ms} ms ({got:?})");
+        }
         assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_exact_sample_quantiles() {
+        // Mixed-scale distribution: a fast mode, a slow mode, and a tail.
+        let mut samples_us: Vec<u64> = Vec::new();
+        samples_us.extend((1..=200u64).map(|i| 40 + i)); // 41..=240 µs
+        samples_us.extend((1..=60u64).map(|i| 2_000 + 45 * i)); // 2.045..=4.7 ms
+        samples_us.extend([30_000, 55_000, 90_000, 250_000]); // tail
+        let h = LatencyHistogram::default();
+        for &us in &samples_us {
+            h.record(Duration::from_micros(us));
+        }
+        samples_us.sort_unstable();
+        let n = samples_us.len();
+        for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99] {
+            // Exact quantile by the same nearest-rank convention the
+            // histogram uses: the ceil(q·n)-th smallest sample.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = Duration::from_micros(samples_us[rank - 1]).as_nanos() as f64;
+            let got = h.quantile(q).unwrap().as_nanos() as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(
+                rel <= 0.125,
+                "q={q}: histogram {got} vs exact {exact} (rel err {rel:.4})"
+            );
+        }
     }
 
     #[test]

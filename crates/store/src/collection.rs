@@ -72,6 +72,50 @@ fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Below this many documents (or candidates) a read runs single-threaded;
+/// thread startup would cost more than it saves.
+const PARALLEL_THRESHOLD: usize = 512;
+
+/// Bounded best-k buffer under `(score desc, _id asc)` — sorted insertion
+/// with eviction of the worst entry, identical to full sort + truncate.
+struct TopBuffer {
+    k: usize,
+    entries: Vec<(f64, String, Value)>,
+}
+
+impl TopBuffer {
+    fn new(k: usize) -> Self {
+        TopBuffer {
+            k,
+            entries: Vec::with_capacity(k.min(64).saturating_add(1)),
+        }
+    }
+
+    /// The ranking total order: higher score first (`f64::total_cmp`;
+    /// scores are finite and non-negative, so this agrees with the
+    /// `$sort`-stage comparison on `Value::float` scores), then ascending
+    /// id. Ids are unique, so distinct documents never compare equal —
+    /// which is what makes the per-shard merge schedule-independent.
+    fn cmp(sa: f64, ia: &str, sb: f64, ib: &str) -> std::cmp::Ordering {
+        sb.total_cmp(&sa).then_with(|| ia.cmp(ib))
+    }
+
+    fn push(&mut self, score: f64, id: &str, doc: &Value) {
+        if self.k == 0 {
+            return;
+        }
+        let pos = self.entries.partition_point(|(s, eid, _)| {
+            Self::cmp(*s, eid, score, id) == std::cmp::Ordering::Less
+        });
+        if pos < self.k {
+            self.entries.insert(pos, (score, id.to_string(), doc.clone()));
+            if self.entries.len() > self.k {
+                self.entries.pop();
+            }
+        }
+    }
+}
+
 /// A sharded document collection.
 pub struct Collection {
     config: CollectionConfig,
@@ -84,6 +128,7 @@ pub struct Collection {
     faults: RwLock<Option<Arc<FaultPlan>>>,
     retry: RwLock<RetryPolicy>,
     retries: AtomicU64,
+    mutations: AtomicU64,
 }
 
 impl std::fmt::Debug for Collection {
@@ -116,6 +161,7 @@ impl Collection {
             faults: RwLock::new(None),
             retry: RwLock::new(RetryPolicy::default()),
             retries: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
         }
     }
 
@@ -335,6 +381,7 @@ impl Collection {
             idx.add(id, &doc);
         }
         shard.put(id, doc);
+        self.mutations.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -365,7 +412,16 @@ impl Collection {
         for idx in read(&self.hash_indexes).iter() {
             idx.remove(id, &old);
         }
+        self.mutations.fetch_add(1, Ordering::Release);
         Ok(old)
+    }
+
+    /// Monotonic counter bumped whenever an existing document changes or
+    /// disappears (replace, update, delete) — inserts can't invalidate
+    /// anything previously rendered, and a delete-then-reinsert is covered
+    /// by the delete's bump. Render-level caches key on this epoch.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutations.load(Ordering::Acquire)
     }
 
     /// Create (and backfill) a hash index over `path`.
@@ -393,10 +449,11 @@ impl Collection {
                 .filter(|d| filter.matches(d))
                 .collect();
         }
-        // Text-index pruning: verify candidates only.
-        if let Some(stems) = filter.text_stems() {
-            if let Some(ti) = &self.text_index {
-                let ids = ti.candidates(&stems);
+        // Index pruning: resolve the filter to a candidate superset
+        // (intersecting AND branches, unioning OR branches), then verify
+        // each candidate against the full predicate.
+        if let Some(ti) = &self.text_index {
+            if let Some(ids) = filter.index_candidates(ti) {
                 return ids
                     .iter()
                     .filter_map(|id| self.get(id))
@@ -413,6 +470,98 @@ impl Collection {
             .len()
     }
 
+    /// Score the documents matching `filter` and return the total match
+    /// count plus the top `k` by `(score desc, _id asc)`.
+    ///
+    /// The scoring work is partitioned by shard — index-pruned candidate
+    /// ids routed to their home shard when the filter is boundable, whole
+    /// shards otherwise — and large partitions fan out one worker thread
+    /// per shard, each keeping only a bounded `k`-entry buffer (documents
+    /// are read under the shard lock and cloned only on entering a
+    /// buffer). The per-shard buffers merge under the same total order, so
+    /// the result is identical to scoring every match and fully sorting,
+    /// independent of thread scheduling.
+    pub fn scored_top_k(
+        &self,
+        filter: &Filter,
+        k: usize,
+        score: impl Fn(&str, &Value) -> f64 + Sync,
+    ) -> (usize, Vec<(f64, Value)>) {
+        // Partition candidate ids by home shard; `None` partitions mean
+        // "scan the whole shard".
+        let candidates = self
+            .text_index
+            .as_ref()
+            .and_then(|ti| filter.index_candidates(ti));
+        let (work, parts): (usize, Option<Vec<Vec<&str>>>) = match &candidates {
+            Some(ids) => {
+                let mut parts: Vec<Vec<&str>> = vec![Vec::new(); self.shards.len()];
+                for id in ids {
+                    parts[(route_hash(id) % self.shards.len() as u64) as usize].push(id);
+                }
+                (ids.len(), Some(parts))
+            }
+            None => (self.len(), None),
+        };
+
+        // One shard's worth of work: verify, score, keep the best k.
+        let run_shard = |shard: &Shard, part: Option<&[&str]>| -> (usize, TopBuffer) {
+            let mut matched = 0usize;
+            let mut best = TopBuffer::new(k);
+            let mut visit = |id: &str, doc: &Value| {
+                if filter.matches(doc) {
+                    matched += 1;
+                    best.push(score(id, doc), id, doc);
+                }
+            };
+            match part {
+                Some(ids) => {
+                    for id in ids {
+                        shard.with_doc(id, |doc| visit(id, doc));
+                    }
+                }
+                None => shard.for_each(|id, doc| visit(id, doc)),
+            }
+            (matched, best)
+        };
+
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let part_for = |i: usize| parts.as_ref().map(|p| p[i].as_slice());
+        let per_shard: Vec<(usize, TopBuffer)> =
+            if cores == 1 || self.shards.len() == 1 || work < PARALLEL_THRESHOLD {
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, shard)| run_shard(shard, part_for(i)))
+                    .collect()
+            } else {
+                let run_shard = &run_shard;
+                let part_for = &part_for;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .map(|(i, shard)| scope.spawn(move || run_shard(shard, part_for(i))))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("scoring worker panicked"))
+                        .collect()
+                })
+            };
+
+        let mut total = 0usize;
+        let mut merged: Vec<(f64, String, Value)> = Vec::new();
+        for (matched, best) in per_shard {
+            total += matched;
+            merged.extend(best.entries);
+        }
+        merged.sort_by(|a, b| TopBuffer::cmp(a.0, &a.1, b.0, &b.1));
+        merged.truncate(k);
+        (total, merged.into_iter().map(|(s, _, d)| (s, d)).collect())
+    }
+
     /// Scan every shard with `f`, fanning out one worker per shard when
     /// the collection is large enough that thread startup amortizes —
     /// this is where the §2 sharding pays off on the read side.
@@ -420,7 +569,6 @@ impl Collection {
         &self,
         f: impl Fn(&str, &Value) -> Option<T> + Sync,
     ) -> Vec<T> {
-        const PARALLEL_THRESHOLD: usize = 512;
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         if cores == 1 || self.shards.len() == 1 || self.len() < PARALLEL_THRESHOLD {
             let mut out = Vec::new();
@@ -731,5 +879,78 @@ mod tests {
         // Text index is rebuilt on recovery.
         assert_eq!(c.find(&Filter::text("third", vec!["title".into()])).len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Reference for `scored_top_k`: score every match, fully sort by
+    /// `(score desc, _id asc)`, truncate.
+    fn naive_top_k(
+        c: &Collection,
+        filter: &Filter,
+        k: usize,
+        score: impl Fn(&str, &Value) -> f64,
+    ) -> (usize, Vec<(f64, String)>) {
+        let mut scored: Vec<(f64, String)> = c
+            .find(filter)
+            .into_iter()
+            .map(|d| {
+                let id = d.get("_id").unwrap().as_str().unwrap().to_string();
+                (score(&id, &d), id)
+            })
+            .collect();
+        let total = scored.len();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        scored.truncate(k);
+        (total, scored)
+    }
+
+    #[test]
+    fn scored_top_k_matches_full_sort_with_ties() {
+        let c = coll();
+        for i in 0..50 {
+            // Score collides in groups of 5, exercising the id tie-break.
+            c.insert(obj! { "_id" => format!("d{i:02}"), "title" => "mask study", "g" => i / 5 })
+                .unwrap();
+        }
+        c.insert(obj! { "_id" => "zz", "title" => "unrelated" }).unwrap();
+        let filter = Filter::text("mask", vec!["title".into()]);
+        let score = |_: &str, d: &Value| d.path("g").unwrap().as_f64().unwrap();
+        for k in [0, 1, 7, 50, 200] {
+            let (total, top) = c.scored_top_k(&filter, k, score);
+            let got: Vec<(f64, String)> = top
+                .iter()
+                .map(|(s, d)| (*s, d.get("_id").unwrap().as_str().unwrap().to_string()))
+                .collect();
+            let (naive_total, naive) = naive_top_k(&c, &filter, k, score);
+            assert_eq!(total, naive_total);
+            assert_eq!(got, naive, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn scored_top_k_without_boundable_filter_scans() {
+        let c = coll();
+        for i in 0..20 {
+            c.insert(obj! { "_id" => format!("d{i:02}"), "title" => "t", "n" => i }).unwrap();
+        }
+        let filter = Filter::Gte("n".into(), Value::int(15));
+        let (total, top) =
+            c.scored_top_k(&filter, 3, |_, d| d.path("n").unwrap().as_f64().unwrap());
+        assert_eq!(total, 5);
+        let ns: Vec<f64> = top.iter().map(|(s, _)| *s).collect();
+        assert_eq!(ns, [19.0, 18.0, 17.0]);
+    }
+
+    #[test]
+    fn mutation_epoch_counts_only_invalidating_writes() {
+        let c = coll();
+        let e0 = c.mutation_epoch();
+        let id = c.insert(obj! { "title" => "a" }).unwrap();
+        assert_eq!(c.mutation_epoch(), e0, "inserts don't invalidate");
+        c.replace(&id, obj! { "title" => "b" }).unwrap();
+        assert_eq!(c.mutation_epoch(), e0 + 1);
+        c.update(&id, |d| d.insert("title", Value::str("c"))).unwrap();
+        assert_eq!(c.mutation_epoch(), e0 + 2);
+        c.delete(&id).unwrap();
+        assert_eq!(c.mutation_epoch(), e0 + 3);
     }
 }

@@ -18,7 +18,9 @@ use covidkg_regex::Regex;
 use covidkg_text::{stem, tokenize_lower};
 
 use crate::error::StoreError;
+use crate::index::TextIndex;
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// A compiled query filter.
@@ -227,6 +229,52 @@ impl Filter {
                 Some(stems.iter().map(String::as_str).collect())
             }
             Filter::And(fs) => fs.iter().find_map(Filter::text_stems),
+            _ => None,
+        }
+    }
+
+    /// Resolve this filter against the inverted index into a candidate id
+    /// set that is a **superset** of the matching documents (callers still
+    /// re-verify with [`Filter::matches`]). Returns `None` when the index
+    /// cannot bound the result:
+    ///
+    /// * `$text` resolves exactly — union of postings over the queried
+    ///   fields — but only when every queried field is indexed (a match in
+    ///   an unindexed field would otherwise be missed);
+    /// * `$and` intersects the branches the index can bound, ignoring the
+    ///   rest (dropping a conjunct only widens the superset);
+    /// * `$or` unions the branches, but every branch must be boundable —
+    ///   one unboundable branch means any document could match;
+    /// * everything else (`$regex`, comparisons, `$not`, …) is unbounded.
+    pub fn index_candidates(&self, index: &TextIndex) -> Option<BTreeSet<String>> {
+        match self {
+            Filter::Text { stems, fields } => {
+                let mut field_ids = Vec::with_capacity(fields.len());
+                for f in fields {
+                    field_ids.push(index.field_id(f)?);
+                }
+                let stems: Vec<&str> = stems.iter().map(String::as_str).collect();
+                Some(index.candidates_in_fields(&stems, &field_ids))
+            }
+            Filter::And(fs) => {
+                let mut acc: Option<BTreeSet<String>> = None;
+                for f in fs {
+                    if let Some(ids) = f.index_candidates(index) {
+                        acc = Some(match acc {
+                            None => ids,
+                            Some(prev) => prev.intersection(&ids).cloned().collect(),
+                        });
+                    }
+                }
+                acc
+            }
+            Filter::Or(fs) => {
+                let mut out = BTreeSet::new();
+                for f in fs {
+                    out.extend(f.index_candidates(index)?);
+                }
+                Some(out)
+            }
             _ => None,
         }
     }
@@ -444,5 +492,44 @@ mod tests {
         assert!(stems.contains(&"mask"));
         let plain = f(obj! { "year" => 2021 });
         assert!(plain.text_stems().is_none());
+    }
+
+    #[test]
+    fn index_candidates_algebra() {
+        let idx = TextIndex::new(vec!["title".into(), "abstract".into()]);
+        idx.add("a", &obj! { "title" => "mask mandates", "abstract" => "efficacy" });
+        idx.add("b", &obj! { "title" => "vaccine trial", "abstract" => "mask use" });
+        idx.add("c", &obj! { "title" => "ventilators" });
+
+        let title_mask = Filter::text("mask", vec!["title".into()]);
+        let any_mask = Filter::text("mask", vec!["title".into(), "abstract".into()]);
+        let title_vaccine = Filter::text("vaccine", vec!["title".into()]);
+
+        // $text scoped to indexed fields resolves exactly.
+        let ids = title_mask.index_candidates(&idx).unwrap();
+        assert!(ids.contains("a") && !ids.contains("b"));
+        assert_eq!(any_mask.index_candidates(&idx).unwrap().len(), 2);
+
+        // A queried field outside the index makes the filter unboundable.
+        let unindexed = Filter::text("mask", vec!["body".into()]);
+        assert!(unindexed.index_candidates(&idx).is_none());
+
+        // $and intersects boundable branches and ignores the rest.
+        let and = Filter::And(vec![
+            any_mask.clone(),
+            title_vaccine.clone(),
+            Filter::Gte("year".into(), Value::int(2020)),
+        ]);
+        let ids = and.index_candidates(&idx).unwrap();
+        assert_eq!(ids.iter().collect::<Vec<_>>(), ["b"]);
+
+        // $or unions only when every branch is boundable.
+        let or = Filter::Or(vec![title_mask.clone(), title_vaccine]);
+        assert_eq!(or.index_candidates(&idx).unwrap().len(), 2);
+        let or_open = Filter::Or(vec![title_mask, Filter::Gte("year".into(), Value::int(0))]);
+        assert!(or_open.index_candidates(&idx).is_none());
+
+        // Filters with no text component can't be bounded at all.
+        assert!(Filter::True.index_candidates(&idx).is_none());
     }
 }

@@ -1,15 +1,18 @@
 //! Secondary indexes: hash indexes on field values and a stemmed inverted
-//! text index.
+//! text index with full posting lists.
 //!
 //! The paper's `$match`-first pipeline design (§2.1) "minimizes the amount
 //! of data being passed through all the latter stages". The inverted index
-//! extends that: a `$text` match resolves to a candidate id set before any
-//! document is touched, which the E4 bench compares against a full scan.
+//! extends that twice over: a `$text` match resolves to a candidate id set
+//! before any document is touched (which the E4 bench compares against a
+//! full scan), and each posting carries enough structure — indexed field,
+//! string-leaf ordinal, token positions — that the ranker can score a
+//! candidate straight from the index without re-tokenizing the document.
 
 use covidkg_json::Value;
 use covidkg_text::{stem, tokenize_lower};
 use std::sync::RwLock;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A hash index over one dot path. Values are keyed by their compact JSON
 /// encoding so heterogeneous types stay distinct.
@@ -91,12 +94,34 @@ impl HashIndex {
 /// experiment measures this).
 const TEXT_STRIPES: usize = 16;
 
-/// Stemmed inverted index over a set of text fields, with postings
+/// One stem's occurrences within one string leaf of one document.
+///
+/// `field` is the ordinal of the indexed dot path in [`TextIndex::fields`];
+/// `leaf` is the ordinal of the string leaf within that field's value, in
+/// the same depth-first order the ranker walks strings — so postings can be
+/// replayed against the ranker's per-leaf scoring without the raw text.
+/// `positions` are the token indices of the stem inside the leaf, ascending;
+/// term frequency is `positions.len()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Ordinal into [`TextIndex::fields`].
+    pub field: u16,
+    /// String-leaf ordinal within the field value (depth-first order).
+    pub leaf: u32,
+    /// Ascending token positions of the stem inside the leaf.
+    pub positions: Vec<u32>,
+}
+
+/// Per-stem map from document id to that document's posting list, sorted
+/// by `(field, leaf)` because postings are built in field-then-DFS order.
+type PostingMap = BTreeMap<String, Vec<Posting>>;
+
+/// Stemmed inverted index over a set of text fields, with posting lists
 /// striped across several locks by stem hash.
 #[derive(Debug)]
 pub struct TextIndex {
     fields: Vec<String>,
-    stripes: Vec<RwLock<HashMap<String, BTreeSet<String>>>>,
+    stripes: Vec<RwLock<HashMap<String, PostingMap>>>,
 }
 
 impl Default for TextIndex {
@@ -119,40 +144,59 @@ impl TextIndex {
         &self.fields
     }
 
-    fn stripe(&self, s: &str) -> &RwLock<HashMap<String, BTreeSet<String>>> {
+    /// Ordinal of an indexed dot path, if indexed.
+    pub fn field_id(&self, path: &str) -> Option<u16> {
+        self.fields.iter().position(|f| f == path).map(|i| i as u16)
+    }
+
+    fn stripe(&self, s: &str) -> &RwLock<HashMap<String, PostingMap>> {
         &self.stripes[(crate::shard::route_hash(s) % TEXT_STRIPES as u64) as usize]
     }
 
-    fn doc_stems(&self, doc: &Value) -> BTreeSet<String> {
-        let mut stems = BTreeSet::new();
-        for field in &self.fields {
+    /// Every stem's postings for one document, built by walking the indexed
+    /// fields in order and each field's string leaves depth-first.
+    fn doc_postings(&self, doc: &Value) -> HashMap<String, Vec<Posting>> {
+        let mut map: HashMap<String, Vec<Posting>> = HashMap::new();
+        for (fi, field) in self.fields.iter().enumerate() {
+            let mut leaf = 0u32;
             collect_text(doc.path(field), &mut |text| {
-                for tok in tokenize_lower(text) {
-                    stems.insert(stem(&tok));
+                for (pos, tok) in tokenize_lower(text).iter().enumerate() {
+                    let postings = map.entry(stem(tok)).or_default();
+                    match postings.last_mut() {
+                        Some(p) if p.field == fi as u16 && p.leaf == leaf => {
+                            p.positions.push(pos as u32)
+                        }
+                        _ => postings.push(Posting {
+                            field: fi as u16,
+                            leaf,
+                            positions: vec![pos as u32],
+                        }),
+                    }
                 }
+                leaf += 1;
             });
         }
-        stems
+        map
     }
 
     /// Index a document.
     pub fn add(&self, id: &str, doc: &Value) {
-        for s in self.doc_stems(doc) {
+        for (s, postings) in self.doc_postings(doc) {
             self.stripe(&s)
                 .write().unwrap()
                 .entry(s)
                 .or_default()
-                .insert(id.to_string());
+                .insert(id.to_string(), postings);
         }
     }
 
     /// Remove a document.
     pub fn remove(&self, id: &str, doc: &Value) {
-        for s in self.doc_stems(doc) {
+        for s in self.doc_postings(doc).into_keys() {
             let mut stripe = self.stripe(&s).write().unwrap();
-            if let Some(set) = stripe.get_mut(&s) {
-                set.remove(id);
-                if set.is_empty() {
+            if let Some(docs) = stripe.get_mut(&s) {
+                docs.remove(id);
+                if docs.is_empty() {
                     stripe.remove(&s);
                 }
             }
@@ -164,16 +208,46 @@ impl TextIndex {
     pub fn candidates(&self, stems: &[&str]) -> BTreeSet<String> {
         let mut out = BTreeSet::new();
         for s in stems {
-            if let Some(ids) = self.stripe(s).read().unwrap().get(*s) {
-                out.extend(ids.iter().cloned());
+            if let Some(docs) = self.stripe(s).read().unwrap().get(*s) {
+                out.extend(docs.keys().cloned());
             }
         }
         out
     }
 
+    /// Ids containing any of the query stems **within the given fields**.
+    /// Unlike [`TextIndex::candidates`], matches in indexed-but-unlisted
+    /// fields don't qualify a document, so the set is exact (not merely a
+    /// superset) for a `$text` filter scoped to those fields.
+    pub fn candidates_in_fields(&self, stems: &[&str], fields: &[u16]) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for s in stems {
+            if let Some(docs) = self.stripe(s).read().unwrap().get(*s) {
+                for (id, postings) in docs {
+                    if !out.contains(id.as_str())
+                        && postings.iter().any(|p| fields.contains(&p.field))
+                    {
+                        out.insert(id.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One document's posting list for a stem (sorted by `(field, leaf)`),
+    /// cloned out from under the stripe lock.
+    pub fn postings(&self, s: &str, id: &str) -> Option<Vec<Posting>> {
+        self.stripe(s)
+            .read().unwrap()
+            .get(s)
+            .and_then(|docs| docs.get(id))
+            .cloned()
+    }
+
     /// Document frequency of a stem.
     pub fn doc_freq(&self, s: &str) -> usize {
-        self.stripe(s).read().unwrap().get(s).map_or(0, BTreeSet::len)
+        self.stripe(s).read().unwrap().get(s).map_or(0, BTreeMap::len)
     }
 
     /// Number of distinct stems.
@@ -283,5 +357,57 @@ mod tests {
         let idx = TextIndex::new(vec!["title".into()]);
         idx.add("a", &obj! { "other" => "text" });
         assert_eq!(idx.term_count(), 0);
+    }
+
+    #[test]
+    fn postings_carry_field_leaf_and_positions() {
+        let idx = TextIndex::new(vec!["title".into(), "tables".into()]);
+        idx.add(
+            "a",
+            &obj! {
+                "title" => "mask mandates mask",
+                "tables" => arr![
+                    obj!{ "caption" => "no match here" },
+                    obj!{ "caption" => "a mask table" },
+                ],
+            },
+        );
+        let postings = idx.postings(&stem("mask"), "a").unwrap();
+        assert_eq!(
+            postings,
+            vec![
+                Posting { field: 0, leaf: 0, positions: vec![0, 2] },
+                // Second caption is the tables field's second string leaf
+                // (one leaf per string, DFS through the array of objects).
+                Posting { field: 1, leaf: 1, positions: vec![1] },
+            ]
+        );
+        assert!(idx.postings(&stem("mask"), "missing").is_none());
+    }
+
+    #[test]
+    fn candidates_in_fields_scopes_to_listed_fields() {
+        let idx = TextIndex::new(vec!["title".into(), "abstract".into()]);
+        idx.add("a", &obj! { "title" => "mask mandates" });
+        idx.add("b", &obj! { "abstract" => "mask efficacy" });
+        let mask = stem("mask");
+        let title_only = idx.candidates_in_fields(&[&mask], &[0]);
+        assert!(title_only.contains("a") && !title_only.contains("b"));
+        let both = idx.candidates_in_fields(&[&mask], &[0, 1]);
+        assert_eq!(both.len(), 2);
+        assert_eq!(idx.field_id("abstract"), Some(1));
+        assert_eq!(idx.field_id("body"), None);
+    }
+
+    #[test]
+    fn postings_removed_with_document() {
+        let idx = TextIndex::new(vec!["t".into()]);
+        let d = obj! { "t" => "masks and masks" };
+        idx.add("a", &d);
+        idx.add("b", &obj! { "t" => "masks" });
+        idx.remove("a", &d);
+        assert!(idx.postings(&stem("masks"), "a").is_none());
+        assert!(idx.postings(&stem("masks"), "b").is_some());
+        assert_eq!(idx.doc_freq(&stem("masks")), 1);
     }
 }

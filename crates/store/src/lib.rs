@@ -54,6 +54,7 @@ pub use fault::{Fault, FaultConfig, FaultOp, FaultPlan, FaultStats, RetryPolicy}
 pub use filter::Filter;
 pub use flusher::{Flusher, FlusherStats};
 pub use gauntlet::{run_gauntlet, GauntletConfig, GauntletReport};
+pub use index::{HashIndex, Posting, TextIndex};
 pub use pipeline::{Accumulator, Pipeline, Stage};
 pub use stats::{CollectionStats, DbStats, ShardStats};
 pub use update::UpdateSpec;

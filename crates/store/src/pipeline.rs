@@ -106,6 +106,16 @@ pub enum Stage {
     AddFields(Vec<(String, Value)>),
     /// `$sort` by one or more paths.
     Sort(Vec<(String, Order)>),
+    /// Explicit bounded top-k under a `$sort` ordering — what the
+    /// `$sort`+`$limit` peephole produces, but as a first-class stage so
+    /// callers that know their page bound (`search(page=p)` needs only the
+    /// top `(p+1)·PAGE_SIZE`) never materialize a full sort.
+    TopK {
+        /// Sort keys, highest priority first.
+        keys: Vec<(String, Order)>,
+        /// Number of documents to keep.
+        k: usize,
+    },
     /// `$skip`.
     Skip(usize),
     /// `$limit`.
@@ -132,6 +142,7 @@ impl std::fmt::Debug for Stage {
             Stage::Function { name, output, .. } => write!(f, "$function({name} -> {output})"),
             Stage::AddFields(fs) => write!(f, "$addFields({} fields)", fs.len()),
             Stage::Sort(keys) => write!(f, "$sort{keys:?}"),
+            Stage::TopK { keys, k } => write!(f, "$topK(top-{k} by {keys:?})"),
             Stage::Skip(n) => write!(f, "$skip({n})"),
             Stage::Limit(n) => write!(f, "$limit({n})"),
             Stage::Unwind(p) => write!(f, "$unwind({p})"),
@@ -201,6 +212,11 @@ impl Pipeline {
     /// `$sort` ascending by one path.
     pub fn sort_asc(self, path: impl Into<String>) -> Self {
         self.stage(Stage::Sort(vec![(path.into(), Order::Asc)]))
+    }
+
+    /// Bounded top-k by the given sort keys (see [`Stage::TopK`]).
+    pub fn top_k(self, keys: Vec<(String, Order)>, k: usize) -> Self {
+        self.stage(Stage::TopK { keys, k })
     }
 
     /// `$skip`.
@@ -296,6 +312,9 @@ impl Pipeline {
                     i += 2;
                     first = false;
                     continue;
+                }
+                (Stage::TopK { keys, k }, _) => {
+                    format!("$topK: heap top-{k} by {keys:?} (page bound known)")
                 }
                 (stage, _) => format!("{stage:?}"),
             };
@@ -403,6 +422,7 @@ fn apply_stage(stage: &Stage, docs: Vec<Value>) -> Vec<Value> {
             });
             docs
         }
+        Stage::TopK { keys, k } => top_k(docs, keys, *k),
         Stage::Skip(n) => docs.into_iter().skip(*n).collect(),
         Stage::Limit(n) => docs.into_iter().take(*n).collect(),
         Stage::Unwind(path) => {
@@ -434,8 +454,10 @@ fn apply_stage(stage: &Stage, docs: Vec<Value>) -> Vec<Value> {
     }
 }
 
-/// Build a projected document keeping `_id` plus the listed paths.
-fn project(doc: &Value, fields: &[String]) -> Value {
+/// Build a projected document keeping `_id` plus the listed paths — the
+/// `$project` stage applied to one document (public so the search engine's
+/// top-k fast path can project just the page's documents).
+pub fn project(doc: &Value, fields: &[String]) -> Value {
     let mut out = Value::Object(Vec::new());
     if let Some(id) = doc.get("_id") {
         out.insert("_id", id.clone());
@@ -734,6 +756,26 @@ mod tests {
             .run(docs);
         reference.truncate(7);
         assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn top_k_stage_matches_sort_truncate() {
+        let docs: Vec<Value> = (0..40)
+            .map(|i| obj! { "k" => (i * 13) % 17, "seq" => i })
+            .collect();
+        let keys = vec![("k".into(), Order::Desc), ("seq".into(), Order::Asc)];
+        for k in [0, 1, 5, 40, 100] {
+            let topk = Pipeline::new()
+                .top_k(keys.clone(), k)
+                .run(docs.clone());
+            let mut reference = Pipeline::new()
+                .stage(Stage::Sort(keys.clone()))
+                .run(docs.clone());
+            reference.truncate(k);
+            assert_eq!(topk, reference, "k = {k}");
+        }
+        let plan = Pipeline::new().top_k(keys, 10).explain();
+        assert!(plan.contains("$topK: heap top-10"), "{plan}");
     }
 
     #[test]

@@ -42,6 +42,13 @@ impl Shard {
         self.docs.read().unwrap().get(id).cloned()
     }
 
+    /// Run `f` against a document under the read lock, without cloning —
+    /// the scoring hot path reads thousands of candidates and clones only
+    /// the few that enter a top-k heap.
+    pub fn with_doc<T>(&self, id: &str, f: impl FnOnce(&Value) -> T) -> Option<T> {
+        self.docs.read().unwrap().get(id).map(f)
+    }
+
     /// Remove a document, returning it.
     pub fn remove(&self, id: &str) -> Option<Value> {
         self.docs.write().unwrap().remove(id)

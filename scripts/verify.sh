@@ -16,9 +16,16 @@ cargo test --offline -q
 echo "==> cargo test --workspace --offline -q"
 cargo test --workspace --offline -q
 
+echo "==> search equivalence property test (pruned top-k vs naive oracle)"
+cargo test -p covidkg-search --test equivalence --offline -q
+
 echo "==> chaos gauntlet (deterministic seed, scaled-down storm)"
 ./target/release/covidkg chaos --seed 42 --corpus 12 --faults 40 \
     --clients 3 --requests 8 --workers 2
+
+echo "==> serve-bench open-loop smoke (fixed arrival rate)"
+./target/release/covidkg serve-bench --corpus 20 --clients 2 --requests 10 \
+    --workers 2 --open-loop --rates 200,400 --duration-ms 250
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets --offline"

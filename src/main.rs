@@ -15,7 +15,7 @@
 //! covidkg stats --data-dir /tmp/kgdata
 //! ```
 
-use covidkg::{CovidKg, CovidKgConfig, LoadGenConfig, SearchMode, ServeConfig, Server};
+use covidkg::{CovidKg, CovidKgConfig, LoadGenConfig, OpenLoopConfig, SearchMode, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -47,6 +47,10 @@ OPTIONS:
     --requests <n>           serve-bench/chaos queries per client [default 50]
     --workers <n>            serve-bench/chaos worker threads [default 4]
     --faults <n>             chaos injected-fault target [default 100]
+    --open-loop              serve-bench: add a fixed-arrival-rate sweep
+    --rates <a,b,c>          open-loop offered rates in req/s [default:
+                             0.5x / 1x / 2x of the closed-loop throughput]
+    --duration-ms <n>        open-loop run length per rate [default 1000]
 ";
 
 struct Args {
@@ -63,6 +67,9 @@ struct Args {
     requests: usize,
     workers: usize,
     faults: u64,
+    open_loop: bool,
+    rates: Option<Vec<f64>>,
+    duration_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +89,9 @@ fn parse_args() -> Result<Args, String> {
         requests: 50,
         workers: 4,
         faults: 100,
+        open_loop: false,
+        rates: None,
+        duration_ms: 1000,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -130,6 +140,24 @@ fn parse_args() -> Result<Args, String> {
                 out.faults = value("--faults")?
                     .parse()
                     .map_err(|_| "--faults takes a number".to_string())?
+            }
+            "--open-loop" => out.open_loop = true,
+            "--rates" => {
+                let list = value("--rates")?;
+                let rates: Result<Vec<f64>, _> =
+                    list.split(',').map(|r| r.trim().parse::<f64>()).collect();
+                let rates = rates.map_err(|_| {
+                    "--rates takes comma-separated numbers (req/s)".to_string()
+                })?;
+                if rates.is_empty() || rates.iter().any(|r| *r <= 0.0) {
+                    return Err("--rates needs positive rates".to_string());
+                }
+                out.rates = Some(rates);
+            }
+            "--duration-ms" => {
+                out.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|_| "--duration-ms takes a number".to_string())?
             }
             "--expanded" => out.expanded = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -326,6 +354,31 @@ fn serve_bench(server: &Server, args: &Args) -> Result<(), String> {
             report.mismatches
         ));
     }
+    // Phase 3 (optional) — the open-loop sweep: fixed offered rates
+    // below, at and above the measured closed-loop capacity, reporting
+    // goodput and the coordinated-omission-aware latency tail.
+    if args.open_loop {
+        let rates = args.rates.clone().unwrap_or_else(|| {
+            let capacity = report.throughput().max(10.0);
+            vec![capacity * 0.5, capacity, capacity * 2.0]
+        });
+        println!(
+            "open loop ({} ms per rate, latency from scheduled arrival):",
+            args.duration_ms
+        );
+        for rate in rates {
+            let r = covidkg::serve::loadgen::run_open_loop(
+                server,
+                &OpenLoopConfig {
+                    rate,
+                    duration: Duration::from_millis(args.duration_ms.max(1)),
+                    dispatchers: args.clients.max(1),
+                },
+            );
+            println!("  {}", r.render());
+        }
+    }
+
     print!("{}", server.stats().render());
     Ok(())
 }
