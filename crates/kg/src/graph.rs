@@ -27,7 +27,8 @@ pub enum NodeKind {
 }
 
 impl NodeKind {
-    fn as_str(self) -> &'static str {
+    /// Stable serialization label (also used by the HTTP layer).
+    pub fn as_str(self) -> &'static str {
         match self {
             NodeKind::Root => "root",
             NodeKind::Category => "category",

@@ -1,0 +1,334 @@
+//! Wire-level load generation: closed- and open-loop clients driving a
+//! running [`crate::HttpServer`] over real TCP sockets.
+//!
+//! Mirrors `covidkg_serve::loadgen` (same engine-rotation workload,
+//! same coordinated-omission discipline: open-loop latency is measured
+//! from each request's *scheduled* arrival, not from when a slow
+//! dispatcher got around to sending it) so serve-layer and wire-layer
+//! numbers are directly comparable — the difference is the HTTP tax.
+
+use crate::client::HttpClient;
+use covidkg_corpus::query_workload;
+use covidkg_serve::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Percent-encode a query for use inside `?q=`.
+pub fn encode_query(q: &str) -> String {
+    let mut out = String::with_capacity(q.len());
+    for b in q.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Request target for workload item `i` — the same engine rotation as
+/// the serve-layer loadgen (scoped every 7th, tables every 4th, the
+/// rest all-fields) with pagination exercised via `i % 2`.
+pub fn target_for(i: usize, query: &str) -> String {
+    let q = encode_query(query);
+    let page = i % 2;
+    if i % 7 == 3 {
+        format!("/search/scoped?title={q}&page={page}")
+    } else if i % 4 == 1 {
+        format!("/search/tables?q={q}&page={page}")
+    } else {
+        format!("/search/all-fields?q={q}&page={page}")
+    }
+}
+
+/// Shared tallies for one bench phase.
+#[derive(Default)]
+struct Tally {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    cache_hits: AtomicU64,
+    errors: AtomicU64,
+    statuses: Mutex<BTreeMap<u16, u64>>,
+    latency: LatencyHistogram,
+}
+
+impl Tally {
+    fn record(&self, status: u16, cached: bool, latency: Duration) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        if status == 200 {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+            if cached {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        *self
+            .statuses
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(status)
+            .or_insert(0) += 1;
+        self.latency.record(latency);
+    }
+
+    fn io_error(&self) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn into_report(self, mode: &str, offered_rate: f64, wall: Duration) -> NetBenchReport {
+        NetBenchReport {
+            mode: mode.to_string(),
+            offered_rate,
+            sent: self.sent.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            io_errors: self.errors.load(Ordering::Relaxed),
+            statuses: self
+                .statuses
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+            wall,
+            p50: self.latency.quantile(0.50),
+            p99: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// Results of one bench phase (closed loop or one open-loop rate).
+#[derive(Debug, Clone)]
+pub struct NetBenchReport {
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Offered request rate (req/s; 0 for closed loop).
+    pub offered_rate: f64,
+    /// Requests sent (including ones that failed at the socket level).
+    pub sent: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 200 responses served from the result cache (`X-Cache: hit`).
+    pub cache_hits: u64,
+    /// Requests that died to connect/read/write errors.
+    pub io_errors: u64,
+    /// Response counts by HTTP status.
+    pub statuses: BTreeMap<u16, u64>,
+    /// Wall-clock for the phase.
+    pub wall: Duration,
+    /// Median end-to-end latency (open loop: from scheduled arrival).
+    pub p50: Option<Duration>,
+    /// 99th-percentile latency.
+    pub p99: Option<Duration>,
+}
+
+impl NetBenchReport {
+    /// Completed-OK requests per second.
+    pub fn goodput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / secs
+        }
+    }
+
+    /// One-line summary for sweep tables.
+    pub fn render(&self) -> String {
+        fn dur(d: Option<Duration>) -> String {
+            match d {
+                None => "-".into(),
+                Some(d) if d.as_secs_f64() >= 1.0 => format!("{:.2} s", d.as_secs_f64()),
+                Some(d) if d.as_micros() >= 1000 => format!("{:.2} ms", d.as_secs_f64() * 1e3),
+                Some(d) => format!("{} µs", d.as_micros()),
+            }
+        }
+        let statuses = self
+            .statuses
+            .iter()
+            .map(|(s, c)| format!("{s}:{c}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "net-bench[{}] offered {:.0} req/s: {} sent, {} ok ({} cached), {} io-errors, \
+             statuses [{}], p50 {} p99 {}, {:.1} ok/s over {:.2} s",
+            self.mode,
+            self.offered_rate,
+            self.sent,
+            self.ok,
+            self.cache_hits,
+            self.io_errors,
+            statuses,
+            dur(self.p50),
+            dur(self.p99),
+            self.goodput(),
+            self.wall.as_secs_f64(),
+        )
+    }
+
+    /// JSON object for BENCH_net.json.
+    pub fn to_json(&self) -> covidkg_json::Value {
+        use covidkg_json::Value;
+        let statuses = covidkg_json::Value::Object(
+            self.statuses
+                .iter()
+                .map(|(s, c)| (s.to_string(), Value::from(*c as i64)))
+                .collect(),
+        );
+        covidkg_json::obj! {
+            "mode" => self.mode.as_str(),
+            "offered_rate" => self.offered_rate,
+            "sent" => self.sent as i64,
+            "ok" => self.ok as i64,
+            "cache_hits" => self.cache_hits as i64,
+            "io_errors" => self.io_errors as i64,
+            "statuses" => statuses,
+            "wall_secs" => self.wall.as_secs_f64(),
+            "goodput_rps" => self.goodput(),
+            "p50_us" => self.p50.map(|d| d.as_micros() as f64).unwrap_or(-1.0),
+            "p99_us" => self.p99.map(|d| d.as_micros() as f64).unwrap_or(-1.0),
+        }
+    }
+}
+
+/// Closed-loop phase: `clients` keep-alive connections, each sending
+/// `requests_per_client` back-to-back requests from a deterministic
+/// per-client query stream.
+pub fn run_closed_loop(
+    addr: SocketAddr,
+    clients: usize,
+    requests_per_client: usize,
+    timeout: Duration,
+) -> NetBenchReport {
+    let tally = Tally::default();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let tally = &tally;
+            scope.spawn(move || {
+                let Ok(mut conn) = HttpClient::connect(addr, timeout) else {
+                    for _ in 0..requests_per_client {
+                        tally.io_error();
+                    }
+                    return;
+                };
+                let queries = query_workload(requests_per_client, client as u64);
+                for (i, query) in queries.iter().enumerate() {
+                    let target = target_for(i, query);
+                    let sent_at = Instant::now();
+                    match conn.get(&target) {
+                        Ok(resp) => tally.record(
+                            resp.status,
+                            resp.header("x-cache") == Some("hit"),
+                            sent_at.elapsed(),
+                        ),
+                        Err(_) => tally.io_error(),
+                    }
+                }
+            });
+        }
+    });
+    tally.into_report("closed", 0.0, start.elapsed())
+}
+
+/// Open-loop phase: `rate` req/s offered for `duration`, arrivals
+/// striped over `dispatchers` connections. Latency is measured from
+/// each arrival's scheduled instant, so queueing delay a slow server
+/// induces shows up in the percentiles instead of being silently
+/// omitted.
+pub fn run_open_loop(
+    addr: SocketAddr,
+    rate: f64,
+    duration: Duration,
+    dispatchers: usize,
+    timeout: Duration,
+) -> NetBenchReport {
+    let rate = rate.max(1e-3);
+    let dispatchers = dispatchers.max(1);
+    let arrivals = ((rate * duration.as_secs_f64()).ceil() as u64).max(1);
+    let tally = Tally::default();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for d in 0..dispatchers {
+            let tally = &tally;
+            scope.spawn(move || {
+                let mut conn = HttpClient::connect(addr, timeout).ok();
+                let queries =
+                    query_workload((arrivals as usize).div_ceil(dispatchers), d as u64);
+                for (j, i) in (d as u64..arrivals).step_by(dispatchers).enumerate() {
+                    let scheduled = start + Duration::from_secs_f64(i as f64 / rate);
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let query = &queries[j % queries.len()];
+                    let target = target_for(i as usize, query);
+                    if conn.is_none() {
+                        conn = HttpClient::connect(addr, timeout).ok();
+                    }
+                    let Some(c) = conn.as_mut() else {
+                        tally.io_error();
+                        continue;
+                    };
+                    match c.get(&target) {
+                        Ok(resp) => tally.record(
+                            resp.status,
+                            resp.header("x-cache") == Some("hit"),
+                            scheduled.elapsed(),
+                        ),
+                        Err(_) => {
+                            tally.io_error();
+                            conn = None;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    tally.into_report("open", rate, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_encoding_is_url_safe() {
+        assert_eq!(encode_query("mask mandates"), "mask+mandates");
+        assert_eq!(encode_query("covid-19"), "covid-19");
+        assert_eq!(encode_query("R0>1 & \"spread\""), "R0%3E1+%26+%22spread%22");
+    }
+
+    #[test]
+    fn target_rotation_covers_all_three_engines() {
+        let targets: Vec<String> = (0..8).map(|i| target_for(i, "x")).collect();
+        assert!(targets.iter().any(|t| t.starts_with("/search/scoped?")));
+        assert!(targets.iter().any(|t| t.starts_with("/search/tables?")));
+        assert!(targets.iter().any(|t| t.starts_with("/search/all-fields?")));
+        assert!(targets.iter().any(|t| t.ends_with("page=0")));
+        assert!(targets.iter().any(|t| t.ends_with("page=1")));
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let tally = Tally::default();
+        tally.record(200, true, Duration::from_millis(2));
+        tally.record(200, false, Duration::from_millis(4));
+        tally.record(503, false, Duration::from_millis(1));
+        tally.io_error();
+        let report = tally.into_report("open", 100.0, Duration::from_secs(1));
+        assert_eq!(report.sent, 4);
+        assert_eq!(report.ok, 2);
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.io_errors, 1);
+        assert_eq!(report.statuses.get(&503), Some(&1));
+        assert!((report.goodput() - 2.0).abs() < 1e-9);
+        let line = report.render();
+        assert!(line.contains("503:1"), "{line}");
+        let json = report.to_json().to_json();
+        assert!(json.contains("\"offered_rate\":100"), "{json}");
+        assert!(json.contains("\"ok\":2"), "{json}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal blocking HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! Exists so the repo can test and load-drive its own wire protocol
+//! end-to-end with no external tooling (`curl`, `ab`, …). Supports
+//! exactly what the server speaks: GET over keep-alive connections,
+//! `Content-Length` bodies, `Connection: close` teardown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response as seen on the wire.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with this name, case-insensitive.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Whether the server asked to close the connection.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// Connect with `timeout` applied to connect, reads and writes.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            addr,
+            timeout,
+        })
+    }
+
+    /// The server this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Send `GET target` and read the full response. Reconnects once
+    /// transparently if the server closed the keep-alive connection
+    /// under us (legal at any time per HTTP/1.1).
+    pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        let request = format!("GET {target} HTTP/1.1\r\nHost: covidkg\r\n\r\n");
+        match self.round_trip(request.as_bytes()) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                *self = HttpClient::connect(self.addr, self.timeout)?;
+                self.round_trip(request.as_bytes())
+            }
+        }
+    }
+
+    /// Write raw request bytes and read one response — for tests that
+    /// need byte-level control (split writes, malformed input).
+    pub fn send_raw(&mut self, raw: &[u8]) -> std::io::Result<ClientResponse> {
+        self.round_trip(raw)
+    }
+
+    /// The raw stream, for tests that write a request in fragments.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        self.reader.get_mut()
+    }
+
+    /// Read one response off the connection (pair with [`Self::stream`]
+    /// writes).
+    pub fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        read_response(&mut self.reader)
+    }
+
+    fn round_trip(&mut self, raw: &[u8]) -> std::io::Result<ClientResponse> {
+        self.reader.get_mut().write_all(raw)?;
+        self.reader.get_mut().flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// Parse one HTTP/1.1 response off `reader`.
+pub fn read_response(reader: &mut impl BufRead) -> std::io::Result<ClientResponse> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(bad("connection closed before status line"));
+    }
+    let status = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(&format!("bad status line: {line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (n, v) = line
+            .split_once(':')
+            .ok_or_else(|| bad(&format!("bad header: {line:?}")))?;
+        headers.push((n.trim().to_string(), v.trim().to_string()));
+    }
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse().map_err(|_| bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}

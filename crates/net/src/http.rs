@@ -1,0 +1,681 @@
+//! Incremental, bounds-checked HTTP/1.1 message handling.
+//!
+//! The parser is a byte-at-a-time-safe state machine: callers feed it
+//! whatever the socket produced (one byte or sixty kilobytes) and it
+//! returns a complete [`Request`] as soon as one is buffered, keeping
+//! any pipelined surplus for the next call. Every phase is bounded —
+//! an over-long request line or header block fails with 431, an
+//! oversized declared body with 413, and anything structurally invalid
+//! with 400 — so no peer can make the server buffer without limit.
+
+use std::io::Write;
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Cap on the total header block (all lines + terminator).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on individual header count.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted `Content-Length` body.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A fully parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, e.g. `GET`.
+    pub method: String,
+    /// Origin-form target as sent: path plus optional `?query`.
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Header `(name, value)` pairs in arrival order; names unchanged.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length` body (empty when none was declared).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Path component of the target (before any `?`).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((p, _)) => p,
+            None => &self.target,
+        }
+    }
+
+    /// Raw query string (after `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// First header with this name, compared case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection must close after this request: explicit
+    /// `Connection: close`, or HTTP/1.0 without `keep-alive`.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => !self.http11,
+        }
+    }
+
+    /// Decoded `key=value` pairs of the query string. Plus signs and
+    /// `%XX` escapes are decoded; malformed escapes pass through as-is.
+    pub fn query_params(&self) -> Vec<(String, String)> {
+        let Some(q) = self.query() else {
+            return Vec::new();
+        };
+        q.split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                (percent_decode(k), percent_decode(v))
+            })
+            .collect()
+    }
+
+    /// Value of the query parameter `name`, decoded.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query_params()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Decode `+` and `%XX` sequences (the browser/query-string convention).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Typed parse failures, each carrying its HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Request line exceeded [`MAX_REQUEST_LINE`] → 431.
+    RequestLineTooLong,
+    /// Header block exceeded [`MAX_HEADER_BYTES`] / [`MAX_HEADERS`] → 431.
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeded [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge,
+    /// Structurally invalid request line → 400.
+    BadRequestLine(String),
+    /// Structurally invalid header line → 400.
+    BadHeader(String),
+    /// Unparseable or conflicting `Content-Length` → 400.
+    BadContentLength,
+    /// `Transfer-Encoding` bodies are not supported → 400.
+    UnsupportedTransferEncoding,
+}
+
+impl ParseError {
+    /// The response status this error maps to (always 4xx).
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::RequestLineTooLong | ParseError::HeadersTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+            ParseError::BadRequestLine(_)
+            | ParseError::BadHeader(_)
+            | ParseError::BadContentLength
+            | ParseError::UnsupportedTransferEncoding => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::RequestLineTooLong => write!(f, "request line too long"),
+            ParseError::HeadersTooLarge => write!(f, "header block too large"),
+            ParseError::BodyTooLarge => write!(f, "declared body too large"),
+            ParseError::BadRequestLine(l) => write!(f, "malformed request line: {l:?}"),
+            ParseError::BadHeader(l) => write!(f, "malformed header: {l:?}"),
+            ParseError::BadContentLength => write!(f, "bad content-length"),
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug)]
+enum Phase {
+    /// Waiting for the CRLF ending the request line.
+    Line,
+    /// Request line parsed; collecting header lines.
+    Headers {
+        method: String,
+        target: String,
+        http11: bool,
+        headers: Vec<(String, String)>,
+        /// Bytes of header block consumed so far (for the 431 bound).
+        header_bytes: usize,
+    },
+    /// Headers done; waiting for `needed` body bytes.
+    Body {
+        method: String,
+        target: String,
+        http11: bool,
+        headers: Vec<(String, String)>,
+        needed: usize,
+    },
+    /// A previous feed errored; the connection is poisoned.
+    Failed,
+}
+
+/// Incremental request parser. Feed arbitrary byte chunks; complete
+/// requests pop out in order, surplus bytes carry over.
+#[derive(Debug)]
+pub struct Parser {
+    buf: Vec<u8>,
+    phase: Phase,
+}
+
+impl Default for Parser {
+    fn default() -> Parser {
+        Parser::new()
+    }
+}
+
+impl Parser {
+    /// A parser at the start of a request.
+    pub fn new() -> Parser {
+        Parser {
+            buf: Vec::new(),
+            phase: Phase::Line,
+        }
+    }
+
+    /// True when no partial request is buffered (safe to idle-reap the
+    /// connection without losing anything).
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Line) && self.buf.is_empty()
+    }
+
+    /// Feed `bytes`; returns a complete request as soon as one is
+    /// buffered (`Ok(None)` = need more input). After an `Err` the
+    /// parser is poisoned — the connection must be closed, since byte
+    /// framing can no longer be trusted.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        if matches!(self.phase, Phase::Failed) {
+            return Err(ParseError::BadRequestLine("parser poisoned".into()));
+        }
+        self.buf.extend_from_slice(bytes);
+        match self.drive() {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.phase = Phase::Failed;
+                self.buf.clear();
+                Err(e)
+            }
+        }
+    }
+
+    fn drive(&mut self) -> Result<Option<Request>, ParseError> {
+        loop {
+            match &mut self.phase {
+                Phase::Failed => unreachable!("checked in feed"),
+                Phase::Line => {
+                    let Some(line_end) = find_crlf(&self.buf, MAX_REQUEST_LINE) else {
+                        if self.buf.len() > MAX_REQUEST_LINE {
+                            return Err(ParseError::RequestLineTooLong);
+                        }
+                        return Ok(None);
+                    };
+                    let line = self.buf.drain(..line_end + 2).collect::<Vec<u8>>();
+                    let line = &line[..line_end];
+                    // Be lenient to one stray CRLF between pipelined
+                    // requests (RFC 9112 §2.2 allows ignoring it).
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let (method, target, http11) = parse_request_line(line)?;
+                    self.phase = Phase::Headers {
+                        method,
+                        target,
+                        http11,
+                        headers: Vec::new(),
+                        header_bytes: 0,
+                    };
+                }
+                Phase::Headers {
+                    method,
+                    target,
+                    http11,
+                    headers,
+                    header_bytes,
+                } => {
+                    let budget = MAX_HEADER_BYTES - *header_bytes;
+                    let Some(line_end) = find_crlf(&self.buf, budget) else {
+                        if self.buf.len() > budget {
+                            return Err(ParseError::HeadersTooLarge);
+                        }
+                        return Ok(None);
+                    };
+                    let line = self.buf.drain(..line_end + 2).collect::<Vec<u8>>();
+                    let line = &line[..line_end];
+                    *header_bytes += line_end + 2;
+                    if line.is_empty() {
+                        // End of headers: figure out the body.
+                        let method = std::mem::take(method);
+                        let target = std::mem::take(target);
+                        let http11 = *http11;
+                        let headers = std::mem::take(headers);
+                        let needed = body_length(&headers)?;
+                        if needed > MAX_BODY_BYTES {
+                            return Err(ParseError::BodyTooLarge);
+                        }
+                        self.phase = Phase::Body {
+                            method,
+                            target,
+                            http11,
+                            headers,
+                            needed,
+                        };
+                        continue;
+                    }
+                    if headers.len() >= MAX_HEADERS {
+                        return Err(ParseError::HeadersTooLarge);
+                    }
+                    headers.push(parse_header_line(line)?);
+                }
+                Phase::Body {
+                    method,
+                    target,
+                    http11,
+                    headers,
+                    needed,
+                } => {
+                    if self.buf.len() < *needed {
+                        return Ok(None);
+                    }
+                    let body = self.buf.drain(..*needed).collect();
+                    let request = Request {
+                        method: std::mem::take(method),
+                        target: std::mem::take(target),
+                        http11: *http11,
+                        headers: std::mem::take(headers),
+                        body,
+                    };
+                    self.phase = Phase::Line;
+                    return Ok(Some(request));
+                }
+            }
+        }
+    }
+}
+
+/// Position of the first CRLF within the first `max + 2` bytes.
+fn find_crlf(buf: &[u8], max: usize) -> Option<usize> {
+    let horizon = buf.len().min(max.saturating_add(2));
+    buf[..horizon].windows(2).position(|w| w == b"\r\n")
+}
+
+fn is_token_byte(b: u8) -> bool {
+    // RFC 9110 token characters.
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+fn parse_request_line(line: &[u8]) -> Result<(String, String, bool), ParseError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ParseError::BadRequestLine(String::from_utf8_lossy(line).into_owned()))?;
+    let bad = || ParseError::BadRequestLine(text.to_string());
+    let mut parts = text.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(bad()),
+    };
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Err(bad());
+    }
+    // Origin-form targets only (no authority/absolute forms): visible
+    // ASCII starting with '/', or the literal '*' for OPTIONS.
+    let target_ok = (target.starts_with('/') || target == "*")
+        && target.bytes().all(|b| (0x21..=0x7e).contains(&b));
+    if !target_ok {
+        return Err(bad());
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(bad()),
+    };
+    Ok((method.to_string(), target.to_string(), http11))
+}
+
+fn parse_header_line(line: &[u8]) -> Result<(String, String), ParseError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ParseError::BadHeader(String::from_utf8_lossy(line).into_owned()))?;
+    let bad = || ParseError::BadHeader(text.to_string());
+    let (name, value) = text.split_once(':').ok_or_else(bad)?;
+    // No whitespace is allowed between field name and colon (RFC 9112
+    // §5.1 — it has been used for request smuggling).
+    if name.is_empty() || !name.bytes().all(is_token_byte) {
+        return Err(bad());
+    }
+    let value = value.trim_matches([' ', '\t']);
+    // Field values: visible ASCII plus SP/HTAB (obs-text rejected).
+    if !value.bytes().all(|b| b == b' ' || b == b'\t' || (0x21..=0x7e).contains(&b)) {
+        return Err(bad());
+    }
+    Ok((name.to_string(), value.to_string()))
+}
+
+/// Body length from the header block: 0 without `Content-Length`;
+/// `Transfer-Encoding` and conflicting lengths are rejected.
+fn body_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
+    if headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        return Err(ParseError::UnsupportedTransferEncoding);
+    }
+    let mut declared: Option<usize> = None;
+    for (n, v) in headers {
+        if n.eq_ignore_ascii_case("content-length") {
+            let len: usize = v.parse().map_err(|_| ParseError::BadContentLength)?;
+            if declared.is_some_and(|d| d != len) {
+                return Err(ParseError::BadContentLength);
+            }
+            declared = Some(len);
+        }
+    }
+    Ok(declared.unwrap_or(0))
+}
+
+/// Standard reason phrase for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are added by
+    /// [`Response::write_to`]).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty-bodied response.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `application/json` response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into_bytes())
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Builder: add one header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Builder: set the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// Serialize onto `w` (HTTP/1.1, explicit `Content-Length`, and a
+    /// `Connection` header matching `close`). Returns bytes written.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<u64> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        );
+        for (n, v) in &self.headers {
+            head.push_str(n);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(if close {
+            "Connection: close\r\n"
+        } else {
+            "Connection: keep-alive\r\n"
+        });
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok((head.len() + self.body.len()) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(raw: &[u8]) -> Result<Option<Request>, ParseError> {
+        Parser::new().feed(raw)
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let req = parse_one(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/stats");
+        assert_eq!(req.query(), None);
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(!req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_query_string_with_escapes() {
+        let req = parse_one(b"GET /search/all-fields?q=mask+mandates%21&page=2 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path(), "/search/all-fields");
+        assert_eq!(req.query_param("q").as_deref(), Some("mask mandates!"));
+        assert_eq!(req.query_param("page").as_deref(), Some("2"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn one_byte_at_a_time_yields_the_same_request() {
+        let raw = b"POST /ingest?n=3 HTTP/1.1\r\nContent-Length: 5\r\nX-A: b\r\n\r\nhello";
+        let whole = parse_one(raw).unwrap().unwrap();
+        let mut p = Parser::new();
+        let mut split = None;
+        for (i, b) in raw.iter().enumerate() {
+            match p.feed(std::slice::from_ref(b)).unwrap() {
+                Some(req) => {
+                    assert_eq!(i, raw.len() - 1, "completes exactly on the last byte");
+                    split = Some(req);
+                }
+                None => assert!(i < raw.len() - 1),
+            }
+        }
+        assert_eq!(split.unwrap(), whole);
+        assert_eq!(whole.body, b"hello");
+    }
+
+    #[test]
+    fn pipelined_requests_pop_in_order() {
+        let mut p = Parser::new();
+        let first = p
+            .feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.target, "/a");
+        let second = p.feed(b"").unwrap().unwrap();
+        assert_eq!(second.target, "/b");
+        assert!(p.feed(b"").unwrap().is_none());
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn connection_close_semantics() {
+        let close = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(close.wants_close());
+        let http10 = parse_one(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(http10.wants_close(), "HTTP/1.0 defaults to close");
+        let http10_ka = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!http10_ka.wants_close());
+    }
+
+    #[test]
+    fn oversized_inputs_map_to_431_and_413() {
+        let mut long_line = Vec::from(&b"GET /"[..]);
+        long_line.resize(MAX_REQUEST_LINE + 10, b'a');
+        let err = parse_one(&long_line).unwrap_err();
+        assert_eq!(err, ParseError::RequestLineTooLong);
+        assert_eq!(err.status(), 431);
+
+        let mut many_headers = Vec::from(&b"GET / HTTP/1.1\r\n"[..]);
+        for i in 0..(MAX_HEADERS + 1) {
+            many_headers.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        many_headers.extend_from_slice(b"\r\n");
+        let err = parse_one(&many_headers).unwrap_err();
+        assert_eq!(err, ParseError::HeadersTooLarge);
+        assert_eq!(err.status(), 431);
+
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse_one(big.as_bytes()).unwrap_err();
+        assert_eq!(err, ParseError::BodyTooLarge);
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_400() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET /a b HTTP/1.1\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nBad Header: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            let err = parse_one(raw).expect_err(&format!("{:?}", String::from_utf8_lossy(raw)));
+            assert_eq!(err.status(), 400, "{err:?}");
+        }
+    }
+
+    #[test]
+    fn poisoned_parser_stays_failed() {
+        let mut p = Parser::new();
+        assert!(p.feed(b"BAD LINE\r\n\r\n").is_err());
+        assert!(p.feed(b"GET / HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_connection() {
+        let mut out = Vec::new();
+        let n = Response::json(200, "{\"x\":1}".into())
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"x\":1}"));
+        assert_eq!(n, text.len() as u64);
+
+        let mut out = Vec::new();
+        Response::new(503)
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn percent_decode_handles_edges() {
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("%41%62"), "Ab");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode(""), "");
+    }
+}

@@ -1,0 +1,38 @@
+//! covidkg-net — a std-only HTTP/1.1 front-end for the serving stack.
+//!
+//! COVIDKG.ORG is, above all, a *web site*: §1 describes "a Web-scale
+//! … interactive" system whose search engines and knowledge graph are
+//! interrogated through a browser. Until this crate, the repo's
+//! serving stack ([`covidkg_serve::Server`]) was only reachable
+//! in-process. `covidkg-net` puts it on the wire with nothing beyond
+//! `std::net`:
+//!
+//! - [`http`] — an incremental, bounds-checked HTTP/1.1 parser
+//!   (431/413/400 on hostile input) and response writer with
+//!   keep-alive semantics;
+//! - [`server`] — a connection supervisor: bounded accept (503 +
+//!   `Retry-After` past the cap), read/write deadlines, idle-connection
+//!   reaping and graceful drain of in-flight requests on shutdown;
+//! - [`router`] — `GET /search/{engine}`, `/kg/node/{id}`, `/stats`,
+//!   `/metrics`, mapping the scheduler's typed backpressure errors
+//!   (`Overloaded`, `DeadlineExceeded`, …) onto honest wire statuses;
+//! - [`client`] + [`bench`] — an in-repo blocking client and closed/
+//!   open-loop load generators, so the wire path is testable and
+//!   benchmarkable without any external tool.
+//!
+//! The load-bearing guarantee: a TCP client receives **byte-identical**
+//! JSON search pages to an in-process `SearchPage::to_json()` caller
+//! for the same (engine, query, page) — cached, fresh or stale.
+
+pub mod bench;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod router;
+pub mod server;
+
+pub use bench::{run_closed_loop, run_open_loop, NetBenchReport};
+pub use client::{ClientResponse, HttpClient};
+pub use http::{ParseError, Parser, Request, Response};
+pub use metrics::{WireMetrics, WireStats};
+pub use server::{HttpServer, NetConfig};

@@ -1,0 +1,224 @@
+//! Wire-level counters and the `/metrics` text exposition.
+//!
+//! The serve layer already tracks scheduler-side metrics (queue depth,
+//! cache hit rate, latency percentiles). This registry adds the
+//! network-only dimensions the scheduler cannot see — connections,
+//! bytes on the wire, parse failures, and the per-status-code response
+//! mix — and renders both layers as one flat `name value` text page in
+//! the Prometheus exposition style (no external client required).
+
+use covidkg_serve::ServeStats;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Lock-free wire counters shared by the accept loop and every
+/// connection thread.
+#[derive(Debug, Default)]
+pub struct WireMetrics {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    reaped: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    parse_errors: AtomicU64,
+    requests: AtomicU64,
+    /// Response counts keyed by status code. A mutex is fine here: the
+    /// map is touched once per response, after the search completed.
+    statuses: Mutex<BTreeMap<u16, u64>>,
+}
+
+impl WireMetrics {
+    pub(crate) fn connection_opened(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_reaped(&self) {
+        self.reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn read(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn wrote(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn parse_error(&self) {
+        self.parse_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn responded(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut statuses = self.statuses.lock().unwrap_or_else(|e| e.into_inner());
+        *statuses.entry(status).or_insert(0) += 1;
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> WireStats {
+        WireStats {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_active: self.active.load(Ordering::Relaxed),
+            connections_reaped: self.reaped.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_by_status: self
+                .statuses
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+        }
+    }
+}
+
+/// Snapshot of [`WireMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Connections the supervisor accepted (including over-capacity ones
+    /// turned away with 503).
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Idle connections closed by the reaper.
+    pub connections_reaped: u64,
+    /// Request bytes read off sockets.
+    pub bytes_in: u64,
+    /// Response bytes written to sockets.
+    pub bytes_out: u64,
+    /// Requests rejected by the HTTP parser.
+    pub parse_errors: u64,
+    /// Responses written (any status).
+    pub requests: u64,
+    /// Responses by status code.
+    pub responses_by_status: BTreeMap<u16, u64>,
+}
+
+/// Render wire + serve stats as a text metrics page, one
+/// `covidkg_<name> <value>` per line, statuses as labelled series.
+pub fn render_metrics(wire: &WireStats, serve: &ServeStats) -> String {
+    fn secs(d: Option<Duration>) -> f64 {
+        d.map(|d| d.as_secs_f64()).unwrap_or(0.0)
+    }
+    let mut out = String::new();
+    let mut line = |name: &str, v: String| {
+        out.push_str("covidkg_");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    line("net_connections_accepted", wire.connections_accepted.to_string());
+    line("net_connections_active", wire.connections_active.to_string());
+    line("net_connections_reaped", wire.connections_reaped.to_string());
+    line("net_bytes_in", wire.bytes_in.to_string());
+    line("net_bytes_out", wire.bytes_out.to_string());
+    line("net_parse_errors", wire.parse_errors.to_string());
+    line("net_requests", wire.requests.to_string());
+    for (status, count) in &wire.responses_by_status {
+        line(
+            &format!("net_responses{{status=\"{status}\"}}"),
+            count.to_string(),
+        );
+    }
+    line("serve_requests_all_fields", serve.requests_all_fields.to_string());
+    line("serve_requests_tables", serve.requests_tables.to_string());
+    line("serve_requests_scoped", serve.requests_scoped.to_string());
+    line("serve_cache_hits", serve.cache_hits.to_string());
+    line("serve_cache_misses", serve.cache_misses.to_string());
+    line("serve_overloaded", serve.overloaded.to_string());
+    line("serve_deadline_exceeded", serve.deadline_exceeded.to_string());
+    line("serve_completed", serve.completed.to_string());
+    line("serve_worker_panics", serve.worker_panics.to_string());
+    line("serve_worker_respawns", serve.worker_respawns.to_string());
+    line("serve_degraded", serve.degraded.to_string());
+    line("serve_stale_served", serve.stale_served.to_string());
+    line("serve_breaker_opens", serve.breaker_opens.to_string());
+    line("serve_io_retries", serve.io_retries.to_string());
+    line("serve_queue_depth", serve.queue_depth.to_string());
+    line("serve_max_queue_depth", serve.max_queue_depth.to_string());
+    line("serve_latency_p50_seconds", format!("{:.6}", secs(serve.p50)));
+    line("serve_latency_p95_seconds", format!("{:.6}", secs(serve.p95)));
+    line("serve_latency_p99_seconds", format!("{:.6}", secs(serve.p99)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_round_trip_through_snapshot() {
+        let m = WireMetrics::default();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.connection_reaped();
+        m.read(100);
+        m.wrote(250);
+        m.parse_error();
+        m.responded(200);
+        m.responded(200);
+        m.responded(503);
+        let s = m.snapshot();
+        assert_eq!(s.connections_accepted, 2);
+        assert_eq!(s.connections_active, 1);
+        assert_eq!(s.connections_reaped, 1);
+        assert_eq!(s.bytes_in, 100);
+        assert_eq!(s.bytes_out, 250);
+        assert_eq!(s.parse_errors, 1);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.responses_by_status.get(&200), Some(&2));
+        assert_eq!(s.responses_by_status.get(&503), Some(&1));
+    }
+
+    #[test]
+    fn exposition_lists_every_series() {
+        let m = WireMetrics::default();
+        m.connection_opened();
+        m.responded(200);
+        m.responded(404);
+        let serve = covidkg_serve::ServeStats {
+            requests_all_fields: 7,
+            requests_tables: 0,
+            requests_scoped: 0,
+            cache_hits: 3,
+            cache_misses: 4,
+            overloaded: 1,
+            deadline_exceeded: 0,
+            completed: 4,
+            worker_panics: 0,
+            worker_respawns: 0,
+            degraded: 0,
+            stale_served: 0,
+            breaker_opens: 0,
+            io_retries: 0,
+            cache: Default::default(),
+            queue_depth: 0,
+            max_queue_depth: 2,
+            p50: Some(Duration::from_micros(1500)),
+            p95: None,
+            p99: None,
+        };
+        let text = render_metrics(&m.snapshot(), &serve);
+        assert!(text.contains("covidkg_net_connections_accepted 1\n"), "{text}");
+        assert!(text.contains("covidkg_net_responses{status=\"200\"} 1\n"));
+        assert!(text.contains("covidkg_net_responses{status=\"404\"} 1\n"));
+        assert!(text.contains("covidkg_serve_requests_all_fields 7\n"));
+        assert!(text.contains("covidkg_serve_latency_p50_seconds 0.001500\n"));
+        assert!(text.contains("covidkg_serve_latency_p95_seconds 0.000000\n"));
+        // Every line is `name value`.
+        for l in text.lines() {
+            assert_eq!(l.split(' ').count(), 2, "{l}");
+            assert!(l.starts_with("covidkg_"), "{l}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Request routing: maps parsed HTTP requests onto the serving stack.
+//!
+//! Byte-correctness contract: the body of a 200 search response is
+//! exactly `SearchPage::to_json().to_json()` — the same canonical JSON
+//! an in-process caller gets — for cached, fresh and stale pages alike.
+//! Cache/degradation metadata rides in response *headers* (`X-Cache`,
+//! `X-Generation`) so the body never varies with cache state.
+
+use crate::http::{Request, Response};
+use crate::metrics::{render_metrics, WireStats};
+use covidkg_json::{obj, Value};
+use covidkg_search::SearchMode;
+use covidkg_serve::{ServeError, Server};
+
+/// Resolve one request to a response. Never panics; unknown paths 404,
+/// wrong methods 405, bad parameters 400.
+pub fn handle(server: &Server, wire: &WireStats, req: &Request) -> Response {
+    if req.method != "GET" {
+        return error_response(405, "only GET is supported");
+    }
+    let path = req.path();
+    if let Some(engine) = path.strip_prefix("/search/") {
+        return search(server, engine, req);
+    }
+    if let Some(id) = path.strip_prefix("/kg/node/") {
+        return kg_node(server, id);
+    }
+    match path {
+        "/stats" => stats(server),
+        "/metrics" => Response::text(200, render_metrics(wire, &server.stats())),
+        "/" => Response::json(
+            200,
+            obj! {
+                "service" => "covidkg",
+                "endpoints" => Value::Array(vec![
+                    Value::from("/search/{all-fields|tables|scoped}?q=&page="),
+                    Value::from("/kg/node/{id}"),
+                    Value::from("/stats"),
+                    Value::from("/metrics"),
+                ]),
+            }
+            .to_json(),
+        ),
+        _ => error_response(404, "no such resource"),
+    }
+}
+
+/// `GET /search/{engine}?q=&page=` — `scoped` also accepts the
+/// per-field `title`/`abstract`/`caption` parameters, defaulting each
+/// to `q` when absent.
+fn search(server: &Server, engine: &str, req: &Request) -> Response {
+    let q = req.query_param("q").unwrap_or_default();
+    let page = match req.query_param("page").as_deref() {
+        None => 0,
+        Some(p) => match p.parse::<usize>() {
+            Ok(p) => p,
+            Err(_) => return error_response(400, "page must be a non-negative integer"),
+        },
+    };
+    let mode = match engine {
+        "all-fields" => SearchMode::AllFields(q),
+        "tables" => SearchMode::Tables(q),
+        "scoped" => SearchMode::TitleAbstractCaption {
+            title: req.query_param("title").unwrap_or_else(|| q.clone()),
+            abstract_q: req.query_param("abstract").unwrap_or_else(|| q.clone()),
+            caption: req.query_param("caption").unwrap_or_else(|| q.clone()),
+        },
+        other => {
+            return error_response(
+                404,
+                &format!("unknown engine {other:?}: expected all-fields, tables or scoped"),
+            )
+        }
+    };
+    match server.search(&mode, page) {
+        Ok(resp) => Response::json(200, resp.page.to_json().to_json())
+            .with_header(
+                "X-Cache",
+                if resp.stale {
+                    "stale"
+                } else if resp.cached {
+                    "hit"
+                } else {
+                    "miss"
+                },
+            )
+            .with_header("X-Generation", resp.generation.to_string()),
+        Err(e) => serve_error_response(e),
+    }
+}
+
+/// Map the scheduler's typed backpressure errors onto wire statuses.
+pub fn serve_error_response(e: ServeError) -> Response {
+    match e {
+        ServeError::Overloaded => error_response(503, "server overloaded: request queue full")
+            .with_header("Retry-After", "1"),
+        ServeError::DeadlineExceeded => error_response(504, "search missed its deadline"),
+        ServeError::Degraded => {
+            error_response(503, "engine degraded and no cached page available")
+                .with_header("Retry-After", "1")
+        }
+        ServeError::Closed => error_response(503, "server is shutting down"),
+    }
+}
+
+/// `GET /kg/node/{id}` — one knowledge-graph node with its topology.
+fn kg_node(server: &Server, id: &str) -> Response {
+    let Ok(id) = id.parse::<usize>() else {
+        return error_response(400, "node id must be a non-negative integer");
+    };
+    server.with_system(|system| {
+        let kg = system.kg();
+        if id >= kg.len() {
+            return error_response(404, &format!("no node {id} (graph has {})", kg.len()));
+        }
+        let node = kg.node(id);
+        let ids =
+            |v: &[usize]| Value::Array(v.iter().map(|&n| Value::from(n)).collect());
+        Response::json(
+            200,
+            obj! {
+                "id" => node.id,
+                "label" => node.label.as_str(),
+                "kind" => node.kind.as_str(),
+                "parents" => ids(&node.parents),
+                "children" => ids(&node.children),
+                "provenance" => Value::Array(
+                    node.provenance.iter().map(|p| Value::from(p.as_str())).collect()
+                ),
+                "confidence" => node.confidence,
+            }
+            .to_json(),
+        )
+    })
+}
+
+/// `GET /stats` — storage + KG + serving summary as JSON.
+fn stats(server: &Server) -> Response {
+    let (db, kg_nodes) = server.with_system(|system| (system.stats(), system.kg().len()));
+    let serve = server.stats();
+    let collections = Value::Array(
+        db.collections
+            .iter()
+            .map(|c| {
+                obj! {
+                    "name" => c.name.as_str(),
+                    "docs" => c.docs,
+                    "bytes" => c.bytes,
+                    "indexed_terms" => c.indexed_terms,
+                    "shards" => c.shards.len(),
+                }
+            })
+            .collect(),
+    );
+    Response::json(
+        200,
+        obj! {
+            "generation" => server.generation() as i64,
+            "documents" => db.total_docs(),
+            "dataset_bytes" => db.total_bytes(),
+            "collections" => collections,
+            "kg_nodes" => kg_nodes,
+            "serve" => obj! {
+                "requests" => serve.total_requests() as i64,
+                "completed" => serve.completed as i64,
+                "cache_hits" => serve.cache_hits as i64,
+                "cache_misses" => serve.cache_misses as i64,
+                "overloaded" => serve.overloaded as i64,
+                "degraded" => serve.degraded as i64,
+            },
+        }
+        .to_json(),
+    )
+}
+
+/// A JSON error body `{"error": ...}` with the given status.
+pub fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, obj! { "error" => message }.to_json())
+}

@@ -1,0 +1,271 @@
+//! Connection supervisor: bounded accept, deadlines, idle reaping and
+//! graceful drain over plain `std::net`.
+//!
+//! Thread-per-connection with a hard cap: the accept loop counts live
+//! connections and turns the overflow away immediately with
+//! `503 + Retry-After` instead of letting the kernel backlog hide the
+//! overload. Each connection thread reads with a short socket timeout
+//! so it can notice three things between reads: shutdown (drain: finish
+//! the in-flight request, then close), idle expiry (reap connections
+//! holding no partial request), and read-deadline expiry (a peer that
+//! stalled *mid-request* is cut off — slowloris protection).
+
+use crate::http::{Parser, Response};
+use crate::metrics::{WireMetrics, WireStats};
+use crate::router::{error_response, handle};
+use covidkg_serve::Server;
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Network front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Address to bind (use port 0 for an OS-assigned port).
+    pub addr: SocketAddr,
+    /// Maximum simultaneously open connections; excess accepts are
+    /// answered `503 Retry-After: 1` and closed.
+    pub max_connections: usize,
+    /// A peer stalled longer than this *mid-request* is disconnected.
+    pub read_timeout: Duration,
+    /// Socket-level bound on blocking writes.
+    pub write_timeout: Duration,
+    /// A keep-alive connection idle (no partial request buffered)
+    /// longer than this is reaped.
+    pub idle_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Shared {
+    serve: Arc<Server>,
+    config: NetConfig,
+    wire: WireMetrics,
+    shutting_down: AtomicBool,
+    active: AtomicU64,
+}
+
+/// A running HTTP front-end. Dropping it (or calling
+/// [`HttpServer::shutdown`]) drains in-flight requests and joins every
+/// thread.
+pub struct HttpServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `config.addr` and start accepting.
+    pub fn start(serve: Arc<Server>, config: NetConfig) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            serve,
+            config,
+            wire: WireMetrics::default(),
+            shutting_down: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = std::thread::Builder::new()
+            .name("covidkg-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, conn_threads))
+            .expect("spawn accept thread");
+        Ok(HttpServer {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when 0 was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Wire-level counters.
+    pub fn wire_stats(&self) -> WireStats {
+        self.shared.wire.snapshot()
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread.
+    /// Idempotent. The serve-layer [`Server`] is left running — it is
+    /// owned by the caller.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the accept loop: it blocks in accept(), so poke it with
+        // one throwaway connection aimed at ourselves.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.wire.connection_opened();
+        // Over capacity: reject *now* with an honest 503 instead of
+        // parking the peer in an invisible queue.
+        if shared.active.load(Ordering::Acquire) >= shared.config.max_connections as u64 {
+            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+            let resp = error_response(503, "connection limit reached").with_header("Retry-After", "1");
+            let mut s = stream;
+            if let Ok(n) = resp.write_to(&mut s, true) {
+                shared.wire.wrote(n);
+            }
+            shared.wire.responded(503);
+            let _ = s.shutdown(Shutdown::Both);
+            shared.wire.connection_closed();
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("covidkg-net-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &conn_shared);
+                conn_shared.active.fetch_sub(1, Ordering::AcqRel);
+                conn_shared.wire.connection_closed();
+            })
+            .expect("spawn connection thread");
+        let mut threads = conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+        threads.push(handle);
+        // Opportunistically sweep finished threads so the vec stays
+        // proportional to *live* connections, not total accepted.
+        threads.retain(|h| !h.is_finished());
+    }
+    // Drain: every connection thread observes `shutting_down` within
+    // one read-timeout tick, finishes its in-flight request, and exits.
+    let threads = std::mem::take(&mut *conn_threads.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in threads {
+        let _ = h.join();
+    }
+}
+
+/// Read-timeout tick: short enough that shutdown and reaping are
+/// prompt, long enough to stay off the scheduler's back.
+const TICK: Duration = Duration::from_millis(50);
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(TICK));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = Parser::new();
+    let mut buf = [0u8; 16 * 1024];
+    // `last_activity` tracks the last byte received; while a partial
+    // request is buffered it doubles as the mid-request stall clock.
+    let mut last_activity = Instant::now();
+    loop {
+        // Flush any requests already buffered (pipelining) before
+        // blocking on the socket again.
+        loop {
+            match parser.feed(&[]) {
+                Ok(Some(req)) => {
+                    let close = req.wants_close() || shared.shutting_down.load(Ordering::Acquire);
+                    if !respond(&mut stream, shared, handle(&shared.serve, &shared.wire.snapshot(), &req), close) {
+                        return;
+                    }
+                    if close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    shared.wire.parse_error();
+                    respond(&mut stream, shared, error_response(e.status(), &e.to_string()), true);
+                    return;
+                }
+            }
+        }
+        if shared.shutting_down.load(Ordering::Acquire) {
+            // Keep-alive connection with nothing in flight: close.
+            return;
+        }
+        let idle = last_activity.elapsed();
+        if parser.is_idle() {
+            if idle >= shared.config.idle_timeout {
+                shared.wire.connection_reaped();
+                return;
+            }
+        } else if idle >= shared.config.read_timeout {
+            // Mid-request stall: tell the slow peer it timed out.
+            respond(&mut stream, shared, error_response(408, "request read timed out"), true);
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                shared.wire.read(n as u64);
+                last_activity = Instant::now();
+                match parser.feed(&buf[..n]) {
+                    Ok(Some(req)) => {
+                        let close =
+                            req.wants_close() || shared.shutting_down.load(Ordering::Acquire);
+                        if !respond(&mut stream, shared, handle(&shared.serve, &shared.wire.snapshot(), &req), close) {
+                            return;
+                        }
+                        if close {
+                            return;
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        shared.wire.parse_error();
+                        respond(&mut stream, shared, error_response(e.status(), &e.to_string()), true);
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Tick: loop back to the shutdown/idle/deadline checks.
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Write one response, recording bytes and status. Returns `false`
+/// when the connection is unusable and must be dropped.
+fn respond(stream: &mut TcpStream, shared: &Shared, resp: Response, close: bool) -> bool {
+    let status = resp.status;
+    match resp.write_to(stream, close) {
+        Ok(n) => {
+            shared.wire.wrote(n);
+            shared.wire.responded(status);
+            true
+        }
+        Err(_) => false,
+    }
+}

@@ -1,0 +1,230 @@
+//! Property tests for the HTTP/1.1 parser (ISSUE 4 satellite): random
+//! well-formed requests must round-trip regardless of how the bytes
+//! are split across reads, and random mutations of well-formed
+//! requests must produce a clean 4xx `ParseError` — never a panic,
+//! never an unbounded buffer, never a parse that disagrees with the
+//! whole-buffer parse.
+
+use covidkg_net::http::{Parser, Request, MAX_BODY_BYTES};
+use covidkg_rand::prop;
+use covidkg_rand::{Rng, SmallRng};
+
+/// A random well-formed request and its serialized bytes.
+fn gen_request(rng: &mut SmallRng) -> (Vec<u8>, Request) {
+    let method = (*prop::pick(rng, &["GET", "POST", "HEAD", "PUT"])).to_string();
+    let path_chars: Vec<char> = "abcdefghij0123456789/-_.".chars().collect();
+    let mut target = format!("/{}", prop::charset_string(rng, &path_chars, 0, 24));
+    if rng.gen_bool(0.5) {
+        let key = prop::lowercase_string(rng, 1, 5);
+        let value_chars: Vec<char> = "abc123%20+".chars().collect();
+        let value = prop::charset_string(rng, &value_chars, 0, 10);
+        target.push_str(&format!("?{key}={value}"));
+    }
+    let mut headers: Vec<(String, String)> = (0..rng.gen_range(0..6))
+        .map(|i| {
+            let name = format!("X-{}{i}", prop::lowercase_string(rng, 1, 8));
+            // Visible ASCII only; no leading/trailing whitespace (the
+            // parser trims it, which would break exact round-tripping).
+            let value_chars: Vec<char> =
+                "abcdefghijklmnopqrstuvwxyz0123456789!#$()<>[]{}".chars().collect();
+            let value = prop::charset_string(rng, &value_chars, 1, 16);
+            (name, value)
+        })
+        .collect();
+    let body: Vec<u8> = if rng.gen_bool(0.4) {
+        (0..rng.gen_range(1..200usize)).map(|_| rng.gen_range(0u8..=255)).collect()
+    } else {
+        Vec::new()
+    };
+    if !body.is_empty() {
+        headers.push(("Content-Length".to_string(), body.len().to_string()));
+    }
+    let mut raw = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+    for (n, v) in &headers {
+        raw.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+    }
+    raw.extend_from_slice(b"\r\n");
+    raw.extend_from_slice(&body);
+    let expected = Request {
+        method,
+        target,
+        http11: true,
+        headers,
+        body,
+    };
+    (raw, expected)
+}
+
+#[test]
+fn well_formed_requests_round_trip() {
+    prop::run(300, |rng| {
+        let (raw, expected) = gen_request(rng);
+        let got = Parser::new()
+            .feed(&raw)
+            .expect("well-formed request must parse")
+            .expect("complete request must pop");
+        assert_eq!(got, expected);
+    });
+}
+
+#[test]
+fn split_reads_never_change_the_outcome() {
+    // Feed the same request in random fragments — including the fully
+    // adversarial one-byte-at-a-time split — and require byte-for-byte
+    // the same parse as the whole-buffer feed.
+    prop::run(150, |rng| {
+        let (raw, expected) = gen_request(rng);
+        for split in ["random", "one-byte"] {
+            let mut parser = Parser::new();
+            let mut got = None;
+            let mut pos = 0;
+            while pos < raw.len() {
+                let take = match split {
+                    "one-byte" => 1,
+                    _ => rng.gen_range(1..=(raw.len() - pos)),
+                };
+                let parsed = parser
+                    .feed(&raw[pos..pos + take])
+                    .expect("well-formed request must parse under any split");
+                pos += take;
+                if let Some(req) = parsed {
+                    assert_eq!(pos, raw.len(), "must complete exactly on the last byte");
+                    got = Some(req);
+                }
+            }
+            assert_eq!(got.as_ref(), Some(&expected), "split={split}");
+        }
+    });
+}
+
+#[test]
+fn pipelined_streams_pop_every_request_in_order() {
+    prop::run(60, |rng| {
+        let requests: Vec<(Vec<u8>, Request)> =
+            (0..rng.gen_range(2..5)).map(|_| gen_request(rng)).collect();
+        let stream: Vec<u8> = requests.iter().flat_map(|(raw, _)| raw.clone()).collect();
+        let mut parser = Parser::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        // Random splits across request boundaries.
+        while pos < stream.len() {
+            let take = rng.gen_range(1..=(stream.len() - pos));
+            if let Some(req) = parser.feed(&stream[pos..pos + take]).unwrap() {
+                got.push(req);
+            }
+            pos += take;
+        }
+        // Drain any still-buffered complete requests.
+        while let Ok(Some(req)) = parser.feed(&[]) {
+            got.push(req);
+        }
+        let expected: Vec<&Request> = requests.iter().map(|(_, r)| r).collect();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected) {
+            assert_eq!(g, e);
+        }
+    });
+}
+
+/// Apply one random byte-level mutation. Returns `None` when the
+/// mutation could legally leave the request well-formed or merely
+/// incomplete, to keep the property sharp.
+fn mutate(rng: &mut SmallRng, raw: &[u8]) -> Vec<u8> {
+    let mut out = raw.to_vec();
+    match rng.gen_range(0..4u32) {
+        // Corrupt one byte of the head with a control character.
+        0 => {
+            let head_end = out
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .unwrap_or(out.len().saturating_sub(1));
+            let i = rng.gen_range(0..head_end.max(1));
+            out[i] = *prop::pick(rng, &[0u8, 1, 7, 0x7f, 0xff]);
+        }
+        // Break the version token.
+        1 => {
+            if let Some(p) = out.windows(8).position(|w| w == b"HTTP/1.1") {
+                out[p + 5] = b'9';
+            }
+        }
+        // Garble Content-Length (or inject a bogus one).
+        2 => {
+            let line = format!("Content-Length: {}\r\n", prop::lowercase_string(rng, 1, 4));
+            let insert = out.windows(2).position(|w| w == b"\r\n").map(|p| p + 2).unwrap_or(0);
+            out.splice(insert..insert, line.into_bytes());
+        }
+        // Declare an unsupported transfer-encoding.
+        _ => {
+            let insert = out.windows(2).position(|w| w == b"\r\n").map(|p| p + 2).unwrap_or(0);
+            out.splice(insert..insert, b"Transfer-Encoding: chunked\r\n".to_vec());
+        }
+    }
+    out
+}
+
+#[test]
+fn mutated_requests_fail_clean_with_4xx_never_panic() {
+    // run_shrink: on failure, greedily shrink the mutated byte stream
+    // to a minimal counterexample before reporting.
+    prop::run_shrink(
+        300,
+        |rng| {
+            let (raw, _) = gen_request(rng);
+            mutate(rng, &raw)
+        },
+        |bytes| prop::shrink_vec(bytes, |_| Vec::new()),
+        |bytes| {
+            let outcome = std::panic::catch_unwind(|| {
+                let mut parser = Parser::new();
+                parser.feed(bytes)
+            });
+            match outcome {
+                Err(_) => Err("parser panicked".to_string()),
+                Ok(Err(e)) => {
+                    let status = e.status();
+                    if (400..500).contains(&status) {
+                        Ok(())
+                    } else {
+                        Err(format!("non-4xx parse error status {status} for {e:?}"))
+                    }
+                }
+                // Mutations can leave the request well-formed (e.g. the
+                // corrupted byte landed in a body) or merely incomplete
+                // (injected Content-Length larger than the remaining
+                // bytes) — both are legal non-failures.
+                Ok(Ok(_)) => Ok(()),
+            }
+        },
+    );
+}
+
+#[test]
+fn random_garbage_never_panics_and_never_buffers_unbounded() {
+    prop::run(400, |rng| {
+        let garbage: Vec<u8> =
+            (0..rng.gen_range(0..2000usize)).map(|_| rng.gen_range(0u8..=255)).collect();
+        let mut parser = Parser::new();
+        let mut pos = 0;
+        while pos < garbage.len() {
+            let take = rng.gen_range(1..=(garbage.len() - pos).min(64));
+            match parser.feed(&garbage[pos..pos + take]) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!((400..500).contains(&e.status()), "{e:?}");
+                    return; // poisoned: connection would close here
+                }
+            }
+            pos += take;
+        }
+    });
+}
+
+#[test]
+fn declared_body_sizes_above_the_cap_always_413() {
+    prop::run(50, |rng| {
+        let len = MAX_BODY_BYTES + rng.gen_range(1..1_000_000usize);
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {len}\r\n\r\n");
+        let err = Parser::new().feed(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+    });
+}

@@ -149,6 +149,12 @@ impl SearchEngine {
         // phrase sets (not on scores), so that pair is the render key.
         let render_key = render_key(&projection, &ranker);
         let epoch = self.collection.mutation_epoch();
+        if let Some(cache) = &self.render_cache {
+            // Per-document invalidation: only renders of touched docs are
+            // dropped; warm entries survive unrelated updates. Falls back
+            // to a wholesale clear when the store can't bound the set.
+            cache.sync(epoch, |since| self.collection.touched_since(since));
+        }
 
         // Fast path: index-pruned candidates, postings-based scoring, one
         // worker per shard, bounded to the page's top-k.
@@ -695,5 +701,50 @@ mod tests {
         .unwrap();
         let third = engine.search(&mode, 0);
         assert!(third.render().contains("revisited"), "{}", third.render());
+    }
+
+    #[test]
+    fn render_cache_survives_unrelated_mutation() {
+        let coll = collection();
+        let cache = Arc::new(crate::render_cache::RenderCache::new(64));
+        let engine = SearchEngine::new(Arc::clone(&coll)).with_render_cache(Arc::clone(&cache));
+        let mode = SearchMode::AllFields("masks".into());
+        let first = engine.search(&mode, 0);
+        assert!(first.results.iter().any(|r| r.id == "p1"));
+        let warm = engine.render_cache_stats().unwrap();
+        assert!(warm.misses > 0);
+        // Replace a document that does NOT match the query: the epoch
+        // bumps, but only p2's renders are invalidated — and none exist.
+        coll.replace(
+            "p2",
+            obj! {
+                "title" => "Vaccine efficacy in adults, updated",
+                "abstract" => "Vaccination outcomes after three doses.",
+                "date" => "2022-06",
+            },
+        )
+        .unwrap();
+        let second = engine.search(&mode, 0);
+        let after = engine.render_cache_stats().unwrap();
+        assert_eq!(
+            after.misses, warm.misses,
+            "warm renders must survive the unrelated update"
+        );
+        assert!(after.hits > warm.hits, "page re-served from warm renders");
+        assert_eq!(first.render(), second.render());
+        // A mutation that *does* touch a rendered doc still invalidates it.
+        coll.replace(
+            "p1",
+            obj! {
+                "title" => "Mask mandates revisited",
+                "abstract" => "Updated mask analysis.",
+                "date" => "2023-01",
+            },
+        )
+        .unwrap();
+        let third = engine.search(&mode, 0);
+        assert!(third.render().contains("revisited"), "{}", third.render());
+        let touched = engine.render_cache_stats().unwrap();
+        assert!(touched.misses > after.misses, "touched doc was rebuilt");
     }
 }

@@ -128,6 +128,39 @@ impl RenderCache {
         );
     }
 
+    /// Advance the cache to `epoch`, evicting only the documents the
+    /// store proves were touched. `touched_since` receives the resident
+    /// epoch and returns the ids mutated since it — or `None` when the
+    /// store can't bound the set, in which case everything is dropped
+    /// (the pre-existing wholesale behavior). Entries for unrelated
+    /// documents survive the epoch bump.
+    pub fn sync(&self, epoch: u64, touched_since: impl FnOnce(u64) -> Option<Vec<String>>) {
+        let mut inner = self.lock();
+        if inner.epoch == epoch {
+            return;
+        }
+        match touched_since(inner.epoch) {
+            Some(ids) => {
+                let touched: std::collections::HashSet<&str> =
+                    ids.iter().map(String::as_str).collect();
+                inner.map.retain(|(doc_id, _), _| !touched.contains(doc_id.as_str()));
+                let map = &inner.map;
+                let retained: VecDeque<(String, String)> = inner
+                    .order
+                    .iter()
+                    .filter(|k| map.contains_key(*k))
+                    .cloned()
+                    .collect();
+                inner.order = retained;
+            }
+            None => {
+                inner.map.clear();
+                inner.order.clear();
+            }
+        }
+        inner.epoch = epoch;
+    }
+
     /// Current counters.
     pub fn stats(&self) -> RenderCacheStats {
         let resident = self.lock().map.len();
@@ -193,6 +226,55 @@ mod tests {
         assert_eq!(cache.stats().resident, 0);
         // And the old epoch's entries never resurface.
         assert!(cache.get(1, "d1", "q").is_none());
+    }
+
+    #[test]
+    fn sync_evicts_only_touched_documents() {
+        let cache = RenderCache::new(8);
+        cache.put(1, "d1", "q", &render("d1"));
+        cache.put(1, "d2", "q", &render("d2"));
+        cache.put(1, "d2", "other", &render("d2"));
+        // The store reports only d2 changed between epochs 1 and 3.
+        cache.sync(3, |since| {
+            assert_eq!(since, 1);
+            Some(vec!["d2".to_string()])
+        });
+        assert!(cache.get(3, "d1", "q").is_some(), "unrelated doc survives");
+        assert!(cache.get(3, "d2", "q").is_none(), "touched doc evicted");
+        assert!(cache.get(3, "d2", "other").is_none(), "all keys of it");
+        assert_eq!(cache.stats().resident, 1);
+    }
+
+    #[test]
+    fn sync_without_coverage_clears_everything() {
+        let cache = RenderCache::new(8);
+        cache.put(1, "d1", "q", &render("d1"));
+        cache.sync(9, |_| None);
+        assert!(cache.get(9, "d1", "q").is_none());
+        assert_eq!(cache.stats().resident, 0);
+    }
+
+    #[test]
+    fn sync_same_epoch_is_a_no_op() {
+        let cache = RenderCache::new(8);
+        cache.put(4, "d1", "q", &render("d1"));
+        cache.sync(4, |_| panic!("touched_since must not be consulted"));
+        assert!(cache.get(4, "d1", "q").is_some());
+    }
+
+    #[test]
+    fn sync_keeps_eviction_order_consistent() {
+        let cache = RenderCache::new(2);
+        cache.put(1, "a", "q", &render("a"));
+        cache.put(1, "b", "q", &render("b"));
+        cache.sync(2, |_| Some(vec!["a".to_string()]));
+        // "a" is gone; inserting two more must evict "b" first, not a
+        // phantom slot left behind by the sync.
+        cache.put(2, "c", "q", &render("c"));
+        cache.put(2, "d", "q", &render("d"));
+        assert!(cache.get(2, "b", "q").is_none());
+        assert!(cache.get(2, "c", "q").is_some());
+        assert!(cache.get(2, "d", "q").is_some());
     }
 
     #[test]

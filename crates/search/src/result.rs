@@ -56,6 +56,51 @@ impl SearchPage {
         self.total.div_ceil(self.page_size.max(1))
     }
 
+    /// Canonical JSON encoding of the page — the body served by the
+    /// `covidkg-net` HTTP front-end. Both the in-process API and the wire
+    /// serialize through this one function, so a network client receives
+    /// byte-identical JSON to `page.to_json().to_json()` computed locally.
+    pub fn to_json(&self) -> Value {
+        fn snippet_json(fs: &FieldSnippet) -> Value {
+            covidkg_json::obj! {
+                "field" => fs.field.as_str(),
+                "text" => fs.snippet.text.as_str(),
+                "highlights" => Value::Array(
+                    fs.snippet
+                        .highlights
+                        .iter()
+                        .map(|&(s, e)| Value::Array(vec![Value::from(s), Value::from(e)]))
+                        .collect(),
+                ),
+                "leading_ellipsis" => fs.snippet.leading_ellipsis,
+                "trailing_ellipsis" => fs.snippet.trailing_ellipsis,
+            }
+        }
+        covidkg_json::obj! {
+            "query" => self.query.as_str(),
+            "page" => self.page,
+            "page_size" => self.page_size,
+            "total" => self.total,
+            "page_count" => self.page_count(),
+            "results" => Value::Array(
+                self.results
+                    .iter()
+                    .map(|r| covidkg_json::obj! {
+                        "id" => r.id.as_str(),
+                        "title" => r.title.as_str(),
+                        "score" => r.score,
+                        "snippets" => Value::Array(
+                            r.snippets.iter().map(snippet_json).collect(),
+                        ),
+                        "collapsed" => Value::Array(
+                            r.collapsed.iter().map(snippet_json).collect(),
+                        ),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
     /// Render the page as text (the CLI stand-in for the Figs 2/4 UI),
     /// with `[matches]` marked. Collapsed sections show a summary line.
     pub fn render(&self) -> String {
@@ -267,6 +312,34 @@ mod tests {
         assert_eq!(result.id, "<missing id>");
         assert_eq!(result.title, "<untitled>");
         assert!(result.snippets.is_empty());
+    }
+
+    #[test]
+    fn page_to_json_is_canonical() {
+        let r = ranker("masks");
+        let page = SearchPage {
+            query: "masks".into(),
+            page: 0,
+            page_size: 10,
+            total: 23,
+            results: vec![build_result(&doc(), 5.0, &r)],
+        };
+        let json = page.to_json();
+        assert_eq!(json.path("query").and_then(Value::as_str), Some("masks"));
+        assert_eq!(json.path("total").and_then(Value::as_i64), Some(23));
+        assert_eq!(json.path("page_count").and_then(Value::as_i64), Some(3));
+        let results = json.path("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].path("id").and_then(Value::as_str),
+            Some("paper-7")
+        );
+        let snips = results[0].path("snippets").and_then(Value::as_array).unwrap();
+        assert!(!snips.is_empty());
+        let hl = snips[0].path("highlights").and_then(Value::as_array).unwrap();
+        assert!(!hl.is_empty());
+        // Encoding is deterministic: same page, same bytes.
+        assert_eq!(json.to_json(), page.to_json().to_json());
     }
 
     #[test]

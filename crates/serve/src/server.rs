@@ -34,10 +34,11 @@
 //! * every lock acquisition recovers from poisoning instead of
 //!   `unwrap`ing, so stats, shutdown and later requests keep working
 //!   after any panic anywhere;
-//! * per-engine circuit breakers open after `breaker_threshold`
-//!   consecutive failures and short-circuit requests for
-//!   `breaker_cooldown`, after which one probe request is let through
-//!   (half-open). While open, requests are served **degraded**: a
+//! * per-engine **adaptive** circuit breakers track outcomes over a
+//!   sliding `breaker_window` and open once the error rate reaches
+//!   `breaker_error_rate` with at least `breaker_min_samples` outcomes
+//!   resident, short-circuiting requests for `breaker_cooldown`, after
+//!   which one probe request is let through (half-open). While open, requests are served **degraded**: a
 //!   cached page of *any* generation marked [`ServeResponse::stale`],
 //!   or the typed [`ServeError::Degraded`] when none exists — never a
 //!   hang, never a panic.
@@ -58,7 +59,8 @@ use covidkg_corpus::Publication;
 use covidkg_search::{cache_key, SearchMode, SearchPage};
 use covidkg_store::StoreError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
@@ -97,8 +99,15 @@ pub struct ServeConfig {
     pub cache_max_bytes: Option<usize>,
     /// Deadline applied when a request does not carry its own.
     pub default_deadline: Duration,
-    /// Consecutive failures that trip an engine's circuit breaker.
-    pub breaker_threshold: u32,
+    /// Sliding window over which an engine's error rate is measured for
+    /// circuit breaking.
+    pub breaker_window: Duration,
+    /// Error rate (failures / outcomes in the window) at or above which
+    /// the breaker opens.
+    pub breaker_error_rate: f64,
+    /// Minimum outcomes resident in the window before the error rate is
+    /// considered meaningful — below this the breaker never opens.
+    pub breaker_min_samples: u32,
     /// How long a tripped breaker short-circuits before allowing a
     /// half-open probe.
     pub breaker_cooldown: Duration,
@@ -114,7 +123,9 @@ impl Default for ServeConfig {
             cache_ttl: Some(Duration::from_secs(120)),
             cache_max_bytes: Some(8 << 20),
             default_deadline: Duration::from_secs(5),
-            breaker_threshold: 3,
+            breaker_window: Duration::from_secs(1),
+            breaker_error_rate: 0.5,
+            breaker_min_samples: 5,
             breaker_cooldown: Duration::from_millis(250),
         }
     }
@@ -196,13 +207,48 @@ enum Job {
     CrashWorker,
 }
 
-/// Per-engine circuit breaker: `threshold` consecutive failures open it
-/// for `cooldown`, after which one probe request is allowed through
-/// (half-open); a success fully closes it again.
+/// Breaker tuning, copied out of [`ServeConfig`].
+#[derive(Debug, Clone, Copy)]
+struct BreakerSettings {
+    window: Duration,
+    error_rate: f64,
+    min_samples: u32,
+    cooldown: Duration,
+}
+
+impl From<&ServeConfig> for BreakerSettings {
+    fn from(c: &ServeConfig) -> BreakerSettings {
+        BreakerSettings {
+            window: c.breaker_window,
+            error_rate: c.breaker_error_rate.clamp(0.0, 1.0),
+            min_samples: c.breaker_min_samples.max(1),
+            cooldown: c.breaker_cooldown,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct BreakerState {
+    /// `(when, failed)` outcomes inside the sliding window, oldest first.
+    outcomes: VecDeque<(Instant, bool)>,
+    /// While `Some`, requests short-circuit until the instant passes.
+    open_until: Option<Instant>,
+    /// Set when the cooldown elapsed and a half-open probe is in flight;
+    /// the probe's outcome decides between close and re-open.
+    probing: bool,
+}
+
+/// Per-engine adaptive circuit breaker: outcomes are kept in a sliding
+/// time window and the breaker opens when, with at least `min_samples`
+/// outcomes resident, the error rate reaches `error_rate`. A burst of
+/// failures trips it as soon as the sample floor is met; a steady
+/// trickle of errors below the rate never does. After `cooldown` it
+/// half-opens: one probe is allowed through, and a probe success clears
+/// the window and fully closes the breaker while a probe failure
+/// re-opens it for another cooldown.
 #[derive(Debug, Default)]
 struct Breaker {
-    consecutive_failures: AtomicU32,
-    open_until: Mutex<Option<Instant>>,
+    state: Mutex<BreakerState>,
 }
 
 impl Breaker {
@@ -210,11 +256,16 @@ impl Breaker {
     /// once the cooldown has elapsed (clearing `open_until`, so exactly
     /// the requests racing this call become probes).
     fn allow(&self) -> bool {
-        let mut open = lock(&self.open_until);
-        match *open {
-            Some(until) if Instant::now() < until => false,
+        self.allow_at(Instant::now())
+    }
+
+    fn allow_at(&self, now: Instant) -> bool {
+        let mut state = lock(&self.state);
+        match state.open_until {
+            Some(until) if now < until => false,
             Some(_) => {
-                *open = None;
+                state.open_until = None;
+                state.probing = true;
                 true
             }
             None => true,
@@ -222,22 +273,61 @@ impl Breaker {
     }
 
     /// Record a failed request; returns true when this failure newly
-    /// opened the breaker.
-    fn record_failure(&self, threshold: u32, cooldown: Duration) -> bool {
-        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
-        if failures >= threshold.max(1) {
-            let mut open = lock(&self.open_until);
-            let newly = open.is_none();
-            *open = Some(Instant::now() + cooldown);
+    /// opened (or re-opened, for a failed probe) the breaker.
+    fn record_failure(&self, cfg: &BreakerSettings) -> bool {
+        self.record_failure_at(Instant::now(), cfg)
+    }
+
+    fn record_failure_at(&self, now: Instant, cfg: &BreakerSettings) -> bool {
+        let mut state = lock(&self.state);
+        state.outcomes.push_back((now, true));
+        prune(&mut state.outcomes, now, cfg.window);
+        if state.probing {
+            // The half-open probe failed: straight back to open.
+            state.probing = false;
+            state.open_until = Some(now + cfg.cooldown);
+            return true;
+        }
+        let samples = state.outcomes.len();
+        let errors = state.outcomes.iter().filter(|(_, failed)| *failed).count();
+        if samples >= cfg.min_samples as usize
+            && errors as f64 >= cfg.error_rate * samples as f64
+        {
+            let newly = state.open_until.is_none();
+            state.open_until = Some(now + cfg.cooldown);
             newly
         } else {
             false
         }
     }
 
-    fn record_success(&self) {
-        self.consecutive_failures.store(0, Ordering::Relaxed);
-        *lock(&self.open_until) = None;
+    fn record_success(&self, cfg: &BreakerSettings) {
+        self.record_success_at(Instant::now(), cfg)
+    }
+
+    fn record_success_at(&self, now: Instant, cfg: &BreakerSettings) {
+        let mut state = lock(&self.state);
+        if state.probing {
+            // Probe succeeded: the engine recovered; past outcomes no
+            // longer describe it.
+            state.probing = false;
+            state.outcomes.clear();
+            state.open_until = None;
+        }
+        state.outcomes.push_back((now, false));
+        prune(&mut state.outcomes, now, cfg.window);
+    }
+}
+
+/// Drop outcomes older than `window` (and bound the deque so a huge
+/// window can't grow it without limit).
+fn prune(outcomes: &mut VecDeque<(Instant, bool)>, now: Instant, window: Duration) {
+    while let Some((when, _)) = outcomes.front() {
+        if now.duration_since(*when) > window || outcomes.len() > 4096 {
+            outcomes.pop_front();
+        } else {
+            break;
+        }
     }
 }
 
@@ -248,8 +338,7 @@ struct Inner {
     cache: QueryCache,
     metrics: Metrics,
     breakers: [Breaker; 3],
-    breaker_threshold: u32,
-    breaker_cooldown: Duration,
+    breaker_cfg: BreakerSettings,
     /// Worker-side fault schedule (chaos testing); None in production.
     faults: RwLock<Option<InjectedFaults>>,
     /// Global search-job sequence driving the fault schedule.
@@ -265,10 +354,7 @@ impl Inner {
     }
 
     fn record_engine_failure(&self, engine: EngineKind) {
-        if self
-            .breaker(engine)
-            .record_failure(self.breaker_threshold, self.breaker_cooldown)
-        {
+        if self.breaker(engine).record_failure(&self.breaker_cfg) {
             self.metrics.record_breaker_open();
         }
     }
@@ -342,8 +428,7 @@ impl Server {
             ),
             metrics: Metrics::default(),
             breakers: Default::default(),
-            breaker_threshold: config.breaker_threshold,
-            breaker_cooldown: config.breaker_cooldown,
+            breaker_cfg: BreakerSettings::from(&config),
             faults: RwLock::new(None),
             job_seq: AtomicU64::new(0),
             worker_handles: Mutex::new(Vec::new()),
@@ -464,6 +549,13 @@ impl Server {
     /// Current data generation.
     pub fn generation(&self) -> u64 {
         self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Run `f` with shared read access to the underlying system — used
+    /// by the network front-end for routes (KG node lookups, system
+    /// stats) that need data the search scheduler doesn't expose.
+    pub fn with_system<R>(&self, f: impl FnOnce(&CovidKg) -> R) -> R {
+        f(&read_lock(&self.inner.system))
     }
 
     /// Point-in-time serving statistics (including cache occupancy /
@@ -603,7 +695,7 @@ fn run_job(inner: &Inner, job: SearchJob) {
         // under: the pair is consistent even against concurrent ingests.
         (system.search(&job.mode, job.page), system.generation())
     };
-    inner.breaker(job.engine).record_success();
+    inner.breaker(job.engine).record_success(&inner.breaker_cfg);
     inner.cache.insert(job.key, generation, page.clone());
     let latency = job.submitted.elapsed();
     inner.metrics.record_completed(latency);
@@ -621,5 +713,116 @@ fn engine_kind(mode: &SearchMode) -> EngineKind {
         SearchMode::AllFields(_) => EngineKind::AllFields,
         SearchMode::Tables(_) => EngineKind::Tables,
         SearchMode::TitleAbstractCaption { .. } => EngineKind::Scoped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerSettings {
+        BreakerSettings {
+            window: Duration::from_secs(1),
+            error_rate: 0.5,
+            min_samples: 4,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+
+    /// All transitions are driven through the `_at` variants with an
+    /// explicit clock so the tests are deterministic.
+    #[test]
+    fn bursty_errors_open_the_breaker_once() {
+        let b = Breaker::default();
+        let cfg = cfg();
+        let t0 = Instant::now();
+        // Three failures in a burst: below the sample floor, still closed.
+        for i in 0..3u64 {
+            let newly = b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
+            assert!(!newly, "failure {i} must not open below min_samples");
+            assert!(b.allow_at(t0 + Duration::from_millis(i)));
+        }
+        // Fourth failure meets the floor at 100% error rate: opens.
+        assert!(b.record_failure_at(t0 + Duration::from_millis(3), &cfg));
+        assert!(!b.allow_at(t0 + Duration::from_millis(4)), "open blocks");
+        // Further failures while open are not "newly opened".
+        assert!(!b.record_failure_at(t0 + Duration::from_millis(5), &cfg));
+    }
+
+    #[test]
+    fn steady_errors_below_the_rate_never_open() {
+        let b = Breaker::default();
+        let cfg = cfg();
+        let t0 = Instant::now();
+        // Alternate ok/err well past the sample floor: rate stays at
+        // ~1/2 of outcomes but never *exceeds* it with the successes
+        // interleaved first — use 1 err per 3 ok so the rate is 0.25.
+        for i in 0..40u64 {
+            let now = t0 + Duration::from_millis(i * 10);
+            if i % 4 == 0 {
+                assert!(!b.record_failure_at(now, &cfg), "steady trickle at 25%");
+            } else {
+                b.record_success_at(now, &cfg);
+            }
+            assert!(b.allow_at(now), "breaker must stay closed");
+        }
+    }
+
+    #[test]
+    fn error_rate_is_windowed_old_failures_age_out() {
+        let b = Breaker::default();
+        let cfg = cfg();
+        let t0 = Instant::now();
+        // Three failures now; then, after the window has slid past
+        // them, a fourth failure meets the floor only if the old ones
+        // still counted — they don't, so it stays closed.
+        for i in 0..3u64 {
+            b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
+        }
+        let later = t0 + Duration::from_secs(2);
+        assert!(
+            !b.record_failure_at(later, &cfg),
+            "aged-out failures must not contribute to the rate"
+        );
+        assert!(b.allow_at(later));
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_and_clears() {
+        let b = Breaker::default();
+        let cfg = cfg();
+        let t0 = Instant::now();
+        for i in 0..4u64 {
+            b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
+        }
+        assert!(!b.allow_at(t0 + Duration::from_millis(10)), "open");
+        // Cooldown elapses: exactly the next allow becomes the probe.
+        let probe_at = t0 + Duration::from_millis(110);
+        assert!(b.allow_at(probe_at), "half-open lets the probe through");
+        b.record_success_at(probe_at, &cfg);
+        // Fully closed, and the window was cleared: a single follow-up
+        // failure is below the sample floor again.
+        assert!(b.allow_at(probe_at + Duration::from_millis(1)));
+        assert!(!b.record_failure_at(probe_at + Duration::from_millis(2), &cfg));
+        assert!(b.allow_at(probe_at + Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = Breaker::default();
+        let cfg = cfg();
+        let t0 = Instant::now();
+        for i in 0..4u64 {
+            b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
+        }
+        let probe_at = t0 + Duration::from_millis(110);
+        assert!(b.allow_at(probe_at));
+        assert!(
+            b.record_failure_at(probe_at, &cfg),
+            "failed probe re-opens (and counts as an open)"
+        );
+        assert!(!b.allow_at(probe_at + Duration::from_millis(10)), "open again");
+        // And the *second* cooldown ends with another probe chance.
+        assert!(b.allow_at(probe_at + Duration::from_millis(210)));
     }
 }

@@ -291,7 +291,12 @@ fn open_breaker_serves_stale_pages_then_recovers() {
         build_system(),
         ServeConfig {
             workers: 2,
-            breaker_threshold: 2,
+            // With a 5s window, one warm success and a 0.6 rate floor at
+            // two samples, the second failure (rate 2/3) opens the
+            // breaker exactly once.
+            breaker_window: Duration::from_secs(5),
+            breaker_error_rate: 0.6,
+            breaker_min_samples: 2,
             breaker_cooldown: Duration::from_millis(100),
             ..ServeConfig::default()
         },

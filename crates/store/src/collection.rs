@@ -16,6 +16,7 @@ use crate::shard::{route_hash, Shard};
 use crate::stats::{CollectionStats, ShardStats};
 use crate::wal::{self, WalRecord, WalWriter};
 use covidkg_json::Value;
+use std::collections::VecDeque;
 use std::sync::{Mutex, RwLock};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,7 +130,15 @@ pub struct Collection {
     retry: RwLock<RetryPolicy>,
     retries: AtomicU64,
     mutations: AtomicU64,
+    /// Recent `(epoch after bump, doc id)` mutations, bounded to
+    /// [`MUTATION_LOG_CAP`] entries so [`Collection::touched_since`] can
+    /// name exactly which documents changed across an epoch window.
+    mutation_log: Mutex<VecDeque<(u64, String)>>,
 }
+
+/// How many recent mutations [`Collection::touched_since`] can account
+/// for; older windows fall back to "everything may have changed".
+const MUTATION_LOG_CAP: usize = 256;
 
 impl std::fmt::Debug for Collection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -162,6 +171,7 @@ impl Collection {
             retry: RwLock::new(RetryPolicy::default()),
             retries: AtomicU64::new(0),
             mutations: AtomicU64::new(0),
+            mutation_log: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -381,7 +391,8 @@ impl Collection {
             idx.add(id, &doc);
         }
         shard.put(id, doc);
-        self.mutations.fetch_add(1, Ordering::Release);
+        let epoch = self.mutations.fetch_add(1, Ordering::Release) + 1;
+        self.log_mutation(epoch, id);
         Ok(())
     }
 
@@ -412,7 +423,8 @@ impl Collection {
         for idx in read(&self.hash_indexes).iter() {
             idx.remove(id, &old);
         }
-        self.mutations.fetch_add(1, Ordering::Release);
+        let epoch = self.mutations.fetch_add(1, Ordering::Release) + 1;
+        self.log_mutation(epoch, id);
         Ok(old)
     }
 
@@ -422,6 +434,42 @@ impl Collection {
     /// by the delete's bump. Render-level caches key on this epoch.
     pub fn mutation_epoch(&self) -> u64 {
         self.mutations.load(Ordering::Acquire)
+    }
+
+    fn log_mutation(&self, epoch: u64, id: &str) {
+        let mut log = lock(&self.mutation_log);
+        if log.len() >= MUTATION_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back((epoch, id.to_string()));
+    }
+
+    /// Document ids touched by mutations since epoch `since` (exclusive),
+    /// deduplicated. Returns `None` when the bounded mutation log no
+    /// longer covers the whole window — the caller must then assume every
+    /// document may have changed. `Some(vec![])` means provably nothing
+    /// changed. Ids touched by mutations racing with this call may be
+    /// included; that over-approximation is always safe for invalidation.
+    pub fn touched_since(&self, since: u64) -> Option<Vec<String>> {
+        let current = self.mutation_epoch();
+        if current <= since {
+            return Some(Vec::new());
+        }
+        let needed = (current - since) as usize;
+        let log = lock(&self.mutation_log);
+        let mut ids: Vec<String> = log
+            .iter()
+            .filter(|(e, _)| *e > since)
+            .map(|(_, id)| id.clone())
+            .collect();
+        // Every mutation in (since, current] pushed exactly one entry; a
+        // shortfall means the log dropped part of the window.
+        if ids.len() < needed {
+            return None;
+        }
+        ids.sort();
+        ids.dedup();
+        Some(ids)
     }
 
     /// Create (and backfill) a hash index over `path`.
@@ -952,5 +1000,90 @@ mod tests {
         assert_eq!(c.mutation_epoch(), e0 + 2);
         c.delete(&id).unwrap();
         assert_eq!(c.mutation_epoch(), e0 + 3);
+    }
+
+    #[test]
+    fn disk_full_is_permanent_and_never_retried() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("covidkg-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = Collection::open(CollectionConfig::new("pubs"), &dir).unwrap();
+        c.insert(obj! { "_id" => "keep", "title" => "resident" }).unwrap();
+        c.sync().unwrap();
+        // Every durable operation now hits a simulated full disk.
+        c.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            fail: 0.0,
+            short_write: 0.0,
+            delay: 0.0,
+            disk_full: 1.0,
+            ..FaultConfig::default()
+        })));
+        let retries_before = c.io_retries();
+        let err = c.insert(obj! { "_id" => "new" }).unwrap_err();
+        assert!(!err.is_transient(), "ENOSPC must be permanent: {err:?}");
+        assert!(
+            matches!(&err, StoreError::Io(e) if e.kind() == std::io::ErrorKind::StorageFull),
+            "{err:?}"
+        );
+        assert_eq!(
+            c.io_retries(),
+            retries_before,
+            "a full disk must not be retried"
+        );
+        assert!(matches!(
+            c.snapshot(),
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::StorageFull
+        ));
+        // The store stays fully readable: the rejected write never
+        // reached memory and resident documents are untouched.
+        assert_eq!(c.len(), 1);
+        assert!(c.get("keep").is_some());
+        assert!(c.get("new").is_none());
+        // Space freed (plan detached): writes work again.
+        c.set_fault_plan(None);
+        c.insert(obj! { "_id" => "new" }).unwrap();
+        assert_eq!(c.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn touched_since_names_exact_documents() {
+        let c = coll();
+        let a = c.insert(obj! { "title" => "a" }).unwrap();
+        let b = c.insert(obj! { "title" => "b" }).unwrap();
+        let e0 = c.mutation_epoch();
+        assert_eq!(c.touched_since(e0), Some(vec![]), "nothing changed yet");
+        c.replace(&a, obj! { "title" => "a2" }).unwrap();
+        c.replace(&b, obj! { "title" => "b2" }).unwrap();
+        c.replace(&a, obj! { "title" => "a3" }).unwrap();
+        let mut touched = c.touched_since(e0).expect("window covered");
+        touched.sort();
+        let mut expected = vec![a.clone(), b.clone()];
+        expected.sort();
+        assert_eq!(touched, expected, "deduplicated touched ids");
+        // A narrower window sees only the later mutations.
+        assert_eq!(c.touched_since(e0 + 2), Some(vec![a.clone()]));
+        // Deletes count too.
+        let e1 = c.mutation_epoch();
+        c.delete(&b).unwrap();
+        assert_eq!(c.touched_since(e1), Some(vec![b.clone()]));
+    }
+
+    #[test]
+    fn touched_since_overflow_returns_none() {
+        let c = coll();
+        let id = c.insert(obj! { "title" => "x" }).unwrap();
+        let e0 = c.mutation_epoch();
+        for i in 0..(MUTATION_LOG_CAP + 5) {
+            c.replace(&id, obj! { "title" => format!("v{i}") }).unwrap();
+        }
+        assert_eq!(
+            c.touched_since(e0),
+            None,
+            "log no longer covers the window"
+        );
+        // But a recent window is still answerable.
+        let recent = c.mutation_epoch() - 3;
+        assert_eq!(c.touched_since(recent), Some(vec![id]));
     }
 }

@@ -52,6 +52,10 @@ pub enum Fault {
     ShortWrite(f64),
     /// Delay the operation, then let it proceed.
     Delay(Duration),
+    /// The device is out of space (ENOSPC): the operation fails with a
+    /// **permanent** error that must surface to the caller un-retried —
+    /// retrying cannot conjure free disk.
+    DiskFull,
 }
 
 /// Fault probabilities and bounds for a [`FaultPlan`].
@@ -66,6 +70,8 @@ pub struct FaultConfig {
     pub short_write: f64,
     /// Probability an operation is delayed.
     pub delay: f64,
+    /// Probability an operation hits a simulated full disk (ENOSPC).
+    pub disk_full: f64,
     /// Length of an injected delay.
     pub delay_for: Duration,
     /// Stop injecting after this many faults (0 = unlimited).
@@ -79,6 +85,7 @@ impl Default for FaultConfig {
             fail: 0.2,
             short_write: 0.05,
             delay: 0.05,
+            disk_full: 0.0,
             delay_for: Duration::from_micros(200),
             max_faults: 0,
         }
@@ -96,12 +103,14 @@ pub struct FaultStats {
     pub short_writes: u64,
     /// Delays injected.
     pub delays: u64,
+    /// Simulated disk-full (ENOSPC) failures injected.
+    pub disk_fulls: u64,
 }
 
 impl FaultStats {
-    /// Total faults injected (fails + short writes + delays).
+    /// Total faults injected (fails + short writes + delays + ENOSPC).
     pub fn injected(&self) -> u64 {
-        self.fails + self.short_writes + self.delays
+        self.fails + self.short_writes + self.delays + self.disk_fulls
     }
 }
 
@@ -120,6 +129,7 @@ pub struct FaultPlan {
     fails: AtomicU64,
     short_writes: AtomicU64,
     delays: AtomicU64,
+    disk_fulls: AtomicU64,
     armed: AtomicU64,
 }
 
@@ -133,6 +143,7 @@ impl FaultPlan {
             fails: AtomicU64::new(0),
             short_writes: AtomicU64::new(0),
             delays: AtomicU64::new(0),
+            disk_fulls: AtomicU64::new(0),
             armed: AtomicU64::new(1),
         })
     }
@@ -177,6 +188,9 @@ impl FaultPlan {
         } else if roll < c.fail + c.short_write + c.delay {
             self.delays.fetch_add(1, Ordering::Relaxed);
             Some(Fault::Delay(c.delay_for))
+        } else if roll < c.fail + c.short_write + c.delay + c.disk_full {
+            self.disk_fulls.fetch_add(1, Ordering::Relaxed);
+            Some(Fault::DiskFull)
         } else {
             None
         }
@@ -189,12 +203,24 @@ impl FaultPlan {
             fails: self.fails.load(Ordering::Relaxed),
             short_writes: self.short_writes.load(Ordering::Relaxed),
             delays: self.delays.load(Ordering::Relaxed),
+            disk_fulls: self.disk_fulls.load(Ordering::Relaxed),
         }
     }
 
     /// The transient error an injected failure of `op` surfaces as.
     pub fn error(op: FaultOp) -> StoreError {
         StoreError::Transient(format!("injected {} fault", op.label()))
+    }
+
+    /// The **permanent** error an injected [`Fault::DiskFull`] surfaces
+    /// as: a real `StorageFull` I/O error, which
+    /// [`StoreError::is_transient`] classifies as non-retryable — the
+    /// retry machinery must hand it straight to the caller.
+    pub fn disk_full_error(op: FaultOp) -> StoreError {
+        StoreError::Io(std::io::Error::new(
+            std::io::ErrorKind::StorageFull,
+            format!("injected disk-full (ENOSPC) during {}", op.label()),
+        ))
     }
 }
 

@@ -184,6 +184,40 @@ mod tests {
     }
 
     #[test]
+    fn disk_full_stops_the_flusher_with_a_permanent_error() {
+        use crate::fault::{Fault, FaultConfig, FaultOp, FaultPlan};
+        let (c, dir) = persistent_collection("enospc");
+        c.insert(obj! { "_id" => "keep" }).unwrap();
+        c.sync().unwrap();
+        let plan = FaultPlan::new(FaultConfig {
+            fail: 0.0,
+            short_write: 0.0,
+            delay: 0.0,
+            disk_full: 1.0,
+            ..FaultConfig::default()
+        });
+        assert_eq!(plan.decide(FaultOp::WalSync), Some(Fault::DiskFull));
+        c.set_fault_plan(Some(Arc::clone(&plan)));
+        let flusher = Flusher::start(Arc::clone(&c), Duration::from_millis(2), 0);
+        std::thread::sleep(Duration::from_millis(20));
+        let err = flusher
+            .stop()
+            .expect_err("a full disk is fatal to the daemon, not skipped");
+        assert!(!err.is_transient(), "{err:?}");
+        assert!(
+            matches!(&err, StoreError::Io(e) if e.kind() == std::io::ErrorKind::StorageFull),
+            "{err:?}"
+        );
+        assert!(plan.stats().disk_fulls >= 1, "{:?}", plan.stats());
+        // The store remains readable throughout.
+        assert_eq!(c.len(), 1);
+        assert!(c.get("keep").is_some());
+        let re = Collection::open(CollectionConfig::new("pubs"), &dir).unwrap();
+        assert_eq!(re.len(), 1, "durable state survives the ENOSPC episode");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn in_memory_collections_are_a_no_op() {
         let c = Arc::new(Collection::new(CollectionConfig::new("mem")));
         let flusher = Flusher::start(Arc::clone(&c), Duration::from_millis(2), 1);

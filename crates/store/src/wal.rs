@@ -199,6 +199,11 @@ impl WalWriter {
                     return Err(FaultPlan::error(FaultOp::WalAppend));
                 }
                 Some(Fault::Delay(d)) => std::thread::sleep(d),
+                // ENOSPC: nothing reaches the file, and the error is
+                // permanent — the caller must not retry.
+                Some(Fault::DiskFull) => {
+                    return Err(FaultPlan::disk_full_error(FaultOp::WalAppend))
+                }
                 None => {}
             }
         }
@@ -218,6 +223,9 @@ impl WalWriter {
                     return Err(FaultPlan::error(FaultOp::WalSync))
                 }
                 Some(Fault::Delay(d)) => std::thread::sleep(d),
+                Some(Fault::DiskFull) => {
+                    return Err(FaultPlan::disk_full_error(FaultOp::WalSync))
+                }
                 None => {}
             }
         }
@@ -233,6 +241,9 @@ impl WalWriter {
                     return Err(FaultPlan::error(FaultOp::WalReset))
                 }
                 Some(Fault::Delay(d)) => std::thread::sleep(d),
+                Some(Fault::DiskFull) => {
+                    return Err(FaultPlan::disk_full_error(FaultOp::WalReset))
+                }
                 None => {}
             }
         }
@@ -334,6 +345,9 @@ pub fn write_snapshot_with<'a>(
             Some(Fault::Fail) => return Err(FaultPlan::error(FaultOp::SnapshotWrite)),
             Some(Fault::ShortWrite(frac)) => truncate_after = Some(frac),
             Some(Fault::Delay(d)) => std::thread::sleep(d),
+            Some(Fault::DiskFull) => {
+                return Err(FaultPlan::disk_full_error(FaultOp::SnapshotWrite))
+            }
             None => {}
         }
     }

@@ -27,6 +27,14 @@ echo "==> serve-bench open-loop smoke (fixed arrival rate)"
 ./target/release/covidkg serve-bench --corpus 20 --clients 2 --requests 10 \
     --workers 2 --open-loop --rates 200,400 --duration-ms 250
 
+echo "==> HTTP parser property tests (incl. one-byte split reads)"
+cargo test -p covidkg-net --test parser_prop --offline -q
+
+echo "==> wire smoke: TCP end-to-end with the in-repo client (no curl)"
+./target/release/covidkg net-bench --corpus 16 --clients 2 --requests 10 \
+    --workers 2 --rates 100,300 --duration-ms 250
+test -s BENCH_net.json
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets --offline"
     cargo clippy --workspace --all-targets --offline -- -D warnings

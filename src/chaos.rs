@@ -227,6 +227,10 @@ fn faulty_ingest(
         fail: 0.25,
         short_write: 0.10,
         delay: 0.10,
+        // Never inject ENOSPC here: disk-full is a *permanent* fault and
+        // the gauntlet's invariants assume every injected fault is
+        // survivable via retry/repair.
+        disk_full: 0.0,
         delay_for: Duration::from_micros(100),
         max_faults: 0,
     });

@@ -49,3 +49,9 @@ pub use covidkg_search as search;
 pub use covidkg_core as core;
 /// Concurrent query serving (thread pool, admission control, result cache).
 pub use covidkg_serve as serve;
+/// HTTP/1.1 network front-end (std::net only) + wire client/load-bench.
+pub use covidkg_net as net;
+/// Std-only micro-benchmark harness (criterion-compatible surface).
+pub use covidkg_bench as bench;
+
+pub use covidkg_net::{HttpClient, HttpServer, NetConfig};

@@ -15,8 +15,12 @@
 //! covidkg stats --data-dir /tmp/kgdata
 //! ```
 
-use covidkg::{CovidKg, CovidKgConfig, LoadGenConfig, OpenLoopConfig, SearchMode, ServeConfig, Server};
+use covidkg::{
+    CovidKg, CovidKgConfig, HttpServer, LoadGenConfig, NetConfig, OpenLoopConfig, SearchMode,
+    ServeConfig, Server,
+};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -32,7 +36,9 @@ COMMANDS:
     profiles                 print the vaccine side-effect meta-profiles
     bias                     print the corpus bias-interrogation report
     stats                    print the storage report + data generation
+    serve                    run the HTTP front-end (stop with EOF/ctrl-d)
     serve-bench              benchmark the concurrent serving frontend
+    net-bench                wire-level HTTP load bench (emits BENCH_net.json)
     chaos                    deterministic fault-injection survival run
 
 OPTIONS:
@@ -51,6 +57,8 @@ OPTIONS:
     --rates <a,b,c>          open-loop offered rates in req/s [default:
                              0.5x / 1x / 2x of the closed-loop throughput]
     --duration-ms <n>        open-loop run length per rate [default 1000]
+    --listen <addr>          serve/net-bench bind address
+                             [serve: 127.0.0.1:8080; net-bench: 127.0.0.1:0]
 ";
 
 struct Args {
@@ -70,6 +78,7 @@ struct Args {
     open_loop: bool,
     rates: Option<Vec<f64>>,
     duration_ms: u64,
+    listen: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -92,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
         open_loop: false,
         rates: None,
         duration_ms: 1000,
+        listen: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -159,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--duration-ms takes a number".to_string())?
             }
+            "--listen" => out.listen = Some(value("--listen")?),
             "--expanded" => out.expanded = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with("--") => {
@@ -263,6 +274,71 @@ fn run() -> Result<(), String> {
             let system = open_system(&args, false)?;
             print!("{}", system.stats().render_report());
             println!("data generation: {}", system.generation());
+        }
+        "serve" => {
+            let system = open_system(&args, false)?;
+            let addr = args
+                .listen
+                .as_deref()
+                .unwrap_or("127.0.0.1:8080")
+                .parse()
+                .map_err(|_| "--listen takes an ADDR:PORT".to_string())?;
+            let server = Arc::new(Server::start(
+                system,
+                ServeConfig {
+                    workers: args.workers.max(1),
+                    ..ServeConfig::default()
+                },
+            ));
+            let mut http = HttpServer::start(
+                Arc::clone(&server),
+                NetConfig {
+                    addr,
+                    ..NetConfig::default()
+                },
+            )
+            .map_err(|e| format!("bind {addr} failed: {e}"))?;
+            println!("listening on http://{}", http.local_addr());
+            println!("  GET /search/{{all-fields|tables|scoped}}?q=&page=");
+            println!("  GET /kg/node/{{id}}   GET /stats   GET /metrics");
+            println!("(EOF on stdin — ctrl-d — shuts down gracefully)");
+            // Block until stdin closes, then drain and exit.
+            let mut sink = String::new();
+            while std::io::stdin().read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                sink.clear();
+            }
+            http.shutdown();
+            server.shutdown();
+            println!("drained and stopped");
+        }
+        "net-bench" => {
+            let system = open_system(&args, false)?;
+            let server = Arc::new(Server::start(
+                system,
+                ServeConfig {
+                    workers: args.workers.max(1),
+                    ..ServeConfig::default()
+                },
+            ));
+            let addr = args
+                .listen
+                .as_deref()
+                .unwrap_or("127.0.0.1:0")
+                .parse()
+                .map_err(|_| "--listen takes an ADDR:PORT".to_string())?;
+            let mut http = HttpServer::start(
+                Arc::clone(&server),
+                NetConfig {
+                    addr,
+                    max_connections: (args.clients * 2).max(64),
+                    ..NetConfig::default()
+                },
+            )
+            .map_err(|e| format!("bind {addr} failed: {e}"))?;
+            let result = net_bench(&http, &args);
+            http.shutdown();
+            server.shutdown();
+            result?;
         }
         "serve-bench" => {
             let system = open_system(&args, false)?;
@@ -380,6 +456,79 @@ fn serve_bench(server: &Server, args: &Args) -> Result<(), String> {
     }
 
     print!("{}", server.stats().render());
+    Ok(())
+}
+
+/// The `net-bench` body: a single-request RTT micro-bench on the
+/// `covidkg_bench::timer` harness, a closed-loop phase, then an
+/// open-loop offered-rate sweep; everything lands in `BENCH_net.json`.
+fn net_bench(http: &HttpServer, args: &Args) -> Result<(), String> {
+    let addr = http.local_addr();
+    let timeout = Duration::from_secs(10);
+    println!("net-bench against http://{addr}");
+
+    // Phase 0 — wire RTT floor: one keep-alive connection, a cached
+    // query, timed on the same harness the repo's other benches use so
+    // the number is comparable with the in-process figures.
+    let mut conn = covidkg::HttpClient::connect(addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    conn.get("/search/all-fields?q=vaccine&page=0")
+        .map_err(|e| format!("warmup request: {e}"))?;
+    let mut criterion = covidkg::bench::timer::Criterion::default();
+    criterion.bench_function("wire-rtt/cached-search", |b| {
+        b.iter(|| conn.get("/search/all-fields?q=vaccine&page=0").unwrap())
+    });
+
+    // Phase 1 — closed loop: N keep-alive connections at full tilt.
+    let closed = covidkg::net::run_closed_loop(
+        addr,
+        args.clients.max(1),
+        args.requests.max(1),
+        timeout,
+    );
+    println!("{}", closed.render());
+    if closed.io_errors > 0 {
+        return Err(format!("{} socket-level failures in closed loop", closed.io_errors));
+    }
+
+    // Phase 2 — open loop at fixed offered rates (default: half and
+    // double the measured closed-loop goodput, so the sweep brackets
+    // the saturation point), latency from scheduled arrival.
+    let rates = args.rates.clone().unwrap_or_else(|| {
+        let capacity = closed.goodput().max(10.0);
+        vec![capacity * 0.5, capacity * 2.0]
+    });
+    let duration = Duration::from_millis(args.duration_ms.max(1));
+    let mut open_reports = Vec::new();
+    println!("open loop ({} ms per rate, latency from scheduled arrival):", args.duration_ms);
+    for rate in rates {
+        let r = covidkg::net::run_open_loop(addr, rate, duration, args.clients.max(1), timeout);
+        println!("  {}", r.render());
+        open_reports.push(r);
+    }
+
+    // Emit BENCH_net.json next to the other BENCH_*.json artifacts.
+    let wire = http.wire_stats();
+    let report = covidkg::json::obj! {
+        "bench" => "net",
+        "clients" => args.clients.max(1),
+        "requests_per_client" => args.requests.max(1),
+        "closed" => closed.to_json(),
+        "open" => covidkg::json::Value::Array(
+            open_reports.iter().map(|r| r.to_json()).collect()
+        ),
+        "wire" => covidkg::json::obj! {
+            "connections_accepted" => wire.connections_accepted as i64,
+            "connections_reaped" => wire.connections_reaped as i64,
+            "bytes_in" => wire.bytes_in as i64,
+            "bytes_out" => wire.bytes_out as i64,
+            "parse_errors" => wire.parse_errors as i64,
+        },
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_net.json");
+    std::fs::write(path, report.to_json_pretty() + "\n")
+        .map_err(|e| format!("write BENCH_net.json: {e}"))?;
+    println!("wrote {path}");
     Ok(())
 }
 
