@@ -101,7 +101,9 @@ pub fn percent_decode(s: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+            b'%' => {
+                // `bytes.get` bounds-checks: a '%' within two bytes of
+                // the end has no full escape and passes through as-is.
                 let hex = bytes.get(i + 1..i + 3);
                 match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
                     Some(b) => {
@@ -281,13 +283,24 @@ impl Parser {
                     headers,
                     header_bytes,
                 } => {
-                    let budget = MAX_HEADER_BYTES - *header_bytes;
+                    let budget = MAX_HEADER_BYTES
+                        .checked_sub(*header_bytes)
+                        .ok_or(ParseError::HeadersTooLarge)?;
                     let Some(line_end) = find_crlf(&self.buf, budget) else {
                         if self.buf.len() > budget {
                             return Err(ParseError::HeadersTooLarge);
                         }
                         return Ok(None);
                     };
+                    // Reject a line that would push the block past the
+                    // cap *before* consuming it, so `header_bytes` can
+                    // never exceed `MAX_HEADER_BYTES` (`find_crlf`'s
+                    // horizon extends 2 bytes past the budget, which
+                    // would otherwise let `header_bytes` overshoot and
+                    // underflow the subtraction above).
+                    if line_end + 2 > budget {
+                        return Err(ParseError::HeadersTooLarge);
+                    }
                     let line = self.buf.drain(..line_end + 2).collect::<Vec<u8>>();
                     let line = &line[..line_end];
                     *header_bytes += line_end + 2;
@@ -618,6 +631,32 @@ mod tests {
         let err = parse_one(big.as_bytes()).unwrap_err();
         assert_eq!(err, ParseError::BodyTooLarge);
         assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn header_budget_boundary_fails_clean_with_431() {
+        // A header line consuming exactly the remaining budget (or one
+        // or two bytes past it — `find_crlf`'s horizon allows the CRLF
+        // to land there) used to underflow the budget subtraction on
+        // the next iteration. All three offsets must be a clean 431.
+        for over in 0..=2usize {
+            // "X-P: " (5) + value + CRLF (2) consumes MAX_HEADER_BYTES + over.
+            let value_len = MAX_HEADER_BYTES + over - 7;
+            let mut raw = Vec::from(&b"GET / HTTP/1.1\r\nX-P: "[..]);
+            raw.resize(raw.len() + value_len, b'a');
+            raw.extend_from_slice(b"\r\n\r\n");
+            let err = parse_one(&raw).expect_err(&format!("over={over}"));
+            assert_eq!(err, ParseError::HeadersTooLarge, "over={over}");
+            assert_eq!(err.status(), 431);
+        }
+        // A block that fits exactly (header lines + terminator ==
+        // MAX_HEADER_BYTES) still parses.
+        let value_len = MAX_HEADER_BYTES - 9;
+        let mut raw = Vec::from(&b"GET / HTTP/1.1\r\nX-P: "[..]);
+        raw.resize(raw.len() + value_len, b'a');
+        raw.extend_from_slice(b"\r\n\r\n");
+        let req = parse_one(&raw).unwrap().expect("complete");
+        assert_eq!(req.header("X-P").map(str::len), Some(value_len));
     }
 
     #[test]

@@ -154,9 +154,11 @@ fn accept_loop(
         let handle = std::thread::Builder::new()
             .name("covidkg-net-conn".into())
             .spawn(move || {
+                // Slot release lives in a drop guard so a panic
+                // unwinding out of serve_connection still returns the
+                // connection-cap slot instead of leaking it forever.
+                let _slot = SlotGuard(Arc::clone(&conn_shared));
                 serve_connection(stream, &conn_shared);
-                conn_shared.active.fetch_sub(1, Ordering::AcqRel);
-                conn_shared.wire.connection_closed();
             })
             .expect("spawn connection thread");
         let mut threads = conn_threads.lock().unwrap_or_else(|e| e.into_inner());
@@ -170,6 +172,18 @@ fn accept_loop(
     let threads = std::mem::take(&mut *conn_threads.lock().unwrap_or_else(|e| e.into_inner()));
     for h in threads {
         let _ = h.join();
+    }
+}
+
+/// Releases a connection's slot in the accept cap (and records the
+/// close) on every exit path of its thread — including panics, which
+/// would otherwise leak the slot until the cap starved out at 503.
+struct SlotGuard(Arc<Shared>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+        self.0.wire.connection_closed();
     }
 }
 

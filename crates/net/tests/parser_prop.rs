@@ -5,7 +5,7 @@
 //! never an unbounded buffer, never a parse that disagrees with the
 //! whole-buffer parse.
 
-use covidkg_net::http::{Parser, Request, MAX_BODY_BYTES};
+use covidkg_net::http::{Parser, Request, MAX_BODY_BYTES, MAX_HEADER_BYTES};
 use covidkg_rand::prop;
 use covidkg_rand::{Rng, SmallRng};
 
@@ -215,6 +215,38 @@ fn random_garbage_never_panics_and_never_buffers_unbounded() {
                 }
             }
             pos += take;
+        }
+    });
+}
+
+#[test]
+fn header_lines_straddling_the_budget_boundary_431_under_any_split() {
+    // Header blocks whose size lands exactly on, or within a couple of
+    // bytes either side of, MAX_HEADER_BYTES — the offsets that used to
+    // underflow the parser's budget arithmetic. Random chunking must
+    // never panic, and anything past the cap must be a clean 431.
+    prop::run(60, |rng| {
+        let over = rng.gen_range(0..5usize); // block size = MAX - 2 + over
+        let value_len = MAX_HEADER_BYTES + over - 9;
+        let mut raw = Vec::from(&b"GET / HTTP/1.1\r\nX-P: "[..]);
+        raw.resize(raw.len() + value_len, b'a');
+        raw.extend_from_slice(b"\r\n\r\n");
+        let mut parser = Parser::new();
+        let mut pos = 0;
+        let mut outcome = Ok(None);
+        while pos < raw.len() {
+            let take = rng.gen_range(1..=(raw.len() - pos).min(1024));
+            outcome = parser.feed(&raw[pos..pos + take]);
+            if outcome.is_err() {
+                break;
+            }
+            pos += take;
+        }
+        if over == 0 {
+            // Lines + terminator == MAX_HEADER_BYTES: exactly fits.
+            assert!(matches!(outcome, Ok(Some(_))), "exact fit must parse: {outcome:?}");
+        } else {
+            assert_eq!(outcome.unwrap_err().status(), 431, "over={over}");
         }
     });
 }

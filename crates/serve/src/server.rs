@@ -231,11 +231,15 @@ impl From<&ServeConfig> for BreakerSettings {
 struct BreakerState {
     /// `(when, failed)` outcomes inside the sliding window, oldest first.
     outcomes: VecDeque<(Instant, bool)>,
-    /// While `Some`, requests short-circuit until the instant passes.
+    /// While `Some`, requests short-circuit until the instant passes —
+    /// and stays set through half-open, so only the single admitted
+    /// probe reaches the engine while its outcome is pending.
     open_until: Option<Instant>,
-    /// Set when the cooldown elapsed and a half-open probe is in flight;
-    /// the probe's outcome decides between close and re-open.
-    probing: bool,
+    /// When the in-flight half-open probe was admitted; the probe's
+    /// outcome decides between close and re-open. A probe whose outcome
+    /// is never recorded (e.g. its job was dropped on a queue deadline)
+    /// expires after one cooldown, releasing the slot for a new probe.
+    probe_started: Option<Instant>,
 }
 
 /// Per-engine adaptive circuit breaker: outcomes are kept in a sliding
@@ -252,23 +256,31 @@ struct Breaker {
 }
 
 impl Breaker {
-    /// True when a request may proceed. Transitions open → half-open
-    /// once the cooldown has elapsed (clearing `open_until`, so exactly
-    /// the requests racing this call become probes).
-    fn allow(&self) -> bool {
-        self.allow_at(Instant::now())
+    /// True when a request may proceed. Once the cooldown has elapsed
+    /// the breaker half-opens: exactly one caller is admitted as the
+    /// probe while everyone else keeps short-circuiting until that
+    /// probe's own outcome is recorded (or it expires unreported).
+    fn allow(&self, cfg: &BreakerSettings) -> bool {
+        self.allow_at(Instant::now(), cfg)
     }
 
-    fn allow_at(&self, now: Instant) -> bool {
+    fn allow_at(&self, now: Instant, cfg: &BreakerSettings) -> bool {
         let mut state = lock(&self.state);
-        match state.open_until {
-            Some(until) if now < until => false,
-            Some(_) => {
-                state.open_until = None;
-                state.probing = true;
+        let Some(until) = state.open_until else {
+            return true;
+        };
+        if now < until {
+            return false;
+        }
+        // Half-open: `open_until` stays set so the engine sees one
+        // probe, not a thundering herd, and a concurrent request's
+        // outcome can't masquerade as the probe's.
+        match state.probe_started {
+            Some(started) if now.duration_since(started) < cfg.cooldown => false,
+            _ => {
+                state.probe_started = Some(now);
                 true
             }
-            None => true,
         }
     }
 
@@ -282,9 +294,8 @@ impl Breaker {
         let mut state = lock(&self.state);
         state.outcomes.push_back((now, true));
         prune(&mut state.outcomes, now, cfg.window);
-        if state.probing {
+        if state.probe_started.take().is_some() {
             // The half-open probe failed: straight back to open.
-            state.probing = false;
             state.open_until = Some(now + cfg.cooldown);
             return true;
         }
@@ -307,10 +318,9 @@ impl Breaker {
 
     fn record_success_at(&self, now: Instant, cfg: &BreakerSettings) {
         let mut state = lock(&self.state);
-        if state.probing {
+        if state.probe_started.take().is_some() {
             // Probe succeeded: the engine recovered; past outcomes no
             // longer describe it.
-            state.probing = false;
             state.outcomes.clear();
             state.open_until = None;
         }
@@ -482,7 +492,7 @@ impl Server {
 
         // Unhealthy engine: don't waste queue capacity on it — serve
         // degraded from whatever the cache still holds.
-        if !self.inner.breaker(engine).allow() {
+        if !self.inner.breaker(engine).allow(&self.inner.breaker_cfg) {
             return degraded_response(&self.inner, &key, submitted);
         }
 
@@ -740,11 +750,11 @@ mod tests {
         for i in 0..3u64 {
             let newly = b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
             assert!(!newly, "failure {i} must not open below min_samples");
-            assert!(b.allow_at(t0 + Duration::from_millis(i)));
+            assert!(b.allow_at(t0 + Duration::from_millis(i), &cfg));
         }
         // Fourth failure meets the floor at 100% error rate: opens.
         assert!(b.record_failure_at(t0 + Duration::from_millis(3), &cfg));
-        assert!(!b.allow_at(t0 + Duration::from_millis(4)), "open blocks");
+        assert!(!b.allow_at(t0 + Duration::from_millis(4), &cfg), "open blocks");
         // Further failures while open are not "newly opened".
         assert!(!b.record_failure_at(t0 + Duration::from_millis(5), &cfg));
     }
@@ -764,7 +774,7 @@ mod tests {
             } else {
                 b.record_success_at(now, &cfg);
             }
-            assert!(b.allow_at(now), "breaker must stay closed");
+            assert!(b.allow_at(now, &cfg), "breaker must stay closed");
         }
     }
 
@@ -784,7 +794,7 @@ mod tests {
             !b.record_failure_at(later, &cfg),
             "aged-out failures must not contribute to the rate"
         );
-        assert!(b.allow_at(later));
+        assert!(b.allow_at(later, &cfg));
     }
 
     #[test]
@@ -795,16 +805,16 @@ mod tests {
         for i in 0..4u64 {
             b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
         }
-        assert!(!b.allow_at(t0 + Duration::from_millis(10)), "open");
+        assert!(!b.allow_at(t0 + Duration::from_millis(10), &cfg), "open");
         // Cooldown elapses: exactly the next allow becomes the probe.
         let probe_at = t0 + Duration::from_millis(110);
-        assert!(b.allow_at(probe_at), "half-open lets the probe through");
+        assert!(b.allow_at(probe_at, &cfg), "half-open lets the probe through");
         b.record_success_at(probe_at, &cfg);
         // Fully closed, and the window was cleared: a single follow-up
         // failure is below the sample floor again.
-        assert!(b.allow_at(probe_at + Duration::from_millis(1)));
+        assert!(b.allow_at(probe_at + Duration::from_millis(1), &cfg));
         assert!(!b.record_failure_at(probe_at + Duration::from_millis(2), &cfg));
-        assert!(b.allow_at(probe_at + Duration::from_millis(3)));
+        assert!(b.allow_at(probe_at + Duration::from_millis(3), &cfg));
     }
 
     #[test]
@@ -816,13 +826,54 @@ mod tests {
             b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
         }
         let probe_at = t0 + Duration::from_millis(110);
-        assert!(b.allow_at(probe_at));
+        assert!(b.allow_at(probe_at, &cfg));
         assert!(
             b.record_failure_at(probe_at, &cfg),
             "failed probe re-opens (and counts as an open)"
         );
-        assert!(!b.allow_at(probe_at + Duration::from_millis(10)), "open again");
+        assert!(!b.allow_at(probe_at + Duration::from_millis(10), &cfg), "open again");
         // And the *second* cooldown ends with another probe chance.
-        assert!(b.allow_at(probe_at + Duration::from_millis(210)));
+        assert!(b.allow_at(probe_at + Duration::from_millis(210), &cfg));
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = Breaker::default();
+        let cfg = cfg();
+        let t0 = Instant::now();
+        for i in 0..4u64 {
+            b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
+        }
+        let probe_at = t0 + Duration::from_millis(110);
+        assert!(b.allow_at(probe_at, &cfg), "first caller becomes the probe");
+        // While the probe is in flight every other request keeps
+        // short-circuiting — the engine gets one probe, not a burst.
+        assert!(!b.allow_at(probe_at, &cfg), "concurrent caller blocked");
+        assert!(!b.allow_at(probe_at + Duration::from_millis(50), &cfg));
+        // Only the probe's own outcome closes the breaker.
+        b.record_success_at(probe_at + Duration::from_millis(60), &cfg);
+        assert!(b.allow_at(probe_at + Duration::from_millis(61), &cfg));
+    }
+
+    #[test]
+    fn lost_probe_expires_and_frees_the_slot() {
+        let b = Breaker::default();
+        let cfg = cfg();
+        let t0 = Instant::now();
+        for i in 0..4u64 {
+            b.record_failure_at(t0 + Duration::from_millis(i), &cfg);
+        }
+        let probe_at = t0 + Duration::from_millis(110);
+        assert!(b.allow_at(probe_at, &cfg));
+        // The probe's outcome is never recorded (e.g. its job was
+        // dropped on a queue deadline). The breaker must not wedge:
+        // after one cooldown the slot is released to a fresh probe.
+        assert!(!b.allow_at(probe_at + Duration::from_millis(50), &cfg));
+        assert!(
+            b.allow_at(probe_at + Duration::from_millis(210), &cfg),
+            "expired probe releases the slot"
+        );
+        // And again: exactly one at a time.
+        assert!(!b.allow_at(probe_at + Duration::from_millis(211), &cfg));
     }
 }
