@@ -28,7 +28,7 @@ pub mod training;
 
 pub use bias::{interrogate, BiasReport};
 pub use registry::ModelRegistry;
-pub use system::{CovidKg, CovidKgConfig, IngestReport};
+pub use system::{CovidKg, CovidKgConfig, IngestReport, PreparedIngest};
 pub use training::{
     SvmFeaturizer,
     build_tuple_examples, build_svm_features, kfold_bigru, kfold_svm, CvReport, LabeledRow,

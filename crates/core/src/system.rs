@@ -164,6 +164,27 @@ pub struct IngestReport {
     pub observations: usize,
 }
 
+/// The output of [`CovidKg::ingest_prepare`]: everything the commit
+/// phase needs, computed without exclusive access to the system. The
+/// publications are already durable in the store when this exists;
+/// only the in-memory graph/profile state remains to be updated.
+#[derive(Debug)]
+pub struct PreparedIngest {
+    /// Candidate subtrees awaiting fusion into the graph.
+    trees: Vec<covidkg_kg::ExtractedTree>,
+    /// Side-effect observations extracted from the new tables.
+    observations: Vec<Observation>,
+    /// Report counter deltas accumulated during classification.
+    delta: IngestReport,
+}
+
+impl PreparedIngest {
+    /// Number of publications stored by the prepare phase.
+    pub fn publications(&self) -> usize {
+        self.delta.publications
+    }
+}
+
 /// The assembled COVIDKG system.
 pub struct CovidKg {
     config: CovidKgConfig,
@@ -346,14 +367,22 @@ impl CovidKg {
                 "reopen requires config.data_dir".into(),
             ));
         };
-        let db = Database::open(&dir)?;
-        let publications = db.create_collection(
+        Self::reopen_with(Database::open(&dir)?, config)
+    }
+
+    /// [`CovidKg::reopen`] over an already-open [`Database`] whose
+    /// collections may already be live (the replication path: a replica
+    /// node creates the collections, streams them to convergence, then
+    /// assembles a serving system around the same `Arc`s so applied
+    /// frames are visible to search without reopening files).
+    pub fn reopen_with(db: Database, config: CovidKgConfig) -> Result<CovidKg, StoreError> {
+        let publications = db.get_or_create(
             CollectionConfig::new("publications")
                 .with_shards(config.shards)
                 .with_text_fields(Publication::text_fields()),
         )?;
         let registry =
-            ModelRegistry::over(db.create_collection(CollectionConfig::new("models").with_shards(2))?);
+            ModelRegistry::over(db.get_or_create(CollectionConfig::new("models").with_shards(2))?);
         let corrupt = |what: &str| StoreError::Corrupt(format!("missing persisted {what}"));
         let embeddings = registry
             .fetch_embeddings("cord19-wdc-w2v")
@@ -377,7 +406,7 @@ impl CovidKg {
                 TrainedClassifier::BiGru(model)
             }
         };
-        let kg_coll = db.create_collection(CollectionConfig::new("kg").with_shards(1))?;
+        let kg_coll = db.get_or_create(CollectionConfig::new("kg").with_shards(1))?;
         if let Some(saved) = kg_coll.get("config") {
             let saved = CovidKgConfig::from_json(saved.get("config").unwrap_or(&Value::Null));
             if saved.classifier != config.classifier {
@@ -450,36 +479,77 @@ impl CovidKg {
     /// trained models, fuse the extracted subtrees into the existing
     /// graph (reusing the learned correction memory), and refresh the
     /// meta-profiles. Returns the number of publications added.
+    ///
+    /// Equivalent to [`CovidKg::ingest_prepare`] → [`CovidKg::ingest_commit`]
+    /// → [`CovidKg::persist_now`]; servers that must keep reads flowing
+    /// during ingest call the three phases separately so only the commit
+    /// phase needs exclusive access.
     pub fn ingest(&mut self, pubs: &[Publication]) -> Result<usize, StoreError> {
+        let prepared = self.ingest_prepare(pubs)?;
+        let added = self.ingest_commit(prepared)?;
+        self.persist_now()?;
+        Ok(added)
+    }
+
+    /// Phase 1 of ingest: store the publications, classify their tables
+    /// and write back enrichments — all through `&self`, so concurrent
+    /// readers proceed untouched. Report deltas accumulate in the
+    /// returned [`PreparedIngest`] and are merged during commit.
+    pub fn ingest_prepare(&self, pubs: &[Publication]) -> Result<PreparedIngest, StoreError> {
         let docs: Vec<Value> = pubs.iter().map(Publication::to_doc).collect();
         self.store_docs(&docs)?;
-        self.report.publications += pubs.len();
-
-        let (trees, new_obs, enrichments) =
-            classify_and_extract(&docs, &self.classifier, &mut self.report);
+        let mut delta = IngestReport {
+            publications: pubs.len(),
+            ..IngestReport::default()
+        };
+        let (trees, observations, enrichments) =
+            classify_and_extract(&docs, &self.classifier, &mut delta);
         for (paper_id, update) in &enrichments {
             self.publications.update_spec(paper_id, update)?;
         }
-        self.report.subtrees += trees.len();
+        delta.subtrees = trees.len();
+        Ok(PreparedIngest {
+            trees,
+            observations,
+            delta,
+        })
+    }
+
+    /// Phase 2 of ingest: fuse the prepared subtrees into the graph,
+    /// refresh meta-profiles and bump the generation. This is the only
+    /// phase that mutates the system (`&mut self`); it does no I/O
+    /// beyond memory, so the exclusive window stays short.
+    pub fn ingest_commit(&mut self, prepared: PreparedIngest) -> Result<usize, StoreError> {
+        let PreparedIngest {
+            trees,
+            observations: new_obs,
+            delta,
+        } = prepared;
+        self.report.publications += delta.publications;
+        self.report.tables_parsed += delta.tables_parsed;
+        self.report.rows_classified += delta.rows_classified;
+        self.report.metadata_rows += delta.metadata_rows;
+        self.report.subtrees += delta.subtrees;
 
         // Resume fusion over the live graph with the learned memory.
         let kg = std::mem::take(&mut self.kg);
         let mut engine = FusionEngine::new(kg, Some(&self.embeddings), FusionConfig::default());
         engine.set_memory(std::mem::take(&mut self.fusion_memory));
+        let added = delta.publications;
         for tree in trees {
             engine.fuse(tree);
         }
         let mut expert = default_expert();
         engine.process_reviews(&mut expert);
         // Merge fusion counters (engine stats restart at zero per engine).
-        let delta = engine.stats();
-        self.report.fusion.auto_fused += delta.auto_fused;
-        self.report.fusion.via_memory += delta.via_memory;
-        self.report.fusion.via_embedding += delta.via_embedding;
-        self.report.fusion.queued += delta.queued;
-        self.report.fusion.reviewed += delta.reviewed;
-        self.report.fusion.discarded += delta.discarded;
-        self.report.fusion.leaves_added += delta.leaves_added;
+        let fused = engine.stats();
+        self.report.fusion.auto_fused += fused.auto_fused;
+        self.report.fusion.via_memory += fused.via_memory;
+        self.report.fusion.via_embedding += fused.via_embedding;
+        self.report.fusion.queued += fused.queued;
+        self.report.fusion.reviewed += fused.reviewed;
+        self.report.fusion.discarded += fused.discarded;
+        self.report.fusion.leaves_added += fused.leaves_added;
         let (kg, memory) = engine.into_parts();
         self.kg = kg;
         self.fusion_memory = memory;
@@ -489,8 +559,59 @@ impl CovidKg {
         self.report.observations = self.observations.len();
         self.profiles = build_meta_profiles(&self.observations);
         self.generation += 1;
-        self.persist()?;
-        Ok(pubs.len())
+        Ok(added)
+    }
+
+    /// Phase 3 of ingest: persist the KG document and snapshot every
+    /// durable collection (`&self`, no-op in memory). Public so servers
+    /// can run it outside the exclusive commit window.
+    pub fn persist_now(&self) -> Result<(), StoreError> {
+        self.persist()
+    }
+
+    /// Refresh derived state from the underlying collections after
+    /// records were applied *beneath* this system (the replication
+    /// path: a replica puller appends frames straight to the store, so
+    /// the KG document, observations, meta-profiles and report are
+    /// stale until rebuilt). Bumps the generation so render caches
+    /// re-key.
+    pub fn refresh_derived(&mut self) -> Result<(), StoreError> {
+        if let Ok(kg_coll) = self.db.collection("kg") {
+            if let Some(kg) = kg_coll
+                .get("kg")
+                .and_then(|d| d.path("graph").and_then(KnowledgeGraph::from_json))
+            {
+                self.kg = kg;
+            }
+        }
+        let mut observations = Vec::new();
+        for doc in self.publications.scan_all() {
+            let paper_id = doc
+                .get("_id")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            if let Some(tables) = doc.path("tables").and_then(Value::as_array) {
+                for t in tables {
+                    if let Some(html) = t.path("html").and_then(Value::as_str) {
+                        for table in parse_tables(html).unwrap_or_default() {
+                            observations.extend(parse_side_effect_table(
+                                &table.caption,
+                                &table.rows,
+                                &paper_id,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        self.profiles = build_meta_profiles(&observations);
+        self.report.publications = self.publications.len();
+        self.report.kg_nodes = self.kg.len();
+        self.report.observations = observations.len();
+        self.observations = observations;
+        self.generation += 1;
+        Ok(())
     }
 
     /// Store a batch of new documents, riding out transient I/O faults.
@@ -576,6 +697,12 @@ impl CovidKg {
     /// The publications collection.
     pub fn publications(&self) -> &Arc<Collection> {
         &self.publications
+    }
+
+    /// The underlying database — the replication listener walks its
+    /// collections to ship every WAL, not just the publications'.
+    pub fn database(&self) -> &Database {
+        &self.db
     }
 
     /// Storage statistics (the §2 report).

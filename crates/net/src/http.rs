@@ -140,20 +140,22 @@ pub enum ParseError {
     BadHeader(String),
     /// Unparseable or conflicting `Content-Length` → 400.
     BadContentLength,
-    /// `Transfer-Encoding` bodies are not supported → 400.
+    /// `Transfer-Encoding` (chunked or otherwise) is recognized but not
+    /// implemented → 501. Distinct from malformed input: the request is
+    /// well-formed HTTP, this server just doesn't decode such bodies.
     UnsupportedTransferEncoding,
 }
 
 impl ParseError {
-    /// The response status this error maps to (always 4xx).
+    /// The response status this error maps to.
     pub fn status(&self) -> u16 {
         match self {
             ParseError::RequestLineTooLong | ParseError::HeadersTooLarge => 431,
             ParseError::BodyTooLarge => 413,
             ParseError::BadRequestLine(_)
             | ParseError::BadHeader(_)
-            | ParseError::BadContentLength
-            | ParseError::UnsupportedTransferEncoding => 400,
+            | ParseError::BadContentLength => 400,
+            ParseError::UnsupportedTransferEncoding => 501,
         }
     }
 }
@@ -444,6 +446,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         413 => "Content Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -670,11 +673,26 @@ mod tests {
             b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
             b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
             b"GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
-            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
         ] {
             let err = parse_one(raw).expect_err(&format!("{:?}", String::from_utf8_lossy(raw)));
             assert_eq!(err.status(), 400, "{err:?}");
         }
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_maps_to_501() {
+        // Well-formed HTTP we deliberately don't implement: 501, not 400
+        // (chunked decoding remains an open item — see DESIGN).
+        for raw in [
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST / HTTP/1.1\r\ntransfer-encoding: gzip, chunked\r\n\r\n",
+        ] {
+            let err = parse_one(raw).expect_err(&format!("{:?}", String::from_utf8_lossy(raw)));
+            assert_eq!(err, ParseError::UnsupportedTransferEncoding);
+            assert_eq!(err.status(), 501, "{err:?}");
+        }
+        assert_eq!(reason_phrase(501), "Not Implemented");
     }
 
     #[test]

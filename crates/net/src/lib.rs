@@ -34,5 +34,6 @@ pub mod server;
 pub use bench::{run_closed_loop, run_open_loop, NetBenchReport};
 pub use client::{ClientResponse, HttpClient};
 pub use http::{ParseError, Parser, Request, Response};
-pub use metrics::{WireMetrics, WireStats};
+pub use metrics::{ReplExposition, WireMetrics, WireStats};
+pub use router::ReadContext;
 pub use server::{HttpServer, NetConfig};

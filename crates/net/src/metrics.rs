@@ -102,9 +102,22 @@ pub struct WireStats {
     pub responses_by_status: BTreeMap<u16, u64>,
 }
 
+/// Replication series for the exposition, gathered from the routing
+/// layer when the front-end runs with one (primary- and replica-side).
+#[derive(Debug, Clone, Default)]
+pub struct ReplExposition {
+    /// The primary's durable publications watermark (sequence clock).
+    pub watermark: u64,
+    /// `(name, applied, lag)` per routable replica.
+    pub replicas: Vec<(String, u64, u64)>,
+    /// Primary-side shipping counters, when this node is the primary:
+    /// (bytes shipped, frames shipped, snapshot bootstraps, reconnects).
+    pub shipping: Option<(u64, u64, u64, u64)>,
+}
+
 /// Render wire + serve stats as a text metrics page, one
 /// `covidkg_<name> <value>` per line, statuses as labelled series.
-pub fn render_metrics(wire: &WireStats, serve: &ServeStats) -> String {
+pub fn render_metrics(wire: &WireStats, serve: &ServeStats, repl: Option<&ReplExposition>) -> String {
     fn secs(d: Option<Duration>) -> f64 {
         d.map(|d| d.as_secs_f64()).unwrap_or(0.0)
     }
@@ -148,6 +161,28 @@ pub fn render_metrics(wire: &WireStats, serve: &ServeStats) -> String {
     line("serve_latency_p50_seconds", format!("{:.6}", secs(serve.p50)));
     line("serve_latency_p95_seconds", format!("{:.6}", secs(serve.p95)));
     line("serve_latency_p99_seconds", format!("{:.6}", secs(serve.p99)));
+    if let Some(repl) = repl {
+        // Replica names are operator-chosen: squash anything that would
+        // break the strict `name value` line shape.
+        let label = |name: &str| -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+                .collect()
+        };
+        line("repl_watermark", repl.watermark.to_string());
+        line("repl_replicas", repl.replicas.len().to_string());
+        for (name, applied, lag) in &repl.replicas {
+            let name = label(name);
+            line(&format!("repl_replica_applied{{replica=\"{name}\"}}"), applied.to_string());
+            line(&format!("repl_replica_lag{{replica=\"{name}\"}}"), lag.to_string());
+        }
+        if let Some((bytes, frames, bootstraps, reconnects)) = repl.shipping {
+            line("repl_bytes_shipped", bytes.to_string());
+            line("repl_frames_shipped", frames.to_string());
+            line("repl_snapshot_bootstraps", bootstraps.to_string());
+            line("repl_reconnects", reconnects.to_string());
+        }
+    }
     out
 }
 
@@ -208,17 +243,36 @@ mod tests {
             p95: None,
             p99: None,
         };
-        let text = render_metrics(&m.snapshot(), &serve);
+        let repl = ReplExposition {
+            watermark: 42,
+            replicas: vec![
+                ("replica-1".into(), 42, 0),
+                ("weird name!".into(), 40, 2),
+            ],
+            shipping: Some((1024, 17, 1, 3)),
+        };
+        let text = render_metrics(&m.snapshot(), &serve, Some(&repl));
         assert!(text.contains("covidkg_net_connections_accepted 1\n"), "{text}");
         assert!(text.contains("covidkg_net_responses{status=\"200\"} 1\n"));
         assert!(text.contains("covidkg_net_responses{status=\"404\"} 1\n"));
         assert!(text.contains("covidkg_serve_requests_all_fields 7\n"));
         assert!(text.contains("covidkg_serve_latency_p50_seconds 0.001500\n"));
         assert!(text.contains("covidkg_serve_latency_p95_seconds 0.000000\n"));
+        assert!(text.contains("covidkg_repl_watermark 42\n"));
+        assert!(text.contains("covidkg_repl_replicas 2\n"));
+        assert!(text.contains("covidkg_repl_replica_applied{replica=\"replica-1\"} 42\n"));
+        assert!(text.contains("covidkg_repl_replica_lag{replica=\"weird-name-\"} 2\n"));
+        assert!(text.contains("covidkg_repl_bytes_shipped 1024\n"));
+        assert!(text.contains("covidkg_repl_frames_shipped 17\n"));
+        assert!(text.contains("covidkg_repl_snapshot_bootstraps 1\n"));
+        assert!(text.contains("covidkg_repl_reconnects 3\n"));
         // Every line is `name value`.
         for l in text.lines() {
             assert_eq!(l.split(' ').count(), 2, "{l}");
             assert!(l.starts_with("covidkg_"), "{l}");
         }
+        // Without a routing layer the repl series are absent entirely.
+        let text = render_metrics(&m.snapshot(), &serve, None);
+        assert!(!text.contains("repl_"), "{text}");
     }
 }

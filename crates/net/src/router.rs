@@ -7,27 +7,70 @@
 //! `X-Generation`) so the body never varies with cache state.
 
 use crate::http::{Request, Response};
-use crate::metrics::{render_metrics, WireStats};
+use crate::metrics::{render_metrics, ReplExposition, WireStats};
 use covidkg_json::{obj, Value};
+use covidkg_repl::{ReadRouter, ReplMetrics, RouteError};
 use covidkg_search::SearchMode;
 use covidkg_serve::{ServeError, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Replication-aware read context for a front-end that routes search
+/// traffic across a replica pool instead of a single local server.
+pub struct ReadContext {
+    /// The lag-aware router (replicas + optional primary fallback).
+    pub router: Arc<ReadRouter>,
+    /// Primary-side shipping counters for `/metrics`, when this node
+    /// is the primary (`None` on a replica-only front-end).
+    pub metrics: Option<Arc<ReplMetrics>>,
+    /// How long a read-your-writes request (`X-Min-Seq`) may wait for a
+    /// caught-up target before 503ing.
+    pub ryw_deadline: Duration,
+}
+
+impl ReadContext {
+    /// Context with the default 2-second read-your-writes wait.
+    pub fn new(router: Arc<ReadRouter>, metrics: Option<Arc<ReplMetrics>>) -> ReadContext {
+        ReadContext {
+            router,
+            metrics,
+            ryw_deadline: Duration::from_secs(2),
+        }
+    }
+
+    fn exposition(&self) -> ReplExposition {
+        ReplExposition {
+            watermark: self.router.watermark(),
+            replicas: self.router.targets(),
+            shipping: self.metrics.as_ref().map(|m| {
+                let s = m.snapshot();
+                (s.bytes_shipped, s.frames_shipped, s.snapshot_bootstraps, s.reconnects)
+            }),
+        }
+    }
+}
 
 /// Resolve one request to a response. Never panics; unknown paths 404,
-/// wrong methods 405, bad parameters 400.
-pub fn handle(server: &Server, wire: &WireStats, req: &Request) -> Response {
+/// wrong methods 405, bad parameters 400. With a [`ReadContext`],
+/// `/search/*` is routed lag-aware across the replica pool and
+/// `/metrics` carries the replication series.
+pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req: &Request) -> Response {
     if req.method != "GET" {
         return error_response(405, "only GET is supported");
     }
     let path = req.path();
     if let Some(engine) = path.strip_prefix("/search/") {
-        return search(server, engine, req);
+        return search(server, engine, repl, req);
     }
     if let Some(id) = path.strip_prefix("/kg/node/") {
         return kg_node(server, id);
     }
     match path {
         "/stats" => stats(server),
-        "/metrics" => Response::text(200, render_metrics(wire, &server.stats())),
+        "/metrics" => Response::text(
+            200,
+            render_metrics(wire, &server.stats(), repl.map(|r| r.exposition()).as_ref()),
+        ),
         "/" => Response::json(
             200,
             obj! {
@@ -47,8 +90,10 @@ pub fn handle(server: &Server, wire: &WireStats, req: &Request) -> Response {
 
 /// `GET /search/{engine}?q=&page=` — `scoped` also accepts the
 /// per-field `title`/`abstract`/`caption` parameters, defaulting each
-/// to `q` when absent.
-fn search(server: &Server, engine: &str, req: &Request) -> Response {
+/// to `q` when absent. Under a [`ReadContext`], `X-Min-Seq` (header) or
+/// `min_seq` (query parameter) demands read-your-writes: the response
+/// comes from a target that has applied at least that sequence, or 503.
+fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Request) -> Response {
     let q = req.query_param("q").unwrap_or_default();
     let page = match req.query_param("page").as_deref() {
         None => 0,
@@ -72,21 +117,55 @@ fn search(server: &Server, engine: &str, req: &Request) -> Response {
             )
         }
     };
-    match server.search(&mode, page) {
-        Ok(resp) => Response::json(200, resp.page.to_json().to_json())
-            .with_header(
-                "X-Cache",
-                if resp.stale {
-                    "stale"
-                } else if resp.cached {
-                    "hit"
-                } else {
-                    "miss"
-                },
-            )
-            .with_header("X-Generation", resp.generation.to_string()),
-        Err(e) => serve_error_response(e),
+    let Some(ctx) = repl else {
+        return match server.search(&mode, page) {
+            Ok(resp) => page_response(&resp),
+            Err(e) => serve_error_response(e),
+        };
+    };
+    // Routed read: the sequence token rides the `X-Min-Seq` header (or
+    // the `min_seq` query parameter for header-less clients).
+    let min_seq_raw = req
+        .header("x-min-seq")
+        .map(|v| v.to_string())
+        .or_else(|| req.query_param("min_seq"));
+    let min_seq = match min_seq_raw.as_deref() {
+        None => 0,
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(s) => s,
+            Err(_) => return error_response(400, "X-Min-Seq must be a non-negative integer"),
+        },
+    };
+    match ctx.router.search(&mode, page, min_seq, ctx.ryw_deadline) {
+        Ok((resp, info)) => page_response(&resp)
+            .with_header("X-Served-By", info.replica)
+            .with_header("X-Replica-Lag", info.lag.to_string())
+            .with_header("X-Applied-Seq", info.applied.to_string()),
+        Err(RouteError::NotCaughtUp { wanted, best }) => error_response(
+            503,
+            &format!("no replica caught up to sequence {wanted} (best applied: {best})"),
+        )
+        .with_header("Retry-After", "1")
+        .with_header("X-Applied-Seq", best.to_string()),
+        Err(RouteError::Serve(e)) => serve_error_response(e),
     }
+}
+
+/// The canonical 200 search response: byte-identical body, cache
+/// metadata in headers.
+fn page_response(resp: &covidkg_serve::ServeResponse) -> Response {
+    Response::json(200, resp.page.to_json().to_json())
+        .with_header(
+            "X-Cache",
+            if resp.stale {
+                "stale"
+            } else if resp.cached {
+                "hit"
+            } else {
+                "miss"
+            },
+        )
+        .with_header("X-Generation", resp.generation.to_string())
 }
 
 /// Map the scheduler's typed backpressure errors onto wire statuses.

@@ -12,7 +12,7 @@
 
 use crate::http::{Parser, Response};
 use crate::metrics::{WireMetrics, WireStats};
-use crate::router::{error_response, handle};
+use crate::router::{error_response, handle, ReadContext};
 use covidkg_serve::Server;
 use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -54,6 +54,8 @@ struct Shared {
     serve: Arc<Server>,
     config: NetConfig,
     wire: WireMetrics,
+    /// Lag-aware read routing across a replica pool, when configured.
+    repl: Option<ReadContext>,
     shutting_down: AtomicBool,
     active: AtomicU64,
 }
@@ -70,12 +72,25 @@ pub struct HttpServer {
 impl HttpServer {
     /// Bind `config.addr` and start accepting.
     pub fn start(serve: Arc<Server>, config: NetConfig) -> std::io::Result<HttpServer> {
+        HttpServer::start_routed(serve, None, config)
+    }
+
+    /// Like [`HttpServer::start`], but `/search/*` reads are routed
+    /// lag-aware through a replica pool and `/metrics` carries the
+    /// replication series. `serve` remains the node's local server for
+    /// `/kg/node`, `/stats` and the serve-layer metrics.
+    pub fn start_routed(
+        serve: Arc<Server>,
+        repl: Option<ReadContext>,
+        config: NetConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             serve,
             config,
             wire: WireMetrics::default(),
+            repl,
             shutting_down: AtomicBool::new(false),
             active: AtomicU64::new(0),
         });
@@ -207,7 +222,8 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             match parser.feed(&[]) {
                 Ok(Some(req)) => {
                     let close = req.wants_close() || shared.shutting_down.load(Ordering::Acquire);
-                    if !respond(&mut stream, shared, handle(&shared.serve, &shared.wire.snapshot(), &req), close) {
+                    let resp = handle(&shared.serve, &shared.wire.snapshot(), shared.repl.as_ref(), &req);
+                    if !respond(&mut stream, shared, resp, close) {
                         return;
                     }
                     if close {
@@ -246,7 +262,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                     Ok(Some(req)) => {
                         let close =
                             req.wants_close() || shared.shutting_down.load(Ordering::Acquire);
-                        if !respond(&mut stream, shared, handle(&shared.serve, &shared.wire.snapshot(), &req), close) {
+                        let resp =
+                            handle(&shared.serve, &shared.wire.snapshot(), shared.repl.as_ref(), &req);
+                        if !respond(&mut stream, shared, resp, close) {
                             return;
                         }
                         if close {

@@ -1,0 +1,195 @@
+//! Replication-aware wire serving: a primary system behind a
+//! [`ReplListener`], a full [`ReplicaNode`], and an [`HttpServer`]
+//! started with a [`ReadContext`] — reads route lag-aware over HTTP,
+//! read-your-writes rides the `X-Min-Seq` header (or `min_seq` query
+//! parameter), and `/metrics` carries the replication series.
+
+use covidkg_core::{CovidKg, CovidKgConfig};
+use covidkg_net::{HttpClient, HttpServer, NetConfig, ReadContext};
+use covidkg_repl::{
+    ReadRouter, ReplConfig, ReplListener, ReplicaNode, ReplicaNodeConfig, ReplicaTarget,
+};
+use covidkg_search::SearchMode;
+use covidkg_serve::{ServeConfig, Server};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("covidkg-net-routed-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.to_string_lossy().into_owned()
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn routed_reads_replica_headers_and_metrics_over_the_wire() {
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: 24,
+        max_training_rows: 300,
+        data_dir: Some(scratch("primary")),
+        ..CovidKgConfig::default()
+    })
+    .unwrap();
+    let primary_server = Arc::new(Server::start(system, ServeConfig::default()));
+    let sources = primary_server.with_system(|s| {
+        let db = s.database();
+        db.collection_names()
+            .into_iter()
+            .map(|name| {
+                let coll = db.collection(&name).unwrap();
+                (name, coll)
+            })
+            .collect::<Vec<_>>()
+    });
+    let listener = ReplListener::start(sources.clone(), ReplConfig::default()).unwrap();
+
+    let node = ReplicaNode::start(ReplicaNodeConfig::new(
+        listener.local_addr(),
+        "replica-w",
+        scratch("replica"),
+    ))
+    .unwrap();
+
+    let pubs = sources
+        .iter()
+        .find(|(n, _)| n == "publications")
+        .map(|(_, c)| Arc::clone(c))
+        .unwrap();
+    let mark = pubs.repl_watermark();
+    assert!(mark > 0, "primary must have a publications watermark");
+    assert!(
+        wait_until(Duration::from_secs(10), || node.applied() >= mark),
+        "replica never caught up before wire serving"
+    );
+
+    let watermark_pubs = Arc::clone(&pubs);
+    let router = Arc::new(ReadRouter::new(
+        Some(Arc::clone(&primary_server)),
+        vec![ReplicaTarget::tracking(
+            "replica-w",
+            node.server(),
+            &node.publications_state(),
+        )],
+        Arc::new(move || watermark_pubs.repl_watermark()),
+        8,
+    ));
+    let http = HttpServer::start_routed(
+        Arc::clone(&primary_server),
+        Some(ReadContext::new(Arc::clone(&router), Some(listener.metrics()))),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(http.local_addr(), Duration::from_secs(5)).unwrap();
+
+    // Read-your-writes at the current watermark: 200, routing headers
+    // present, body byte-identical to the in-process page.
+    let expected = primary_server
+        .search(&SearchMode::AllFields("covid".into()), 0)
+        .unwrap()
+        .page
+        .to_json()
+        .to_json();
+    let raw = format!(
+        "GET /search/all-fields?q=covid HTTP/1.1\r\nHost: covidkg\r\nX-Min-Seq: {mark}\r\n\r\n"
+    );
+    let resp = client.send_raw(raw.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.text(), expected, "wire body must be byte-identical");
+    let served_by = resp.header("X-Served-By").expect("routed header").to_string();
+    assert!(served_by == "replica-w" || served_by == "primary");
+    let applied: u64 = resp.header("X-Applied-Seq").unwrap().parse().unwrap();
+    assert!(applied >= mark);
+    resp.header("X-Replica-Lag").expect("lag header");
+
+    // The caught-up replica takes reads once its gauge mirror ticks.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            let r = client.send_raw(raw.as_bytes()).unwrap();
+            r.status == 200 && r.header("X-Served-By") == Some("replica-w")
+        }),
+        "caught-up replica never served a routed read"
+    );
+
+    // `/metrics` exposes the replication series.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains(&format!("covidkg_repl_watermark {mark}\n")), "{text}");
+    assert!(text.contains("covidkg_repl_replicas 1\n"), "{text}");
+    assert!(
+        text.contains("covidkg_repl_replica_applied{replica=\"replica-w\"}"),
+        "{text}"
+    );
+    assert!(text.contains("covidkg_repl_bytes_shipped "), "{text}");
+
+    drop(http);
+    drop(node);
+}
+
+#[test]
+fn unsatisfiable_min_seq_on_a_pure_replica_pool_is_503() {
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: 12,
+        max_training_rows: 200,
+        data_dir: Some(scratch("pure-pool")),
+        ..CovidKgConfig::default()
+    })
+    .unwrap();
+    let server = Arc::new(Server::start(system, ServeConfig::default()));
+
+    // A pool with no primary fallback and one permanently stale target:
+    // read-your-writes past its applied sequence must fail honestly.
+    let router = Arc::new(ReadRouter::new(
+        None,
+        vec![ReplicaTarget {
+            name: "stale".into(),
+            server: Arc::clone(&server),
+            applied: Arc::new(AtomicU64::new(3)),
+        }],
+        Arc::new(|| 3),
+        8,
+    ));
+    let http = HttpServer::start_routed(
+        Arc::clone(&server),
+        Some(ReadContext {
+            router,
+            metrics: None,
+            ryw_deadline: Duration::from_millis(100),
+        }),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(http.local_addr(), Duration::from_secs(5)).unwrap();
+
+    // Satisfiable token (query-parameter form): the stale-but-adequate
+    // replica serves it.
+    let ok = client.get("/search/all-fields?q=covid&min_seq=3").unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    assert_eq!(ok.header("X-Served-By"), Some("stale"));
+
+    // Unsatisfiable token: 503 with Retry-After and the best applied.
+    let miss = client.get("/search/all-fields?q=covid&min_seq=999").unwrap();
+    assert_eq!(miss.status, 503, "{}", miss.text());
+    assert_eq!(miss.header("Retry-After"), Some("1"));
+    assert_eq!(miss.header("X-Applied-Seq"), Some("3"));
+
+    // Malformed token: 400, not a routed read.
+    let bad = client.send_raw(
+        b"GET /search/all-fields?q=covid HTTP/1.1\r\nHost: covidkg\r\nX-Min-Seq: nope\r\n\r\n",
+    );
+    assert_eq!(bad.unwrap().status, 400);
+
+    drop(http);
+}

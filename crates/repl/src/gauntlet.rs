@@ -1,0 +1,608 @@
+//! Seeded replication convergence gauntlet.
+//!
+//! The crash-recovery gauntlet in covidkg-store proves a *single* node
+//! comes back from any torn WAL; this one proves the *pair* does: a
+//! replica whose disk is truncated at every frame boundary (plus
+//! mid-frame cuts and flipped bytes), whose puller is killed and
+//! restarted mid-stream, and whose wire is severed or corrupted by a
+//! fault-injecting proxy must always reconnect and converge
+//! byte-identical to the primary — checked with
+//! [`Collection::content_checksum`] after every scenario.
+//!
+//! Everything is driven by one seed through `covidkg_rand`, so a
+//! failing run replays exactly.
+
+use crate::primary::{ReplConfig, ReplListener};
+use crate::replica::ReplicaPuller;
+use crate::ReplError;
+use covidkg_rand::{Rng, SeedableRng, SmallRng};
+use covidkg_store::wal;
+use covidkg_store::{Collection, CollectionConfig, Database, RetryPolicy};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gauntlet workload and damage parameters.
+#[derive(Debug, Clone)]
+pub struct ReplGauntletConfig {
+    /// Seed driving the workload and every damage choice.
+    pub seed: u64,
+    /// Documents in the primary's initial workload (every 3rd updated,
+    /// every 5th deleted, so all WAL record kinds ship).
+    pub docs: usize,
+    /// Mid-stream kill/restart rounds with live primary writes.
+    pub kill_rounds: usize,
+    /// Seeded mid-frame truncation points tried on top of the
+    /// cut-at-every-boundary sweep.
+    pub intra_frame_cuts: usize,
+    /// Seeded single-byte flips applied to the replica's WAL.
+    pub byte_flips: usize,
+    /// Unique suffix for the scratch directory.
+    pub tag: String,
+}
+
+impl Default for ReplGauntletConfig {
+    fn default() -> Self {
+        ReplGauntletConfig {
+            seed: 0xC0BD,
+            docs: 18,
+            kill_rounds: 3,
+            intra_frame_cuts: 4,
+            byte_flips: 3,
+            tag: "default".into(),
+        }
+    }
+}
+
+/// Outcome of a gauntlet run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplGauntletReport {
+    /// Convergence checks performed (each ends in a checksum compare).
+    pub scenarios: usize,
+    /// Mid-stream puller kill/restart cycles.
+    pub kills: usize,
+    /// Replica-WAL truncation points exercised (boundary + mid-frame).
+    pub truncations: usize,
+    /// Single-byte corruptions (replica disk + wire).
+    pub corruptions: usize,
+    /// Wire sessions severed or corrupted by the proxy.
+    pub wire_faults: usize,
+    /// Reconnect sessions observed across all replicas.
+    pub reconnects: u64,
+    /// Checkpoint bootstraps installed across all replicas.
+    pub checkpoints: u64,
+    /// Human-readable descriptions of every scenario that diverged.
+    pub failures: Vec<String>,
+}
+
+impl ReplGauntletReport {
+    /// True when every scenario converged byte-identical.
+    pub fn converged(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for ReplGauntletReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "replication gauntlet: {} scenarios ({} kills, {} truncations, {} corruptions, {} wire faults)",
+            self.scenarios, self.kills, self.truncations, self.corruptions, self.wire_faults
+        )?;
+        writeln!(
+            f,
+            "  {} reconnects, {} checkpoint bootstraps observed",
+            self.reconnects, self.checkpoints
+        )?;
+        if self.converged() {
+            write!(f, "  PASS: every replica converged byte-identical")
+        } else {
+            writeln!(f, "  FAIL: {} scenarios diverged:", self.failures.len())?;
+            for failure in &self.failures {
+                writeln!(f, "    - {failure}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// How long any single scenario may take to converge before it counts
+/// as a divergence.
+const CONVERGE_TIMEOUT: Duration = Duration::from_secs(15);
+
+/// Backoff policy for gauntlet pullers: fast, so damage rounds are
+/// cheap, but still exercising the growth path.
+fn gauntlet_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 8,
+        base: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(50),
+    }
+}
+
+fn shape() -> CollectionConfig {
+    CollectionConfig::new("publications")
+        .with_shards(2)
+        .with_text_fields(["title"])
+}
+
+/// Apply one seeded mutation to the primary, tracking live ids.
+fn mutate(c: &Collection, rng: &mut SmallRng, live: &mut Vec<String>, i: usize) -> Result<(), ReplError> {
+    let id = format!("p{i:04}");
+    c.insert(covidkg_json::obj! {
+        "_id" => id.clone(),
+        "title" => format!("variant strain {i} report"),
+        "n" => i as i64
+    })?;
+    live.push(id);
+    if i % 3 == 2 && !live.is_empty() {
+        let pick = live[rng.gen_range(0..live.len())].clone();
+        c.update(&pick, |d| d.insert("updated", i as i64))?;
+    }
+    if i % 5 == 4 && live.len() > 1 {
+        let victim = live.remove(rng.gen_range(0..live.len()));
+        c.delete(&victim)?;
+    }
+    Ok(())
+}
+
+/// Saved bytes of a replica's durable artifacts (WAL, snapshot, seq
+/// sidecar), so a scenario can be restored to a known-good state before
+/// damage is applied.
+struct GoldenFiles {
+    files: Vec<(PathBuf, Option<Vec<u8>>)>,
+}
+
+impl GoldenFiles {
+    fn capture(dir: &Path) -> GoldenFiles {
+        let files = ["publications.wal", "publications.snapshot", "publications.seq"]
+            .iter()
+            .map(|name| {
+                let path = dir.join(name);
+                let bytes = std::fs::read(&path).ok();
+                (path, bytes)
+            })
+            .collect();
+        GoldenFiles { files }
+    }
+
+    fn restore(&self) -> std::io::Result<()> {
+        for (path, bytes) in &self.files {
+            match bytes {
+                Some(b) => std::fs::write(path, b)?,
+                None => {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_all()
+}
+
+fn flip_byte(path: &Path, offset: usize) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let at = offset % bytes.len();
+    bytes[at] ^= 0x80;
+    std::fs::write(path, bytes)
+}
+
+/// Counters harvested from one replica sync before it is torn down.
+struct SyncOutcome {
+    reconnects: u64,
+    checkpoints: u64,
+}
+
+/// Open the replica directory, pull from `primary_addr` until the
+/// replica's checksum matches the primary's, then tear everything down
+/// (so the caller may damage the files). Returns `Err(reason)` when
+/// convergence does not happen inside [`CONVERGE_TIMEOUT`].
+fn sync_until_converged(
+    dir: &Path,
+    primary_addr: SocketAddr,
+    primary: &Collection,
+    replica_name: &str,
+) -> Result<SyncOutcome, String> {
+    let db = Database::open(dir).map_err(|e| format!("replica reopen failed: {e}"))?;
+    let coll = db
+        .get_or_create(shape())
+        .map_err(|e| format!("replica collection failed: {e}"))?;
+    let puller = ReplicaPuller::start(
+        Arc::clone(&coll),
+        "publications",
+        primary_addr,
+        replica_name,
+        gauntlet_policy(),
+    );
+    let state = puller.state();
+    let deadline = Instant::now() + CONVERGE_TIMEOUT;
+    let converged = loop {
+        let mark = primary.repl_watermark();
+        if state.applied.load(Ordering::Acquire) >= mark
+            && coll.content_checksum() == primary.content_checksum()
+        {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    let outcome = SyncOutcome {
+        reconnects: state.reconnects.load(Ordering::Relaxed),
+        checkpoints: state.checkpoints.load(Ordering::Relaxed),
+    };
+    drop(puller);
+    drop(coll);
+    drop(db);
+    if converged {
+        Ok(outcome)
+    } else {
+        Err(format!(
+            "replica {replica_name:?} did not converge (applied {}, primary watermark {})",
+            outcome_applied(&state),
+            primary.repl_watermark()
+        ))
+    }
+}
+
+fn outcome_applied(state: &crate::replica::PullerState) -> u64 {
+    state.applied.load(Ordering::Acquire)
+}
+
+/// One wire fault the proxy injects, indexed by session number; later
+/// sessions pass through clean.
+#[derive(Clone, Copy)]
+enum WireFault {
+    /// Forward only this many upstream bytes, then sever both ways.
+    CutAfter(u64),
+    /// XOR 0x80 into the upstream byte at this stream offset.
+    FlipAt(u64),
+}
+
+/// A byte-level TCP proxy between replica and primary that injects one
+/// scheduled fault per early session. Used to prove the replica
+/// survives severed and corrupted wires (CRC check, reconnect).
+struct WireProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WireProxy {
+    fn start(upstream: SocketAddr, schedule: Vec<WireFault>) -> std::io::Result<WireProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("covidkg-repl-gauntlet-proxy".into())
+            .spawn(move || proxy_loop(listener, upstream, schedule, thread_stop))
+            .expect("spawn proxy thread");
+        Ok(WireProxy {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn proxy_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    schedule: Vec<WireFault>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut session = 0usize;
+    let mut handles = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(client) = conn else { continue };
+        let fault = schedule.get(session).copied();
+        session += 1;
+        let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(1)) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        let session_stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            proxy_session(client, server, fault, session_stop);
+        }));
+        handles.retain(|h: &JoinHandle<()>| !h.is_finished());
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Forward both directions; the fault (if any) applies to the
+/// upstream→client (primary→replica) direction, where frames flow.
+fn proxy_session(client: TcpStream, server: TcpStream, fault: Option<WireFault>, stop: Arc<AtomicBool>) {
+    let tick = Duration::from_millis(20);
+    let _ = client.set_read_timeout(Some(tick));
+    let _ = server.set_read_timeout(Some(tick));
+    let (Ok(client_rd), Ok(server_rd)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let up_stop = Arc::clone(&stop);
+    // Replica→primary: always clean (acks and hellos pass through).
+    let up = std::thread::spawn(move || {
+        forward(client_rd, server, None, &up_stop);
+    });
+    forward(server_rd, client, fault, &stop);
+    let _ = up.join();
+}
+
+/// Copy bytes from `src` to `dst`, applying `fault` at its offset.
+fn forward(mut src: TcpStream, mut dst: TcpStream, fault: Option<WireFault>, stop: &AtomicBool) {
+    let mut offset = 0u64;
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let mut keep = n;
+        match fault {
+            Some(WireFault::CutAfter(limit)) => {
+                let remaining = limit.saturating_sub(offset);
+                if remaining == 0 {
+                    break;
+                }
+                keep = (remaining as usize).min(n);
+            }
+            Some(WireFault::FlipAt(at)) if at >= offset && at < offset + n as u64 => {
+                buf[(at - offset) as usize] ^= 0x80;
+            }
+            Some(WireFault::FlipAt(_)) | None => {}
+        }
+        let chunk = &buf[..keep];
+        offset += chunk.len() as u64;
+        if dst.write_all(chunk).is_err() {
+            break;
+        }
+        let _ = dst.flush();
+        if matches!(fault, Some(WireFault::CutAfter(limit)) if offset >= limit) {
+            break;
+        }
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+/// Run the replication gauntlet. Scratch state lives under the system
+/// temp directory, keyed by `config.tag`, and is recreated per run.
+pub fn run_repl_gauntlet(config: &ReplGauntletConfig) -> Result<ReplGauntletReport, ReplError> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut report = ReplGauntletReport::default();
+    let root = std::env::temp_dir().join(format!("covidkg-repl-gauntlet-{}", config.tag));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root)?;
+
+    // --- Primary: seeded workload, then the replication listener. ---
+    let primary_db = Database::open(root.join("primary"))?;
+    let primary = primary_db.get_or_create(shape())?;
+    let mut live = Vec::new();
+    let mut next_doc = 0usize;
+    for _ in 0..config.docs {
+        mutate(&primary, &mut rng, &mut live, next_doc)?;
+        next_doc += 1;
+    }
+    primary.sync()?;
+    let listener = ReplListener::start(
+        vec![("publications".into(), Arc::clone(&primary))],
+        ReplConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            ..ReplConfig::default()
+        },
+    )?;
+    let addr = listener.local_addr();
+
+    let replica_dir = root.join("replica-damage");
+    std::fs::create_dir_all(&replica_dir)?;
+    let harvest = |report: &mut ReplGauntletReport, outcome: Result<SyncOutcome, String>, what: &str| {
+        report.scenarios += 1;
+        match outcome {
+            Ok(o) => {
+                report.reconnects += o.reconnects;
+                report.checkpoints += o.checkpoints;
+            }
+            Err(reason) => report.failures.push(format!("{what}: {reason}")),
+        }
+    };
+
+    // --- Scenario 1: cold frame-by-frame bootstrap. ---
+    harvest(
+        &mut report,
+        sync_until_converged(&replica_dir, addr, &primary, "gauntlet-r1"),
+        "cold bootstrap",
+    );
+
+    // --- Scenario 2: cut the replica WAL at EVERY frame boundary, plus
+    // seeded mid-frame cuts and byte flips, re-sync after each. ---
+    let golden = GoldenFiles::capture(&replica_dir);
+    let wal_bytes = std::fs::read(replica_dir.join("publications.wal")).unwrap_or_default();
+    let ends = wal::frame_ends(&wal_bytes);
+    let mut cuts: Vec<(u64, &'static str)> = Vec::new();
+    cuts.push((0, "boundary"));
+    for &end in &ends {
+        cuts.push((end as u64, "boundary"));
+    }
+    for _ in 0..config.intra_frame_cuts {
+        if wal_bytes.len() > 1 {
+            cuts.push((rng.gen_range(1..wal_bytes.len()) as u64, "mid-frame"));
+        }
+    }
+    for (len, kind) in cuts {
+        golden.restore()?;
+        truncate_file(&replica_dir.join("publications.wal"), len)?;
+        report.truncations += 1;
+        harvest(
+            &mut report,
+            sync_until_converged(&replica_dir, addr, &primary, "gauntlet-r1"),
+            &format!("{kind} cut at {len}"),
+        );
+    }
+    for _ in 0..config.byte_flips {
+        if wal_bytes.is_empty() {
+            break;
+        }
+        golden.restore()?;
+        let at = rng.gen_range(0..wal_bytes.len());
+        flip_byte(&replica_dir.join("publications.wal"), at)?;
+        report.corruptions += 1;
+        harvest(
+            &mut report,
+            sync_until_converged(&replica_dir, addr, &primary, "gauntlet-r1"),
+            &format!("byte flip at {at}"),
+        );
+    }
+
+    // --- Scenario 3: mid-stream kill/restart rounds under live writes;
+    // some kills are followed by extra tail damage before restart. ---
+    for round in 0..config.kill_rounds {
+        for _ in 0..rng.gen_range(3..8_usize) {
+            mutate(&primary, &mut rng, &mut live, next_doc)?;
+            next_doc += 1;
+        }
+        // Start the replica catching up, kill it mid-apply.
+        {
+            let db = Database::open(&replica_dir)?;
+            let coll = db.get_or_create(shape())?;
+            let mut puller = ReplicaPuller::start(
+                Arc::clone(&coll),
+                "publications",
+                addr,
+                "gauntlet-r1",
+                gauntlet_policy(),
+            );
+            std::thread::sleep(Duration::from_millis(rng.gen_range(1..25_u64)));
+            puller.shutdown();
+            report.kills += 1;
+        }
+        if rng.gen_range(0..2_u32) == 1 {
+            let bytes = std::fs::read(replica_dir.join("publications.wal")).unwrap_or_default();
+            let ends = wal::frame_ends(&bytes);
+            if let Some(&end) = ends.get(rng.gen_range(0..ends.len().max(1)).min(ends.len().saturating_sub(1))) {
+                truncate_file(&replica_dir.join("publications.wal"), end as u64)?;
+                report.truncations += 1;
+            }
+        }
+        harvest(
+            &mut report,
+            sync_until_converged(&replica_dir, addr, &primary, "gauntlet-r1"),
+            &format!("kill round {round}"),
+        );
+    }
+
+    // --- Scenario 4: checkpoint bootstrap. Compact the primary's WAL,
+    // then a brand-new replica must arrive via snapshot shipping. ---
+    primary.snapshot()?;
+    let r2_dir = root.join("replica-straggler");
+    std::fs::create_dir_all(&r2_dir)?;
+    let straggler = sync_until_converged(&r2_dir, addr, &primary, "gauntlet-r2");
+    if let Ok(o) = &straggler {
+        if o.checkpoints == 0 {
+            report
+                .failures
+                .push("straggler bootstrap: expected a checkpoint install, saw none".into());
+        }
+    }
+    harvest(&mut report, straggler, "straggler bootstrap");
+
+    // --- Scenario 5: wire faults. A proxy severs the first session
+    // mid-frame and flips a byte in the second; the replica must detect
+    // (CRC / protocol error), reconnect, and still converge. ---
+    for _ in 0..4 {
+        mutate(&primary, &mut rng, &mut live, next_doc)?;
+        next_doc += 1;
+    }
+    let schedule = vec![
+        WireFault::CutAfter(rng.gen_range(40..400_u64)),
+        WireFault::FlipAt(rng.gen_range(300..1200_u64)),
+    ];
+    report.wire_faults += schedule.len();
+    report.corruptions += 1;
+    let mut proxy = WireProxy::start(addr, schedule)?;
+    let r3_dir = root.join("replica-wire");
+    std::fs::create_dir_all(&r3_dir)?;
+    let wired = sync_until_converged(&r3_dir, proxy.addr, &primary, "gauntlet-r3");
+    if let Ok(o) = &wired {
+        if o.reconnects == 0 {
+            report
+                .failures
+                .push("wire faults: expected at least one reconnect, saw none".into());
+        }
+    }
+    harvest(&mut report, wired, "wire faults");
+    proxy.shutdown();
+
+    drop(listener);
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauntlet_converges_with_default_seed() {
+        let report = run_repl_gauntlet(&ReplGauntletConfig {
+            docs: 10,
+            kill_rounds: 2,
+            intra_frame_cuts: 2,
+            byte_flips: 2,
+            tag: "unit".into(),
+            ..ReplGauntletConfig::default()
+        })
+        .expect("gauntlet runs");
+        assert!(report.converged(), "diverged:\n{report}");
+        assert!(report.truncations > 10, "boundary sweep ran");
+        assert!(report.kills == 2);
+        assert!(report.checkpoints >= 1, "straggler used a checkpoint");
+        assert!(report.reconnects >= 1, "wire faults forced reconnects");
+    }
+}

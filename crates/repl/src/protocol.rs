@@ -1,0 +1,470 @@
+//! The replication wire protocol: length-prefixed binary messages over
+//! TCP, one session per (replica, collection).
+//!
+//! Framing: `u32` little-endian length, one kind byte, then
+//! `length - 1` payload bytes. Structured payloads are JSON (the
+//! workspace's own parser); the hot [`Message::Frame`] payload is
+//! binary — 8-byte LE sequence number, 4-byte LE CRC32 of the record
+//! bytes, then the record's WAL JSON — so a flipped wire bit is caught
+//! by the CRC before the record ever reaches the store.
+//!
+//! Session shape (replica drives):
+//!
+//! ```text
+//! replica                         primary
+//!   ListCollections  ──────────────▶
+//!   ◀──────────────────  Collections     (bootstrap discovery)
+//!
+//!   Hello{collection, from_seq} ──▶
+//!   ◀──────────────────  Meta{shards, text_fields, watermark}
+//!   ◀─────  CheckpointBegin            (only when from_seq is older
+//!   ◀─────  CheckpointDoc ×N            than the primary's compacted
+//!   ◀─────  CheckpointEnd{checksum}     base — snapshot bootstrap)
+//!   ◀─────  Frame ×N                   (live tail, streamed forever)
+//!   Ack{applied} ─────────────────▶    (flow/lag feedback)
+//!   ◀─────  Heartbeat{watermark}       (idle keep-alive, lag clock)
+//! ```
+
+use covidkg_json::{parse, Value};
+use covidkg_store::wal::crc32;
+use std::io::{Read, Write};
+
+/// Upper bound on a single message, matching the store's own WAL frame
+/// cap: anything larger is a corrupt or hostile peer.
+pub const MAX_MESSAGE_BYTES: usize = 32 * 1024 * 1024;
+
+/// Protocol-level failure: the peer sent something we refuse to parse.
+#[derive(Debug)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replication protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn proto(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+/// One replication message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Replica → primary: start (or resume) streaming `collection`
+    /// from `from_seq`. `replica` names the peer for metrics.
+    Hello {
+        /// Replica display name (metrics label).
+        replica: String,
+        /// Collection to stream.
+        collection: String,
+        /// First sequence number the replica still needs.
+        from_seq: u64,
+    },
+    /// Primary → replica: collection shape + current durable watermark.
+    Meta {
+        /// Shard count the replica must mirror.
+        shards: usize,
+        /// Text-index fields the replica must mirror.
+        text_fields: Vec<String>,
+        /// Primary's durable sequence watermark at session start.
+        watermark: u64,
+    },
+    /// Primary → replica: a snapshot bootstrap follows (`docs`
+    /// [`Message::CheckpointDoc`]s), established at sequence `seq`.
+    CheckpointBegin {
+        /// Sequence number the checkpoint is consistent with.
+        seq: u64,
+        /// Number of documents that follow.
+        docs: u64,
+    },
+    /// One checkpoint document (raw JSON payload).
+    CheckpointDoc(Value),
+    /// Checkpoint complete; `checksum` is the primary's
+    /// order-independent content checksum at `CheckpointBegin.seq`.
+    CheckpointEnd {
+        /// Expected [`covidkg_store::Collection::content_checksum`].
+        checksum: u64,
+    },
+    /// One WAL record at `seq`. `crc` covers the record JSON bytes.
+    Frame {
+        /// Sequence number assigned by the primary's WAL.
+        seq: u64,
+        /// CRC32 of the record bytes (wire-corruption tripwire).
+        crc: u32,
+        /// WAL record JSON bytes ([`covidkg_store::WalRecord`] shape).
+        record: Vec<u8>,
+    },
+    /// Replica → primary: every sequence ≤ `applied` is durable on the
+    /// replica.
+    Ack {
+        /// Highest contiguously applied sequence.
+        applied: u64,
+    },
+    /// Primary → replica: nothing new, but the watermark is `watermark`
+    /// (keeps the replica's lag clock honest while idle).
+    Heartbeat {
+        /// Primary's current durable watermark.
+        watermark: u64,
+    },
+    /// Replica → primary: which collections exist?
+    ListCollections,
+    /// Primary → replica: the collection names to replicate.
+    Collections(Vec<String>),
+    /// Either direction: fatal session error, close after sending.
+    Error(String),
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_META: u8 = 2;
+const KIND_CHECKPOINT_BEGIN: u8 = 3;
+const KIND_CHECKPOINT_DOC: u8 = 4;
+const KIND_CHECKPOINT_END: u8 = 5;
+const KIND_FRAME: u8 = 6;
+const KIND_ACK: u8 = 7;
+const KIND_HEARTBEAT: u8 = 8;
+const KIND_LIST: u8 = 9;
+const KIND_COLLECTIONS: u8 = 10;
+const KIND_ERROR: u8 = 11;
+
+/// Build a frame message from a record's JSON bytes, computing the CRC.
+pub fn frame(seq: u64, record: Vec<u8>) -> Message {
+    let crc = crc32(&record);
+    Message::Frame { seq, crc, record }
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, ProtocolError> {
+    v.get(key)
+        .and_then(Value::as_i64)
+        .filter(|n| *n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| proto(format!("missing/invalid field {key:?}")))
+}
+
+impl Message {
+    /// Encode to wire bytes (length prefix + kind + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, payload): (u8, Vec<u8>) = match self {
+            Message::Hello {
+                replica,
+                collection,
+                from_seq,
+            } => {
+                let v = covidkg_json::obj! {
+                    "replica" => replica.clone(),
+                    "collection" => collection.clone(),
+                    "from_seq" => *from_seq as i64,
+                };
+                (KIND_HELLO, v.to_json().into_bytes())
+            }
+            Message::Meta {
+                shards,
+                text_fields,
+                watermark,
+            } => {
+                let fields: Vec<Value> =
+                    text_fields.iter().map(|f| Value::from(f.clone())).collect();
+                let v = covidkg_json::obj! {
+                    "shards" => *shards as i64,
+                    "text_fields" => Value::Array(fields),
+                    "watermark" => *watermark as i64,
+                };
+                (KIND_META, v.to_json().into_bytes())
+            }
+            Message::CheckpointBegin { seq, docs } => {
+                let v = covidkg_json::obj! {
+                    "seq" => *seq as i64,
+                    "docs" => *docs as i64,
+                };
+                (KIND_CHECKPOINT_BEGIN, v.to_json().into_bytes())
+            }
+            Message::CheckpointDoc(doc) => (KIND_CHECKPOINT_DOC, doc.to_json().into_bytes()),
+            Message::CheckpointEnd { checksum } => {
+                // Hex string: the checksum uses the full u64 range, which
+                // the JSON i64 cannot carry.
+                let v = covidkg_json::obj! { "checksum" => format!("{checksum:016x}") };
+                (KIND_CHECKPOINT_END, v.to_json().into_bytes())
+            }
+            Message::Frame { seq, crc, record } => {
+                let mut p = Vec::with_capacity(12 + record.len());
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(&crc.to_le_bytes());
+                p.extend_from_slice(record);
+                (KIND_FRAME, p)
+            }
+            Message::Ack { applied } => (KIND_ACK, applied.to_le_bytes().to_vec()),
+            Message::Heartbeat { watermark } => (KIND_HEARTBEAT, watermark.to_le_bytes().to_vec()),
+            Message::ListCollections => (KIND_LIST, Vec::new()),
+            Message::Collections(names) => {
+                let arr: Vec<Value> = names.iter().map(|n| Value::from(n.clone())).collect();
+                let v = covidkg_json::obj! { "collections" => Value::Array(arr) };
+                (KIND_COLLECTIONS, v.to_json().into_bytes())
+            }
+            Message::Error(text) => (KIND_ERROR, text.clone().into_bytes()),
+        };
+        let len = (payload.len() + 1) as u32;
+        let mut out = Vec::with_capacity(5 + payload.len());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(kind);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode one message from a kind byte and its payload.
+    fn decode(kind: u8, payload: &[u8]) -> Result<Message, ProtocolError> {
+        let json = |payload: &[u8]| -> Result<Value, ProtocolError> {
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| proto("payload is not UTF-8"))?;
+            parse(text).map_err(|e| proto(format!("payload is not JSON: {e:?}")))
+        };
+        let le_u64 = |payload: &[u8]| -> Result<u64, ProtocolError> {
+            let bytes: [u8; 8] = payload
+                .try_into()
+                .map_err(|_| proto("expected 8-byte payload"))?;
+            Ok(u64::from_le_bytes(bytes))
+        };
+        match kind {
+            KIND_HELLO => {
+                let v = json(payload)?;
+                Ok(Message::Hello {
+                    replica: v
+                        .get("replica")
+                        .and_then(Value::as_str)
+                        .unwrap_or("anonymous")
+                        .to_string(),
+                    collection: v
+                        .get("collection")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| proto("hello missing collection"))?
+                        .to_string(),
+                    from_seq: u64_field(&v, "from_seq")?,
+                })
+            }
+            KIND_META => {
+                let v = json(payload)?;
+                let text_fields = v
+                    .get("text_fields")
+                    .and_then(Value::as_array)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(Value::as_str)
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Ok(Message::Meta {
+                    shards: u64_field(&v, "shards")? as usize,
+                    text_fields,
+                    watermark: u64_field(&v, "watermark")?,
+                })
+            }
+            KIND_CHECKPOINT_BEGIN => {
+                let v = json(payload)?;
+                Ok(Message::CheckpointBegin {
+                    seq: u64_field(&v, "seq")?,
+                    docs: u64_field(&v, "docs")?,
+                })
+            }
+            KIND_CHECKPOINT_DOC => Ok(Message::CheckpointDoc(json(payload)?)),
+            KIND_CHECKPOINT_END => {
+                let v = json(payload)?;
+                let hex = v
+                    .get("checksum")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| proto("checkpoint end missing checksum"))?;
+                let checksum = u64::from_str_radix(hex, 16)
+                    .map_err(|_| proto("checksum is not hex"))?;
+                Ok(Message::CheckpointEnd { checksum })
+            }
+            KIND_FRAME => {
+                if payload.len() < 12 {
+                    return Err(proto("frame shorter than its fixed header"));
+                }
+                let seq = u64::from_le_bytes(payload[..8].try_into().expect("sliced 8"));
+                let crc = u32::from_le_bytes(payload[8..12].try_into().expect("sliced 4"));
+                Ok(Message::Frame {
+                    seq,
+                    crc,
+                    record: payload[12..].to_vec(),
+                })
+            }
+            KIND_ACK => Ok(Message::Ack {
+                applied: le_u64(payload)?,
+            }),
+            KIND_HEARTBEAT => Ok(Message::Heartbeat {
+                watermark: le_u64(payload)?,
+            }),
+            KIND_LIST => Ok(Message::ListCollections),
+            KIND_COLLECTIONS => {
+                let v = json(payload)?;
+                let names = v
+                    .get("collections")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| proto("collections message missing list"))?
+                    .iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect();
+                Ok(Message::Collections(names))
+            }
+            KIND_ERROR => Ok(Message::Error(
+                String::from_utf8_lossy(payload).into_owned(),
+            )),
+            other => Err(proto(format!("unknown message kind {other}"))),
+        }
+    }
+
+    /// Write this message to `w` (one `write_all` of the encoding).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<usize> {
+        let bytes = self.encode();
+        w.write_all(&bytes)?;
+        Ok(bytes.len())
+    }
+}
+
+/// Incremental message decoder over a byte stream with read timeouts:
+/// bytes go in whenever the socket yields them, complete messages come
+/// out. Mirrors the HTTP parser's feed discipline in covidkg-net.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+}
+
+impl Decoder {
+    /// Fresh decoder.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Append raw bytes and pop every complete message now available.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Message>, ProtocolError> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(self.buf[..4].try_into().expect("sliced 4")) as usize;
+            if len == 0 || len > MAX_MESSAGE_BYTES {
+                return Err(proto(format!("bad message length {len}")));
+            }
+            if self.buf.len() < 4 + len {
+                break;
+            }
+            let kind = self.buf[4];
+            let msg = Message::decode(kind, &self.buf[5..4 + len])?;
+            self.buf.drain(..4 + len);
+            out.push(msg);
+        }
+        Ok(out)
+    }
+
+    /// Bytes buffered awaiting a complete message.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Read from `stream` into `decoder`, returning any complete messages.
+/// `Ok(None)` means the peer closed; an empty vec means a timeout tick
+/// (caller should re-check its loop conditions and try again).
+pub fn pump(
+    stream: &mut impl Read,
+    decoder: &mut Decoder,
+    scratch: &mut [u8],
+) -> Result<Option<Vec<Message>>, ProtocolError> {
+    match stream.read(scratch) {
+        Ok(0) => Ok(None),
+        Ok(n) => decoder.feed(&scratch[..n]).map(Some),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+                || e.kind() == std::io::ErrorKind::Interrupted =>
+        {
+            Ok(Some(Vec::new()))
+        }
+        Err(e) => Err(proto(format!("read failed: {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let bytes = msg.encode();
+        let mut d = Decoder::new();
+        let out = d.feed(&bytes).unwrap();
+        assert_eq!(out, vec![msg]);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        round_trip(Message::Hello {
+            replica: "r1".into(),
+            collection: "publications".into(),
+            from_seq: 42,
+        });
+        round_trip(Message::Meta {
+            shards: 4,
+            text_fields: vec!["title".into(), "abstract".into()],
+            watermark: 7,
+        });
+        round_trip(Message::CheckpointBegin { seq: 9, docs: 3 });
+        round_trip(Message::CheckpointDoc(
+            covidkg_json::obj! { "_id" => "p1", "title" => "x" },
+        ));
+        round_trip(Message::CheckpointEnd {
+            checksum: u64::MAX - 5,
+        });
+        round_trip(frame(11, b"{\"op\":\"d\",\"id\":\"p1\"}".to_vec()));
+        round_trip(Message::Ack { applied: 11 });
+        round_trip(Message::Heartbeat { watermark: 12 });
+        round_trip(Message::ListCollections);
+        round_trip(Message::Collections(vec![
+            "publications".into(),
+            "models".into(),
+            "kg".into(),
+        ]));
+        round_trip(Message::Error("boom".into()));
+    }
+
+    #[test]
+    fn split_feeds_reassemble() {
+        let msgs = [
+            Message::Ack { applied: 1 },
+            frame(2, b"{\"op\":\"d\",\"id\":\"x\"}".to_vec()),
+            Message::Heartbeat { watermark: 2 },
+        ];
+        let stream: Vec<u8> = msgs.iter().flat_map(Message::encode).collect();
+        let mut d = Decoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            got.extend(d.feed(&[b]).unwrap());
+        }
+        assert_eq!(got.as_slice(), &msgs[..]);
+    }
+
+    #[test]
+    fn frame_crc_catches_byte_flips() {
+        let record = b"{\"op\":\"i\",\"doc\":{\"_id\":\"p\"}}".to_vec();
+        let msg = frame(5, record.clone());
+        let Message::Frame { crc, .. } = &msg else {
+            unreachable!()
+        };
+        let mut flipped = record;
+        flipped[3] ^= 0x40;
+        assert_ne!(*crc, crc32(&flipped), "crc must detect the flip");
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_rejected() {
+        let mut d = Decoder::new();
+        let huge = ((MAX_MESSAGE_BYTES + 1) as u32).to_le_bytes();
+        assert!(d.feed(&huge).is_err());
+        let mut d = Decoder::new();
+        assert!(d.feed(&[0, 0, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Lag-aware read routing across replica servers.
+//!
+//! Round-robin over the replicas whose publications lag is within
+//! `max_lag`, with the primary as optional fallback. Read-your-writes:
+//! a client that just wrote at sequence `s` passes `min_seq = s`; the
+//! router only picks targets whose applied sequence has reached `s`,
+//! waiting up to a deadline when none has (the primary, when present,
+//! satisfies any `min_seq` instantly — it *is* the write path).
+
+use covidkg_search::SearchMode;
+use covidkg_serve::{ServeError, ServeResponse, Server};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One routable replica.
+pub struct ReplicaTarget {
+    /// Replica name (response header label).
+    pub name: String,
+    /// Its local query server.
+    pub server: Arc<Server>,
+    /// Its applied publications sequence (shared with the puller).
+    pub applied: Arc<AtomicU64>,
+}
+
+impl ReplicaTarget {
+    /// A target whose `applied` gauge follows a live puller: a small
+    /// mirror thread copies the puller's applied sequence every few
+    /// milliseconds and exits once either side (target or puller) is
+    /// dropped.
+    pub fn tracking(
+        name: impl Into<String>,
+        server: Arc<Server>,
+        state: &Arc<crate::replica::PullerState>,
+    ) -> ReplicaTarget {
+        let applied = Arc::new(AtomicU64::new(state.applied.load(Ordering::Acquire)));
+        let weak_state = Arc::downgrade(state);
+        let weak_gauge = Arc::downgrade(&applied);
+        std::thread::Builder::new()
+            .name("covidkg-repl-gauge".into())
+            .spawn(move || loop {
+                let (Some(state), Some(gauge)) = (weak_state.upgrade(), weak_gauge.upgrade())
+                else {
+                    return;
+                };
+                gauge.store(state.applied.load(Ordering::Acquire), Ordering::Release);
+                drop((state, gauge));
+                std::thread::sleep(Duration::from_millis(5));
+            })
+            .expect("spawn gauge mirror thread");
+        ReplicaTarget {
+            name: name.into(),
+            server,
+            applied,
+        }
+    }
+}
+
+/// What the router picked for one read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Name of the serving node (`"primary"` for the fallback).
+    pub replica: String,
+    /// Sequence lag behind the primary watermark at pick time.
+    pub lag: u64,
+    /// Applied sequence at pick time.
+    pub applied: u64,
+    /// True when the primary served the read.
+    pub primary: bool,
+}
+
+/// Routing failure.
+#[derive(Debug)]
+pub enum RouteError {
+    /// No target reached `min_seq` before the deadline (read-your-
+    /// writes unsatisfiable) — HTTP 503 territory.
+    NotCaughtUp {
+        /// The sequence the client demanded.
+        wanted: u64,
+        /// The best applied sequence any target offered.
+        best: u64,
+    },
+    /// The picked server failed the search.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NotCaughtUp { wanted, best } => write!(
+                f,
+                "no replica caught up to sequence {wanted} (best applied: {best})"
+            ),
+            RouteError::Serve(e) => write!(f, "routed search failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Lag-aware round-robin read router.
+pub struct ReadRouter {
+    /// Primary fallback (always caught up); `None` for a pure replica
+    /// pool, where read-your-writes can actually fail with 503.
+    primary: Option<Arc<Server>>,
+    replicas: Vec<ReplicaTarget>,
+    /// Source of the primary's current publications watermark.
+    watermark: Arc<dyn Fn() -> u64 + Send + Sync>,
+    /// Replicas lagging more than this many sequences are excluded.
+    max_lag: u64,
+    rr: AtomicUsize,
+}
+
+impl ReadRouter {
+    /// Build a router. `watermark` supplies the primary's current
+    /// durable publications sequence (the lag reference clock).
+    pub fn new(
+        primary: Option<Arc<Server>>,
+        replicas: Vec<ReplicaTarget>,
+        watermark: Arc<dyn Fn() -> u64 + Send + Sync>,
+        max_lag: u64,
+    ) -> ReadRouter {
+        ReadRouter {
+            primary,
+            replicas,
+            watermark,
+            max_lag,
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of configured replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether a primary fallback is configured (read-your-writes can
+    /// never 503 when it is).
+    pub fn has_primary(&self) -> bool {
+        self.primary.is_some()
+    }
+
+    /// Point-in-time `(name, applied, lag)` for every replica — the
+    /// per-replica series `/metrics` exposes.
+    pub fn targets(&self) -> Vec<(String, u64, u64)> {
+        let mark = self.watermark();
+        self.replicas
+            .iter()
+            .map(|t| {
+                let applied = t.applied.load(Ordering::Acquire);
+                (t.name.clone(), applied, mark.saturating_sub(applied))
+            })
+            .collect()
+    }
+
+    /// The primary's current publications watermark (the sequence token
+    /// clients use for read-your-writes).
+    pub fn watermark(&self) -> u64 {
+        (self.watermark)()
+    }
+
+    /// Pick an eligible replica (round-robin among those within
+    /// `max_lag` and at or past `min_seq`), if any.
+    fn pick_replica(&self, min_seq: u64) -> Option<(usize, RouteInfo)> {
+        if self.replicas.is_empty() {
+            return None;
+        }
+        let mark = self.watermark();
+        let n = self.replicas.len();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % n;
+        for i in 0..n {
+            let idx = (start + i) % n;
+            let t = &self.replicas[idx];
+            let applied = t.applied.load(Ordering::Acquire);
+            let lag = mark.saturating_sub(applied);
+            if lag <= self.max_lag && applied >= min_seq {
+                return Some((
+                    idx,
+                    RouteInfo {
+                        replica: t.name.clone(),
+                        lag,
+                        applied,
+                        primary: false,
+                    },
+                ));
+            }
+        }
+        None
+    }
+
+    /// Best applied sequence across the pool (for 503 diagnostics).
+    fn best_applied(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|t| t.applied.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Route one read. `min_seq = 0` means no read-your-writes
+    /// requirement; a nonzero `min_seq` waits up to `deadline` for a
+    /// target that has applied it (instantly satisfied by the primary
+    /// fallback when configured).
+    pub fn route(&self, min_seq: u64, deadline: Duration) -> Result<(Arc<Server>, RouteInfo), RouteError> {
+        let start = Instant::now();
+        loop {
+            if let Some((idx, info)) = self.pick_replica(min_seq) {
+                return Ok((Arc::clone(&self.replicas[idx].server), info));
+            }
+            if let Some(primary) = &self.primary {
+                return Ok((
+                    Arc::clone(primary),
+                    RouteInfo {
+                        replica: "primary".into(),
+                        lag: 0,
+                        applied: self.watermark(),
+                        primary: true,
+                    },
+                ));
+            }
+            if start.elapsed() >= deadline {
+                return Err(RouteError::NotCaughtUp {
+                    wanted: min_seq,
+                    best: self.best_applied(),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Route and serve one search.
+    pub fn search(
+        &self,
+        mode: &SearchMode,
+        page: usize,
+        min_seq: u64,
+        deadline: Duration,
+    ) -> Result<(ServeResponse, RouteInfo), RouteError> {
+        let (server, info) = self.route(min_seq, deadline)?;
+        match server.search(mode, page) {
+            Ok(resp) => Ok((resp, info)),
+            Err(e) => Err(RouteError::Serve(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Routing logic against real servers is covered by the crate's
+    /// integration tests; here the pool-exhaustion paths.
+    #[test]
+    fn empty_pool_without_primary_reports_not_caught_up() {
+        let router = ReadRouter::new(None, Vec::new(), Arc::new(|| 10), 2);
+        let err = match router.route(5, Duration::from_millis(10)) {
+            Ok(_) => panic!("route must fail with an empty pool"),
+            Err(e) => e,
+        };
+        match err {
+            RouteError::NotCaughtUp { wanted, best } => {
+                assert_eq!(wanted, 5);
+                assert_eq!(best, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_your_writes_waits_out_the_deadline_without_targets() {
+        let router = ReadRouter::new(None, Vec::new(), Arc::new(|| 0), 0);
+        let t0 = Instant::now();
+        assert!(matches!(
+            router.route(1, Duration::from_millis(20)),
+            Err(RouteError::NotCaughtUp { .. })
+        ));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+}

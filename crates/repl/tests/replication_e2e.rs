@@ -1,0 +1,215 @@
+//! End-to-end replication: a real primary system behind a
+//! [`ReplListener`], a full [`ReplicaNode`] bootstrapping over loopback
+//! TCP, converged reads on the replica's own server, live writes
+//! flowing through, and lag-aware routing with read-your-writes.
+
+use covidkg_core::{CovidKg, CovidKgConfig};
+use covidkg_repl::{
+    ReadRouter, ReplConfig, ReplListener, ReplicaNode, ReplicaNodeConfig, ReplicaTarget,
+};
+use covidkg_search::SearchMode;
+use covidkg_serve::{ServeConfig, Server};
+use covidkg_store::Collection;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("covidkg-repl-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.to_string_lossy().into_owned()
+}
+
+/// Build a persistent primary system and its serving stack.
+fn primary_stack(tag: &str) -> (Arc<Server>, Vec<(String, Arc<Collection>)>) {
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: 24,
+        max_training_rows: 300,
+        data_dir: Some(scratch(&format!("{tag}-primary"))),
+        ..CovidKgConfig::default()
+    })
+    .unwrap();
+    let server = Arc::new(Server::start(system, ServeConfig::default()));
+    let sources = server.with_system(|s| {
+        let db = s.database();
+        db.collection_names()
+            .into_iter()
+            .map(|name| {
+                let coll = db.collection(&name).unwrap();
+                (name, coll)
+            })
+            .collect::<Vec<_>>()
+    });
+    (server, sources)
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn replica_node_converges_serves_and_follows_live_writes() {
+    let (primary_server, sources) = primary_stack("node");
+    let listener = ReplListener::start(sources.clone(), ReplConfig::default()).unwrap();
+
+    let node = ReplicaNode::start(ReplicaNodeConfig::new(
+        listener.local_addr(),
+        "replica-1",
+        scratch("node-replica"),
+    ))
+    .unwrap();
+
+    // Byte-identical convergence across every replicated collection.
+    for (name, coll) in &sources {
+        assert_eq!(
+            node.checksum(name),
+            Some(coll.content_checksum()),
+            "collection {name:?} diverged after initial sync"
+        );
+    }
+    assert_eq!(node.collections().len(), sources.len());
+
+    // The replica's own server answers queries identically.
+    for query in covidkg_corpus::query_workload(4, 9) {
+        let mode = SearchMode::AllFields(query.clone());
+        let on_primary = primary_server.search(&mode, 0).unwrap();
+        let on_replica = node.server().search(&mode, 0).unwrap();
+        assert_eq!(
+            on_primary.page.total, on_replica.page.total,
+            "replica disagreed with primary for {query:?}"
+        );
+    }
+
+    // Live writes: ingest on the primary, watch them arrive.
+    let before = listener.watermark();
+    let new_pubs: Vec<_> = covidkg_corpus::CorpusGenerator::with_size(36, 77)
+        .generate()
+        .into_iter()
+        .skip(24)
+        .collect();
+    primary_server.ingest(&new_pubs).unwrap();
+    let mark = listener.watermark();
+    assert!(mark > before, "ingest must advance the primary watermark");
+    assert!(
+        wait_until(Duration::from_secs(20), || node.applied() >= mark),
+        "replica never applied the live ingest (applied {}, want {mark})",
+        node.applied()
+    );
+    let pubs_coll = sources
+        .iter()
+        .find(|(n, _)| n == "publications")
+        .map(|(_, c)| c)
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(10), || {
+        node.checksum("publications") == Some(pubs_coll.content_checksum())
+    }));
+
+    // The refresh thread must surface the new docs through the replica's
+    // serving path (derived state rebuilt, generation bumped).
+    let total_expected = primary_server
+        .search(&SearchMode::AllFields("covid".into()), 0)
+        .unwrap()
+        .page
+        .total;
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            node.server()
+                .search(&SearchMode::AllFields("covid".into()), 0)
+                .map(|r| r.page.total == total_expected)
+                .unwrap_or(false)
+        }),
+        "replica reads never caught up with the post-ingest corpus"
+    );
+
+    // Primary-side accounting saw this replica ack its frames.
+    let stats = listener.stats();
+    assert!(stats.frames_shipped > 0);
+    assert!(stats.bytes_shipped > 0);
+    assert!(
+        stats.replicas.iter().any(|(name, acked)| name == "replica-1" && *acked >= mark),
+        "primary never recorded replica-1's acks: {:?}",
+        stats.replicas
+    );
+    drop(node);
+}
+
+#[test]
+fn router_prefers_caught_up_replica_and_honours_read_your_writes() {
+    let (primary_server, sources) = primary_stack("router");
+    let listener = ReplListener::start(sources, ReplConfig::default()).unwrap();
+
+    let node = ReplicaNode::start(ReplicaNodeConfig::new(
+        listener.local_addr(),
+        "replica-r",
+        scratch("router-replica"),
+    ))
+    .unwrap();
+
+    let state = node.publications_state();
+    let watermark_listener = &listener;
+    let mark_now = watermark_listener.watermark();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            state.applied.load(Ordering::Acquire) >= mark_now
+        }),
+        "replica not caught up before routing"
+    );
+
+    let applied = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    applied.store(state.applied.load(Ordering::Acquire), Ordering::Release);
+    let mark = listener.watermark();
+    let router = ReadRouter::new(
+        Some(Arc::clone(&primary_server)),
+        vec![ReplicaTarget {
+            name: "replica-r".into(),
+            server: node.server(),
+            applied: Arc::clone(&applied),
+        }],
+        Arc::new(move || mark),
+        8,
+    );
+
+    // A caught-up replica takes the read, even with read-your-writes.
+    let (resp, info) = router
+        .search(
+            &SearchMode::AllFields("vaccine".into()),
+            0,
+            mark,
+            Duration::from_secs(2),
+        )
+        .unwrap();
+    assert!(!info.primary, "caught-up replica should have served");
+    assert_eq!(info.replica, "replica-r");
+    assert_eq!(info.applied, mark);
+    assert_eq!(info.lag, 0);
+    assert_eq!(
+        resp.page.total,
+        primary_server
+            .search(&SearchMode::AllFields("vaccine".into()), 0)
+            .unwrap()
+            .page
+            .total
+    );
+
+    // Force the replica to look stale: the primary fallback serves
+    // instantly instead of 503ing.
+    applied.store(0, Ordering::Release);
+    let (_, info) = router
+        .search(
+            &SearchMode::AllFields("vaccine".into()),
+            0,
+            mark.max(1),
+            Duration::from_millis(200),
+        )
+        .unwrap();
+    assert!(info.primary, "stale replica must fall back to the primary");
+    drop(node);
+}

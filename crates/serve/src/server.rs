@@ -43,14 +43,19 @@
 //!   or the typed [`ServeError::Degraded`] when none exists — never a
 //!   hang, never a panic.
 //!
-//! Stale-freedom argument (healthy path): [`Server::ingest`] mutates the
-//! system under the write lock and stores the new generation into the
-//! atomic mirror *before* releasing it. A search result was computed
-//! under a read lock at generation `g` and cached tagged `g`; any later
-//! lookup compares that tag against the mirror, which an intervening
-//! ingest has already advanced — so the stale page can never be returned
-//! silently. Degraded mode is the deliberate exception: it may serve an
-//! old-generation page, but always labeled `stale: true`.
+//! Stale-freedom argument (healthy path): [`Server::ingest`] commits the
+//! in-memory graph mutation under the write lock and stores the new
+//! generation into the atomic mirror *before* releasing it. A search
+//! result was computed under a read lock at generation `g` and cached
+//! tagged `g`; any later lookup compares that tag against the mirror,
+//! which an intervening ingest has already advanced — so the stale page
+//! can never be returned silently. The store/classify prepare phase runs
+//! under a *read* lock (reads keep flowing during the expensive part of
+//! an ingest); pages computed while it runs may observe some of the new
+//! documents early, but they are tagged `g` and the commit's generation
+//! bump invalidates them wholesale. Degraded mode is the deliberate
+//! exception: it may serve an old-generation page, but always labeled
+//! `stale: true`.
 
 use crate::cache::QueryCache;
 use crate::metrics::{EngineKind, Metrics, ServeStats};
@@ -343,6 +348,11 @@ fn prune(outcomes: &mut VecDeque<(Instant, bool)>, now: Instant, window: Duratio
 
 struct Inner {
     system: RwLock<CovidKg>,
+    /// Serializes ingests with each other (never with readers): the
+    /// prepare phase runs under a *read* lock so searches keep flowing,
+    /// and this gate keeps a second ingest from interleaving its
+    /// prepare/commit phases with ours.
+    ingest_gate: Mutex<()>,
     /// Mirror of `CovidKg::generation`, readable without the system lock.
     generation: AtomicU64,
     cache: QueryCache,
@@ -429,6 +439,7 @@ impl Server {
         let generation = system.generation();
         let inner = Arc::new(Inner {
             system: RwLock::new(system),
+            ingest_gate: Mutex::new(()),
             generation: AtomicU64::new(generation),
             cache: QueryCache::with_limits(
                 config.cache_capacity,
@@ -539,14 +550,27 @@ impl Server {
     }
 
     /// Ingest new publications, invalidating the result cache: the data
-    /// generation advances before the write lock is released, so every
-    /// previously cached page stops matching on its generation tag.
+    /// generation advances before the exclusive lock is released, so
+    /// every previously cached page stops matching on its generation tag.
+    ///
+    /// Reads proceed during the expensive phases: document storage and
+    /// table classification run under a shared lock
+    /// ([`CovidKg::ingest_prepare`]), persistence under a shared lock
+    /// ([`CovidKg::persist_now`]); only the in-memory graph-fusion
+    /// commit takes the write lock. The `ingest_gate` serializes whole
+    /// ingests so two callers can't interleave their phases.
     pub fn ingest(&self, pubs: &[Publication]) -> Result<usize, StoreError> {
-        let mut system = write_lock(&self.inner.system);
-        let added = system.ingest(pubs)?;
-        self.inner
-            .generation
-            .store(system.generation(), Ordering::Release);
+        let _gate = lock(&self.inner.ingest_gate);
+        let prepared = read_lock(&self.inner.system).ingest_prepare(pubs)?;
+        let added = {
+            let mut system = write_lock(&self.inner.system);
+            let added = system.ingest_commit(prepared)?;
+            self.inner
+                .generation
+                .store(system.generation(), Ordering::Release);
+            added
+        };
+        read_lock(&self.inner.system).persist_now()?;
         Ok(added)
     }
 
@@ -566,6 +590,21 @@ impl Server {
     /// stats) that need data the search scheduler doesn't expose.
     pub fn with_system<R>(&self, f: impl FnOnce(&CovidKg) -> R) -> R {
         f(&read_lock(&self.inner.system))
+    }
+
+    /// Run `f` with exclusive access to the underlying system, then
+    /// republish the generation mirror — used by the replication layer
+    /// to refresh derived state after frames were applied beneath the
+    /// system. Takes the ingest gate so it can't interleave with an
+    /// in-flight ingest's phases.
+    pub fn with_system_mut<R>(&self, f: impl FnOnce(&mut CovidKg) -> R) -> R {
+        let _gate = lock(&self.inner.ingest_gate);
+        let mut system = write_lock(&self.inner.system);
+        let out = f(&mut system);
+        self.inner
+            .generation
+            .store(system.generation(), Ordering::Release);
+        out
     }
 
     /// Point-in-time serving statistics (including cache occupancy /

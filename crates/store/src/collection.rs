@@ -8,15 +8,15 @@
 //! rationale, §2.1).
 
 use crate::error::StoreError;
-use crate::fault::{with_backoff, FaultPlan, RetryPolicy};
+use crate::fault::{with_backoff, Fault, FaultOp, FaultPlan, RetryPolicy};
 use crate::filter::Filter;
 use crate::index::{HashIndex, TextIndex};
 use crate::pipeline::Pipeline;
 use crate::shard::{route_hash, Shard};
 use crate::stats::{CollectionStats, ShardStats};
-use crate::wal::{self, WalRecord, WalWriter};
+use crate::wal::{self, WalRecord, WalTail, WalWriter};
 use covidkg_json::Value;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Mutex, RwLock};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -134,6 +134,9 @@ pub struct Collection {
     /// [`MUTATION_LOG_CAP`] entries so [`Collection::touched_since`] can
     /// name exactly which documents changed across an epoch window.
     mutation_log: Mutex<VecDeque<(u64, String)>>,
+    /// Replication sequence for in-memory collections (durable ones
+    /// track it in the WAL writer; see [`Collection::repl_watermark`]).
+    mem_seq: AtomicU64,
 }
 
 /// How many recent mutations [`Collection::touched_since`] can account
@@ -172,6 +175,7 @@ impl Collection {
             retries: AtomicU64::new(0),
             mutations: AtomicU64::new(0),
             mutation_log: Mutex::new(VecDeque::new()),
+            mem_seq: AtomicU64::new(0),
         }
     }
 
@@ -269,6 +273,26 @@ impl Collection {
 
     fn count_retry(&self, _e: &StoreError) {
         self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consult the attached fault plan for a non-write operation `op`
+    /// (index rebuilds and the like), retrying injected transient
+    /// failures under the collection's policy. Short writes make no
+    /// sense for a decision point and degrade to outright failure.
+    fn consult_fault(&self, op: FaultOp) -> Result<(), StoreError> {
+        let Some(plan) = self.fault_plan() else {
+            return Ok(());
+        };
+        let policy = self.retry_policy();
+        with_backoff(&policy, |e| self.count_retry(e), || match plan.decide(op) {
+            Some(Fault::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(Fault::DiskFull) => Err(FaultPlan::disk_full_error(op)),
+            Some(Fault::Fail | Fault::ShortWrite(_)) => Err(FaultPlan::error(op)),
+            None => Ok(()),
+        })
     }
 
     fn log(&self, record: &WalRecord) -> Result<(), StoreError> {
@@ -472,14 +496,18 @@ impl Collection {
         Some(ids)
     }
 
-    /// Create (and backfill) a hash index over `path`.
-    pub fn create_hash_index(&self, path: impl Into<String>) -> Arc<HashIndex> {
+    /// Create (and backfill) a hash index over `path`. The backfill is
+    /// an index-rebuild point: an attached fault plan can fail or delay
+    /// it ([`FaultOp::IndexRebuild`]), with transient failures retried
+    /// under the collection's policy before surfacing.
+    pub fn create_hash_index(&self, path: impl Into<String>) -> Result<Arc<HashIndex>, StoreError> {
+        self.consult_fault(FaultOp::IndexRebuild)?;
         let idx = Arc::new(HashIndex::new(path));
         for shard in &self.shards {
             shard.for_each(|id, doc| idx.add(id, doc));
         }
         write(&self.hash_indexes).push(Arc::clone(&idx));
-        idx
+        Ok(idx)
     }
 
     /// The text index, if configured.
@@ -669,20 +697,186 @@ impl Collection {
 
     /// Write a snapshot and truncate the WAL. No-op for in-memory
     /// collections.
+    ///
+    /// The WAL lock is held across capture, write and reset: writers
+    /// log under that lock before touching shards, so the snapshot and
+    /// the truncated (sequence-preserving) log agree on exactly which
+    /// records the snapshot absorbed — the invariant replication's
+    /// checkpoint bootstrap depends on.
     pub fn snapshot(&self) -> Result<usize, StoreError> {
-        let Some(path) = &self.snapshot_path else {
+        let (Some(path), Some(wal)) = (&self.snapshot_path, &self.wal) else {
             return Ok(0);
         };
         let policy = self.retry_policy();
         let plan = self.fault_plan();
+        let mut w = lock(wal);
         let docs = self.scan_all();
         let n = with_backoff(&policy, |e| self.count_retry(e), || {
             wal::write_snapshot_with(path, docs.iter(), plan.as_deref())
         })?;
-        if let Some(wal) = &self.wal {
-            with_backoff(&policy, |e| self.count_retry(e), || lock(wal).reset())?;
-        }
+        with_backoff(&policy, |e| self.count_retry(e), || w.reset())?;
         Ok(n)
+    }
+
+    /// The durable replication watermark: the global sequence of the
+    /// last record committed to the WAL (monotonic across snapshots).
+    /// In-memory collections track an applied sequence only when fed by
+    /// [`Collection::apply_replicated`].
+    pub fn repl_watermark(&self) -> u64 {
+        match &self.wal {
+            Some(wal) => lock(wal).watermark(),
+            None => self.mem_seq.load(Ordering::Acquire),
+        }
+    }
+
+    /// The committed WAL records from `from_seq` onward (with their
+    /// sequence numbers), or [`WalTail::SnapshotNeeded`] when that
+    /// sequence was compacted away and the follower must bootstrap from
+    /// a checkpoint.
+    pub fn tail_from(&self, from_seq: u64) -> Result<WalTail, StoreError> {
+        match &self.wal {
+            Some(wal) => lock(wal).tail_from(from_seq),
+            None => Err(StoreError::BadQuery(
+                "replication requires a durable collection".into(),
+            )),
+        }
+    }
+
+    /// Capture a consistent `(watermark, documents)` checkpoint for
+    /// bootstrapping a replica. The state is reconstructed from the
+    /// durable artifacts (snapshot file + committed WAL frames) under
+    /// the WAL lock, so the document set is exactly the replay of
+    /// sequences `1 ..= watermark` — immune to writers that have logged
+    /// but not yet applied to their shard.
+    pub fn checkpoint(&self) -> Result<(u64, Vec<Value>), StoreError> {
+        let Some(wal) = &self.wal else {
+            return Ok((self.mem_seq.load(Ordering::Acquire), self.scan_all()));
+        };
+        let w = lock(wal);
+        let watermark = w.watermark();
+        let mut by_id: BTreeMap<String, Value> = BTreeMap::new();
+        if let Some(path) = &self.snapshot_path {
+            for doc in wal::read_snapshot(path)? {
+                if let Some(id) = doc.get("_id").and_then(Value::as_str) {
+                    by_id.insert(id.to_string(), doc);
+                }
+            }
+        }
+        if let WalTail::Records(records) = w.tail_from(w.base_seq() + 1)? {
+            for (_, record) in records {
+                match record {
+                    WalRecord::Insert(doc) | WalRecord::Update { doc, .. } => {
+                        if let Some(id) = doc.get("_id").and_then(Value::as_str) {
+                            by_id.insert(id.to_string(), doc.clone());
+                        }
+                    }
+                    WalRecord::Delete { id } => {
+                        by_id.remove(&id);
+                    }
+                }
+            }
+        }
+        Ok((watermark, by_id.into_values().collect()))
+    }
+
+    /// Replace the entire collection state with a primary checkpoint
+    /// and adopt its watermark. Clears shards and indexes, re-applies
+    /// `docs`, persists a local snapshot and resets the WAL to `seq` —
+    /// an index-rebuild point under [`FaultOp::IndexRebuild`]. The
+    /// caller must ensure no concurrent local writers (on a replica the
+    /// single pull loop is the only writer); concurrent readers may
+    /// observe a partially-installed state for the duration.
+    pub fn install_checkpoint(&self, seq: u64, docs: Vec<Value>) -> Result<(), StoreError> {
+        self.consult_fault(FaultOp::IndexRebuild)?;
+        for shard in &self.shards {
+            shard.clear();
+        }
+        if let Some(ti) = &self.text_index {
+            ti.clear();
+        }
+        for idx in read(&self.hash_indexes).iter() {
+            idx.clear();
+        }
+        for doc in docs {
+            self.apply_insert(doc, false)?;
+        }
+        let policy = self.retry_policy();
+        if let Some(path) = &self.snapshot_path {
+            let plan = self.fault_plan();
+            let snapshot_docs = self.scan_all();
+            with_backoff(&policy, |e| self.count_retry(e), || {
+                wal::write_snapshot_with(path, snapshot_docs.iter(), plan.as_deref())
+            })?;
+        }
+        if let Some(wal) = &self.wal {
+            with_backoff(&policy, |e| self.count_retry(e), || {
+                lock(wal).reset_to_seq(seq)
+            })?;
+        } else {
+            self.mem_seq.store(seq, Ordering::Release);
+        }
+        // Wholesale replacement: bump the mutation epoch without a log
+        // entry, so `touched_since` reports the window as uncovered and
+        // render caches invalidate everything.
+        self.mutations.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Apply one replicated record at global sequence `seq`, logging it
+    /// to the local WAL (so replica recovery is bit-identical to crash
+    /// recovery) before applying it tolerantly, exactly as replay does.
+    /// Returns `Ok(false)` for an already-applied sequence (duplicate
+    /// delivery after a reconnect) and `Err(Corrupt)` on a gap, which
+    /// the follower must treat as "re-sync from the primary".
+    pub fn apply_replicated(&self, seq: u64, record: &WalRecord) -> Result<bool, StoreError> {
+        let current = self.repl_watermark();
+        if seq <= current {
+            return Ok(false);
+        }
+        if seq != current + 1 {
+            return Err(StoreError::Corrupt(format!(
+                "replication gap: applied through {current}, received {seq}"
+            )));
+        }
+        if let Some(wal) = &self.wal {
+            let policy = self.retry_policy();
+            let assigned = with_backoff(&policy, |e| self.count_retry(e), || {
+                lock(wal).append(record)
+            })?;
+            debug_assert_eq!(assigned, seq);
+        } else {
+            self.mem_seq.store(seq, Ordering::Release);
+        }
+        match record {
+            WalRecord::Insert(doc) => {
+                let _ = self.apply_insert(doc.clone(), false);
+            }
+            WalRecord::Update { id, doc } => {
+                let _ = self.apply_replace(id, doc.clone(), false);
+            }
+            WalRecord::Delete { id } => {
+                let _ = self.apply_delete(id, false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Order-independent checksum over the full collection contents
+    /// (`_id` + canonical JSON of every document), used to prove a
+    /// replica converged to a state byte-identical to the primary's.
+    /// Independent of shard count and insertion order.
+    pub fn content_checksum(&self) -> u64 {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for shard in &self.shards {
+            for h in shard.scan(|id, doc| {
+                Some(route_hash(&format!("{id}\u{1}{}", doc.to_json())))
+            }) {
+                sum = sum.wrapping_add(h);
+                count += 1;
+            }
+        }
+        sum ^ count
     }
 
     /// Flush and fsync the WAL.
@@ -829,7 +1023,7 @@ mod tests {
             c.insert(obj! { "_id" => format!("p{i}"), "year" => 2020 + (i % 2) })
                 .unwrap();
         }
-        let idx = c.create_hash_index("year");
+        let idx = c.create_hash_index("year").unwrap();
         assert_eq!(idx.lookup(&Value::int(2021)).len(), 5);
         // New inserts maintain the index.
         c.insert(obj! { "_id" => "new", "year" => 2021 }).unwrap();
@@ -1067,6 +1261,75 @@ mod tests {
         let e1 = c.mutation_epoch();
         c.delete(&b).unwrap();
         assert_eq!(c.touched_since(e1), Some(vec![b.clone()]));
+    }
+
+    #[test]
+    fn replication_surface_round_trips() {
+        let dir = std::env::temp_dir().join(format!("covidkg-repl-coll-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CollectionConfig::new("pubs").with_text_fields(["title"]);
+        let primary = Collection::open(cfg.clone(), &dir.join("p")).unwrap();
+        primary.insert(obj! { "_id" => "a", "title" => "first" }).unwrap();
+        primary.insert(obj! { "_id" => "b", "title" => "second" }).unwrap();
+        primary.snapshot().unwrap();
+        primary.replace("a", obj! { "title" => "edited" }).unwrap();
+        primary.delete("b").unwrap();
+        assert_eq!(primary.repl_watermark(), 4);
+
+        // A replica starting from scratch needs the checkpoint first…
+        assert_eq!(
+            primary.tail_from(1).unwrap(),
+            WalTail::SnapshotNeeded { base_seq: 2 }
+        );
+        let (seq, docs) = primary.checkpoint().unwrap();
+        assert_eq!(seq, 4);
+        let replica = Collection::open(cfg.clone(), &dir.join("r")).unwrap();
+        replica.install_checkpoint(seq, docs).unwrap();
+        assert_eq!(replica.repl_watermark(), 4);
+        assert_eq!(replica.content_checksum(), primary.content_checksum());
+
+        // …then streams the live tail.
+        primary.insert(obj! { "_id" => "c", "title" => "third" }).unwrap();
+        let WalTail::Records(tail) = primary.tail_from(replica.repl_watermark() + 1).unwrap()
+        else {
+            panic!("expected records");
+        };
+        for (s, record) in &tail {
+            assert!(replica.apply_replicated(*s, record).unwrap());
+        }
+        assert_eq!(replica.repl_watermark(), 5);
+        assert_eq!(replica.content_checksum(), primary.content_checksum());
+        // Duplicate delivery is a no-op, a gap is corruption.
+        let rec = WalRecord::Insert(obj! { "_id" => "d" });
+        assert!(!replica.apply_replicated(5, &tail[0].1).unwrap());
+        assert!(matches!(
+            replica.apply_replicated(9, &rec),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Replica recovery replays its own WAL to the same state.
+        drop(replica);
+        let replica = Collection::open(cfg, &dir.join("r")).unwrap();
+        assert_eq!(replica.repl_watermark(), 5);
+        assert_eq!(replica.content_checksum(), primary.content_checksum());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_is_consistent_with_watermark() {
+        // In-memory collections expose an applied watermark only via
+        // replication; durable checkpoints rebuild from disk artifacts.
+        let dir = std::env::temp_dir().join(format!("covidkg-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = Collection::open(CollectionConfig::new("pubs"), &dir).unwrap();
+        for i in 0..5 {
+            c.insert(obj! { "_id" => format!("p{i}"), "n" => i }).unwrap();
+        }
+        c.snapshot().unwrap();
+        c.delete("p0").unwrap();
+        let (seq, docs) = c.checkpoint().unwrap();
+        assert_eq!(seq, 6);
+        assert_eq!(docs.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -52,6 +52,22 @@ impl Database {
         Ok(coll)
     }
 
+    /// Look up a live collection by name, creating (or re-opening) it
+    /// when absent — the idempotent variant of
+    /// [`Database::create_collection`] used by replica bootstrap, where
+    /// the same collection set may be requested on every reconnect.
+    pub fn get_or_create(&self, config: CollectionConfig) -> Result<Arc<Collection>, StoreError> {
+        if let Ok(coll) = self.collection(&config.name) {
+            return Ok(coll);
+        }
+        match self.create_collection(config.clone()) {
+            Ok(coll) => Ok(coll),
+            // Lost a creation race: someone else registered it first.
+            Err(StoreError::BadQuery(_)) => self.collection(&config.name),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Look up a live collection.
     pub fn collection(&self, name: &str) -> Result<Arc<Collection>, StoreError> {
         self.collections
@@ -73,7 +89,7 @@ impl Database {
             return Err(StoreError::NoSuchCollection(name.to_string()));
         }
         if let Some(dir) = &self.dir {
-            for ext in ["snapshot", "wal"] {
+            for ext in ["snapshot", "wal", "seq"] {
                 let p = dir.join(format!("{name}.{ext}"));
                 if p.exists() {
                     std::fs::remove_file(p)?;

@@ -28,6 +28,13 @@ pub enum FaultOp {
     WalReset,
     /// Writing a snapshot file.
     SnapshotWrite,
+    /// The background flusher deciding to compact (snapshot + WAL
+    /// reset). A failure here means the tick is skipped — the WAL keeps
+    /// growing but no acknowledged write is lost.
+    Compaction,
+    /// Rebuilding an index from live documents (hash-index creation,
+    /// checkpoint installation).
+    IndexRebuild,
 }
 
 impl FaultOp {
@@ -38,6 +45,8 @@ impl FaultOp {
             FaultOp::WalSync => "wal-sync",
             FaultOp::WalReset => "wal-reset",
             FaultOp::SnapshotWrite => "snapshot-write",
+            FaultOp::Compaction => "compaction",
+            FaultOp::IndexRebuild => "index-rebuild",
         }
     }
 }

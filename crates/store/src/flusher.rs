@@ -9,6 +9,7 @@
 
 use crate::collection::Collection;
 use crate::error::StoreError;
+use crate::fault::{Fault, FaultOp, FaultPlan};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -59,8 +60,16 @@ impl Flusher {
                         Ok(()) => {
                             stats.syncs += 1;
                             if snapshot_every > 0 && stats.syncs % snapshot_every == 0 {
-                                match collection.snapshot() {
-                                    Ok(_) => stats.snapshots += 1,
+                                // The compaction *decision* is itself an
+                                // injectable fault point: a failure here
+                                // skips this tick's compaction (the WAL
+                                // keeps growing, nothing acked is lost).
+                                match compaction_decision(collection.fault_plan().as_deref()) {
+                                    Ok(()) => match collection.snapshot() {
+                                        Ok(_) => stats.snapshots += 1,
+                                        Err(e) if e.is_transient() => stats.transient_skips += 1,
+                                        Err(e) => return Err(e),
+                                    },
                                     Err(e) if e.is_transient() => stats.transient_skips += 1,
                                     Err(e) => return Err(e),
                                 }
@@ -101,6 +110,22 @@ impl Flusher {
 impl Drop for Flusher {
     fn drop(&mut self) {
         let _ = self.stop_inner();
+    }
+}
+
+/// Consult the fault plan for [`FaultOp::Compaction`]. Short writes
+/// make no sense for a decision and degrade to failure; delays sleep
+/// then proceed.
+fn compaction_decision(plan: Option<&FaultPlan>) -> Result<(), StoreError> {
+    let Some(plan) = plan else { return Ok(()) };
+    match plan.decide(FaultOp::Compaction) {
+        Some(Fault::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(Fault::DiskFull) => Err(FaultPlan::disk_full_error(FaultOp::Compaction)),
+        Some(Fault::Fail | Fault::ShortWrite(_)) => Err(FaultPlan::error(FaultOp::Compaction)),
+        None => Ok(()),
     }
 }
 
@@ -215,6 +240,39 @@ mod tests {
         let re = Collection::open(CollectionConfig::new("pubs"), &dir).unwrap();
         assert_eq!(re.len(), 1, "durable state survives the ENOSPC episode");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_decision_faults_skip_not_kill() {
+        use crate::fault::FaultConfig;
+        // Fail and short-write both surface as transient (skipped tick);
+        // ENOSPC stays permanent (kills the daemon).
+        let fail = FaultPlan::new(FaultConfig {
+            fail: 1.0,
+            short_write: 0.0,
+            delay: 0.0,
+            ..FaultConfig::default()
+        });
+        let err = compaction_decision(Some(&fail)).unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        let short = FaultPlan::new(FaultConfig {
+            fail: 0.0,
+            short_write: 1.0,
+            delay: 0.0,
+            ..FaultConfig::default()
+        });
+        let err = compaction_decision(Some(&short)).unwrap_err();
+        assert!(err.is_transient(), "short-write degrades to transient fail");
+        let enospc = FaultPlan::new(FaultConfig {
+            fail: 0.0,
+            short_write: 0.0,
+            delay: 0.0,
+            disk_full: 1.0,
+            ..FaultConfig::default()
+        });
+        let err = compaction_decision(Some(&enospc)).unwrap_err();
+        assert!(!err.is_transient(), "{err:?}");
+        assert!(compaction_decision(None).is_ok());
     }
 
     #[test]

@@ -87,6 +87,12 @@ impl HashIndex {
     pub fn key_count(&self) -> usize {
         self.map.read().unwrap().len()
     }
+
+    /// Drop every entry (used when a checkpoint wholesale-replaces the
+    /// collection contents before the index is rebuilt).
+    pub fn clear(&self) {
+        self.map.write().unwrap().clear();
+    }
 }
 
 /// Number of lock stripes in the text index. Striping keeps concurrent
@@ -253,6 +259,14 @@ impl TextIndex {
     /// Number of distinct stems.
     pub fn term_count(&self) -> usize {
         self.stripes.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Drop every posting (used when a checkpoint wholesale-replaces
+    /// the collection contents before the index is rebuilt).
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.write().unwrap().clear();
+        }
     }
 }
 

@@ -58,3 +58,4 @@ pub use index::{HashIndex, Posting, TextIndex};
 pub use pipeline::{Accumulator, Pipeline, Stage};
 pub use stats::{CollectionStats, DbStats, ShardStats};
 pub use update::UpdateSpec;
+pub use wal::{WalReader, WalRecord, WalTail};

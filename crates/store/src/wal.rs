@@ -44,7 +44,9 @@ pub enum WalRecord {
 }
 
 impl WalRecord {
-    fn to_value(&self) -> Value {
+    /// JSON encoding of this record (the same shape the on-disk WAL
+    /// frames carry, and what the replication protocol ships).
+    pub fn to_value(&self) -> Value {
         let mut v = Value::Object(Vec::new());
         match self {
             WalRecord::Insert(doc) => {
@@ -64,7 +66,8 @@ impl WalRecord {
         v
     }
 
-    fn from_value(v: &Value) -> Result<WalRecord, StoreError> {
+    /// Decode a record from its [`WalRecord::to_value`] JSON shape.
+    pub fn from_value(v: &Value) -> Result<WalRecord, StoreError> {
         let op = v
             .get("op")
             .and_then(Value::as_str)
@@ -118,6 +121,38 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// Bytes of frame overhead before the payload (length + checksum).
 pub const FRAME_HEADER: usize = 8;
 
+/// Path of the sequence sidecar recording the base sequence of a WAL
+/// file (the global sequence number of the last record compacted into
+/// the snapshot). Lives next to the WAL so a reset can advance it
+/// atomically via tmp + rename.
+fn sidecar_path(wal_path: &Path) -> PathBuf {
+    wal_path.with_extension("seq")
+}
+
+/// Read a WAL's base sequence from its sidecar (0 when none exists —
+/// a fresh log starts the global sequence at 1).
+pub fn read_base_seq(wal_path: &Path) -> Result<u64, StoreError> {
+    let raw = match std::fs::read_to_string(sidecar_path(wal_path)) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    let v = parse(raw.trim()).map_err(|e| StoreError::Corrupt(format!("seq sidecar: {e}")))?;
+    v.get("base_seq")
+        .and_then(Value::as_i64)
+        .map(|n| n.max(0) as u64)
+        .ok_or_else(|| StoreError::Corrupt("seq sidecar missing base_seq".into()))
+}
+
+fn write_base_seq(wal_path: &Path, base_seq: u64) -> Result<(), StoreError> {
+    let path = sidecar_path(wal_path);
+    let tmp = path.with_extension("seq.tmp");
+    let body = covidkg_json::obj! { "base_seq" => base_seq as i64 }.to_json();
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
 /// Appending WAL writer with torn-tail repair.
 #[derive(Debug)]
 pub struct WalWriter {
@@ -127,6 +162,12 @@ pub struct WalWriter {
     committed: u64,
     /// True when a failed append may have left garbage past `committed`.
     tail_dirty: bool,
+    /// Global sequence of the record preceding the first frame of the
+    /// current file (persisted in the sidecar across resets).
+    base_seq: u64,
+    /// Global sequence of the last committed record — the durable
+    /// replication watermark. Monotonic across [`WalWriter::reset`].
+    seq: u64,
     faults: Option<Arc<FaultPlan>>,
 }
 
@@ -149,13 +190,63 @@ impl WalWriter {
             file.set_len(committed)?;
             file.seek(SeekFrom::End(0))?;
         }
+        let base_seq = read_base_seq(&path)?;
+        let seq = base_seq + frame_ends(&raw[..committed as usize]).len() as u64;
         Ok(WalWriter {
             path,
             file,
             committed,
             tail_dirty: false,
+            base_seq,
+            seq,
             faults: None,
         })
+    }
+
+    /// Global sequence of the last committed record — the durable
+    /// replication watermark. Survives resets via the seq sidecar.
+    pub fn watermark(&self) -> u64 {
+        self.seq
+    }
+
+    /// Global sequence of the last record absorbed into the snapshot;
+    /// the current file holds exactly records `base_seq + 1 ..= seq`.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The committed records currently in the file, paired with their
+    /// global sequence numbers, from `from_seq` onward. Returns
+    /// [`WalTail::SnapshotNeeded`] when `from_seq` predates the file
+    /// (those records were compacted away) — the caller must bootstrap
+    /// from a checkpoint instead.
+    pub fn tail_from(&self, from_seq: u64) -> Result<WalTail, StoreError> {
+        if from_seq <= self.base_seq {
+            return Ok(WalTail::SnapshotNeeded {
+                base_seq: self.base_seq,
+            });
+        }
+        let mut raw = Vec::new();
+        let mut reader = File::open(&self.path)?;
+        reader.read_to_end(&mut raw)?;
+        raw.truncate(self.committed as usize);
+        let records = decode_frames(&raw)?;
+        if records.len() as u64 != self.seq - self.base_seq {
+            return Err(StoreError::Corrupt(format!(
+                "wal holds {} records, watermark implies {}",
+                records.len(),
+                self.seq - self.base_seq
+            )));
+        }
+        let skip = (from_seq - self.base_seq - 1) as usize;
+        Ok(WalTail::Records(
+            records
+                .into_iter()
+                .enumerate()
+                .skip(skip)
+                .map(|(i, r)| (self.base_seq + 1 + i as u64, r))
+                .collect(),
+        ))
     }
 
     /// The log path.
@@ -180,10 +271,12 @@ impl WalWriter {
     }
 
     /// Append one record (unbuffered single write; call
-    /// [`WalWriter::sync`] for durability). On a transient failure the
-    /// record is **not** committed and the call is safe to retry: the
-    /// next append truncates whatever the failed write left behind.
-    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+    /// [`WalWriter::sync`] for durability), returning the global
+    /// sequence number it was assigned. On a transient failure the
+    /// record is **not** committed (and no sequence is consumed) and
+    /// the call is safe to retry: the next append truncates whatever
+    /// the failed write left behind.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, StoreError> {
         self.repair_tail()?;
         let payload = record.to_value().to_json();
         let frame = frame_bytes(payload.as_bytes());
@@ -212,7 +305,8 @@ impl WalWriter {
             return Err(e.into());
         }
         self.committed += frame.len() as u64;
-        Ok(())
+        self.seq += 1;
+        Ok(self.seq)
     }
 
     /// Fsync to disk.
@@ -233,8 +327,21 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Truncate the log (after a successful snapshot).
+    /// Truncate the log (after a successful snapshot). The global
+    /// sequence is preserved: the watermark carries over into the
+    /// sidecar as the new base, so sequence numbers never regress
+    /// across compaction.
     pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.reset_to_seq(self.seq)
+    }
+
+    /// Truncate the log and force the global sequence to `seq` (used
+    /// when a replica installs a primary checkpoint whose watermark it
+    /// must adopt). The sidecar is advanced **before** the truncation:
+    /// a crash between the two leaves a forward sequence jump, which
+    /// replay tolerates, never a regression, which replication could
+    /// not detect.
+    pub fn reset_to_seq(&mut self, seq: u64) -> Result<(), StoreError> {
         if let Some(plan) = &self.faults {
             match plan.decide(FaultOp::WalReset) {
                 Some(Fault::Fail | Fault::ShortWrite(_)) => {
@@ -247,12 +354,105 @@ impl WalWriter {
                 None => {}
             }
         }
+        write_base_seq(&self.path, seq)?;
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.committed = 0;
         self.tail_dirty = false;
+        self.base_seq = seq;
+        self.seq = seq;
         Ok(())
     }
+}
+
+/// Outcome of asking for the WAL tail from a given sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalTail {
+    /// The requested records, each paired with its global sequence.
+    Records(Vec<(u64, WalRecord)>),
+    /// `from_seq` predates the current file — those records were
+    /// compacted into the snapshot and the caller must bootstrap from a
+    /// checkpoint instead.
+    SnapshotNeeded {
+        /// Sequence of the last record absorbed into the snapshot.
+        base_seq: u64,
+    },
+}
+
+/// Read-only view over a WAL file and its sequence sidecar, for
+/// consumers (the replication listener, offline tooling) that must not
+/// hold the appending writer.
+#[derive(Debug, Clone)]
+pub struct WalReader {
+    path: PathBuf,
+}
+
+impl WalReader {
+    /// Point a reader at `path` (the file may not exist yet — an absent
+    /// WAL reads as empty at sequence 0).
+    pub fn new(path: impl Into<PathBuf>) -> WalReader {
+        WalReader { path: path.into() }
+    }
+
+    /// The committed records on disk from `from_seq` onward, or
+    /// [`WalTail::SnapshotNeeded`] when that sequence was compacted
+    /// away. A torn tail is skipped exactly as crash recovery skips it.
+    pub fn tail_from(&self, from_seq: u64) -> Result<WalTail, StoreError> {
+        let base_seq = read_base_seq(&self.path)?;
+        if from_seq <= base_seq {
+            return Ok(WalTail::SnapshotNeeded { base_seq });
+        }
+        let mut raw = Vec::new();
+        match File::open(&self.path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut raw)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(WalTail::Records(Vec::new()))
+            }
+            Err(e) => return Err(e.into()),
+        }
+        raw.truncate(valid_prefix_len(&raw));
+        let records = decode_frames(&raw)?;
+        let skip = (from_seq - base_seq - 1) as usize;
+        Ok(WalTail::Records(
+            records
+                .into_iter()
+                .enumerate()
+                .skip(skip)
+                .map(|(i, r)| (base_seq + 1 + i as u64, r))
+                .collect(),
+        ))
+    }
+
+    /// The durable watermark implied by the file on disk: base sequence
+    /// plus the number of committed frames.
+    pub fn watermark(&self) -> Result<u64, StoreError> {
+        let base_seq = read_base_seq(&self.path)?;
+        let mut raw = Vec::new();
+        match File::open(&self.path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut raw)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(base_seq),
+            Err(e) => return Err(e.into()),
+        }
+        Ok(base_seq + frame_ends(&raw).len() as u64)
+    }
+}
+
+/// Decode every frame of a fully-valid buffer into records. Callers
+/// must already have trimmed the buffer to its valid prefix.
+fn decode_frames(raw: &[u8]) -> Result<Vec<WalRecord>, StoreError> {
+    let mut buf = raw;
+    let mut records = Vec::new();
+    while let Some(payload) = next_frame(&mut buf) {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| StoreError::Corrupt("wal frame is not UTF-8".into()))?;
+        let value = parse(text).map_err(|e| StoreError::Corrupt(format!("wal frame: {e}")))?;
+        records.push(WalRecord::from_value(&value)?);
+    }
+    Ok(records)
 }
 
 /// Length-prefix and checksum `payload` into one wire frame.
@@ -288,8 +488,10 @@ pub(crate) fn valid_prefix_len(raw: &[u8]) -> usize {
 }
 
 /// Cumulative end offsets of every complete, checksummed frame in `raw`
-/// (the last entry equals [`valid_prefix_len`]).
-pub(crate) fn frame_ends(raw: &[u8]) -> Vec<usize> {
+/// (the last entry equals the valid prefix length). Public so crash
+/// harnesses outside this crate can cut a log at exact frame
+/// boundaries.
+pub fn frame_ends(raw: &[u8]) -> Vec<usize> {
     let mut buf = raw;
     let mut ends = Vec::new();
     while next_frame(&mut buf).is_some() {
@@ -593,5 +795,85 @@ mod tests {
     fn missing_snapshot_is_empty() {
         let dir = tmpdir("nosnap");
         assert!(read_snapshot(&dir.join("nope")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sequence_survives_reset_and_reopen() {
+        let dir = tmpdir("seq");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        assert_eq!(w.watermark(), 0);
+        assert_eq!(w.append(&WalRecord::Insert(obj! { "_id" => "a" })).unwrap(), 1);
+        assert_eq!(w.append(&WalRecord::Insert(obj! { "_id" => "b" })).unwrap(), 2);
+        w.reset().unwrap();
+        // Compaction must not regress the global sequence…
+        assert_eq!(w.watermark(), 2);
+        assert_eq!(w.base_seq(), 2);
+        assert_eq!(w.append(&WalRecord::Insert(obj! { "_id" => "c" })).unwrap(), 3);
+        drop(w);
+        // …and a reopen recomputes it from sidecar + frames.
+        let w = WalWriter::open(&path).unwrap();
+        assert_eq!(w.watermark(), 3);
+        assert_eq!(w.base_seq(), 2);
+    }
+
+    #[test]
+    fn tail_from_returns_suffix_with_sequences() {
+        let dir = tmpdir("tail");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        for id in ["a", "b", "c"] {
+            w.append(&WalRecord::Insert(obj! { "_id" => id })).unwrap();
+        }
+        let WalTail::Records(tail) = w.tail_from(2).unwrap() else {
+            panic!("expected records");
+        };
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].0, 2);
+        assert_eq!(tail[1].0, 3);
+        assert_eq!(tail[1].1, WalRecord::Insert(obj! { "_id" => "c" }));
+        // Past the watermark: empty, not an error.
+        assert_eq!(w.tail_from(4).unwrap(), WalTail::Records(Vec::new()));
+    }
+
+    #[test]
+    fn tail_from_before_base_requires_snapshot() {
+        let dir = tmpdir("tailbase");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "a" })).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "b" })).unwrap();
+        w.reset().unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "c" })).unwrap();
+        assert_eq!(
+            w.tail_from(1).unwrap(),
+            WalTail::SnapshotNeeded { base_seq: 2 }
+        );
+        let WalTail::Records(tail) = w.tail_from(3).unwrap() else {
+            panic!("expected records");
+        };
+        assert_eq!(tail, vec![(3, WalRecord::Insert(obj! { "_id" => "c" }))]);
+    }
+
+    #[test]
+    fn wal_reader_matches_writer_view() {
+        let dir = tmpdir("reader");
+        let path = dir.join("test.wal");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "a" })).unwrap();
+        w.reset().unwrap();
+        w.append(&WalRecord::Insert(obj! { "_id" => "b" })).unwrap();
+        w.sync().unwrap();
+        let r = WalReader::new(&path);
+        assert_eq!(r.watermark().unwrap(), 2);
+        assert_eq!(r.tail_from(1).unwrap(), WalTail::SnapshotNeeded { base_seq: 1 });
+        let WalTail::Records(tail) = r.tail_from(2).unwrap() else {
+            panic!("expected records");
+        };
+        assert_eq!(tail, vec![(2, WalRecord::Insert(obj! { "_id" => "b" }))]);
+        // A reader over a missing file is empty at sequence 0.
+        let r = WalReader::new(dir.join("nope.wal"));
+        assert_eq!(r.watermark().unwrap(), 0);
+        assert_eq!(r.tail_from(1).unwrap(), WalTail::Records(Vec::new()));
     }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Regenerate the wire-benchmark table in EXPERIMENTS.md from the
+# committed BENCH_net.json. The table lives between the
+# `<!-- net-table:begin -->` / `<!-- net-table:end -->` markers and is
+# rewritten in place by `covidkg net-table`, so prose and artifact
+# cannot drift. Run a fresh bench first if you want new numbers:
+#
+#   ./target/release/covidkg net-bench --corpus 120 --clients 8 \
+#       --requests 50 --rates 500,2000 --duration-ms 1000
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q
+./target/release/covidkg net-table

@@ -30,10 +30,17 @@ echo "==> serve-bench open-loop smoke (fixed arrival rate)"
 echo "==> HTTP parser property tests (incl. one-byte split reads)"
 cargo test -p covidkg-net --test parser_prop --offline -q
 
+echo "==> EXPERIMENTS.md wire table regenerates from the committed BENCH_net.json"
+./target/release/covidkg net-table
+grep -q '<!-- net-table:begin -->' EXPERIMENTS.md
+
 echo "==> wire smoke: TCP end-to-end with the in-repo client (no curl)"
 ./target/release/covidkg net-bench --corpus 16 --clients 2 --requests 10 \
     --workers 2 --rates 100,300 --duration-ms 250
 test -s BENCH_net.json
+
+echo "==> replication smoke: WAL shipping, checksum convergence, read-your-writes"
+./target/release/covidkg repl-smoke --corpus 16 --seed 7
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets --offline"

@@ -18,16 +18,23 @@
 //!    must resolve (fresh, stale-degraded or typed `Degraded` — never a
 //!    hang), the pool must respawn to full strength, and spot checks
 //!    must agree with direct search.
+//! 4. **Replication gauntlet** — [`covidkg_repl::run_repl_gauntlet`]
+//!    kills and restarts a replica mid-stream, truncates its WAL at
+//!    every frame boundary (plus seeded mid-frame cuts and byte flips),
+//!    corrupts the wire through a faulty proxy, and demands
+//!    byte-identical convergence (content checksums) every time.
 //!
 //! The CLI front-end is `covidkg chaos` (see `main.rs`); the survival
 //! report renders PASS/FAIL per invariant.
 
 use covidkg_core::{CovidKg, CovidKgConfig};
 use covidkg_corpus::CorpusGenerator;
+use covidkg_repl::{run_repl_gauntlet, ReplGauntletConfig, ReplGauntletReport};
 use covidkg_serve::loadgen::{self, LoadGenConfig, LoadGenReport};
 use covidkg_serve::{InjectedFaults, ServeConfig, ServeStats, Server};
 use covidkg_store::{
-    run_gauntlet, FaultConfig, FaultPlan, FaultStats, GauntletConfig, GauntletReport, RetryPolicy,
+    run_gauntlet, FaultConfig, FaultPlan, FaultStats, Flusher, FlusherStats, GauntletConfig,
+    GauntletReport, RetryPolicy,
 };
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -90,10 +97,19 @@ pub struct ChaosReport {
     pub verified: usize,
     /// Store-level retries absorbed by bounded backoff.
     pub io_retries: u64,
+    /// The background flusher's counters: its sync/compaction ticks ran
+    /// *during* the fault storm, so its skips are injected compaction
+    /// faults absorbed without losing acknowledged writes.
+    pub flusher: FlusherStats,
+    /// Attempts before the mid-storm `create_hash_index` backfill (an
+    /// [`covidkg_store::FaultOp::IndexRebuild`] point) succeeded.
+    pub index_rebuild_attempts: usize,
     /// Phase 3: the closed-loop load-generator tallies.
     pub serve: LoadGenReport,
     /// Phase 3: the server's own counters (panics, respawns, breaker).
     pub serve_stats: ServeStats,
+    /// Phase 4: replication kill/cut/corrupt convergence.
+    pub repl: ReplGauntletReport,
     /// Worker threads alive at the end of phase 3.
     pub workers_alive: usize,
     /// Worker threads the pool was configured with.
@@ -130,6 +146,15 @@ impl fmt::Display for ChaosReport {
              {} retries absorbed",
             self.acked_batches, self.rejected_batches, self.acked, self.verified, self.io_retries,
         )?;
+        writeln!(
+            f,
+            "  flusher under fire: {} syncs, {} compactions, {} faulted ticks skipped; \
+             index backfill landed after {} attempt(s)",
+            self.flusher.syncs,
+            self.flusher.snapshots,
+            self.flusher.transient_skips,
+            self.index_rebuild_attempts,
+        )?;
         write!(f, "panic-injected serving: {}", self.serve.render())?;
         write!(f, "{}", self.serve_stats.render())?;
         writeln!(
@@ -137,6 +162,7 @@ impl fmt::Display for ChaosReport {
             "  {} of {} workers alive at shutdown",
             self.workers_alive, self.workers_configured
         )?;
+        writeln!(f, "{}", self.repl)?;
         writeln!(f, "chaos wall clock: {:.2} s", self.wall.as_secs_f64())?;
         if self.passed() {
             write!(f, "SURVIVED: all chaos invariants held")
@@ -178,22 +204,41 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
     let _ = std::fs::remove_dir_all(&data_dir);
     let ingest = faulty_ingest(config, &data_dir, &mut failures);
     let _ = std::fs::remove_dir_all(&data_dir);
-    let (faults, acked_batches, rejected_batches, acked_ids, verified, io_retries, system) =
-        ingest?;
+    let storm = ingest?;
 
     // Phase 3 — panic-injected serving over the recovered system.
-    let (serve, serve_stats, workers_alive) = panic_serving(config, system, &mut failures);
+    let (serve, serve_stats, workers_alive) = panic_serving(config, storm.system, &mut failures);
+
+    // Phase 4 — replication: kill/restart, cut-at-every-boundary, wire
+    // corruption; every scenario must converge byte-identically.
+    let repl = run_repl_gauntlet(&ReplGauntletConfig {
+        seed: config.seed,
+        docs: (config.corpus / 2).clamp(8, 18),
+        kill_rounds: 2,
+        tag: format!("chaos-{:x}", config.seed),
+        ..ReplGauntletConfig::default()
+    })
+    .map_err(|e| format!("replication gauntlet setup failed: {e}"))?;
+    if !repl.converged() {
+        failures.push(format!(
+            "replication gauntlet: {} scenarios failed to converge",
+            repl.failures.len()
+        ));
+    }
 
     Ok(ChaosReport {
         gauntlet,
-        faults,
-        acked_batches,
-        rejected_batches,
-        acked: acked_ids,
-        verified,
-        io_retries,
+        faults: storm.faults,
+        acked_batches: storm.acked_batches,
+        rejected_batches: storm.rejected_batches,
+        acked: storm.acked,
+        verified: storm.verified,
+        io_retries: storm.io_retries,
+        flusher: storm.flusher,
+        index_rebuild_attempts: storm.index_rebuild_attempts,
         serve,
         serve_stats,
+        repl,
         workers_alive,
         workers_configured: config.workers.max(1),
         wall: start.elapsed(),
@@ -201,7 +246,19 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
     })
 }
 
-type IngestOutcome = (FaultStats, usize, usize, usize, usize, u64, CovidKg);
+/// Everything phase 2 measured, plus the recovered system phase 3
+/// serves.
+struct FaultStorm {
+    faults: FaultStats,
+    acked_batches: usize,
+    rejected_batches: usize,
+    acked: usize,
+    verified: usize,
+    io_retries: u64,
+    flusher: FlusherStats,
+    index_rebuild_attempts: usize,
+    system: CovidKg,
+}
 
 /// Phase 2 body. Returns the recovered system so phase 3 serves the
 /// exact state that survived the fault storm.
@@ -209,7 +266,7 @@ fn faulty_ingest(
     config: &ChaosConfig,
     data_dir: &Path,
     failures: &mut Vec<String>,
-) -> Result<IngestOutcome, String> {
+) -> Result<FaultStorm, String> {
     let kg_config = CovidKgConfig {
         corpus_size: config.corpus,
         seed: config.seed,
@@ -237,6 +294,16 @@ fn faulty_ingest(
     system.publications().set_fault_plan(Some(plan.clone()));
     system.publications().set_retry_policy(RetryPolicy::default());
 
+    // The durability daemon runs *through* the storm on a tight
+    // interval, so its group commits and snapshot compactions hit the
+    // armed [`covidkg_store::FaultOp::Compaction`] points while the
+    // ingest loop is mutating the collection.
+    let flusher = Flusher::start(
+        std::sync::Arc::clone(system.publications()),
+        Duration::from_millis(3),
+        2,
+    );
+
     let fresh: Vec<_> = CorpusGenerator::with_size(
         config.corpus + config.batch_size * config.max_batches,
         config.seed,
@@ -249,6 +316,11 @@ fn faulty_ingest(
     let mut acked_ids: Vec<String> = Vec::new();
     let mut acked_batches = 0usize;
     let mut rejected_batches = 0usize;
+    // Mid-storm index backfill: `create_hash_index` is an
+    // [`covidkg_store::FaultOp::IndexRebuild`] point, attempted each
+    // batch until it lands (a transient rejection promises nothing).
+    let mut index_rebuild_attempts = 0usize;
+    let mut index_built = false;
     for batch in fresh.chunks(config.batch_size.max(1)) {
         if plan.stats().injected() >= config.fault_target {
             break;
@@ -263,6 +335,19 @@ fn faulty_ingest(
             Err(e) if e.is_transient() => rejected_batches += 1,
             Err(e) => return Err(format!("permanent error under injected faults: {e}")),
         }
+        if !index_built {
+            index_rebuild_attempts += 1;
+            match system.publications().create_hash_index("venue") {
+                Ok(_) => index_built = true,
+                Err(e) if e.is_transient() => {}
+                Err(e) => return Err(format!("permanent index-rebuild fault: {e}")),
+            }
+        }
+    }
+    if !index_built {
+        failures.push(format!(
+            "index backfill never survived the storm ({index_rebuild_attempts} attempts)"
+        ));
     }
     let faults = plan.stats();
     let io_retries = system.publications().io_retries();
@@ -273,6 +358,16 @@ fn faulty_ingest(
             config.fault_target
         ));
     }
+
+    // The daemon must come down cleanly *before* the cold reopen: a
+    // permanent error inside it would be a survived-by-accident lie.
+    let flusher_stats = match flusher.stop() {
+        Ok(stats) => stats,
+        Err(e) => {
+            failures.push(format!("flusher died under injected faults: {e}"));
+            FlusherStats::default()
+        }
+    };
 
     // Cold recovery: drop the faulted system, reopen from disk with the
     // plan gone, and demand every acknowledged publication back.
@@ -288,15 +383,17 @@ fn faulty_ingest(
             acked_ids.len()
         ));
     }
-    Ok((
+    Ok(FaultStorm {
         faults,
         acked_batches,
         rejected_batches,
-        acked_ids.len(),
+        acked: acked_ids.len(),
         verified,
         io_retries,
+        flusher: flusher_stats,
+        index_rebuild_attempts,
         system,
-    ))
+    })
 }
 
 /// Phase 3 body: serve under injected query panics + worker crashes.
@@ -396,6 +493,10 @@ mod tests {
         assert!(report.faults.injected() >= 30);
         assert_eq!(report.verified, report.acked);
         assert!(report.gauntlet.passed());
+        assert!(report.flusher.syncs > 0, "flusher must have ticked mid-storm");
+        assert!(report.index_rebuild_attempts >= 1);
+        assert!(report.repl.converged(), "{}", report.repl);
+        assert!(report.repl.kills >= 2);
         let rendered = report.to_string();
         assert!(rendered.contains("SURVIVED"), "{rendered}");
         assert!(rendered.contains("faults injected"));

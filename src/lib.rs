@@ -51,6 +51,8 @@ pub use covidkg_core as core;
 pub use covidkg_serve as serve;
 /// HTTP/1.1 network front-end (std::net only) + wire client/load-bench.
 pub use covidkg_net as net;
+/// WAL-shipping replication: primary listener, replica nodes, routing.
+pub use covidkg_repl as repl;
 /// Std-only micro-benchmark harness (criterion-compatible surface).
 pub use covidkg_bench as bench;
 

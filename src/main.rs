@@ -15,13 +15,20 @@
 //! covidkg stats --data-dir /tmp/kgdata
 //! ```
 
+use covidkg::net::ReadContext;
+use covidkg::repl::{
+    ReadRouter, ReplConfig, ReplListener, ReplicaNode, ReplicaNodeConfig, ReplicaTarget,
+};
+use covidkg::store::Collection;
 use covidkg::{
     CovidKg, CovidKgConfig, HttpServer, LoadGenConfig, NetConfig, OpenLoopConfig, SearchMode,
     ServeConfig, Server,
 };
+use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 covidkg — COVIDKG.ORG reproduction CLI
@@ -37,8 +44,12 @@ COMMANDS:
     bias                     print the corpus bias-interrogation report
     stats                    print the storage report + data generation
     serve                    run the HTTP front-end (stop with EOF/ctrl-d)
+    replicate                follow a primary (--from) and serve reads locally
+    repl-smoke               primary + replica over loopback: write, converge, read
+    repl-bench               read-goodput scaling at 1/2/4 replicas (BENCH_repl.json)
     serve-bench              benchmark the concurrent serving frontend
     net-bench                wire-level HTTP load bench (emits BENCH_net.json)
+    net-table                regenerate the EXPERIMENTS.md wire table from BENCH_net.json
     chaos                    deterministic fault-injection survival run
 
 OPTIONS:
@@ -57,8 +68,11 @@ OPTIONS:
     --rates <a,b,c>          open-loop offered rates in req/s [default:
                              0.5x / 1x / 2x of the closed-loop throughput]
     --duration-ms <n>        open-loop run length per rate [default 1000]
-    --listen <addr>          serve/net-bench bind address
-                             [serve: 127.0.0.1:8080; net-bench: 127.0.0.1:0]
+    --listen <addr>          serve/replicate/net-bench HTTP bind address
+                             [serve: 127.0.0.1:8080; replicate: 127.0.0.1:8081]
+    --repl-listen <addr>     serve: also stream WAL frames to replicas here
+    --from <addr>            replicate: the primary's replication address
+    --name <name>            replicate: this replica's name [default replica-1]
 ";
 
 struct Args {
@@ -79,6 +93,9 @@ struct Args {
     rates: Option<Vec<f64>>,
     duration_ms: u64,
     listen: Option<String>,
+    repl_listen: Option<String>,
+    from: Option<String>,
+    name: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -102,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
         rates: None,
         duration_ms: 1000,
         listen: None,
+        repl_listen: None,
+        from: None,
+        name: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -170,6 +190,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--duration-ms takes a number".to_string())?
             }
             "--listen" => out.listen = Some(value("--listen")?),
+            "--repl-listen" => out.repl_listen = Some(value("--repl-listen")?),
+            "--from" => out.from = Some(value("--from")?),
+            "--name" => out.name = Some(value("--name")?),
             "--expanded" => out.expanded = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with("--") => {
@@ -298,6 +321,31 @@ fn run() -> Result<(), String> {
                 },
             )
             .map_err(|e| format!("bind {addr} failed: {e}"))?;
+            // With --repl-listen this node is a replication primary: a
+            // second listener streams WAL frames to any replica that
+            // connects (see the `replicate` command).
+            let repl_listener = match &args.repl_listen {
+                Some(raw) => {
+                    let repl_addr: SocketAddr = raw
+                        .parse()
+                        .map_err(|_| "--repl-listen takes an ADDR:PORT".to_string())?;
+                    let listener = ReplListener::start(
+                        replication_sources(&server),
+                        ReplConfig {
+                            addr: repl_addr,
+                            ..ReplConfig::default()
+                        },
+                    )
+                    .map_err(|e| format!("replication bind {repl_addr} failed: {e}"))?;
+                    println!(
+                        "replication listener on {} (watermark {})",
+                        listener.local_addr(),
+                        listener.watermark()
+                    );
+                    Some(listener)
+                }
+                None => None,
+            };
             println!("listening on http://{}", http.local_addr());
             println!("  GET /search/{{all-fields|tables|scoped}}?q=&page=");
             println!("  GET /kg/node/{{id}}   GET /stats   GET /metrics");
@@ -308,9 +356,14 @@ fn run() -> Result<(), String> {
                 sink.clear();
             }
             http.shutdown();
+            drop(repl_listener);
             server.shutdown();
             println!("drained and stopped");
         }
+        "replicate" => replicate(&args)?,
+        "repl-smoke" => repl_smoke(&args)?,
+        "repl-bench" => repl_bench(&args)?,
+        "net-table" => net_table()?,
         "net-bench" => {
             let system = open_system(&args, false)?;
             let server = Arc::new(Server::start(
@@ -372,6 +425,413 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
     Ok(())
+}
+
+/// Every collection of the server's system, named, for WAL shipping.
+fn replication_sources(server: &Arc<Server>) -> Vec<(String, Arc<Collection>)> {
+    server.with_system(|s| {
+        let db = s.database();
+        db.collection_names()
+            .into_iter()
+            .filter_map(|name| db.collection(&name).ok().map(|coll| (name, coll)))
+            .collect()
+    })
+}
+
+/// The `replicate` body: follow a primary's replication listener and
+/// serve lag-aware reads locally (read-your-writes via `X-Min-Seq`).
+fn replicate(args: &Args) -> Result<(), String> {
+    let from: SocketAddr = args
+        .from
+        .as_deref()
+        .ok_or("replicate needs --from <addr> (the primary's --repl-listen address)")?
+        .parse()
+        .map_err(|_| "--from takes an ADDR:PORT".to_string())?;
+    let name = args.name.clone().unwrap_or_else(|| "replica-1".into());
+    let data_dir = args.data_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("covidkg-replica-{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    println!("replicating from {from} into {data_dir} as {name:?} ...");
+    let mut config = ReplicaNodeConfig::new(from, &name, data_dir);
+    config.serve = ServeConfig {
+        workers: args.workers.max(1),
+        ..ServeConfig::default()
+    };
+    let mut node =
+        ReplicaNode::start(config).map_err(|e| format!("replica bootstrap failed: {e}"))?;
+    println!(
+        "synced: {} collections, publications applied {}",
+        node.collections().len(),
+        node.applied()
+    );
+
+    // Route reads through this node's own state so responses carry the
+    // replication headers and `/metrics` the replication series. The
+    // lag clock is the watermark the primary last reported.
+    let state = node.publications_state();
+    let clock = Arc::clone(&state);
+    let router = Arc::new(ReadRouter::new(
+        None,
+        vec![ReplicaTarget::tracking(&name, node.server(), &state)],
+        Arc::new(move || clock.primary_watermark.load(Ordering::Acquire)),
+        u64::MAX,
+    ));
+    let addr: SocketAddr = args
+        .listen
+        .as_deref()
+        .unwrap_or("127.0.0.1:8081")
+        .parse()
+        .map_err(|_| "--listen takes an ADDR:PORT".to_string())?;
+    let mut http = HttpServer::start_routed(
+        node.server(),
+        Some(ReadContext::new(router, None)),
+        NetConfig {
+            addr,
+            ..NetConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind {addr} failed: {e}"))?;
+    println!("serving replica reads on http://{}", http.local_addr());
+    println!("(EOF on stdin — ctrl-d — shuts down gracefully)");
+    let mut sink = String::new();
+    while std::io::stdin().read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+        sink.clear();
+    }
+    http.shutdown();
+    node.shutdown();
+    println!("replica drained and stopped");
+    Ok(())
+}
+
+/// The `repl-smoke` body: an end-to-end loopback exercise of the whole
+/// replication stack — bootstrap, live writes, convergence, a routed
+/// read-your-writes response served by the replica. Used by CI.
+fn repl_smoke(args: &Args) -> Result<(), String> {
+    let corpus = args.corpus.clamp(12, 60);
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("covidkg-smoke-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    };
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: corpus,
+        seed: args.seed,
+        max_training_rows: 300,
+        data_dir: Some(scratch("primary")),
+        ..CovidKgConfig::default()
+    })
+    .map_err(|e| format!("primary build failed: {e}"))?;
+    let primary = Arc::new(Server::start(system, ServeConfig::default()));
+    let sources = replication_sources(&primary);
+    let listener = ReplListener::start(sources.clone(), ReplConfig::default())
+        .map_err(|e| format!("replication listener: {e}"))?;
+    println!("primary up: {} collections on {}", sources.len(), listener.local_addr());
+
+    let mut node = ReplicaNode::start(ReplicaNodeConfig::new(
+        listener.local_addr(),
+        "smoke-replica",
+        scratch("replica"),
+    ))
+    .map_err(|e| format!("replica bootstrap failed: {e}"))?;
+    println!("replica synced: applied {}", node.applied());
+
+    // Live writes on the primary must reach the replica.
+    let extra: Vec<_> = covidkg::corpus::CorpusGenerator::with_size(corpus + 8, args.seed)
+        .generate()
+        .into_iter()
+        .skip(corpus)
+        .collect();
+    primary
+        .ingest(&extra)
+        .map_err(|e| format!("primary ingest failed: {e}"))?;
+    let mark = listener.watermark();
+    let pubs = sources
+        .iter()
+        .find(|(n, _)| n == "publications")
+        .map(|(_, c)| Arc::clone(c))
+        .ok_or("primary has no publications collection")?;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while node.applied() < mark || node.checksum("publications") != Some(pubs.content_checksum()) {
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "replica never converged: applied {} of {mark}",
+                node.applied()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("live writes converged: watermark {mark}, checksums equal");
+
+    // Read-your-writes at the new watermark, served by the replica.
+    let state = node.publications_state();
+    let clock = Arc::clone(&pubs);
+    let router = ReadRouter::new(
+        None,
+        vec![ReplicaTarget::tracking("smoke-replica", node.server(), &state)],
+        Arc::new(move || clock.repl_watermark()),
+        u64::MAX,
+    );
+    let (resp, info) = router
+        .search(
+            &SearchMode::AllFields("covid".into()),
+            0,
+            mark,
+            Duration::from_secs(5),
+        )
+        .map_err(|e| format!("routed read failed: {e}"))?;
+    let on_primary = primary
+        .search(&SearchMode::AllFields("covid".into()), 0)
+        .map_err(|e| format!("primary read failed: {e}"))?;
+    if resp.page.total != on_primary.page.total {
+        return Err(format!(
+            "replica read disagreed: {} vs {} results",
+            resp.page.total, on_primary.page.total
+        ));
+    }
+    println!(
+        "read-your-writes OK: {:?} served {} results at applied {}",
+        info.replica, resp.page.total, info.applied
+    );
+    node.shutdown();
+    println!("REPL SMOKE PASSED");
+    Ok(())
+}
+
+/// The `repl-bench` body: read-goodput scaling at 1, 2 and 4 replicas.
+///
+/// Each replica serves with 2 workers, an uncacheable result page
+/// (TTL 0) and a synthetic 20 ms service-time floor injected per query,
+/// so per-replica capacity is sleep-bound (workers/floor = 100 reads/s)
+/// rather than CPU-bound — the fleet's aggregate goodput then scales
+/// with replica count even on a single-core harness, where raw search
+/// CPU (~1.5 ms/query) would otherwise cap the whole fleet near
+/// 650 reads/s and flatten the curve. Emits `BENCH_repl.json`.
+fn repl_bench(args: &Args) -> Result<(), String> {
+    const SERVICE_FLOOR: Duration = Duration::from_millis(20);
+    let corpus = args.corpus.clamp(16, 36);
+    let clients = args.clients.clamp(4, 16);
+    let per_client = args.requests.clamp(10, 200);
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("covidkg-rbench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    };
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: corpus,
+        seed: args.seed,
+        max_training_rows: 300,
+        data_dir: Some(scratch("primary")),
+        ..CovidKgConfig::default()
+    })
+    .map_err(|e| format!("primary build failed: {e}"))?;
+    let primary = Arc::new(Server::start(system, ServeConfig::default()));
+    let sources = replication_sources(&primary);
+    let listener = ReplListener::start(sources.clone(), ReplConfig::default())
+        .map_err(|e| format!("replication listener: {e}"))?;
+    let pubs = sources
+        .iter()
+        .find(|(n, _)| n == "publications")
+        .map(|(_, c)| Arc::clone(c))
+        .ok_or("primary has no publications collection")?;
+    println!(
+        "repl-bench: {clients} clients x {per_client} reads, {} µs service floor per query",
+        SERVICE_FLOOR.as_micros()
+    );
+
+    let mut rows = Vec::new();
+    let mut last = 0.0_f64;
+    let mut monotonic = true;
+    for &fleet in &[1usize, 2, 4] {
+        let mut nodes = Vec::new();
+        for i in 0..fleet {
+            let mut config = ReplicaNodeConfig::new(
+                listener.local_addr(),
+                format!("replica-{i}"),
+                scratch(&format!("r{fleet}-{i}")),
+            );
+            config.serve = ServeConfig {
+                workers: 2,
+                cache_ttl: Some(Duration::ZERO),
+                ..ServeConfig::default()
+            };
+            let node =
+                ReplicaNode::start(config).map_err(|e| format!("replica {i} of {fleet}: {e}"))?;
+            node.server().set_injected_faults(Some(covidkg::serve::InjectedFaults {
+                panic_every: 0,
+                delay_every: 1,
+                delay: SERVICE_FLOOR,
+            }));
+            nodes.push(node);
+        }
+        let targets = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                ReplicaTarget::tracking(format!("replica-{i}"), n.server(), &n.publications_state())
+            })
+            .collect();
+        let clock = Arc::clone(&pubs);
+        let router = Arc::new(ReadRouter::new(
+            None,
+            targets,
+            Arc::new(move || clock.repl_watermark()),
+            u64::MAX,
+        ));
+        let (ok, errs, wall) = routed_loop(&router, clients, per_client, args.seed)?;
+        let goodput = if wall.as_secs_f64() > 0.0 {
+            ok as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        println!(
+            "  {fleet} replica(s): {ok} ok / {errs} errors in {:.2} s -> {goodput:.0} reads/s",
+            wall.as_secs_f64()
+        );
+        if goodput < last {
+            monotonic = false;
+        }
+        last = goodput;
+        rows.push(covidkg::json::obj! {
+            "replicas" => fleet,
+            "ok" => ok as i64,
+            "errors" => errs as i64,
+            "wall_secs" => wall.as_secs_f64(),
+            "goodput_rps" => goodput,
+        });
+        for node in &mut nodes {
+            node.shutdown();
+        }
+    }
+    if !monotonic {
+        eprintln!("warning: goodput did not scale monotonically with replica count");
+    }
+
+    let report = covidkg::json::obj! {
+        "bench" => "repl",
+        "clients" => clients,
+        "reads_per_client" => per_client,
+        "service_floor_us" => SERVICE_FLOOR.as_micros() as i64,
+        "monotonic" => monotonic,
+        "scaling" => covidkg::json::Value::Array(rows),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_repl.json");
+    std::fs::write(path, report.to_json_pretty() + "\n")
+        .map_err(|e| format!("write BENCH_repl.json: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// Closed-loop read clients hammering a [`ReadRouter`] in-process.
+fn routed_loop(
+    router: &Arc<ReadRouter>,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> Result<(u64, u64, Duration), String> {
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let router = Arc::clone(router);
+        let queries = covidkg::corpus::query_workload(16, seed.wrapping_add(c as u64));
+        handles.push(std::thread::spawn(move || {
+            let mut ok = 0u64;
+            let mut errs = 0u64;
+            for i in 0..per_client {
+                let q = queries[i % queries.len()].clone();
+                match router.search(&SearchMode::AllFields(q), 0, 0, Duration::from_secs(5)) {
+                    Ok(_) => ok += 1,
+                    Err(_) => errs += 1,
+                }
+            }
+            (ok, errs)
+        }));
+    }
+    let mut ok = 0u64;
+    let mut errs = 0u64;
+    for h in handles {
+        let (o, e) = h.join().map_err(|_| "bench client panicked".to_string())?;
+        ok += o;
+        errs += e;
+    }
+    Ok((ok, errs, t0.elapsed()))
+}
+
+/// The `net-table` body: regenerate the wire-benchmark table in
+/// `EXPERIMENTS.md` between its marker comments from `BENCH_net.json`,
+/// so the prose and the committed artifact cannot drift apart.
+fn net_table() -> Result<(), String> {
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_net.json");
+    let exp_path = concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md");
+    let raw = std::fs::read_to_string(bench_path)
+        .map_err(|e| format!("read {bench_path}: {e} (run `covidkg net-bench` first)"))?;
+    let bench = covidkg::json::parse(&raw).map_err(|e| format!("parse BENCH_net.json: {e}"))?;
+    let table = render_net_table(&bench);
+    let doc = std::fs::read_to_string(exp_path).map_err(|e| format!("read {exp_path}: {e}"))?;
+    const BEGIN: &str = "<!-- net-table:begin -->";
+    const END: &str = "<!-- net-table:end -->";
+    let start = doc
+        .find(BEGIN)
+        .ok_or(format!("EXPERIMENTS.md is missing the {BEGIN} marker"))?
+        + BEGIN.len();
+    let end = doc
+        .find(END)
+        .ok_or(format!("EXPERIMENTS.md is missing the {END} marker"))?;
+    if end < start {
+        return Err("net-table markers are out of order in EXPERIMENTS.md".into());
+    }
+    let updated = format!("{}\n{table}{}", &doc[..start], &doc[end..]);
+    std::fs::write(exp_path, updated).map_err(|e| format!("write {exp_path}: {e}"))?;
+    println!("updated the wire table in EXPERIMENTS.md from BENCH_net.json");
+    Ok(())
+}
+
+/// Render the markdown rows of the wire-benchmark table.
+fn render_net_table(bench: &covidkg::json::Value) -> String {
+    use covidkg::json::Value;
+    let num = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_f64());
+    let int = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_i64()).unwrap_or(0);
+    let us = |v: Option<f64>| match v {
+        None => "—".to_string(),
+        Some(us) if us >= 1000.0 => format!("{:.1} ms", us / 1000.0),
+        Some(us) => format!("{us:.0} µs"),
+    };
+    let mut out = String::from(
+        "| phase | offered | ok / sent | cache hits | p50 | p99 |\n|---|---|---|---|---|---|\n",
+    );
+    if let Some(rtt) = num(bench, "rtt_us") {
+        out.push_str(&format!(
+            "| wire RTT (1 conn, cached query) | — | — | warm | {} | — |\n",
+            us(Some(rtt))
+        ));
+    }
+    if let Some(closed) = bench.get("closed") {
+        out.push_str(&format!(
+            "| closed loop ({} conns, mixed engines) | max | {}/{} | {} | {} | {} |\n",
+            int(bench, "clients"),
+            int(closed, "ok"),
+            int(closed, "sent"),
+            int(closed, "cache_hits"),
+            us(num(closed, "p50_us")),
+            us(num(closed, "p99_us")),
+        ));
+    }
+    if let Some(Value::Array(open)) = bench.get("open") {
+        for r in open {
+            out.push_str(&format!(
+                "| open loop | {:.0} req/s | {}/{} | {} | {} | {} |\n",
+                num(r, "offered_rate").unwrap_or(0.0),
+                int(r, "ok"),
+                int(r, "sent"),
+                int(r, "cache_hits"),
+                us(num(r, "p50_us")),
+                us(num(r, "p99_us")),
+            ));
+        }
+    }
+    out
 }
 
 /// The `serve-bench` body: a sequential cold-vs-warm cache probe, then a
@@ -478,6 +938,16 @@ fn net_bench(http: &HttpServer, args: &Args) -> Result<(), String> {
     criterion.bench_function("wire-rtt/cached-search", |b| {
         b.iter(|| conn.get("/search/all-fields?q=vaccine&page=0").unwrap())
     });
+    // A plain median over a short burst for the JSON artifact (the
+    // criterion harness above prints its own calibrated estimate).
+    let mut rtts: Vec<Duration> = Vec::with_capacity(64);
+    for _ in 0..64 {
+        let t = Instant::now();
+        conn.get("/search/all-fields?q=vaccine&page=0")
+            .map_err(|e| format!("rtt probe: {e}"))?;
+        rtts.push(t.elapsed());
+    }
+    let rtt_p50 = median(&mut rtts);
 
     // Phase 1 — closed loop: N keep-alive connections at full tilt.
     let closed = covidkg::net::run_closed_loop(
@@ -513,6 +983,7 @@ fn net_bench(http: &HttpServer, args: &Args) -> Result<(), String> {
         "bench" => "net",
         "clients" => args.clients.max(1),
         "requests_per_client" => args.requests.max(1),
+        "rtt_us" => rtt_p50.as_secs_f64() * 1e6,
         "closed" => closed.to_json(),
         "open" => covidkg::json::Value::Array(
             open_reports.iter().map(|r| r.to_json()).collect()
