@@ -1,0 +1,91 @@
+//! Work accounting for the ANN tier.
+//!
+//! Two granularities: [`QueryStats`] is returned per search so callers
+//! (the bench, the property tests) can compare the work done against
+//! the brute-force scan, and [`AnnMetrics`] accumulates the same
+//! counters across the index lifetime with lock-free atomics for the
+//! `/metrics` exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Work done by one search: the honest cost accounting behind the
+/// "≥ 5× fewer distance evaluations than brute force" claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Dot products computed (each one touches one stored vector; the
+    /// brute-force equivalent is the live index size).
+    pub distance_evals: u64,
+    /// Beam-search expansions (nodes whose adjacency list was walked).
+    pub hops: u64,
+    /// Candidates resident in the base-layer beam when the search
+    /// finished (bounded by `ef_search`).
+    pub candidates: u64,
+}
+
+/// Cumulative index-lifetime counters (atomics: searches run `&self`).
+#[derive(Debug, Default)]
+pub struct AnnMetrics {
+    searches: AtomicU64,
+    distance_evals: AtomicU64,
+    hops: AtomicU64,
+    candidates: AtomicU64,
+    inserts: AtomicU64,
+    build_distance_evals: AtomicU64,
+}
+
+impl AnnMetrics {
+    pub(crate) fn record_search(&self, stats: &QueryStats) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.distance_evals
+            .fetch_add(stats.distance_evals, Ordering::Relaxed);
+        self.hops.fetch_add(stats.hops, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(stats.candidates, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_insert(&self, distance_evals: u64) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.build_distance_evals
+            .fetch_add(distance_evals, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> AnnStats {
+        AnnStats {
+            searches: self.searches.load(Ordering::Relaxed),
+            distance_evals: self.distance_evals.load(Ordering::Relaxed),
+            hops: self.hops.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            build_distance_evals: self.build_distance_evals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of [`AnnMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnStats {
+    /// Searches served.
+    pub searches: u64,
+    /// Query-time distance evaluations, summed across searches.
+    pub distance_evals: u64,
+    /// Beam expansions, summed across searches.
+    pub hops: u64,
+    /// Base-layer beam occupancy, summed across searches.
+    pub candidates: u64,
+    /// Vectors inserted over the index lifetime (including replaces).
+    pub inserts: u64,
+    /// Distance evaluations spent building/maintaining the graph.
+    pub build_distance_evals: u64,
+}
+
+impl AnnStats {
+    /// Mean distance evaluations per search (0 when none ran).
+    pub fn evals_per_search(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            self.distance_evals as f64 / self.searches as f64
+        }
+    }
+}

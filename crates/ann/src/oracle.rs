@@ -1,0 +1,103 @@
+//! The exact brute-force oracle.
+//!
+//! Every recall number in this repo is measured against a full cosine
+//! scan — either over arbitrary `(id, vector)` pairs ([`exact_top_k`])
+//! or over the vectors an index actually stores
+//! ([`HnswIndex::exact_search`]). Both use the same `(sim desc, id
+//! asc)` order as the graph search, so recall@k is a straight set
+//! intersection with no tie-break ambiguity.
+
+use crate::hnsw::{normalize, HnswIndex};
+
+/// Exact top-`k` by cosine similarity over `(id, vector)` pairs.
+///
+/// Vectors need not be normalized: the query is normalized once and
+/// each item is normalized on the fly, so the scores are true cosines.
+pub fn exact_top_k<'a, I>(items: I, query: &[f32], k: usize) -> Vec<(String, f32)>
+where
+    I: IntoIterator<Item = (&'a str, &'a [f32])>,
+{
+    let q = normalize(query);
+    let mut scored: Vec<(String, f32)> = items
+        .into_iter()
+        .map(|(id, v)| {
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let dot: f32 = q.iter().zip(v).map(|(a, b)| a * b).sum();
+            let sim = if norm == 0.0 { 0.0 } else { dot / norm };
+            (id.to_string(), sim)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+impl HnswIndex {
+    /// Exact top-`k` over this index's live vectors: the ground truth
+    /// [`HnswIndex::search`] is measured against. Returns the hits and
+    /// the distance evaluations spent (= live vector count), so the
+    /// bench can report the work ratio honestly.
+    pub fn exact_search(&self, query: &[f32], k: usize) -> (Vec<(String, f32)>, u64) {
+        let q = normalize(query);
+        let dims = self.dims();
+        let mut evals = 0u64;
+        let mut scored: Vec<(String, f32)> = self
+            .ids
+            .iter()
+            .enumerate()
+            .filter(|&(node, _)| self.alive[node])
+            .map(|(node, id)| {
+                evals += 1;
+                let row = &self.vectors[node * dims..(node + 1) * dims];
+                let sim: f32 = q.iter().zip(row).map(|(a, b)| a * b).sum();
+                (id.clone(), sim)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        (scored, evals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnsw::HnswConfig;
+
+    #[test]
+    fn exact_top_k_orders_by_cosine_then_id() {
+        let items: Vec<(&str, &[f32])> = vec![
+            ("far", &[-1.0, 0.0]),
+            ("b-near", &[2.0, 0.0]),
+            ("a-near", &[5.0, 0.0]),
+            ("side", &[0.0, 1.0]),
+        ];
+        let top = exact_top_k(items, &[1.0, 0.0], 3);
+        let ids: Vec<&str> = top.iter().map(|(id, _)| id.as_str()).collect();
+        // Both near vectors are cosine 1.0 (magnitude must not matter).
+        assert_eq!(ids, ["a-near", "b-near", "side"]);
+        assert!((top[0].1 - 1.0).abs() < 1e-6);
+        assert!(top[2].1.abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_search_skips_tombstones_and_counts_evals() {
+        let mut index = HnswIndex::new(2, HnswConfig::default());
+        index.insert("a", &[1.0, 0.0]);
+        index.insert("b", &[0.9, 0.1]);
+        index.insert("c", &[0.0, 1.0]);
+        index.remove("b");
+        let (hits, evals) = index.exact_search(&[1.0, 0.0], 10);
+        assert_eq!(evals, 2, "one eval per live vector");
+        let ids: Vec<&str> = hits.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, ["a", "c"]);
+    }
+
+    #[test]
+    fn zero_vectors_score_zero() {
+        let items: Vec<(&str, &[f32])> = vec![("zero", &[0.0, 0.0]), ("x", &[1.0, 0.0])];
+        let top = exact_top_k(items, &[1.0, 0.0], 2);
+        assert_eq!(top[0].0, "x");
+        assert_eq!(top[1], ("zero".to_string(), 0.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Seeded recall properties for the HNSW tier.
+//!
+//! Each case draws a random corpus shape (size, dimensionality, beam
+//! width), builds an index, and measures recall@10 against the exact
+//! brute-force oracle over a fixed query workload. Failures shrink to a
+//! minimal corpus size via `covidkg_rand::prop::run_shrink` and print a
+//! replay seed. The floor (0.95) matches the acceptance bar the bench
+//! enforces on the real document embeddings.
+
+use covidkg_ann::{HnswConfig, HnswIndex};
+use covidkg_rand::rngs::SmallRng;
+use covidkg_rand::{prop, Rng, SeedableRng};
+
+const RECALL_FLOOR: f64 = 0.95;
+const QUERIES: usize = 10;
+const K: usize = 10;
+
+#[derive(Debug, Clone)]
+struct Case {
+    n: usize,
+    dims: usize,
+    ef_search: usize,
+    seed: u64,
+}
+
+fn corpus(n: usize, dims: usize, seed: u64) -> Vec<(String, Vec<f32>)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let v: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            (format!("doc-{i:04}"), v)
+        })
+        .collect()
+}
+
+fn build(items: &[(String, Vec<f32>)], dims: usize, ef_search: usize) -> HnswIndex {
+    let config = HnswConfig { ef_search, ..HnswConfig::default() };
+    HnswIndex::build(
+        dims,
+        config,
+        items.iter().map(|(id, v)| (id.as_str(), v.as_slice())),
+    )
+}
+
+/// Mean recall@K of `index` against its own exact oracle, over a seeded
+/// query workload drawn from the same distribution as the corpus.
+fn mean_recall(index: &HnswIndex, dims: usize, query_seed: u64) -> f64 {
+    let queries = corpus(QUERIES, dims, query_seed);
+    let mut total = 0.0;
+    for (_, q) in &queries {
+        let (approx, _) = index.search(q, K);
+        let (exact, _) = index.exact_search(q, K);
+        if exact.is_empty() {
+            continue;
+        }
+        let truth: std::collections::HashSet<&str> =
+            exact.iter().map(|(id, _)| id.as_str()).collect();
+        let hit = approx.iter().filter(|(id, _)| truth.contains(id.as_str())).count();
+        total += hit as f64 / exact.len() as f64;
+    }
+    total / QUERIES as f64
+}
+
+#[test]
+fn recall_at_10_beats_floor_across_random_corpora() {
+    prop::run_shrink(
+        24,
+        |rng| Case {
+            n: rng.gen_range(30usize..150),
+            dims: rng.gen_range(4usize..16),
+            ef_search: rng.gen_range(40usize..80),
+            seed: rng.gen(),
+        },
+        |case| {
+            // Shrink toward smaller corpora first, then narrower beams;
+            // keep dims/seed fixed so the counterexample stays replayable.
+            let mut out = Vec::new();
+            for n in prop::shrink_usize(case.n) {
+                if n >= K {
+                    out.push(Case { n, ..case.clone() });
+                }
+            }
+            for ef in prop::shrink_usize(case.ef_search) {
+                if ef >= K {
+                    out.push(Case { ef_search: ef, ..case.clone() });
+                }
+            }
+            out
+        },
+        |case| {
+            let items = corpus(case.n, case.dims, case.seed);
+            let index = build(&items, case.dims, case.ef_search);
+            let recall = mean_recall(&index, case.dims, case.seed ^ 0x9e37);
+            if recall < RECALL_FLOOR {
+                return Err(format!(
+                    "recall@{K} = {recall:.3} < {RECALL_FLOOR} (n={}, dims={}, ef={})",
+                    case.n, case.dims, case.ef_search
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Building everything up front and growing the same corpus one insert
+/// at a time must land on the same recall floor: incremental sync off
+/// the mutation log is not allowed to degrade the graph.
+#[test]
+fn incremental_insert_matches_bulk_build_recall() {
+    prop::run_shrink(
+        12,
+        |rng| Case {
+            n: rng.gen_range(40usize..120),
+            dims: rng.gen_range(6usize..14),
+            ef_search: rng.gen_range(40usize..80),
+            seed: rng.gen(),
+        },
+        |case| {
+            prop::shrink_usize(case.n)
+                .into_iter()
+                .filter(|&n| n >= 2 * K)
+                .map(|n| Case { n, ..case.clone() })
+                .collect()
+        },
+        |case| {
+            let items = corpus(case.n, case.dims, case.seed);
+            let bulk = build(&items, case.dims, case.ef_search);
+            // Grow from half the corpus, inserting the rest one by one
+            // — the shape an incremental ingest sync produces.
+            let mut grown = build(&items[..case.n / 2], case.dims, case.ef_search);
+            for (id, v) in &items[case.n / 2..] {
+                grown.insert(id, v);
+            }
+            if grown.len() != bulk.len() {
+                return Err(format!("size drift: {} vs {}", grown.len(), bulk.len()));
+            }
+            let qseed = case.seed ^ 0x51ed;
+            let bulk_recall = mean_recall(&bulk, case.dims, qseed);
+            let grown_recall = mean_recall(&grown, case.dims, qseed);
+            for (label, recall) in [("bulk", bulk_recall), ("incremental", grown_recall)] {
+                if recall < RECALL_FLOOR {
+                    return Err(format!(
+                        "{label} recall@{K} = {recall:.3} < {RECALL_FLOOR} \
+                         (n={}, dims={}, ef={})",
+                        case.n, case.dims, case.ef_search
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Replaces and deletes keep the floor too: tombstones widen the beam
+/// instead of silently eating recall.
+#[test]
+fn recall_survives_tombstones() {
+    let dims = 10;
+    let items = corpus(120, dims, 0xD00D);
+    let mut index = build(&items, dims, 48);
+    // Delete a third, replace a handful with fresh vectors.
+    for (id, _) in items.iter().take(40) {
+        assert!(index.remove(id));
+    }
+    let fresh = corpus(8, dims, 0xFEED);
+    for (i, (_, v)) in fresh.iter().enumerate() {
+        index.insert(&items[50 + i].0, v);
+    }
+    assert_eq!(index.len(), 80);
+    assert_eq!(index.tombstones(), 48);
+    let recall = mean_recall(&index, dims, 0xBEEF);
+    assert!(
+        recall >= RECALL_FLOOR,
+        "post-churn recall@{K} = {recall:.3} < {RECALL_FLOOR}"
+    );
+}

@@ -22,11 +22,13 @@
 //!   interrogate it (search, KG browsing, meta-profiles, stats).
 
 pub mod bias;
+pub mod dense;
 pub mod registry;
 pub mod system;
 pub mod training;
 
 pub use bias::{interrogate, BiasReport};
+pub use dense::{build_ann, doc_embedding, sync_ann};
 pub use registry::ModelRegistry;
 pub use system::{CovidKg, CovidKgConfig, IngestReport, PreparedIngest};
 pub use training::{

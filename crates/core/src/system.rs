@@ -18,9 +18,12 @@ use covidkg_kg::{
     KnowledgeGraph, MetaProfile, ScriptedExpert,
 };
 use covidkg_ml::model::{TupleClassifier, TupleClassifierConfig};
+use covidkg_ann::{HnswConfig, HnswIndex};
 use covidkg_ml::svm::{Svm, SvmConfig};
 use covidkg_ml::{kmeans, Word2Vec, Word2VecConfig};
-use covidkg_search::{RenderCache, SearchEngine, SearchMode, SearchPage};
+use covidkg_search::{
+    dense_search, DenseMode, HybridConfig, RenderCache, SearchEngine, SearchMode, SearchPage,
+};
 use covidkg_store::{Collection, CollectionConfig, Database, StoreError};
 use covidkg_tables::{detect_orientation, parse_tables, row_features, Orientation, Preprocessor};
 use covidkg_text::tokenize_lower;
@@ -176,6 +179,9 @@ pub struct PreparedIngest {
     observations: Vec<Observation>,
     /// Report counter deltas accumulated during classification.
     delta: IngestReport,
+    /// Ids of the stored publications — inserts never bump the store's
+    /// mutation epoch, so the ANN sync needs them listed explicitly.
+    new_ids: Vec<String>,
 }
 
 impl PreparedIngest {
@@ -195,6 +201,10 @@ pub struct CovidKg {
     profiles: Vec<MetaProfile>,
     registry: ModelRegistry,
     embeddings: Word2Vec,
+    /// Dense retrieval tier: HNSW over title+abstract embeddings.
+    ann: HnswIndex,
+    /// Mutation-epoch watermark the ANN index is synced to.
+    ann_epoch: u64,
     report: IngestReport,
     /// Trained metadata classifier, kept for incremental ingest (№12).
     classifier: TrainedClassifier,
@@ -305,6 +315,13 @@ impl CovidKg {
         };
         registry.publish("metadata-classifier", config.classifier.name(), classifier_payload)?;
 
+        // The dense retrieval tier: HNSW over title+abstract embeddings,
+        // published alongside the other trained artifacts so reopen can
+        // skip the rebuild.
+        let ann = crate::dense::build_ann(&publications, &embeddings, HnswConfig::default());
+        registry.publish("ann-hnsw", "hnsw", ann.save_text())?;
+        let ann_epoch = publications.mutation_epoch();
+
         let search = SearchEngine::new(Arc::clone(&publications))
             .with_render_cache(Arc::new(RenderCache::new(RENDER_CACHE_CAP)));
         let system = CovidKg {
@@ -316,6 +333,8 @@ impl CovidKg {
             profiles,
             registry,
             embeddings,
+            ann,
+            ann_epoch,
             report,
             classifier,
             fusion_memory,
@@ -351,6 +370,9 @@ impl CovidKg {
                 }
             }
         }
+        // Re-publish the ANN index so the durable copy reflects every
+        // ingest-time insert/replace/delete applied since the last persist.
+        self.registry.publish("ann-hnsw", "hnsw", self.ann.save_text())?;
         self.db.snapshot_all()?;
         Ok(())
     }
@@ -452,6 +474,19 @@ impl CovidKg {
             observations: observations.len(),
             ..IngestReport::default()
         };
+        // The ANN index restores from its published payload when it still
+        // matches the recovered store (WAL replay may have advanced the
+        // corpus past the last persist); otherwise rebuild from scratch.
+        let ann = registry
+            .fetch("ann-hnsw")
+            .and_then(|t| HnswIndex::load_text(&t))
+            .filter(|ann| {
+                ann.len() == publications.len() && ann.dims() == embeddings.dims()
+            })
+            .unwrap_or_else(|| {
+                crate::dense::build_ann(&publications, &embeddings, HnswConfig::default())
+            });
+        let ann_epoch = publications.mutation_epoch();
         let search = SearchEngine::new(Arc::clone(&publications))
             .with_render_cache(Arc::new(RenderCache::new(RENDER_CACHE_CAP)));
         Ok(CovidKg {
@@ -463,6 +498,8 @@ impl CovidKg {
             profiles,
             registry,
             embeddings,
+            ann,
+            ann_epoch,
             report,
             classifier,
             // Correction memory is session-scoped; the expert relearns
@@ -508,10 +545,15 @@ impl CovidKg {
             self.publications.update_spec(paper_id, update)?;
         }
         delta.subtrees = trees.len();
+        let new_ids = docs
+            .iter()
+            .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_string))
+            .collect();
         Ok(PreparedIngest {
             trees,
             observations,
             delta,
+            new_ids,
         })
     }
 
@@ -524,6 +566,7 @@ impl CovidKg {
             trees,
             observations: new_obs,
             delta,
+            new_ids,
         } = prepared;
         self.report.publications += delta.publications;
         self.report.tables_parsed += delta.tables_parsed;
@@ -558,6 +601,15 @@ impl CovidKg {
         self.observations.extend(new_obs);
         self.report.observations = self.observations.len();
         self.profiles = build_meta_profiles(&self.observations);
+        // Keep the dense tier fresh: incremental inserts for the new
+        // publications, mutation-log replay for replaces/deletes.
+        self.ann_epoch = crate::dense::sync_ann(
+            &mut self.ann,
+            self.ann_epoch,
+            &self.publications,
+            &self.embeddings,
+            &new_ids,
+        );
         self.generation += 1;
         Ok(added)
     }
@@ -610,6 +662,10 @@ impl CovidKg {
         self.report.kg_nodes = self.kg.len();
         self.report.observations = observations.len();
         self.observations = observations;
+        // Replication applies frames beneath this system with no new-id
+        // list, so the dense tier rebuilds from the store wholesale.
+        self.ann = crate::dense::build_ann(&self.publications, &self.embeddings, *self.ann.config());
+        self.ann_epoch = self.publications.mutation_epoch();
         self.generation += 1;
         Ok(())
     }
@@ -672,6 +728,26 @@ impl CovidKg {
     /// Run one of the three search engines (№9/10).
     pub fn search(&self, mode: &SearchMode, page: usize) -> SearchPage {
         self.search.search(mode, page)
+    }
+
+    /// Run a dense retrieval mode: pure-semantic ANN neighbors or the
+    /// hybrid lexical+dense reciprocal-rank fusion. This is the single
+    /// implementation every surface (CLI, serve layer, HTTP front-end)
+    /// calls, so wire responses are byte-identical to in-process pages.
+    pub fn search_dense(&self, mode: &DenseMode, page: usize) -> SearchPage {
+        dense_search(
+            &self.search,
+            &self.ann,
+            &self.embeddings,
+            mode,
+            page,
+            &HybridConfig::default(),
+        )
+    }
+
+    /// The dense retrieval tier's HNSW index.
+    pub fn ann(&self) -> &HnswIndex {
+        &self.ann
     }
 
     /// The knowledge graph.
@@ -997,10 +1073,37 @@ mod tests {
         assert!(r.fusion.auto_fused > 0);
         assert!(!system.profiles().is_empty(), "side-effect tables exist");
         assert!(r.cluster_purity > 0.2, "purity {}", r.cluster_purity);
-        // Released artifacts present: embeddings + classifier + featurizer.
+        // Released artifacts present: embeddings + classifier +
+        // featurizer + the dense-tier ANN index.
         assert!(system.registry().fetch_embeddings("cord19-wdc-w2v").is_some());
         assert!(system.registry().fetch_svm("metadata-classifier").is_some());
-        assert_eq!(system.registry().list().len(), 3);
+        assert!(system.registry().fetch("ann-hnsw").is_some());
+        assert_eq!(system.registry().list().len(), 4);
+        assert_eq!(system.ann().len(), 36, "every publication indexed");
+    }
+
+    #[test]
+    fn dense_modes_serve_pages_and_track_ingest() {
+        let mut system = CovidKg::build(small_config()).unwrap();
+        let sem = system.search_dense(&DenseMode::Semantic("vaccine".into()), 0);
+        assert!(sem.total > 0, "semantic neighbors for an in-vocab query");
+        for w in sem.results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let hyb = system.search_dense(&DenseMode::Hybrid("vaccine".into()), 0);
+        assert!(hyb.total > 0);
+        // Hybrid keeps every lexical page-one hit in its candidate set.
+        let lexical = system.search(&SearchMode::AllFields("vaccine".into()), 0);
+        assert!(hyb.total >= lexical.results.len());
+        // Ingest keeps the ANN tier in sync without a rebuild.
+        let before = system.ann().len();
+        let new_pubs: Vec<_> = covidkg_corpus::CorpusGenerator::with_size(48, 42)
+            .generate()
+            .into_iter()
+            .skip(36)
+            .collect();
+        system.ingest(&new_pubs).unwrap();
+        assert_eq!(system.ann().len(), before + 12);
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub struct Word2Vec {
     input: Matrix,
     /// Output (context) embeddings — kept for fine-tuning continuation.
     output: Matrix,
+    /// L2-normalized copy of `input`, recomputed once after every
+    /// training pass (and on load) so cosine lookups are a single dot
+    /// product per row instead of renormalizing the whole vocabulary on
+    /// every query. `input` stays raw for gradient updates.
+    normalized: Matrix,
 }
 
 impl Word2Vec {
@@ -95,8 +100,10 @@ impl Word2Vec {
             words,
             input,
             output,
+            normalized: Matrix::zeros(v, config.dims),
         };
         model.fine_tune(sentences, config, &mut rng);
+        model.renormalize();
         model
     }
 
@@ -107,6 +114,24 @@ impl Word2Vec {
     pub fn continue_training(&mut self, sentences: &[Vec<String>], config: &Word2VecConfig) {
         let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(1));
         self.fine_tune(sentences, config, &mut rng);
+        self.renormalize();
+    }
+
+    /// Rebuild the unit-norm row cache from the raw `input` matrix.
+    /// Zero rows stay zero, so their dot product with anything is 0 —
+    /// the same value [`cosine`] reports for a zero vector.
+    fn renormalize(&mut self) {
+        let (rows, cols) = (self.input.rows(), self.input.cols());
+        if self.normalized.rows() != rows || self.normalized.cols() != cols {
+            self.normalized = Matrix::zeros(rows, cols);
+        }
+        for i in 0..rows {
+            let row = self.input.row(i);
+            let norm = crate::matrix::vecops::dot(row, row).sqrt();
+            let inv = if norm == 0.0 { 0.0 } else { 1.0 / norm };
+            let row: Vec<f32> = row.iter().map(|x| x * inv).collect();
+            self.normalized.row_mut(i).copy_from_slice(&row);
+        }
     }
 
     fn fine_tune(&mut self, sentences: &[Vec<String>], config: &Word2VecConfig, rng: &mut SmallRng) {
@@ -248,13 +273,32 @@ impl Word2Vec {
         Some(cosine(self.embed(a)?, self.embed(b)?))
     }
 
+    /// The unit-norm embedding for a token, if in vocabulary — what the
+    /// ANN tier indexes so query-time similarity is a plain dot product.
+    pub fn normalized_embed(&self, token: &str) -> Option<&[f32]> {
+        self.vocab.get(token).map(|&i| self.normalized.row(i))
+    }
+
     /// `k` nearest vocabulary words to a query vector.
+    ///
+    /// This is the exact brute-force oracle: every vocabulary row is
+    /// scored. The rows are pre-normalized once after training, so the
+    /// scan costs one dot product per row (the query is normalized once
+    /// per call) while still reporting true cosine similarities.
     pub fn nearest(&self, query: &[f32], k: usize) -> Vec<(String, f32)> {
+        let qnorm = crate::matrix::vecops::dot(query, query).sqrt();
+        let inv = if qnorm == 0.0 { 0.0 } else { 1.0 / qnorm };
+        let unit: Vec<f32> = query.iter().map(|x| x * inv).collect();
         let mut scored: Vec<(String, f32)> = self
             .words
             .iter()
             .enumerate()
-            .map(|(i, w)| (w.clone(), cosine(query, self.input.row(i))))
+            .map(|(i, w)| {
+                (
+                    w.clone(),
+                    crate::matrix::vecops::dot(&unit, self.normalized.row(i)),
+                )
+            })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(k);
@@ -300,12 +344,15 @@ impl Word2Vec {
             .enumerate()
             .map(|(i, w)| (w.clone(), i))
             .collect();
-        Some(Word2Vec {
+        let mut model = Word2Vec {
             vocab,
             words,
             input: Matrix::from_vec(n, dims, data),
             output: Matrix::zeros(n, dims),
-        })
+            normalized: Matrix::zeros(n, dims),
+        };
+        model.renormalize();
+        Some(model)
     }
 }
 
@@ -378,6 +425,30 @@ mod tests {
         let near = model.nearest(&q, 3);
         assert_eq!(near[0].0, "icu");
         assert!((near[0].1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nearest_matches_per_query_renormalization() {
+        // The precomputed unit rows must report the same similarities as
+        // renormalizing every row per query (the old implementation).
+        let model = Word2Vec::train(&toy_corpus(8), &Word2VecConfig::default());
+        let q = model.embed_phrase(&["icu".into(), "oxygen".into()]);
+        for (word, score) in model.nearest(&q, model.vocab_size()) {
+            let expected = cosine(&q, model.embed(&word).unwrap());
+            assert!(
+                (score - expected).abs() < 1e-5,
+                "{word}: {score} vs {expected}"
+            );
+        }
+        // The unit rows really are unit-length (or zero).
+        for w in ["icu", "pfizer", "dose"] {
+            let row = model.normalized_embed(w).unwrap();
+            let norm = crate::matrix::vecops::dot(row, row).sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "{w}: |row| = {norm}");
+        }
+        // Zero queries score 0 everywhere, like `cosine`.
+        let zeros = vec![0.0f32; model.dims()];
+        assert!(model.nearest(&zeros, 3).iter().all(|(_, s)| *s == 0.0));
     }
 
     #[test]

@@ -16,8 +16,11 @@ pub const MAX_REQUEST_LINE: usize = 8 * 1024;
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Cap on individual header count.
 pub const MAX_HEADERS: usize = 64;
-/// Largest accepted `Content-Length` body.
+/// Largest accepted body, whether declared via `Content-Length` or
+/// accumulated across `Transfer-Encoding: chunked` chunks.
 pub const MAX_BODY_BYTES: usize = 64 * 1024;
+/// Longest accepted chunk-size line (hex size + optional extensions).
+pub const MAX_CHUNK_LINE: usize = 64;
 
 /// A fully parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,9 +143,13 @@ pub enum ParseError {
     BadHeader(String),
     /// Unparseable or conflicting `Content-Length` → 400.
     BadContentLength,
-    /// `Transfer-Encoding` (chunked or otherwise) is recognized but not
-    /// implemented → 501. Distinct from malformed input: the request is
-    /// well-formed HTTP, this server just doesn't decode such bodies.
+    /// Malformed chunked framing (bad size line, missing CRLF after
+    /// chunk data, over-long size line) → 400.
+    BadChunk,
+    /// A `Transfer-Encoding` other than plain `chunked` is recognized
+    /// but not implemented → 501. Distinct from malformed input: the
+    /// request is well-formed HTTP, this server just doesn't decode
+    /// such bodies.
     UnsupportedTransferEncoding,
 }
 
@@ -154,7 +161,8 @@ impl ParseError {
             ParseError::BodyTooLarge => 413,
             ParseError::BadRequestLine(_)
             | ParseError::BadHeader(_)
-            | ParseError::BadContentLength => 400,
+            | ParseError::BadContentLength
+            | ParseError::BadChunk => 400,
             ParseError::UnsupportedTransferEncoding => 501,
         }
     }
@@ -169,6 +177,7 @@ impl std::fmt::Display for ParseError {
             ParseError::BadRequestLine(l) => write!(f, "malformed request line: {l:?}"),
             ParseError::BadHeader(l) => write!(f, "malformed header: {l:?}"),
             ParseError::BadContentLength => write!(f, "bad content-length"),
+            ParseError::BadChunk => write!(f, "malformed chunked framing"),
             ParseError::UnsupportedTransferEncoding => {
                 write!(f, "transfer-encoding not supported")
             }
@@ -178,26 +187,54 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Everything parsed before the body: request line + header block.
+#[derive(Debug, Default)]
+struct Head {
+    method: String,
+    target: String,
+    http11: bool,
+    headers: Vec<(String, String)>,
+}
+
+impl Head {
+    fn into_request(self, body: Vec<u8>) -> Request {
+        Request {
+            method: self.method,
+            target: self.target,
+            http11: self.http11,
+            headers: self.headers,
+            body,
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Phase {
     /// Waiting for the CRLF ending the request line.
     Line,
     /// Request line parsed; collecting header lines.
     Headers {
-        method: String,
-        target: String,
-        http11: bool,
-        headers: Vec<(String, String)>,
+        head: Head,
         /// Bytes of header block consumed so far (for the 431 bound).
         header_bytes: usize,
     },
-    /// Headers done; waiting for `needed` body bytes.
-    Body {
-        method: String,
-        target: String,
-        http11: bool,
-        headers: Vec<(String, String)>,
+    /// Headers done; waiting for `needed` `Content-Length` body bytes.
+    Body { head: Head, needed: usize },
+    /// Chunked body: waiting for the CRLF-terminated hex size line.
+    ChunkSize { head: Head, body: Vec<u8> },
+    /// Chunked body: waiting for `needed` data bytes plus their CRLF.
+    ChunkData {
+        head: Head,
+        body: Vec<u8>,
         needed: usize,
+    },
+    /// Terminal chunk seen; discarding trailer lines until the blank.
+    ChunkTrailer {
+        head: Head,
+        body: Vec<u8>,
+        /// Bytes of trailer block consumed so far (431 bound, same
+        /// budget as the header block).
+        trailer_bytes: usize,
     },
     /// A previous feed errored; the connection is poisoned.
     Failed,
@@ -271,20 +308,16 @@ impl Parser {
                     }
                     let (method, target, http11) = parse_request_line(line)?;
                     self.phase = Phase::Headers {
-                        method,
-                        target,
-                        http11,
-                        headers: Vec::new(),
+                        head: Head {
+                            method,
+                            target,
+                            http11,
+                            headers: Vec::new(),
+                        },
                         header_bytes: 0,
                     };
                 }
-                Phase::Headers {
-                    method,
-                    target,
-                    http11,
-                    headers,
-                    header_bytes,
-                } => {
+                Phase::Headers { head, header_bytes } => {
                     let budget = MAX_HEADER_BYTES
                         .checked_sub(*header_bytes)
                         .ok_or(ParseError::HeadersTooLarge)?;
@@ -307,53 +340,126 @@ impl Parser {
                     let line = &line[..line_end];
                     *header_bytes += line_end + 2;
                     if line.is_empty() {
-                        // End of headers: figure out the body.
-                        let method = std::mem::take(method);
-                        let target = std::mem::take(target);
-                        let http11 = *http11;
-                        let headers = std::mem::take(headers);
-                        let needed = body_length(&headers)?;
-                        if needed > MAX_BODY_BYTES {
-                            return Err(ParseError::BodyTooLarge);
-                        }
-                        self.phase = Phase::Body {
-                            method,
-                            target,
-                            http11,
-                            headers,
-                            needed,
+                        // End of headers: figure out the body framing.
+                        let head = std::mem::take(head);
+                        self.phase = match body_framing(&head.headers)? {
+                            Framing::Sized(needed) => {
+                                if needed > MAX_BODY_BYTES {
+                                    return Err(ParseError::BodyTooLarge);
+                                }
+                                Phase::Body { head, needed }
+                            }
+                            Framing::Chunked => Phase::ChunkSize {
+                                head,
+                                body: Vec::new(),
+                            },
                         };
                         continue;
                     }
-                    if headers.len() >= MAX_HEADERS {
+                    if head.headers.len() >= MAX_HEADERS {
                         return Err(ParseError::HeadersTooLarge);
                     }
-                    headers.push(parse_header_line(line)?);
+                    head.headers.push(parse_header_line(line)?);
                 }
-                Phase::Body {
-                    method,
-                    target,
-                    http11,
-                    headers,
-                    needed,
-                } => {
+                Phase::Body { head, needed } => {
                     if self.buf.len() < *needed {
                         return Ok(None);
                     }
                     let body = self.buf.drain(..*needed).collect();
-                    let request = Request {
-                        method: std::mem::take(method),
-                        target: std::mem::take(target),
-                        http11: *http11,
-                        headers: std::mem::take(headers),
-                        body,
-                    };
+                    let request = std::mem::take(head).into_request(body);
                     self.phase = Phase::Line;
                     return Ok(Some(request));
+                }
+                Phase::ChunkSize { head, body } => {
+                    let Some(line_end) = find_crlf(&self.buf, MAX_CHUNK_LINE) else {
+                        if self.buf.len() > MAX_CHUNK_LINE {
+                            return Err(ParseError::BadChunk);
+                        }
+                        return Ok(None);
+                    };
+                    let line = self.buf.drain(..line_end + 2).collect::<Vec<u8>>();
+                    let size = parse_chunk_size(&line[..line_end])?;
+                    if size > MAX_BODY_BYTES as u64
+                        || body.len() + size as usize > MAX_BODY_BYTES
+                    {
+                        return Err(ParseError::BodyTooLarge);
+                    }
+                    let head = std::mem::take(head);
+                    let body = std::mem::take(body);
+                    self.phase = if size == 0 {
+                        Phase::ChunkTrailer {
+                            head,
+                            body,
+                            trailer_bytes: 0,
+                        }
+                    } else {
+                        Phase::ChunkData {
+                            head,
+                            body,
+                            needed: size as usize,
+                        }
+                    };
+                }
+                Phase::ChunkData { head, body, needed } => {
+                    // The chunk's data bytes plus the CRLF that must
+                    // immediately follow them.
+                    if self.buf.len() < *needed + 2 {
+                        return Ok(None);
+                    }
+                    let mut chunk = self.buf.drain(..*needed + 2).collect::<Vec<u8>>();
+                    if chunk[*needed..] != *b"\r\n" {
+                        return Err(ParseError::BadChunk);
+                    }
+                    chunk.truncate(*needed);
+                    body.extend_from_slice(&chunk);
+                    self.phase = Phase::ChunkSize {
+                        head: std::mem::take(head),
+                        body: std::mem::take(body),
+                    };
+                }
+                Phase::ChunkTrailer {
+                    head,
+                    body,
+                    trailer_bytes,
+                } => {
+                    let budget = MAX_HEADER_BYTES
+                        .checked_sub(*trailer_bytes)
+                        .ok_or(ParseError::HeadersTooLarge)?;
+                    let Some(line_end) = find_crlf(&self.buf, budget) else {
+                        if self.buf.len() > budget {
+                            return Err(ParseError::HeadersTooLarge);
+                        }
+                        return Ok(None);
+                    };
+                    if line_end + 2 > budget {
+                        return Err(ParseError::HeadersTooLarge);
+                    }
+                    let line = self.buf.drain(..line_end + 2).collect::<Vec<u8>>();
+                    let line = &line[..line_end];
+                    *trailer_bytes += line_end + 2;
+                    if line.is_empty() {
+                        let request =
+                            std::mem::take(head).into_request(std::mem::take(body));
+                        self.phase = Phase::Line;
+                        return Ok(Some(request));
+                    }
+                    // Trailer fields must be well-formed headers, but the
+                    // router never consults them: validate and discard.
+                    parse_header_line(line)?;
                 }
             }
         }
     }
+}
+
+/// Hex chunk size with optional `;ext=...` extensions (ignored).
+fn parse_chunk_size(line: &[u8]) -> Result<u64, ParseError> {
+    let text = std::str::from_utf8(line).map_err(|_| ParseError::BadChunk)?;
+    let size = text.split(';').next().unwrap_or("").trim_matches([' ', '\t']);
+    if size.is_empty() || !size.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(ParseError::BadChunk);
+    }
+    u64::from_str_radix(size, 16).map_err(|_| ParseError::BadChunk)
 }
 
 /// Position of the first CRLF within the first `max + 2` bytes.
@@ -413,14 +519,40 @@ fn parse_header_line(line: &[u8]) -> Result<(String, String), ParseError> {
     Ok((name.to_string(), value.to_string()))
 }
 
-/// Body length from the header block: 0 without `Content-Length`;
-/// `Transfer-Encoding` and conflicting lengths are rejected.
-fn body_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
-    if headers
+/// How the body is delimited on the wire.
+#[derive(Debug, PartialEq, Eq)]
+enum Framing {
+    /// A `Content-Length` body of exactly this many bytes (0 when the
+    /// header is absent).
+    Sized(usize),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+}
+
+/// Body framing from the header block. Plain `chunked` is decoded; any
+/// other coding (or a chain like `gzip, chunked`) is 501. A request
+/// carrying both `Transfer-Encoding` and `Content-Length` is rejected
+/// outright — the ambiguity is the classic smuggling vector (RFC 9112
+/// §6.1).
+fn body_framing(headers: &[(String, String)]) -> Result<Framing, ParseError> {
+    let codings: Vec<String> = headers
         .iter()
-        .any(|(n, _)| n.eq_ignore_ascii_case("transfer-encoding"))
-    {
-        return Err(ParseError::UnsupportedTransferEncoding);
+        .filter(|(n, _)| n.eq_ignore_ascii_case("transfer-encoding"))
+        .flat_map(|(_, v)| v.split(','))
+        .map(|c| c.trim_matches([' ', '\t']).to_ascii_lowercase())
+        .filter(|c| !c.is_empty())
+        .collect();
+    let has_length = headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("content-length"));
+    if !codings.is_empty() {
+        if has_length {
+            return Err(ParseError::BadContentLength);
+        }
+        if codings != ["chunked"] {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        }
+        return Ok(Framing::Chunked);
     }
     let mut declared: Option<usize> = None;
     for (n, v) in headers {
@@ -432,7 +564,7 @@ fn body_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
             declared = Some(len);
         }
     }
-    Ok(declared.unwrap_or(0))
+    Ok(Framing::Sized(declared.unwrap_or(0)))
 }
 
 /// Standard reason phrase for the statuses this server emits.
@@ -680,13 +812,138 @@ mod tests {
     }
 
     #[test]
-    fn chunked_transfer_encoding_maps_to_501() {
-        // Well-formed HTTP we deliberately don't implement: 501, not 400
-        // (chunked decoding remains an open item — see DESIGN).
+    fn chunked_bodies_decode() {
+        let raw = b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let req = parse_one(raw).unwrap().expect("complete");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"Wikipedia");
+
+        // Empty chunked body, uppercase hex, and chunk extensions.
+        let req = parse_one(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert!(req.body.is_empty());
+        let req = parse_one(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nA;name=v\r\n0123456789\r\n0\r\n\r\n",
+        )
+        .unwrap()
+        .expect("complete");
+        assert_eq!(req.body, b"0123456789");
+    }
+
+    #[test]
+    fn chunked_body_one_byte_at_a_time() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n";
+        let whole = parse_one(raw).unwrap().unwrap();
+        let mut p = Parser::new();
+        let mut split = None;
+        for (i, b) in raw.iter().enumerate() {
+            if let Some(req) = p.feed(std::slice::from_ref(b)).unwrap() {
+                assert_eq!(i, raw.len() - 1, "completes exactly on the last byte");
+                split = Some(req);
+            }
+        }
+        assert_eq!(split.unwrap(), whole);
+        assert_eq!(whole.body, b"abcde");
+    }
+
+    #[test]
+    fn chunked_trailers_are_validated_and_discarded() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\n0\r\nX-Checksum: abc\r\nX-Other: y\r\n\r\n";
+        let req = parse_one(raw).unwrap().expect("complete");
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("X-Checksum"), None, "trailers are not promoted");
+
+        // A malformed trailer line poisons the connection like any
+        // malformed header.
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    0\r\nNoColonHere\r\n\r\n";
+        assert_eq!(parse_one(raw).unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn keep_alive_continues_after_a_chunked_request() {
+        let mut p = Parser::new();
+        let first = p
+            .feed(
+                b"POST /a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                  2\r\nhi\r\n0\r\n\r\nGET /b HTTP/1.1\r\n\r\n",
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.target, "/a");
+        assert_eq!(first.body, b"hi");
+        assert!(!first.wants_close());
+        let second = p.feed(b"").unwrap().unwrap();
+        assert_eq!(second.target, "/b");
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn chunked_bodies_are_size_capped_with_413() {
+        // One chunk over the cap.
+        let raw = format!(
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n{:x}\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse_one(raw.as_bytes()).unwrap_err();
+        assert_eq!(err, ParseError::BodyTooLarge);
+        assert_eq!(err.status(), 413);
+
+        // Many small chunks accumulating past the cap fail as soon as
+        // the size lines alone reveal the overflow.
+        let mut p = Parser::new();
+        p.feed(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap();
+        let chunk = format!("{:x}\r\n{}\r\n", 1024, "a".repeat(1024));
+        let mut err = None;
+        for _ in 0..=(MAX_BODY_BYTES / 1024) {
+            match p.feed(chunk.as_bytes()) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(ParseError::BodyTooLarge));
+    }
+
+    #[test]
+    fn malformed_chunked_framing_maps_to_400() {
         for raw in [
-            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
-            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            // Non-hex size line.
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n"[..],
+            // Empty size line.
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\r\n\r\n",
+            // Chunk data not followed by CRLF.
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nabXX0\r\n\r\n",
+            // Both framings at once: the smuggling vector.
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 5\r\n\r\n",
+        ] {
+            let err = parse_one(raw).expect_err(&format!("{:?}", String::from_utf8_lossy(raw)));
+            assert_eq!(err.status(), 400, "{err:?}");
+        }
+
+        // A size line that never terminates is bounded by MAX_CHUNK_LINE.
+        let mut raw = Vec::from(&b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..]);
+        raw.resize(raw.len() + MAX_CHUNK_LINE + 8, b'1');
+        let err = parse_one(&raw).unwrap_err();
+        assert_eq!(err, ParseError::BadChunk);
+    }
+
+    #[test]
+    fn other_transfer_encodings_still_map_to_501() {
+        // Well-formed HTTP we deliberately don't implement: only plain
+        // `chunked` is decoded; anything else (including a chain that
+        // ends in chunked) stays 501.
+        for raw in [
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"[..],
             b"POST / HTTP/1.1\r\ntransfer-encoding: gzip, chunked\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\nTransfer-Encoding: chunked\r\n\r\n",
         ] {
             let err = parse_one(raw).expect_err(&format!("{:?}", String::from_utf8_lossy(raw)));
             assert_eq!(err, ParseError::UnsupportedTransferEncoding);

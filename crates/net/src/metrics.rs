@@ -115,9 +115,36 @@ pub struct ReplExposition {
     pub shipping: Option<(u64, u64, u64, u64)>,
 }
 
+/// Dense-tier series for the exposition, gathered from the HNSW index
+/// behind the `semantic`/`hybrid` engines.
+#[derive(Debug, Clone, Default)]
+pub struct AnnExposition {
+    /// Live vectors in the index.
+    pub nodes: u64,
+    /// Tombstoned slots awaiting the next rebuild.
+    pub tombstones: u64,
+    /// Top layer of the HNSW graph.
+    pub max_level: u64,
+    /// Queries answered since build.
+    pub searches: u64,
+    /// Dot products evaluated across all queries.
+    pub distance_evals: u64,
+    /// Greedy-descent hops across all queries.
+    pub hops: u64,
+    /// Beam candidates expanded across all queries.
+    pub candidates: u64,
+    /// Incremental inserts applied since build.
+    pub inserts: u64,
+}
+
 /// Render wire + serve stats as a text metrics page, one
 /// `covidkg_<name> <value>` per line, statuses as labelled series.
-pub fn render_metrics(wire: &WireStats, serve: &ServeStats, repl: Option<&ReplExposition>) -> String {
+pub fn render_metrics(
+    wire: &WireStats,
+    serve: &ServeStats,
+    repl: Option<&ReplExposition>,
+    ann: Option<&AnnExposition>,
+) -> String {
     fn secs(d: Option<Duration>) -> f64 {
         d.map(|d| d.as_secs_f64()).unwrap_or(0.0)
     }
@@ -145,6 +172,8 @@ pub fn render_metrics(wire: &WireStats, serve: &ServeStats, repl: Option<&ReplEx
     line("serve_requests_all_fields", serve.requests_all_fields.to_string());
     line("serve_requests_tables", serve.requests_tables.to_string());
     line("serve_requests_scoped", serve.requests_scoped.to_string());
+    line("serve_requests_semantic", serve.requests_semantic.to_string());
+    line("serve_requests_hybrid", serve.requests_hybrid.to_string());
     line("serve_cache_hits", serve.cache_hits.to_string());
     line("serve_cache_misses", serve.cache_misses.to_string());
     line("serve_overloaded", serve.overloaded.to_string());
@@ -182,6 +211,16 @@ pub fn render_metrics(wire: &WireStats, serve: &ServeStats, repl: Option<&ReplEx
             line("repl_snapshot_bootstraps", bootstraps.to_string());
             line("repl_reconnects", reconnects.to_string());
         }
+    }
+    if let Some(ann) = ann {
+        line("ann_nodes", ann.nodes.to_string());
+        line("ann_tombstones", ann.tombstones.to_string());
+        line("ann_max_level", ann.max_level.to_string());
+        line("ann_searches", ann.searches.to_string());
+        line("ann_distance_evals", ann.distance_evals.to_string());
+        line("ann_hops", ann.hops.to_string());
+        line("ann_candidates", ann.candidates.to_string());
+        line("ann_inserts", ann.inserts.to_string());
     }
     out
 }
@@ -225,6 +264,8 @@ mod tests {
             requests_all_fields: 7,
             requests_tables: 0,
             requests_scoped: 0,
+            requests_semantic: 2,
+            requests_hybrid: 5,
             cache_hits: 3,
             cache_misses: 4,
             overloaded: 1,
@@ -251,7 +292,17 @@ mod tests {
             ],
             shipping: Some((1024, 17, 1, 3)),
         };
-        let text = render_metrics(&m.snapshot(), &serve, Some(&repl));
+        let ann = AnnExposition {
+            nodes: 36,
+            tombstones: 2,
+            max_level: 3,
+            searches: 9,
+            distance_evals: 510,
+            hops: 21,
+            candidates: 90,
+            inserts: 4,
+        };
+        let text = render_metrics(&m.snapshot(), &serve, Some(&repl), Some(&ann));
         assert!(text.contains("covidkg_net_connections_accepted 1\n"), "{text}");
         assert!(text.contains("covidkg_net_responses{status=\"200\"} 1\n"));
         assert!(text.contains("covidkg_net_responses{status=\"404\"} 1\n"));
@@ -266,13 +317,25 @@ mod tests {
         assert!(text.contains("covidkg_repl_frames_shipped 17\n"));
         assert!(text.contains("covidkg_repl_snapshot_bootstraps 1\n"));
         assert!(text.contains("covidkg_repl_reconnects 3\n"));
+        assert!(text.contains("covidkg_serve_requests_semantic 2\n"));
+        assert!(text.contains("covidkg_serve_requests_hybrid 5\n"));
+        assert!(text.contains("covidkg_ann_nodes 36\n"));
+        assert!(text.contains("covidkg_ann_tombstones 2\n"));
+        assert!(text.contains("covidkg_ann_max_level 3\n"));
+        assert!(text.contains("covidkg_ann_searches 9\n"));
+        assert!(text.contains("covidkg_ann_distance_evals 510\n"));
+        assert!(text.contains("covidkg_ann_hops 21\n"));
+        assert!(text.contains("covidkg_ann_candidates 90\n"));
+        assert!(text.contains("covidkg_ann_inserts 4\n"));
         // Every line is `name value`.
         for l in text.lines() {
             assert_eq!(l.split(' ').count(), 2, "{l}");
             assert!(l.starts_with("covidkg_"), "{l}");
         }
-        // Without a routing layer the repl series are absent entirely.
-        let text = render_metrics(&m.snapshot(), &serve, None);
+        // Without a routing layer / dense tier the optional series are
+        // absent entirely.
+        let text = render_metrics(&m.snapshot(), &serve, None, None);
         assert!(!text.contains("repl_"), "{text}");
+        assert!(!text.contains("ann_"), "{text}");
     }
 }

@@ -7,10 +7,10 @@
 //! `X-Generation`) so the body never varies with cache state.
 
 use crate::http::{Request, Response};
-use crate::metrics::{render_metrics, ReplExposition, WireStats};
+use crate::metrics::{render_metrics, AnnExposition, ReplExposition, WireStats};
 use covidkg_json::{obj, Value};
 use covidkg_repl::{ReadRouter, ReplMetrics, RouteError};
-use covidkg_search::SearchMode;
+use covidkg_search::{DenseMode, SearchMode};
 use covidkg_serve::{ServeError, Server};
 use std::sync::Arc;
 use std::time::Duration;
@@ -67,16 +67,38 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
     }
     match path {
         "/stats" => stats(server),
-        "/metrics" => Response::text(
-            200,
-            render_metrics(wire, &server.stats(), repl.map(|r| r.exposition()).as_ref()),
-        ),
+        "/metrics" => {
+            let ann = server.with_system(|system| {
+                let ann = system.ann();
+                let s = ann.stats();
+                AnnExposition {
+                    nodes: ann.len() as u64,
+                    tombstones: ann.tombstones() as u64,
+                    max_level: ann.max_level() as u64,
+                    searches: s.searches,
+                    distance_evals: s.distance_evals,
+                    hops: s.hops,
+                    candidates: s.candidates,
+                    inserts: s.inserts,
+                }
+            });
+            Response::text(
+                200,
+                render_metrics(
+                    wire,
+                    &server.stats(),
+                    repl.map(|r| r.exposition()).as_ref(),
+                    Some(&ann),
+                ),
+            )
+        }
         "/" => Response::json(
             200,
             obj! {
                 "service" => "covidkg",
                 "endpoints" => Value::Array(vec![
                     Value::from("/search/{all-fields|tables|scoped}?q=&page="),
+                    Value::from("/search/{semantic|hybrid}?q=&page="),
                     Value::from("/kg/node/{id}"),
                     Value::from("/stats"),
                     Value::from("/metrics"),
@@ -90,7 +112,8 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
 
 /// `GET /search/{engine}?q=&page=` — `scoped` also accepts the
 /// per-field `title`/`abstract`/`caption` parameters, defaulting each
-/// to `q` when absent. Under a [`ReadContext`], `X-Min-Seq` (header) or
+/// to `q` when absent. `semantic` and `hybrid` engage the dense
+/// retrieval tier and always execute locally. Under a [`ReadContext`], `X-Min-Seq` (header) or
 /// `min_seq` (query parameter) demands read-your-writes: the response
 /// comes from a target that has applied at least that sequence, or 503.
 fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Request) -> Response {
@@ -102,6 +125,20 @@ fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Reque
             Err(_) => return error_response(400, "page must be a non-negative integer"),
         },
     };
+    // Dense engines are served by the local HNSW tier: the replica
+    // router only speaks the lexical modes, and the ANN search is
+    // sub-millisecond, so there is nothing to route.
+    let dense = match engine {
+        "semantic" => Some(DenseMode::Semantic(q.clone())),
+        "hybrid" => Some(DenseMode::Hybrid(q.clone())),
+        _ => None,
+    };
+    if let Some(mode) = dense {
+        return match server.search_dense(&mode, page) {
+            Ok(resp) => page_response(&resp),
+            Err(e) => serve_error_response(e),
+        };
+    }
     let mode = match engine {
         "all-fields" => SearchMode::AllFields(q),
         "tables" => SearchMode::Tables(q),
@@ -113,7 +150,9 @@ fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Reque
         other => {
             return error_response(
                 404,
-                &format!("unknown engine {other:?}: expected all-fields, tables or scoped"),
+                &format!(
+                    "unknown engine {other:?}: expected all-fields, tables, scoped, semantic or hybrid"
+                ),
             )
         }
     };

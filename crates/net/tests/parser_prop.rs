@@ -153,10 +153,11 @@ fn mutate(rng: &mut SmallRng, raw: &[u8]) -> Vec<u8> {
             let insert = out.windows(2).position(|w| w == b"\r\n").map(|p| p + 2).unwrap_or(0);
             out.splice(insert..insert, line.into_bytes());
         }
-        // Declare an unsupported transfer-encoding.
+        // Declare an unsupported transfer-encoding (plain `chunked` is
+        // decoded these days, so use a coding the parser 501s).
         _ => {
             let insert = out.windows(2).position(|w| w == b"\r\n").map(|p| p + 2).unwrap_or(0);
-            out.splice(insert..insert, b"Transfer-Encoding: chunked\r\n".to_vec());
+            out.splice(insert..insert, b"Transfer-Encoding: gzip\r\n".to_vec());
         }
     }
     out

@@ -118,21 +118,7 @@ impl SearchEngine {
                 results: Vec::new(),
             };
         }
-        let weights = RankWeights {
-            fields: field_paths
-                .iter()
-                .map(|p| {
-                    let w = self
-                        .weights
-                        .fields
-                        .iter()
-                        .find(|(f, _)| f == p)
-                        .map_or(1.0, |(_, w)| *w);
-                    (p.clone(), w)
-                })
-                .collect(),
-            ..self.weights.clone()
-        };
+        let weights = self.scoped_weights(&field_paths);
         let ranker = Arc::new(Ranker::new(
             parsed,
             weights,
@@ -253,9 +239,87 @@ impl SearchEngine {
         built
     }
 
+    /// The collection this engine searches (shared with the hybrid
+    /// dense ranker, which fetches documents for dense-only hits).
+    pub(crate) fn collection(&self) -> &Arc<Collection> {
+        &self.collection
+    }
+
+    /// The engine's rank weights restricted to `field_paths` (unknown
+    /// fields weigh 1.0), as used for every query compilation.
+    pub(crate) fn scoped_weights(&self, field_paths: &[String]) -> RankWeights {
+        RankWeights {
+            fields: field_paths
+                .iter()
+                .map(|p| {
+                    let w = self
+                        .weights
+                        .fields
+                        .iter()
+                        .find(|(f, _)| f == p)
+                        .map_or(1.0, |(_, w)| *w);
+                    (p.clone(), w)
+                })
+                .collect(),
+            ..self.weights.clone()
+        }
+    }
+
+    /// The top-`k` `(score, _id)` pairs for a mode — the lexical
+    /// candidate list the hybrid ranker fuses with ANN neighbors.
+    /// Ordering matches [`SearchEngine::search`]: `(score desc, _id
+    /// asc)`, same fast path / pipeline split.
+    pub fn ranked_ids(&self, mode: &SearchMode, k: usize) -> Vec<(f64, String)> {
+        let (_, parsed, filter, field_paths) = self.compile(mode);
+        if parsed.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let ranker = Arc::new(Ranker::new(
+            parsed,
+            self.scoped_weights(&field_paths),
+            self.collection.text_index(),
+            self.collection.len(),
+        ));
+        if let Some(index) = self.collection.text_index() {
+            if ranker.postings_cover(index) {
+                let (_, top) = self.collection.scored_top_k(&filter, k, |id, doc| {
+                    ranker.score_postings(id, doc, index)
+                });
+                return top
+                    .iter()
+                    .map(|(score, doc)| {
+                        let id = doc.get("_id").and_then(Value::as_str).unwrap_or_default();
+                        (*score, id.to_string())
+                    })
+                    .collect();
+            }
+        }
+        let rank_fn: DocFn = {
+            let ranker = Arc::clone(&ranker);
+            Arc::new(move |doc: &Value| Value::float(ranker.score(doc)))
+        };
+        let pipeline = Pipeline::new()
+            .match_filter(filter)
+            .function("covidkg_rank", "score", rank_fn)
+            .stage(covidkg_store::pipeline::Stage::Sort(vec![
+                ("score".into(), covidkg_store::pipeline::Order::Desc),
+                ("_id".into(), covidkg_store::pipeline::Order::Asc),
+            ]));
+        self.collection
+            .aggregate(&pipeline)
+            .iter()
+            .take(k)
+            .map(|doc| {
+                let score = doc.path("score").and_then(Value::as_f64).unwrap_or(0.0);
+                let id = doc.get("_id").and_then(Value::as_str).unwrap_or_default();
+                (score, id.to_string())
+            })
+            .collect()
+    }
+
     /// Compile a mode into (display text, parsed query, `$match` filter,
     /// searched field paths).
-    fn compile(&self, mode: &SearchMode) -> (String, ParsedQuery, Filter, Vec<String>) {
+    pub(crate) fn compile(&self, mode: &SearchMode) -> (String, ParsedQuery, Filter, Vec<String>) {
         match mode {
             SearchMode::AllFields(q) => {
                 let parsed = parse_query(q);

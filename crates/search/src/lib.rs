@@ -22,15 +22,20 @@
 //! * [`result`] — result pages with snippets and highlight spans
 //!   (Figs 2 & 4);
 //! * [`render_cache`] — a bounded, epoch-invalidated memo of built
-//!   snippets/highlights so cache-warm renders skip snippet work.
+//!   snippets/highlights so cache-warm renders skip snippet work;
+//! * [`hybrid`] — the dense serving modes: pure-semantic ANN retrieval
+//!   and reciprocal-rank fusion of ANN neighbors with the lexical
+//!   all-fields top-k.
 
 pub mod engine;
+pub mod hybrid;
 pub mod query;
 pub mod rank;
 pub mod render_cache;
 pub mod result;
 
 pub use engine::{cache_key, SearchEngine, SearchMode};
+pub use hybrid::{dense_cache_key, dense_search, DenseMode, HybridConfig};
 pub use query::{parse_query, ParsedQuery};
 pub use rank::{RankWeights, Ranker};
 pub use render_cache::{CachedRender, RenderCache, RenderCacheStats};

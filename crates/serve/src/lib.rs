@@ -35,5 +35,5 @@ pub mod server;
 
 pub use cache::{CacheStats, QueryCache};
 pub use loadgen::{LoadGenConfig, LoadGenReport, OpenLoopConfig, OpenLoopReport};
-pub use metrics::{EngineKind, LatencyHistogram, ServeStats};
+pub use metrics::{DenseKind, EngineKind, LatencyHistogram, ServeStats};
 pub use server::{InjectedFaults, ServeConfig, ServeError, ServeResponse, Server};

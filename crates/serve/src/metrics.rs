@@ -114,10 +114,37 @@ impl LatencyHistogram {
     }
 }
 
+/// Which dense serving mode a request targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenseKind {
+    /// Pure ANN-neighbor retrieval.
+    Semantic,
+    /// Reciprocal-rank fusion of ANN + lexical candidates.
+    Hybrid,
+}
+
+impl DenseKind {
+    pub(crate) fn index(self) -> usize {
+        match self {
+            DenseKind::Semantic => 0,
+            DenseKind::Hybrid => 1,
+        }
+    }
+
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DenseKind::Semantic => "semantic",
+            DenseKind::Hybrid => "hybrid",
+        }
+    }
+}
+
 /// Live metric registry owned by the server.
 #[derive(Debug, Default)]
 pub struct Metrics {
     engine_requests: [AtomicU64; 3],
+    dense_requests: [AtomicU64; 2],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     overloaded: AtomicU64,
@@ -139,6 +166,10 @@ pub struct Metrics {
 impl Metrics {
     pub(crate) fn record_request(&self, engine: EngineKind) {
         self.engine_requests[engine.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dense_request(&self, kind: DenseKind) {
+        self.dense_requests[kind.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_hit(&self) {
@@ -205,6 +236,8 @@ impl Metrics {
             requests_all_fields: self.engine_requests[0].load(Ordering::Relaxed),
             requests_tables: self.engine_requests[1].load(Ordering::Relaxed),
             requests_scoped: self.engine_requests[2].load(Ordering::Relaxed),
+            requests_semantic: self.dense_requests[0].load(Ordering::Relaxed),
+            requests_hybrid: self.dense_requests[1].load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
@@ -237,6 +270,10 @@ pub struct ServeStats {
     pub requests_tables: u64,
     /// Requests routed to the scoped engine.
     pub requests_scoped: u64,
+    /// Requests routed to the semantic (pure-ANN) mode.
+    pub requests_semantic: u64,
+    /// Requests routed to the hybrid lexical+dense mode.
+    pub requests_hybrid: u64,
     /// Requests answered from the result cache.
     pub cache_hits: u64,
     /// Requests that had to run a search.
@@ -277,9 +314,13 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Total requests across all engines.
+    /// Total requests across all engines and dense modes.
     pub fn total_requests(&self) -> u64 {
-        self.requests_all_fields + self.requests_tables + self.requests_scoped
+        self.requests_all_fields
+            + self.requests_tables
+            + self.requests_scoped
+            + self.requests_semantic
+            + self.requests_hybrid
     }
 
     /// Cache hit rate over answered lookups (0 when nothing was looked
@@ -306,11 +347,13 @@ impl ServeStats {
         let mut out = String::new();
         out.push_str("serving stats\n");
         out.push_str(&format!(
-            "  requests     {} (all-fields {}, tables {}, scoped {})\n",
+            "  requests     {} (all-fields {}, tables {}, scoped {}, semantic {}, hybrid {})\n",
             self.total_requests(),
             self.requests_all_fields,
             self.requests_tables,
             self.requests_scoped,
+            self.requests_semantic,
+            self.requests_hybrid,
         ));
         out.push_str(&format!(
             "  cache        {} hits / {} misses ({:.1}% hit rate)\n",
@@ -422,6 +465,9 @@ mod tests {
         m.record_request(EngineKind::AllFields);
         m.record_request(EngineKind::AllFields);
         m.record_request(EngineKind::Tables);
+        m.record_dense_request(DenseKind::Semantic);
+        m.record_dense_request(DenseKind::Hybrid);
+        m.record_dense_request(DenseKind::Hybrid);
         m.record_hit();
         m.record_miss();
         m.record_overloaded();
@@ -436,7 +482,9 @@ mod tests {
         assert_eq!(s.requests_all_fields, 2);
         assert_eq!(s.requests_tables, 1);
         assert_eq!(s.requests_scoped, 0);
-        assert_eq!(s.total_requests(), 3);
+        assert_eq!(s.requests_semantic, 1);
+        assert_eq!(s.requests_hybrid, 2);
+        assert_eq!(s.total_requests(), 6);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);

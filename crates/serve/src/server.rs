@@ -58,10 +58,10 @@
 //! `stale: true`.
 
 use crate::cache::QueryCache;
-use crate::metrics::{EngineKind, Metrics, ServeStats};
+use crate::metrics::{DenseKind, EngineKind, Metrics, ServeStats};
 use covidkg_core::CovidKg;
 use covidkg_corpus::Publication;
-use covidkg_search::{cache_key, SearchMode, SearchPage};
+use covidkg_search::{cache_key, dense_cache_key, DenseMode, SearchMode, SearchPage};
 use covidkg_store::StoreError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::collections::VecDeque;
@@ -578,6 +578,53 @@ impl Server {
     /// ground truth the load generator verifies served responses with.
     pub fn search_direct(&self, mode: &SearchMode, page: usize) -> SearchPage {
         read_lock(&self.inner.system).search(mode, page)
+    }
+
+    /// Serve a dense (semantic or hybrid) search.
+    ///
+    /// Cache-fronted like [`Server::search_with_deadline`], but computed
+    /// inline under the shared system lock instead of through the worker
+    /// queue: an ANN query touches a logarithmic fraction of the corpus
+    /// (sub-millisecond at our sizes, like the `/kg/node` lookups), so
+    /// queue admission and circuit breaking would cost more than the
+    /// search. The page and generation are read under one lock so a
+    /// concurrent ingest commit can't tear them apart.
+    pub fn search_dense(&self, mode: &DenseMode, page: usize) -> Result<ServeResponse, ServeError> {
+        let submitted = Instant::now();
+        let kind = match mode {
+            DenseMode::Semantic(_) => DenseKind::Semantic,
+            DenseMode::Hybrid(_) => DenseKind::Hybrid,
+        };
+        self.inner.metrics.record_dense_request(kind);
+        let key = dense_cache_key(mode, page);
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        if let Some(cached) = self.inner.cache.get(&key, generation) {
+            self.inner.metrics.record_hit();
+            let latency = submitted.elapsed();
+            self.inner.metrics.record_completed(latency);
+            return Ok(ServeResponse {
+                page: cached,
+                cached: true,
+                stale: false,
+                generation,
+                latency,
+            });
+        }
+        self.inner.metrics.record_miss();
+        let (result, generation) = {
+            let system = read_lock(&self.inner.system);
+            (system.search_dense(mode, page), system.generation())
+        };
+        self.inner.cache.insert(key, generation, result.clone());
+        let latency = submitted.elapsed();
+        self.inner.metrics.record_completed(latency);
+        Ok(ServeResponse {
+            page: result,
+            cached: false,
+            stale: false,
+            generation,
+            latency,
+        })
     }
 
     /// Current data generation.

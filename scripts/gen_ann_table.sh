@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Regenerate the dense-tier benchmark table in EXPERIMENTS.md from the
+# committed BENCH_ann.json. The table lives between the
+# `<!-- ann-table:begin -->` / `<!-- ann-table:end -->` markers and is
+# rewritten in place by `covidkg ann-table`, so prose and artifact
+# cannot drift. Run a fresh bench first if you want new numbers:
+#
+#   ./target/release/covidkg ann-bench --seed 42
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q
+./target/release/covidkg ann-table

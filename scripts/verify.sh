@@ -42,6 +42,16 @@ test -s BENCH_net.json
 echo "==> replication smoke: WAL shipping, checksum convergence, read-your-writes"
 ./target/release/covidkg repl-smoke --corpus 16 --seed 7
 
+echo "==> ANN recall property tests (HNSW vs brute-force oracle)"
+cargo test -p covidkg-ann --test recall_prop --offline -q
+
+echo "==> ANN smoke: dense-tier recall + wire byte-identity over TCP"
+./target/release/covidkg ann-smoke --corpus 32
+
+echo "==> EXPERIMENTS.md ANN table regenerates from the committed BENCH_ann.json"
+./target/release/covidkg ann-table
+grep -q '<!-- ann-table:begin -->' EXPERIMENTS.md
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets --offline"
     cargo clippy --workspace --all-targets --offline -- -D warnings

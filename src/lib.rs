@@ -24,7 +24,7 @@ pub use covidkg_core::{
     CovidKg, CovidKgConfig, CvReport, IngestReport, ModelRegistry,
 };
 pub use covidkg_core::system::ClassifierChoice;
-pub use covidkg_search::{SearchMode, SearchPage};
+pub use covidkg_search::{DenseMode, HybridConfig, SearchMode, SearchPage};
 pub use covidkg_serve::{LoadGenConfig, OpenLoopConfig, OpenLoopReport, ServeConfig, ServeError, ServeStats, Server};
 
 /// JSON document model.
@@ -55,5 +55,8 @@ pub use covidkg_net as net;
 pub use covidkg_repl as repl;
 /// Std-only micro-benchmark harness (criterion-compatible surface).
 pub use covidkg_bench as bench;
+/// HNSW approximate-nearest-neighbour index (the dense retrieval tier).
+pub use covidkg_ann as ann;
 
+pub use covidkg_ann::{AnnStats, HnswConfig, HnswIndex};
 pub use covidkg_net::{HttpClient, HttpServer, NetConfig};

@@ -21,9 +21,10 @@ use covidkg::repl::{
 };
 use covidkg::store::Collection;
 use covidkg::{
-    CovidKg, CovidKgConfig, HttpServer, LoadGenConfig, NetConfig, OpenLoopConfig, SearchMode,
-    ServeConfig, Server,
+    CovidKg, CovidKgConfig, DenseMode, HnswConfig, HnswIndex, HttpServer, LoadGenConfig,
+    NetConfig, OpenLoopConfig, SearchMode, ServeConfig, Server,
 };
+use std::collections::HashSet;
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
@@ -50,13 +51,17 @@ COMMANDS:
     serve-bench              benchmark the concurrent serving frontend
     net-bench                wire-level HTTP load bench (emits BENCH_net.json)
     net-table                regenerate the EXPERIMENTS.md wire table from BENCH_net.json
+    ann-build                build the HNSW dense index and print its shape
+    ann-smoke                dense-tier end-to-end check incl. wire byte-identity
+    ann-bench                HNSW recall/latency vs brute force (emits BENCH_ann.json)
+    ann-table                regenerate the EXPERIMENTS.md ANN table from BENCH_ann.json
     chaos                    deterministic fault-injection survival run
 
 OPTIONS:
     --data-dir <path>        durable system location (reopened if built)
     --corpus <n>             publications to generate on build [default 120]
     --seed <n>               corpus/model seed [default 42]
-    --engine all|tables|scoped   search engine (default all)
+    --engine all|tables|scoped|semantic|hybrid   search engine (default all)
     --page <n>               result page, 0-based (default 0)
     --expanded               expand collapsed result sections
     --depth <n>              kg tree depth (default 2)
@@ -243,17 +248,27 @@ fn run() -> Result<(), String> {
                 return Err("search needs a query\n\n".to_string() + USAGE);
             }
             let system = open_system(&args, false)?;
-            let mode = match args.engine.as_str() {
-                "all" => SearchMode::AllFields(query),
-                "tables" => SearchMode::Tables(query),
-                "scoped" => SearchMode::TitleAbstractCaption {
-                    title: query.clone(),
-                    abstract_q: query,
-                    caption: String::new(),
-                },
-                other => return Err(format!("unknown engine {other:?} (all|tables|scoped)")),
+            let page = match args.engine.as_str() {
+                "semantic" => system.search_dense(&DenseMode::Semantic(query), args.page),
+                "hybrid" => system.search_dense(&DenseMode::Hybrid(query), args.page),
+                lexical => {
+                    let mode = match lexical {
+                        "all" => SearchMode::AllFields(query),
+                        "tables" => SearchMode::Tables(query),
+                        "scoped" => SearchMode::TitleAbstractCaption {
+                            title: query.clone(),
+                            abstract_q: query,
+                            caption: String::new(),
+                        },
+                        other => {
+                            return Err(format!(
+                                "unknown engine {other:?} (all|tables|scoped|semantic|hybrid)"
+                            ))
+                        }
+                    };
+                    system.search(&mode, args.page)
+                }
             };
-            let page = system.search(&mode, args.page);
             print!(
                 "{}",
                 if args.expanded {
@@ -348,6 +363,7 @@ fn run() -> Result<(), String> {
             };
             println!("listening on http://{}", http.local_addr());
             println!("  GET /search/{{all-fields|tables|scoped}}?q=&page=");
+            println!("  GET /search/{{semantic|hybrid}}?q=&page=");
             println!("  GET /kg/node/{{id}}   GET /stats   GET /metrics");
             println!("(EOF on stdin — ctrl-d — shuts down gracefully)");
             // Block until stdin closes, then drain and exit.
@@ -364,6 +380,10 @@ fn run() -> Result<(), String> {
         "repl-smoke" => repl_smoke(&args)?,
         "repl-bench" => repl_bench(&args)?,
         "net-table" => net_table()?,
+        "ann-build" => ann_build(&args)?,
+        "ann-smoke" => ann_smoke(&args)?,
+        "ann-bench" => ann_bench(&args)?,
+        "ann-table" => ann_table()?,
         "net-bench" => {
             let system = open_system(&args, false)?;
             let server = Arc::new(Server::start(
@@ -828,6 +848,301 @@ fn render_net_table(bench: &covidkg::json::Value) -> String {
                 int(r, "cache_hits"),
                 us(num(r, "p50_us")),
                 us(num(r, "p99_us")),
+            ));
+        }
+    }
+    out
+}
+
+/// The `ann-build` body: build (or reopen) the system and report the
+/// shape and build cost of its HNSW dense index.
+fn ann_build(args: &Args) -> Result<(), String> {
+    let system = open_system(args, false)?;
+    let ann = system.ann();
+    let c = ann.config();
+    let s = ann.stats();
+    println!(
+        "HNSW index: {} vectors x {} dims (M {}, ef_construction {}, ef_search {})",
+        ann.len(),
+        ann.dims(),
+        c.m,
+        c.ef_construction,
+        c.ef_search
+    );
+    println!(
+        "graph: max level {}, {} tombstones, {} distance evaluations to build",
+        ann.max_level(),
+        ann.tombstones(),
+        s.build_distance_evals
+    );
+    if args.data_dir.is_some() {
+        println!("persisted in the model registry as the \"ann-hnsw\" artifact");
+    }
+    Ok(())
+}
+
+/// The `ann-smoke` body: a small end-to-end exercise of the dense tier —
+/// recall sanity against the exact oracle, then `/search/semantic` and
+/// `/search/hybrid` over real TCP with a byte-identity check against the
+/// in-process ranker. Used by CI.
+fn ann_smoke(args: &Args) -> Result<(), String> {
+    let corpus = args.corpus.clamp(24, 80);
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: corpus,
+        seed: args.seed,
+        max_training_rows: 300,
+        ..CovidKgConfig::default()
+    })
+    .map_err(|e| format!("build failed: {e}"))?;
+
+    // Recall sanity: the HNSW graph must agree with brute force on the
+    // corpus's own query workload.
+    const K: usize = 10;
+    let embeddings = system.embeddings();
+    let mut recall_sum = 0.0;
+    let mut counted = 0usize;
+    for q in covidkg::corpus::query_workload(12, args.seed) {
+        let qvec = embeddings.embed_phrase(&covidkg::text::tokenize_lower(&q));
+        if qvec.iter().all(|x| *x == 0.0) {
+            continue;
+        }
+        let (exact, _) = system.ann().exact_search(&qvec, K);
+        if exact.is_empty() {
+            continue;
+        }
+        let (approx, _) = system.ann().search(&qvec, K);
+        let wanted: HashSet<&str> = exact.iter().map(|(id, _)| id.as_str()).collect();
+        let hits = approx.iter().filter(|(id, _)| wanted.contains(id.as_str())).count();
+        recall_sum += hits as f64 / exact.len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        return Err("every smoke query embedded to zero — corpus/model mismatch".into());
+    }
+    let recall = recall_sum / counted as f64;
+    println!("recall@{K} vs exact over {counted} queries: {recall:.3}");
+    if recall < 0.95 {
+        return Err(format!("recall {recall:.3} below the 0.95 floor"));
+    }
+
+    // Wire byte-identity: the HTTP body must equal the in-process page,
+    // byte for byte, for both dense engines.
+    let server = Arc::new(Server::start(system, ServeConfig::default()));
+    let mut http = HttpServer::start(
+        Arc::clone(&server),
+        NetConfig {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            ..NetConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind failed: {e}"))?;
+    let mut client = covidkg::HttpClient::connect(http.local_addr(), Duration::from_secs(10))
+        .map_err(|e| format!("connect: {e}"))?;
+    let query = "vaccine side effects";
+    for (engine, mode) in [
+        ("semantic", DenseMode::Semantic(query.into())),
+        ("hybrid", DenseMode::Hybrid(query.into())),
+    ] {
+        let resp = client
+            .get(&format!("/search/{engine}?q=vaccine+side+effects&page=0"))
+            .map_err(|e| format!("GET /search/{engine}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("/search/{engine} returned {}", resp.status));
+        }
+        let local = server.with_system(|s| s.search_dense(&mode, 0).to_json().to_json());
+        if resp.body != local.as_bytes() {
+            return Err(format!(
+                "/search/{engine} wire body diverged from the in-process page \
+                 ({} vs {} bytes)",
+                resp.body.len(),
+                local.len()
+            ));
+        }
+        println!("{engine}: wire response byte-identical to in-process ({} bytes)", local.len());
+    }
+    http.shutdown();
+    server.shutdown();
+    println!("ANN SMOKE PASSED");
+    Ok(())
+}
+
+/// The `ann-bench` body: recall@10 and per-query work of the HNSW index
+/// against exact brute-force search at three corpus sizes, timed on real
+/// embeddings trained per size. Emits `BENCH_ann.json`.
+fn ann_bench(args: &Args) -> Result<(), String> {
+    use covidkg::ml::{Word2Vec, Word2VecConfig};
+    const K: usize = 10;
+    const QUERY_COUNT: usize = 48;
+    let sizes = [240usize, 960, 2400];
+    let config = HnswConfig::default();
+    println!(
+        "ann-bench: recall@{K} over {QUERY_COUNT} queries, M {}, ef_construction {}, ef_search {}",
+        config.m, config.ef_construction, config.ef_search
+    );
+    let mut rows = Vec::new();
+    let mut final_recall = 0.0;
+    let mut final_ratio = 0.0;
+    for &n in &sizes {
+        let pubs = covidkg::corpus::CorpusGenerator::with_size(n, args.seed).generate();
+        let sentences: Vec<Vec<String>> = pubs
+            .iter()
+            .map(|p| {
+                let mut t = covidkg::text::tokenize_lower(&p.title);
+                t.extend(covidkg::text::tokenize_lower(&p.abstract_text));
+                t
+            })
+            .collect();
+        let model = Word2Vec::train(
+            &sentences,
+            &Word2VecConfig {
+                dims: 24,
+                epochs: 2,
+                seed: args.seed,
+                ..Word2VecConfig::default()
+            },
+        );
+        let docs: Vec<(String, Vec<f32>)> = pubs
+            .iter()
+            .zip(&sentences)
+            .map(|(p, tokens)| (p.id.clone(), model.embed_phrase(tokens)))
+            .collect();
+        let t0 = Instant::now();
+        let index = HnswIndex::build(
+            model.dims(),
+            config,
+            docs.iter().map(|(id, v)| (id.as_str(), v.as_slice())),
+        );
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut recall_sum = 0.0;
+        let mut counted = 0u64;
+        let mut hnsw_evals = 0u64;
+        let mut brute_evals = 0u64;
+        let mut latencies = Vec::new();
+        for q in covidkg::corpus::query_workload(QUERY_COUNT, args.seed ^ 0x5eed) {
+            let qvec = model.embed_phrase(&covidkg::text::tokenize_lower(&q));
+            if qvec.iter().all(|x| *x == 0.0) {
+                continue;
+            }
+            let (exact, brute) = index.exact_search(&qvec, K);
+            if exact.is_empty() {
+                continue;
+            }
+            let t = Instant::now();
+            let (approx, stats) = index.search(&qvec, K);
+            latencies.push(t.elapsed());
+            let wanted: HashSet<&str> = exact.iter().map(|(id, _)| id.as_str()).collect();
+            let hits = approx.iter().filter(|(id, _)| wanted.contains(id.as_str())).count();
+            recall_sum += hits as f64 / exact.len() as f64;
+            counted += 1;
+            hnsw_evals += stats.distance_evals;
+            brute_evals += brute;
+        }
+        if counted == 0 {
+            return Err(format!("no usable queries at corpus size {n}"));
+        }
+        let recall = recall_sum / counted as f64;
+        let evals_per_query = hnsw_evals as f64 / counted as f64;
+        let brute_per_query = brute_evals as f64 / counted as f64;
+        let ratio = brute_per_query / evals_per_query.max(1.0);
+        latencies.sort();
+        let p50 = latencies[latencies.len() / 2];
+        let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+        println!(
+            "  {n} docs: build {build_ms:.0} ms, recall@{K} {recall:.3}, \
+             {evals_per_query:.0} vs {brute_per_query:.0} evals/query ({ratio:.1}x fewer), \
+             p50 {:.0} µs, p99 {:.0} µs",
+            p50.as_secs_f64() * 1e6,
+            p99.as_secs_f64() * 1e6,
+        );
+        final_recall = recall;
+        final_ratio = ratio;
+        rows.push(covidkg::json::obj! {
+            "docs" => n,
+            "dims" => model.dims(),
+            "build_ms" => build_ms,
+            "queries" => counted as i64,
+            "recall_at_10" => recall,
+            "hnsw_evals_per_query" => evals_per_query,
+            "brute_evals_per_query" => brute_per_query,
+            "eval_ratio" => ratio,
+            "p50_us" => p50.as_secs_f64() * 1e6,
+            "p99_us" => p99.as_secs_f64() * 1e6,
+        });
+    }
+    if final_recall < 0.95 || final_ratio < 5.0 {
+        eprintln!(
+            "warning: largest corpus missed the targets (recall {final_recall:.3} \
+             >= 0.95, eval ratio {final_ratio:.1} >= 5.0)"
+        );
+    }
+    let report = covidkg::json::obj! {
+        "bench" => "ann",
+        "k" => K,
+        "seed" => args.seed as i64,
+        "config" => covidkg::json::obj! {
+            "m" => config.m,
+            "ef_construction" => config.ef_construction,
+            "ef_search" => config.ef_search,
+        },
+        "sizes" => covidkg::json::Value::Array(rows),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_ann.json");
+    std::fs::write(path, report.to_json_pretty() + "\n")
+        .map_err(|e| format!("write BENCH_ann.json: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// The `ann-table` body: regenerate the dense-tier table in
+/// `EXPERIMENTS.md` between its marker comments from `BENCH_ann.json`.
+fn ann_table() -> Result<(), String> {
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_ann.json");
+    let exp_path = concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md");
+    let raw = std::fs::read_to_string(bench_path)
+        .map_err(|e| format!("read {bench_path}: {e} (run `covidkg ann-bench` first)"))?;
+    let bench = covidkg::json::parse(&raw).map_err(|e| format!("parse BENCH_ann.json: {e}"))?;
+    let table = render_ann_table(&bench);
+    let doc = std::fs::read_to_string(exp_path).map_err(|e| format!("read {exp_path}: {e}"))?;
+    const BEGIN: &str = "<!-- ann-table:begin -->";
+    const END: &str = "<!-- ann-table:end -->";
+    let start = doc
+        .find(BEGIN)
+        .ok_or(format!("EXPERIMENTS.md is missing the {BEGIN} marker"))?
+        + BEGIN.len();
+    let end = doc
+        .find(END)
+        .ok_or(format!("EXPERIMENTS.md is missing the {END} marker"))?;
+    if end < start {
+        return Err("ann-table markers are out of order in EXPERIMENTS.md".into());
+    }
+    let updated = format!("{}\n{table}{}", &doc[..start], &doc[end..]);
+    std::fs::write(exp_path, updated).map_err(|e| format!("write {exp_path}: {e}"))?;
+    println!("updated the ANN table in EXPERIMENTS.md from BENCH_ann.json");
+    Ok(())
+}
+
+/// Render the markdown rows of the dense-tier benchmark table.
+fn render_ann_table(bench: &covidkg::json::Value) -> String {
+    use covidkg::json::Value;
+    let num = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+    let int = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_i64()).unwrap_or(0);
+    let mut out = String::from(
+        "| corpus | build | recall@10 | evals/query (HNSW / brute) | work saved | p50 | p99 |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    if let Some(Value::Array(sizes)) = bench.get("sizes") {
+        for r in sizes {
+            out.push_str(&format!(
+                "| {} docs | {:.0} ms | {:.3} | {:.0} / {:.0} | {:.1}x | {:.0} µs | {:.0} µs |\n",
+                int(r, "docs"),
+                num(r, "build_ms"),
+                num(r, "recall_at_10"),
+                num(r, "hnsw_evals_per_query"),
+                num(r, "brute_evals_per_query"),
+                num(r, "eval_ratio"),
+                num(r, "p50_us"),
+                num(r, "p99_us"),
             ));
         }
     }
