@@ -108,11 +108,13 @@ pub struct WireStats {
 pub struct ReplExposition {
     /// The primary's durable publications watermark (sequence clock).
     pub watermark: u64,
+    /// This node's fencing epoch (leadership generation; bumps on
+    /// every failover promotion).
+    pub epoch: u64,
     /// `(name, applied, lag)` per routable replica.
     pub replicas: Vec<(String, u64, u64)>,
-    /// Primary-side shipping counters, when this node is the primary:
-    /// (bytes shipped, frames shipped, snapshot bootstraps, reconnects).
-    pub shipping: Option<(u64, u64, u64, u64)>,
+    /// Primary-side shipping counters, when this node is the primary.
+    pub shipping: Option<covidkg_repl::ReplStats>,
 }
 
 /// Dense-tier series for the exposition, gathered from the HNSW index
@@ -199,17 +201,21 @@ pub fn render_metrics(
                 .collect()
         };
         line("repl_watermark", repl.watermark.to_string());
+        line("repl_epoch", repl.epoch.to_string());
         line("repl_replicas", repl.replicas.len().to_string());
         for (name, applied, lag) in &repl.replicas {
             let name = label(name);
             line(&format!("repl_replica_applied{{replica=\"{name}\"}}"), applied.to_string());
             line(&format!("repl_replica_lag{{replica=\"{name}\"}}"), lag.to_string());
         }
-        if let Some((bytes, frames, bootstraps, reconnects)) = repl.shipping {
-            line("repl_bytes_shipped", bytes.to_string());
-            line("repl_frames_shipped", frames.to_string());
-            line("repl_snapshot_bootstraps", bootstraps.to_string());
-            line("repl_reconnects", reconnects.to_string());
+        if let Some(s) = &repl.shipping {
+            line("repl_bytes_shipped", s.bytes_shipped.to_string());
+            line("repl_frames_shipped", s.frames_shipped.to_string());
+            line("repl_batches_shipped", s.batches_shipped.to_string());
+            line("repl_bytes_saved", s.bytes_saved.to_string());
+            line("repl_snapshot_bootstraps", s.snapshot_bootstraps.to_string());
+            line("repl_reconnects", s.reconnects.to_string());
+            line("repl_fenced_sessions", s.fenced_sessions.to_string());
         }
     }
     if let Some(ann) = ann {
@@ -286,11 +292,22 @@ mod tests {
         };
         let repl = ReplExposition {
             watermark: 42,
+            epoch: 2,
             replicas: vec![
                 ("replica-1".into(), 42, 0),
                 ("weird name!".into(), 40, 2),
             ],
-            shipping: Some((1024, 17, 1, 3)),
+            shipping: Some(covidkg_repl::ReplStats {
+                bytes_shipped: 1024,
+                frames_shipped: 17,
+                batches_shipped: 4,
+                bytes_saved: 900,
+                snapshot_bootstraps: 1,
+                reconnects: 3,
+                fenced_sessions: 1,
+                epoch: 2,
+                replicas: Vec::new(),
+            }),
         };
         let ann = AnnExposition {
             nodes: 36,
@@ -310,13 +327,17 @@ mod tests {
         assert!(text.contains("covidkg_serve_latency_p50_seconds 0.001500\n"));
         assert!(text.contains("covidkg_serve_latency_p95_seconds 0.000000\n"));
         assert!(text.contains("covidkg_repl_watermark 42\n"));
+        assert!(text.contains("covidkg_repl_epoch 2\n"));
         assert!(text.contains("covidkg_repl_replicas 2\n"));
         assert!(text.contains("covidkg_repl_replica_applied{replica=\"replica-1\"} 42\n"));
         assert!(text.contains("covidkg_repl_replica_lag{replica=\"weird-name-\"} 2\n"));
         assert!(text.contains("covidkg_repl_bytes_shipped 1024\n"));
         assert!(text.contains("covidkg_repl_frames_shipped 17\n"));
+        assert!(text.contains("covidkg_repl_batches_shipped 4\n"));
+        assert!(text.contains("covidkg_repl_bytes_saved 900\n"));
         assert!(text.contains("covidkg_repl_snapshot_bootstraps 1\n"));
         assert!(text.contains("covidkg_repl_reconnects 3\n"));
+        assert!(text.contains("covidkg_repl_fenced_sessions 1\n"));
         assert!(text.contains("covidkg_serve_requests_semantic 2\n"));
         assert!(text.contains("covidkg_serve_requests_hybrid 5\n"));
         assert!(text.contains("covidkg_ann_nodes 36\n"));

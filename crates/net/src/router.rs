@@ -9,7 +9,7 @@
 use crate::http::{Request, Response};
 use crate::metrics::{render_metrics, AnnExposition, ReplExposition, WireStats};
 use covidkg_json::{obj, Value};
-use covidkg_repl::{ReadRouter, ReplMetrics, RouteError};
+use covidkg_repl::{Epoch, ReadRouter, ReplMetrics, RouteError};
 use covidkg_search::{DenseMode, SearchMode};
 use covidkg_serve::{ServeError, Server};
 use std::sync::Arc;
@@ -23,6 +23,9 @@ pub struct ReadContext {
     /// Primary-side shipping counters for `/metrics`, when this node
     /// is the primary (`None` on a replica-only front-end).
     pub metrics: Option<Arc<ReplMetrics>>,
+    /// This node's fencing epoch, stamped into session cookies and the
+    /// `/metrics` page (`None` when the node runs without failover).
+    pub epoch: Option<Epoch>,
     /// How long a read-your-writes request (`X-Min-Seq`) may wait for a
     /// caught-up target before 503ing.
     pub ryw_deadline: Duration,
@@ -34,20 +37,58 @@ impl ReadContext {
         ReadContext {
             router,
             metrics,
+            epoch: None,
             ryw_deadline: Duration::from_secs(2),
         }
+    }
+
+    /// Attach the node's fencing-epoch handle (enables the epoch half
+    /// of session cookies and the `covidkg_repl_epoch` series).
+    pub fn with_epoch(mut self, epoch: Epoch) -> ReadContext {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Current fencing epoch: the explicit handle when attached, else
+    /// the highest epoch the shipping metrics have witnessed.
+    fn current_epoch(&self) -> u64 {
+        self.epoch
+            .as_ref()
+            .map(|e| e.get())
+            .or_else(|| self.metrics.as_ref().map(|m| m.snapshot().epoch))
+            .unwrap_or(0)
     }
 
     fn exposition(&self) -> ReplExposition {
         ReplExposition {
             watermark: self.router.watermark(),
+            epoch: self.current_epoch(),
             replicas: self.router.targets(),
-            shipping: self.metrics.as_ref().map(|m| {
-                let s = m.snapshot();
-                (s.bytes_shipped, s.frames_shipped, s.snapshot_bootstraps, s.reconnects)
-            }),
+            shipping: self.metrics.as_ref().map(|m| m.snapshot()),
         }
     }
+}
+
+/// The ambient read-your-writes cookie. A routed 200 sets
+/// `covidkg-session=<applied>.<epoch>`; a browser (or any cookie-jar
+/// client) then floats every later read to at least the sequence it
+/// last saw, without managing `X-Min-Seq` by hand.
+const SESSION_COOKIE: &str = "covidkg-session";
+
+/// Extract the applied-sequence half of the session cookie from a
+/// `Cookie:` header, leniently: absent, malformed or foreign cookies
+/// read as no floor at all (`None`) — an old or corrupt cookie must
+/// never break a read.
+fn cookie_min_seq(header: &str) -> Option<u64> {
+    header.split(';').find_map(|part| {
+        let (name, value) = part.split_once('=')?;
+        if name.trim() != SESSION_COOKIE {
+            return None;
+        }
+        // Value shape: `<applied>.<epoch>` (epoch informational).
+        let applied = value.trim().split('.').next()?;
+        applied.parse::<u64>().ok()
+    })
 }
 
 /// Resolve one request to a response. Never panics; unknown paths 404,
@@ -168,18 +209,31 @@ fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Reque
         .header("x-min-seq")
         .map(|v| v.to_string())
         .or_else(|| req.query_param("min_seq"));
-    let min_seq = match min_seq_raw.as_deref() {
+    let explicit_min_seq = match min_seq_raw.as_deref() {
         None => 0,
         Some(v) => match v.trim().parse::<u64>() {
             Ok(s) => s,
             Err(_) => return error_response(400, "X-Min-Seq must be a non-negative integer"),
         },
     };
+    // The session cookie carries the client's ambient high-water mark;
+    // the effective floor is the max of both tokens, so an explicit
+    // X-Min-Seq still wins when it demands more.
+    let cookie_floor = req.header("cookie").and_then(cookie_min_seq).unwrap_or(0);
+    let min_seq = explicit_min_seq.max(cookie_floor);
     match ctx.router.search(&mode, page, min_seq, ctx.ryw_deadline) {
         Ok((resp, info)) => page_response(&resp)
             .with_header("X-Served-By", info.replica)
             .with_header("X-Replica-Lag", info.lag.to_string())
-            .with_header("X-Applied-Seq", info.applied.to_string()),
+            .with_header("X-Applied-Seq", info.applied.to_string())
+            .with_header(
+                "Set-Cookie",
+                format!(
+                    "{SESSION_COOKIE}={}.{}; Path=/",
+                    info.applied,
+                    ctx.current_epoch()
+                ),
+            ),
         Err(RouteError::NotCaughtUp { wanted, best }) => error_response(
             503,
             &format!("no replica caught up to sequence {wanted} (best applied: {best})"),
@@ -294,4 +348,28 @@ fn stats(server: &Server) -> Response {
 /// A JSON error body `{"error": ...}` with the given status.
 pub fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, obj! { "error" => message }.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_cookie_parses_leniently() {
+        assert_eq!(cookie_min_seq("covidkg-session=42.3"), Some(42));
+        assert_eq!(
+            cookie_min_seq("theme=dark; covidkg-session=17.0; lang=en"),
+            Some(17),
+            "finds the session cookie among others"
+        );
+        assert_eq!(
+            cookie_min_seq(" covidkg-session = 9.1 "),
+            Some(9),
+            "whitespace around name and value is tolerated"
+        );
+        assert_eq!(cookie_min_seq("covidkg-session=garbage.2"), None);
+        assert_eq!(cookie_min_seq("covidkg-session="), None);
+        assert_eq!(cookie_min_seq("other=1.2"), None);
+        assert_eq!(cookie_min_seq(""), None);
+    }
 }

@@ -7,8 +7,12 @@
 //! overload. Each connection thread reads with a short socket timeout
 //! so it can notice three things between reads: shutdown (drain: finish
 //! the in-flight request, then close), idle expiry (reap connections
-//! holding no partial request), and read-deadline expiry (a peer that
-//! stalled *mid-request* is cut off — slowloris protection).
+//! holding no partial request), and read-deadline expiry (slowloris
+//! protection). The read deadline is *cumulative per request*: the
+//! clock starts at the request's first byte and is never reset by
+//! further arrivals, so a peer trickling one byte per tick cannot hold
+//! the connection open — it gets an honest 408 once the whole
+//! header+body transfer has taken longer than `read_timeout`.
 
 use crate::http::{Parser, Response};
 use crate::metrics::{WireMetrics, WireStats};
@@ -29,7 +33,10 @@ pub struct NetConfig {
     /// Maximum simultaneously open connections; excess accepts are
     /// answered `503 Retry-After: 1` and closed.
     pub max_connections: usize,
-    /// A peer stalled longer than this *mid-request* is disconnected.
+    /// Cumulative per-request read deadline: a request whose bytes
+    /// (header + body) have not all arrived within this long of its
+    /// first byte is answered 408 — trickling progress does not extend
+    /// it (slowloris protection).
     pub read_timeout: Duration,
     /// Socket-level bound on blocking writes.
     pub write_timeout: Duration,
@@ -212,15 +219,20 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let mut parser = Parser::new();
     let mut buf = [0u8; 16 * 1024];
-    // `last_activity` tracks the last byte received; while a partial
-    // request is buffered it doubles as the mid-request stall clock.
+    // `last_activity` tracks the last byte received — the *idle* reap
+    // clock. `request_start` pins the first byte of the in-flight
+    // request: the cumulative read deadline is measured from there and
+    // deliberately never reset by later arrivals, so slow-loris
+    // trickling cannot extend it.
     let mut last_activity = Instant::now();
+    let mut request_start: Option<Instant> = None;
     loop {
         // Flush any requests already buffered (pipelining) before
         // blocking on the socket again.
         loop {
             match parser.feed(&[]) {
                 Ok(Some(req)) => {
+                    request_start = None;
                     let close = req.wants_close() || shared.shutting_down.load(Ordering::Acquire);
                     let resp = handle(&shared.serve, &shared.wire.snapshot(), shared.repl.as_ref(), &req);
                     if !respond(&mut stream, shared, resp, close) {
@@ -242,24 +254,32 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             // Keep-alive connection with nothing in flight: close.
             return;
         }
-        let idle = last_activity.elapsed();
         if parser.is_idle() {
-            if idle >= shared.config.idle_timeout {
+            request_start = None;
+            if last_activity.elapsed() >= shared.config.idle_timeout {
                 shared.wire.connection_reaped();
                 return;
             }
-        } else if idle >= shared.config.read_timeout {
-            // Mid-request stall: tell the slow peer it timed out.
-            respond(&mut stream, shared, error_response(408, "request read timed out"), true);
-            return;
+        } else {
+            // A partial request is buffered: its deadline runs from its
+            // first byte, regardless of how recently bytes trickled in.
+            let started = *request_start.get_or_insert_with(Instant::now);
+            if started.elapsed() >= shared.config.read_timeout {
+                respond(&mut stream, shared, error_response(408, "request read timed out"), true);
+                return;
+            }
         }
         match stream.read(&mut buf) {
             Ok(0) => return, // peer closed
             Ok(n) => {
                 shared.wire.read(n as u64);
                 last_activity = Instant::now();
+                if request_start.is_none() {
+                    request_start = Some(last_activity);
+                }
                 match parser.feed(&buf[..n]) {
                     Ok(Some(req)) => {
+                        request_start = None;
                         let close =
                             req.wants_close() || shared.shutting_down.load(Ordering::Acquire);
                         let resp =

@@ -112,6 +112,24 @@ fn routed_reads_replica_headers_and_metrics_over_the_wire() {
     let applied: u64 = resp.header("X-Applied-Seq").unwrap().parse().unwrap();
     assert!(applied >= mark);
     resp.header("X-Replica-Lag").expect("lag header");
+    // Routed 200s set the ambient read-your-writes session cookie.
+    let cookie = resp.header("Set-Cookie").expect("session cookie").to_string();
+    assert!(
+        cookie.starts_with(&format!("covidkg-session={applied}.")),
+        "cookie carries the applied sequence: {cookie}"
+    );
+    assert!(cookie.ends_with("; Path=/"), "{cookie}");
+
+    // Replaying that cookie is an ambient min-seq floor: the read must
+    // again be served at (or past) the sequence it encodes.
+    let cookie_value = cookie.trim_end_matches("; Path=/");
+    let with_cookie = format!(
+        "GET /search/all-fields?q=covid HTTP/1.1\r\nHost: covidkg\r\nCookie: {cookie_value}\r\n\r\n"
+    );
+    let replay = client.send_raw(with_cookie.as_bytes()).unwrap();
+    assert_eq!(replay.status, 200, "{}", replay.text());
+    let replay_applied: u64 = replay.header("X-Applied-Seq").unwrap().parse().unwrap();
+    assert!(replay_applied >= applied, "cookie floor honored");
 
     // The caught-up replica takes reads once its gauge mirror ticks.
     assert!(
@@ -133,6 +151,10 @@ fn routed_reads_replica_headers_and_metrics_over_the_wire() {
         "{text}"
     );
     assert!(text.contains("covidkg_repl_bytes_shipped "), "{text}");
+    assert!(text.contains("covidkg_repl_epoch "), "{text}");
+    assert!(text.contains("covidkg_repl_batches_shipped "), "{text}");
+    assert!(text.contains("covidkg_repl_bytes_saved "), "{text}");
+    assert!(text.contains("covidkg_repl_fenced_sessions 0\n"), "{text}");
 
     drop(http);
     drop(node);
@@ -157,6 +179,7 @@ fn unsatisfiable_min_seq_on_a_pure_replica_pool_is_503() {
             name: "stale".into(),
             server: Arc::clone(&server),
             applied: Arc::new(AtomicU64::new(3)),
+            health: Arc::new(std::sync::atomic::AtomicU8::new(0)),
         }],
         Arc::new(|| 3),
         8,
@@ -166,6 +189,7 @@ fn unsatisfiable_min_seq_on_a_pure_replica_pool_is_503() {
         Some(ReadContext {
             router,
             metrics: None,
+            epoch: None,
             ryw_deadline: Duration::from_millis(100),
         }),
         NetConfig::default(),

@@ -201,6 +201,51 @@ fn keep_alive_pipelining_and_split_writes_work_over_tcp() {
 }
 
 #[test]
+fn slow_loris_trickle_gets_408_despite_constant_progress() {
+    let (_serve, http) = start_stack(
+        ServeConfig::default(),
+        NetConfig {
+            read_timeout: Duration::from_millis(300),
+            ..NetConfig::default()
+        },
+    );
+    let mut conn = client(&http);
+    // A deliberately trickling client: one byte per 40ms keeps the
+    // socket "active" on every tick, so an idle-based deadline would
+    // never fire. The cumulative per-request deadline must cut it off
+    // with an honest 408 regardless of the steady progress.
+    let raw = b"GET /search/all-fields?q=loris&page=0 HTTP/1.1\r\nHost: t\r\n\r\n";
+    let start = std::time::Instant::now();
+    let mut timed_out = None;
+    for byte in raw.iter() {
+        use std::io::Write;
+        if conn.stream().write_all(std::slice::from_ref(byte)).is_err() {
+            break; // server already hung up on us — also acceptable
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        if start.elapsed() > Duration::from_secs(3) {
+            break;
+        }
+        // Trickling far past the deadline: the 408 should have landed.
+        if start.elapsed() > Duration::from_millis(600) {
+            if let Ok(resp) = conn.read_response() {
+                timed_out = Some(resp);
+            }
+            break;
+        }
+    }
+    let resp = timed_out
+        .or_else(|| conn.read_response().ok())
+        .expect("server must answer the trickler before hanging up");
+    assert_eq!(resp.status, 408, "trickling client gets an honest 408");
+    assert!(resp.wants_close(), "a timed-out request poisons the connection");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "the 408 must arrive promptly, not after the full request"
+    );
+}
+
+#[test]
 fn connection_cap_rejects_excess_with_503() {
     let (_serve, http) = start_stack(
         ServeConfig::default(),

@@ -1,0 +1,237 @@
+//! Std-only LZ77-style byte compressor for batched WAL frame shipping.
+//!
+//! WAL records are small JSON objects with heavily repeated structure
+//! (field names, ids, shard labels), so runs of frames compress well
+//! with plain dictionary matching — no entropy coder needed. The format
+//! follows the repo's hermetic-dependency rule (like covidkg-rand and
+//! the in-repo JSON): simple enough to audit, deterministic, and safe
+//! to decode from a hostile peer.
+//!
+//! # Format
+//!
+//! The stream is a sequence of *groups*: one control byte followed by
+//! up to eight tokens, bit `i` (LSB-first) of the control byte
+//! describing token `i`:
+//!
+//! - bit = 0 → **literal**: one raw byte.
+//! - bit = 1 → **match**: three bytes — `u16` LE distance (1-based,
+//!   ≤ 64 KiB back into the output produced so far) and `u8` encoding
+//!   `length - MIN_MATCH` (so matches span 4..=259 bytes).
+//!
+//! The final group may be partial; decoding stops when the input is
+//! exhausted. Matches may overlap their own output (distance < length
+//! copies byte-at-a-time), which encodes runs cheaply.
+//!
+//! Corrupt input (distance past the start of output, truncated match
+//! token, output exceeding the caller's cap) is a decode error — the
+//! replication layer treats it like a CRC mismatch and reconnects.
+
+/// Shortest run worth encoding as a match: a match token costs 3 bytes
+/// plus its control bit, so 4 is the break-even point.
+const MIN_MATCH: usize = 4;
+/// Longest match one token can encode (`MIN_MATCH + u8::MAX`).
+const MAX_MATCH: usize = MIN_MATCH + 255;
+/// How far back a match may reach (bounded by the u16 distance field).
+const WINDOW: usize = 1 << 16;
+/// Hash-chain head table size; indexes positions by 4-byte prefix.
+const HASH_BITS: u32 = 15;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`. Always succeeds; worst case (incompressible data)
+/// costs one control byte per 8 literals (~12.5% expansion).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Most recent position seen for each 4-byte-prefix hash. A single
+    // head (no chains) keeps compression O(n) — plenty for JSON runs.
+    let mut heads = vec![u32::MAX; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut group = Vec::with_capacity(1 + 8 * 3);
+    let mut flags = 0u8;
+    let mut tokens = 0u8;
+
+    let flush = |out: &mut Vec<u8>, group: &mut Vec<u8>, flags: &mut u8, tokens: &mut u8| {
+        if *tokens > 0 {
+            out.push(*flags);
+            out.extend_from_slice(group);
+            group.clear();
+            *flags = 0;
+            *tokens = 0;
+        }
+    };
+
+    while pos < input.len() {
+        let mut match_len = 0usize;
+        let mut match_dist = 0usize;
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash4(&input[pos..]);
+            let cand = heads[h] as usize;
+            heads[h] = pos as u32;
+            if cand != u32::MAX as usize && cand < pos && pos - cand <= WINDOW {
+                let dist = pos - cand;
+                let limit = (input.len() - pos).min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < limit && input[cand + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len >= MIN_MATCH {
+                    match_len = len;
+                    match_dist = dist;
+                }
+            }
+        }
+        if match_len > 0 {
+            flags |= 1 << tokens;
+            group.extend_from_slice(&(match_dist as u16).to_le_bytes());
+            group.push((match_len - MIN_MATCH) as u8);
+            // Seed the hash table through the matched region so later
+            // matches can reference bytes inside it.
+            let end = (pos + match_len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            for p in (pos + 1)..end {
+                heads[hash4(&input[p..])] = p as u32;
+            }
+            pos += match_len;
+        } else {
+            group.push(input[pos]);
+            pos += 1;
+        }
+        tokens += 1;
+        if tokens == 8 {
+            flush(&mut out, &mut group, &mut flags, &mut tokens);
+        }
+    }
+    flush(&mut out, &mut group, &mut flags, &mut tokens);
+    out
+}
+
+/// Decompress a stream produced by [`compress`]. `max_len` bounds the
+/// output so a corrupt or malicious length can't balloon memory; the
+/// replication layer passes the batch header's declared uncompressed
+/// size and then checks the result length matches exactly.
+pub fn decompress(input: &[u8], max_len: usize) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(input.len().min(max_len));
+    let mut i = 0usize;
+    while i < input.len() {
+        let flags = input[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= input.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if i + 3 > input.len() {
+                    return Err("truncated match token".into());
+                }
+                let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+                let len = MIN_MATCH + input[i + 2] as usize;
+                i += 3;
+                if dist == 0 || dist > out.len() {
+                    return Err(format!("match distance {dist} outside produced output"));
+                }
+                if out.len() + len > max_len {
+                    return Err("decompressed output exceeds declared length".into());
+                }
+                // Byte-at-a-time: overlapping matches (dist < len) are
+                // legal and encode runs.
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                if out.len() + 1 > max_len {
+                    return Err("decompressed output exceeds declared length".into());
+                }
+                out.push(input[i]);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covidkg_rand::{RngCore, SeedableRng, SmallRng};
+
+    fn round_trip(data: &[u8]) {
+        let packed = compress(data);
+        let back = decompress(&packed, data.len()).unwrap();
+        assert_eq!(back, data, "round trip mismatch ({} bytes)", data.len());
+    }
+
+    #[test]
+    fn round_trips_edge_shapes() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"abcdabcdabcdabcd");
+        round_trip(&[0u8; 1000]); // long overlapping run
+        round_trip("αβγ αβγ αβγ repeated unicode".as_bytes());
+    }
+
+    #[test]
+    fn json_frames_actually_shrink() {
+        // The shape batched shipping sees: many small, similar records.
+        let mut data = Vec::new();
+        for i in 0..200 {
+            data.extend_from_slice(
+                format!(
+                    "{{\"kind\":\"insert\",\"doc\":{{\"_id\":\"doc-{i}\",\"title\":\"covid paper {i}\",\"year\":2021}}}}"
+                )
+                .as_bytes(),
+            );
+        }
+        let packed = compress(&data);
+        assert!(
+            packed.len() * 4 < data.len(),
+            "expected ≥4x on repetitive JSON, got {} -> {}",
+            data.len(),
+            packed.len()
+        );
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn seeded_random_buffers_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(0xC0BD);
+        for case in 0..40 {
+            let len = (rng.next_u64() % 4096) as usize;
+            let mut data = vec![0u8; len];
+            if case % 2 == 0 {
+                // Compressible: small alphabet with repeated chunks.
+                for b in data.iter_mut() {
+                    *b = b"aabbcc{}:\"x\"," [(rng.next_u64() % 13) as usize];
+                }
+            } else {
+                for b in data.iter_mut() {
+                    *b = (rng.next_u64() & 0xFF) as u8;
+                }
+            }
+            round_trip(&data);
+        }
+    }
+
+    #[test]
+    fn corrupt_streams_error_instead_of_panicking() {
+        let data = b"abcdabcdabcdabcdabcdabcd".to_vec();
+        let packed = compress(&data);
+        // Flipping any byte must yield either a clean error or a
+        // wrong-but-bounded buffer — never a panic or oversize output.
+        for i in 0..packed.len() {
+            let mut bad = packed.clone();
+            bad[i] ^= 0xFF;
+            if let Ok(out) = decompress(&bad, data.len()) {
+                assert!(out.len() <= data.len());
+            }
+        }
+        // Declared length smaller than actual output is an error.
+        assert!(decompress(&packed, 3).is_err());
+        // Distance pointing before the start of output is an error.
+        assert!(decompress(&[0x01, 0x09, 0x00, 0x00], 64).is_err());
+    }
+}

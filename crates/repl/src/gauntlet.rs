@@ -226,6 +226,7 @@ fn sync_until_converged(
         primary_addr,
         replica_name,
         gauntlet_policy(),
+        crate::failover::Epoch::default(),
     );
     let state = puller.state();
     let deadline = Instant::now() + CONVERGE_TIMEOUT;
@@ -266,7 +267,7 @@ fn outcome_applied(state: &crate::replica::PullerState) -> u64 {
 /// One wire fault the proxy injects, indexed by session number; later
 /// sessions pass through clean.
 #[derive(Clone, Copy)]
-enum WireFault {
+pub(crate) enum WireFault {
     /// Forward only this many upstream bytes, then sever both ways.
     CutAfter(u64),
     /// XOR 0x80 into the upstream byte at this stream offset.
@@ -276,14 +277,14 @@ enum WireFault {
 /// A byte-level TCP proxy between replica and primary that injects one
 /// scheduled fault per early session. Used to prove the replica
 /// survives severed and corrupted wires (CRC check, reconnect).
-struct WireProxy {
-    addr: SocketAddr,
+pub(crate) struct WireProxy {
+    pub(crate) addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl WireProxy {
-    fn start(upstream: SocketAddr, schedule: Vec<WireFault>) -> std::io::Result<WireProxy> {
+    pub(crate) fn start(upstream: SocketAddr, schedule: Vec<WireFault>) -> std::io::Result<WireProxy> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -299,7 +300,7 @@ impl WireProxy {
         })
     }
 
-    fn shutdown(&mut self) {
+    pub(crate) fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -517,6 +518,7 @@ pub fn run_repl_gauntlet(config: &ReplGauntletConfig) -> Result<ReplGauntletRepo
                 addr,
                 "gauntlet-r1",
                 gauntlet_policy(),
+                crate::failover::Epoch::default(),
             );
             std::thread::sleep(Duration::from_millis(rng.gen_range(1..25_u64)));
             puller.shutdown();

@@ -18,10 +18,19 @@
 //!   local query server + derived-state refresh);
 //! * [`ReadRouter`] — lag-aware round-robin read scaling with optional
 //!   read-your-writes via a client-supplied minimum sequence token;
-//! * [`protocol`] — the length-prefixed binary wire protocol;
+//! * [`protocol`] — the length-prefixed binary wire protocol, every
+//!   leadership-asserting message stamped with a fencing [`Epoch`];
+//! * [`failover`] — fenced failover: deterministic promotion
+//!   ([`elect`]) of exactly one replica on primary loss, epoch
+//!   bump + WAL ownership handoff, stale-epoch rejection so a revived
+//!   ex-primary cannot split-brain, plus the kill-the-primary gauntlet;
+//! * [`compress`] — std-only LZ compressor behind batched frame
+//!   shipping;
 //! * [`gauntlet`] — seeded kill/truncate/corrupt convergence gauntlet
 //!   asserting every replica ends byte-identical to the primary.
 
+pub mod compress;
+pub mod failover;
 pub mod gauntlet;
 pub mod metrics;
 pub mod primary;
@@ -29,6 +38,7 @@ pub mod protocol;
 pub mod replica;
 pub mod router;
 
+pub use failover::{elect, run_failover_gauntlet, Epoch, FailoverConfig, FailoverReport};
 pub use gauntlet::{run_repl_gauntlet, ReplGauntletConfig, ReplGauntletReport};
 pub use metrics::{ReplMetrics, ReplStats};
 pub use primary::{docs_checksum, ReplConfig, ReplListener};
@@ -36,7 +46,7 @@ pub use protocol::{Decoder, Message, ProtocolError};
 pub use replica::{
     list_collections, PullerState, ReplicaNode, ReplicaNodeConfig, ReplicaPuller,
 };
-pub use router::{ReadRouter, ReplicaTarget, RouteError, RouteInfo};
+pub use router::{ReadRouter, ReplicaTarget, RouteError, RouteInfo, TargetHealth};
 
 use covidkg_store::StoreError;
 

@@ -9,8 +9,12 @@ use std::sync::Mutex;
 pub struct ReplMetrics {
     bytes_shipped: AtomicU64,
     frames_shipped: AtomicU64,
+    batches_shipped: AtomicU64,
+    bytes_saved: AtomicU64,
     snapshot_bootstraps: AtomicU64,
     reconnects: AtomicU64,
+    fenced_sessions: AtomicU64,
+    epoch: AtomicU64,
     /// Last acked applied sequence per replica name, for the
     /// *publications* collection (the read-routing sequence token).
     applied: Mutex<BTreeMap<String, u64>>,
@@ -25,6 +29,28 @@ impl ReplMetrics {
     /// Record one WAL frame shipped.
     pub fn frame_shipped(&self) {
         self.frames_shipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one compressed frame batch shipped: `frames` records went
+    /// out as a unit, `uncompressed` entry bytes became `wire` bytes.
+    pub fn batch_shipped(&self, frames: usize, uncompressed: usize, wire: usize) {
+        self.batches_shipped.fetch_add(1, Ordering::Relaxed);
+        self.frames_shipped
+            .fetch_add(frames as u64, Ordering::Relaxed);
+        self.bytes_saved.fetch_add(
+            uncompressed.saturating_sub(wire) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Record a session rejected for carrying a stale fencing epoch.
+    pub fn fenced_session(&self) {
+        self.fenced_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the node's current fencing epoch (gauge, kept at max).
+    pub fn observe_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
     }
 
     /// Record one snapshot bootstrap (straggler fed a checkpoint).
@@ -55,8 +81,12 @@ impl ReplMetrics {
         ReplStats {
             bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
             frames_shipped: self.frames_shipped.load(Ordering::Relaxed),
+            batches_shipped: self.batches_shipped.load(Ordering::Relaxed),
+            bytes_saved: self.bytes_saved.load(Ordering::Relaxed),
             snapshot_bootstraps: self.snapshot_bootstraps.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            fenced_sessions: self.fenced_sessions.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
             replicas: self
                 .applied
                 .lock()
@@ -73,12 +103,20 @@ impl ReplMetrics {
 pub struct ReplStats {
     /// Total wire bytes shipped to replicas.
     pub bytes_shipped: u64,
-    /// WAL frames shipped.
+    /// WAL frames shipped (standalone and inside batches).
     pub frames_shipped: u64,
+    /// Compressed frame batches shipped.
+    pub batches_shipped: u64,
+    /// Entry bytes saved by batch compression (uncompressed − wire).
+    pub bytes_saved: u64,
     /// Snapshot bootstraps served to stragglers.
     pub snapshot_bootstraps: u64,
     /// Sessions from replicas seen before (reconnects).
     pub reconnects: u64,
+    /// Sessions rejected for carrying a stale fencing epoch.
+    pub fenced_sessions: u64,
+    /// Highest fencing epoch this node has stamped or witnessed.
+    pub epoch: u64,
     /// (replica name, applied publications sequence) pairs.
     pub replicas: Vec<(String, u64)>,
 }
@@ -92,15 +130,23 @@ mod tests {
         let m = ReplMetrics::default();
         m.shipped(100);
         m.frame_shipped();
+        m.batch_shipped(7, 900, 300);
         m.snapshot_bootstrap();
+        m.fenced_session();
+        m.observe_epoch(3);
+        m.observe_epoch(2);
         assert!(!m.acked("r1", 5), "first ack: unknown replica");
         assert!(m.acked("r1", 3), "later acks: known");
         m.reconnect();
         let s = m.snapshot();
         assert_eq!(s.bytes_shipped, 100);
-        assert_eq!(s.frames_shipped, 1);
+        assert_eq!(s.frames_shipped, 8, "batch frames count toward the total");
+        assert_eq!(s.batches_shipped, 1);
+        assert_eq!(s.bytes_saved, 600);
         assert_eq!(s.snapshot_bootstraps, 1);
         assert_eq!(s.reconnects, 1);
+        assert_eq!(s.fenced_sessions, 1);
+        assert_eq!(s.epoch, 3, "epoch gauge keeps the max");
         assert_eq!(s.replicas, vec![("r1".to_string(), 5)], "ack is monotonic");
     }
 }

@@ -6,8 +6,9 @@
 //! so shutdown and acks are noticed between sends, a panic-safe slot
 //! guard, and a draining shutdown that joins every session thread.
 
+use crate::failover::Epoch;
 use crate::metrics::{ReplMetrics, ReplStats};
-use crate::protocol::{frame, pump, Decoder, Message};
+use crate::protocol::{batch, frame, pump, Decoder, Message};
 use covidkg_json::Value;
 use covidkg_store::shard::route_hash;
 use covidkg_store::wal::WalTail;
@@ -31,6 +32,15 @@ pub struct ReplConfig {
     pub write_timeout: Duration,
     /// Idle heartbeat interval (keeps replica lag clocks honest).
     pub heartbeat_interval: Duration,
+    /// Fencing epoch this listener stamps on every shipped message. A
+    /// *shared* handle: a promoted replica passes the epoch it already
+    /// holds, and a cascading relay's listener stays live-linked to the
+    /// epoch its puller learns from upstream.
+    pub epoch: Epoch,
+    /// Coalesce runs of ≥ 2 tailed frames into compressed
+    /// [`Message::FrameBatch`]es (bounded by [`MAX_BATCH_FRAMES`] /
+    /// [`MAX_BATCH_BYTES`]). Off ships every frame standalone.
+    pub batch_frames: bool,
 }
 
 impl Default for ReplConfig {
@@ -40,9 +50,16 @@ impl Default for ReplConfig {
             max_sessions: 16,
             write_timeout: Duration::from_secs(5),
             heartbeat_interval: Duration::from_millis(500),
+            epoch: Epoch::default(),
+            batch_frames: true,
         }
     }
 }
+
+/// Most frames one batch may carry.
+pub const MAX_BATCH_FRAMES: usize = 128;
+/// Most uncompressed entry bytes one batch may carry.
+pub const MAX_BATCH_BYTES: usize = 256 * 1024;
 
 /// Read-timeout tick (same rationale as covidkg-net's).
 const TICK: Duration = Duration::from_millis(50);
@@ -67,6 +84,10 @@ struct Shared {
     metrics: Arc<ReplMetrics>,
     shutting_down: AtomicBool,
     active: AtomicU64,
+    /// Set when a replica's Hello carried a *newer* fencing epoch than
+    /// ours: somewhere a promotion happened that we missed, so we are a
+    /// deposed ex-primary and must stop shipping (split-brain guard).
+    fenced: AtomicBool,
     /// (replica, collection) pairs already served once — a second
     /// session from the same pair is a reconnect.
     seen: Mutex<HashSet<(String, String)>>,
@@ -88,12 +109,15 @@ impl ReplListener {
     ) -> std::io::Result<ReplListener> {
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(ReplMetrics::default());
+        metrics.observe_epoch(config.epoch.get());
         let shared = Arc::new(Shared {
             sources: sources.into_iter().collect(),
             config,
-            metrics: Arc::new(ReplMetrics::default()),
+            metrics,
             shutting_down: AtomicBool::new(false),
             active: AtomicU64::new(0),
+            fenced: AtomicBool::new(false),
             seen: Mutex::new(HashSet::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -121,6 +145,17 @@ impl ReplListener {
     /// Point-in-time replication counters.
     pub fn stats(&self) -> ReplStats {
         self.shared.metrics.snapshot()
+    }
+
+    /// The fencing epoch this listener stamps on shipped messages.
+    pub fn epoch(&self) -> u64 {
+        self.shared.config.epoch.get()
+    }
+
+    /// True once a session revealed a newer epoch elsewhere: this node
+    /// is a deposed ex-primary and has stopped shipping frames.
+    pub fn is_fenced(&self) -> bool {
+        self.shared.fenced.load(Ordering::Acquire)
     }
 
     /// Durable watermark of the publications collection (the read-
@@ -227,7 +262,28 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
                     replica,
                     collection,
                     from_seq,
+                    epoch,
                 } => {
+                    let ours = shared.config.epoch.get();
+                    if epoch > ours {
+                        // The replica has witnessed a newer leadership
+                        // generation: a promotion happened without us.
+                        // We are the deposed primary — fence ourselves
+                        // and refuse, rather than shipping stale frames.
+                        shared.fenced.store(true, Ordering::Release);
+                        shared.metrics.fenced_session();
+                        let _ = Message::Error(format!(
+                            "fenced: peer epoch {epoch} > primary epoch {ours}"
+                        ))
+                        .write_to(&mut stream);
+                        return;
+                    }
+                    if shared.fenced.load(Ordering::Acquire) {
+                        shared.metrics.fenced_session();
+                        let _ = Message::Error("fenced: primary was deposed".into())
+                            .write_to(&mut stream);
+                        return;
+                    }
                     stream_collection(
                         &mut stream,
                         shared,
@@ -248,15 +304,15 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Send `msg`, recording shipped bytes. Returns false when the peer is
-/// unusable (session should end).
-fn send(stream: &mut TcpStream, shared: &Shared, msg: &Message) -> bool {
+/// Send `msg`, recording shipped bytes. `None` when the peer is
+/// unusable (session should end); `Some(wire_bytes)` otherwise.
+fn send(stream: &mut TcpStream, shared: &Shared, msg: &Message) -> Option<usize> {
     match msg.write_to(stream) {
         Ok(n) => {
             shared.metrics.shipped(n);
-            true
+            Some(n)
         }
-        Err(_) => false,
+        Err(_) => None,
     }
 }
 
@@ -273,16 +329,16 @@ fn send_checkpoint(
         seq,
         docs: docs.len() as u64,
     };
-    if !send(stream, shared, &begin) {
+    if send(stream, shared, &begin).is_none() {
         return Ok(None);
     }
     let checksum = docs_checksum(docs.iter());
     for doc in docs {
-        if !send(stream, shared, &Message::CheckpointDoc(doc)) {
+        if send(stream, shared, &Message::CheckpointDoc(doc)).is_none() {
             return Ok(None);
         }
     }
-    if !send(stream, shared, &Message::CheckpointEnd { checksum }) {
+    if send(stream, shared, &Message::CheckpointEnd { checksum }).is_none() {
         return Ok(None);
     }
     shared.metrics.snapshot_bootstrap();
@@ -314,8 +370,9 @@ fn stream_collection(
         shards: coll.config().shards,
         text_fields: coll.config().text_fields.clone(),
         watermark: coll.repl_watermark(),
+        epoch: shared.config.epoch.get(),
     };
-    if !send(stream, shared, &meta) {
+    if send(stream, shared, &meta).is_none() {
         return;
     }
 
@@ -343,16 +400,24 @@ fn stream_collection(
             }
         }
 
-        // Ship everything new past `next`.
+        // A promotion elsewhere fences this whole listener mid-stream:
+        // stop shipping instantly rather than racing the new primary.
+        if shared.fenced.load(Ordering::Acquire) {
+            let _ = Message::Error("fenced: primary was deposed".into()).write_to(stream);
+            return;
+        }
+
+        // Ship everything new past `next`. The epoch is re-read per
+        // iteration: a cascading relay's epoch can advance mid-session
+        // when its upstream is promoted.
+        let epoch = shared.config.epoch.get();
         match coll.tail_from(next) {
             Ok(WalTail::Records(records)) => {
-                for (seq, record) in records {
-                    let msg = frame(seq, record.to_value().to_json().into_bytes());
-                    if !send(stream, shared, &msg) {
-                        return;
-                    }
-                    shared.metrics.frame_shipped();
-                    next = seq + 1;
+                let shipped_any = !records.is_empty();
+                if !ship_records(stream, shared, epoch, records, &mut next) {
+                    return;
+                }
+                if shipped_any {
                     last_sent = Instant::now();
                 }
             }
@@ -380,12 +445,73 @@ fn stream_collection(
         if last_sent.elapsed() >= shared.config.heartbeat_interval {
             let hb = Message::Heartbeat {
                 watermark: coll.repl_watermark(),
+                epoch,
             };
-            if !send(stream, shared, &hb) {
+            if send(stream, shared, &hb).is_none() {
                 return;
             }
             last_sent = Instant::now();
         }
         let _ = stream.flush();
     }
+}
+
+/// Ship a tailed run of records, coalescing runs of small frames into
+/// compressed batches when enabled. Returns false when the peer died.
+fn ship_records(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    epoch: u64,
+    records: Vec<(u64, covidkg_store::WalRecord)>,
+    next: &mut u64,
+) -> bool {
+    let mut pending: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut pending_bytes = 0usize;
+
+    let flush = |stream: &mut TcpStream,
+                 pending: &mut Vec<(u64, Vec<u8>)>,
+                 pending_bytes: &mut usize,
+                 next: &mut u64|
+     -> bool {
+        if pending.is_empty() {
+            return true;
+        }
+        let last_seq = pending.last().expect("non-empty").0;
+        let count = pending.len();
+        if count == 1 || !shared.config.batch_frames {
+            // A lone frame (or batching off): the standalone message is
+            // cheaper than a batch header + compressor warm-up.
+            for (seq, record) in pending.drain(..) {
+                let msg = frame(epoch, seq, record);
+                if send(stream, shared, &msg).is_none() {
+                    return false;
+                }
+                shared.metrics.frame_shipped();
+            }
+        } else {
+            // Entry bytes as the batch encoder lays them out (16-byte
+            // header per record) — the compression baseline.
+            let uncompressed = *pending_bytes + 16 * count;
+            let msg = batch(epoch, std::mem::take(pending));
+            let Some(wire) = send(stream, shared, &msg) else {
+                return false;
+            };
+            shared.metrics.batch_shipped(count, uncompressed, wire);
+        }
+        *pending_bytes = 0;
+        *next = last_seq + 1;
+        true
+    };
+
+    for (seq, record) in records {
+        let bytes = record.to_value().to_json().into_bytes();
+        let full =
+            pending.len() >= MAX_BATCH_FRAMES || pending_bytes + bytes.len() > MAX_BATCH_BYTES;
+        if full && !flush(stream, &mut pending, &mut pending_bytes, next) {
+            return false;
+        }
+        pending_bytes += bytes.len();
+        pending.push((seq, bytes));
+    }
+    flush(stream, &mut pending, &mut pending_bytes, next)
 }

@@ -14,8 +14,9 @@
 //! and a refresh thread that rebuilds derived state (KG document,
 //! profiles, generation) whenever applied frames advance.
 
-use crate::primary::docs_checksum;
-use crate::protocol::{pump, Decoder, Message};
+use crate::failover::Epoch;
+use crate::primary::{docs_checksum, ReplConfig, ReplListener};
+use crate::protocol::{pump, BatchFrame, Decoder, Message};
 use crate::ReplError;
 use covidkg_core::{CovidKg, CovidKgConfig};
 use covidkg_json::{parse, Value};
@@ -54,6 +55,9 @@ pub struct PullerState {
     pub reconnects: AtomicU64,
     /// Snapshot bootstraps installed.
     pub checkpoints: AtomicU64,
+    /// Sessions aborted because the sender's fencing epoch was older
+    /// than ours — a deposed ex-primary tried to ship stale frames.
+    pub fenced_rejects: AtomicU64,
     /// Set once the replica has caught up with the primary's watermark
     /// at least once (sticky).
     pub synced: AtomicBool,
@@ -78,13 +82,17 @@ pub struct ReplicaPuller {
 }
 
 impl ReplicaPuller {
-    /// Start pulling `collection` from `primary` into `coll`.
+    /// Start pulling `collection` from `primary` into `coll`. `epoch`
+    /// is the node's shared fencing-epoch handle: the puller stamps it
+    /// on its Hello, adopts any newer epoch the stream carries, and
+    /// refuses frames stamped older (a fenced ex-primary).
     pub fn start(
         coll: Arc<Collection>,
         collection: impl Into<String>,
         primary: SocketAddr,
         replica_name: impl Into<String>,
         policy: RetryPolicy,
+        epoch: Epoch,
     ) -> ReplicaPuller {
         let collection = collection.into();
         let replica_name = replica_name.into();
@@ -107,6 +115,7 @@ impl ReplicaPuller {
                     &policy,
                     &thread_stop,
                     &thread_state,
+                    &epoch,
                 );
             })
             .expect("spawn puller thread");
@@ -154,6 +163,7 @@ fn backoff_sleep(policy: &RetryPolicy, attempt: &mut u32, stop: &AtomicBool) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_puller(
     coll: Arc<Collection>,
     collection: &str,
@@ -162,6 +172,7 @@ fn run_puller(
     policy: &RetryPolicy,
     stop: &AtomicBool,
     state: &PullerState,
+    epoch: &Epoch,
 ) {
     let mut attempt = 0u32;
     let mut sessions = 0u64;
@@ -178,7 +189,7 @@ fn run_puller(
         }
         sessions += 1;
         // A session that made progress resets the backoff clock.
-        if run_session(stream, &coll, collection, replica_name, stop, state).is_ok() {
+        if run_session(stream, &coll, collection, replica_name, stop, state, epoch).is_ok() {
             attempt = 0;
         }
         if stop.load(Ordering::Acquire) {
@@ -198,6 +209,7 @@ struct CheckpointBuf {
 /// One replication session. `Ok(())` means the session made progress
 /// (or ended cleanly); `Err` means it died before achieving anything,
 /// which keeps the reconnect backoff growing.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     mut stream: TcpStream,
     coll: &Collection,
@@ -205,6 +217,7 @@ fn run_session(
     replica_name: &str,
     stop: &AtomicBool,
     state: &PullerState,
+    epoch: &Epoch,
 ) -> Result<(), ReplError> {
     let _ = stream.set_read_timeout(Some(TICK));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
@@ -215,8 +228,24 @@ fn run_session(
         replica: replica_name.to_string(),
         collection: collection.to_string(),
         from_seq: durable + 1,
+        epoch: epoch.get(),
     }
     .write_to(&mut stream)?;
+
+    // Reject anything stamped with an epoch older than ours (a fenced
+    // ex-primary replaying stale frames); adopt anything newer (a
+    // promotion upstream we hadn't heard about yet).
+    let check_epoch = |msg_epoch: u64, what: &str| -> Result<(), ReplError> {
+        let ours = epoch.get();
+        if msg_epoch < ours {
+            state.fenced_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(ReplError::Protocol(format!(
+                "stale {what}: epoch {msg_epoch} < ours {ours}"
+            )));
+        }
+        epoch.observe(msg_epoch);
+        Ok(())
+    };
 
     let mut decoder = Decoder::new();
     let mut scratch = vec![0u8; 64 * 1024];
@@ -243,11 +272,20 @@ fn run_session(
         let mut advanced = false;
         for msg in msgs {
             match msg {
-                Message::Meta { watermark, .. } => {
+                Message::Meta {
+                    watermark,
+                    epoch: msg_epoch,
+                    ..
+                } => {
+                    check_epoch(msg_epoch, "meta")?;
                     meta_seen = true;
                     bump_max(&state.primary_watermark, watermark);
                 }
-                Message::Heartbeat { watermark } => {
+                Message::Heartbeat {
+                    watermark,
+                    epoch: msg_epoch,
+                } => {
+                    check_epoch(msg_epoch, "heartbeat")?;
                     meta_seen = true;
                     bump_max(&state.primary_watermark, watermark);
                 }
@@ -283,26 +321,29 @@ fn run_session(
                     advanced = true;
                     progressed = true;
                 }
-                Message::Frame { seq, crc, record } => {
-                    if crc32(&record) != crc {
-                        // A flipped wire bit: never let it near the WAL.
-                        return Err(ReplError::Protocol(format!(
-                            "frame {seq} failed its crc check"
-                        )));
-                    }
-                    let text = std::str::from_utf8(&record)
-                        .map_err(|_| ReplError::Protocol("frame is not UTF-8".into()))?;
-                    let value = parse(text)
-                        .map_err(|e| ReplError::Protocol(format!("frame is not JSON: {e:?}")))?;
-                    let rec = WalRecord::from_value(&value)?;
-                    // A gap (or any store failure) aborts the session;
-                    // the reconnect re-requests from our durable
-                    // watermark, which repairs it.
-                    if coll.apply_replicated(seq, &rec)? {
+                Message::Frame {
+                    epoch: msg_epoch,
+                    seq,
+                    crc,
+                    record,
+                } => {
+                    check_epoch(msg_epoch, "frame")?;
+                    if apply_frame(coll, state, seq, crc, &record)? {
                         advanced = true;
                         progressed = true;
                     }
-                    bump_max(&state.applied, coll.repl_watermark());
+                }
+                Message::FrameBatch {
+                    epoch: msg_epoch,
+                    frames,
+                } => {
+                    check_epoch(msg_epoch, "frame batch")?;
+                    for BatchFrame { seq, crc, record } in frames {
+                        if apply_frame(coll, state, seq, crc, &record)? {
+                            advanced = true;
+                            progressed = true;
+                        }
+                    }
                 }
                 Message::Error(text) => return Err(ReplError::Protocol(text)),
                 // Replica never expects handshake messages here.
@@ -327,6 +368,31 @@ fn run_session(
 
 fn bump_max(cell: &AtomicU64, value: u64) {
     cell.fetch_max(value, Ordering::AcqRel);
+}
+
+/// Verify and apply one shipped WAL record; returns whether the store
+/// advanced. A CRC/parse failure or apply gap aborts the session — the
+/// reconnect re-requests from the durable watermark, which repairs it.
+fn apply_frame(
+    coll: &Collection,
+    state: &PullerState,
+    seq: u64,
+    crc: u32,
+    record: &[u8],
+) -> Result<bool, ReplError> {
+    if crc32(record) != crc {
+        // A flipped wire bit: never let it near the WAL.
+        return Err(ReplError::Protocol(format!(
+            "frame {seq} failed its crc check"
+        )));
+    }
+    let text = std::str::from_utf8(record)
+        .map_err(|_| ReplError::Protocol("frame is not UTF-8".into()))?;
+    let value = parse(text).map_err(|e| ReplError::Protocol(format!("frame is not JSON: {e:?}")))?;
+    let rec = WalRecord::from_value(&value)?;
+    let applied = coll.apply_replicated(seq, &rec)?;
+    bump_max(&state.applied, coll.repl_watermark());
+    Ok(applied)
 }
 
 /// Ask the primary which collections it serves.
@@ -371,6 +437,8 @@ pub fn fetch_meta(
         // a far-future sequence keeps the stream quiet afterwards.
         // (Sequences ride JSON as i64, so i64::MAX is the wire's top.)
         from_seq: i64::MAX as u64,
+        // A probe never asserts leadership: epoch 0 can't fence anyone.
+        epoch: 0,
     }
     .write_to(&mut stream)?;
     let mut decoder = Decoder::new();
@@ -440,9 +508,12 @@ impl ReplicaNodeConfig {
 /// that refreshes derived state as frames apply.
 pub struct ReplicaNode {
     name: String,
+    data_dir: String,
+    reconnect: RetryPolicy,
     server: Arc<Server>,
     collections: BTreeMap<String, Arc<Collection>>,
     pullers: Vec<ReplicaPuller>,
+    epoch: Epoch,
     refresh_stop: Arc<AtomicBool>,
     refresh_handle: Option<JoinHandle<()>>,
 }
@@ -465,6 +536,10 @@ impl ReplicaNode {
             }
         };
         let db = Database::open(&config.data_dir)?;
+        // Rejoin at the leadership generation we last witnessed — a
+        // replica restarted after a failover must not trust a fenced
+        // ex-primary just because its own epoch reset to zero.
+        let epoch = Epoch::load(&config.data_dir)?;
         let mut collections = BTreeMap::new();
         for name in &names {
             let (shards, text_fields) = fetch_meta(config.primary, name, &config.name)?;
@@ -484,6 +559,7 @@ impl ReplicaNode {
                     config.primary,
                     config.name.clone(),
                     config.reconnect,
+                    epoch.clone(),
                 )
             })
             .collect();
@@ -538,9 +614,12 @@ impl ReplicaNode {
 
         Ok(ReplicaNode {
             name: config.name,
+            data_dir: config.data_dir,
+            reconnect: config.reconnect,
             server,
             collections,
             pullers,
+            epoch,
             refresh_stop,
             refresh_handle: Some(refresh_handle),
         })
@@ -583,6 +662,91 @@ impl ReplicaNode {
     /// Names of the replicated collections.
     pub fn collections(&self) -> Vec<String> {
         self.collections.keys().cloned().collect()
+    }
+
+    /// The node's shared fencing-epoch handle.
+    pub fn epoch_handle(&self) -> Epoch {
+        self.epoch.clone()
+    }
+
+    /// The highest leadership generation this node has witnessed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Total fenced-session rejections across this node's pullers.
+    pub fn fenced_rejects(&self) -> u64 {
+        self.pullers
+            .iter()
+            .map(|p| p.state().fenced_rejects.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Promote this replica to primary after the old primary died:
+    /// stop pulling, bump and **persist** the fencing epoch, and start
+    /// a replication listener over the same live collections. The
+    /// collections already went through the store's torn-tail-repairing
+    /// open path, so WAL ownership transfers without any copy — new
+    /// writes append past the last applied frame, and every message the
+    /// new listener ships is stamped with the bumped epoch, fencing the
+    /// old primary out if it revives.
+    ///
+    /// Call only after [`elect`](crate::failover::elect) picked this
+    /// node — promotion itself does not re-check the vote.
+    pub fn promote(&mut self, mut config: ReplConfig) -> Result<ReplListener, ReplError> {
+        for p in &mut self.pullers {
+            p.shutdown();
+        }
+        self.pullers.clear();
+        self.epoch.bump();
+        self.epoch.persist(&self.data_dir)?;
+        config.epoch = self.epoch.clone();
+        let sources = self
+            .collections
+            .iter()
+            .map(|(n, c)| (n.clone(), Arc::clone(c)))
+            .collect();
+        ReplListener::start(sources, config).map_err(ReplError::Io)
+    }
+
+    /// Re-point this replica at a different primary (after a failover
+    /// elected someone else): restart every puller against `primary`,
+    /// keeping the collections, server, and epoch handle. The durable
+    /// watermark makes the handoff safe — the first Hello resumes from
+    /// exactly what this node already applied.
+    pub fn repoint(&mut self, primary: SocketAddr) {
+        for p in &mut self.pullers {
+            p.shutdown();
+        }
+        self.pullers = self
+            .collections
+            .iter()
+            .map(|(name, coll)| {
+                ReplicaPuller::start(
+                    Arc::clone(coll),
+                    name.clone(),
+                    primary,
+                    self.name.clone(),
+                    self.reconnect,
+                    self.epoch.clone(),
+                )
+            })
+            .collect();
+    }
+
+    /// Start re-shipping this replica's collections downstream while it
+    /// keeps pulling from its own upstream (cascading replication). The
+    /// relay listener shares this node's epoch handle, so a promotion
+    /// learned from upstream is immediately stamped on every frame
+    /// shipped downstream — epoch checks propagate through the chain.
+    pub fn relay(&self, mut config: ReplConfig) -> std::io::Result<ReplListener> {
+        config.epoch = self.epoch.clone();
+        let sources = self
+            .collections
+            .iter()
+            .map(|(n, c)| (n.clone(), Arc::clone(c)))
+            .collect();
+        ReplListener::start(sources, config)
     }
 
     /// Stop pulling and serving. Idempotent.

@@ -9,9 +9,45 @@
 
 use covidkg_search::SearchMode;
 use covidkg_serve::{ServeError, ServeResponse, Server};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Routing availability of one replica. Only [`TargetHealth::Ready`]
+/// targets receive reads: a replica mid-promotion is tearing down its
+/// puller and taking WAL ownership (reads would race the handoff), and
+/// a fenced one is connected to a deposed primary whose stream is
+/// frozen. Flipping health is how a controlled failover keeps reads
+/// flowing — the router falls back to the remaining pool (or primary)
+/// instead of 500ing on a target in transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetHealth {
+    /// In the rotation.
+    Ready,
+    /// Being promoted to primary; out of the read rotation until the
+    /// handoff completes.
+    Promoting,
+    /// Fenced off (stale-epoch upstream); out of the rotation.
+    Fenced,
+}
+
+impl TargetHealth {
+    fn from_u8(v: u8) -> TargetHealth {
+        match v {
+            1 => TargetHealth::Promoting,
+            2 => TargetHealth::Fenced,
+            _ => TargetHealth::Ready,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            TargetHealth::Ready => 0,
+            TargetHealth::Promoting => 1,
+            TargetHealth::Fenced => 2,
+        }
+    }
+}
 
 /// One routable replica.
 pub struct ReplicaTarget {
@@ -21,6 +57,9 @@ pub struct ReplicaTarget {
     pub server: Arc<Server>,
     /// Its applied publications sequence (shared with the puller).
     pub applied: Arc<AtomicU64>,
+    /// Routing availability (see [`TargetHealth`]); shared so a
+    /// failover controller can flip it while the router runs.
+    pub health: Arc<AtomicU8>,
 }
 
 impl ReplicaTarget {
@@ -52,7 +91,19 @@ impl ReplicaTarget {
             name: name.into(),
             server,
             applied,
+            health: Arc::new(AtomicU8::new(TargetHealth::Ready.as_u8())),
         }
+    }
+
+    /// Current routing availability.
+    pub fn health(&self) -> TargetHealth {
+        TargetHealth::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    /// Flip routing availability (e.g. `Promoting` at the start of a
+    /// controlled failover, back to `Ready` once the handoff is done).
+    pub fn set_health(&self, health: TargetHealth) {
+        self.health.store(health.as_u8(), Ordering::Release);
     }
 }
 
@@ -171,6 +222,9 @@ impl ReadRouter {
         for i in 0..n {
             let idx = (start + i) % n;
             let t = &self.replicas[idx];
+            if t.health() != TargetHealth::Ready {
+                continue;
+            }
             let applied = t.applied.load(Ordering::Acquire);
             let lag = mark.saturating_sub(applied);
             if lag <= self.max_lag && applied >= min_seq {
@@ -264,6 +318,61 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn reads_never_fail_while_targets_cycle_through_a_controlled_failover() {
+        use covidkg_core::{CovidKg, CovidKgConfig};
+        use covidkg_serve::ServeConfig;
+
+        let system = CovidKg::build(CovidKgConfig {
+            corpus_size: 8,
+            max_training_rows: 50,
+            ..CovidKgConfig::default()
+        })
+        .unwrap();
+        let server = Arc::new(covidkg_serve::Server::start(system, ServeConfig::default()));
+        let target = |name: &str| ReplicaTarget {
+            name: name.into(),
+            server: Arc::clone(&server),
+            applied: Arc::new(AtomicU64::new(10)),
+            health: Arc::new(AtomicU8::new(TargetHealth::Ready.as_u8())),
+        };
+        let (r1, r2) = (target("r1"), target("r2"));
+        let (h1, h2) = (Arc::clone(&r1.health), Arc::clone(&r2.health));
+        let router = ReadRouter::new(
+            Some(Arc::clone(&server)),
+            vec![r1, r2],
+            Arc::new(|| 10),
+            2,
+        );
+        let set = |h: &Arc<AtomicU8>, v: TargetHealth| h.store(v.as_u8(), Ordering::Release);
+        let deadline = Duration::from_millis(50);
+
+        // A controlled failover walks r1 through Promoting and r2
+        // through Fenced; every route along the way must succeed and
+        // never land on a target that is out of the rotation.
+        let phases: [(TargetHealth, TargetHealth, &[&str]); 4] = [
+            (TargetHealth::Ready, TargetHealth::Ready, &["r1", "r2"]),
+            (TargetHealth::Promoting, TargetHealth::Ready, &["r2"]),
+            (TargetHealth::Promoting, TargetHealth::Fenced, &["primary"]),
+            (TargetHealth::Ready, TargetHealth::Ready, &["r1", "r2"]),
+        ];
+        for (st1, st2, allowed) in phases {
+            set(&h1, st1);
+            set(&h2, st2);
+            for _ in 0..20 {
+                let (_, info) = router
+                    .route(0, deadline)
+                    .expect("reads must not fail mid-failover");
+                assert!(
+                    allowed.contains(&info.replica.as_str()),
+                    "picked {} while healths were {st1:?}/{st2:?}",
+                    info.replica
+                );
+            }
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn resync(dir: &Path, addr: std::net::SocketAddr, primary: &Collection) -> Resul
             base: Duration::from_millis(2),
             max_backoff: Duration::from_millis(50),
         },
+        covidkg_repl::Epoch::default(),
     );
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {

@@ -1,0 +1,370 @@
+//! Satellite property: for random cluster sizes (2–5), random kill
+//! points and cascaded topologies, killing the primary always yields
+//! **exactly one** new primary (every survivor's election agrees) and
+//! all survivors converge to byte-identical content checksums. Driven
+//! by `covidkg_rand::prop::run_shrink`, so a failing case shrinks to a
+//! minimal counterexample (fewest nodes, earliest kill, no cascade)
+//! and replays from its printed seed.
+
+use covidkg_rand::{prop, Rng};
+use covidkg_repl::protocol::{frame, pump, Decoder, Message};
+use covidkg_repl::{elect, Epoch, ReplConfig, ReplListener, ReplicaPuller};
+use covidkg_store::{Collection, CollectionConfig, Database, RetryPolicy};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn shape() -> CollectionConfig {
+    CollectionConfig::new("publications")
+        .with_shards(2)
+        .with_text_fields(["title"])
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 8,
+        base: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(50),
+    }
+}
+
+/// One clustered node: a collection plus the failover plumbing.
+struct Node {
+    id: String,
+    dir: PathBuf,
+    _db: Database,
+    coll: Arc<Collection>,
+    epoch: Epoch,
+    puller: Option<ReplicaPuller>,
+    listener: Option<ReplListener>,
+}
+
+impl Node {
+    fn open(root: &Path, id: String) -> Result<Node, String> {
+        let dir = root.join(&id);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {id}: {e}"))?;
+        let db = Database::open(&dir).map_err(|e| format!("open {id}: {e}"))?;
+        let coll = db.get_or_create(shape()).map_err(|e| format!("coll {id}: {e}"))?;
+        let epoch = Epoch::load(&dir).map_err(|e| format!("epoch {id}: {e}"))?;
+        Ok(Node { id, dir, _db: db, coll, epoch, puller: None, listener: None })
+    }
+
+    fn follow(&mut self, upstream: std::net::SocketAddr) {
+        self.stop_following();
+        self.puller = Some(ReplicaPuller::start(
+            Arc::clone(&self.coll),
+            "publications",
+            upstream,
+            self.id.clone(),
+            policy(),
+            self.epoch.clone(),
+        ));
+    }
+
+    fn stop_following(&mut self) {
+        if let Some(mut p) = self.puller.take() {
+            p.shutdown();
+        }
+    }
+
+    fn serve(&mut self) -> Result<std::net::SocketAddr, String> {
+        let listener = ReplListener::start(
+            vec![("publications".into(), Arc::clone(&self.coll))],
+            ReplConfig {
+                heartbeat_interval: Duration::from_millis(100),
+                epoch: self.epoch.clone(),
+                ..ReplConfig::default()
+            },
+        )
+        .map_err(|e| format!("listen {}: {e}", self.id))?;
+        let addr = listener.local_addr();
+        self.listener = Some(listener);
+        Ok(addr)
+    }
+
+    fn promote(&mut self) -> Result<std::net::SocketAddr, String> {
+        self.stop_following();
+        self.epoch.bump();
+        self.epoch
+            .persist(&self.dir)
+            .map_err(|e| format!("persist {}: {e}", self.id))?;
+        self.serve()
+    }
+}
+
+fn write_docs(coll: &Collection, from: usize, count: usize) -> Result<(), String> {
+    for i in from..from + count {
+        coll.insert(covidkg_json::obj! {
+            "_id" => format!("p{i:04}"),
+            "title" => format!("spike protein study {i}"),
+            "n" => i as i64
+        })
+        .map_err(|e| format!("insert {i}: {e}"))?;
+    }
+    coll.sync().map_err(|e| format!("sync: {e}"))?;
+    Ok(())
+}
+
+fn converge(leader: &Collection, followers: &[&Node], what: &str) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let mark = leader.repl_watermark();
+        let sum = leader.content_checksum();
+        if followers
+            .iter()
+            .all(|n| n.coll.repl_watermark() >= mark && n.coll.content_checksum() == sum)
+        {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            let states: Vec<String> = followers
+                .iter()
+                .map(|n| format!("{}@{}", n.id, n.coll.repl_watermark()))
+                .collect();
+            return Err(format!(
+                "{what}: no convergence to {mark} ({})",
+                states.join(", ")
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// One random failover case.
+#[derive(Debug, Clone, PartialEq)]
+struct Case {
+    /// Replicas in the cluster (the primary is extra).
+    replicas: usize,
+    /// Documents written *after* the replicas attach, before the kill —
+    /// the kill point, effectively (0 = kill immediately).
+    docs_before_kill: usize,
+    /// Chain the last replica off the first (cascaded topology).
+    cascade: bool,
+}
+
+fn run_case(case: &Case, round: usize) -> Result<(), String> {
+    let root = std::env::temp_dir().join(format!(
+        "covidkg-failover-prop-{}-{round}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).map_err(|e| format!("mkdir: {e}"))?;
+
+    // Primary with a base workload, serving at epoch 1.
+    let mut primary = Node::open(&root, "zz-primary".into())?;
+    write_docs(&primary.coll, 0, 8)?;
+    let addr = primary.promote()?;
+
+    // Replicas r0..rN; with cascade, the last one chains off r0's relay
+    // (shared epoch handle) instead of the primary.
+    let mut replicas: Vec<Node> = Vec::new();
+    for i in 0..case.replicas {
+        let mut n = Node::open(&root, format!("r{i}"))?;
+        if case.cascade && i + 1 == case.replicas && case.replicas >= 2 {
+            let relay_addr = replicas[0].serve()?;
+            n.follow(relay_addr);
+        } else {
+            n.follow(addr);
+        }
+        replicas.push(n);
+    }
+    let refs: Vec<&Node> = replicas.iter().collect();
+    converge(&primary.coll, &refs, "pre-kill sync")?;
+
+    // The kill point: more writes land, then the primary dies without
+    // waiting for anyone to catch up.
+    write_docs(&primary.coll, 8, case.docs_before_kill)?;
+    let final_sum = primary.coll.content_checksum();
+    std::thread::sleep(Duration::from_millis(20)); // let frames ship
+    primary.listener.take(); // kill
+
+    for n in replicas.iter_mut() {
+        n.stop_following();
+    }
+
+    // Election: every survivor evaluates the same rule over the same
+    // slate; all must agree on exactly one winner.
+    let slate: Vec<(String, u64)> = replicas
+        .iter()
+        .map(|n| (n.id.clone(), n.coll.repl_watermark()))
+        .collect();
+    let votes: Vec<Option<usize>> = replicas.iter().map(|_| elect(&slate)).collect();
+    let winner = votes[0].ok_or("no winner elected")?;
+    if votes.iter().any(|v| *v != Some(winner)) {
+        return Err(format!("split-brain: votes disagree: {votes:?}"));
+    }
+    // The winner must hold the highest applied sequence in the slate.
+    let best = slate.iter().map(|(_, a)| *a).max().unwrap_or(0);
+    if slate[winner].1 != best {
+        return Err(format!(
+            "winner {} applied {} < best {best}",
+            slate[winner].0, slate[winner].1
+        ));
+    }
+
+    // With no writes after the sync barrier, a kill may lose nothing:
+    // the winner must hold the old primary's exact content.
+    if case.docs_before_kill == 0 && replicas[winner].coll.content_checksum() != final_sum {
+        return Err("clean kill lost acknowledged content".into());
+    }
+
+    // Promote; everyone else re-points; cluster converges on content —
+    // including whatever tail of the final writes actually shipped.
+    let new_addr = replicas[winner].promote()?;
+    let new_epoch = replicas[winner].epoch.get();
+    if new_epoch < 2 {
+        return Err(format!("promotion did not bump the epoch: {new_epoch}"));
+    }
+    for (i, n) in replicas.iter_mut().enumerate() {
+        if i != winner {
+            n.follow(new_addr);
+        }
+    }
+    write_docs(&replicas[winner].coll, 2000, 3)?; // post-failover writes
+    let winner_coll = Arc::clone(&replicas[winner].coll);
+    let losers: Vec<&Node> = replicas
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != winner)
+        .map(|(_, n)| n)
+        .collect();
+    converge(&winner_coll, &losers, "post-promotion")?;
+
+    drop(replicas);
+    drop(primary);
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(())
+}
+
+#[test]
+fn random_kill_points_elect_exactly_one_primary_and_converge() {
+    let round = std::sync::atomic::AtomicUsize::new(0);
+    prop::run_shrink(
+        6,
+        |rng| Case {
+            replicas: rng.gen_range(2..=5),
+            docs_before_kill: rng.gen_range(0..12),
+            cascade: rng.gen_bool(0.4),
+        },
+        // Shrink toward the minimal cluster, the earliest kill and the
+        // flat topology.
+        |case| {
+            let mut smaller = Vec::new();
+            if case.replicas > 2 {
+                smaller.push(Case { replicas: case.replicas - 1, ..case.clone() });
+            }
+            if case.docs_before_kill > 0 {
+                smaller.push(Case { docs_before_kill: case.docs_before_kill / 2, ..case.clone() });
+                smaller.push(Case {
+                    docs_before_kill: case.docs_before_kill - 1,
+                    ..case.clone()
+                });
+            }
+            if case.cascade {
+                smaller.push(Case { cascade: false, ..case.clone() });
+            }
+            smaller
+        },
+        |case| {
+            let r = round.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            run_case(case, r).map_err(|e| format!("{case:?}: {e}"))
+        },
+    );
+}
+
+/// Fencing property: a deposed primary that revives and replays stale
+/// frames is rejected on sight — nothing it ships is applied, and a
+/// current replica that says Hello to it makes it fence itself.
+#[test]
+fn revived_old_primary_is_fenced_and_its_stale_frames_rejected() {
+    let root = std::env::temp_dir().join(format!("covidkg-fence-prop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    // A replica that has lived through two promotions (epoch 2).
+    let mut replica = Node::open(&root, "r0".into()).unwrap();
+    replica.epoch.observe(2);
+    let pre = replica.coll.content_checksum();
+
+    // Direction 1: a fake deposed primary ships Meta + Frame stamped
+    // epoch 0. The replica must reject the stream (fenced_rejects) and
+    // apply nothing.
+    let stale = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let stale_addr = stale.local_addr().unwrap();
+    let ship = std::thread::spawn(move || {
+        let Ok((mut s, _)) = stale.accept() else { return };
+        let _ = s.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut dec = Decoder::new();
+        let mut buf = [0u8; 8192];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match pump(&mut s, &mut dec, &mut buf) {
+                Ok(Some(msgs)) => {
+                    if msgs.iter().any(|m| matches!(m, Message::Hello { .. })) {
+                        let _ = Message::Meta {
+                            shards: 2,
+                            text_fields: vec!["title".into()],
+                            watermark: 999,
+                            epoch: 0,
+                        }
+                        .write_to(&mut s);
+                        let _ = frame(0, 999, b"{\"op\":\"d\",\"id\":\"zap\"}".to_vec())
+                            .write_to(&mut s);
+                        std::thread::sleep(Duration::from_millis(150));
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    });
+    replica.follow(stale_addr);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let rejected = loop {
+        let rejects = replica
+            .puller
+            .as_ref()
+            .map(|p| p.state().fenced_rejects.load(Ordering::Relaxed))
+            .unwrap_or(0);
+        if rejects > 0 {
+            break rejects;
+        }
+        if Instant::now() >= deadline {
+            break 0;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    replica.stop_following();
+    ship.join().unwrap();
+    assert!(rejected >= 1, "stale frames must be rejected");
+    assert_eq!(
+        replica.coll.content_checksum(),
+        pre,
+        "nothing from the stale stream may be applied"
+    );
+
+    // Direction 2: a real listener serving at the old epoch fences
+    // itself as soon as a newer-epoch replica says Hello.
+    let mut deposed = Node::open(&root, "deposed".into()).unwrap();
+    write_docs(&deposed.coll, 0, 4).unwrap();
+    let addr = deposed.serve().unwrap(); // serves at epoch 0
+    replica.follow(addr);
+    let listener = deposed.listener.as_ref().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !listener.is_fenced() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(listener.is_fenced(), "deposed primary must fence itself");
+    assert!(listener.stats().fenced_sessions >= 1);
+    replica.stop_following();
+    assert_eq!(
+        replica.coll.content_checksum(),
+        pre,
+        "the fenced primary shipped nothing"
+    );
+
+    drop(replica);
+    drop(deposed);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -172,6 +172,7 @@ fn router_prefers_caught_up_replica_and_honours_read_your_writes() {
             name: "replica-r".into(),
             server: node.server(),
             applied: Arc::clone(&applied),
+            health: Arc::new(std::sync::atomic::AtomicU8::new(0)),
         }],
         Arc::new(move || mark),
         8,

@@ -153,6 +153,41 @@ fn write_base_seq(wal_path: &Path, base_seq: u64) -> Result<(), StoreError> {
     Ok(())
 }
 
+/// Path of the fencing-epoch sidecar (`<wal>.epoch`). Records the
+/// replication leadership generation under which this node last owned
+/// or followed the log, so a restarted node rejoins the cluster at the
+/// correct epoch instead of a pre-failover one.
+fn epoch_path(wal_path: &Path) -> PathBuf {
+    wal_path.with_extension("epoch")
+}
+
+/// Read a WAL's fencing epoch from its sidecar (0 when none exists —
+/// a fresh node starts in the pre-failover generation).
+pub fn read_epoch(wal_path: &Path) -> Result<u64, StoreError> {
+    let raw = match std::fs::read_to_string(epoch_path(wal_path)) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    let v = parse(raw.trim()).map_err(|e| StoreError::Corrupt(format!("epoch sidecar: {e}")))?;
+    v.get("epoch")
+        .and_then(Value::as_i64)
+        .map(|n| n.max(0) as u64)
+        .ok_or_else(|| StoreError::Corrupt("epoch sidecar missing epoch".into()))
+}
+
+/// Persist a WAL's fencing epoch via tmp + rename, the same atomic
+/// shape as the seq sidecar: a crash mid-write leaves either the old
+/// epoch or the new one, never a torn file.
+pub fn write_epoch(wal_path: &Path, epoch: u64) -> Result<(), StoreError> {
+    let path = epoch_path(wal_path);
+    let tmp = path.with_extension("epoch.tmp");
+    let body = covidkg_json::obj! { "epoch" => epoch as i64 }.to_json();
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
 /// Appending WAL writer with torn-tail repair.
 #[derive(Debug)]
 pub struct WalWriter {
@@ -610,6 +645,20 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    #[test]
+    fn epoch_sidecar_round_trips_and_defaults_to_zero() {
+        let dir = tmpdir("epoch");
+        let path = dir.join("test.wal");
+        assert_eq!(read_epoch(&path).unwrap(), 0);
+        write_epoch(&path, 3).unwrap();
+        assert_eq!(read_epoch(&path).unwrap(), 3);
+        write_epoch(&path, 4).unwrap();
+        assert_eq!(read_epoch(&path).unwrap(), 4);
+        // Garbage is a corruption report, not a silent zero.
+        std::fs::write(epoch_path(&path), "not json").unwrap();
+        assert!(read_epoch(&path).is_err());
     }
 
     #[test]

@@ -42,6 +42,9 @@ test -s BENCH_net.json
 echo "==> replication smoke: WAL shipping, checksum convergence, read-your-writes"
 ./target/release/covidkg repl-smoke --corpus 16 --seed 7
 
+echo "==> failover property test (random kill points, election + fencing)"
+cargo test -p covidkg-repl --test failover_prop --offline -q
+
 echo "==> ANN recall property tests (HNSW vs brute-force oracle)"
 cargo test -p covidkg-ann --test recall_prop --offline -q
 

@@ -23,13 +23,23 @@
 //!    every frame boundary (plus seeded mid-frame cuts and byte flips),
 //!    corrupts the wire through a faulty proxy, and demands
 //!    byte-identical convergence (content checksums) every time.
+//! 5. **Failover gauntlet** — [`covidkg_repl::run_failover_gauntlet`]
+//!    kills the *primary* — at a frame boundary, mid-frame, and during
+//!    a snapshot bootstrap — and asserts exactly one survivor is
+//!    promoted (deterministic election, fencing-epoch bump), a revived
+//!    ex-primary is fenced out (its stale frames rejected, no
+//!    split-brain), a cascaded chain survives mid-chain promotion, and
+//!    every survivor converges to byte-identical content checksums.
 //!
 //! The CLI front-end is `covidkg chaos` (see `main.rs`); the survival
 //! report renders PASS/FAIL per invariant.
 
 use covidkg_core::{CovidKg, CovidKgConfig};
 use covidkg_corpus::CorpusGenerator;
-use covidkg_repl::{run_repl_gauntlet, ReplGauntletConfig, ReplGauntletReport};
+use covidkg_repl::{
+    run_failover_gauntlet, run_repl_gauntlet, FailoverConfig, FailoverReport, ReplGauntletConfig,
+    ReplGauntletReport,
+};
 use covidkg_serve::loadgen::{self, LoadGenConfig, LoadGenReport};
 use covidkg_serve::{InjectedFaults, ServeConfig, ServeStats, Server};
 use covidkg_store::{
@@ -110,6 +120,8 @@ pub struct ChaosReport {
     pub serve_stats: ServeStats,
     /// Phase 4: replication kill/cut/corrupt convergence.
     pub repl: ReplGauntletReport,
+    /// Phase 5: kill-the-primary failover (fenced promotion).
+    pub failover: FailoverReport,
     /// Worker threads alive at the end of phase 3.
     pub workers_alive: usize,
     /// Worker threads the pool was configured with.
@@ -163,6 +175,7 @@ impl fmt::Display for ChaosReport {
             self.workers_alive, self.workers_configured
         )?;
         writeln!(f, "{}", self.repl)?;
+        writeln!(f, "{}", self.failover)?;
         writeln!(f, "chaos wall clock: {:.2} s", self.wall.as_secs_f64())?;
         if self.passed() {
             write!(f, "SURVIVED: all chaos invariants held")
@@ -226,6 +239,21 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
         ));
     }
 
+    // Phase 5 — failover: kill the *primary* at the nasty moments,
+    // demand exactly-one fenced promotion and checksum convergence.
+    let failover = run_failover_gauntlet(&FailoverConfig {
+        seed: config.seed,
+        docs: (config.corpus / 2).clamp(8, 18),
+        tag: format!("chaos-{:x}", config.seed),
+    })
+    .map_err(|e| format!("failover gauntlet setup failed: {e}"))?;
+    if !failover.converged() {
+        failures.push(format!(
+            "failover gauntlet: {} invariants broke",
+            failover.failures.len()
+        ));
+    }
+
     Ok(ChaosReport {
         gauntlet,
         faults: storm.faults,
@@ -239,6 +267,7 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
         serve,
         serve_stats,
         repl,
+        failover,
         workers_alive,
         workers_configured: config.workers.max(1),
         wall: start.elapsed(),
@@ -497,8 +526,17 @@ mod tests {
         assert!(report.index_rebuild_attempts >= 1);
         assert!(report.repl.converged(), "{}", report.repl);
         assert!(report.repl.kills >= 2);
+        assert!(report.failover.converged(), "{}", report.failover);
+        assert!(report.failover.kills >= 4, "every failover scenario kills the primary");
+        assert_eq!(
+            report.failover.promotions, report.failover.kills,
+            "exactly one promotion per primary kill"
+        );
+        assert!(report.failover.fenced_sessions >= 1, "revival was fenced");
+        assert!(report.failover.stale_rejects >= 1, "stale frames were rejected");
         let rendered = report.to_string();
         assert!(rendered.contains("SURVIVED"), "{rendered}");
         assert!(rendered.contains("faults injected"));
+        assert!(rendered.contains("failover gauntlet"), "{rendered}");
     }
 }

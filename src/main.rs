@@ -17,7 +17,8 @@
 
 use covidkg::net::ReadContext;
 use covidkg::repl::{
-    ReadRouter, ReplConfig, ReplListener, ReplicaNode, ReplicaNodeConfig, ReplicaTarget,
+    elect, Epoch, ReadRouter, ReplConfig, ReplListener, ReplicaNode, ReplicaNodeConfig,
+    ReplicaTarget, TargetHealth,
 };
 use covidkg::store::Collection;
 use covidkg::{
@@ -48,6 +49,7 @@ COMMANDS:
     replicate                follow a primary (--from) and serve reads locally
     repl-smoke               primary + replica over loopback: write, converge, read
     repl-bench               read-goodput scaling at 1/2/4 replicas (BENCH_repl.json)
+                             (--failover: also kill the primary and time promotion)
     serve-bench              benchmark the concurrent serving frontend
     net-bench                wire-level HTTP load bench (emits BENCH_net.json)
     net-table                regenerate the EXPERIMENTS.md wire table from BENCH_net.json
@@ -76,6 +78,10 @@ OPTIONS:
     --listen <addr>          serve/replicate/net-bench HTTP bind address
                              [serve: 127.0.0.1:8080; replicate: 127.0.0.1:8081]
     --repl-listen <addr>     serve: also stream WAL frames to replicas here
+    --relay-listen <addr>    replicate: re-ship frames downstream from here
+                             (cascading replication; epoch checks propagate)
+    --failover               repl-bench: kill the primary mid-run and time
+                             the fenced promotion + first routed read
     --from <addr>            replicate: the primary's replication address
     --name <name>            replicate: this replica's name [default replica-1]
 ";
@@ -99,6 +105,8 @@ struct Args {
     duration_ms: u64,
     listen: Option<String>,
     repl_listen: Option<String>,
+    relay_listen: Option<String>,
+    failover: bool,
     from: Option<String>,
     name: Option<String>,
 }
@@ -125,6 +133,8 @@ fn parse_args() -> Result<Args, String> {
         duration_ms: 1000,
         listen: None,
         repl_listen: None,
+        relay_listen: None,
+        failover: false,
         from: None,
         name: None,
     };
@@ -196,6 +206,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--listen" => out.listen = Some(value("--listen")?),
             "--repl-listen" => out.repl_listen = Some(value("--repl-listen")?),
+            "--relay-listen" => out.relay_listen = Some(value("--relay-listen")?),
+            "--failover" => out.failover = true,
             "--from" => out.from = Some(value("--from")?),
             "--name" => out.name = Some(value("--name")?),
             "--expanded" => out.expanded = true,
@@ -344,18 +356,28 @@ fn run() -> Result<(), String> {
                     let repl_addr: SocketAddr = raw
                         .parse()
                         .map_err(|_| "--repl-listen takes an ADDR:PORT".to_string())?;
+                    // Rejoin at the fencing epoch this node last held: a
+                    // durable primary restarted after a failover must not
+                    // come back believing it still leads generation 0.
+                    let epoch = match &args.data_dir {
+                        Some(dir) => Epoch::load(dir)
+                            .map_err(|e| format!("load fencing epoch from {dir}: {e}"))?,
+                        None => Epoch::default(),
+                    };
                     let listener = ReplListener::start(
                         replication_sources(&server),
                         ReplConfig {
                             addr: repl_addr,
+                            epoch: epoch.clone(),
                             ..ReplConfig::default()
                         },
                     )
                     .map_err(|e| format!("replication bind {repl_addr} failed: {e}"))?;
                     println!(
-                        "replication listener on {} (watermark {})",
+                        "replication listener on {} (watermark {}, epoch {})",
                         listener.local_addr(),
-                        listener.watermark()
+                        listener.watermark(),
+                        epoch.get()
                     );
                     Some(listener)
                 }
@@ -483,10 +505,32 @@ fn replicate(args: &Args) -> Result<(), String> {
     let mut node =
         ReplicaNode::start(config).map_err(|e| format!("replica bootstrap failed: {e}"))?;
     println!(
-        "synced: {} collections, publications applied {}",
+        "synced: {} collections, publications applied {}, epoch {}",
         node.collections().len(),
-        node.applied()
+        node.applied(),
+        node.epoch()
     );
+
+    // With --relay-listen this replica re-ships frames downstream
+    // (cascading replication): another `covidkg replicate --from` can
+    // point here instead of at the primary, and the fencing epoch
+    // propagates through the chain via the shared epoch handle.
+    let relay = match &args.relay_listen {
+        Some(raw) => {
+            let relay_addr: SocketAddr = raw
+                .parse()
+                .map_err(|_| "--relay-listen takes an ADDR:PORT".to_string())?;
+            let relay = node
+                .relay(ReplConfig {
+                    addr: relay_addr,
+                    ..ReplConfig::default()
+                })
+                .map_err(|e| format!("relay bind {relay_addr} failed: {e}"))?;
+            println!("relaying frames downstream on {}", relay.local_addr());
+            Some(relay)
+        }
+        None => None,
+    };
 
     // Route reads through this node's own state so responses carry the
     // replication headers and `/metrics` the replication series. The
@@ -507,7 +551,7 @@ fn replicate(args: &Args) -> Result<(), String> {
         .map_err(|_| "--listen takes an ADDR:PORT".to_string())?;
     let mut http = HttpServer::start_routed(
         node.server(),
-        Some(ReadContext::new(router, None)),
+        Some(ReadContext::new(router, None).with_epoch(node.epoch_handle())),
         NetConfig {
             addr,
             ..NetConfig::default()
@@ -521,6 +565,7 @@ fn replicate(args: &Args) -> Result<(), String> {
         sink.clear();
     }
     http.shutdown();
+    drop(relay);
     node.shutdown();
     println!("replica drained and stopped");
     Ok(())
@@ -729,7 +774,7 @@ fn repl_bench(args: &Args) -> Result<(), String> {
         eprintln!("warning: goodput did not scale monotonically with replica count");
     }
 
-    let report = covidkg::json::obj! {
+    let mut report = covidkg::json::obj! {
         "bench" => "repl",
         "clients" => clients,
         "reads_per_client" => per_client,
@@ -737,11 +782,152 @@ fn repl_bench(args: &Args) -> Result<(), String> {
         "monotonic" => monotonic,
         "scaling" => covidkg::json::Value::Array(rows),
     };
+    if args.failover {
+        let failover = measure_failover(args, &scratch)?;
+        report.insert("failover", failover);
+    }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_repl.json");
     std::fs::write(path, report.to_json_pretty() + "\n")
         .map_err(|e| format!("write BENCH_repl.json: {e}"))?;
     println!("wrote {path}");
     Ok(())
+}
+
+/// The `repl-bench --failover` body: stand up a primary + two replicas,
+/// kill the primary, run the deterministic election, promote the winner
+/// behind `Promoting`/`Fenced` routing states, and time two things —
+/// kill → promoted listener accepting, and kill → first successful
+/// routed read against the new primary's applied sequence.
+fn measure_failover(
+    args: &Args,
+    scratch: &dyn Fn(&str) -> String,
+) -> Result<covidkg::json::Value, String> {
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: args.corpus.clamp(12, 24),
+        seed: args.seed,
+        max_training_rows: 300,
+        data_dir: Some(scratch("fo-primary")),
+        ..CovidKgConfig::default()
+    })
+    .map_err(|e| format!("failover primary build failed: {e}"))?;
+    let primary = Arc::new(Server::start(system, ServeConfig::default()));
+    let sources = replication_sources(&primary);
+    let epoch = Epoch::default();
+    epoch.bump(); // generation 1
+    let listener = ReplListener::start(
+        sources.clone(),
+        ReplConfig {
+            epoch: epoch.clone(),
+            ..ReplConfig::default()
+        },
+    )
+    .map_err(|e| format!("failover replication listener: {e}"))?;
+    let pubs = sources
+        .iter()
+        .find(|(n, _)| n == "publications")
+        .map(|(_, c)| Arc::clone(c))
+        .ok_or("primary has no publications collection")?;
+    let mark = pubs.repl_watermark();
+
+    let mut nodes = Vec::new();
+    for i in 0..2usize {
+        let node = ReplicaNode::start(ReplicaNodeConfig::new(
+            listener.local_addr(),
+            format!("fo-replica-{i}"),
+            scratch(&format!("fo-r{i}")),
+        ))
+        .map_err(|e| format!("failover replica {i}: {e}"))?;
+        nodes.push(node);
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while nodes.iter().any(|n| n.applied() < mark) {
+        if Instant::now() >= deadline {
+            return Err("failover bench: replicas never caught up".into());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let targets: Vec<ReplicaTarget> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            ReplicaTarget::tracking(format!("fo-replica-{i}"), n.server(), &n.publications_state())
+        })
+        .collect();
+    let healths: Vec<_> = targets.iter().map(|t| Arc::clone(&t.health)).collect();
+    let clock = Arc::clone(&pubs);
+    let router = Arc::new(ReadRouter::new(
+        None,
+        targets,
+        Arc::new(move || clock.repl_watermark()),
+        u64::MAX,
+    ));
+
+    // Kill. Both targets leave the read pool while leadership is open.
+    let t0 = Instant::now();
+    drop(listener);
+    for h in &healths {
+        h.store(TargetHealth::Promoting as u8, Ordering::Release);
+    }
+
+    // Deterministic election over (name, applied): highest applied
+    // sequence wins, lowest name breaks ties.
+    let slate: Vec<(String, u64)> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (format!("fo-replica-{i}"), n.applied()))
+        .collect();
+    let winner = elect(&slate).ok_or("failover bench: no electable replica")?;
+    let new_epoch = nodes[winner].epoch_handle();
+    new_epoch.bump();
+    let relay = nodes[winner]
+        .relay(ReplConfig::default())
+        .map_err(|e| format!("promotion relay failed: {e}"))?;
+    let promoted = t0.elapsed();
+    // The winner rejoins the pool as the new read head; the loser stays
+    // fenced out until it would re-point at the new primary.
+    healths[winner].store(TargetHealth::Ready as u8, Ordering::Release);
+    for (i, h) in healths.iter().enumerate() {
+        if i != winner {
+            h.store(TargetHealth::Fenced as u8, Ordering::Release);
+        }
+    }
+    let floor = slate[winner].1;
+    let first_read = loop {
+        match router.search(
+            &SearchMode::AllFields("covid".into()),
+            0,
+            floor,
+            Duration::from_millis(200),
+        ) {
+            Ok((_, info)) if info.replica == slate[winner].0 => break t0.elapsed(),
+            Ok(_) | Err(_) if t0.elapsed() < Duration::from_secs(10) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok((_, info)) => {
+                return Err(format!("failover bench: read served by {:?}", info.replica))
+            }
+            Err(e) => return Err(format!("failover bench: routed read never recovered: {e}")),
+        }
+    };
+    println!(
+        "  failover: promoted {} (epoch {}) in {:.1} ms, first routed read at {:.1} ms",
+        slate[winner].0,
+        new_epoch.get(),
+        promoted.as_secs_f64() * 1e3,
+        first_read.as_secs_f64() * 1e3,
+    );
+
+    drop(relay);
+    for node in &mut nodes {
+        node.shutdown();
+    }
+    Ok(covidkg::json::obj! {
+        "winner" => slate[winner].0.clone(),
+        "epoch_after" => new_epoch.get() as i64,
+        "promoted_ms" => promoted.as_secs_f64() * 1e3,
+        "first_routed_read_ms" => first_read.as_secs_f64() * 1e3,
+    })
 }
 
 /// Closed-loop read clients hammering a [`ReadRouter`] in-process.
