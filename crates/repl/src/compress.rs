@@ -15,7 +15,7 @@
 //!
 //! - bit = 0 → **literal**: one raw byte.
 //! - bit = 1 → **match**: three bytes — `u16` LE distance (1-based,
-//!   ≤ 64 KiB back into the output produced so far) and `u8` encoding
+//!   ≤ 65535 back into the output produced so far) and `u8` encoding
 //!   `length - MIN_MATCH` (so matches span 4..=259 bytes).
 //!
 //! The final group may be partial; decoding stops when the input is
@@ -31,8 +31,10 @@
 const MIN_MATCH: usize = 4;
 /// Longest match one token can encode (`MIN_MATCH + u8::MAX`).
 const MAX_MATCH: usize = MIN_MATCH + 255;
-/// How far back a match may reach (bounded by the u16 distance field).
-const WINDOW: usize = 1 << 16;
+/// How far back a match may reach — the largest distance the u16 wire
+/// field can carry. A full 1 << 16 would truncate to 0 on the wire and
+/// the decoder would (rightly) reject the stream.
+const WINDOW: usize = u16::MAX as usize;
 /// Hash-chain head table size; indexes positions by 4-byte prefix.
 const HASH_BITS: u32 = 15;
 
@@ -172,6 +174,28 @@ mod tests {
         round_trip(b"abcdabcdabcdabcd");
         round_trip(&[0u8; 1000]); // long overlapping run
         round_trip("αβγ αβγ αβγ repeated unicode".as_bytes());
+    }
+
+    #[test]
+    fn window_boundary_round_trips() {
+        // A repeat exactly 1 << 16 bytes apart: a distance of 65536
+        // would truncate to 0 in the u16 wire field, so the encoder
+        // must refuse that candidate and emit literals instead. The
+        // filler is a single repeated byte so the marker's 4-byte
+        // prefix is still in the hash table when the repeat arrives.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"abcd");
+        data.extend_from_slice(&vec![b'x'; (1 << 16) - 4]);
+        data.extend_from_slice(b"abcd");
+        round_trip(&data);
+
+        // One byte closer: distance 65535 fits u16 exactly and must
+        // still encode and decode as a match.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"abcd");
+        data.extend_from_slice(&vec![b'x'; (1 << 16) - 5]);
+        data.extend_from_slice(b"abcd");
+        round_trip(&data);
     }
 
     #[test]

@@ -84,13 +84,28 @@ struct Shared {
     metrics: Arc<ReplMetrics>,
     shutting_down: AtomicBool,
     active: AtomicU64,
-    /// Set when a replica's Hello carried a *newer* fencing epoch than
-    /// ours: somewhere a promotion happened that we missed, so we are a
-    /// deposed ex-primary and must stop shipping (split-brain guard).
-    fenced: AtomicBool,
+    /// Highest epoch a peer's Hello revealed that was *newer* than ours
+    /// at the time (0 = never fenced): somewhere a promotion happened
+    /// that we missed, so we must stop shipping (split-brain guard).
+    /// The fence lifts once the shared epoch handle catches up — a
+    /// cascading relay adopts the new epoch through its own puller and
+    /// resumes; a true deposed primary's handle never advances, so it
+    /// stays fenced until re-promoted.
+    fenced_at: AtomicU64,
     /// (replica, collection) pairs already served once — a second
     /// session from the same pair is a reconnect.
     seen: Mutex<HashSet<(String, String)>>,
+}
+
+impl Shared {
+    /// Fenced = a peer revealed a newer leadership generation and our
+    /// shared epoch handle has not yet reached it. Re-checked against
+    /// the live handle every time, so a relay that later adopts the
+    /// newer epoch from its upstream un-fences without a restart.
+    fn is_fenced(&self) -> bool {
+        let at = self.fenced_at.load(Ordering::Acquire);
+        at != 0 && self.config.epoch.get() < at
+    }
 }
 
 /// A running replication listener. Dropping it (or calling
@@ -117,7 +132,7 @@ impl ReplListener {
             metrics,
             shutting_down: AtomicBool::new(false),
             active: AtomicU64::new(0),
-            fenced: AtomicBool::new(false),
+            fenced_at: AtomicU64::new(0),
             seen: Mutex::new(HashSet::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -152,10 +167,13 @@ impl ReplListener {
         self.shared.config.epoch.get()
     }
 
-    /// True once a session revealed a newer epoch elsewhere: this node
-    /// is a deposed ex-primary and has stopped shipping frames.
+    /// True while a session has revealed a newer epoch elsewhere than
+    /// this listener's own: shipping is stopped. A deposed ex-primary
+    /// stays fenced (its epoch never catches up); a cascading relay
+    /// un-fences once its shared epoch handle adopts the newer
+    /// generation from upstream.
     pub fn is_fenced(&self) -> bool {
-        self.shared.fenced.load(Ordering::Acquire)
+        self.shared.is_fenced()
     }
 
     /// Durable watermark of the publications collection (the read-
@@ -270,7 +288,7 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
                         // generation: a promotion happened without us.
                         // We are the deposed primary — fence ourselves
                         // and refuse, rather than shipping stale frames.
-                        shared.fenced.store(true, Ordering::Release);
+                        shared.fenced_at.fetch_max(epoch, Ordering::AcqRel);
                         shared.metrics.fenced_session();
                         let _ = Message::Error(format!(
                             "fenced: peer epoch {epoch} > primary epoch {ours}"
@@ -278,7 +296,7 @@ fn serve_session(mut stream: TcpStream, shared: &Shared) {
                         .write_to(&mut stream);
                         return;
                     }
-                    if shared.fenced.load(Ordering::Acquire) {
+                    if shared.is_fenced() {
                         shared.metrics.fenced_session();
                         let _ = Message::Error("fenced: primary was deposed".into())
                             .write_to(&mut stream);
@@ -402,7 +420,7 @@ fn stream_collection(
 
         // A promotion elsewhere fences this whole listener mid-stream:
         // stop shipping instantly rather than racing the new primary.
-        if shared.fenced.load(Ordering::Acquire) {
+        if shared.is_fenced() {
             let _ = Message::Error("fenced: primary was deposed".into()).write_to(stream);
             return;
         }

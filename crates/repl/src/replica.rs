@@ -290,6 +290,18 @@ fn run_session(
                     bump_max(&state.primary_watermark, watermark);
                 }
                 Message::CheckpointBegin { seq, docs } => {
+                    // Checkpoint messages carry no epoch of their own:
+                    // they are only trustworthy after this session's
+                    // epoch was validated by a Meta/Heartbeat. Without
+                    // this gate a fenced ex-primary (or forged peer)
+                    // could skip Meta and overwrite the whole
+                    // collection via a snapshot.
+                    if !meta_seen {
+                        state.fenced_rejects.fetch_add(1, Ordering::Relaxed);
+                        return Err(ReplError::Protocol(
+                            "checkpoint before epoch-checked meta".into(),
+                        ));
+                    }
                     checkpoint = Some(CheckpointBuf {
                         seq,
                         expect: docs,

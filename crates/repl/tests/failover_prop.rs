@@ -8,7 +8,7 @@
 
 use covidkg_rand::{prop, Rng};
 use covidkg_repl::protocol::{frame, pump, Decoder, Message};
-use covidkg_repl::{elect, Epoch, ReplConfig, ReplListener, ReplicaPuller};
+use covidkg_repl::{docs_checksum, elect, Epoch, ReplConfig, ReplListener, ReplicaPuller};
 use covidkg_store::{Collection, CollectionConfig, Database, RetryPolicy};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
@@ -366,5 +366,126 @@ fn revived_old_primary_is_fenced_and_its_stale_frames_rejected() {
 
     drop(replica);
     drop(deposed);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Fencing property, snapshot edition: checkpoint messages carry no
+/// epoch, so a peer that skips the epoch-checked Meta and pushes a
+/// (checksum-valid) checkpoint straight away must be rejected — a
+/// forged snapshot would otherwise overwrite the whole collection.
+#[test]
+fn checkpoint_without_epoch_checked_meta_is_rejected() {
+    let root = std::env::temp_dir().join(format!("covidkg-ckpt-fence-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    let mut replica = Node::open(&root, "r0".into()).unwrap();
+    write_docs(&replica.coll, 0, 3).unwrap();
+    let pre = replica.coll.content_checksum();
+
+    // Forged peer: answers Hello with a full, internally consistent
+    // checkpoint (correct count and checksum) but no Meta first.
+    let forge = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let forge_addr = forge.local_addr().unwrap();
+    let ship = std::thread::spawn(move || {
+        let Ok((mut s, _)) = forge.accept() else { return };
+        let _ = s.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut dec = Decoder::new();
+        let mut buf = [0u8; 8192];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match pump(&mut s, &mut dec, &mut buf) {
+                Ok(Some(msgs)) => {
+                    if msgs.iter().any(|m| matches!(m, Message::Hello { .. })) {
+                        let doc = covidkg_json::obj! {
+                            "_id" => "forged",
+                            "title" => "attacker-controlled state"
+                        };
+                        let checksum = docs_checksum([&doc]);
+                        let _ = Message::CheckpointBegin { seq: 999, docs: 1 }.write_to(&mut s);
+                        let _ = Message::CheckpointDoc(doc).write_to(&mut s);
+                        let _ = Message::CheckpointEnd { checksum }.write_to(&mut s);
+                        std::thread::sleep(Duration::from_millis(150));
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    });
+    replica.follow(forge_addr);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let rejected = loop {
+        let rejects = replica
+            .puller
+            .as_ref()
+            .map(|p| p.state().fenced_rejects.load(Ordering::Relaxed))
+            .unwrap_or(0);
+        if rejects > 0 {
+            break rejects;
+        }
+        if Instant::now() >= deadline {
+            break 0;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let installed = replica
+        .puller
+        .as_ref()
+        .map(|p| p.state().checkpoints.load(Ordering::Relaxed))
+        .unwrap_or(0);
+    replica.stop_following();
+    ship.join().unwrap();
+    assert!(rejected >= 1, "meta-less checkpoint must be rejected");
+    assert_eq!(installed, 0, "no checkpoint may install without an epoch check");
+    assert_eq!(
+        replica.coll.content_checksum(),
+        pre,
+        "the forged snapshot must not touch the collection"
+    );
+
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A relay whose *downstream* learned of a promotion first fences
+/// itself — but must un-fence once its own shared epoch handle catches
+/// up (normally via its puller adopting the new epoch from upstream),
+/// not stay refused-until-restart.
+#[test]
+fn fenced_relay_unfences_once_its_epoch_catches_up() {
+    let root = std::env::temp_dir().join(format!("covidkg-unfence-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    let mut relay = Node::open(&root, "relay".into()).unwrap();
+    write_docs(&relay.coll, 0, 4).unwrap();
+    let addr = relay.serve().unwrap(); // listener shares relay.epoch (0)
+
+    // Downstream already witnessed epoch 2; its Hello fences the relay.
+    let mut downstream = Node::open(&root, "down".into()).unwrap();
+    downstream.epoch.observe(2);
+    downstream.follow(addr);
+    let listener_fenced = |relay: &Node| relay.listener.as_ref().unwrap().is_fenced();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !listener_fenced(&relay) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(listener_fenced(&relay), "relay must fence on a newer peer epoch");
+
+    // The relay now adopts the promotion from its own upstream (the
+    // shared handle is exactly what its puller would observe into):
+    // the fence lifts and the downstream's reconnect syncs fully.
+    relay.epoch.observe(2);
+    assert!(
+        !listener_fenced(&relay),
+        "fence must lift once the shared epoch catches up"
+    );
+    let refs = [&downstream];
+    converge(&relay.coll, &refs, "post-unfence sync").unwrap();
+
+    downstream.stop_following();
+    drop(downstream);
+    drop(relay);
     let _ = std::fs::remove_dir_all(&root);
 }
