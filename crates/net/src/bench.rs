@@ -84,6 +84,7 @@ impl Tally {
         NetBenchReport {
             mode: mode.to_string(),
             offered_rate,
+            held_connections: 0,
             sent: self.sent.load(Ordering::Relaxed),
             ok: self.ok.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -103,10 +104,14 @@ impl Tally {
 /// Results of one bench phase (closed loop or one open-loop rate).
 #[derive(Debug, Clone)]
 pub struct NetBenchReport {
-    /// `"closed"` or `"open"`.
+    /// `"closed"`, `"open"` or `"held"` (open loop with a standing
+    /// population of idle keep-alive connections).
     pub mode: String,
     /// Offered request rate (req/s; 0 for closed loop).
     pub offered_rate: f64,
+    /// Idle keep-alive connections held open for the whole phase
+    /// (connection-concurrency sweeps; 0 otherwise).
+    pub held_connections: u64,
     /// Requests sent (including ones that failed at the socket level).
     pub sent: u64,
     /// 200 responses.
@@ -152,11 +157,17 @@ impl NetBenchReport {
             .map(|(s, c)| format!("{s}:{c}"))
             .collect::<Vec<_>>()
             .join(" ");
+        let held = if self.held_connections > 0 {
+            format!(" holding {} idle conns,", self.held_connections)
+        } else {
+            String::new()
+        };
         format!(
-            "net-bench[{}] offered {:.0} req/s: {} sent, {} ok ({} cached), {} io-errors, \
+            "net-bench[{}] offered {:.0} req/s:{} {} sent, {} ok ({} cached), {} io-errors, \
              statuses [{}], p50 {} p99 {}, {:.1} ok/s over {:.2} s",
             self.mode,
             self.offered_rate,
+            held,
             self.sent,
             self.ok,
             self.cache_hits,
@@ -181,6 +192,7 @@ impl NetBenchReport {
         covidkg_json::obj! {
             "mode" => self.mode.as_str(),
             "offered_rate" => self.offered_rate,
+            "held_connections" => self.held_connections as i64,
             "sent" => self.sent as i64,
             "ok" => self.ok as i64,
             "cache_hits" => self.cache_hits as i64,
@@ -288,6 +300,34 @@ pub fn run_open_loop(
         }
     });
     tally.into_report("open", rate, start.elapsed())
+}
+
+/// Connection-concurrency phase: hold `held` *idle* keep-alive
+/// connections open for the whole phase while an open-loop load at
+/// `rate` req/s runs beside them. Under thread-per-connection each held
+/// socket costs a parked OS thread (and past the cap, admission fails);
+/// under the reactor it costs one fd plus ~1 KiB of state — this phase
+/// makes that difference measurable as goodput/latency at equal load.
+pub fn run_held_connections(
+    addr: SocketAddr,
+    held: usize,
+    rate: f64,
+    duration: Duration,
+    dispatchers: usize,
+    timeout: Duration,
+) -> NetBenchReport {
+    let mut idle = Vec::with_capacity(held);
+    for _ in 0..held {
+        match HttpClient::connect(addr, timeout) {
+            Ok(conn) => idle.push(conn),
+            Err(_) => break,
+        }
+    }
+    let mut report = run_open_loop(addr, rate, duration, dispatchers, timeout);
+    report.mode = "held".into();
+    report.held_connections = idle.len() as u64;
+    drop(idle);
+    report
 }
 
 #[cfg(test)]

@@ -10,9 +10,13 @@
 //! - [`http`] — an incremental, bounds-checked HTTP/1.1 parser
 //!   (431/413/400 on hostile input) and response writer with
 //!   keep-alive semantics;
-//! - [`server`] — a connection supervisor: bounded accept (503 +
+//! - [`server`] — the connection supervisor: bounded accept (503 +
 //!   `Retry-After` past the cap), read/write deadlines, idle-connection
-//!   reaping and graceful drain of in-flight requests on shutdown;
+//!   reaping and graceful drain of in-flight requests on shutdown.
+//!   Two [`ConnectionModel`]s share those semantics: the default epoll
+//!   `reactor` (one event-loop thread + a fixed dispatch pool, tens of
+//!   thousands of connections) and the legacy thread-per-connection
+//!   baseline (64 threads, kept for A/B benching);
 //! - [`router`] — `GET /search/{engine}`, `/kg/node/{id}`, `/stats`,
 //!   `/metrics`, mapping the scheduler's typed backpressure errors
 //!   (`Overloaded`, `DeadlineExceeded`, …) onto honest wire statuses;
@@ -28,12 +32,13 @@ pub mod bench;
 pub mod client;
 pub mod http;
 pub mod metrics;
+mod reactor;
 pub mod router;
 pub mod server;
 
-pub use bench::{run_closed_loop, run_open_loop, NetBenchReport};
+pub use bench::{run_closed_loop, run_held_connections, run_open_loop, NetBenchReport};
 pub use client::{ClientResponse, HttpClient};
 pub use http::{ParseError, Parser, Request, Response};
 pub use metrics::{ReplExposition, WireMetrics, WireStats};
 pub use router::ReadContext;
-pub use server::{HttpServer, NetConfig};
+pub use server::{ConnectionModel, HttpServer, NetConfig};

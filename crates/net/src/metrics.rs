@@ -13,8 +13,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Lock-free wire counters shared by the accept loop and every
-/// connection thread.
+/// Upper bounds of the ready-events-per-wakeup histogram buckets (the
+/// last bucket is +Inf).
+pub const READY_EVENT_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Lock-free wire counters shared by the accept loop (or reactor) and
+/// every connection thread (or dispatch worker).
 #[derive(Debug, Default)]
 pub struct WireMetrics {
     accepted: AtomicU64,
@@ -24,6 +28,15 @@ pub struct WireMetrics {
     bytes_out: AtomicU64,
     parse_errors: AtomicU64,
     requests: AtomicU64,
+    /// `epoll_wait` returns (reactor model only).
+    epoll_wakeups: AtomicU64,
+    /// Ready-events-per-wakeup histogram: one counter per bucket of
+    /// [`READY_EVENT_BUCKETS`] plus a final +Inf bucket.
+    ready_buckets: [AtomicU64; READY_EVENT_BUCKETS.len() + 1],
+    /// Total ready events observed (histogram sum).
+    ready_events: AtomicU64,
+    /// Requests sitting in the reactor's dispatch queue right now.
+    dispatch_depth: AtomicU64,
     /// Response counts keyed by status code. A mutex is fine here: the
     /// map is touched once per response, after the search completed.
     statuses: Mutex<BTreeMap<u16, u64>>,
@@ -61,6 +74,30 @@ impl WireMetrics {
         *statuses.entry(status).or_insert(0) += 1;
     }
 
+    /// One `epoll_wait` return delivering `ready` events (0 = timer
+    /// tick; counted as a wakeup, excluded from the histogram).
+    pub(crate) fn epoll_wakeup(&self, ready: usize) {
+        self.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+        if ready == 0 {
+            return;
+        }
+        self.ready_events.fetch_add(ready as u64, Ordering::Relaxed);
+        let idx = READY_EVENT_BUCKETS
+            .iter()
+            .position(|&le| ready as u64 <= le)
+            .unwrap_or(READY_EVENT_BUCKETS.len());
+        self.ready_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dispatch-queue depth transitions (reactor worker pool).
+    pub(crate) fn dispatch_enqueued(&self) {
+        self.dispatch_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dispatch_dequeued(&self) {
+        self.dispatch_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time snapshot.
     pub fn snapshot(&self) -> WireStats {
         WireStats {
@@ -71,6 +108,10 @@ impl WireMetrics {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             parse_errors: self.parse_errors.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
+            epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
+            ready_event_buckets: std::array::from_fn(|i| self.ready_buckets[i].load(Ordering::Relaxed)),
+            ready_events: self.ready_events.load(Ordering::Relaxed),
+            dispatch_queue_depth: self.dispatch_depth.load(Ordering::Relaxed),
             responses_by_status: self
                 .statuses
                 .lock()
@@ -98,6 +139,16 @@ pub struct WireStats {
     pub parse_errors: u64,
     /// Responses written (any status).
     pub requests: u64,
+    /// `epoll_wait` returns (reactor model only; 0 under the legacy
+    /// thread-per-connection model).
+    pub epoll_wakeups: u64,
+    /// Non-cumulative ready-events-per-wakeup histogram counts, one per
+    /// bucket of [`READY_EVENT_BUCKETS`] plus +Inf.
+    pub ready_event_buckets: [u64; READY_EVENT_BUCKETS.len() + 1],
+    /// Total ready events across all wakeups (histogram sum).
+    pub ready_events: u64,
+    /// Requests queued for the reactor's dispatch workers right now.
+    pub dispatch_queue_depth: u64,
     /// Responses by status code.
     pub responses_by_status: BTreeMap<u16, u64>,
 }
@@ -165,6 +216,25 @@ pub fn render_metrics(
     line("net_bytes_out", wire.bytes_out.to_string());
     line("net_parse_errors", wire.parse_errors.to_string());
     line("net_requests", wire.requests.to_string());
+    line("net_open_connections", wire.connections_active.to_string());
+    line("net_epoll_wakeups", wire.epoll_wakeups.to_string());
+    // Cumulative buckets, Prometheus histogram style. Labels contain no
+    // spaces, keeping the strict `name value` line shape.
+    let mut cumulative = 0;
+    for (i, count) in wire.ready_event_buckets.iter().enumerate() {
+        cumulative += count;
+        let le = READY_EVENT_BUCKETS
+            .get(i)
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "+Inf".to_string());
+        line(
+            &format!("net_ready_events_per_wakeup_bucket{{le=\"{le}\"}}"),
+            cumulative.to_string(),
+        );
+    }
+    line("net_ready_events_per_wakeup_count", cumulative.to_string());
+    line("net_ready_events_per_wakeup_sum", wire.ready_events.to_string());
+    line("net_dispatch_queue_depth", wire.dispatch_queue_depth.to_string());
     for (status, count) in &wire.responses_by_status {
         line(
             &format!("net_responses{{status=\"{status}\"}}"),
@@ -258,6 +328,61 @@ mod tests {
         assert_eq!(s.requests, 3);
         assert_eq!(s.responses_by_status.get(&200), Some(&2));
         assert_eq!(s.responses_by_status.get(&503), Some(&1));
+    }
+
+    #[test]
+    fn ready_event_histogram_buckets_by_count() {
+        let m = WireMetrics::default();
+        m.epoll_wakeup(0); // timer tick: wakeup counted, no histogram sample
+        m.epoll_wakeup(1);
+        m.epoll_wakeup(2);
+        m.epoll_wakeup(5);
+        m.epoll_wakeup(500); // past the largest bound -> +Inf
+        m.dispatch_enqueued();
+        m.dispatch_enqueued();
+        m.dispatch_dequeued();
+        let s = m.snapshot();
+        assert_eq!(s.epoll_wakeups, 5);
+        assert_eq!(s.ready_events, 1 + 2 + 5 + 500);
+        assert_eq!(s.ready_event_buckets[0], 1); // le=1
+        assert_eq!(s.ready_event_buckets[1], 1); // le=2
+        assert_eq!(s.ready_event_buckets[3], 1); // le=8 holds the 5
+        assert_eq!(s.ready_event_buckets[READY_EVENT_BUCKETS.len()], 1); // +Inf
+        assert_eq!(s.dispatch_queue_depth, 1);
+        let serve = covidkg_serve::ServeStats {
+            requests_all_fields: 0,
+            requests_tables: 0,
+            requests_scoped: 0,
+            requests_semantic: 0,
+            requests_hybrid: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            overloaded: 0,
+            deadline_exceeded: 0,
+            completed: 0,
+            worker_panics: 0,
+            worker_respawns: 0,
+            degraded: 0,
+            stale_served: 0,
+            breaker_opens: 0,
+            io_retries: 0,
+            cache: Default::default(),
+            queue_depth: 0,
+            max_queue_depth: 0,
+            p50: None,
+            p95: None,
+            p99: None,
+        };
+        let text = render_metrics(&s, &serve, None, None);
+        assert!(text.contains("covidkg_net_epoll_wakeups 5\n"), "{text}");
+        assert!(text.contains("covidkg_net_ready_events_per_wakeup_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("covidkg_net_ready_events_per_wakeup_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("covidkg_net_ready_events_per_wakeup_bucket{le=\"8\"} 3\n"));
+        assert!(text.contains("covidkg_net_ready_events_per_wakeup_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("covidkg_net_ready_events_per_wakeup_count 4\n"));
+        assert!(text.contains("covidkg_net_ready_events_per_wakeup_sum 508\n"));
+        assert!(text.contains("covidkg_net_dispatch_queue_depth 1\n"));
+        assert!(text.contains("covidkg_net_open_connections 0\n"));
     }
 
     #[test]

@@ -1,18 +1,28 @@
 //! Connection supervisor: bounded accept, deadlines, idle reaping and
 //! graceful drain over plain `std::net`.
 //!
-//! Thread-per-connection with a hard cap: the accept loop counts live
-//! connections and turns the overflow away immediately with
-//! `503 + Retry-After` instead of letting the kernel backlog hide the
-//! overload. Each connection thread reads with a short socket timeout
-//! so it can notice three things between reads: shutdown (drain: finish
-//! the in-flight request, then close), idle expiry (reap connections
-//! holding no partial request), and read-deadline expiry (slowloris
-//! protection). The read deadline is *cumulative per request*: the
-//! clock starts at the request's first byte and is never reset by
-//! further arrivals, so a peer trickling one byte per tick cannot hold
-//! the connection open — it gets an honest 408 once the whole
-//! header+body transfer has taken longer than `read_timeout`.
+//! Two connection models share this front door, selected by
+//! [`NetConfig::model`]:
+//!
+//! * [`ConnectionModel::Reactor`] (default) — the epoll event loop in
+//!   [`crate::reactor`]: one reactor thread multiplexes every socket,
+//!   a small dispatch pool runs the queries, and the connection
+//!   ceiling is the fd budget (tens of thousands), not a thread count.
+//! * [`ConnectionModel::Threaded`] — the legacy thread-per-connection
+//!   supervisor kept for A/B benchmarking: the accept loop counts live
+//!   connections and turns the overflow away immediately with
+//!   `503 + Retry-After`; each connection thread reads with a short
+//!   socket timeout so it can notice shutdown, idle expiry and
+//!   read-deadline expiry between reads.
+//!
+//! Both models enforce the same protocol semantics: over-capacity
+//! accepts get an honest 503 instead of an invisible kernel queue;
+//! idle keep-alive connections are reaped; and the read deadline is
+//! *cumulative per request* — the clock starts at the request's first
+//! byte and is never reset by further arrivals, so a peer trickling
+//! one byte per tick cannot hold the connection open. It gets an
+//! honest 408 once the whole header+body transfer has taken longer
+//! than `read_timeout` (slowloris protection).
 
 use crate::http::{Parser, Response};
 use crate::metrics::{WireMetrics, WireStats};
@@ -24,6 +34,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How the front-end maps connections onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionModel {
+    /// One epoll reactor thread multiplexing every socket plus a fixed
+    /// dispatch pool — the connection ceiling is the fd budget.
+    Reactor,
+    /// Legacy thread-per-connection supervisor — the ceiling is
+    /// `max_connections` OS threads. Kept for A/B comparison.
+    Threaded,
+}
 
 /// Network front-end tuning knobs.
 #[derive(Debug, Clone)]
@@ -43,28 +64,38 @@ pub struct NetConfig {
     /// A keep-alive connection idle (no partial request buffered)
     /// longer than this is reaped.
     pub idle_timeout: Duration,
+    /// Connection-to-thread mapping (reactor by default).
+    pub model: ConnectionModel,
+    /// Dispatch workers for the reactor model (0 = size to cores,
+    /// minimum 4). Ignored by the threaded model.
+    pub dispatch_workers: usize,
 }
 
 impl Default for NetConfig {
     fn default() -> NetConfig {
         NetConfig {
             addr: "127.0.0.1:0".parse().expect("literal addr"),
-            max_connections: 64,
+            // Under the reactor a connection is ~1 KiB of state, not a
+            // thread: the default cap is an fd budget, not a thread
+            // count (the threaded seed shipped 64 here).
+            max_connections: 10_000,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(30),
+            model: ConnectionModel::Reactor,
+            dispatch_workers: 0,
         }
     }
 }
 
-struct Shared {
-    serve: Arc<Server>,
-    config: NetConfig,
-    wire: WireMetrics,
+pub(crate) struct Shared {
+    pub(crate) serve: Arc<Server>,
+    pub(crate) config: NetConfig,
+    pub(crate) wire: WireMetrics,
     /// Lag-aware read routing across a replica pool, when configured.
-    repl: Option<ReadContext>,
-    shutting_down: AtomicBool,
-    active: AtomicU64,
+    pub(crate) repl: Option<ReadContext>,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) active: AtomicU64,
 }
 
 /// A running HTTP front-end. Dropping it (or calling
@@ -73,7 +104,13 @@ struct Shared {
 pub struct HttpServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept_handle: Option<JoinHandle<()>>,
+    backend: Backend,
+}
+
+/// Per-model supervisor handle, joined on shutdown.
+enum Backend {
+    Threaded { accept_handle: Option<JoinHandle<()>> },
+    Reactor { handle: crate::reactor::ReactorHandle },
 }
 
 impl HttpServer {
@@ -93,6 +130,7 @@ impl HttpServer {
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
+        let model = config.model;
         let shared = Arc::new(Shared {
             serve,
             config,
@@ -101,16 +139,27 @@ impl HttpServer {
             shutting_down: AtomicBool::new(false),
             active: AtomicU64::new(0),
         });
-        let accept_shared = Arc::clone(&shared);
-        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_handle = std::thread::Builder::new()
-            .name("covidkg-net-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, conn_threads))
-            .expect("spawn accept thread");
+        let backend = match model {
+            ConnectionModel::Reactor => Backend::Reactor {
+                handle: crate::reactor::spawn(listener, Arc::clone(&shared))?,
+            },
+            ConnectionModel::Threaded => {
+                let accept_shared = Arc::clone(&shared);
+                let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> =
+                    Arc::new(Mutex::new(Vec::new()));
+                let accept_handle = std::thread::Builder::new()
+                    .name("covidkg-net-accept".into())
+                    .spawn(move || accept_loop(listener, accept_shared, conn_threads))
+                    .expect("spawn accept thread");
+                Backend::Threaded {
+                    accept_handle: Some(accept_handle),
+                }
+            }
+        };
         Ok(HttpServer {
             shared,
             local_addr,
-            accept_handle: Some(accept_handle),
+            backend,
         })
     }
 
@@ -131,11 +180,16 @@ impl HttpServer {
         if self.shared.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Wake the accept loop: it blocks in accept(), so poke it with
-        // one throwaway connection aimed at ourselves.
-        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        match &mut self.backend {
+            Backend::Reactor { handle } => handle.shutdown(),
+            Backend::Threaded { accept_handle } => {
+                // Wake the accept loop: it blocks in accept(), so poke
+                // it with one throwaway connection aimed at ourselves.
+                let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+                if let Some(h) = accept_handle.take() {
+                    let _ = h.join();
+                }
+            }
         }
     }
 }

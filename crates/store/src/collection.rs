@@ -12,12 +12,13 @@ use crate::fault::{with_backoff, Fault, FaultOp, FaultPlan, RetryPolicy};
 use crate::filter::Filter;
 use crate::index::{HashIndex, TextIndex};
 use crate::pipeline::Pipeline;
+use crate::pool::ScorePool;
 use crate::shard::{route_hash, Shard};
 use crate::stats::{CollectionStats, ShardStats};
 use crate::wal::{self, WalRecord, WalTail, WalWriter};
 use covidkg_json::Value;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, OnceLock, RwLock};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -137,6 +138,11 @@ pub struct Collection {
     /// Replication sequence for in-memory collections (durable ones
     /// track it in the WAL writer; see [`Collection::repl_watermark`]).
     mem_seq: AtomicU64,
+    /// Persistent shard-parallel scoring pool. Injected by the owning
+    /// [`crate::Database`] (one pool shared across its collections);
+    /// falls back to [`ScorePool::global`] so no query path ever spawns
+    /// a thread per shard.
+    score_pool: OnceLock<Arc<ScorePool>>,
 }
 
 /// How many recent mutations [`Collection::touched_since`] can account
@@ -176,7 +182,21 @@ impl Collection {
             mutations: AtomicU64::new(0),
             mutation_log: Mutex::new(VecDeque::new()),
             mem_seq: AtomicU64::new(0),
+            score_pool: OnceLock::new(),
         }
+    }
+
+    /// Inject a shared scoring pool (first injection wins; later calls
+    /// are no-ops). [`crate::Database`] injects its per-database pool
+    /// into every collection it creates; a collection never handed one
+    /// scores through [`ScorePool::global`].
+    pub fn set_score_pool(&self, pool: Arc<ScorePool>) {
+        let _ = self.score_pool.set(pool);
+    }
+
+    /// The pool shard-parallel reads run on.
+    pub fn score_pool(&self) -> &Arc<ScorePool> {
+        self.score_pool.get().unwrap_or_else(|| ScorePool::global())
     }
 
     /// Create a persistent collection in `dir`, recovering any existing
@@ -601,30 +621,33 @@ impl Collection {
             (matched, best)
         };
 
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let pool = self.score_pool();
         let part_for = |i: usize| parts.as_ref().map(|p| p[i].as_slice());
         let per_shard: Vec<(usize, TopBuffer)> =
-            if cores == 1 || self.shards.len() == 1 || work < PARALLEL_THRESHOLD {
+            if pool.threads() == 1 || self.shards.len() == 1 || work < PARALLEL_THRESHOLD {
                 self.shards
                     .iter()
                     .enumerate()
                     .map(|(i, shard)| run_shard(shard, part_for(i)))
                     .collect()
             } else {
+                // Shard fan-out rides the persistent pool: zero thread
+                // spawns per query, one disjoint output slot per shard.
                 let run_shard = &run_shard;
                 let part_for = &part_for;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .shards
-                        .iter()
-                        .enumerate()
-                        .map(|(i, shard)| scope.spawn(move || run_shard(shard, part_for(i))))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("scoring worker panicked"))
-                        .collect()
-                })
+                let mut slots: Vec<Option<(usize, TopBuffer)>> =
+                    (0..self.shards.len()).map(|_| None).collect();
+                pool.scope(|scope| {
+                    for ((i, shard), slot) in
+                        self.shards.iter().enumerate().zip(slots.iter_mut())
+                    {
+                        scope.spawn(move || *slot = Some(run_shard(shard, part_for(i))));
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("scoring task completed"))
+                    .collect()
             };
 
         let mut total = 0usize;
@@ -638,33 +661,33 @@ impl Collection {
         (total, merged.into_iter().map(|(s, _, d)| (s, d)).collect())
     }
 
-    /// Scan every shard with `f`, fanning out one worker per shard when
-    /// the collection is large enough that thread startup amortizes —
-    /// this is where the §2 sharding pays off on the read side.
+    /// Scan every shard with `f`, fanning the shards out across the
+    /// persistent scoring pool when the collection is large enough that
+    /// queueing amortizes — this is where the §2 sharding pays off on
+    /// the read side, without a thread spawn per shard per scan.
     fn parallel_scan<T: Send>(
         &self,
         f: impl Fn(&str, &Value) -> Option<T> + Sync,
     ) -> Vec<T> {
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        if cores == 1 || self.shards.len() == 1 || self.len() < PARALLEL_THRESHOLD {
+        let pool = self.score_pool();
+        if pool.threads() == 1 || self.shards.len() == 1 || self.len() < PARALLEL_THRESHOLD {
             let mut out = Vec::new();
             for shard in &self.shards {
                 out.extend(shard.scan(|id, doc| f(id, doc)));
             }
             return out;
         }
-        let results: Vec<Vec<T>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .map(|shard| scope.spawn(|| shard.scan(|id, doc| f(id, doc))))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
-                .collect()
+        let f = &f;
+        let mut slots: Vec<Option<Vec<T>>> = (0..self.shards.len()).map(|_| None).collect();
+        pool.scope(|scope| {
+            for (shard, slot) in self.shards.iter().zip(slots.iter_mut()) {
+                scope.spawn(move || *slot = Some(shard.scan(|id, doc| f(id, doc))));
+            }
         });
-        results.into_iter().flatten().collect()
+        slots
+            .into_iter()
+            .flat_map(|s| s.expect("scan task completed"))
+            .collect()
     }
 
     /// Run an aggregation pipeline. A leading `$match` is pushed into the
@@ -1180,6 +1203,50 @@ mod tests {
         assert_eq!(total, 5);
         let ns: Vec<f64> = top.iter().map(|(s, _)| *s).collect();
         assert_eq!(ns, [19.0, 18.0, 17.0]);
+    }
+
+    #[test]
+    fn scored_top_k_reuses_the_pool_and_spawns_zero_threads_per_query() {
+        // Big enough to clear PARALLEL_THRESHOLD so the parallel branch
+        // engages, with an explicitly injected multi-worker pool (the
+        // harness machine may report one core, which would otherwise
+        // keep everything on the sequential path).
+        let c = Collection::new(
+            CollectionConfig::new("pubs")
+                .with_shards(4)
+                .with_text_fields(["title"]),
+        );
+        let pool = Arc::new(ScorePool::new(3));
+        c.set_score_pool(Arc::clone(&pool));
+        for i in 0..(PARALLEL_THRESHOLD * 2) {
+            c.insert(obj! { "_id" => format!("d{i:05}"), "title" => "mask study", "n" => i as i64 })
+                .unwrap();
+        }
+        let filter = Filter::text("mask", vec!["title".into()]);
+        let score = |_: &str, d: &Value| d.path("n").unwrap().as_f64().unwrap();
+        let spawned_before = pool.threads_spawned();
+        let executed_before = pool.tasks_executed();
+        let (expect_total, expect_top) = naive_top_k(&c, &filter, 5, score);
+        for q in 0..25 {
+            let (total, top) = c.scored_top_k(&filter, 5, score);
+            assert_eq!(total, expect_total, "query {q}");
+            let got: Vec<(f64, String)> = top
+                .iter()
+                .map(|(s, d)| (*s, d.get("_id").unwrap().as_str().unwrap().to_string()))
+                .collect();
+            assert_eq!(got, expect_top, "query {q}");
+        }
+        assert_eq!(
+            pool.threads_spawned(),
+            spawned_before,
+            "a query under load must cost zero thread spawns"
+        );
+        assert!(
+            pool.tasks_executed() >= executed_before + 25 * 4,
+            "every query fans its 4 shards across the persistent pool: {} -> {}",
+            executed_before,
+            pool.tasks_executed()
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::collection::{Collection, CollectionConfig};
 use crate::error::StoreError;
+use crate::pool::ScorePool;
 use crate::stats::DbStats;
 use std::sync::RwLock;
 use std::collections::BTreeMap;
@@ -15,6 +16,10 @@ use std::sync::Arc;
 pub struct Database {
     dir: Option<PathBuf>,
     collections: RwLock<BTreeMap<String, Arc<Collection>>>,
+    /// One scoring pool shared by every collection this database opens
+    /// (`None` until first use; all collections get the same handle, so
+    /// a query burst across collections shares one set of workers).
+    pool: RwLock<Option<Arc<ScorePool>>>,
 }
 
 impl Database {
@@ -30,7 +35,18 @@ impl Database {
         Ok(Database {
             dir: Some(dir),
             collections: RwLock::new(BTreeMap::new()),
+            pool: RwLock::new(None),
         })
+    }
+
+    /// The database's shared scoring pool, created on first use and
+    /// sized to the machine's cores.
+    pub fn score_pool(&self) -> Arc<ScorePool> {
+        if let Some(pool) = self.pool.read().unwrap().as_ref() {
+            return Arc::clone(pool);
+        }
+        let mut guard = self.pool.write().unwrap();
+        Arc::clone(guard.get_or_insert_with(|| Arc::clone(ScorePool::global())))
     }
 
     /// Create (or re-open, when persistent state exists) a collection.
@@ -41,6 +57,7 @@ impl Database {
             Some(dir) => Collection::open(config, dir)?,
             None => Collection::new(config),
         };
+        coll.set_score_pool(self.score_pool());
         let coll = Arc::new(coll);
         let mut guard = self.collections.write().unwrap();
         if guard.contains_key(&name) {

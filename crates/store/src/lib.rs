@@ -42,6 +42,7 @@ pub mod gauntlet;
 pub mod index;
 pub mod pipeline;
 mod pipeline_parse;
+pub mod pool;
 pub mod shard;
 pub mod update;
 pub mod stats;
@@ -56,6 +57,7 @@ pub use flusher::{Flusher, FlusherStats};
 pub use gauntlet::{run_gauntlet, GauntletConfig, GauntletReport};
 pub use index::{HashIndex, Posting, TextIndex};
 pub use pipeline::{Accumulator, Pipeline, Stage};
+pub use pool::ScorePool;
 pub use stats::{CollectionStats, DbStats, ShardStats};
 pub use update::UpdateSpec;
 pub use wal::{WalReader, WalRecord, WalTail};

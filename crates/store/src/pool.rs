@@ -1,0 +1,359 @@
+//! A persistent, shared scoring pool: fan shard-parallel work out to
+//! long-lived worker threads instead of spawning a thread per shard per
+//! query.
+//!
+//! Before this module, `Collection::scored_top_k` and `parallel_scan`
+//! used `std::thread::scope`, paying one `clone()`d OS thread per shard
+//! on *every* query — invisible at the bench's single-query cadence,
+//! ruinous under real concurrency where thread churn competes with the
+//! queries themselves for the scheduler. The pool keeps a fixed set of
+//! workers (sized to cores) alive for the process lifetime; a query
+//! under load costs zero thread spawns end-to-end.
+//!
+//! The API mirrors `std::thread::scope`: [`ScorePool::scope`] hands out
+//! a [`Scope`] whose `spawn` accepts closures borrowing from the
+//! caller's stack, and does not return until every spawned task has
+//! finished — that blocking is what makes the lifetime erasure inside
+//! sound. While waiting, the *calling* thread also executes queued
+//! tasks, so a one-core machine (or a pool busy with another query's
+//! scope) still makes progress instead of idling on a condvar.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased unit of work. Tasks are `'static` from the queue's
+/// point of view; [`Scope`] guarantees the borrows they capture outlive
+/// their execution by blocking until the scope drains.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Task>>,
+    /// Signalled when a task is queued (workers park here).
+    ready: Condvar,
+    shutdown: AtomicBool,
+    /// OS threads ever created by this pool — the "zero spawns per
+    /// query" assertion reads this before and after a query burst.
+    threads_spawned: AtomicU64,
+    /// Tasks completed (by workers or by helping callers).
+    tasks_executed: AtomicU64,
+}
+
+/// A fixed-size pool of persistent scoring workers. Cloneable by `Arc`;
+/// dropping the last handle shuts the workers down.
+pub struct ScorePool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ScorePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScorePool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ScorePool {
+    /// A pool of `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> ScorePool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            threads_spawned: AtomicU64::new(0),
+            tasks_executed: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                shared.threads_spawned.fetch_add(1, Ordering::Relaxed);
+                std::thread::Builder::new()
+                    .name(format!("covidkg-score-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scoring worker")
+            })
+            .collect();
+        ScorePool {
+            shared,
+            threads,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The process-wide shared pool, created on first use and sized to
+    /// the machine's cores. Collections without an explicitly injected
+    /// handle score through this one, so the zero-spawn property holds
+    /// even for ad-hoc `Collection::new` users.
+    pub fn global() -> &'static Arc<ScorePool> {
+        static GLOBAL: OnceLock<Arc<ScorePool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get);
+            Arc::new(ScorePool::new(cores))
+        })
+    }
+
+    /// Worker count the pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total OS threads this pool has ever spawned. Constant after
+    /// construction — that constancy *is* the zero-spawn guarantee.
+    pub fn threads_spawned(&self) -> u64 {
+        self.shared.threads_spawned.load(Ordering::Relaxed)
+    }
+
+    /// Tasks completed since construction (workers + helping callers).
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.tasks_executed.load(Ordering::Relaxed)
+    }
+
+    /// Run `f` with a [`Scope`] that can spawn borrowing tasks onto the
+    /// pool. Returns only after every spawned task has finished; if any
+    /// task panicked, the panic is propagated to the caller here.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            pending: Mutex::new(0usize),
+            drained: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+            _scope: PhantomData,
+        };
+        let out = f(&scope);
+        // Help drain the queue while our tasks are outstanding: the
+        // caller may execute tasks from *any* scope here — executing a
+        // stranger's task while waiting is harmless and keeps one-core
+        // machines from serializing on a single parked worker.
+        loop {
+            if *state.pending.lock().unwrap_or_else(|e| e.into_inner()) == 0 {
+                break;
+            }
+            let task = {
+                let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                q.pop_front()
+            };
+            match task {
+                Some(task) => {
+                    run_task(&self.shared, task);
+                }
+                None => {
+                    let guard = state.pending.lock().unwrap_or_else(|e| e.into_inner());
+                    if *guard == 0 {
+                        break;
+                    }
+                    // Tasks may be mid-execution on workers: wait for
+                    // the last completion to signal.
+                    let _unused = state
+                        .drained
+                        .wait_timeout(guard, std::time::Duration::from_millis(10))
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+        if state.panicked.load(Ordering::Acquire) {
+            panic!("scoring worker panicked");
+        }
+        out
+    }
+}
+
+impl Drop for ScorePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(task) = q.pop_front() {
+                    break Some(task);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match task {
+            Some(task) => run_task(shared, task),
+            None => return,
+        }
+    }
+}
+
+/// Execute one queued task (all bookkeeping — the executed counter and
+/// the scope's pending count — lives inside the task's wrapper,
+/// installed by [`Scope::spawn`], so both are settled before the scope
+/// can observe completion).
+fn run_task(_shared: &PoolShared, task: Task) {
+    task();
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    drained: Condvar,
+    panicked: AtomicBool,
+}
+
+/// A spawning handle tied to one [`ScorePool::scope`] call. `'env` is
+/// the caller's environment: spawned closures may borrow from it
+/// because the scope cannot return before they finish.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ScorePool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queue `f` onto the pool. Panics inside `f` are caught, recorded,
+    /// and re-raised from [`ScorePool::scope`] after the scope drains.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        {
+            let mut pending = self
+                .state
+                .pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *pending += 1;
+        }
+        let state = Arc::clone(&self.state);
+        let pool_shared = Arc::clone(&self.pool.shared);
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err() {
+                state.panicked.store(true, Ordering::Release);
+            }
+            // Count before releasing the scope: a caller reading the
+            // executed counter right after `scope` returns must see
+            // every one of its tasks included.
+            pool_shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            let mut pending = state.pending.lock().unwrap_or_else(|e| e.into_inner());
+            *pending -= 1;
+            if *pending == 0 {
+                state.drained.notify_all();
+            }
+        });
+        // SAFETY: the task's borrows live for 'scope ⊇ this scope call;
+        // `ScorePool::scope` blocks until `pending` returns to zero, so
+        // the closure (and everything it borrows) is gone before the
+        // borrowed environment can be. This is the same contract
+        // `std::thread::scope` enforces, applied to pooled threads.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(wrapped)
+        };
+        let mut q = self
+            .pool
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        q.push_back(task);
+        self.pool.shared.ready.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_tasks_borrow_and_join() {
+        let pool = ScorePool::new(3);
+        let inputs: Vec<u64> = (0..64).collect();
+        let mut outputs: Vec<u64> = vec![0; inputs.len()];
+        pool.scope(|s| {
+            for (out, inp) in outputs.iter_mut().zip(&inputs) {
+                s.spawn(move || *out = inp * 2);
+            }
+        });
+        assert!(outputs.iter().zip(&inputs).all(|(o, i)| *o == i * 2));
+        assert_eq!(pool.tasks_executed(), 64);
+    }
+
+    #[test]
+    fn no_threads_spawned_after_construction() {
+        let pool = ScorePool::new(2);
+        assert_eq!(pool.threads_spawned(), 2);
+        for round in 0..50u64 {
+            let mut sums = [0u64; 4];
+            pool.scope(|s| {
+                for (i, slot) in sums.iter_mut().enumerate() {
+                    s.spawn(move || *slot = round + i as u64);
+                }
+            });
+            assert_eq!(pool.threads_spawned(), 2, "round {round} spawned threads");
+        }
+        assert_eq!(pool.tasks_executed(), 200);
+    }
+
+    #[test]
+    fn nested_scopes_from_many_callers_make_progress() {
+        let pool = Arc::new(ScorePool::new(1));
+        std::thread::scope(|ts| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                ts.spawn(move || {
+                    for _ in 0..20 {
+                        let mut acc = [0u32; 3];
+                        pool.scope(|s| {
+                            for slot in acc.iter_mut() {
+                                s.spawn(move || *slot = 7);
+                            }
+                        });
+                        assert_eq!(acc, [7, 7, 7]);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.threads_spawned(), 1);
+    }
+
+    #[test]
+    fn panics_propagate_after_drain() {
+        let pool = ScorePool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(|| {});
+            });
+        }));
+        assert!(result.is_err(), "scope must re-raise task panics");
+        // The pool survives the panic and keeps executing.
+        let mut x = 0u8;
+        pool.scope(|s| s.spawn(|| x = 9));
+        assert_eq!(x, 9);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_stable() {
+        let a = ScorePool::global();
+        let b = ScorePool::global();
+        assert!(Arc::ptr_eq(a, b));
+        let before = a.threads_spawned();
+        a.scope(|s| s.spawn(|| {}));
+        assert_eq!(a.threads_spawned(), before);
+    }
+}

@@ -30,13 +30,20 @@ echo "==> serve-bench open-loop smoke (fixed arrival rate)"
 echo "==> HTTP parser property tests (incl. one-byte split reads)"
 cargo test -p covidkg-net --test parser_prop --offline -q
 
-echo "==> EXPERIMENTS.md wire table regenerates from the committed BENCH_net.json"
+echo "==> reactor regression suite (1000 idle conns, pipelining, churn, threaded parity)"
+cargo test -p covidkg-net --test reactor_e2e --offline -q
+
+echo "==> protocol regression suite on the reactor path (slowloris 408, 431/413/400, drain)"
+cargo test -p covidkg-net --test wire_e2e --offline -q
+
+echo "==> EXPERIMENTS.md wire tables regenerate from the committed BENCH_net.json"
 ./target/release/covidkg net-table
 grep -q '<!-- net-table:begin -->' EXPERIMENTS.md
+grep -q '<!-- conn-table:begin -->' EXPERIMENTS.md
 
 echo "==> wire smoke: TCP end-to-end with the in-repo client (no curl)"
 ./target/release/covidkg net-bench --corpus 16 --clients 2 --requests 10 \
-    --workers 2 --rates 100,300 --duration-ms 250
+    --workers 2 --rates 100,300 --duration-ms 250 --connections 32,128
 test -s BENCH_net.json
 
 echo "==> replication smoke: WAL shipping, checksum convergence, read-your-writes"

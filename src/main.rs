@@ -68,7 +68,10 @@ OPTIONS:
     --expanded               expand collapsed result sections
     --depth <n>              kg tree depth (default 2)
     --clients <n>            serve-bench/chaos concurrent clients [default 8]
-    --requests <n>           serve-bench/chaos queries per client [default 50]
+    --requests <n>           queries per client [serve-bench/chaos: 50;
+                             net-bench closed loop: 200]
+    --connections <a,b,c>    net-bench: idle keep-alive connections held open
+                             during the scaling sweep [default 64,512,4096]
     --workers <n>            serve-bench/chaos worker threads [default 4]
     --faults <n>             chaos injected-fault target [default 100]
     --open-loop              serve-bench: add a fixed-arrival-rate sweep
@@ -97,7 +100,8 @@ struct Args {
     expanded: bool,
     depth: usize,
     clients: usize,
-    requests: usize,
+    requests: Option<usize>,
+    connections: Option<Vec<usize>>,
     workers: usize,
     faults: u64,
     open_loop: bool,
@@ -125,7 +129,8 @@ fn parse_args() -> Result<Args, String> {
         expanded: false,
         depth: 2,
         clients: 8,
-        requests: 50,
+        requests: None,
+        connections: None,
         workers: 4,
         faults: 100,
         open_loop: false,
@@ -172,9 +177,23 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--clients takes a number".to_string())?
             }
             "--requests" => {
-                out.requests = value("--requests")?
-                    .parse()
-                    .map_err(|_| "--requests takes a number".to_string())?
+                out.requests = Some(
+                    value("--requests")?
+                        .parse()
+                        .map_err(|_| "--requests takes a number".to_string())?,
+                )
+            }
+            "--connections" => {
+                let list = value("--connections")?;
+                let conns: Result<Vec<usize>, _> =
+                    list.split(',').map(|c| c.trim().parse::<usize>()).collect();
+                let conns = conns.map_err(|_| {
+                    "--connections takes comma-separated connection counts".to_string()
+                })?;
+                if conns.is_empty() || conns.contains(&0) {
+                    return Err("--connections needs positive counts".to_string());
+                }
+                out.connections = Some(conns);
             }
             "--workers" => {
                 out.workers = value("--workers")?
@@ -421,16 +440,17 @@ fn run() -> Result<(), String> {
                 .unwrap_or("127.0.0.1:0")
                 .parse()
                 .map_err(|_| "--listen takes an ADDR:PORT".to_string())?;
+            // The default NetConfig is the reactor with an fd-budget
+            // cap — large enough for the held-connection sweep.
             let mut http = HttpServer::start(
                 Arc::clone(&server),
                 NetConfig {
                     addr,
-                    max_connections: (args.clients * 2).max(64),
                     ..NetConfig::default()
                 },
             )
             .map_err(|e| format!("bind {addr} failed: {e}"))?;
-            let result = net_bench(&http, &args);
+            let result = net_bench(&http, &server, &args);
             http.shutdown();
             server.shutdown();
             result?;
@@ -453,7 +473,7 @@ fn run() -> Result<(), String> {
                 fault_target: args.faults,
                 workers: args.workers.max(1),
                 clients: args.clients.max(1),
-                requests: args.requests.max(1),
+                requests: args.requests.unwrap_or(50).max(1),
                 ..covidkg::ChaosConfig::default()
             })?;
             println!("{report}");
@@ -678,7 +698,7 @@ fn repl_bench(args: &Args) -> Result<(), String> {
     const SERVICE_FLOOR: Duration = Duration::from_millis(20);
     let corpus = args.corpus.clamp(16, 36);
     let clients = args.clients.clamp(4, 16);
-    let per_client = args.requests.clamp(10, 200);
+    let per_client = args.requests.unwrap_or(50).clamp(10, 200);
     let scratch = |tag: &str| {
         let dir = std::env::temp_dir().join(format!("covidkg-rbench-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -965,33 +985,40 @@ fn routed_loop(
     Ok((ok, errs, t0.elapsed()))
 }
 
-/// The `net-table` body: regenerate the wire-benchmark table in
-/// `EXPERIMENTS.md` between its marker comments from `BENCH_net.json`,
-/// so the prose and the committed artifact cannot drift apart.
+/// The `net-table` body: regenerate the wire-benchmark table *and* the
+/// connection-scaling table in `EXPERIMENTS.md` between their marker
+/// comments from `BENCH_net.json`, so the prose and the committed
+/// artifact cannot drift apart.
 fn net_table() -> Result<(), String> {
     let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_net.json");
     let exp_path = concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md");
     let raw = std::fs::read_to_string(bench_path)
         .map_err(|e| format!("read {bench_path}: {e} (run `covidkg net-bench` first)"))?;
     let bench = covidkg::json::parse(&raw).map_err(|e| format!("parse BENCH_net.json: {e}"))?;
-    let table = render_net_table(&bench);
-    let doc = std::fs::read_to_string(exp_path).map_err(|e| format!("read {exp_path}: {e}"))?;
-    const BEGIN: &str = "<!-- net-table:begin -->";
-    const END: &str = "<!-- net-table:end -->";
-    let start = doc
-        .find(BEGIN)
-        .ok_or(format!("EXPERIMENTS.md is missing the {BEGIN} marker"))?
-        + BEGIN.len();
-    let end = doc
-        .find(END)
-        .ok_or(format!("EXPERIMENTS.md is missing the {END} marker"))?;
-    if end < start {
-        return Err("net-table markers are out of order in EXPERIMENTS.md".into());
-    }
-    let updated = format!("{}\n{table}{}", &doc[..start], &doc[end..]);
-    std::fs::write(exp_path, updated).map_err(|e| format!("write {exp_path}: {e}"))?;
-    println!("updated the wire table in EXPERIMENTS.md from BENCH_net.json");
+    let mut doc = std::fs::read_to_string(exp_path).map_err(|e| format!("read {exp_path}: {e}"))?;
+    doc = splice_marked(&doc, "net-table", &render_net_table(&bench))?;
+    doc = splice_marked(&doc, "conn-table", &render_conn_table(&bench))?;
+    std::fs::write(exp_path, doc).map_err(|e| format!("write {exp_path}: {e}"))?;
+    println!("updated the wire + connection tables in EXPERIMENTS.md from BENCH_net.json");
     Ok(())
+}
+
+/// Replace the text between `<!-- {marker}:begin -->` and
+/// `<!-- {marker}:end -->` with `body`.
+fn splice_marked(doc: &str, marker: &str, body: &str) -> Result<String, String> {
+    let begin = format!("<!-- {marker}:begin -->");
+    let end_marker = format!("<!-- {marker}:end -->");
+    let start = doc
+        .find(&begin)
+        .ok_or(format!("EXPERIMENTS.md is missing the {begin} marker"))?
+        + begin.len();
+    let end = doc
+        .find(&end_marker)
+        .ok_or(format!("EXPERIMENTS.md is missing the {end_marker} marker"))?;
+    if end < start {
+        return Err(format!("{marker} markers are out of order in EXPERIMENTS.md"));
+    }
+    Ok(format!("{}\n{body}{}", &doc[..start], &doc[end..]))
 }
 
 /// Render the markdown rows of the wire-benchmark table.
@@ -1035,6 +1062,50 @@ fn render_net_table(bench: &covidkg::json::Value) -> String {
                 us(num(r, "p50_us")),
                 us(num(r, "p99_us")),
             ));
+        }
+    }
+    out
+}
+
+/// Render the markdown rows of the connection-scaling table: the
+/// reactor holding N idle keep-alive connections under open-loop load,
+/// against the thread-per-connection baseline at equal load.
+fn render_conn_table(bench: &covidkg::json::Value) -> String {
+    use covidkg::json::Value;
+    let num = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_f64());
+    let int = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_i64()).unwrap_or(0);
+    let us = |v: Option<f64>| match v {
+        None => "—".to_string(),
+        Some(us) if us >= 1000.0 => format!("{:.1} ms", us / 1000.0),
+        Some(us) => format!("{us:.0} µs"),
+    };
+    let mut out = String::from(
+        "| model | idle conns held | offered | ok / sent | goodput | p50 | p99 |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    let mut row = |model: &str, r: &Value| {
+        out.push_str(&format!(
+            "| {model} | {} | {:.0} req/s | {}/{} | {:.0} ok/s | {} | {} |\n",
+            int(r, "held_connections"),
+            num(r, "offered_rate").unwrap_or(0.0),
+            int(r, "ok"),
+            int(r, "sent"),
+            num(r, "goodput_rps").unwrap_or(0.0),
+            us(num(r, "p50_us")),
+            us(num(r, "p99_us")),
+        ));
+    };
+    if let Some(threaded) = bench.get("threaded") {
+        if let Some(r) = threaded.get("open") {
+            row("thread-per-conn", r);
+        }
+        if let Some(r) = threaded.get("held") {
+            row("thread-per-conn", r);
+        }
+    }
+    if let Some(Value::Array(held)) = bench.get("connections") {
+        for r in held {
+            row("reactor", r);
         }
     }
     out
@@ -1380,7 +1451,7 @@ fn serve_bench(server: &Server, args: &Args) -> Result<(), String> {
         server,
         &LoadGenConfig {
             clients: args.clients.max(1),
-            queries_per_client: args.requests.max(1),
+            queries_per_client: args.requests.unwrap_or(50).max(1),
             ..LoadGenConfig::default()
         },
     );
@@ -1420,13 +1491,21 @@ fn serve_bench(server: &Server, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Minimum open-loop arrivals per phase: percentiles from a few dozen
+/// samples are noise, so short durations are stretched until at least
+/// this many requests are scheduled.
+const NET_BENCH_MIN_ARRIVALS: f64 = 200.0;
+
 /// The `net-bench` body: a single-request RTT micro-bench on the
-/// `covidkg_bench::timer` harness, a closed-loop phase, then an
-/// open-loop offered-rate sweep; everything lands in `BENCH_net.json`.
-fn net_bench(http: &HttpServer, args: &Args) -> Result<(), String> {
+/// `covidkg_bench::timer` harness, a closed-loop phase, an open-loop
+/// offered-rate sweep, a connection-concurrency sweep (N idle
+/// keep-alive connections held while open-loop load runs beside them),
+/// and a thread-per-connection baseline at equal load; everything
+/// lands in `BENCH_net.json`.
+fn net_bench(http: &HttpServer, server: &Arc<Server>, args: &Args) -> Result<(), String> {
     let addr = http.local_addr();
     let timeout = Duration::from_secs(10);
-    println!("net-bench against http://{addr}");
+    println!("net-bench against http://{addr} (reactor model)");
 
     // Phase 0 — wire RTT floor: one keep-alive connection, a cached
     // query, timed on the same harness the repo's other benches use so
@@ -1451,10 +1530,11 @@ fn net_bench(http: &HttpServer, args: &Args) -> Result<(), String> {
     let rtt_p50 = median(&mut rtts);
 
     // Phase 1 — closed loop: N keep-alive connections at full tilt.
+    let requests_per_client = args.requests.unwrap_or(200).max(1);
     let closed = covidkg::net::run_closed_loop(
         addr,
         args.clients.max(1),
-        args.requests.max(1),
+        requests_per_client,
         timeout,
     );
     println!("{}", closed.render());
@@ -1462,39 +1542,129 @@ fn net_bench(http: &HttpServer, args: &Args) -> Result<(), String> {
         return Err(format!("{} socket-level failures in closed loop", closed.io_errors));
     }
 
+    // Open-loop phases stretch short durations until at least
+    // NET_BENCH_MIN_ARRIVALS requests are scheduled — tail percentiles
+    // from a handful of samples are noise, not measurement.
+    let base_duration = Duration::from_millis(args.duration_ms.max(1));
+    let duration_for = |rate: f64| -> Duration {
+        base_duration.max(Duration::from_secs_f64(
+            NET_BENCH_MIN_ARRIVALS / rate.max(1e-3),
+        ))
+    };
+
     // Phase 2 — open loop at fixed offered rates (default: half and
     // double the measured closed-loop goodput, so the sweep brackets
     // the saturation point), latency from scheduled arrival.
-    let rates = args.rates.clone().unwrap_or_else(|| {
-        let capacity = closed.goodput().max(10.0);
-        vec![capacity * 0.5, capacity * 2.0]
-    });
-    let duration = Duration::from_millis(args.duration_ms.max(1));
+    let capacity = closed.goodput().max(10.0);
+    let rates = args
+        .rates
+        .clone()
+        .unwrap_or_else(|| vec![capacity * 0.5, capacity * 2.0]);
     let mut open_reports = Vec::new();
-    println!("open loop ({} ms per rate, latency from scheduled arrival):", args.duration_ms);
+    println!("open loop (latency from scheduled arrival):");
     for rate in rates {
-        let r = covidkg::net::run_open_loop(addr, rate, duration, args.clients.max(1), timeout);
+        let r = covidkg::net::run_open_loop(
+            addr,
+            rate,
+            duration_for(rate),
+            args.clients.max(1),
+            timeout,
+        );
         println!("  {}", r.render());
         open_reports.push(r);
     }
+
+    // Phase 3 — connection-concurrency sweep: hold N idle keep-alive
+    // connections for the whole phase while open-loop load runs beside
+    // them at a fixed comfortable rate. Under the reactor each held
+    // socket is one fd + ~1 KiB of state, so goodput and tail latency
+    // should hold flat as N scales into the thousands.
+    let sweep_rate = (capacity * 0.5).max(10.0);
+    let held_counts = args.connections.clone().unwrap_or_else(|| vec![64, 512, 4096]);
+    let mut held_reports = Vec::new();
+    println!("connection sweep (open loop at {sweep_rate:.0} req/s beside held idle conns):");
+    for held in held_counts {
+        let r = covidkg::net::run_held_connections(
+            addr,
+            held,
+            sweep_rate,
+            duration_for(sweep_rate),
+            args.clients.max(1),
+            timeout,
+        );
+        println!("  {}", r.render());
+        if (r.held_connections as usize) < held {
+            return Err(format!(
+                "held-connection sweep only opened {} of {held} sockets",
+                r.held_connections
+            ));
+        }
+        held_reports.push(r);
+    }
+
+    // Phase 4 — thread-per-connection baseline at equal load: a second
+    // front-end over the *same* serve layer, legacy model, driven with
+    // the same open-loop rate (and the same sweep with the thread cap's
+    // worth of held connections) for a direct A/B in the table.
+    let threaded_held = 64;
+    let mut baseline = HttpServer::start(
+        Arc::clone(server),
+        NetConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            model: covidkg::net::ConnectionModel::Threaded,
+            max_connections: (threaded_held + args.clients.max(1)) * 2,
+            ..NetConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind threaded baseline: {e}"))?;
+    let baseline_addr = baseline.local_addr();
+    println!("thread-per-connection baseline against http://{baseline_addr}:");
+    let threaded_open = covidkg::net::run_open_loop(
+        baseline_addr,
+        sweep_rate,
+        duration_for(sweep_rate),
+        args.clients.max(1),
+        timeout,
+    );
+    println!("  {}", threaded_open.render());
+    let threaded_held_report = covidkg::net::run_held_connections(
+        baseline_addr,
+        threaded_held,
+        sweep_rate,
+        duration_for(sweep_rate),
+        args.clients.max(1),
+        timeout,
+    );
+    println!("  {}", threaded_held_report.render());
+    baseline.shutdown();
 
     // Emit BENCH_net.json next to the other BENCH_*.json artifacts.
     let wire = http.wire_stats();
     let report = covidkg::json::obj! {
         "bench" => "net",
+        "model" => "reactor",
         "clients" => args.clients.max(1),
-        "requests_per_client" => args.requests.max(1),
+        "requests_per_client" => requests_per_client,
         "rtt_us" => rtt_p50.as_secs_f64() * 1e6,
         "closed" => closed.to_json(),
         "open" => covidkg::json::Value::Array(
             open_reports.iter().map(|r| r.to_json()).collect()
         ),
+        "connections" => covidkg::json::Value::Array(
+            held_reports.iter().map(|r| r.to_json()).collect()
+        ),
+        "threaded" => covidkg::json::obj! {
+            "open" => threaded_open.to_json(),
+            "held" => threaded_held_report.to_json(),
+        },
         "wire" => covidkg::json::obj! {
             "connections_accepted" => wire.connections_accepted as i64,
             "connections_reaped" => wire.connections_reaped as i64,
             "bytes_in" => wire.bytes_in as i64,
             "bytes_out" => wire.bytes_out as i64,
             "parse_errors" => wire.parse_errors as i64,
+            "epoll_wakeups" => wire.epoll_wakeups as i64,
+            "ready_events" => wire.ready_events as i64,
         },
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_net.json");
