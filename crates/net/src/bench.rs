@@ -325,14 +325,56 @@ pub fn run_held_connections(
     }
     let mut report = run_open_loop(addr, rate, duration, dispatchers, timeout);
     report.mode = "held".into();
-    report.held_connections = idle.len() as u64;
+    // The server reaps idle sockets after its idle timeout, so a phase
+    // that outlasts it (custom --duration-ms, low rates) loses held
+    // connections mid-flight. Count only sockets still open at phase
+    // end — `held_connections` reports what was actually sustained.
+    let mut survivors = 0u64;
+    for conn in &mut idle {
+        if still_open(conn) {
+            survivors += 1;
+        }
+    }
+    report.held_connections = survivors;
     drop(idle);
     report
+}
+
+/// Whether an idle keep-alive connection is still open, without
+/// sending a request: a non-blocking read on a healthy idle socket
+/// returns `WouldBlock`; a reaped one yields EOF or an error.
+fn still_open(conn: &mut HttpClient) -> bool {
+    let stream = conn.stream();
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let open = match std::io::Read::read(stream, &mut probe) {
+        Ok(0) => false,
+        Ok(_) => true, // stray bytes: unexpected on an idle socket, but open
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+        Err(_) => false,
+    };
+    let _ = stream.set_nonblocking(false);
+    open
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn still_open_distinguishes_live_from_closed_sockets() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut conn = HttpClient::connect(addr, Duration::from_secs(1)).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        assert!(still_open(&mut conn), "freshly accepted socket is open");
+        drop(server_side);
+        // Loopback FIN delivery is immediate, but give it a moment.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!still_open(&mut conn), "probe must see the server's close");
+    }
 
     #[test]
     fn query_encoding_is_url_safe() {

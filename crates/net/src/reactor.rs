@@ -368,16 +368,36 @@ struct Conn {
     /// read deadline runs from here and is never reset by trickling
     /// arrivals (slow-loris protection, PR 7 semantics).
     request_start: Option<Instant>,
+    /// Reads suspended for pipeline backpressure (`pending` full). The
+    /// stall is the server's doing, so the cumulative read deadline is
+    /// held while this is set and re-pinned when reads resume — a
+    /// well-behaved pipelining client must not collect a 408 for our
+    /// backlog.
+    read_paused: bool,
+    /// Last write progress while `write_buf` is non-empty (`None` when
+    /// flushed). A peer that accepts no response bytes for
+    /// `write_timeout` is cut off — the reactor's analog of the
+    /// threaded model's per-call socket write deadline.
+    write_start: Option<Instant>,
     /// Outstanding wheel entries pointing at this connection.
     timers: u32,
 }
 
 impl Conn {
-    fn next_deadline(&self, read_timeout: Duration, idle_timeout: Duration) -> Instant {
-        match self.request_start {
+    fn next_deadline(
+        &self,
+        read_timeout: Duration,
+        write_timeout: Duration,
+        idle_timeout: Duration,
+    ) -> Instant {
+        let mut deadline = match self.request_start {
             Some(start) => start + read_timeout,
             None => self.last_activity + idle_timeout,
+        };
+        if let Some(write_start) = self.write_start {
+            deadline = deadline.min(write_start + write_timeout);
         }
+        deadline
     }
 }
 
@@ -535,6 +555,8 @@ impl Reactor {
                 interest: sys::EPOLLIN | sys::EPOLLRDHUP,
                 last_activity: now,
                 request_start: None,
+                read_paused: false,
+                write_start: None,
                 timers: 0,
             };
             let token = match self.free.pop() {
@@ -713,13 +735,14 @@ impl Reactor {
                 return;
             }
         }
-        self.update_interest(token);
+        self.update_interest(token, now);
     }
 
     /// Write as much of `write_buf` as the socket accepts. Returns
     /// `false` when the connection was closed.
     fn flush(&mut self, token: usize, now: Instant) -> bool {
         let mut fatal = false;
+        let mut progressed = false;
         let conn = self.conns[token].as_mut().expect("checked by caller");
         while conn.write_pos < conn.write_buf.len() {
             match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
@@ -731,6 +754,7 @@ impl Reactor {
                     self.shared.wire.wrote(n as u64);
                     conn.write_pos += n;
                     conn.last_activity = now;
+                    progressed = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -745,22 +769,46 @@ impl Reactor {
             return false;
         }
         let conn = self.conns[token].as_mut().expect("still present");
+        let mut arm = false;
         if conn.write_pos == conn.write_buf.len() {
             conn.write_buf.clear();
             conn.write_pos = 0;
+            conn.write_start = None;
+        } else if progressed || conn.write_start.is_none() {
+            // Bytes are stuck behind a slow reader: (re)start the write
+            // deadline at the last byte the peer actually accepted. Arm
+            // a wheel entry the first time — the standing entry may be
+            // scheduled as far out as the idle timeout.
+            arm = conn.write_start.is_none();
+            conn.write_start = Some(now);
+        }
+        if arm {
+            self.arm_timer(token, now);
         }
         true
     }
 
     /// Reconcile the epoll interest mask with the connection's state:
     /// read while we may accept more requests, write while bytes wait.
-    fn update_interest(&mut self, token: usize) {
+    fn update_interest(&mut self, token: usize, now: Instant) {
         let Some(conn) = self.conns.get_mut(token).and_then(|c| c.as_mut()) else {
             return;
         };
+        let want_read = !conn.poisoned && !conn.peer_closed;
         let mut desired = 0;
-        if !conn.poisoned && !conn.peer_closed && conn.pending.len() < PIPELINE_MAX {
+        if want_read && conn.pending.len() < PIPELINE_MAX {
             desired |= sys::EPOLLIN | sys::EPOLLRDHUP;
+            if conn.read_paused {
+                // Reads were suspended for backpressure — time the peer
+                // spent waiting on *our* backlog must not count against
+                // its cumulative read deadline, so re-pin it here.
+                conn.read_paused = false;
+                if conn.request_start.is_some() {
+                    conn.request_start = Some(now);
+                }
+            }
+        } else if want_read {
+            conn.read_paused = true;
         }
         if !conn.write_buf.is_empty() {
             desired |= sys::EPOLLOUT;
@@ -801,7 +849,8 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(token).and_then(|c| c.as_mut()) else {
             return;
         };
-        let deadline = conn.next_deadline(config.read_timeout, config.idle_timeout);
+        let deadline =
+            conn.next_deadline(config.read_timeout, config.write_timeout, config.idle_timeout);
         conn.timers += 1;
         self.wheel.schedule(
             now,
@@ -824,8 +873,23 @@ impl Reactor {
             return;
         }
         conn.timers -= 1;
+        if let Some(write_start) = conn.write_start {
+            if now.saturating_duration_since(write_start) >= config.write_timeout {
+                // The peer has accepted no response bytes for a full
+                // write_timeout: cut it off, matching the threaded
+                // model's socket write deadline against slow readers.
+                self.close(entry.token);
+                return;
+            }
+        }
+        let Some(conn) = self.conns.get_mut(entry.token).and_then(|c| c.as_mut()) else {
+            return;
+        };
         if let Some(start) = conn.request_start {
-            if now.saturating_duration_since(start) >= config.read_timeout && !conn.poisoned {
+            if now.saturating_duration_since(start) >= config.read_timeout
+                && !conn.poisoned
+                && !conn.read_paused
+            {
                 // Cumulative read deadline blown: the whole transfer
                 // has taken too long, however steadily bytes trickled.
                 let resp = error_response(408, "request read timed out");

@@ -16,10 +16,6 @@ use std::sync::Arc;
 pub struct Database {
     dir: Option<PathBuf>,
     collections: RwLock<BTreeMap<String, Arc<Collection>>>,
-    /// One scoring pool shared by every collection this database opens
-    /// (`None` until first use; all collections get the same handle, so
-    /// a query burst across collections shares one set of workers).
-    pool: RwLock<Option<Arc<ScorePool>>>,
 }
 
 impl Database {
@@ -35,18 +31,15 @@ impl Database {
         Ok(Database {
             dir: Some(dir),
             collections: RwLock::new(BTreeMap::new()),
-            pool: RwLock::new(None),
         })
     }
 
-    /// The database's shared scoring pool, created on first use and
-    /// sized to the machine's cores.
+    /// The scoring pool injected into every collection this database
+    /// opens: the process-wide shared pool (sized to cores, created on
+    /// first use), so query bursts across collections — and across
+    /// databases in the same process — share one fixed worker set.
     pub fn score_pool(&self) -> Arc<ScorePool> {
-        if let Some(pool) = self.pool.read().unwrap().as_ref() {
-            return Arc::clone(pool);
-        }
-        let mut guard = self.pool.write().unwrap();
-        Arc::clone(guard.get_or_insert_with(|| Arc::clone(ScorePool::global())))
+        Arc::clone(ScorePool::global())
     }
 
     /// Create (or re-open, when persistent state exists) a collection.

@@ -115,7 +115,11 @@ impl ScorePool {
 
     /// Run `f` with a [`Scope`] that can spawn borrowing tasks onto the
     /// pool. Returns only after every spawned task has finished; if any
-    /// task panicked, the panic is propagated to the caller here.
+    /// task panicked, the panic is propagated to the caller here. A
+    /// panic in `f` itself also waits for the scope to drain before
+    /// unwinding — spawned tasks borrow from the caller's frame, so it
+    /// must stay alive until they are done (as `std::thread::scope`
+    /// guarantees).
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
@@ -131,7 +135,12 @@ impl ScorePool {
             _env: PhantomData,
             _scope: PhantomData,
         };
-        let out = f(&scope);
+        // SOUNDNESS: `f` may panic *after* spawning tasks that borrow
+        // from the caller's stack. The drain loop below must still run
+        // before the unwind continues past this frame, or workers would
+        // execute tasks holding dangling references. Catch the panic,
+        // drain, then resume it.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope)));
         // Help drain the queue while our tasks are outstanding: the
         // caller may execute tasks from *any* scope here — executing a
         // stranger's task while waiting is harmless and keeps one-core
@@ -162,6 +171,10 @@ impl ScorePool {
                 }
             }
         }
+        let out = match out {
+            Ok(out) => out,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         if state.panicked.load(Ordering::Acquire) {
             panic!("scoring worker panicked");
         }
@@ -345,6 +358,36 @@ mod tests {
         let mut x = 0u8;
         pool.scope(|s| s.spawn(|| x = 9));
         assert_eq!(x, 9);
+    }
+
+    #[test]
+    fn caller_panic_drains_spawned_tasks_before_unwinding() {
+        let pool = ScorePool::new(2);
+        // Spawned tasks borrow `ran` from this frame; if the scope
+        // unwound without draining, they would run against a freed
+        // stack (UB). With the guard, every task must have finished by
+        // the time the panic escapes `scope`.
+        let ran: Vec<AtomicBool> = (0..16).map(|_| AtomicBool::new(false)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for flag in &ran {
+                    s.spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        flag.store(true, Ordering::Release);
+                    });
+                }
+                panic!("caller boom");
+            });
+        }));
+        assert!(result.is_err(), "caller panic must propagate");
+        assert!(
+            ran.iter().all(|f| f.load(Ordering::Acquire)),
+            "scope unwound before draining its spawned tasks"
+        );
+        // The pool is unharmed and keeps executing.
+        let mut x = 0u8;
+        pool.scope(|s| s.spawn(|| x = 5));
+        assert_eq!(x, 5);
     }
 
     #[test]
