@@ -28,6 +28,10 @@ pub mod system;
 pub mod training;
 
 pub use bias::{interrogate, BiasReport};
+// KG query-engine surface, re-exported so serving layers can accept
+// plans and report profile-store counters without a direct kg dep.
+pub use covidkg_kg::materialize::ProfileStoreStats;
+pub use covidkg_kg::query::{QueryPlan, QueryResult};
 pub use dense::{build_ann, doc_embedding, sync_ann};
 pub use registry::ModelRegistry;
 pub use system::{CovidKg, CovidKgConfig, IngestReport, PreparedIngest};

@@ -12,7 +12,9 @@ use crate::registry::ModelRegistry;
 use crate::training::{self, build_tuple_examples, labeled_rows_from_corpus, LabeledRow};
 use covidkg_corpus::{CorpusConfig, CorpusGenerator, Publication};
 use covidkg_json::Value;
-use covidkg_kg::profile::{build_meta_profiles, Observation};
+use covidkg_kg::materialize::ProfileStore;
+use covidkg_kg::profile::Observation;
+use covidkg_kg::query::{QueryPlan, QueryResult};
 use covidkg_kg::{
     extract_subtrees, seed_graph, FusionConfig, FusionEngine, FusionStats,
     KnowledgeGraph, MetaProfile, ScriptedExpert,
@@ -198,7 +200,10 @@ pub struct CovidKg {
     publications: Arc<Collection>,
     search: SearchEngine,
     kg: KnowledgeGraph,
-    profiles: Vec<MetaProfile>,
+    /// Incrementally-materialized meta-profile documents, kept fresh
+    /// off the publications mutation log (plus the ingest new-id list)
+    /// instead of full rebuilds.
+    profiles: ProfileStore,
     registry: ModelRegistry,
     embeddings: Word2Vec,
     /// Dense retrieval tier: HNSW over title+abstract embeddings.
@@ -210,8 +215,6 @@ pub struct CovidKg {
     classifier: TrainedClassifier,
     /// Fusion correction memory carried across ingest calls.
     fusion_memory: std::collections::HashMap<String, covidkg_kg::NodeId>,
-    /// Accumulated side-effect observations feeding the meta-profiles.
-    observations: Vec<Observation>,
     /// Data generation: bumped by every completed [`CovidKg::ingest`].
     /// Serving layers key cached query results on this so a write
     /// invalidates all earlier entries (covidkg-serve).
@@ -295,9 +298,12 @@ impl CovidKg {
         let (kg, fusion_memory) = engine.into_parts();
         report.kg_nodes = kg.len();
 
-        // №7 — meta-profiles.
+        // №7 — meta-profiles, materialized once here and kept fresh
+        // incrementally by every later ingest.
         report.observations = observations.len();
-        let profiles = build_meta_profiles(&observations);
+        let mut profiles = ProfileStore::new();
+        profiles.rebuild_all(group_by_paper(observations), publications.mutation_epoch());
+        profiles.set_generation(1);
 
         // №11/13 — release trained artifacts.
         let registry =
@@ -338,7 +344,6 @@ impl CovidKg {
             report,
             classifier,
             fusion_memory,
-            observations,
             generation: 1,
         };
         system.persist()?;
@@ -446,32 +451,28 @@ impl CovidKg {
 
         // Re-derive observations/profiles from the stored tables (cheap,
         // classifier-free).
-        let mut observations = Vec::new();
-        for doc in publications.scan_all() {
-            let paper_id = doc
-                .get("_id")
-                .and_then(Value::as_str)
-                .unwrap_or_default()
-                .to_string();
-            if let Some(tables) = doc.path("tables").and_then(Value::as_array) {
-                for t in tables {
-                    if let Some(html) = t.path("html").and_then(Value::as_str) {
-                        for table in parse_tables(html).unwrap_or_default() {
-                            observations.extend(parse_side_effect_table(
-                                &table.caption,
-                                &table.rows,
-                                &paper_id,
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        let profiles = build_meta_profiles(&observations);
+        let mut profiles = ProfileStore::new();
+        profiles.rebuild_all(
+            publications
+                .scan_all()
+                .iter()
+                .map(|doc| {
+                    let paper_id = doc
+                        .get("_id")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string();
+                    let obs = doc_observations(doc, &paper_id);
+                    (paper_id, obs)
+                })
+                .collect(),
+            publications.mutation_epoch(),
+        );
+        profiles.set_generation(1);
         let report = IngestReport {
             publications: publications.len(),
             kg_nodes: kg.len(),
-            observations: observations.len(),
+            observations: profiles.stats().observations,
             ..IngestReport::default()
         };
         // The ANN index restores from its published payload when it still
@@ -505,7 +506,6 @@ impl CovidKg {
             // Correction memory is session-scoped; the expert relearns
             // quickly thanks to the persisted KG structure.
             fusion_memory: std::collections::HashMap::new(),
-            observations,
             generation: 1,
         })
     }
@@ -598,9 +598,48 @@ impl CovidKg {
         self.fusion_memory = memory;
         self.report.kg_nodes = self.kg.len();
 
-        self.observations.extend(new_obs);
-        self.report.observations = self.observations.len();
-        self.profiles = build_meta_profiles(&self.observations);
+        // Keep the meta-profiles fresh without a full rebuild: replay
+        // the mutation log since the store's epoch (replaces/deletes)
+        // plus the explicit new-id list (inserts never bump the epoch),
+        // rebuilding only the vaccines those papers touch. The prepared
+        // observations seed the extraction so the common insert-only
+        // path never re-parses HTML.
+        let epoch = self.publications.mutation_epoch();
+        match self.publications.touched_since(self.profiles.epoch()) {
+            Some(mut touched) => {
+                let mut prepared: std::collections::HashMap<String, Vec<Observation>> =
+                    std::collections::HashMap::new();
+                for o in new_obs {
+                    prepared.entry(o.paper_id.clone()).or_default().push(o);
+                }
+                touched.extend(new_ids.iter().cloned());
+                let publications = &self.publications;
+                self.profiles.refresh(epoch, &touched, |id| {
+                    prepared
+                        .remove(id)
+                        .unwrap_or_else(|| paper_observations(publications, id))
+                });
+            }
+            // The bounded log overflowed: nothing provable, rebuild all.
+            None => {
+                let papers = self
+                    .publications
+                    .scan_all()
+                    .iter()
+                    .map(|doc| {
+                        let id = doc
+                            .get("_id")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string();
+                        let obs = doc_observations(doc, &id);
+                        (id, obs)
+                    })
+                    .collect();
+                self.profiles.rebuild_all(papers, epoch);
+            }
+        }
+        self.report.observations = self.profiles.stats().observations;
         // Keep the dense tier fresh: incremental inserts for the new
         // publications, mutation-log replay for replaces/deletes.
         self.ann_epoch = crate::dense::sync_ann(
@@ -611,6 +650,7 @@ impl CovidKg {
             &new_ids,
         );
         self.generation += 1;
+        self.profiles.set_generation(self.generation);
         Ok(added)
     }
 
@@ -636,37 +676,31 @@ impl CovidKg {
                 self.kg = kg;
             }
         }
-        let mut observations = Vec::new();
-        for doc in self.publications.scan_all() {
-            let paper_id = doc
-                .get("_id")
-                .and_then(Value::as_str)
-                .unwrap_or_default()
-                .to_string();
-            if let Some(tables) = doc.path("tables").and_then(Value::as_array) {
-                for t in tables {
-                    if let Some(html) = t.path("html").and_then(Value::as_str) {
-                        for table in parse_tables(html).unwrap_or_default() {
-                            observations.extend(parse_side_effect_table(
-                                &table.caption,
-                                &table.rows,
-                                &paper_id,
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        self.profiles = build_meta_profiles(&observations);
+        // Replication applies frames beneath this system with no new-id
+        // list, so the profiles and the dense tier rebuild wholesale.
+        let papers = self
+            .publications
+            .scan_all()
+            .iter()
+            .map(|doc| {
+                let paper_id = doc
+                    .get("_id")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                let obs = doc_observations(doc, &paper_id);
+                (paper_id, obs)
+            })
+            .collect();
+        self.profiles
+            .rebuild_all(papers, self.publications.mutation_epoch());
         self.report.publications = self.publications.len();
         self.report.kg_nodes = self.kg.len();
-        self.report.observations = observations.len();
-        self.observations = observations;
-        // Replication applies frames beneath this system with no new-id
-        // list, so the dense tier rebuilds from the store wholesale.
+        self.report.observations = self.profiles.stats().observations;
         self.ann = crate::dense::build_ann(&self.publications, &self.embeddings, *self.ann.config());
         self.ann_epoch = self.publications.mutation_epoch();
         self.generation += 1;
+        self.profiles.set_generation(self.generation);
         Ok(())
     }
 
@@ -755,9 +789,50 @@ impl CovidKg {
         &self.kg
     }
 
-    /// Vaccine side-effect meta-profiles (Fig 6).
+    /// Vaccine side-effect meta-profiles (Fig 6), in vaccine order.
     pub fn profiles(&self) -> &[MetaProfile] {
+        self.profiles.profiles()
+    }
+
+    /// The incrementally-materialized profile store (metrics surface).
+    pub fn profile_store(&self) -> &ProfileStore {
         &self.profiles
+    }
+
+    /// Execute a graph query plan: bounded multi-hop traversal over the
+    /// KG returning top-k ranked paths. The single implementation every
+    /// surface (CLI, serve layer, HTTP front-end) calls, so wire
+    /// responses are byte-identical to in-process results.
+    pub fn kg_query(&self, plan: &QueryPlan) -> QueryResult {
+        covidkg_kg::execute(&self.kg, plan)
+    }
+
+    /// One vaccine's epoch-stamped meta-profile document (JSON +
+    /// rendered forms), or `None` for an unknown vaccine.
+    pub fn kg_profile(&self, vaccine: &str) -> Option<Value> {
+        self.profiles.document(vaccine)
+    }
+
+    /// One KG node as a JSON document, or `None` for an out-of-range
+    /// id. Like [`CovidKg::kg_query`], the single implementation behind
+    /// the `/kg/node/{id}` wire route.
+    pub fn kg_node(&self, id: covidkg_kg::NodeId) -> Option<Value> {
+        if id >= self.kg.len() {
+            return None;
+        }
+        let node = self.kg.node(id);
+        let ids = |v: &[usize]| Value::Array(v.iter().map(|&n| Value::from(n)).collect());
+        Some(covidkg_json::obj! {
+            "id" => node.id,
+            "label" => node.label.as_str(),
+            "kind" => node.kind.as_str(),
+            "parents" => ids(&node.parents),
+            "children" => ids(&node.children),
+            "provenance" => Value::Array(
+                node.provenance.iter().map(|p| Value::from(p.as_str())).collect()
+            ),
+            "confidence" => node.confidence,
+        })
     }
 
     /// The released-model registry.
@@ -960,6 +1035,46 @@ fn default_expert() -> ScriptedExpert {
         ("Arm", "Treatments"),
         ("Product", "Prevention"),
     ])
+}
+
+/// Group flat extraction output by source paper (extraction order
+/// preserved within each paper) — the shape [`ProfileStore`] ingests.
+fn group_by_paper(obs: Vec<Observation>) -> Vec<(String, Vec<Observation>)> {
+    let mut by: std::collections::BTreeMap<String, Vec<Observation>> =
+        std::collections::BTreeMap::new();
+    for o in obs {
+        by.entry(o.paper_id.clone()).or_default().push(o);
+    }
+    by.into_iter().collect()
+}
+
+/// Re-derive one stored publication document's side-effect observations
+/// (cheap, classifier-free — caption-gated table parsing only).
+fn doc_observations(doc: &Value, paper_id: &str) -> Vec<Observation> {
+    let mut observations = Vec::new();
+    if let Some(tables) = doc.path("tables").and_then(Value::as_array) {
+        for t in tables {
+            if let Some(html) = t.path("html").and_then(Value::as_str) {
+                for table in parse_tables(html).unwrap_or_default() {
+                    observations.extend(parse_side_effect_table(
+                        &table.caption,
+                        &table.rows,
+                        paper_id,
+                    ));
+                }
+            }
+        }
+    }
+    observations
+}
+
+/// [`doc_observations`] by paper id; empty when the paper is gone (the
+/// profile store drops a deleted paper's contribution on replay).
+fn paper_observations(publications: &Collection, paper_id: &str) -> Vec<Observation> {
+    publications
+        .get(paper_id)
+        .map(|doc| doc_observations(&doc, paper_id))
+        .unwrap_or_default()
 }
 
 /// Topical clustering (№5): k-means over mean word embeddings of each

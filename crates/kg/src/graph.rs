@@ -36,7 +36,8 @@ impl NodeKind {
         }
     }
 
-    fn parse(s: &str) -> Option<NodeKind> {
+    /// Inverse of [`NodeKind::as_str`] (query-plan and JSON parsing).
+    pub fn parse(s: &str) -> Option<NodeKind> {
         match s {
             "root" => Some(NodeKind::Root),
             "category" => Some(NodeKind::Category),
@@ -81,6 +82,11 @@ pub struct KnowledgeGraph {
     nodes: Vec<Node>,
     /// normalized-term key → node ids (several labels can normalize alike).
     term_index: HashMap<String, Vec<NodeId>>,
+    /// label stem → node ids (search's stem-containment candidates).
+    stem_index: HashMap<String, Vec<NodeId>>,
+    /// lowercased-label byte trigram → node ids (search's substring
+    /// candidates; a substring match implies every query trigram occurs).
+    trigram_index: HashMap<[u8; 3], Vec<NodeId>>,
 }
 
 impl KnowledgeGraph {
@@ -128,8 +134,7 @@ impl KnowledgeGraph {
         confidence: f64,
     ) -> NodeId {
         let id = self.nodes.len();
-        let key = normalize_term(&label).key();
-        self.term_index.entry(key).or_default().push(id);
+        self.index_label(id, &label);
         self.nodes.push(Node {
             id,
             label,
@@ -140,6 +145,27 @@ impl KnowledgeGraph {
             confidence,
         });
         id
+    }
+
+    /// Maintain every label-derived index for a new node. Labels are
+    /// immutable after creation, so insertion is the only sync point —
+    /// `add_child`/`add_parent` mutate topology, never labels, and both
+    /// funnel node creation through here.
+    fn index_label(&mut self, id: NodeId, label: &str) {
+        let norm = normalize_term(label);
+        self.term_index.entry(norm.key()).or_default().push(id);
+        for stem in &norm.stems {
+            let ids = self.stem_index.entry(stem.clone()).or_default();
+            if ids.last() != Some(&id) {
+                ids.push(id);
+            }
+        }
+        for tri in trigrams(&label.to_lowercase()) {
+            let ids = self.trigram_index.entry(tri).or_default();
+            if ids.last() != Some(&id) {
+                ids.push(id);
+            }
+        }
     }
 
     /// Attach provenance (a publication id) to a node.
@@ -211,7 +237,51 @@ impl KnowledgeGraph {
 
     /// Substring/stem search over labels; returns hits with highlighted
     /// paths, ordered by node id.
+    ///
+    /// Executes from the incrementally-maintained label indexes: stem
+    /// postings intersected for stem-containment, the normalized-term
+    /// index for exact matches, and a lowercased-trigram index for
+    /// substring candidates — each candidate then verified against the
+    /// exact scan predicate, so results are provably identical to
+    /// [`KnowledgeGraph::search_scan`] (pinned by a unit test here and
+    /// the seeded property test in `tests/query_prop.rs`). Queries too
+    /// short to have a trigram fall back to the scan.
     pub fn search(&self, query: &str) -> Vec<SearchHit> {
+        let qnorm = normalize_term(query);
+        if qnorm.is_empty() {
+            return Vec::new();
+        }
+        let qlower = query.to_lowercase();
+        if qlower.len() < 3 {
+            return self.search_scan(query);
+        }
+        let mut cands: Vec<NodeId> = Vec::new();
+        // Substring candidates: nodes containing every query trigram.
+        cands.extend(self.intersect_postings(
+            trigrams(&qlower).map(|t| self.trigram_index.get(&t)),
+        ));
+        // Exact normalized match.
+        if let Some(ids) = self.term_index.get(&qnorm.key()) {
+            cands.extend_from_slice(ids);
+        }
+        // Stem containment: nodes whose label stems cover the query's.
+        if !qnorm.stems.is_empty() {
+            cands.extend(self.intersect_postings(
+                qnorm.stems.iter().map(|s| self.stem_index.get(s)),
+            ));
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        cands
+            .into_iter()
+            .filter(|&id| self.matches_query(id, &qlower, &qnorm))
+            .map(|id| SearchHit { node: id, path: self.path_to_root(id) })
+            .collect()
+    }
+
+    /// The original linear scan, kept as the equivalence oracle for the
+    /// index-backed [`KnowledgeGraph::search`].
+    pub fn search_scan(&self, query: &str) -> Vec<SearchHit> {
         let qnorm = normalize_term(query);
         if qnorm.is_empty() {
             return Vec::new();
@@ -219,17 +289,42 @@ impl KnowledgeGraph {
         let qlower = query.to_lowercase();
         self.nodes
             .iter()
-            .filter(|n| {
-                let nnorm = normalize_term(&n.label);
-                n.label.to_lowercase().contains(&qlower)
-                    || nnorm == qnorm
-                    || contains_all(&nnorm, &qnorm)
-            })
+            .filter(|n| self.matches_query(n.id, &qlower, &qnorm))
             .map(|n| SearchHit {
                 node: n.id,
                 path: self.path_to_root(n.id),
             })
             .collect()
+    }
+
+    /// The one search predicate both paths share.
+    fn matches_query(&self, id: NodeId, qlower: &str, qnorm: &NormalizedTerm) -> bool {
+        let n = &self.nodes[id];
+        let nnorm = normalize_term(&n.label);
+        n.label.to_lowercase().contains(qlower) || nnorm == *qnorm || contains_all(&nnorm, qnorm)
+    }
+
+    /// Intersect posting lists (each ascending by construction); any
+    /// missing list empties the result.
+    fn intersect_postings<'a>(
+        &self,
+        lists: impl Iterator<Item = Option<&'a Vec<NodeId>>>,
+    ) -> Vec<NodeId> {
+        let mut acc: Option<Vec<NodeId>> = None;
+        for list in lists {
+            let Some(list) = list else { return Vec::new() };
+            acc = Some(match acc {
+                None => list.clone(),
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|id| list.binary_search(id).is_ok())
+                    .collect(),
+            });
+            if acc.as_ref().is_some_and(Vec::is_empty) {
+                return Vec::new();
+            }
+        }
+        acc.unwrap_or_default()
     }
 
     /// Depth of a node (root = 0).
@@ -364,8 +459,7 @@ impl KnowledgeGraph {
                 .filter_map(|p| p.as_i64().map(|i| i as usize))
                 .collect();
             let confidence = item.get("confidence")?.as_f64()?;
-            let key = normalize_term(&label).key();
-            kg.term_index.entry(key).or_default().push(id);
+            kg.index_label(id, &label);
             kg.nodes.push(Node {
                 id,
                 label,
@@ -396,6 +490,14 @@ impl KnowledgeGraph {
 
 fn contains_all(hay: &NormalizedTerm, needles: &NormalizedTerm) -> bool {
     !needles.stems.is_empty() && needles.stems.iter().all(|s| hay.stems.contains(s))
+}
+
+/// Byte trigrams of a string (empty for strings shorter than 3 bytes).
+/// Operating on bytes is sound for the substring candidate set: if
+/// `q` is a `str` substring of `label`, every byte trigram of `q`
+/// occurs in `label`'s bytes.
+fn trigrams(s: &str) -> impl Iterator<Item = [u8; 3]> + '_ {
+    s.as_bytes().windows(3).map(|w| [w[0], w[1], w[2]])
 }
 
 #[cfg(test)]
@@ -456,6 +558,29 @@ mod tests {
         assert_eq!(kg.search("vacc").len(), 1); // substring
         assert!(kg.search("").is_empty());
         assert!(kg.search("zzz").is_empty());
+    }
+
+    #[test]
+    fn indexed_search_identical_to_scan() {
+        let mut kg = sample();
+        // Mutate through every topology entry point: the indexes must
+        // stay in sync with add_child/add_parent/add_provenance.
+        let side = kg.add_child(0, "Side-effects", NodeKind::Category, 1.0);
+        kg.add_parent(4, side);
+        kg.add_child(side, "Rash and swelling", NodeKind::Entity, 0.7);
+        kg.add_provenance(side, "paper-000009");
+        let json_round_trip = KnowledgeGraph::from_json(&kg.to_json()).unwrap();
+        for g in [&kg, &json_round_trip] {
+            for q in [
+                "vaccine", "vacc", "VACCINE(S)", "fever", "side effects", "effects side",
+                "swelling rash", "rash", "ras", "sw", "e", "", "zzz", "covid-19", "covid",
+                "-19", "(s)", "symptoms fever", "…", "paper",
+            ] {
+                let indexed: Vec<_> = g.search(q);
+                let scanned: Vec<_> = g.search_scan(q);
+                assert_eq!(indexed, scanned, "query {q:?}");
+            }
+        }
     }
 
     #[test]

@@ -19,16 +19,30 @@
 //!   correction memory that makes fusion "minimally supervised" over
 //!   time;
 //! * [`profile`] — multi-layered meta-profiles (Fig 6): side-effect
-//!   records grouped by vaccine, dosage and paper.
+//!   records grouped by vaccine, dosage and paper;
+//! * [`query`] — the graph query engine: typed multi-hop query plans
+//!   (kind/provenance predicate filters, co-occurrence expansion over
+//!   shared-paper provenance) executed as bounded iterative traversal
+//!   returning top-k ranked paths, with an exhaustive-DFS oracle for
+//!   equivalence testing;
+//! * [`materialize`] — incrementally-materialized meta-profile
+//!   documents: kept fresh off the collection mutation log instead of
+//!   full rebuilds, epoch-stamped so stale profiles are never served.
 
 pub mod extract;
 pub mod fusion;
 pub mod graph;
+pub mod materialize;
 pub mod profile;
+pub mod query;
 pub mod seed;
 
 pub use extract::{extract_subtrees, ExtractedTree};
 pub use fusion::{ExpertOracle, FusionConfig, FusionEngine, FusionOutcome, FusionStats, ScriptedExpert};
 pub use graph::{KnowledgeGraph, NodeId, NodeKind, SearchHit};
-pub use profile::{build_meta_profiles, MetaProfile};
+pub use materialize::{profile_document, ProfileStore, ProfileStoreStats};
+pub use profile::{build_meta_profiles, MetaProfile, Observation};
+pub use query::{
+    execute, execute_oracle, HopRel, HopStep, QueryPlan, QueryResult, RankedPath, StartSet,
+};
 pub use seed::seed_graph;

@@ -1,0 +1,581 @@
+//! Multi-hop graph queries over the knowledge graph.
+//!
+//! The paper's §4 interrogation story ("Searching COVID-19 Clinical
+//! Research Using Graph Queries" is the workload model): a typed query
+//! plan — a start set plus a sequence of hop steps with predicate
+//! filters — executed as a bounded traversal that returns the top-k
+//! complete paths ranked by provenance support and inverse path length.
+//!
+//! Two executors share one successor function:
+//!
+//! - [`execute`] — the serving engine: an iterative explicit-stack
+//!   traversal feeding a bounded top-k buffer, with hop/visit counters
+//!   for the `covidkg_kg_*` metrics series.
+//! - [`execute_oracle`] — a naive recursive exhaustive DFS that
+//!   collects *every* complete path, sorts, and truncates. It exists
+//!   only as the equivalence oracle for property tests.
+//!
+//! Determinism contract: successors are sorted by node id, filtered,
+//! then truncated to `max_fanout`; ranking breaks score ties by
+//! lexicographic path order (`(score desc, path lex asc)`), and scores
+//! are computed by one shared function — so both executors return
+//! byte-identical results, including tie-breaks.
+
+use crate::graph::{KnowledgeGraph, NodeId, NodeKind};
+use covidkg_json::{obj, Value};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Hard ceiling on hop steps per plan (bounded depth).
+pub const MAX_STEPS: usize = 8;
+/// Hard ceiling on successors expanded per node per step.
+pub const MAX_FANOUT: usize = 64;
+/// Hard ceiling on requested paths.
+pub const MAX_K: usize = 100;
+
+/// Where a traversal starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartSet {
+    /// Nodes whose label normalizes to the term (`find_by_term`).
+    Term(String),
+    /// Every node of the given kind.
+    Kind(NodeKind),
+    /// One explicit node id.
+    Node(NodeId),
+}
+
+/// Edge relation followed by a hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopRel {
+    /// Parent → child edges.
+    Child,
+    /// Child → parent edges.
+    Parent,
+    /// Either direction.
+    Any,
+    /// Co-occurrence: nodes sharing at least one provenance paper.
+    CoOccur,
+}
+
+impl HopRel {
+    /// Stable serialization label (query-param grammar).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HopRel::Child => "child",
+            HopRel::Parent => "parent",
+            HopRel::Any => "any",
+            HopRel::CoOccur => "co",
+        }
+    }
+}
+
+/// One hop: a relation plus optional predicate filters on the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopStep {
+    /// Which edges to follow.
+    pub rel: HopRel,
+    /// Keep only targets of this kind, when set.
+    pub kind: Option<NodeKind>,
+    /// Keep only targets whose provenance contains this paper id.
+    pub provenance: Option<String>,
+}
+
+/// A complete query plan: start set, hop steps, bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Where traversal starts.
+    pub start: StartSet,
+    /// Hops to take, in order. A path is complete only after all steps.
+    pub steps: Vec<HopStep>,
+    /// Successor truncation per node per step (and start-set bound).
+    pub max_fanout: usize,
+    /// How many ranked paths to return.
+    pub k: usize,
+}
+
+/// One ranked result path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPath {
+    /// Node ids, start first.
+    pub nodes: Vec<NodeId>,
+    /// Labels of the same nodes (for rendering).
+    pub labels: Vec<String>,
+    /// Distinct provenance papers supporting the path.
+    pub support: usize,
+    /// `(support + 1) / path length` — provenance support × inverse
+    /// path length, with a +1 floor so seeded (paperless) paths still
+    /// rank by length.
+    pub score: f64,
+}
+
+/// Traversal outcome: ranked paths plus work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Top-k paths, `(score desc, path lex asc)`.
+    pub paths: Vec<RankedPath>,
+    /// Edges traversed (successors pushed).
+    pub hops: u64,
+    /// Nodes expanded (start nodes included).
+    pub visited: u64,
+}
+
+impl QueryPlan {
+    /// Parse the textual plan grammar shared by the CLI and the
+    /// `GET /kg/query` route.
+    ///
+    /// `start`: `term:<text>` | `kind:<root|category|entity>` |
+    /// `node:<id>`. `steps`: comma-separated hops, each
+    /// `<child|parent|any|co>[:<kind>[:<paper-id>]]` with empty slots
+    /// allowed (`co::paper-3` filters provenance without a kind).
+    pub fn parse(start: &str, steps: &str, max_fanout: usize, k: usize) -> Result<QueryPlan, String> {
+        let start = match start.split_once(':') {
+            Some(("term", t)) if !t.is_empty() => StartSet::Term(t.to_string()),
+            Some(("kind", k)) => StartSet::Kind(
+                NodeKind::parse(k).ok_or_else(|| format!("unknown kind {k:?}: expected root, category or entity"))?,
+            ),
+            Some(("node", id)) => StartSet::Node(
+                id.parse::<usize>().map_err(|_| format!("node id {id:?} is not a non-negative integer"))?,
+            ),
+            _ => return Err(format!("start {start:?} must be term:<text>, kind:<kind> or node:<id>")),
+        };
+        let mut parsed = Vec::new();
+        for step in steps.split(',').filter(|s| !s.is_empty()) {
+            let mut parts = step.splitn(3, ':');
+            let rel = match parts.next().unwrap_or_default() {
+                "child" => HopRel::Child,
+                "parent" => HopRel::Parent,
+                "any" => HopRel::Any,
+                "co" => HopRel::CoOccur,
+                other => return Err(format!("unknown relation {other:?}: expected child, parent, any or co")),
+            };
+            let kind = match parts.next() {
+                None | Some("") => None,
+                Some(k) => Some(
+                    NodeKind::parse(k).ok_or_else(|| format!("unknown kind {k:?} in step {step:?}"))?,
+                ),
+            };
+            let provenance = match parts.next() {
+                None | Some("") => None,
+                Some(p) => Some(p.to_string()),
+            };
+            parsed.push(HopStep { rel, kind, provenance });
+        }
+        if parsed.len() > MAX_STEPS {
+            return Err(format!("{} steps exceed the bound of {MAX_STEPS}", parsed.len()));
+        }
+        if max_fanout == 0 || max_fanout > MAX_FANOUT {
+            return Err(format!("fanout must be in 1..={MAX_FANOUT}"));
+        }
+        if k == 0 || k > MAX_K {
+            return Err(format!("k must be in 1..={MAX_K}"));
+        }
+        Ok(QueryPlan { start, steps: parsed, max_fanout, k })
+    }
+
+    /// Collision-free canonical form — the serve-layer cache key.
+    /// Free-form fields (term, paper ids) are length-prefixed so no
+    /// two distinct plans can serialize alike.
+    pub fn cache_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("kgq|");
+        match &self.start {
+            StartSet::Term(t) => { let _ = write!(out, "t{}:{t}", t.len()); }
+            StartSet::Kind(k) => { let _ = write!(out, "k:{}", k.as_str()); }
+            StartSet::Node(id) => { let _ = write!(out, "n:{id}"); }
+        }
+        for s in &self.steps {
+            let _ = write!(out, "|{}", s.rel.as_str());
+            if let Some(k) = s.kind {
+                let _ = write!(out, ":{}", k.as_str());
+            } else {
+                out.push(':');
+            }
+            match &s.provenance {
+                Some(p) => { let _ = write!(out, ":p{}:{p}", p.len()); }
+                None => out.push(':'),
+            }
+        }
+        let _ = write!(out, "|f{}|k{}", self.max_fanout, self.k);
+        out
+    }
+}
+
+impl RankedPath {
+    /// JSON form of one path.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "nodes" => Value::Array(self.nodes.iter().map(|&n| Value::int(n as i64)).collect()),
+            "labels" => Value::Array(self.labels.iter().map(|l| Value::str(l.clone())).collect()),
+            "support" => self.support,
+            "score" => self.score,
+        }
+    }
+}
+
+impl QueryResult {
+    /// The ranked paths alone — the part both executors must agree on
+    /// byte-for-byte (work counters legitimately differ).
+    pub fn paths_json(&self) -> Value {
+        Value::Array(self.paths.iter().map(RankedPath::to_json).collect())
+    }
+
+    /// Full JSON form: paths plus work counters.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "paths" => self.paths_json(),
+            "hops" => self.hops as i64,
+            "visited" => self.visited as i64,
+        }
+    }
+}
+
+/// Paper-id → node-ids co-occurrence index, built once per execution
+/// so `co` hops don't rescan the graph per expansion.
+struct CoIndex {
+    by_paper: HashMap<String, Vec<NodeId>>,
+}
+
+impl CoIndex {
+    fn build(kg: &KnowledgeGraph) -> CoIndex {
+        let mut by_paper: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for n in kg.nodes() {
+            for p in &n.provenance {
+                by_paper.entry(p.clone()).or_default().push(n.id);
+            }
+        }
+        CoIndex { by_paper }
+    }
+}
+
+/// The shared successor function: candidates by relation, sorted by
+/// node id, deduplicated, filtered by the step's predicates and the
+/// no-revisit rule, truncated to `max_fanout`. Both executors call
+/// this, which is what makes them equivalent by construction.
+fn successors(
+    kg: &KnowledgeGraph,
+    co: &CoIndex,
+    path: &[NodeId],
+    step: &HopStep,
+    max_fanout: usize,
+) -> Vec<NodeId> {
+    let from = *path.last().expect("path never empty");
+    let node = kg.node(from);
+    let mut cands: Vec<NodeId> = match step.rel {
+        HopRel::Child => node.children.clone(),
+        HopRel::Parent => node.parents.clone(),
+        HopRel::Any => {
+            let mut v = node.children.clone();
+            v.extend_from_slice(&node.parents);
+            v
+        }
+        HopRel::CoOccur => {
+            let mut v = Vec::new();
+            for p in &node.provenance {
+                if let Some(ids) = co.by_paper.get(p) {
+                    v.extend_from_slice(ids);
+                }
+            }
+            v
+        }
+    };
+    cands.sort_unstable();
+    cands.dedup();
+    cands.retain(|&c| {
+        if path.contains(&c) {
+            return false;
+        }
+        let n = kg.node(c);
+        if let Some(k) = step.kind {
+            if n.kind != k {
+                return false;
+            }
+        }
+        if let Some(p) = &step.provenance {
+            if !n.provenance.iter().any(|pp| pp == p) {
+                return false;
+            }
+        }
+        true
+    });
+    cands.truncate(max_fanout);
+    cands
+}
+
+/// Resolve the start set: sorted by id, truncated to `max_fanout`.
+fn start_nodes(kg: &KnowledgeGraph, plan: &QueryPlan) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = match &plan.start {
+        StartSet::Term(t) => kg.find_by_term(t),
+        StartSet::Kind(k) => kg.nodes().iter().filter(|n| n.kind == *k).map(|n| n.id).collect(),
+        StartSet::Node(id) => {
+            if *id < kg.len() {
+                vec![*id]
+            } else {
+                Vec::new()
+            }
+        }
+    };
+    ids.sort_unstable();
+    ids.dedup();
+    ids.truncate(plan.max_fanout);
+    ids
+}
+
+/// Shared scoring: distinct provenance papers across the path's nodes,
+/// +1 floor, divided by path length.
+fn score_path(kg: &KnowledgeGraph, path: &[NodeId]) -> (usize, f64) {
+    let mut papers: BTreeSet<&str> = BTreeSet::new();
+    for &n in path {
+        for p in &kg.node(n).provenance {
+            papers.insert(p.as_str());
+        }
+    }
+    let support = papers.len();
+    (support, (support + 1) as f64 / path.len() as f64)
+}
+
+/// `(score desc, path lex asc)` — the deterministic result order.
+fn better(a: &RankedPath, b: &RankedPath) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then_with(|| a.nodes.cmp(&b.nodes))
+}
+
+fn ranked(kg: &KnowledgeGraph, path: Vec<NodeId>) -> RankedPath {
+    let (support, score) = score_path(kg, &path);
+    let labels = path.iter().map(|&n| kg.node(n).label.clone()).collect();
+    RankedPath { nodes: path, labels, support, score }
+}
+
+/// Bounded buffer keeping the best `k` paths under [`better`].
+struct TopK {
+    k: usize,
+    items: Vec<RankedPath>,
+}
+
+impl TopK {
+    fn push(&mut self, p: RankedPath) {
+        let pos = self.items.partition_point(|q| better(q, &p).is_lt());
+        if pos >= self.k {
+            return;
+        }
+        self.items.insert(pos, p);
+        self.items.truncate(self.k);
+    }
+}
+
+/// The serving engine: iterative explicit-stack traversal with a
+/// bounded top-k buffer and hop/visit counters.
+pub fn execute(kg: &KnowledgeGraph, plan: &QueryPlan) -> QueryResult {
+    let co = CoIndex::build(kg);
+    let mut top = TopK { k: plan.k, items: Vec::new() };
+    let mut hops = 0u64;
+    let mut visited = 0u64;
+    // Stack of partial paths; `depth` = steps already taken.
+    let mut stack: Vec<Vec<NodeId>> = start_nodes(kg, plan)
+        .into_iter()
+        .rev()
+        .map(|n| vec![n])
+        .collect();
+    while let Some(path) = stack.pop() {
+        visited += 1;
+        let depth = path.len() - 1;
+        if depth == plan.steps.len() {
+            top.push(ranked(kg, path));
+            continue;
+        }
+        let next = successors(kg, &co, &path, &plan.steps[depth], plan.max_fanout);
+        hops += next.len() as u64;
+        for &n in next.iter().rev() {
+            let mut p = path.clone();
+            p.push(n);
+            stack.push(p);
+        }
+    }
+    QueryResult { paths: top.items, hops, visited }
+}
+
+/// The naive oracle: recursive exhaustive DFS collecting every
+/// complete path, then sort + truncate. Exists for equivalence tests.
+pub fn execute_oracle(kg: &KnowledgeGraph, plan: &QueryPlan) -> QueryResult {
+    fn dfs(
+        kg: &KnowledgeGraph,
+        co: &CoIndex,
+        plan: &QueryPlan,
+        path: &mut Vec<NodeId>,
+        all: &mut Vec<RankedPath>,
+        hops: &mut u64,
+        visited: &mut u64,
+    ) {
+        *visited += 1;
+        let depth = path.len() - 1;
+        if depth == plan.steps.len() {
+            all.push(ranked(kg, path.clone()));
+            return;
+        }
+        for n in successors(kg, co, path, &plan.steps[depth], plan.max_fanout) {
+            *hops += 1;
+            path.push(n);
+            dfs(kg, co, plan, path, all, hops, visited);
+            path.pop();
+        }
+    }
+    let co = CoIndex::build(kg);
+    let mut all = Vec::new();
+    let mut hops = 0u64;
+    let mut visited = 0u64;
+    for n in start_nodes(kg, plan) {
+        dfs(kg, &co, plan, &mut vec![n], &mut all, &mut hops, &mut visited);
+    }
+    all.sort_by(better);
+    all.truncate(plan.k);
+    QueryResult { paths: all, hops, visited }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::seed_graph;
+
+    fn provenance_graph() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let root = kg.add_root("COVID-19");
+        let vaccines = kg.add_child(root, "Vaccine(s)", NodeKind::Category, 1.0);
+        let pfizer = kg.add_child(vaccines, "Pfizer", NodeKind::Entity, 0.9);
+        let moderna = kg.add_child(vaccines, "Moderna", NodeKind::Entity, 0.9);
+        let symptoms = kg.add_child(root, "Symptoms", NodeKind::Category, 1.0);
+        let fever = kg.add_child(symptoms, "Fever", NodeKind::Entity, 0.8);
+        kg.add_provenance(pfizer, "paper-1");
+        kg.add_provenance(pfizer, "paper-2");
+        kg.add_provenance(moderna, "paper-2");
+        kg.add_provenance(fever, "paper-1");
+        kg
+    }
+
+    fn plan(start: &str, steps: &str) -> QueryPlan {
+        QueryPlan::parse(start, steps, 8, 10).expect("plan parses")
+    }
+
+    #[test]
+    fn child_hops_walk_the_hierarchy() {
+        let kg = provenance_graph();
+        let r = execute(&kg, &plan("node:0", "child,child"));
+        // Root → {Vaccines, Symptoms} → entities: 3 complete paths.
+        assert_eq!(r.paths.len(), 3);
+        for p in &r.paths {
+            assert_eq!(p.nodes.len(), 3);
+            assert_eq!(p.nodes[0], 0);
+        }
+        // Pfizer path carries 2 papers → best score.
+        assert_eq!(r.paths[0].labels, ["COVID-19", "Vaccine(s)", "Pfizer"]);
+        assert_eq!(r.paths[0].support, 2);
+        assert!(r.hops > 0 && r.visited > 0);
+    }
+
+    #[test]
+    fn kind_and_provenance_filters_apply() {
+        let kg = provenance_graph();
+        let r = execute(&kg, &plan("term:vaccine", "child:entity:paper-2"));
+        assert_eq!(r.paths.len(), 2);
+        assert!(r.paths.iter().all(|p| p.labels[1] == "Pfizer" || p.labels[1] == "Moderna"));
+        let none = execute(&kg, &plan("term:vaccine", "child:category:paper-2"));
+        assert!(none.paths.is_empty(), "entities are not categories");
+    }
+
+    #[test]
+    fn cooccurrence_expands_via_shared_papers() {
+        let kg = provenance_graph();
+        // Pfizer co-occurs with Moderna (paper-2) and Fever (paper-1).
+        let r = execute(&kg, &plan("term:pfizer", "co"));
+        let targets: Vec<&str> = r.paths.iter().map(|p| p.labels[1].as_str()).collect();
+        assert_eq!(targets, ["Moderna", "Fever"], "sorted by node id");
+    }
+
+    #[test]
+    fn no_revisits_within_a_path() {
+        let kg = provenance_graph();
+        let r = execute(&kg, &plan("node:2", "parent,child"));
+        // Pfizer → Vaccines → {Moderna} only; Pfizer itself is excluded.
+        assert_eq!(r.paths.len(), 1);
+        assert_eq!(r.paths[0].labels, ["Pfizer", "Vaccine(s)", "Moderna"]);
+    }
+
+    #[test]
+    fn tie_break_is_path_lexicographic() {
+        let kg = seed_graph(); // no provenance: all scores equal per length
+        let r = execute(&kg, &plan("node:0", "child"));
+        let mut sorted = r.paths.clone();
+        sorted.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+        assert_eq!(r.paths, sorted, "equal scores fall back to path order");
+    }
+
+    #[test]
+    fn fanout_truncates_and_k_bounds() {
+        let kg = seed_graph();
+        let narrow = QueryPlan::parse("node:0", "child", 2, 10).unwrap();
+        assert_eq!(execute(&kg, &narrow).paths.len(), 2);
+        let top1 = QueryPlan::parse("node:0", "child", 8, 1).unwrap();
+        assert_eq!(execute(&kg, &top1).paths.len(), 1);
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_fixed_graphs() {
+        for (kg, plans) in [
+            (provenance_graph(), vec![
+                plan("node:0", "child,child"),
+                plan("term:vaccine", "child:entity"),
+                plan("term:pfizer", "co,co"),
+                plan("kind:entity", "parent,child"),
+                plan("kind:category", "any,any"),
+            ]),
+            (seed_graph(), vec![
+                plan("node:0", "child,child,child"),
+                plan("kind:category", "parent"),
+                plan("term:symptoms", "any,any"),
+            ]),
+        ] {
+            for p in plans {
+                let engine = execute(&kg, &p);
+                let oracle = execute_oracle(&kg, &p);
+                assert_eq!(
+                    engine.paths_json().to_json(),
+                    oracle.paths_json().to_json(),
+                    "plan {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_grammar_round_trips_and_rejects() {
+        let p = plan("term:vaccine", "child:entity,co::paper-1,parent");
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[0].kind, Some(NodeKind::Entity));
+        assert_eq!(p.steps[1].provenance.as_deref(), Some("paper-1"));
+        assert_eq!(p.steps[2], HopStep { rel: HopRel::Parent, kind: None, provenance: None });
+        assert!(QueryPlan::parse("term:", "", 8, 10).is_err());
+        assert!(QueryPlan::parse("node:x", "", 8, 10).is_err());
+        assert!(QueryPlan::parse("kind:planet", "", 8, 10).is_err());
+        assert!(QueryPlan::parse("node:0", "sideways", 8, 10).is_err());
+        assert!(QueryPlan::parse("node:0", "child", 0, 10).is_err());
+        assert!(QueryPlan::parse("node:0", "child", 8, 0).is_err());
+        assert!(QueryPlan::parse("node:0", &["child"; MAX_STEPS + 1].join(","), 8, 10).is_err());
+    }
+
+    #[test]
+    fn cache_keys_are_collision_free_for_tricky_terms() {
+        let a = plan("term:a|b", "").cache_key();
+        let b = plan("term:a", "").cache_key();
+        assert_ne!(a, b);
+        let c = plan("node:0", "co::p|x").cache_key();
+        let d = plan("node:0", "co::p").cache_key();
+        assert_ne!(c, d);
+        assert_eq!(plan("term:x", "child").cache_key(), plan("term:x", "child").cache_key());
+    }
+
+    #[test]
+    fn missing_start_yields_empty_result() {
+        let kg = provenance_graph();
+        let r = execute(&kg, &plan("term:ventilator", "child"));
+        assert!(r.paths.is_empty());
+        let r = execute(&kg, &plan("node:999", "child"));
+        assert!(r.paths.is_empty());
+    }
+}

@@ -190,6 +190,29 @@ pub struct AnnExposition {
     pub inserts: u64,
 }
 
+/// Knowledge-graph series for the exposition, gathered from the graph
+/// and the incrementally-materialized profile store behind the
+/// `/kg/*` routes.
+#[derive(Debug, Clone, Default)]
+pub struct KgExposition {
+    /// Nodes in the knowledge graph.
+    pub nodes: u64,
+    /// Materialized meta-profiles (distinct vaccines).
+    pub profiles: u64,
+    /// Papers contributing side-effect observations.
+    pub profile_papers: u64,
+    /// Side-effect observations across all profiles.
+    pub profile_observations: u64,
+    /// Incremental (mutation-log driven) profile refreshes.
+    pub profile_incremental_refreshes: u64,
+    /// Full profile rebuilds (initial build or log overflow).
+    pub profile_full_rebuilds: u64,
+    /// Vaccine profiles rebuilt across all refreshes.
+    pub profile_vaccines_rebuilt: u64,
+    /// Collection mutation epoch the profile store replayed up to.
+    pub profile_epoch: u64,
+}
+
 /// Render wire + serve stats as a text metrics page, one
 /// `covidkg_<name> <value>` per line, statuses as labelled series.
 pub fn render_metrics(
@@ -197,6 +220,7 @@ pub fn render_metrics(
     serve: &ServeStats,
     repl: Option<&ReplExposition>,
     ann: Option<&AnnExposition>,
+    kg: Option<&KgExposition>,
 ) -> String {
     fn secs(d: Option<Duration>) -> f64 {
         d.map(|d| d.as_secs_f64()).unwrap_or(0.0)
@@ -244,6 +268,7 @@ pub fn render_metrics(
     line("serve_requests_all_fields", serve.requests_all_fields.to_string());
     line("serve_requests_tables", serve.requests_tables.to_string());
     line("serve_requests_scoped", serve.requests_scoped.to_string());
+    line("serve_requests_kg", serve.requests_kg.to_string());
     line("serve_requests_semantic", serve.requests_semantic.to_string());
     line("serve_requests_hybrid", serve.requests_hybrid.to_string());
     line("serve_cache_hits", serve.cache_hits.to_string());
@@ -297,6 +322,25 @@ pub fn render_metrics(
         line("ann_hops", ann.hops.to_string());
         line("ann_candidates", ann.candidates.to_string());
         line("ann_inserts", ann.inserts.to_string());
+    }
+    if let Some(kg) = kg {
+        line("kg_nodes", kg.nodes.to_string());
+        line("kg_queries", serve.requests_kg.to_string());
+        line("kg_traversal_hops", serve.kg_traversal_hops.to_string());
+        line("kg_nodes_visited", serve.kg_nodes_visited.to_string());
+        line("kg_profiles", kg.profiles.to_string());
+        line("kg_profile_papers", kg.profile_papers.to_string());
+        line("kg_profile_observations", kg.profile_observations.to_string());
+        line(
+            "kg_profile_incremental_refreshes",
+            kg.profile_incremental_refreshes.to_string(),
+        );
+        line("kg_profile_full_rebuilds", kg.profile_full_rebuilds.to_string());
+        line(
+            "kg_profile_vaccines_rebuilt",
+            kg.profile_vaccines_rebuilt.to_string(),
+        );
+        line("kg_profile_epoch", kg.profile_epoch.to_string());
     }
     out
 }
@@ -353,6 +397,7 @@ mod tests {
             requests_all_fields: 0,
             requests_tables: 0,
             requests_scoped: 0,
+            requests_kg: 0,
             requests_semantic: 0,
             requests_hybrid: 0,
             cache_hits: 0,
@@ -365,6 +410,8 @@ mod tests {
             degraded: 0,
             stale_served: 0,
             breaker_opens: 0,
+            kg_traversal_hops: 0,
+            kg_nodes_visited: 0,
             io_retries: 0,
             cache: Default::default(),
             queue_depth: 0,
@@ -373,7 +420,7 @@ mod tests {
             p95: None,
             p99: None,
         };
-        let text = render_metrics(&s, &serve, None, None);
+        let text = render_metrics(&s, &serve, None, None, None);
         assert!(text.contains("covidkg_net_epoll_wakeups 5\n"), "{text}");
         assert!(text.contains("covidkg_net_ready_events_per_wakeup_bucket{le=\"1\"} 1\n"));
         assert!(text.contains("covidkg_net_ready_events_per_wakeup_bucket{le=\"2\"} 2\n"));
@@ -395,6 +442,7 @@ mod tests {
             requests_all_fields: 7,
             requests_tables: 0,
             requests_scoped: 0,
+            requests_kg: 3,
             requests_semantic: 2,
             requests_hybrid: 5,
             cache_hits: 3,
@@ -407,6 +455,8 @@ mod tests {
             degraded: 0,
             stale_served: 0,
             breaker_opens: 0,
+            kg_traversal_hops: 44,
+            kg_nodes_visited: 19,
             io_retries: 0,
             cache: Default::default(),
             queue_depth: 0,
@@ -444,7 +494,17 @@ mod tests {
             candidates: 90,
             inserts: 4,
         };
-        let text = render_metrics(&m.snapshot(), &serve, Some(&repl), Some(&ann));
+        let kg = KgExposition {
+            nodes: 18,
+            profiles: 4,
+            profile_papers: 11,
+            profile_observations: 57,
+            profile_incremental_refreshes: 6,
+            profile_full_rebuilds: 1,
+            profile_vaccines_rebuilt: 9,
+            profile_epoch: 3,
+        };
+        let text = render_metrics(&m.snapshot(), &serve, Some(&repl), Some(&ann), Some(&kg));
         assert!(text.contains("covidkg_net_connections_accepted 1\n"), "{text}");
         assert!(text.contains("covidkg_net_responses{status=\"200\"} 1\n"));
         assert!(text.contains("covidkg_net_responses{status=\"404\"} 1\n"));
@@ -473,15 +533,28 @@ mod tests {
         assert!(text.contains("covidkg_ann_hops 21\n"));
         assert!(text.contains("covidkg_ann_candidates 90\n"));
         assert!(text.contains("covidkg_ann_inserts 4\n"));
+        assert!(text.contains("covidkg_serve_requests_kg 3\n"));
+        assert!(text.contains("covidkg_kg_nodes 18\n"));
+        assert!(text.contains("covidkg_kg_queries 3\n"));
+        assert!(text.contains("covidkg_kg_traversal_hops 44\n"));
+        assert!(text.contains("covidkg_kg_nodes_visited 19\n"));
+        assert!(text.contains("covidkg_kg_profiles 4\n"));
+        assert!(text.contains("covidkg_kg_profile_papers 11\n"));
+        assert!(text.contains("covidkg_kg_profile_observations 57\n"));
+        assert!(text.contains("covidkg_kg_profile_incremental_refreshes 6\n"));
+        assert!(text.contains("covidkg_kg_profile_full_rebuilds 1\n"));
+        assert!(text.contains("covidkg_kg_profile_vaccines_rebuilt 9\n"));
+        assert!(text.contains("covidkg_kg_profile_epoch 3\n"));
         // Every line is `name value`.
         for l in text.lines() {
             assert_eq!(l.split(' ').count(), 2, "{l}");
             assert!(l.starts_with("covidkg_"), "{l}");
         }
-        // Without a routing layer / dense tier the optional series are
-        // absent entirely.
-        let text = render_metrics(&m.snapshot(), &serve, None, None);
+        // Without a routing layer / dense tier / kg the optional series
+        // are absent entirely.
+        let text = render_metrics(&m.snapshot(), &serve, None, None, None);
         assert!(!text.contains("repl_"), "{text}");
         assert!(!text.contains("ann_"), "{text}");
+        assert!(!text.contains("covidkg_kg_"), "{text}");
     }
 }

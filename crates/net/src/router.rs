@@ -2,16 +2,20 @@
 //!
 //! Byte-correctness contract: the body of a 200 search response is
 //! exactly `SearchPage::to_json().to_json()` — the same canonical JSON
-//! an in-process caller gets — for cached, fresh and stale pages alike.
-//! Cache/degradation metadata rides in response *headers* (`X-Cache`,
-//! `X-Generation`) so the body never varies with cache state.
+//! an in-process caller gets — for cached, fresh and stale pages alike;
+//! likewise a 200 `/kg/*` body is the server's pre-serialized
+//! [`covidkg_serve::KgResponse`] bytes, identical to in-process
+//! serialization. Cache/degradation metadata rides in response
+//! *headers* (`X-Cache`, `X-Generation`) so the body never varies with
+//! cache state.
 
 use crate::http::{Request, Response};
-use crate::metrics::{render_metrics, AnnExposition, ReplExposition, WireStats};
+use crate::metrics::{render_metrics, AnnExposition, KgExposition, ReplExposition, WireStats};
 use covidkg_json::{obj, Value};
 use covidkg_repl::{Epoch, ReadRouter, ReplMetrics, RouteError};
 use covidkg_search::{DenseMode, SearchMode};
-use covidkg_serve::{ServeError, Server};
+use covidkg_core::QueryPlan;
+use covidkg_serve::{KgResponse, ServeError, Server};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -106,13 +110,19 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
     if let Some(id) = path.strip_prefix("/kg/node/") {
         return kg_node(server, id);
     }
+    if let Some(vaccine) = path.strip_prefix("/kg/profile/") {
+        return kg_profile(server, vaccine);
+    }
+    if path == "/kg/query" {
+        return kg_query(server, req);
+    }
     match path {
         "/stats" => stats(server),
         "/metrics" => {
-            let ann = server.with_system(|system| {
+            let (ann, kg) = server.with_system(|system| {
                 let ann = system.ann();
                 let s = ann.stats();
-                AnnExposition {
+                let ann = AnnExposition {
                     nodes: ann.len() as u64,
                     tombstones: ann.tombstones() as u64,
                     max_level: ann.max_level() as u64,
@@ -121,7 +131,19 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
                     hops: s.hops,
                     candidates: s.candidates,
                     inserts: s.inserts,
-                }
+                };
+                let p = system.profile_store().stats();
+                let kg = KgExposition {
+                    nodes: system.kg().len() as u64,
+                    profiles: p.profiles as u64,
+                    profile_papers: p.papers as u64,
+                    profile_observations: p.observations as u64,
+                    profile_incremental_refreshes: p.incremental_refreshes,
+                    profile_full_rebuilds: p.full_rebuilds,
+                    profile_vaccines_rebuilt: p.vaccines_rebuilt,
+                    profile_epoch: p.epoch,
+                };
+                (ann, kg)
             });
             Response::text(
                 200,
@@ -130,6 +152,7 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
                     &server.stats(),
                     repl.map(|r| r.exposition()).as_ref(),
                     Some(&ann),
+                    Some(&kg),
                 ),
             )
         }
@@ -140,6 +163,8 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
                 "endpoints" => Value::Array(vec![
                     Value::from("/search/{all-fields|tables|scoped}?q=&page="),
                     Value::from("/search/{semantic|hybrid}?q=&page="),
+                    Value::from("/kg/query?start=&steps=&fanout=&k="),
+                    Value::from("/kg/profile/{vaccine}"),
                     Value::from("/kg/node/{id}"),
                     Value::from("/stats"),
                     Value::from("/metrics"),
@@ -275,35 +300,72 @@ pub fn serve_error_response(e: ServeError) -> Response {
     }
 }
 
+/// The canonical 200 KG response: the server's pre-serialized body
+/// verbatim, cache metadata in headers — same contract as search pages.
+/// KG responses are never served stale, so `X-Cache` is only ever
+/// `hit` or `miss`.
+fn kg_response(resp: &KgResponse) -> Response {
+    Response::json(200, resp.body.clone())
+        .with_header("X-Cache", if resp.cached { "hit" } else { "miss" })
+        .with_header("X-Generation", resp.generation.to_string())
+}
+
+/// `GET /kg/query?start=&steps=[&fanout=][&k=]` — bounded multi-hop
+/// traversal returning top-k ranked paths. `start` is `term:<text>`,
+/// `kind:<root|category|entity>` or `node:<id>`; `steps` is a
+/// comma-separated hop list `<child|parent|any|co>[:<kind>[:<paper>]]`.
+fn kg_query(server: &Server, req: &Request) -> Response {
+    let start = req.query_param("start").unwrap_or_default();
+    let steps = req.query_param("steps").unwrap_or_default();
+    let fanout = match req.query_param("fanout").as_deref() {
+        None => 16,
+        Some(v) => match v.parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => return error_response(400, "fanout must be a non-negative integer"),
+        },
+    };
+    let k = match req.query_param("k").as_deref() {
+        None => 10,
+        Some(v) => match v.parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => return error_response(400, "k must be a non-negative integer"),
+        },
+    };
+    let plan = match QueryPlan::parse(&start, &steps, fanout, k) {
+        Ok(plan) => plan,
+        Err(e) => return error_response(400, &e),
+    };
+    match server.kg_query(&plan) {
+        Ok(resp) => kg_response(&resp),
+        Err(e) => serve_error_response(e),
+    }
+}
+
+/// `GET /kg/profile/{vaccine}` — the vaccine's incrementally
+/// materialized, epoch-stamped meta-profile document.
+fn kg_profile(server: &Server, vaccine: &str) -> Response {
+    match server.kg_profile(vaccine) {
+        Ok(Some(resp)) => kg_response(&resp),
+        Ok(None) => error_response(404, &format!("no profile for vaccine {vaccine:?}")),
+        Err(e) => serve_error_response(e),
+    }
+}
+
 /// `GET /kg/node/{id}` — one knowledge-graph node with its topology.
+/// Flows through the serve-layer result cache like the search routes
+/// (cache metadata in `X-Cache`/`X-Generation` headers).
 fn kg_node(server: &Server, id: &str) -> Response {
     let Ok(id) = id.parse::<usize>() else {
         return error_response(400, "node id must be a non-negative integer");
     };
-    server.with_system(|system| {
-        let kg = system.kg();
-        if id >= kg.len() {
-            return error_response(404, &format!("no node {id} (graph has {})", kg.len()));
+    match server.kg_node(id) {
+        Ok(Some(resp)) => kg_response(&resp),
+        Ok(None) => {
+            let len = server.with_system(|system| system.kg().len());
+            error_response(404, &format!("no node {id} (graph has {len})"))
         }
-        let node = kg.node(id);
-        let ids =
-            |v: &[usize]| Value::Array(v.iter().map(|&n| Value::from(n)).collect());
-        Response::json(
-            200,
-            obj! {
-                "id" => node.id,
-                "label" => node.label.as_str(),
-                "kind" => node.kind.as_str(),
-                "parents" => ids(&node.parents),
-                "children" => ids(&node.children),
-                "provenance" => Value::Array(
-                    node.provenance.iter().map(|p| Value::from(p.as_str())).collect()
-                ),
-                "confidence" => node.confidence,
-            }
-            .to_json(),
-        )
-    })
+        Err(e) => serve_error_response(e),
+    }
 }
 
 /// `GET /stats` — storage + KG + serving summary as JSON.

@@ -1,8 +1,10 @@
-//! Sharded LRU cache for search-result pages with generation-based
+//! Sharded LRU cache for served results with generation-based
 //! invalidation, TTL expiry and a total-bytes budget.
 //!
 //! Keys are the canonical `(engine, normalized query, page)` strings from
-//! [`covidkg_search::cache_key`]; values are whole [`SearchPage`]s tagged
+//! [`covidkg_search::cache_key`] for search traffic and the `kgq|`/`kgp|`/
+//! `kgn|` keys for the KG traffic class; values are [`CachedValue`]s —
+//! whole [`SearchPage`]s or pre-serialized KG response bodies — tagged
 //! with the data generation that produced them. A lookup only hits when
 //! the entry's generation equals the caller's *current* generation, so a
 //! page cached before an ingest can never be served after it *as fresh*.
@@ -33,9 +35,57 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// What the cache holds: a structured search page (the search traffic
+/// classes) or a pre-serialized JSON body (the KG traffic class, whose
+/// wire form is the canonical one).
+#[derive(Debug, Clone)]
+pub enum CachedValue {
+    /// A whole search-result page.
+    Page(SearchPage),
+    /// A pre-serialized response body.
+    Body(String),
+}
+
+impl CachedValue {
+    /// The page, when this is search traffic.
+    pub fn into_page(self) -> Option<SearchPage> {
+        match self {
+            CachedValue::Page(p) => Some(p),
+            CachedValue::Body(_) => None,
+        }
+    }
+
+    /// The serialized body, when this is KG traffic.
+    pub fn into_body(self) -> Option<String> {
+        match self {
+            CachedValue::Body(b) => Some(b),
+            CachedValue::Page(_) => None,
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            CachedValue::Page(p) => approx_page_bytes(p),
+            CachedValue::Body(b) => 64 + b.len(),
+        }
+    }
+}
+
+impl From<SearchPage> for CachedValue {
+    fn from(p: SearchPage) -> CachedValue {
+        CachedValue::Page(p)
+    }
+}
+
+impl From<String> for CachedValue {
+    fn from(b: String) -> CachedValue {
+        CachedValue::Body(b)
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
-    page: SearchPage,
+    value: CachedValue,
     generation: u64,
     last_used: u64,
     inserted: Instant,
@@ -140,12 +190,12 @@ impl QueryCache {
         Some(entry)
     }
 
-    /// The page cached under `key` at exactly `current_generation`, or
+    /// The value cached under `key` at exactly `current_generation`, or
     /// `None`. TTL expiry removes the entry; a generation mismatch
-    /// merely misses — the stale page stays resident (preferred eviction
+    /// merely misses — the stale value stays resident (preferred eviction
     /// victim) so degraded mode can still serve it via
     /// [`QueryCache::get_stale`].
-    pub fn get(&self, key: &str, current_generation: u64) -> Option<SearchPage> {
+    pub fn get(&self, key: &str, current_generation: u64) -> Option<CachedValue> {
         let mut shard = lock(self.shard(key));
         shard.tick += 1;
         let tick = shard.tick;
@@ -157,22 +207,22 @@ impl QueryCache {
                     return None;
                 }
                 entry.last_used = tick;
-                Some(entry.page.clone())
+                Some(entry.value.clone())
             }
             Some(_) | None => None,
         }
     }
 
-    /// Degraded-mode lookup: the page cached under `key` at *any*
+    /// Degraded-mode lookup: the value cached under `key` at *any*
     /// generation, ignoring TTL, with the generation it was computed at.
     /// The entry is left resident — when the backend recovers, a fresh
-    /// page will overwrite it.
-    pub fn get_stale(&self, key: &str) -> Option<(SearchPage, u64)> {
+    /// value will overwrite it.
+    pub fn get_stale(&self, key: &str) -> Option<(CachedValue, u64)> {
         let shard = lock(self.shard(key));
         shard
             .map
             .get(key)
-            .map(|entry| (entry.page.clone(), entry.generation))
+            .map(|entry| (entry.value.clone(), entry.generation))
     }
 
     /// Evict one victim from `shard`: expired entries first, then
@@ -197,10 +247,11 @@ impl QueryCache {
         true
     }
 
-    /// Cache `page` under `key` as of `generation`, evicting (stale →
+    /// Cache `value` under `key` as of `generation`, evicting (stale →
     /// expired → LRU) until both the entry-count and byte bounds hold.
-    pub fn insert(&self, key: String, generation: u64, page: SearchPage) {
-        let bytes = approx_page_bytes(&page);
+    pub fn insert(&self, key: String, generation: u64, value: impl Into<CachedValue>) {
+        let value = value.into();
+        let bytes = value.approx_bytes();
         let mut shard = lock(self.shard(&key));
         shard.tick += 1;
         let tick = shard.tick;
@@ -221,7 +272,7 @@ impl QueryCache {
         shard.map.insert(
             key,
             Entry {
-                page,
+                value,
                 generation,
                 last_used: tick,
                 inserted: Instant::now(),
@@ -261,6 +312,10 @@ impl QueryCache {
 mod tests {
     use super::*;
 
+    fn got(c: &QueryCache, key: &str, generation: u64) -> Option<SearchPage> {
+        c.get(key, generation).and_then(CachedValue::into_page)
+    }
+
     fn page(query: &str, total: usize) -> SearchPage {
         SearchPage {
             query: query.to_string(),
@@ -275,7 +330,7 @@ mod tests {
     fn hit_requires_matching_generation() {
         let c = QueryCache::new(8, 2);
         c.insert("k".into(), 1, page("q", 3));
-        assert_eq!(c.get("k", 1).unwrap().total, 3);
+        assert_eq!(got(&c, "k", 1).unwrap().total, 3);
         // Generation moved on (ingest): the stale page must not hit, but
         // it stays resident for degraded-mode stale serving.
         assert!(c.get("k", 2).is_none());
@@ -290,9 +345,9 @@ mod tests {
         c.insert("a".into(), 1, page("a", 1));
         c.insert("b".into(), 1, page("b", 2));
         // Touch "a" so "b" becomes the LRU.
-        assert!(c.get("a", 1).is_some());
+        assert!(got(&c, "a", 1).is_some());
         c.insert("c".into(), 1, page("c", 3));
-        assert!(c.get("a", 1).is_some(), "recently used entry survives");
+        assert!(got(&c, "a", 1).is_some(), "recently used entry survives");
         assert!(c.get("b", 1).is_none(), "LRU entry was evicted");
         assert!(c.get("c", 1).is_some());
         assert_eq!(c.len(), 2);
@@ -320,7 +375,7 @@ mod tests {
         c.insert("b".into(), 1, page("b", 2));
         c.insert("a".into(), 1, page("a", 9));
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get("a", 1).unwrap().total, 9);
+        assert_eq!(got(&c, "a", 1).unwrap().total, 9);
         assert!(c.get("b", 1).is_some());
         assert_eq!(c.stats().evicted_lru, 0);
     }
@@ -333,7 +388,7 @@ mod tests {
         }
         assert!(c.len() >= 48, "hash spread should keep most entries");
         for i in 0..64 {
-            if let Some(p) = c.get(&format!("key-{i}"), 1) {
+            if let Some(p) = c.get(&format!("key-{i}"), 1).and_then(CachedValue::into_page) {
                 assert_eq!(p.total, i);
             }
         }
@@ -371,7 +426,7 @@ mod tests {
         let c = QueryCache::new(8, 1);
         c.insert("k".into(), 1, page("q", 7));
         let (stale, generation) = c.get_stale("k").expect("stale page available");
-        assert_eq!(stale.total, 7);
+        assert_eq!(stale.into_page().unwrap().total, 7);
         assert_eq!(generation, 1);
         // Still resident for the next degraded request…
         assert!(c.get_stale("k").is_some());

@@ -33,7 +33,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod server;
 
-pub use cache::{CacheStats, QueryCache};
+pub use cache::{CachedValue, CacheStats, QueryCache};
 pub use loadgen::{LoadGenConfig, LoadGenReport, OpenLoopConfig, OpenLoopReport};
 pub use metrics::{DenseKind, EngineKind, LatencyHistogram, ServeStats};
-pub use server::{InjectedFaults, ServeConfig, ServeError, ServeResponse, Server};
+pub use server::{InjectedFaults, KgResponse, ServeConfig, ServeError, ServeResponse, Server};

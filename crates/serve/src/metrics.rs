@@ -11,7 +11,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Which of the three §2.1 engines a request targeted.
+/// Which engine a request targeted: the three §2.1 search engines plus
+/// the §4 knowledge-graph query engine (the third wire traffic class).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// §2.1.2 all-fields engine.
@@ -20,6 +21,8 @@ pub enum EngineKind {
     Tables,
     /// §2.1.1 scoped title/abstract/caption engine.
     Scoped,
+    /// §4 knowledge-graph traversal / meta-profile engine.
+    Kg,
 }
 
 impl EngineKind {
@@ -28,6 +31,7 @@ impl EngineKind {
             EngineKind::AllFields => 0,
             EngineKind::Tables => 1,
             EngineKind::Scoped => 2,
+            EngineKind::Kg => 3,
         }
     }
 
@@ -37,6 +41,7 @@ impl EngineKind {
             EngineKind::AllFields => "all-fields",
             EngineKind::Tables => "tables",
             EngineKind::Scoped => "scoped",
+            EngineKind::Kg => "kg",
         }
     }
 }
@@ -143,7 +148,7 @@ impl DenseKind {
 /// Live metric registry owned by the server.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    engine_requests: [AtomicU64; 3],
+    engine_requests: [AtomicU64; 4],
     dense_requests: [AtomicU64; 2],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -155,6 +160,8 @@ pub struct Metrics {
     degraded: AtomicU64,
     stale_served: AtomicU64,
     breaker_opens: AtomicU64,
+    kg_traversal_hops: AtomicU64,
+    kg_nodes_visited: AtomicU64,
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
     /// Hot-path latencies go to a lock-free histogram; the mutex only
@@ -213,6 +220,12 @@ impl Metrics {
         self.breaker_opens.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accumulate one KG traversal's work counters (`covidkg_kg_*`).
+    pub(crate) fn record_kg_traversal(&self, hops: u64, visited: u64) {
+        self.kg_traversal_hops.fetch_add(hops, Ordering::Relaxed);
+        self.kg_nodes_visited.fetch_add(visited, Ordering::Relaxed);
+    }
+
     /// Pre-admission increment: called *before* the `try_send` so a
     /// worker's matching [`Metrics::dequeued`] can never drive the gauge
     /// negative. The max watermark is recorded separately, only once the
@@ -236,6 +249,7 @@ impl Metrics {
             requests_all_fields: self.engine_requests[0].load(Ordering::Relaxed),
             requests_tables: self.engine_requests[1].load(Ordering::Relaxed),
             requests_scoped: self.engine_requests[2].load(Ordering::Relaxed),
+            requests_kg: self.engine_requests[3].load(Ordering::Relaxed),
             requests_semantic: self.dense_requests[0].load(Ordering::Relaxed),
             requests_hybrid: self.dense_requests[1].load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -248,6 +262,8 @@ impl Metrics {
             degraded: self.degraded.load(Ordering::Relaxed),
             stale_served: self.stale_served.load(Ordering::Relaxed),
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            kg_traversal_hops: self.kg_traversal_hops.load(Ordering::Relaxed),
+            kg_nodes_visited: self.kg_nodes_visited.load(Ordering::Relaxed),
             io_retries: 0,
             cache: CacheStats::default(),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -270,6 +286,8 @@ pub struct ServeStats {
     pub requests_tables: u64,
     /// Requests routed to the scoped engine.
     pub requests_scoped: u64,
+    /// Requests routed to the KG query / profile engine.
+    pub requests_kg: u64,
     /// Requests routed to the semantic (pure-ANN) mode.
     pub requests_semantic: u64,
     /// Requests routed to the hybrid lexical+dense mode.
@@ -296,6 +314,10 @@ pub struct ServeStats {
     pub stale_served: u64,
     /// Times an engine circuit breaker tripped open.
     pub breaker_opens: u64,
+    /// Frontier expansions performed by served KG traversals.
+    pub kg_traversal_hops: u64,
+    /// Nodes visited by served KG traversals.
+    pub kg_nodes_visited: u64,
     /// Transient store-level I/O retries absorbed by ingest (0 unless
     /// a fault plan is attached to the backing collection).
     pub io_retries: u64,
@@ -319,6 +341,7 @@ impl ServeStats {
         self.requests_all_fields
             + self.requests_tables
             + self.requests_scoped
+            + self.requests_kg
             + self.requests_semantic
             + self.requests_hybrid
     }
@@ -347,11 +370,12 @@ impl ServeStats {
         let mut out = String::new();
         out.push_str("serving stats\n");
         out.push_str(&format!(
-            "  requests     {} (all-fields {}, tables {}, scoped {}, semantic {}, hybrid {})\n",
+            "  requests     {} (all-fields {}, tables {}, scoped {}, kg {}, semantic {}, hybrid {})\n",
             self.total_requests(),
             self.requests_all_fields,
             self.requests_tables,
             self.requests_scoped,
+            self.requests_kg,
             self.requests_semantic,
             self.requests_hybrid,
         ));
@@ -478,13 +502,19 @@ mod tests {
         m.record_admitted_depth();
         m.dequeued();
         m.record_completed(Duration::from_millis(3));
+        m.record_request(EngineKind::Kg);
+        m.record_kg_traversal(12, 5);
+        m.record_kg_traversal(3, 2);
         let s = m.snapshot();
         assert_eq!(s.requests_all_fields, 2);
         assert_eq!(s.requests_tables, 1);
         assert_eq!(s.requests_scoped, 0);
+        assert_eq!(s.requests_kg, 1);
         assert_eq!(s.requests_semantic, 1);
         assert_eq!(s.requests_hybrid, 2);
-        assert_eq!(s.total_requests(), 6);
+        assert_eq!(s.total_requests(), 7);
+        assert_eq!(s.kg_traversal_hops, 15);
+        assert_eq!(s.kg_nodes_visited, 7);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);

@@ -57,9 +57,9 @@
 //! exception: it may serve an old-generation page, but always labeled
 //! `stale: true`.
 
-use crate::cache::QueryCache;
+use crate::cache::{CachedValue, QueryCache};
 use crate::metrics::{DenseKind, EngineKind, Metrics, ServeStats};
-use covidkg_core::CovidKg;
+use covidkg_core::{CovidKg, QueryPlan};
 use covidkg_corpus::Publication;
 use covidkg_search::{cache_key, dense_cache_key, DenseMode, SearchMode, SearchPage};
 use covidkg_store::StoreError;
@@ -181,6 +181,26 @@ pub struct ServeResponse {
     pub latency: Duration,
 }
 
+/// A served KG response: the pre-serialized JSON body (the canonical
+/// wire form — `GET /kg/query` and `GET /kg/profile/{vaccine}` send
+/// these bytes verbatim, so wire output is byte-identical to
+/// in-process serialization).
+///
+/// Unlike search traffic there is deliberately no `stale` flag: profile
+/// documents are epoch-stamped and must never be served from an older
+/// generation, so degraded mode fails typed instead of serving stale.
+#[derive(Debug, Clone)]
+pub struct KgResponse {
+    /// Serialized JSON body.
+    pub body: String,
+    /// Whether the body came from the cache.
+    pub cached: bool,
+    /// Data generation the body was computed at.
+    pub generation: u64,
+    /// End-to-end latency observed by the server.
+    pub latency: Duration,
+}
+
 /// Deterministic worker-side fault schedule for chaos runs: every
 /// `panic_every`-th search job panics mid-query, every `delay_every`-th
 /// sleeps for `delay` first (0 disables either). Jobs are numbered by a
@@ -205,8 +225,25 @@ struct SearchJob {
     reply: SyncSender<Result<ServeResponse, ServeError>>,
 }
 
+/// The KG operations served through the worker queue.
+enum KgOp {
+    /// Multi-hop ranked-path traversal.
+    Query(Box<QueryPlan>),
+    /// One vaccine's materialized meta-profile document.
+    Profile(String),
+}
+
+struct KgJob {
+    op: KgOp,
+    key: String,
+    deadline: Instant,
+    submitted: Instant,
+    reply: SyncSender<Result<Option<KgResponse>, ServeError>>,
+}
+
 enum Job {
     Search(Box<SearchJob>),
+    Kg(Box<KgJob>),
     /// Chaos hook: makes the dequeuing worker panic *outside* the
     /// per-job `catch_unwind`, exercising the respawn sentinel.
     CrashWorker,
@@ -357,7 +394,7 @@ struct Inner {
     generation: AtomicU64,
     cache: QueryCache,
     metrics: Metrics,
-    breakers: [Breaker; 3],
+    breakers: [Breaker; 4],
     breaker_cfg: BreakerSettings,
     /// Worker-side fault schedule (chaos testing); None in production.
     faults: RwLock<Option<InjectedFaults>>,
@@ -414,6 +451,7 @@ fn spawn_worker(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
             match job {
                 Job::CrashWorker => panic!("injected worker crash"),
                 Job::Search(job) => run_isolated(&sentinel.inner, *job),
+                Job::Kg(job) => run_kg_isolated(&sentinel.inner, *job),
             }
         }
     });
@@ -487,7 +525,12 @@ impl Server {
         // Cache sits in front of the queue: hits cost two mutex hops and
         // never consume queue capacity or a worker.
         let generation = self.inner.generation.load(Ordering::Acquire);
-        if let Some(cached) = self.inner.cache.get(&key, generation) {
+        if let Some(cached) = self
+            .inner
+            .cache
+            .get(&key, generation)
+            .and_then(CachedValue::into_page)
+        {
             self.inner.metrics.record_hit();
             let latency = submitted.elapsed();
             self.inner.metrics.record_completed(latency);
@@ -598,7 +641,12 @@ impl Server {
         self.inner.metrics.record_dense_request(kind);
         let key = dense_cache_key(mode, page);
         let generation = self.inner.generation.load(Ordering::Acquire);
-        if let Some(cached) = self.inner.cache.get(&key, generation) {
+        if let Some(cached) = self
+            .inner
+            .cache
+            .get(&key, generation)
+            .and_then(CachedValue::into_page)
+        {
             self.inner.metrics.record_hit();
             let latency = submitted.elapsed();
             self.inner.metrics.record_completed(latency);
@@ -625,6 +673,145 @@ impl Server {
             generation,
             latency,
         })
+    }
+
+    /// Serve a KG traversal: cache-fronted and queue-admitted like the
+    /// search engines (a deep traversal is real work, so it gets
+    /// admission control and the `kg` circuit breaker), but never
+    /// served stale — when the breaker is open or a worker crashes the
+    /// caller gets the typed [`ServeError::Degraded`] instead of an
+    /// old-generation body.
+    pub fn kg_query(&self, plan: &QueryPlan) -> Result<KgResponse, ServeError> {
+        let key = plan.cache_key();
+        self.kg_request(KgOp::Query(Box::new(plan.clone())), key)
+            .map(|resp| resp.expect("a traversal always yields a body"))
+    }
+
+    /// Serve one vaccine's materialized meta-profile document.
+    /// `Ok(None)` = unknown vaccine (the wire layer's 404).
+    pub fn kg_profile(&self, vaccine: &str) -> Result<Option<KgResponse>, ServeError> {
+        let key = format!("kgp|{}:{vaccine}", vaccine.len());
+        self.kg_request(KgOp::Profile(vaccine.to_string()), key)
+    }
+
+    /// Serve one KG node document. `Ok(None)` = out-of-range id.
+    ///
+    /// Cache-fronted like [`Server::search_dense`] but computed inline
+    /// under the shared system lock instead of through the worker
+    /// queue: a node lookup is O(1), so queue admission would cost
+    /// more than the work itself.
+    pub fn kg_node(&self, id: usize) -> Result<Option<KgResponse>, ServeError> {
+        let submitted = Instant::now();
+        self.inner.metrics.record_request(EngineKind::Kg);
+        let key = format!("kgn|{id}");
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        if let Some(body) = self
+            .inner
+            .cache
+            .get(&key, generation)
+            .and_then(CachedValue::into_body)
+        {
+            self.inner.metrics.record_hit();
+            let latency = submitted.elapsed();
+            self.inner.metrics.record_completed(latency);
+            return Ok(Some(KgResponse {
+                body,
+                cached: true,
+                generation,
+                latency,
+            }));
+        }
+        self.inner.metrics.record_miss();
+        let (body, generation) = {
+            let system = read_lock(&self.inner.system);
+            (
+                system.kg_node(id).map(|doc| doc.to_json()),
+                system.generation(),
+            )
+        };
+        let Some(body) = body else {
+            return Ok(None);
+        };
+        self.inner.cache.insert(key, generation, body.clone());
+        let latency = submitted.elapsed();
+        self.inner.metrics.record_completed(latency);
+        Ok(Some(KgResponse {
+            body,
+            cached: false,
+            generation,
+            latency,
+        }))
+    }
+
+    /// Common KG request path: cache probe → breaker → queue → worker.
+    fn kg_request(
+        &self,
+        op: KgOp,
+        key: String,
+    ) -> Result<Option<KgResponse>, ServeError> {
+        let submitted = Instant::now();
+        self.inner.metrics.record_request(EngineKind::Kg);
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        if let Some(body) = self
+            .inner
+            .cache
+            .get(&key, generation)
+            .and_then(CachedValue::into_body)
+        {
+            self.inner.metrics.record_hit();
+            let latency = submitted.elapsed();
+            self.inner.metrics.record_completed(latency);
+            return Ok(Some(KgResponse {
+                body,
+                cached: true,
+                generation,
+                latency,
+            }));
+        }
+        self.inner.metrics.record_miss();
+        // Freshness over availability: no stale fallback for KG bodies.
+        if !self
+            .inner
+            .breaker(EngineKind::Kg)
+            .allow(&self.inner.breaker_cfg)
+        {
+            self.inner.metrics.record_degraded();
+            return Err(ServeError::Degraded);
+        }
+        let deadline = self.default_deadline;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job::Kg(Box::new(KgJob {
+            op,
+            key,
+            deadline: submitted + deadline,
+            submitted,
+            reply: reply_tx,
+        }));
+        let sender = match &*lock(&self.queue) {
+            Some(tx) => tx.clone(),
+            None => return Err(ServeError::Closed),
+        };
+        self.inner.metrics.enqueued();
+        match sender.try_send(job) {
+            Ok(()) => self.inner.metrics.record_admitted_depth(),
+            Err(TrySendError::Full(_)) => {
+                self.inner.metrics.dequeued();
+                self.inner.metrics.record_overloaded();
+                return Err(ServeError::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.inner.metrics.dequeued();
+                return Err(ServeError::Closed);
+            }
+        }
+        match reply_rx.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                self.inner.metrics.record_deadline_exceeded();
+                Err(ServeError::DeadlineExceeded)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+        }
     }
 
     /// Current data generation.
@@ -735,7 +922,11 @@ fn degraded_response(
     submitted: Instant,
 ) -> Result<ServeResponse, ServeError> {
     inner.metrics.record_degraded();
-    match inner.cache.get_stale(key) {
+    match inner
+        .cache
+        .get_stale(key)
+        .and_then(|(v, g)| v.into_page().map(|p| (p, g)))
+    {
         Some((page, generation)) => {
             inner.metrics.record_stale_served();
             let latency = submitted.elapsed();
@@ -802,6 +993,69 @@ fn run_job(inner: &Inner, job: SearchJob) {
         generation,
         latency,
     }));
+}
+
+/// Run one KG job with the same panic isolation as search jobs. A
+/// panicking traversal feeds the `kg` breaker and answers with the
+/// typed [`ServeError::Degraded`] — never a stale body (freshness over
+/// availability for the KG traffic class).
+fn run_kg_isolated(inner: &Inner, job: KgJob) {
+    let reply = job.reply.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_kg_job(inner, job)));
+    if outcome.is_err() {
+        inner.metrics.record_panic();
+        inner.record_engine_failure(EngineKind::Kg);
+        inner.metrics.record_degraded();
+        let _ = reply.try_send(Err(ServeError::Degraded));
+    }
+}
+
+fn run_kg_job(inner: &Inner, job: KgJob) {
+    if Instant::now() >= job.deadline {
+        inner.metrics.record_deadline_exceeded();
+        let _ = job.reply.try_send(Err(ServeError::DeadlineExceeded));
+        return;
+    }
+    // KG jobs share the chaos fault schedule: they run on the same
+    // workers, so they must survive the same injected failures.
+    let seq = inner.job_seq.fetch_add(1, Ordering::Relaxed);
+    if let Some(faults) = read_lock(&inner.faults).clone() {
+        if faults.delay_every > 0 && seq % faults.delay_every == faults.delay_every - 1 {
+            std::thread::sleep(faults.delay);
+        }
+        if faults.panic_every > 0 && seq % faults.panic_every == faults.panic_every - 1 {
+            panic!("injected kg panic (seq {seq})");
+        }
+    }
+    let (body, generation) = {
+        let system = read_lock(&inner.system);
+        let body = match &job.op {
+            KgOp::Query(plan) => {
+                let result = system.kg_query(plan);
+                inner
+                    .metrics
+                    .record_kg_traversal(result.hops, result.visited);
+                Some(result.to_json().to_json())
+            }
+            KgOp::Profile(vaccine) => system.kg_profile(vaccine).map(|doc| doc.to_json()),
+        };
+        (body, system.generation())
+    };
+    inner
+        .breaker(EngineKind::Kg)
+        .record_success(&inner.breaker_cfg);
+    let latency = job.submitted.elapsed();
+    inner.metrics.record_completed(latency);
+    let response = body.map(|body| {
+        inner.cache.insert(job.key, generation, body.clone());
+        KgResponse {
+            body,
+            cached: false,
+            generation,
+            latency,
+        }
+    });
+    let _ = job.reply.try_send(Ok(response));
 }
 
 fn engine_kind(mode: &SearchMode) -> EngineKind {

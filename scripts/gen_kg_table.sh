@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Regenerate the KG query/materialization benchmark table in
+# EXPERIMENTS.md from the committed BENCH_kg.json. The table lives
+# between the `<!-- kg-table:begin -->` / `<!-- kg-table:end -->`
+# markers and is rewritten in place by `covidkg kg-table`, so prose and
+# artifact cannot drift. Run a fresh bench first if you want new
+# numbers:
+#
+#   ./target/release/covidkg kg-bench --seed 42
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q
+./target/release/covidkg kg-table

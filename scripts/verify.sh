@@ -62,6 +62,16 @@ echo "==> EXPERIMENTS.md ANN table regenerates from the committed BENCH_ann.json
 ./target/release/covidkg ann-table
 grep -q '<!-- ann-table:begin -->' EXPERIMENTS.md
 
+echo "==> KG equivalence property tests (engine vs DFS oracle, incremental vs full rebuild)"
+cargo test -p covidkg-kg --test query_prop --offline -q
+
+echo "==> KG smoke: query/profile/node wire byte-identity + cache headers over TCP"
+./target/release/covidkg kg-smoke --corpus 48
+
+echo "==> EXPERIMENTS.md KG table regenerates from the committed BENCH_kg.json"
+./target/release/covidkg kg-table
+grep -q '<!-- kg-table:begin -->' EXPERIMENTS.md
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets --offline"
     cargo clippy --workspace --all-targets --offline -- -D warnings

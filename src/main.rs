@@ -57,6 +57,13 @@ COMMANDS:
     ann-smoke                dense-tier end-to-end check incl. wire byte-identity
     ann-bench                HNSW recall/latency vs brute force (emits BENCH_ann.json)
     ann-table                regenerate the EXPERIMENTS.md ANN table from BENCH_ann.json
+    kg-query <start> [steps] ranked multi-hop graph query (start: term:<t> |
+                             kind:<root|category|entity> | node:<id>; steps:
+                             comma-separated <child|parent|any|co>[:<kind>[:<paper>]])
+    kg-smoke                 kg tier end-to-end check incl. wire byte-identity
+    kg-bench                 query latency + incremental materialization
+                             speedup vs full rebuild (emits BENCH_kg.json)
+    kg-table                 regenerate the EXPERIMENTS.md KG table from BENCH_kg.json
     chaos                    deterministic fault-injection survival run
 
 OPTIONS:
@@ -67,6 +74,8 @@ OPTIONS:
     --page <n>               result page, 0-based (default 0)
     --expanded               expand collapsed result sections
     --depth <n>              kg tree depth (default 2)
+    --fanout <n>             kg-query traversal fanout bound [default 16]
+    --k <n>                  kg-query ranked paths returned [default 10]
     --clients <n>            serve-bench/chaos concurrent clients [default 8]
     --requests <n>           queries per client [serve-bench/chaos: 50;
                              net-bench closed loop: 200]
@@ -99,6 +108,8 @@ struct Args {
     page: usize,
     expanded: bool,
     depth: usize,
+    fanout: usize,
+    k: usize,
     clients: usize,
     requests: Option<usize>,
     connections: Option<Vec<usize>>,
@@ -128,6 +139,8 @@ fn parse_args() -> Result<Args, String> {
         page: 0,
         expanded: false,
         depth: 2,
+        fanout: 16,
+        k: 10,
         clients: 8,
         requests: None,
         connections: None,
@@ -165,6 +178,14 @@ fn parse_args() -> Result<Args, String> {
                 out.page = value("--page")?
                     .parse()
                     .map_err(|_| "--page takes a number".to_string())?
+            }
+            "--fanout" => {
+                out.fanout = value("--fanout")?
+                    .parse()
+                    .map_err(|e| format!("--fanout: {e}"))?
+            }
+            "--k" => {
+                out.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?
             }
             "--depth" => {
                 out.depth = value("--depth")?
@@ -405,7 +426,9 @@ fn run() -> Result<(), String> {
             println!("listening on http://{}", http.local_addr());
             println!("  GET /search/{{all-fields|tables|scoped}}?q=&page=");
             println!("  GET /search/{{semantic|hybrid}}?q=&page=");
-            println!("  GET /kg/node/{{id}}   GET /stats   GET /metrics");
+            println!("  GET /kg/query?start=&steps=&fanout=&k=");
+            println!("  GET /kg/profile/{{vaccine}}   GET /kg/node/{{id}}");
+            println!("  GET /stats   GET /metrics");
             println!("(EOF on stdin — ctrl-d — shuts down gracefully)");
             // Block until stdin closes, then drain and exit.
             let mut sink = String::new();
@@ -425,6 +448,10 @@ fn run() -> Result<(), String> {
         "ann-smoke" => ann_smoke(&args)?,
         "ann-bench" => ann_bench(&args)?,
         "ann-table" => ann_table()?,
+        "kg-query" => kg_query_cmd(&args)?,
+        "kg-smoke" => kg_smoke(&args)?,
+        "kg-bench" => kg_bench(&args)?,
+        "kg-table" => kg_table()?,
         "net-bench" => {
             let system = open_system(&args, false)?;
             let server = Arc::new(Server::start(
@@ -1400,6 +1427,361 @@ fn render_ann_table(bench: &covidkg::json::Value) -> String {
                 num(r, "eval_ratio"),
                 num(r, "p50_us"),
                 num(r, "p99_us"),
+            ));
+        }
+    }
+    out
+}
+
+/// Re-derive one stored publication document's side-effect observations
+/// — the same caption-gated table parse the system uses, reimplemented
+/// here so the bench can price a *full* re-extraction honestly.
+fn bench_doc_observations(doc: &covidkg::json::Value, paper_id: &str) -> Vec<covidkg::kg::Observation> {
+    use covidkg::core::system::parse_side_effect_table;
+    let mut observations = Vec::new();
+    if let Some(tables) = doc.path("tables").and_then(covidkg::json::Value::as_array) {
+        for t in tables {
+            if let Some(html) = t.path("html").and_then(covidkg::json::Value::as_str) {
+                for table in covidkg::tables::parse_tables(html).unwrap_or_default() {
+                    observations.extend(parse_side_effect_table(
+                        &table.caption,
+                        &table.rows,
+                        paper_id,
+                    ));
+                }
+            }
+        }
+    }
+    observations
+}
+
+/// The query-plan workload shared by `kg-bench`: a hierarchy walk, a
+/// kind-filtered hop, a co-occurrence expansion and a deep mixed walk.
+fn kg_bench_plans(fanout: usize, k: usize) -> Vec<covidkg::core::QueryPlan> {
+    [
+        ("kind:root", "child,child"),
+        ("kind:category", "child:entity"),
+        ("kind:entity", "co"),
+        ("node:0", "child,any,any"),
+    ]
+    .iter()
+    .map(|(start, steps)| {
+        covidkg::core::QueryPlan::parse(start, steps, fanout, k).expect("bench plan parses")
+    })
+    .collect()
+}
+
+/// The `kg-query` body: parse the plan grammar from the positionals and
+/// print the ranked paths with their provenance support.
+fn kg_query_cmd(args: &Args) -> Result<(), String> {
+    let start = args
+        .positional
+        .first()
+        .ok_or("kg-query needs a start set, e.g. `kg-query term:fever co`\n\n".to_string() + USAGE)?;
+    let steps = args.positional.get(1).map(String::as_str).unwrap_or("");
+    let plan = covidkg::core::QueryPlan::parse(start, steps, args.fanout, args.k)?;
+    let system = open_system(args, false)?;
+    let result = system.kg_query(&plan);
+    if result.paths.is_empty() {
+        println!("no paths match (visited {} nodes, {} hops)", result.visited, result.hops);
+        return Ok(());
+    }
+    for (i, p) in result.paths.iter().enumerate() {
+        println!(
+            "{:>2}. [{:.2}] {}  ({} supporting paper{})",
+            i + 1,
+            p.score,
+            p.labels.join(" -> "),
+            p.support,
+            if p.support == 1 { "" } else { "s" },
+        );
+    }
+    println!("({} paths, visited {} nodes, {} hops)", result.paths.len(), result.visited, result.hops);
+    Ok(())
+}
+
+/// The `kg-smoke` body: the third traffic class end to end — ranked
+/// query, profile and node bodies over real TCP, byte-identical to the
+/// in-process serializations, with the cache-header contract checked.
+/// Used by CI.
+fn kg_smoke(args: &Args) -> Result<(), String> {
+    let corpus = args.corpus.clamp(48, 120);
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: corpus,
+        seed: args.seed,
+        max_training_rows: 300,
+        ..CovidKgConfig::default()
+    })
+    .map_err(|e| format!("build failed: {e}"))?;
+    let server = Arc::new(Server::start(system, ServeConfig::default()));
+    let mut http = HttpServer::start(
+        Arc::clone(&server),
+        NetConfig {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            ..NetConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind failed: {e}"))?;
+    let mut client = covidkg::HttpClient::connect(http.local_addr(), Duration::from_secs(10))
+        .map_err(|e| format!("connect: {e}"))?;
+
+    // 1. Ranked query: wire body == in-process result, twice (miss then
+    //    cache hit), same bytes both times.
+    let plan = covidkg::core::QueryPlan::parse("kind:category", "child", 16, 10)?;
+    let local = server.with_system(|s| s.kg_query(&plan).to_json().to_json());
+    let url = "/kg/query?start=kind:category&steps=child&fanout=16&k=10";
+    let mut bodies = Vec::new();
+    for (pass, want_cache) in [("cold", "miss"), ("warm", "hit")] {
+        let resp = client.get(url).map_err(|e| format!("GET {url}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("{url} returned {}", resp.status));
+        }
+        if resp.header("X-Cache") != Some(want_cache) {
+            return Err(format!(
+                "{pass} /kg/query X-Cache = {:?}, wanted {want_cache:?}",
+                resp.header("X-Cache")
+            ));
+        }
+        bodies.push(resp.body);
+    }
+    if bodies[0] != local.as_bytes() || bodies[1] != local.as_bytes() {
+        return Err("kg query wire body diverged from the in-process result".into());
+    }
+    println!("/kg/query: wire response byte-identical to in-process ({} bytes), miss then hit", local.len());
+
+    // 2. Profile: epoch-stamped document, byte-identical on the wire.
+    let vaccine = server
+        .with_system(|s| s.profiles().first().map(|p| p.vaccine.clone()))
+        .ok_or("corpus produced no meta-profiles — cannot smoke /kg/profile")?;
+    let local = server
+        .with_system(|s| s.kg_profile(&vaccine).map(|d| d.to_json()))
+        .expect("profile exists");
+    let url = format!("/kg/profile/{vaccine}");
+    let resp = client.get(&url).map_err(|e| format!("GET {url}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("{url} returned {}", resp.status));
+    }
+    if resp.body != local.as_bytes() {
+        return Err(format!("{url} wire body diverged from the in-process document"));
+    }
+    println!("{url}: wire response byte-identical to in-process ({} bytes)", local.len());
+
+    // 3. Node: now cache-fronted like everything else (miss → hit).
+    let local = server
+        .with_system(|s| s.kg_node(0).map(|d| d.to_json()))
+        .expect("node 0 exists");
+    for want_cache in ["miss", "hit"] {
+        let resp = client.get("/kg/node/0").map_err(|e| format!("GET /kg/node/0: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("/kg/node/0 returned {}", resp.status));
+        }
+        if resp.header("X-Cache") != Some(want_cache) {
+            return Err(format!(
+                "/kg/node/0 X-Cache = {:?}, wanted {want_cache:?}",
+                resp.header("X-Cache")
+            ));
+        }
+        if resp.body != local.as_bytes() {
+            return Err("kg node wire body diverged from the in-process document".into());
+        }
+    }
+    println!("/kg/node/0: wire response byte-identical to in-process ({} bytes), miss then hit", local.len());
+
+    http.shutdown();
+    server.shutdown();
+    println!("KG SMOKE PASSED");
+    Ok(())
+}
+
+/// The `kg-bench` body: ranked-path query latency plus the cost of
+/// keeping meta-profiles fresh — a one-paper incremental refresh against
+/// a full re-extract-everything rebuild — at three corpus sizes. Emits
+/// `BENCH_kg.json`.
+fn kg_bench(args: &Args) -> Result<(), String> {
+    use covidkg::kg::ProfileStore;
+    const QUERY_ITERS: usize = 40;
+    const FULL_REPEATS: usize = 5;
+    const INCR_REPEATS: usize = 50;
+    let sizes = [120usize, 480, 1200];
+    println!(
+        "kg-bench: {} plans x {QUERY_ITERS} iters, fanout {}, k {}; \
+         incremental refresh vs full re-extraction rebuild",
+        kg_bench_plans(args.fanout, args.k).len(),
+        args.fanout,
+        args.k
+    );
+    let mut rows = Vec::new();
+    let mut final_speedup = 0.0;
+    for &n in &sizes {
+        let system = CovidKg::build(CovidKgConfig {
+            corpus_size: n,
+            seed: args.seed,
+            max_training_rows: 300,
+            ..CovidKgConfig::default()
+        })
+        .map_err(|e| format!("build at {n} docs failed: {e}"))?;
+
+        // Phase 1 — ranked-path query latency over the mixed workload.
+        let plans = kg_bench_plans(args.fanout, args.k);
+        let mut latencies = Vec::new();
+        let mut hops = 0u64;
+        let mut visited = 0u64;
+        for plan in &plans {
+            let r = system.kg_query(plan); // warm-up + work counters
+            hops += r.hops;
+            visited += r.visited;
+            for _ in 0..QUERY_ITERS {
+                let t = Instant::now();
+                let r = system.kg_query(plan);
+                latencies.push(t.elapsed());
+                std::hint::black_box(r);
+            }
+        }
+        latencies.sort();
+        let qp50 = latencies[latencies.len() / 2];
+        let qp99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+
+        // Phase 2 — materialization. Full = re-extract every stored
+        // paper's tables and rebuild all profiles (what every mutation
+        // cost before the mutation-log store). Incremental = refresh
+        // one touched paper (what ingest costs now).
+        let publications = system.publications();
+        let epoch = publications.mutation_epoch();
+        let extract_all = || -> Vec<(String, Vec<covidkg::kg::Observation>)> {
+            publications
+                .scan_all()
+                .iter()
+                .map(|doc| {
+                    let id = doc
+                        .get("_id")
+                        .and_then(covidkg::json::Value::as_str)
+                        .unwrap_or_default()
+                        .to_string();
+                    let obs = bench_doc_observations(doc, &id);
+                    (id, obs)
+                })
+                .collect()
+        };
+        let mut full_times = Vec::new();
+        for _ in 0..FULL_REPEATS {
+            let t = Instant::now();
+            let mut store = ProfileStore::new();
+            store.rebuild_all(extract_all(), epoch);
+            full_times.push(t.elapsed());
+            std::hint::black_box(store.stats());
+        }
+        full_times.sort();
+        let full = full_times[full_times.len() / 2];
+
+        let papers = extract_all();
+        let target = papers
+            .iter()
+            .max_by_key(|(_, obs)| obs.len())
+            .map(|(id, _)| id.clone())
+            .ok_or("no stored papers to refresh")?;
+        let mut store = ProfileStore::new();
+        store.rebuild_all(papers, epoch);
+        let mut incr_times = Vec::new();
+        for i in 0..INCR_REPEATS {
+            let touched = [target.clone()];
+            let t = Instant::now();
+            store.refresh(epoch + 1 + i as u64, &touched, |id| {
+                publications
+                    .get(id)
+                    .map(|doc| bench_doc_observations(&doc, id))
+                    .unwrap_or_default()
+            });
+            incr_times.push(t.elapsed());
+        }
+        incr_times.sort();
+        let incr = incr_times[incr_times.len() / 2];
+        let speedup = full.as_secs_f64() / incr.as_secs_f64().max(1e-9);
+        final_speedup = speedup;
+
+        let stats = system.profile_store().stats();
+        println!(
+            "  {n} docs: {} kg nodes, {} profiles from {} papers; query p50 {:.0} µs, \
+             p99 {:.0} µs; full rebuild {:.2} ms vs incremental {:.0} µs ({speedup:.1}x)",
+            system.kg().len(),
+            stats.profiles,
+            stats.papers,
+            qp50.as_secs_f64() * 1e6,
+            qp99.as_secs_f64() * 1e6,
+            full.as_secs_f64() * 1e3,
+            incr.as_secs_f64() * 1e6,
+        );
+        rows.push(covidkg::json::obj! {
+            "docs" => n,
+            "kg_nodes" => system.kg().len(),
+            "profiles" => stats.profiles as i64,
+            "profile_papers" => stats.papers as i64,
+            "observations" => stats.observations as i64,
+            "queries" => latencies.len(),
+            "hops" => hops as i64,
+            "visited" => visited as i64,
+            "query_p50_us" => qp50.as_secs_f64() * 1e6,
+            "query_p99_us" => qp99.as_secs_f64() * 1e6,
+            "full_rebuild_ms" => full.as_secs_f64() * 1e3,
+            "incremental_refresh_us" => incr.as_secs_f64() * 1e6,
+            "speedup" => speedup,
+        });
+    }
+    if final_speedup < 5.0 {
+        eprintln!(
+            "warning: largest corpus missed the target (incremental speedup \
+             {final_speedup:.1}x >= 5.0x)"
+        );
+    }
+    let report = covidkg::json::obj! {
+        "bench" => "kg",
+        "seed" => args.seed as i64,
+        "fanout" => args.fanout,
+        "k" => args.k,
+        "sizes" => covidkg::json::Value::Array(rows),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_kg.json");
+    std::fs::write(path, report.to_json_pretty() + "\n")
+        .map_err(|e| format!("write BENCH_kg.json: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// The `kg-table` body: regenerate the KG query/materialization table in
+/// `EXPERIMENTS.md` between its marker comments from `BENCH_kg.json`.
+fn kg_table() -> Result<(), String> {
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_kg.json");
+    let exp_path = concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md");
+    let raw = std::fs::read_to_string(bench_path)
+        .map_err(|e| format!("read {bench_path}: {e} (run `covidkg kg-bench` first)"))?;
+    let bench = covidkg::json::parse(&raw).map_err(|e| format!("parse BENCH_kg.json: {e}"))?;
+    let doc = std::fs::read_to_string(exp_path).map_err(|e| format!("read {exp_path}: {e}"))?;
+    let updated = splice_marked(&doc, "kg-table", &render_kg_table(&bench))?;
+    std::fs::write(exp_path, updated).map_err(|e| format!("write {exp_path}: {e}"))?;
+    println!("updated the KG table in EXPERIMENTS.md from BENCH_kg.json");
+    Ok(())
+}
+
+/// Render the markdown rows of the KG benchmark table.
+fn render_kg_table(bench: &covidkg::json::Value) -> String {
+    use covidkg::json::Value;
+    let num = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+    let int = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_i64()).unwrap_or(0);
+    let mut out = String::from(
+        "| corpus | kg nodes | profiles | query p50 | query p99 | full rebuild | \
+         incremental | speedup |\n|---|---|---|---|---|---|---|---|\n",
+    );
+    if let Some(Value::Array(sizes)) = bench.get("sizes") {
+        for r in sizes {
+            out.push_str(&format!(
+                "| {} docs | {} | {} | {:.0} µs | {:.0} µs | {:.2} ms | {:.0} µs | {:.1}x |\n",
+                int(r, "docs"),
+                int(r, "kg_nodes"),
+                int(r, "profiles"),
+                num(r, "query_p50_us"),
+                num(r, "query_p99_us"),
+                num(r, "full_rebuild_ms"),
+                num(r, "incremental_refresh_us"),
+                num(r, "speedup"),
             ));
         }
     }
