@@ -28,6 +28,9 @@ pub struct ClusterBias {
     pub cluster: usize,
     /// Publications assigned.
     pub docs: usize,
+    /// Trust-weighted cluster mass: the sum over members of their
+    /// source-credibility weight (equals `docs` under unit weights).
+    pub trust_mass: f64,
     /// Most frequent venue and its share of the cluster.
     pub dominant_venue: Option<(String, f64)>,
     /// Top terms characterizing the cluster (by frequency).
@@ -42,8 +45,17 @@ pub struct BiasReport {
     /// Gini coefficient over cluster sizes (0 = perfectly even coverage,
     /// → 1 = all mass in one topic).
     pub coverage_gini: f64,
+    /// Gini coefficient over *trust-weighted* cluster masses: coverage
+    /// as the reader experiences it once low-credibility sources are
+    /// discounted. A gap above [`BiasReport::coverage_gini`] means some
+    /// topics rest on weaker sources than their raw document count
+    /// suggests.
+    pub trust_gini: f64,
     /// Clusters where one venue exceeds the concentration threshold.
     pub venue_flags: Vec<usize>,
+    /// Clusters whose mean per-document trust falls below half the
+    /// corpus mean — topics the KG covers, but from weak provenance.
+    pub low_trust_flags: Vec<usize>,
     /// Fraction of publications dated in the most recent year present.
     pub recent_fraction: f64,
 }
@@ -51,14 +63,35 @@ pub struct BiasReport {
 /// Venue share above which a cluster is flagged as venue-concentrated.
 const VENUE_CONCENTRATION: f64 = 0.5;
 
+/// Mean-trust ratio below which a cluster is flagged as low-provenance.
+const LOW_TRUST_RATIO: f64 = 0.5;
+
 /// Interrogate stored publication documents. `k` is the number of topic
-/// clusters to probe (the system uses its topic count).
+/// clusters to probe (the system uses its topic count). Every document
+/// carries unit weight — the pre-trust-era report, kept as the
+/// equivalence baseline for [`interrogate_weighted`].
 pub fn interrogate(docs: &[Value], embeddings: &Word2Vec, k: usize) -> BiasReport {
+    interrogate_weighted(docs, embeddings, k, |_| 1.0)
+}
+
+/// [`interrogate`] with per-document credibility weights (the trust
+/// store's venue priors): cluster masses, the trust Gini and the
+/// low-trust flags are computed over `weight(paper_id)` instead of raw
+/// counts, so a topic backed by many weak sources reads as thinner than
+/// one backed by few strong ones.
+pub fn interrogate_weighted(
+    docs: &[Value],
+    embeddings: &Word2Vec,
+    k: usize,
+    weight: impl Fn(&str) -> f64,
+) -> BiasReport {
     if docs.is_empty() || k == 0 {
         return BiasReport {
             clusters: Vec::new(),
             coverage_gini: 0.0,
+            trust_gini: 0.0,
             venue_flags: Vec::new(),
+            low_trust_flags: Vec::new(),
             recent_fraction: 0.0,
         };
     }
@@ -81,6 +114,10 @@ pub fn interrogate(docs: &[Value], embeddings: &Word2Vec, k: usize) -> BiasRepor
     let mut clusters = Vec::with_capacity(k);
     let mut venue_flags = Vec::new();
     for (c, members) in cluster_docs.iter().enumerate() {
+        let trust_mass: f64 = members
+            .iter()
+            .map(|d| weight(d.get("_id").and_then(Value::as_str).unwrap_or_default()))
+            .sum();
         // Venue concentration.
         let mut venues: HashMap<&str, usize> = HashMap::new();
         for d in members {
@@ -113,14 +150,27 @@ pub fn interrogate(docs: &[Value], embeddings: &Word2Vec, k: usize) -> BiasRepor
         clusters.push(ClusterBias {
             cluster: c,
             docs: members.len(),
+            trust_mass,
             dominant_venue,
             top_terms: terms.into_iter().take(4).map(|(t, _)| t).collect(),
         });
     }
 
-    // Coverage Gini over cluster sizes.
+    // Coverage Gini over cluster sizes, and over trust-weighted masses.
     let sizes: Vec<f64> = clusters.iter().map(|c| c.docs as f64).collect();
     let coverage_gini = gini(&sizes);
+    let masses: Vec<f64> = clusters.iter().map(|c| c.trust_mass).collect();
+    let trust_gini = gini(&masses);
+
+    // Low-provenance topics: mean per-document trust well below the
+    // corpus mean (only meaningful for clusters with members).
+    let total_mass: f64 = masses.iter().sum();
+    let corpus_mean = total_mass / docs.len() as f64;
+    let low_trust_flags: Vec<usize> = clusters
+        .iter()
+        .filter(|c| c.docs >= 3 && c.trust_mass / (c.docs as f64) < LOW_TRUST_RATIO * corpus_mean)
+        .map(|c| c.cluster)
+        .collect();
 
     // Temporal freshness: share of docs in the latest year observed.
     let years: Vec<i32> = docs
@@ -142,7 +192,9 @@ pub fn interrogate(docs: &[Value], embeddings: &Word2Vec, k: usize) -> BiasRepor
     BiasReport {
         clusters,
         coverage_gini,
+        trust_gini,
         venue_flags,
+        low_trust_flags,
         recent_fraction,
     }
 }
@@ -168,6 +220,40 @@ fn gini(xs: &[f64]) -> f64 {
 }
 
 impl BiasReport {
+    /// JSON form — the single serialization behind the `/bias/report`
+    /// wire route and the `covidkg bias` CLI, so both surfaces are
+    /// byte-identical by construction.
+    pub fn to_json(&self) -> Value {
+        let flags = |v: &[usize]| Value::Array(v.iter().map(|&c| Value::int(c as i64)).collect());
+        covidkg_json::obj! {
+            "coverage_gini" => self.coverage_gini,
+            "trust_gini" => self.trust_gini,
+            "recent_fraction" => self.recent_fraction,
+            "venue_flags" => flags(&self.venue_flags),
+            "low_trust_flags" => flags(&self.low_trust_flags),
+            "clusters" => Value::Array(
+                self.clusters
+                    .iter()
+                    .map(|c| covidkg_json::obj! {
+                        "cluster" => c.cluster as i64,
+                        "docs" => c.docs as i64,
+                        "trust_mass" => c.trust_mass,
+                        "dominant_venue" => match &c.dominant_venue {
+                            Some((v, share)) => covidkg_json::obj! {
+                                "venue" => v.as_str(),
+                                "share" => *share,
+                            },
+                            None => Value::Null,
+                        },
+                        "top_terms" => Value::Array(
+                            c.top_terms.iter().map(|t| Value::str(t.clone())).collect()
+                        ),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
     /// Render the interrogation report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -180,6 +266,16 @@ impl BiasReport {
                 "balanced"
             } else {
                 "SKEWED — some topics dominate the KG's inputs"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "trust-weighted Gini   : {:.3}{}",
+            self.trust_gini,
+            if self.trust_gini > self.coverage_gini + 0.05 {
+                " (skew WORSENS once sources are credibility-weighted)"
+            } else {
+                ""
             }
         );
         let _ = writeln!(
@@ -197,6 +293,16 @@ impl BiasReport {
                 VENUE_CONCENTRATION * 100.0
             );
         }
+        if self.low_trust_flags.is_empty() {
+            let _ = writeln!(out, "provenance strength   : no low-trust cluster");
+        } else {
+            let _ = writeln!(
+                out,
+                "provenance strength   : {} cluster(s) LOW-TRUST (mean trust <{:.0}% of corpus mean)",
+                self.low_trust_flags.len(),
+                LOW_TRUST_RATIO * 100.0
+            );
+        }
         for c in &self.clusters {
             let venue = c
                 .dominant_venue
@@ -205,9 +311,10 @@ impl BiasReport {
                 .unwrap_or_else(|| "-".into());
             let _ = writeln!(
                 out,
-                "  cluster {:<2} {:>4} docs  top venue {:<38} terms: {}",
+                "  cluster {:<2} {:>4} docs  trust {:>6.2}  top venue {:<38} terms: {}",
                 c.cluster,
                 c.docs,
+                c.trust_mass,
                 venue,
                 c.top_terms.join(", ")
             );
@@ -272,6 +379,43 @@ mod tests {
         // absolute band rather than the (noisy) balanced value alone.
         assert!(report.coverage_gini > 0.45, "skewed gini {}", report.coverage_gini);
         assert!(balanced.coverage_gini < report.coverage_gini);
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_the_unweighted_report() {
+        let (docs, w2v) = setup(48);
+        let report = interrogate(&docs, &w2v, 12);
+        for c in &report.clusters {
+            assert!((c.trust_mass - c.docs as f64).abs() < 1e-9);
+        }
+        assert!((report.trust_gini - report.coverage_gini).abs() < 1e-9);
+        assert!(report.low_trust_flags.is_empty());
+    }
+
+    #[test]
+    fn credibility_weights_reshape_cluster_mass() {
+        let (docs, w2v) = setup(48);
+        // Discount one venue to the floor; clusters holding its papers
+        // lose mass while doc counts stay put.
+        let victim = docs[0].path("venue").and_then(Value::as_str).unwrap().to_string();
+        let weights: HashMap<String, f64> = docs
+            .iter()
+            .map(|d| {
+                let id = d.get("_id").and_then(Value::as_str).unwrap().to_string();
+                let v = d.path("venue").and_then(Value::as_str).unwrap();
+                (id, if v == victim { 0.05 } else { 1.0 })
+            })
+            .collect();
+        let report = interrogate_weighted(&docs, &w2v, 12, |id| weights[id]);
+        let total_docs: usize = report.clusters.iter().map(|c| c.docs).sum();
+        let total_mass: f64 = report.clusters.iter().map(|c| c.trust_mass).sum();
+        assert!(total_mass < total_docs as f64, "discounted venue must shed mass");
+        for c in &report.clusters {
+            assert!(c.trust_mass <= c.docs as f64 + 1e-9);
+        }
+        let json = report.to_json().to_json();
+        assert!(json.contains("trust_gini"));
+        assert!(json.contains("trust_mass"));
     }
 
     #[test]

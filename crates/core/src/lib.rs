@@ -27,14 +27,18 @@ pub mod registry;
 pub mod system;
 pub mod training;
 
-pub use bias::{interrogate, BiasReport};
+pub use bias::{interrogate, interrogate_weighted, BiasReport};
 // KG query-engine surface, re-exported so serving layers can accept
 // plans and report profile-store counters without a direct kg dep.
 pub use covidkg_kg::materialize::ProfileStoreStats;
 pub use covidkg_kg::query::{QueryPlan, QueryResult};
+// Trust-store counters, re-exported for the same reason.
+pub use covidkg_trust::TrustStoreStats;
 pub use dense::{build_ann, doc_embedding, sync_ann};
 pub use registry::ModelRegistry;
-pub use system::{CovidKg, CovidKgConfig, IngestReport, PreparedIngest};
+pub use system::{
+    doc_paper_facts, scan_paper_facts, CovidKg, CovidKgConfig, IngestReport, PreparedIngest,
+};
 pub use training::{
     SvmFeaturizer,
     build_tuple_examples, build_svm_features, kfold_bigru, kfold_svm, CvReport, LabeledRow,

@@ -29,7 +29,8 @@ use covidkg_search::{
 use covidkg_store::{Collection, CollectionConfig, Database, StoreError};
 use covidkg_tables::{detect_orientation, parse_tables, row_features, Orientation, Preprocessor};
 use covidkg_text::tokenize_lower;
-use std::sync::Arc;
+use covidkg_trust::{PaperFacts, TrustStore};
+use std::sync::{Arc, Mutex};
 
 /// Capacity of the search render cache (memoized snippets/highlights);
 /// entries are small (a title plus a handful of snippet strings), so a few
@@ -204,6 +205,13 @@ pub struct CovidKg {
     /// off the publications mutation log (plus the ingest new-id list)
     /// instead of full rebuilds.
     profiles: ProfileStore,
+    /// Provenance-weighted trust scores: venue credibility priors plus
+    /// damped propagation over the KG, maintained incrementally off the
+    /// same mutation log as the profiles.
+    trust: TrustStore,
+    /// Memoized bias interrogation, keyed by `(trust epoch, data
+    /// generation)` so a report recomputes only after data changed.
+    bias_cache: Mutex<Option<(u64, u64, Value)>>,
     registry: ModelRegistry,
     embeddings: Word2Vec,
     /// Dense retrieval tier: HNSW over title+abstract embeddings.
@@ -305,6 +313,16 @@ impl CovidKg {
         profiles.rebuild_all(group_by_paper(observations), publications.mutation_epoch());
         profiles.set_generation(1);
 
+        // Trust tier: venue credibility priors + propagation over the
+        // freshly fused graph, kept incremental by later ingests.
+        let mut trust = TrustStore::new();
+        trust.rebuild_all(
+            scan_paper_facts(&publications),
+            &kg,
+            publications.mutation_epoch(),
+        );
+        trust.set_generation(1);
+
         // №11/13 — release trained artifacts.
         let registry =
             ModelRegistry::over(db.create_collection(CollectionConfig::new("models").with_shards(2))?);
@@ -337,6 +355,8 @@ impl CovidKg {
             search,
             kg,
             profiles,
+            trust,
+            bias_cache: Mutex::new(None),
             registry,
             embeddings,
             ann,
@@ -469,6 +489,13 @@ impl CovidKg {
             publications.mutation_epoch(),
         );
         profiles.set_generation(1);
+        let mut trust = TrustStore::new();
+        trust.rebuild_all(
+            scan_paper_facts(&publications),
+            &kg,
+            publications.mutation_epoch(),
+        );
+        trust.set_generation(1);
         let report = IngestReport {
             publications: publications.len(),
             kg_nodes: kg.len(),
@@ -497,6 +524,8 @@ impl CovidKg {
             search,
             kg,
             profiles,
+            trust,
+            bias_cache: Mutex::new(None),
             registry,
             embeddings,
             ann,
@@ -640,6 +669,24 @@ impl CovidKg {
             }
         }
         self.report.observations = self.profiles.stats().observations;
+        // Same discipline for the trust tier: replay the mutation log
+        // since *its* epoch plus the new-id list, re-extracting facts
+        // only for touched papers and re-propagating only the dirty
+        // region of the (post-fusion) graph; full rebuild only when the
+        // bounded log overflowed.
+        match self.publications.touched_since(self.trust.epoch()) {
+            Some(mut touched) => {
+                touched.extend(new_ids.iter().cloned());
+                let publications = &self.publications;
+                self.trust.refresh(epoch, &touched, &self.kg, |id| {
+                    publications.get(id).map(|doc| doc_paper_facts(&doc, id))
+                });
+            }
+            None => {
+                self.trust
+                    .rebuild_all(scan_paper_facts(&self.publications), &self.kg, epoch);
+            }
+        }
         // Keep the dense tier fresh: incremental inserts for the new
         // publications, mutation-log replay for replaces/deletes.
         self.ann_epoch = crate::dense::sync_ann(
@@ -651,6 +698,7 @@ impl CovidKg {
         );
         self.generation += 1;
         self.profiles.set_generation(self.generation);
+        self.trust.set_generation(self.generation);
         Ok(added)
     }
 
@@ -699,8 +747,14 @@ impl CovidKg {
         self.report.observations = self.profiles.stats().observations;
         self.ann = crate::dense::build_ann(&self.publications, &self.embeddings, *self.ann.config());
         self.ann_epoch = self.publications.mutation_epoch();
+        self.trust.rebuild_all(
+            scan_paper_facts(&self.publications),
+            &self.kg,
+            self.publications.mutation_epoch(),
+        );
         self.generation += 1;
         self.profiles.set_generation(self.generation);
+        self.trust.set_generation(self.generation);
         Ok(())
     }
 
@@ -802,9 +856,52 @@ impl CovidKg {
     /// Execute a graph query plan: bounded multi-hop traversal over the
     /// KG returning top-k ranked paths. The single implementation every
     /// surface (CLI, serve layer, HTTP front-end) calls, so wire
-    /// responses are byte-identical to in-process results.
+    /// responses are byte-identical to in-process results. Runs through
+    /// the plan-level optimizer (co-index elision + selectivity-driven
+    /// anchor reversal), which is equivalence-tested against the plain
+    /// engine.
     pub fn kg_query(&self, plan: &QueryPlan) -> QueryResult {
-        covidkg_kg::execute(&self.kg, plan)
+        covidkg_kg::execute_optimized(&self.kg, plan)
+    }
+
+    /// [`CovidKg::kg_query`] with trust-aware re-ranking: each path's
+    /// score is fused with the mean propagated trust of its nodes
+    /// (`score × (0.5 + 0.5·trust)`), re-sorted, and serialized with
+    /// per-path `trust`/`trusted_score` fields plus the trust store's
+    /// epoch stamp. The `trust=1` knob on `GET /kg/query`.
+    pub fn kg_query_trusted(&self, plan: &QueryPlan) -> Value {
+        let result = self.kg_query(plan);
+        let mut paths: Vec<(f64, f64, &covidkg_kg::RankedPath)> = result
+            .paths
+            .iter()
+            .map(|p| {
+                let mean = if p.nodes.is_empty() {
+                    0.0
+                } else {
+                    p.nodes.iter().filter_map(|&n| self.trust.trust(n)).sum::<f64>()
+                        / p.nodes.len() as f64
+                };
+                (p.score * (0.5 + 0.5 * mean), mean, p)
+            })
+            .collect();
+        paths.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.2.nodes.cmp(&b.2.nodes)));
+        covidkg_json::obj! {
+            "paths" => Value::Array(
+                paths
+                    .iter()
+                    .map(|(trusted_score, trust, p)| {
+                        let mut v = p.to_json();
+                        v.insert("trust", *trust);
+                        v.insert("trusted_score", *trusted_score);
+                        v
+                    })
+                    .collect(),
+            ),
+            "hops" => result.hops as i64,
+            "visited" => result.visited as i64,
+            "epoch" => self.trust.epoch() as i64,
+            "generation" => self.generation as i64,
+        }
     }
 
     /// One vaccine's epoch-stamped meta-profile document (JSON +
@@ -862,14 +959,123 @@ impl CovidKg {
     }
 
     /// Interrogate the stored corpus for bias (title claim): embedding-
-    /// driven clustering with coverage/venue/freshness skew indicators.
+    /// driven clustering with coverage/venue/freshness skew indicators,
+    /// re-founded on the trust store — cluster masses are weighted by
+    /// each paper's incrementally-maintained venue credibility prior.
     pub fn bias_report(&self) -> crate::bias::BiasReport {
-        crate::bias::interrogate(
+        crate::bias::interrogate_weighted(
             &self.publications.scan_all(),
             &self.embeddings,
             covidkg_corpus::all_topics().len(),
+            |paper_id| self.trust.paper_weight(paper_id),
         )
     }
+
+    /// The epoch-stamped bias interrogation document — the single
+    /// serialization behind `GET /bias/report` and `covidkg bias`.
+    /// Memoized per `(trust epoch, generation)`: the expensive
+    /// embed-and-cluster pass reruns only after data actually changed,
+    /// which is what makes online interrogation viable as wire traffic.
+    pub fn bias_document(&self) -> Value {
+        let key = (self.trust.epoch(), self.generation);
+        if let Some((e, g, doc)) = self.bias_cache.lock().unwrap().as_ref() {
+            if (*e, *g) == key {
+                return doc.clone();
+            }
+        }
+        let report = self.bias_report();
+        let doc = covidkg_json::obj! {
+            "report" => report.to_json(),
+            "rendered" => report.render(),
+            "epoch" => key.0 as i64,
+            "generation" => key.1 as i64,
+        };
+        *self.bias_cache.lock().unwrap() = Some((key.0, key.1, doc.clone()));
+        doc
+    }
+
+    /// The provenance-weighted trust store (stats/metrics surface).
+    pub fn trust_store(&self) -> &TrustStore {
+        &self.trust
+    }
+
+    /// One KG node's epoch-stamped trust document, or `None` for an
+    /// out-of-range id. The single implementation behind the
+    /// `GET /trust/node/{id}` wire route.
+    pub fn trust_node(&self, id: covidkg_kg::NodeId) -> Option<Value> {
+        self.trust.node_document(id)
+    }
+
+    /// One venue's credibility document (prior components + epoch), or
+    /// `None` for an unknown venue — behind `GET /trust/source/{venue}`.
+    pub fn trust_source(&self, venue: &str) -> Option<Value> {
+        self.trust.source_document(venue)
+    }
+
+    /// A paper's credibility weight: its venue's prior, or the floor
+    /// for papers from unknown venues. The `trust=1` re-rank knob on
+    /// `/search/*` reads this.
+    pub fn trust_paper_weight(&self, paper_id: &str) -> f64 {
+        self.trust.paper_weight(paper_id)
+    }
+}
+
+/// Extract one stored publication's trust facts: venue, publication
+/// year, structural density (tables/captions), and the claim keys its
+/// side-effect tables support (`vaccine|effect`, the corroboration
+/// currency). Classifier-free, like [`doc_observations`].
+pub fn doc_paper_facts(doc: &Value, paper_id: &str) -> PaperFacts {
+    let venue = doc
+        .path("venue")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let year = doc
+        .path("date")
+        .and_then(Value::as_str)
+        .and_then(|s| s.get(..4))
+        .and_then(|y| y.parse().ok())
+        .unwrap_or(0);
+    let mut tables = 0usize;
+    let mut captions = 0usize;
+    if let Some(ts) = doc.path("tables").and_then(Value::as_array) {
+        for t in ts {
+            if let Some(html) = t.path("html").and_then(Value::as_str) {
+                tables += 1;
+                captions += html.matches("<caption").count();
+            }
+        }
+    }
+    let claims = doc_observations(doc, paper_id)
+        .iter()
+        .map(|o| format!("{}|{}", o.vaccine.to_lowercase(), o.effect.to_lowercase()))
+        .collect();
+    PaperFacts {
+        paper_id: paper_id.to_string(),
+        venue,
+        year,
+        tables,
+        captions,
+        claims,
+    }
+    .canonicalize()
+}
+
+/// [`doc_paper_facts`] over the whole collection — the trust store's
+/// full-rebuild feed.
+pub fn scan_paper_facts(publications: &Collection) -> Vec<PaperFacts> {
+    publications
+        .scan_all()
+        .iter()
+        .map(|doc| {
+            let id = doc
+                .get("_id")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            doc_paper_facts(doc, &id)
+        })
+        .collect()
 }
 
 /// Run the trained classifier over every table in `docs`, extracting
@@ -1325,6 +1531,76 @@ mod tests {
             .sum();
         assert!(profiles_after >= profiles_before);
     }
+    #[test]
+    fn trust_tier_scores_and_tracks_ingest() {
+        let mut system = CovidKg::build(small_config()).unwrap();
+        let stats = system.trust_store().stats();
+        assert_eq!(stats.papers, 36);
+        assert!(stats.venues > 0, "corpus venues feed the ledger");
+        assert_eq!(stats.nodes, system.kg().len());
+        assert_eq!(stats.generation, 1);
+        // Documents serve for every node; unknown ids/venues miss.
+        let node = system.trust_node(0).expect("root document");
+        let trust = node.path("trust").and_then(Value::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&trust));
+        assert!(system.trust_node(usize::MAX).is_none());
+        let venue = system.trust_store().venues().next().unwrap().to_string();
+        let source = system.trust_source(&venue).expect("venue document");
+        assert!(source.path("prior").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(system.trust_source("no-such-venue").is_none());
+        // Paper weights: known papers get their venue prior, unknown
+        // papers the floor.
+        assert!(system.trust_paper_weight("paper-0") >= covidkg_trust::prior::PRIOR_FLOOR);
+
+        // Ingest maintains the store incrementally (equivalence to a
+        // full rebuild is pinned by crates/trust/tests/trust_prop.rs).
+        let new_pubs: Vec<_> = covidkg_corpus::CorpusGenerator::with_size(48, 42)
+            .generate()
+            .into_iter()
+            .skip(36)
+            .collect();
+        system.ingest(&new_pubs).unwrap();
+        let after = system.trust_store().stats();
+        assert_eq!(after.papers, 48);
+        assert!(after.incremental_refreshes >= 1, "ingest must not rebuild");
+        assert_eq!(after.generation, 2);
+        assert_eq!(after.nodes, system.kg().len(), "fusion growth tracked");
+    }
+
+    #[test]
+    fn bias_document_memoizes_and_carries_trust() {
+        let system = CovidKg::build(small_config()).unwrap();
+        let a = system.bias_document();
+        let b = system.bias_document();
+        assert_eq!(a.to_json(), b.to_json(), "same epoch → cached byte-identical");
+        assert!(a.path("report.trust_gini").and_then(Value::as_f64).is_some());
+        assert_eq!(a.path("generation").and_then(Value::as_i64), Some(1));
+        assert!(a
+            .path("rendered")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("bias interrogation"));
+    }
+
+    #[test]
+    fn trusted_query_reranks_with_trust_fields() {
+        let system = CovidKg::build(small_config()).unwrap();
+        let plan = QueryPlan::parse("node:0", "child,child", 8, 5).unwrap();
+        let plain = system.kg_query(&plan);
+        let trusted = system.kg_query_trusted(&plan);
+        let paths = trusted.path("paths").and_then(Value::as_array).unwrap();
+        assert_eq!(paths.len(), plain.paths.len());
+        let mut prev = f64::INFINITY;
+        for p in paths {
+            let t = p.path("trust").and_then(Value::as_f64).unwrap();
+            assert!((0.0..=1.0).contains(&t));
+            let ts = p.path("trusted_score").and_then(Value::as_f64).unwrap();
+            assert!(ts <= prev + 1e-12, "trusted_score must be non-increasing");
+            prev = ts;
+        }
+        assert!(trusted.path("epoch").and_then(Value::as_i64).is_some());
+    }
+
     #[test]
     fn bigru_classifier_choice_builds() {
         let cfg = CovidKgConfig {

@@ -24,7 +24,8 @@
 //!   (kind/provenance predicate filters, co-occurrence expansion over
 //!   shared-paper provenance) executed as bounded iterative traversal
 //!   returning top-k ranked paths, with an exhaustive-DFS oracle for
-//!   equivalence testing;
+//!   equivalence testing and a plan-level optimizer that anchors the
+//!   traversal at the estimated-more-selective end;
 //! * [`materialize`] — incrementally-materialized meta-profile
 //!   documents: kept fresh off the collection mutation log instead of
 //!   full rebuilds, epoch-stamped so stale profiles are never served.
@@ -43,6 +44,7 @@ pub use graph::{KnowledgeGraph, NodeId, NodeKind, SearchHit};
 pub use materialize::{profile_document, ProfileStore, ProfileStoreStats};
 pub use profile::{build_meta_profiles, MetaProfile, Observation};
 pub use query::{
-    execute, execute_oracle, HopRel, HopStep, QueryPlan, QueryResult, RankedPath, StartSet,
+    execute, execute_optimized, execute_oracle, HopRel, HopStep, QueryPlan, QueryResult,
+    RankedPath, StartSet,
 };
 pub use seed::seed_graph;

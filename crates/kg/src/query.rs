@@ -364,7 +364,10 @@ impl TopK {
 /// The serving engine: iterative explicit-stack traversal with a
 /// bounded top-k buffer and hop/visit counters.
 pub fn execute(kg: &KnowledgeGraph, plan: &QueryPlan) -> QueryResult {
-    let co = CoIndex::build(kg);
+    execute_with(kg, &CoIndex::build(kg), plan)
+}
+
+fn execute_with(kg: &KnowledgeGraph, co: &CoIndex, plan: &QueryPlan) -> QueryResult {
     let mut top = TopK { k: plan.k, items: Vec::new() };
     let mut hops = 0u64;
     let mut visited = 0u64;
@@ -381,7 +384,7 @@ pub fn execute(kg: &KnowledgeGraph, plan: &QueryPlan) -> QueryResult {
             top.push(ranked(kg, path));
             continue;
         }
-        let next = successors(kg, &co, &path, &plan.steps[depth], plan.max_fanout);
+        let next = successors(kg, co, &path, &plan.steps[depth], plan.max_fanout);
         hops += next.len() as u64;
         for &n in next.iter().rev() {
             let mut p = path.clone();
@@ -390,6 +393,185 @@ pub fn execute(kg: &KnowledgeGraph, plan: &QueryPlan) -> QueryResult {
         }
     }
     QueryResult { paths: top.items, hops, visited }
+}
+
+/// Does a node satisfy one hop step's predicate filters?
+fn matches_step(node: &crate::graph::Node, step: &HopStep) -> bool {
+    if let Some(k) = step.kind {
+        if node.kind != k {
+            return false;
+        }
+    }
+    if let Some(p) = &step.provenance {
+        if !node.provenance.iter().any(|pp| pp == p) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Can the plan's results provably not depend on fanout truncation?
+/// Holds when the untruncated start set and every node's total degree
+/// fit under `max_fanout` — then both the forward engine and a reversed
+/// traversal enumerate the *same complete path set* exhaustively, so
+/// reordering is free. Co-occurrence hops are excluded: their candidate
+/// lists are unions over shared papers with no cheap degree bound.
+fn reversal_safe(kg: &KnowledgeGraph, plan: &QueryPlan) -> bool {
+    if plan.steps.is_empty() || plan.steps.iter().any(|s| s.rel == HopRel::CoOccur) {
+        return false;
+    }
+    if untruncated_start_len(kg, plan) > plan.max_fanout {
+        return false;
+    }
+    kg.nodes()
+        .iter()
+        .all(|n| n.children.len() + n.parents.len() <= plan.max_fanout)
+}
+
+/// Start-set cardinality *before* the `max_fanout` truncation.
+fn untruncated_start_len(kg: &KnowledgeGraph, plan: &QueryPlan) -> usize {
+    match &plan.start {
+        StartSet::Term(t) => {
+            let mut ids = kg.find_by_term(t);
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        }
+        StartSet::Kind(k) => kg.nodes().iter().filter(|n| n.kind == *k).count(),
+        StartSet::Node(id) => usize::from(*id < kg.len()),
+    }
+}
+
+/// Estimated frontier size after anchoring at `anchor` nodes and
+/// expanding through `steps`: anchor cardinality × per-step expected
+/// fanout (mean degree for the relation, scaled by the kind predicate's
+/// population fraction and a flat penalty for provenance filters). All
+/// integer-derived floats, so the estimate — and hence the chosen
+/// direction — is deterministic for a given graph.
+fn estimate_cost(kg: &KnowledgeGraph, anchor: usize, steps: &[&HopStep], reversed: bool) -> f64 {
+    let n = kg.len().max(1) as f64;
+    let (child_edges, parent_edges) = kg.nodes().iter().fold((0usize, 0usize), |(c, p), node| {
+        (c + node.children.len(), p + node.parents.len())
+    });
+    let kind_count = |k: NodeKind| kg.nodes().iter().filter(|x| x.kind == k).count() as f64;
+    let mut cost = anchor as f64;
+    for step in steps {
+        let mean_fanout = match (step.rel, reversed) {
+            (HopRel::Child, false) | (HopRel::Parent, true) => child_edges as f64 / n,
+            (HopRel::Parent, false) | (HopRel::Child, true) => parent_edges as f64 / n,
+            _ => (child_edges + parent_edges) as f64 / n,
+        };
+        let kind_fraction = match step.kind {
+            Some(k) => kind_count(k) / n,
+            None => 1.0,
+        };
+        let provenance_penalty = if step.provenance.is_some() { 0.25 } else { 1.0 };
+        cost *= (mean_fanout * kind_fraction * provenance_penalty).max(0.05);
+    }
+    cost
+}
+
+/// Plan-level query optimization: pick the cheaper traversal anchor by
+/// estimated selectivity before touching the graph.
+///
+/// Two rewrites, both result-preserving:
+///
+/// 1. **Co-index elision** — the paper→nodes co-occurrence index is
+///    built only when the plan actually contains a `co` hop, instead of
+///    unconditionally per execution.
+/// 2. **Anchor reversal** — when the terminal step's predicate set is
+///    estimated more selective than the start set (terminal cardinality
+///    × reversed-step fanout products vs start cardinality × forward
+///    products), traversal runs *backward* from the nodes matching the
+///    last step's predicates, following reversed relations, and keeps
+///    only paths landing in the start set. Applied only in the
+///    [`reversal_safe`] regime where fanout truncation provably cannot
+///    fire, so the enumerated path set — and therefore the ranked
+///    output — is byte-identical to [`execute`]. Work counters
+///    legitimately differ (that is the point).
+pub fn execute_optimized(kg: &KnowledgeGraph, plan: &QueryPlan) -> QueryResult {
+    if reversal_safe(kg, plan) {
+        let last = plan.steps.last().expect("non-empty in safe regime");
+        let terminal: Vec<NodeId> = kg
+            .nodes()
+            .iter()
+            .filter(|node| matches_step(node, last))
+            .map(|node| node.id)
+            .collect();
+        let fwd_steps: Vec<&HopStep> = plan.steps.iter().collect();
+        let rev_steps: Vec<&HopStep> = plan.steps.iter().rev().collect();
+        let fwd = estimate_cost(kg, untruncated_start_len(kg, plan), &fwd_steps, false);
+        let bwd = estimate_cost(kg, terminal.len(), &rev_steps, true);
+        if bwd < fwd {
+            return execute_backward(kg, plan, terminal);
+        }
+    }
+    let co = if plan.steps.iter().any(|s| s.rel == HopRel::CoOccur) {
+        CoIndex::build(kg)
+    } else {
+        CoIndex { by_paper: HashMap::new() }
+    };
+    execute_with(kg, &co, plan)
+}
+
+/// Exhaustive reversed traversal for the [`reversal_safe`] regime:
+/// anchor at `terminal` (nodes matching the last step's predicates),
+/// walk reversed relations toward position 0, accept paths whose far
+/// end lies in the start set, then rank exactly like the oracle.
+fn execute_backward(kg: &KnowledgeGraph, plan: &QueryPlan, terminal: Vec<NodeId>) -> QueryResult {
+    let start: BTreeSet<NodeId> = start_nodes(kg, plan).into_iter().collect();
+    let len = plan.steps.len();
+    let mut all: Vec<RankedPath> = Vec::new();
+    let mut hops = 0u64;
+    let mut visited = 0u64;
+    // Reversed partial paths: rpath[i] holds the node at forward
+    // position `len - i`, so a complete rpath ends at position 0.
+    let mut stack: Vec<Vec<NodeId>> = terminal.into_iter().map(|n| vec![n]).collect();
+    while let Some(rpath) = stack.pop() {
+        visited += 1;
+        if rpath.len() == len + 1 {
+            let mut path = rpath;
+            path.reverse();
+            all.push(ranked(kg, path));
+            continue;
+        }
+        // Forward position of the head, and the step whose edge links it
+        // to the previous position.
+        let pos = len - (rpath.len() - 1);
+        let node = kg.node(*rpath.last().expect("rpath never empty"));
+        let mut cands: Vec<NodeId> = match plan.steps[pos - 1].rel {
+            // Forward `child` goes parent→child, so walk up to parents.
+            HopRel::Child => node.parents.clone(),
+            HopRel::Parent => node.children.clone(),
+            HopRel::Any => {
+                let mut v = node.children.clone();
+                v.extend_from_slice(&node.parents);
+                v
+            }
+            HopRel::CoOccur => unreachable!("excluded by reversal_safe"),
+        };
+        cands.sort_unstable();
+        cands.dedup();
+        cands.retain(|&c| {
+            if rpath.contains(&c) {
+                return false;
+            }
+            if pos - 1 == 0 {
+                start.contains(&c)
+            } else {
+                matches_step(kg.node(c), &plan.steps[pos - 2])
+            }
+        });
+        hops += cands.len() as u64;
+        for c in cands {
+            let mut p = rpath.clone();
+            p.push(c);
+            stack.push(p);
+        }
+    }
+    all.sort_by(better);
+    all.truncate(plan.k);
+    QueryResult { paths: all, hops, visited }
 }
 
 /// The naive oracle: recursive exhaustive DFS collecting every
@@ -541,6 +723,72 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn optimized_matches_engine_on_fixed_graphs() {
+        for (kg, plans) in [
+            (provenance_graph(), vec![
+                plan("node:0", "child,child"),
+                plan("kind:entity", "parent,child"),
+                plan("kind:category", "any,any"),
+                plan("kind:entity", "parent,child:entity:paper-2"),
+                plan("term:pfizer", "co,co"),
+            ]),
+            (seed_graph(), vec![
+                plan("node:0", "child,child,child"),
+                plan("kind:category", "parent"),
+                plan("kind:entity", "parent,parent"),
+                plan("term:symptoms", "any,any"),
+            ]),
+        ] {
+            for p in plans {
+                let engine = execute(&kg, &p);
+                let optimized = execute_optimized(&kg, &p);
+                assert_eq!(
+                    engine.paths_json().to_json(),
+                    optimized.paths_json().to_json(),
+                    "plan {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reversal_anchors_at_the_selective_end() {
+        // Broad start (every entity), needle terminal (provenance
+        // filter matching one node): reversal must fire, and fire
+        // cheaper — strictly fewer node expansions than forward.
+        let kg = provenance_graph();
+        let p = plan("kind:entity", "parent,child::paper-1");
+        assert!(reversal_safe(&kg, &p));
+        let forward = execute(&kg, &p);
+        let optimized = execute_optimized(&kg, &p);
+        assert_eq!(
+            forward.paths_json().to_json(),
+            optimized.paths_json().to_json()
+        );
+        assert!(
+            optimized.visited < forward.visited,
+            "backward {} vs forward {}",
+            optimized.visited,
+            forward.visited
+        );
+    }
+
+    #[test]
+    fn reversal_declines_unsafe_regimes() {
+        let kg = provenance_graph();
+        // Co hops have no degree bound.
+        assert!(!reversal_safe(&kg, &plan("node:0", "co")));
+        // Tiny fanout: truncation may fire, order matters.
+        let narrow = QueryPlan::parse("kind:entity", "parent,child", 1, 10).unwrap();
+        assert!(!reversal_safe(&kg, &narrow));
+        // Still correct through the fallback path.
+        assert_eq!(
+            execute(&kg, &narrow).paths_json().to_json(),
+            execute_optimized(&kg, &narrow).paths_json().to_json()
+        );
     }
 
     #[test]

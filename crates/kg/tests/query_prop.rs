@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 use covidkg_kg::materialize::ProfileStore;
 use covidkg_kg::profile::Observation;
-use covidkg_kg::query::{execute, execute_oracle, QueryPlan};
+use covidkg_kg::query::{execute, execute_optimized, execute_oracle, QueryPlan};
 use covidkg_kg::{KnowledgeGraph, NodeKind};
 use covidkg_rand::rngs::SmallRng;
 use covidkg_rand::{prop, Rng};
@@ -172,6 +172,14 @@ fn engine_matches_oracle_on_random_graphs() {
             let oracle = execute_oracle(&kg, &plan).paths_json().to_json();
             if engine != oracle {
                 return Err(format!("engine != oracle\n  engine: {engine}\n  oracle: {oracle}"));
+            }
+            // The plan optimizer (co-index elision + selectivity-driven
+            // anchor reversal) must be invisible in the ranked output.
+            let optimized = execute_optimized(&kg, &plan).paths_json().to_json();
+            if optimized != engine {
+                return Err(format!(
+                    "optimizer changed results\n  engine:    {engine}\n  optimized: {optimized}"
+                ));
             }
             Ok(())
         },

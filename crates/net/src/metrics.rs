@@ -213,6 +213,31 @@ pub struct KgExposition {
     pub profile_epoch: u64,
 }
 
+/// Trust-tier series for the exposition, gathered from the
+/// provenance-weighted trust store behind the `/trust/*` and
+/// `/bias/report` routes (the fourth traffic class).
+#[derive(Debug, Clone, Default)]
+pub struct TrustExposition {
+    /// Papers contributing provenance to the trust store.
+    pub papers: u64,
+    /// Distinct source venues with credibility priors.
+    pub venues: u64,
+    /// Extracted claims backing venue corroboration.
+    pub claims: u64,
+    /// KG nodes carrying a propagated trust score.
+    pub nodes: u64,
+    /// Incremental (mutation-log driven) trust refreshes.
+    pub incremental_refreshes: u64,
+    /// Full trust rebuilds (initial build or log overflow).
+    pub full_rebuilds: u64,
+    /// Nodes re-propagated across all incremental refreshes.
+    pub nodes_repropagated: u64,
+    /// Collection mutation epoch the trust store replayed up to.
+    pub epoch: u64,
+    /// Data generation stamped into trust documents.
+    pub generation: u64,
+}
+
 /// Render wire + serve stats as a text metrics page, one
 /// `covidkg_<name> <value>` per line, statuses as labelled series.
 pub fn render_metrics(
@@ -221,6 +246,7 @@ pub fn render_metrics(
     repl: Option<&ReplExposition>,
     ann: Option<&AnnExposition>,
     kg: Option<&KgExposition>,
+    trust: Option<&TrustExposition>,
 ) -> String {
     fn secs(d: Option<Duration>) -> f64 {
         d.map(|d| d.as_secs_f64()).unwrap_or(0.0)
@@ -269,6 +295,7 @@ pub fn render_metrics(
     line("serve_requests_tables", serve.requests_tables.to_string());
     line("serve_requests_scoped", serve.requests_scoped.to_string());
     line("serve_requests_kg", serve.requests_kg.to_string());
+    line("serve_requests_trust", serve.requests_trust.to_string());
     line("serve_requests_semantic", serve.requests_semantic.to_string());
     line("serve_requests_hybrid", serve.requests_hybrid.to_string());
     line("serve_cache_hits", serve.cache_hits.to_string());
@@ -342,6 +369,21 @@ pub fn render_metrics(
         );
         line("kg_profile_epoch", kg.profile_epoch.to_string());
     }
+    if let Some(trust) = trust {
+        line("trust_papers", trust.papers.to_string());
+        line("trust_venues", trust.venues.to_string());
+        line("trust_claims", trust.claims.to_string());
+        line("trust_nodes", trust.nodes.to_string());
+        line("trust_queries", serve.requests_trust.to_string());
+        line(
+            "trust_incremental_refreshes",
+            trust.incremental_refreshes.to_string(),
+        );
+        line("trust_full_rebuilds", trust.full_rebuilds.to_string());
+        line("trust_nodes_repropagated", trust.nodes_repropagated.to_string());
+        line("trust_epoch", trust.epoch.to_string());
+        line("trust_generation", trust.generation.to_string());
+    }
     out
 }
 
@@ -398,6 +440,7 @@ mod tests {
             requests_tables: 0,
             requests_scoped: 0,
             requests_kg: 0,
+            requests_trust: 0,
             requests_semantic: 0,
             requests_hybrid: 0,
             cache_hits: 0,
@@ -420,7 +463,7 @@ mod tests {
             p95: None,
             p99: None,
         };
-        let text = render_metrics(&s, &serve, None, None, None);
+        let text = render_metrics(&s, &serve, None, None, None, None);
         assert!(text.contains("covidkg_net_epoll_wakeups 5\n"), "{text}");
         assert!(text.contains("covidkg_net_ready_events_per_wakeup_bucket{le=\"1\"} 1\n"));
         assert!(text.contains("covidkg_net_ready_events_per_wakeup_bucket{le=\"2\"} 2\n"));
@@ -443,6 +486,7 @@ mod tests {
             requests_tables: 0,
             requests_scoped: 0,
             requests_kg: 3,
+            requests_trust: 6,
             requests_semantic: 2,
             requests_hybrid: 5,
             cache_hits: 3,
@@ -504,7 +548,25 @@ mod tests {
             profile_vaccines_rebuilt: 9,
             profile_epoch: 3,
         };
-        let text = render_metrics(&m.snapshot(), &serve, Some(&repl), Some(&ann), Some(&kg));
+        let trust = TrustExposition {
+            papers: 13,
+            venues: 5,
+            claims: 29,
+            nodes: 18,
+            incremental_refreshes: 2,
+            full_rebuilds: 1,
+            nodes_repropagated: 12,
+            epoch: 3,
+            generation: 2,
+        };
+        let text = render_metrics(
+            &m.snapshot(),
+            &serve,
+            Some(&repl),
+            Some(&ann),
+            Some(&kg),
+            Some(&trust),
+        );
         assert!(text.contains("covidkg_net_connections_accepted 1\n"), "{text}");
         assert!(text.contains("covidkg_net_responses{status=\"200\"} 1\n"));
         assert!(text.contains("covidkg_net_responses{status=\"404\"} 1\n"));
@@ -545,6 +607,17 @@ mod tests {
         assert!(text.contains("covidkg_kg_profile_full_rebuilds 1\n"));
         assert!(text.contains("covidkg_kg_profile_vaccines_rebuilt 9\n"));
         assert!(text.contains("covidkg_kg_profile_epoch 3\n"));
+        assert!(text.contains("covidkg_serve_requests_trust 6\n"));
+        assert!(text.contains("covidkg_trust_papers 13\n"));
+        assert!(text.contains("covidkg_trust_venues 5\n"));
+        assert!(text.contains("covidkg_trust_claims 29\n"));
+        assert!(text.contains("covidkg_trust_nodes 18\n"));
+        assert!(text.contains("covidkg_trust_queries 6\n"));
+        assert!(text.contains("covidkg_trust_incremental_refreshes 2\n"));
+        assert!(text.contains("covidkg_trust_full_rebuilds 1\n"));
+        assert!(text.contains("covidkg_trust_nodes_repropagated 12\n"));
+        assert!(text.contains("covidkg_trust_epoch 3\n"));
+        assert!(text.contains("covidkg_trust_generation 2\n"));
         // Every line is `name value`.
         for l in text.lines() {
             assert_eq!(l.split(' ').count(), 2, "{l}");
@@ -552,9 +625,10 @@ mod tests {
         }
         // Without a routing layer / dense tier / kg the optional series
         // are absent entirely.
-        let text = render_metrics(&m.snapshot(), &serve, None, None, None);
+        let text = render_metrics(&m.snapshot(), &serve, None, None, None, None);
         assert!(!text.contains("repl_"), "{text}");
         assert!(!text.contains("ann_"), "{text}");
         assert!(!text.contains("covidkg_kg_"), "{text}");
+        assert!(!text.contains("covidkg_trust_"), "{text}");
     }
 }

@@ -9,11 +9,13 @@
 //! *headers* (`X-Cache`, `X-Generation`) so the body never varies with
 //! cache state.
 
-use crate::http::{Request, Response};
-use crate::metrics::{render_metrics, AnnExposition, KgExposition, ReplExposition, WireStats};
+use crate::http::{percent_decode, Request, Response};
+use crate::metrics::{
+    render_metrics, AnnExposition, KgExposition, ReplExposition, TrustExposition, WireStats,
+};
 use covidkg_json::{obj, Value};
 use covidkg_repl::{Epoch, ReadRouter, ReplMetrics, RouteError};
-use covidkg_search::{DenseMode, SearchMode};
+use covidkg_search::{DenseMode, SearchMode, SearchPage};
 use covidkg_core::QueryPlan;
 use covidkg_serve::{KgResponse, ServeError, Server};
 use std::sync::Arc;
@@ -116,10 +118,19 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
     if path == "/kg/query" {
         return kg_query(server, req);
     }
+    if let Some(id) = path.strip_prefix("/trust/node/") {
+        return trust_node(server, id);
+    }
+    if let Some(venue) = path.strip_prefix("/trust/source/") {
+        return trust_source(server, venue);
+    }
+    if path == "/bias/report" {
+        return bias_report(server);
+    }
     match path {
         "/stats" => stats(server),
         "/metrics" => {
-            let (ann, kg) = server.with_system(|system| {
+            let (ann, kg, trust) = server.with_system(|system| {
                 let ann = system.ann();
                 let s = ann.stats();
                 let ann = AnnExposition {
@@ -143,7 +154,19 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
                     profile_vaccines_rebuilt: p.vaccines_rebuilt,
                     profile_epoch: p.epoch,
                 };
-                (ann, kg)
+                let t = system.trust_store().stats();
+                let trust = TrustExposition {
+                    papers: t.papers as u64,
+                    venues: t.venues as u64,
+                    claims: t.claims as u64,
+                    nodes: t.nodes as u64,
+                    incremental_refreshes: t.incremental_refreshes,
+                    full_rebuilds: t.full_rebuilds,
+                    nodes_repropagated: t.nodes_repropagated,
+                    epoch: t.epoch,
+                    generation: t.generation,
+                };
+                (ann, kg, trust)
             });
             Response::text(
                 200,
@@ -153,6 +176,7 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
                     repl.map(|r| r.exposition()).as_ref(),
                     Some(&ann),
                     Some(&kg),
+                    Some(&trust),
                 ),
             )
         }
@@ -161,11 +185,14 @@ pub fn handle(server: &Server, wire: &WireStats, repl: Option<&ReadContext>, req
             obj! {
                 "service" => "covidkg",
                 "endpoints" => Value::Array(vec![
-                    Value::from("/search/{all-fields|tables|scoped}?q=&page="),
-                    Value::from("/search/{semantic|hybrid}?q=&page="),
-                    Value::from("/kg/query?start=&steps=&fanout=&k="),
+                    Value::from("/search/{all-fields|tables|scoped}?q=&page=&trust="),
+                    Value::from("/search/{semantic|hybrid}?q=&page=&trust="),
+                    Value::from("/kg/query?start=&steps=&fanout=&k=&trust="),
                     Value::from("/kg/profile/{vaccine}"),
                     Value::from("/kg/node/{id}"),
+                    Value::from("/trust/node/{id}"),
+                    Value::from("/trust/source/{venue}"),
+                    Value::from("/bias/report"),
                     Value::from("/stats"),
                     Value::from("/metrics"),
                 ]),
@@ -191,6 +218,10 @@ fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Reque
             Err(_) => return error_response(400, "page must be a non-negative integer"),
         },
     };
+    let trust = match trust_knob(req) {
+        Ok(trust) => trust,
+        Err(resp) => return resp,
+    };
     // Dense engines are served by the local HNSW tier: the replica
     // router only speaks the lexical modes, and the ANN search is
     // sub-millisecond, so there is nothing to route.
@@ -201,6 +232,7 @@ fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Reque
     };
     if let Some(mode) = dense {
         return match server.search_dense(&mode, page) {
+            Ok(resp) if trust => trusted_page_response(server, &resp),
             Ok(resp) => page_response(&resp),
             Err(e) => serve_error_response(e),
         };
@@ -224,6 +256,7 @@ fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Reque
     };
     let Some(ctx) = repl else {
         return match server.search(&mode, page) {
+            Ok(resp) if trust => trusted_page_response(server, &resp),
             Ok(resp) => page_response(&resp),
             Err(e) => serve_error_response(e),
         };
@@ -247,7 +280,13 @@ fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Reque
     let cookie_floor = req.header("cookie").and_then(cookie_min_seq).unwrap_or(0);
     let min_seq = explicit_min_seq.max(cookie_floor);
     match ctx.router.search(&mode, page, min_seq, ctx.ryw_deadline) {
-        Ok((resp, info)) => page_response(&resp)
+        // Trust re-rank is page-local, so it composes with routed reads:
+        // the weights come from the local trust store.
+        Ok((resp, info)) => if trust {
+            trusted_page_response(server, &resp)
+        } else {
+            page_response(&resp)
+        }
             .with_header("X-Served-By", info.replica)
             .with_header("X-Replica-Lag", info.lag.to_string())
             .with_header("X-Applied-Seq", info.applied.to_string())
@@ -272,7 +311,15 @@ fn search(server: &Server, engine: &str, repl: Option<&ReadContext>, req: &Reque
 /// The canonical 200 search response: byte-identical body, cache
 /// metadata in headers.
 fn page_response(resp: &covidkg_serve::ServeResponse) -> Response {
-    Response::json(200, resp.page.to_json().to_json())
+    page_response_with(&resp.page, resp)
+}
+
+/// Serialize `page` with `resp`'s cache metadata — shared by the
+/// default path (`page` is `resp.page` itself, byte-identical to
+/// in-process serialization) and the trust re-rank path (`page` is the
+/// re-ranked copy).
+fn page_response_with(page: &SearchPage, resp: &covidkg_serve::ServeResponse) -> Response {
+    Response::json(200, page.to_json().to_json())
         .with_header(
             "X-Cache",
             if resp.stale {
@@ -284,6 +331,39 @@ fn page_response(resp: &covidkg_serve::ServeResponse) -> Response {
             },
         )
         .with_header("X-Generation", resp.generation.to_string())
+}
+
+/// Parse the `trust=` re-rank knob, shared by `/search/*` and
+/// `/kg/query`. Off by default: absent or `0` leaves the default
+/// ranking (and its byte-identical wire contract) untouched.
+fn trust_knob(req: &Request) -> Result<bool, Response> {
+    match req.query_param("trust").as_deref() {
+        None | Some("") | Some("0") => Ok(false),
+        Some("1") => Ok(true),
+        Some(_) => Err(error_response(400, "trust must be 0 or 1")),
+    }
+}
+
+/// `trust=1` on `/search/*`: re-rank the served page by provenance
+/// trust. Page-local by design — each result's lexical/dense score is
+/// scaled by `0.5 + 0.5 * trust(source)` and the page re-sorted (score
+/// desc, id asc on ties), so the knob reads the incrementally
+/// maintained trust store without re-running the search. The re-ranked
+/// body is flagged with `X-Trust: re-ranked`.
+fn trusted_page_response(server: &Server, resp: &covidkg_serve::ServeResponse) -> Response {
+    let mut page = resp.page.clone();
+    let weights: Vec<f64> = server.with_system(|system| {
+        page.results
+            .iter()
+            .map(|r| system.trust_paper_weight(&r.id))
+            .collect()
+    });
+    for (result, weight) in page.results.iter_mut().zip(&weights) {
+        result.score *= 0.5 + 0.5 * weight;
+    }
+    page.results
+        .sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+    page_response_with(&page, resp).with_header("X-Trust", "re-ranked")
 }
 
 /// Map the scheduler's typed backpressure errors onto wire statuses.
@@ -335,7 +415,59 @@ fn kg_query(server: &Server, req: &Request) -> Response {
         Ok(plan) => plan,
         Err(e) => return error_response(400, &e),
     };
-    match server.kg_query(&plan) {
+    let trust = match trust_knob(req) {
+        Ok(trust) => trust,
+        Err(resp) => return resp,
+    };
+    // `trust=1` swaps in the trust-re-ranked traversal; the default
+    // ranking (and its cache entries) stays untouched when off.
+    let served = if trust {
+        server.kg_query_trusted(&plan)
+    } else {
+        server.kg_query(&plan)
+    };
+    match served {
+        Ok(resp) if trust => kg_response(&resp).with_header("X-Trust", "re-ranked"),
+        Ok(resp) => kg_response(&resp),
+        Err(e) => serve_error_response(e),
+    }
+}
+
+/// `GET /trust/node/{id}` — one KG node's provenance-trust document
+/// (score, base prior, supporting sources). The fourth traffic class:
+/// cache-fronted, queue-admitted, `trust`-breaker-guarded, never
+/// served stale.
+fn trust_node(server: &Server, id: &str) -> Response {
+    let Ok(id) = id.parse::<usize>() else {
+        return error_response(400, "node id must be a non-negative integer");
+    };
+    match server.trust_node(id) {
+        Ok(Some(resp)) => kg_response(&resp),
+        Ok(None) => {
+            let len = server.with_system(|system| system.kg().len());
+            error_response(404, &format!("no node {id} (graph has {len})"))
+        }
+        Err(e) => serve_error_response(e),
+    }
+}
+
+/// `GET /trust/source/{venue}` — one source venue's credibility
+/// document (prior, corroboration, contributing papers). The venue
+/// segment is percent-decoded, so multi-word venues work.
+fn trust_source(server: &Server, venue: &str) -> Response {
+    let venue = percent_decode(venue);
+    match server.trust_source(&venue) {
+        Ok(Some(resp)) => kg_response(&resp),
+        Ok(None) => error_response(404, &format!("no source venue {venue:?}")),
+        Err(e) => serve_error_response(e),
+    }
+}
+
+/// `GET /bias/report` — the trust-weighted bias interrogation report,
+/// memoized against the trust-store epoch and served through the same
+/// cache/admission/breaker stack as the other trust bodies.
+fn bias_report(server: &Server) -> Response {
+    match server.bias_report() {
         Ok(resp) => kg_response(&resp),
         Err(e) => serve_error_response(e),
     }

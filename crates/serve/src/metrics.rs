@@ -11,8 +11,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Which engine a request targeted: the three §2.1 search engines plus
-/// the §4 knowledge-graph query engine (the third wire traffic class).
+/// Which engine a request targeted: the three §2.1 search engines, the
+/// §4 knowledge-graph query engine (the third wire traffic class), and
+/// the trust/bias interrogation engine (the fourth).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// §2.1.2 all-fields engine.
@@ -23,6 +24,8 @@ pub enum EngineKind {
     Scoped,
     /// §4 knowledge-graph traversal / meta-profile engine.
     Kg,
+    /// Trust scoring / bias interrogation engine.
+    Trust,
 }
 
 impl EngineKind {
@@ -32,6 +35,7 @@ impl EngineKind {
             EngineKind::Tables => 1,
             EngineKind::Scoped => 2,
             EngineKind::Kg => 3,
+            EngineKind::Trust => 4,
         }
     }
 
@@ -42,6 +46,7 @@ impl EngineKind {
             EngineKind::Tables => "tables",
             EngineKind::Scoped => "scoped",
             EngineKind::Kg => "kg",
+            EngineKind::Trust => "trust",
         }
     }
 }
@@ -148,7 +153,7 @@ impl DenseKind {
 /// Live metric registry owned by the server.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    engine_requests: [AtomicU64; 4],
+    engine_requests: [AtomicU64; 5],
     dense_requests: [AtomicU64; 2],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -250,6 +255,7 @@ impl Metrics {
             requests_tables: self.engine_requests[1].load(Ordering::Relaxed),
             requests_scoped: self.engine_requests[2].load(Ordering::Relaxed),
             requests_kg: self.engine_requests[3].load(Ordering::Relaxed),
+            requests_trust: self.engine_requests[4].load(Ordering::Relaxed),
             requests_semantic: self.dense_requests[0].load(Ordering::Relaxed),
             requests_hybrid: self.dense_requests[1].load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -288,6 +294,8 @@ pub struct ServeStats {
     pub requests_scoped: u64,
     /// Requests routed to the KG query / profile engine.
     pub requests_kg: u64,
+    /// Requests routed to the trust / bias interrogation engine.
+    pub requests_trust: u64,
     /// Requests routed to the semantic (pure-ANN) mode.
     pub requests_semantic: u64,
     /// Requests routed to the hybrid lexical+dense mode.
@@ -342,6 +350,7 @@ impl ServeStats {
             + self.requests_tables
             + self.requests_scoped
             + self.requests_kg
+            + self.requests_trust
             + self.requests_semantic
             + self.requests_hybrid
     }
@@ -370,12 +379,13 @@ impl ServeStats {
         let mut out = String::new();
         out.push_str("serving stats\n");
         out.push_str(&format!(
-            "  requests     {} (all-fields {}, tables {}, scoped {}, kg {}, semantic {}, hybrid {})\n",
+            "  requests     {} (all-fields {}, tables {}, scoped {}, kg {}, trust {}, semantic {}, hybrid {})\n",
             self.total_requests(),
             self.requests_all_fields,
             self.requests_tables,
             self.requests_scoped,
             self.requests_kg,
+            self.requests_trust,
             self.requests_semantic,
             self.requests_hybrid,
         ));
@@ -503,6 +513,7 @@ mod tests {
         m.dequeued();
         m.record_completed(Duration::from_millis(3));
         m.record_request(EngineKind::Kg);
+        m.record_request(EngineKind::Trust);
         m.record_kg_traversal(12, 5);
         m.record_kg_traversal(3, 2);
         let s = m.snapshot();
@@ -510,9 +521,10 @@ mod tests {
         assert_eq!(s.requests_tables, 1);
         assert_eq!(s.requests_scoped, 0);
         assert_eq!(s.requests_kg, 1);
+        assert_eq!(s.requests_trust, 1);
         assert_eq!(s.requests_semantic, 1);
         assert_eq!(s.requests_hybrid, 2);
-        assert_eq!(s.total_requests(), 7);
+        assert_eq!(s.total_requests(), 8);
         assert_eq!(s.kg_traversal_hops, 15);
         assert_eq!(s.kg_nodes_visited, 7);
         assert_eq!(s.cache_hits, 1);

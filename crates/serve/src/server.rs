@@ -229,6 +229,8 @@ struct SearchJob {
 enum KgOp {
     /// Multi-hop ranked-path traversal.
     Query(Box<QueryPlan>),
+    /// Traversal re-ranked by provenance trust (`trust=1` knob).
+    QueryTrusted(Box<QueryPlan>),
     /// One vaccine's materialized meta-profile document.
     Profile(String),
 }
@@ -241,9 +243,29 @@ struct KgJob {
     reply: SyncSender<Result<Option<KgResponse>, ServeError>>,
 }
 
+/// The trust operations served through the worker queue (the fourth
+/// wire traffic class).
+enum TrustOp {
+    /// One KG node's trust document.
+    Node(usize),
+    /// One source venue's credibility document.
+    Source(String),
+    /// The full trust-weighted bias interrogation report.
+    Bias,
+}
+
+struct TrustJob {
+    op: TrustOp,
+    key: String,
+    deadline: Instant,
+    submitted: Instant,
+    reply: SyncSender<Result<Option<KgResponse>, ServeError>>,
+}
+
 enum Job {
     Search(Box<SearchJob>),
     Kg(Box<KgJob>),
+    Trust(Box<TrustJob>),
     /// Chaos hook: makes the dequeuing worker panic *outside* the
     /// per-job `catch_unwind`, exercising the respawn sentinel.
     CrashWorker,
@@ -394,7 +416,7 @@ struct Inner {
     generation: AtomicU64,
     cache: QueryCache,
     metrics: Metrics,
-    breakers: [Breaker; 4],
+    breakers: [Breaker; 5],
     breaker_cfg: BreakerSettings,
     /// Worker-side fault schedule (chaos testing); None in production.
     faults: RwLock<Option<InjectedFaults>>,
@@ -452,6 +474,7 @@ fn spawn_worker(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
                 Job::CrashWorker => panic!("injected worker crash"),
                 Job::Search(job) => run_isolated(&sentinel.inner, *job),
                 Job::Kg(job) => run_kg_isolated(&sentinel.inner, *job),
+                Job::Trust(job) => run_trust_isolated(&sentinel.inner, *job),
             }
         }
     });
@@ -692,6 +715,113 @@ impl Server {
     pub fn kg_profile(&self, vaccine: &str) -> Result<Option<KgResponse>, ServeError> {
         let key = format!("kgp|{}:{vaccine}", vaccine.len());
         self.kg_request(KgOp::Profile(vaccine.to_string()), key)
+    }
+
+    /// Serve a KG traversal re-ranked by provenance trust (the
+    /// `trust=1` knob on `/kg/query`). Cached under a distinct key so
+    /// the default (untrusted) ranking is never cross-contaminated.
+    pub fn kg_query_trusted(&self, plan: &QueryPlan) -> Result<KgResponse, ServeError> {
+        let key = format!("{}|trust", plan.cache_key());
+        self.kg_request(KgOp::QueryTrusted(Box::new(plan.clone())), key)
+            .map(|resp| resp.expect("a traversal always yields a body"))
+    }
+
+    /// Serve one KG node's trust document (the fourth traffic class).
+    /// `Ok(None)` = out-of-range id (the wire layer's 404). Like KG
+    /// bodies, trust documents are epoch-stamped and never served
+    /// stale: degraded mode fails typed.
+    pub fn trust_node(&self, id: usize) -> Result<Option<KgResponse>, ServeError> {
+        let key = format!("tn|{id}");
+        self.trust_request(TrustOp::Node(id), key)
+    }
+
+    /// Serve one source venue's credibility document.
+    /// `Ok(None)` = unknown venue.
+    pub fn trust_source(&self, venue: &str) -> Result<Option<KgResponse>, ServeError> {
+        let key = format!("ts|{}:{venue}", venue.len());
+        self.trust_request(TrustOp::Source(venue.to_string()), key)
+    }
+
+    /// Serve the trust-weighted bias interrogation report. The body is
+    /// memoized inside the system keyed on (trust epoch, generation),
+    /// and cache-fronted here like every other trust body.
+    pub fn bias_report(&self) -> Result<KgResponse, ServeError> {
+        self.trust_request(TrustOp::Bias, "bias|".to_string())
+            .map(|resp| resp.expect("the bias report always yields a body"))
+    }
+
+    /// Common trust request path: cache probe → breaker → queue →
+    /// worker, mirroring [`Server::kg_request`] but accounted against
+    /// the dedicated `trust` engine/breaker. Freshness over
+    /// availability: an open breaker yields [`ServeError::Degraded`],
+    /// never a stale body.
+    fn trust_request(
+        &self,
+        op: TrustOp,
+        key: String,
+    ) -> Result<Option<KgResponse>, ServeError> {
+        let submitted = Instant::now();
+        self.inner.metrics.record_request(EngineKind::Trust);
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        if let Some(body) = self
+            .inner
+            .cache
+            .get(&key, generation)
+            .and_then(CachedValue::into_body)
+        {
+            self.inner.metrics.record_hit();
+            let latency = submitted.elapsed();
+            self.inner.metrics.record_completed(latency);
+            return Ok(Some(KgResponse {
+                body,
+                cached: true,
+                generation,
+                latency,
+            }));
+        }
+        self.inner.metrics.record_miss();
+        if !self
+            .inner
+            .breaker(EngineKind::Trust)
+            .allow(&self.inner.breaker_cfg)
+        {
+            self.inner.metrics.record_degraded();
+            return Err(ServeError::Degraded);
+        }
+        let deadline = self.default_deadline;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job::Trust(Box::new(TrustJob {
+            op,
+            key,
+            deadline: submitted + deadline,
+            submitted,
+            reply: reply_tx,
+        }));
+        let sender = match &*lock(&self.queue) {
+            Some(tx) => tx.clone(),
+            None => return Err(ServeError::Closed),
+        };
+        self.inner.metrics.enqueued();
+        match sender.try_send(job) {
+            Ok(()) => self.inner.metrics.record_admitted_depth(),
+            Err(TrySendError::Full(_)) => {
+                self.inner.metrics.dequeued();
+                self.inner.metrics.record_overloaded();
+                return Err(ServeError::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.inner.metrics.dequeued();
+                return Err(ServeError::Closed);
+            }
+        }
+        match reply_rx.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                self.inner.metrics.record_deadline_exceeded();
+                Err(ServeError::DeadlineExceeded)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+        }
     }
 
     /// Serve one KG node document. `Ok(None)` = out-of-range id.
@@ -1037,12 +1167,70 @@ fn run_kg_job(inner: &Inner, job: KgJob) {
                     .record_kg_traversal(result.hops, result.visited);
                 Some(result.to_json().to_json())
             }
+            KgOp::QueryTrusted(plan) => Some(system.kg_query_trusted(plan).to_json()),
             KgOp::Profile(vaccine) => system.kg_profile(vaccine).map(|doc| doc.to_json()),
         };
         (body, system.generation())
     };
     inner
         .breaker(EngineKind::Kg)
+        .record_success(&inner.breaker_cfg);
+    let latency = job.submitted.elapsed();
+    inner.metrics.record_completed(latency);
+    let response = body.map(|body| {
+        inner.cache.insert(job.key, generation, body.clone());
+        KgResponse {
+            body,
+            cached: false,
+            generation,
+            latency,
+        }
+    });
+    let _ = job.reply.try_send(Ok(response));
+}
+
+/// Run one trust job with the same panic isolation as KG jobs: a panic
+/// feeds the `trust` breaker and answers with the typed
+/// [`ServeError::Degraded`] — never a stale body.
+fn run_trust_isolated(inner: &Inner, job: TrustJob) {
+    let reply = job.reply.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_trust_job(inner, job)));
+    if outcome.is_err() {
+        inner.metrics.record_panic();
+        inner.record_engine_failure(EngineKind::Trust);
+        inner.metrics.record_degraded();
+        let _ = reply.try_send(Err(ServeError::Degraded));
+    }
+}
+
+fn run_trust_job(inner: &Inner, job: TrustJob) {
+    if Instant::now() >= job.deadline {
+        inner.metrics.record_deadline_exceeded();
+        let _ = job.reply.try_send(Err(ServeError::DeadlineExceeded));
+        return;
+    }
+    // Trust jobs share the chaos fault schedule with every other class
+    // on these workers.
+    let seq = inner.job_seq.fetch_add(1, Ordering::Relaxed);
+    if let Some(faults) = read_lock(&inner.faults).clone() {
+        if faults.delay_every > 0 && seq % faults.delay_every == faults.delay_every - 1 {
+            std::thread::sleep(faults.delay);
+        }
+        if faults.panic_every > 0 && seq % faults.panic_every == faults.panic_every - 1 {
+            panic!("injected trust panic (seq {seq})");
+        }
+    }
+    let (body, generation) = {
+        let system = read_lock(&inner.system);
+        let body = match &job.op {
+            TrustOp::Node(id) => system.trust_node(*id).map(|doc| doc.to_json()),
+            TrustOp::Source(venue) => system.trust_source(venue).map(|doc| doc.to_json()),
+            TrustOp::Bias => Some(system.bias_document().to_json()),
+        };
+        (body, system.generation())
+    };
+    inner
+        .breaker(EngineKind::Trust)
         .record_success(&inner.breaker_cfg);
     let latency = job.submitted.elapsed();
     inner.metrics.record_completed(latency);

@@ -1,0 +1,347 @@
+//! Per-source credibility priors.
+//!
+//! Every paper contributes *structural facts* to its venue — breadth
+//! (paper count), recency (publication year), extraction density
+//! (tables and captions) — plus the claims its side-effect tables
+//! support. A venue's prior blends a citation-free structural seed
+//! with *corroboration*: the fraction of the venue's distinct claims
+//! that at least one other venue independently supports (the
+//! edge-weighting idea in Wise et al.'s COVID-19 Knowledge Graph,
+//! transplanted to sources).
+//!
+//! Determinism/equivalence contract: the ledger's aggregates are plain
+//! counters maintained by symmetric `add`/`remove` deltas, and
+//! [`SourceLedger::score`] is a pure function of those aggregates — so
+//! any mutation sequence leaving the same paper set produces the same
+//! scores, bit for bit, as a from-scratch rebuild. The property tests
+//! in `tests/trust_prop.rs` pin this across random sequences.
+
+use std::collections::BTreeMap;
+
+/// Floor for any venue prior: even an uncorroborated single-paper
+/// venue keeps a sliver of credibility rather than zeroing out the
+/// trust of every node it supports.
+pub const PRIOR_FLOOR: f64 = 0.05;
+
+/// Structural + claim facts extracted from one paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaperFacts {
+    /// Document `_id`.
+    pub paper_id: String,
+    /// Publishing venue (the source being scored).
+    pub venue: String,
+    /// Publication year, `0` when unknown.
+    pub year: u32,
+    /// Side-effect tables in the paper.
+    pub tables: usize,
+    /// Table captions in the paper.
+    pub captions: usize,
+    /// Claim keys the paper supports (e.g. `vaccine|effect` pairs).
+    /// Canonicalized to sorted + deduplicated on construction.
+    pub claims: Vec<String>,
+}
+
+impl PaperFacts {
+    /// Canonicalize: sort and deduplicate the claim keys so the ledger
+    /// counts each (paper, claim) pair once regardless of extraction
+    /// order.
+    pub fn canonicalize(mut self) -> PaperFacts {
+        self.claims.sort_unstable();
+        self.claims.dedup();
+        self
+    }
+}
+
+/// Per-venue aggregates, maintained by exact deltas.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VenueAgg {
+    papers: usize,
+    /// Sum of years over dated papers (`year > 0`).
+    year_sum: u64,
+    dated: usize,
+    tables: usize,
+    captions: usize,
+    /// claim → number of this venue's papers supporting it.
+    claims: BTreeMap<String, usize>,
+}
+
+/// One venue's computed credibility, all components exposed for the
+/// `GET /trust/source/{venue}` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VenueScore {
+    /// Papers the venue published.
+    pub papers: usize,
+    /// Mean publication year over dated papers (0.0 when none).
+    pub mean_year: f64,
+    /// Side-effect tables across the venue's papers.
+    pub tables: usize,
+    /// Captions across the venue's papers.
+    pub captions: usize,
+    /// Distinct claims the venue supports.
+    pub claims: usize,
+    /// Distinct claims also supported by at least one *other* venue.
+    pub corroborated: usize,
+    /// Structural seed in `[0, 1]` (breadth + recency + density).
+    pub seed: f64,
+    /// Corroborated fraction in `[0, 1]` (0 when claimless).
+    pub corroboration: f64,
+    /// The blended prior in `[PRIOR_FLOOR, 1]`.
+    pub prior: f64,
+}
+
+/// The source ledger: every venue's aggregates plus the cross-venue
+/// claim index, maintained incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct SourceLedger {
+    venues: BTreeMap<String, VenueAgg>,
+    /// claim → venue → papers of that venue supporting it.
+    claim_venues: BTreeMap<String, BTreeMap<String, usize>>,
+    /// Publication-year multiset over dated papers (for the global
+    /// recency normalization window).
+    years: BTreeMap<u32, usize>,
+}
+
+impl SourceLedger {
+    /// Empty ledger.
+    pub fn new() -> SourceLedger {
+        SourceLedger::default()
+    }
+
+    /// Account one paper's facts.
+    pub fn add(&mut self, facts: &PaperFacts) {
+        let agg = self.venues.entry(facts.venue.clone()).or_default();
+        agg.papers += 1;
+        if facts.year > 0 {
+            agg.year_sum += facts.year as u64;
+            agg.dated += 1;
+            *self.years.entry(facts.year).or_insert(0) += 1;
+        }
+        agg.tables += facts.tables;
+        agg.captions += facts.captions;
+        for c in &facts.claims {
+            *agg.claims.entry(c.clone()).or_insert(0) += 1;
+            *self
+                .claim_venues
+                .entry(c.clone())
+                .or_default()
+                .entry(facts.venue.clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Unaccount one paper's facts (the exact inverse of [`add`]:
+    /// zeroed entries are removed so the ledger is structurally equal
+    /// to one that never saw the paper).
+    ///
+    /// [`add`]: SourceLedger::add
+    pub fn remove(&mut self, facts: &PaperFacts) {
+        let agg = self.venues.get_mut(&facts.venue).expect("venue accounted");
+        agg.papers -= 1;
+        if facts.year > 0 {
+            agg.year_sum -= facts.year as u64;
+            agg.dated -= 1;
+            let n = self.years.get_mut(&facts.year).expect("year accounted");
+            *n -= 1;
+            if *n == 0 {
+                self.years.remove(&facts.year);
+            }
+        }
+        agg.tables -= facts.tables;
+        agg.captions -= facts.captions;
+        for c in &facts.claims {
+            let n = agg.claims.get_mut(c).expect("claim accounted");
+            *n -= 1;
+            if *n == 0 {
+                agg.claims.remove(c);
+            }
+            let per_venue = self.claim_venues.get_mut(c).expect("claim indexed");
+            let n = per_venue.get_mut(&facts.venue).expect("venue indexed");
+            *n -= 1;
+            if *n == 0 {
+                per_venue.remove(&facts.venue);
+            }
+            if per_venue.is_empty() {
+                self.claim_venues.remove(c);
+            }
+        }
+        if agg.papers == 0 {
+            self.venues.remove(&facts.venue);
+        }
+    }
+
+    /// Venues currently holding papers, ascending.
+    pub fn venues(&self) -> impl Iterator<Item = &str> {
+        self.venues.keys().map(String::as_str)
+    }
+
+    /// Distinct claims across all venues.
+    pub fn claim_count(&self) -> usize {
+        self.claim_venues.len()
+    }
+
+    /// Number of venues currently holding papers.
+    pub fn venue_count(&self) -> usize {
+        self.venues.len()
+    }
+
+    /// Compute every venue's credibility from the current aggregates.
+    /// Pure: two ledgers with equal aggregates score identically.
+    pub fn score(&self) -> BTreeMap<String, VenueScore> {
+        let max_papers = self.venues.values().map(|a| a.papers).max().unwrap_or(0);
+        let min_year = self.years.keys().next().copied();
+        let max_year = self.years.keys().next_back().copied();
+        self.venues
+            .iter()
+            .map(|(venue, agg)| {
+                let breadth = if max_papers == 0 {
+                    0.0
+                } else {
+                    (agg.papers as f64).ln_1p() / (max_papers as f64).ln_1p()
+                };
+                let mean_year = if agg.dated == 0 {
+                    0.0
+                } else {
+                    agg.year_sum as f64 / agg.dated as f64
+                };
+                let recency = match (min_year, max_year) {
+                    (Some(lo), Some(hi)) if hi > lo && agg.dated > 0 => {
+                        (mean_year - lo as f64) / (hi as f64 - lo as f64)
+                    }
+                    _ => 0.5,
+                };
+                let density = if agg.papers == 0 {
+                    0.0
+                } else {
+                    ((agg.tables + agg.captions) as f64 / (2.0 * agg.papers as f64)).min(1.0)
+                };
+                let seed = 0.15 + 0.45 * breadth + 0.25 * recency + 0.15 * density;
+                let corroborated = agg
+                    .claims
+                    .keys()
+                    .filter(|c| {
+                        self.claim_venues
+                            .get(*c)
+                            .is_some_and(|vs| vs.keys().any(|v| v != venue))
+                    })
+                    .count();
+                let corroboration = if agg.claims.is_empty() {
+                    0.0
+                } else {
+                    corroborated as f64 / agg.claims.len() as f64
+                };
+                let prior = (seed * (0.5 + 0.5 * corroboration)).clamp(PRIOR_FLOOR, 1.0);
+                (
+                    venue.clone(),
+                    VenueScore {
+                        papers: agg.papers,
+                        mean_year,
+                        tables: agg.tables,
+                        captions: agg.captions,
+                        claims: agg.claims.len(),
+                        corroborated,
+                        seed,
+                        corroboration,
+                        prior,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(id: &str, venue: &str, year: u32, claims: &[&str]) -> PaperFacts {
+        PaperFacts {
+            paper_id: id.into(),
+            venue: venue.into(),
+            year,
+            tables: 1,
+            captions: 1,
+            claims: claims.iter().map(|c| c.to_string()).collect(),
+        }
+        .canonicalize()
+    }
+
+    #[test]
+    fn corroboration_requires_another_venue() {
+        let mut l = SourceLedger::new();
+        l.add(&facts("p1", "lancet", 2021, &["pfizer|fever"]));
+        let solo = l.score();
+        assert_eq!(solo["lancet"].corroborated, 0);
+        assert_eq!(solo["lancet"].corroboration, 0.0);
+        // A second paper in the SAME venue does not corroborate…
+        l.add(&facts("p2", "lancet", 2021, &["pfizer|fever"]));
+        assert_eq!(l.score()["lancet"].corroborated, 0);
+        // …but one in another venue does, lifting the prior.
+        l.add(&facts("p3", "nejm", 2021, &["pfizer|fever"]));
+        let s = l.score();
+        assert_eq!(s["lancet"].corroborated, 1);
+        assert_eq!(s["lancet"].corroboration, 1.0);
+        assert!(s["lancet"].prior > solo["lancet"].prior);
+        assert_eq!(s["nejm"].corroborated, 1);
+    }
+
+    #[test]
+    fn breadth_and_recency_shape_the_seed() {
+        let mut l = SourceLedger::new();
+        for i in 0..8 {
+            l.add(&facts(&format!("a{i}"), "big-old", 2019, &[]));
+        }
+        l.add(&facts("b0", "small-new", 2022, &[]));
+        let s = l.score();
+        // More papers → higher breadth; later mean year → higher recency.
+        assert!(s["big-old"].papers > s["small-new"].papers);
+        assert!(s["big-old"].seed > 0.15 && s["big-old"].seed <= 1.0);
+        assert!(s["small-new"].mean_year > s["big-old"].mean_year);
+        for v in s.values() {
+            assert!(v.prior >= PRIOR_FLOOR && v.prior <= 1.0);
+        }
+    }
+
+    #[test]
+    fn remove_is_the_exact_inverse_of_add() {
+        let mut l = SourceLedger::new();
+        let base = [
+            facts("p1", "lancet", 2021, &["a", "b"]),
+            facts("p2", "nejm", 2020, &["a"]),
+        ];
+        for f in &base {
+            l.add(f);
+        }
+        let snapshot = l.score();
+        let extra = facts("p3", "medrxiv", 2022, &["b", "c"]);
+        l.add(&extra);
+        assert_ne!(l.score(), snapshot);
+        l.remove(&extra);
+        assert_eq!(l.score(), snapshot, "add/remove must round-trip");
+        assert_eq!(l.venue_count(), 2);
+        assert_eq!(l.claim_count(), 2);
+    }
+
+    #[test]
+    fn scores_are_order_independent() {
+        let fs = [
+            facts("p1", "lancet", 2021, &["a"]),
+            facts("p2", "nejm", 2020, &["a", "b"]),
+            facts("p3", "medrxiv", 0, &["c"]),
+        ];
+        let mut fwd = SourceLedger::new();
+        let mut rev = SourceLedger::new();
+        for f in &fs {
+            fwd.add(f);
+        }
+        for f in fs.iter().rev() {
+            rev.add(f);
+        }
+        assert_eq!(fwd.score(), rev.score());
+    }
+
+    #[test]
+    fn canonicalize_dedupes_claims() {
+        let f = facts("p1", "v", 2021, &["b", "a", "b"]);
+        assert_eq!(f.claims, ["a", "b"]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Damped iterative trust propagation over the KG hierarchy.
+//!
+//! Node trust starts at a per-node *base* (provenance prior mass ×
+//! independent-venue corroboration, computed by the store) and is
+//! pushed along child/parent edges by damped Jacobi sweeps:
+//!
+//! ```text
+//! x⁰[n]     = base[n]
+//! xᵗ⁺¹[n]   = (1 − d)·base[n] + d·mean(xᵗ[j] for j in neighbors(n))
+//! ```
+//!
+//! A *fixed* sweep count ([`SWEEPS`]) makes the result a pure function
+//! of `(neighbors, base)` — no convergence epsilon, no float drift
+//! between runs — which is what lets the incremental path promise
+//! bit-identical results. Sweep order is ascending node id and every
+//! node's mean reads the previous sweep's vector (Jacobi, not
+//! Gauss-Seidel), so shard or scan order cannot leak into the values.
+//!
+//! [`propagate_dirty`] is the incremental variant: after a mutation
+//! only nodes whose base or adjacency changed — and the ball reachable
+//! from them, growing one hop per sweep — can differ from the previous
+//! run, so only that active region is recomputed, reading the stored
+//! sweep history at the frontier. By induction the updated history is
+//! float-identical to a cold [`propagate_full`] run; the property test
+//! in `tests/trust_prop.rs` pins it across random mutation sequences.
+
+use std::collections::BTreeSet;
+
+/// Damped sweeps run to the (finite) fixed point.
+pub const SWEEPS: usize = 12;
+/// Neighbor-mean weight; `1 − DAMPING` anchors a node to its own base.
+pub const DAMPING: f64 = 0.35;
+
+/// One Jacobi update for node `n` at sweep `t`, reading sweep `t − 1`.
+fn sweep_node(neigh: &[usize], base: f64, prev: &[f64], own_prev: f64) -> f64 {
+    let mean = if neigh.is_empty() {
+        own_prev
+    } else {
+        neigh.iter().map(|&j| prev[j]).sum::<f64>() / neigh.len() as f64
+    };
+    (1.0 - DAMPING) * base + DAMPING * mean
+}
+
+/// The naive full recomputation: all [`SWEEPS`] sweeps over every
+/// node, cold. Returns the whole sweep history (`SWEEPS + 1` rows,
+/// row 0 = base) — the store keeps it so the dirty-region variant can
+/// read unchanged iterates at the frontier. Row `SWEEPS` is the trust
+/// vector. This is the equivalence oracle for [`propagate_dirty`].
+pub fn propagate_full(neigh: &[Vec<usize>], base: &[f64]) -> Vec<Vec<f64>> {
+    let v = base.len();
+    let mut history = Vec::with_capacity(SWEEPS + 1);
+    history.push(base.to_vec());
+    for t in 1..=SWEEPS {
+        let prev = &history[t - 1];
+        let next: Vec<f64> = (0..v)
+            .map(|n| sweep_node(&neigh[n], base[n], prev, prev[n]))
+            .collect();
+        history.push(next);
+    }
+    history
+}
+
+/// Incremental re-propagation: `history` is the previous run's sweep
+/// history (for the previous graph/base), `dirty` the nodes whose base
+/// or adjacency changed (new nodes included). Updates `history` in
+/// place to exactly what [`propagate_full`]`(neigh, base)` would
+/// return, touching only the dirty ball. Returns the number of
+/// node-sweep recomputations performed (the work metric).
+pub fn propagate_dirty(
+    history: &mut Vec<Vec<f64>>,
+    neigh: &[Vec<usize>],
+    base: &[f64],
+    dirty: &BTreeSet<usize>,
+) -> u64 {
+    let v = base.len();
+    if history.len() != SWEEPS + 1 {
+        // No usable history (fresh store): fall back to the full run.
+        *history = propagate_full(neigh, base);
+        return (v as u64) * (SWEEPS as u64);
+    }
+    if dirty.is_empty() {
+        return 0;
+    }
+    // Grow rows for new nodes; their values are only ever read after
+    // being written because every new node is dirty (active at t = 0).
+    for row in history.iter_mut() {
+        row.resize(v, 0.0);
+    }
+    let mut active = vec![false; v];
+    let mut active_list: Vec<usize> = Vec::with_capacity(dirty.len());
+    for &n in dirty {
+        active[n] = true;
+        active_list.push(n);
+        history[0][n] = base[n];
+    }
+    let mut work = 0u64;
+    for t in 1..=SWEEPS {
+        // A node's sweep-t value can differ only if the node itself is
+        // dirty or a neighbor differed at sweep t − 1: expand the
+        // active ball by one hop, then recompute it against the
+        // previous row (stored history supplies unchanged frontier
+        // values).
+        let mut grown: Vec<usize> = Vec::new();
+        for &n in &active_list {
+            for &j in &neigh[n] {
+                if !active[j] {
+                    active[j] = true;
+                    grown.push(j);
+                }
+            }
+        }
+        active_list.extend(grown);
+        let (before, after) = history.split_at_mut(t);
+        let prev = &before[t - 1];
+        let row = &mut after[0];
+        for &n in &active_list {
+            row[n] = sweep_node(&neigh[n], base[n], prev, prev[n]);
+            work += 1;
+        }
+    }
+    work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small multi-parent hierarchy: 0 → {1, 2}, 1 → {3, 4}, 2 → {4}.
+    fn diamond() -> Vec<Vec<usize>> {
+        vec![vec![1, 2], vec![0, 3, 4], vec![0, 4], vec![1], vec![1, 2]]
+    }
+
+    #[test]
+    fn full_run_stays_in_unit_interval_and_blends_neighbors() {
+        let neigh = diamond();
+        let base = vec![0.9, 0.5, 0.1, 0.8, 0.2];
+        let h = propagate_full(&neigh, &base);
+        assert_eq!(h.len(), SWEEPS + 1);
+        let trust = &h[SWEEPS];
+        for &x in trust {
+            assert!((0.0..=1.0).contains(&x), "{trust:?}");
+        }
+        // Node 2 (base 0.1) borrows trust from its strong neighbors.
+        assert!(trust[2] > base[2]);
+        // Node 0 (base 0.9) is pulled toward its weaker children.
+        assert!(trust[0] < base[0]);
+    }
+
+    #[test]
+    fn isolated_node_keeps_its_base() {
+        let neigh = vec![Vec::new()];
+        let base = vec![0.42];
+        let h = propagate_full(&neigh, &base);
+        assert!((h[SWEEPS][0] - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirty_region_update_is_bit_identical_to_full() {
+        let neigh = diamond();
+        let mut base = vec![0.9, 0.5, 0.1, 0.8, 0.2];
+        let mut history = propagate_full(&neigh, &base);
+        // Change one node's base: the dirty update must land exactly on
+        // the cold full run.
+        base[3] = 0.05;
+        let work = propagate_dirty(&mut history, &neigh, &base, &[3usize].into_iter().collect());
+        assert!(work > 0);
+        let cold = propagate_full(&neigh, &base);
+        assert_eq!(history, cold, "warm dirty-ball ≡ cold full, bit for bit");
+        // Untouched refresh: zero work, history unchanged.
+        let w0 = propagate_dirty(&mut history, &neigh, &base, &BTreeSet::new());
+        assert_eq!(w0, 0);
+        assert_eq!(history, cold);
+    }
+
+    #[test]
+    fn dirty_update_handles_graph_growth() {
+        let mut neigh = diamond();
+        let mut base = vec![0.9, 0.5, 0.1, 0.8, 0.2];
+        let mut history = propagate_full(&neigh, &base);
+        // A new node appears under 2; both endpoints are dirty.
+        neigh[2].push(5);
+        neigh[2].sort_unstable();
+        neigh.push(vec![2]);
+        base.push(0.7);
+        propagate_dirty(&mut history, &neigh, &base, &[2usize, 5].into_iter().collect());
+        assert_eq!(history, propagate_full(&neigh, &base));
+    }
+
+    #[test]
+    fn dirty_update_touches_less_than_full_on_far_nodes() {
+        // A long chain: a change at one end must not recompute the
+        // whole far end on early sweeps.
+        let v = 64;
+        let neigh: Vec<Vec<usize>> = (0..v)
+            .map(|n| {
+                let mut adj = Vec::new();
+                if n > 0 {
+                    adj.push(n - 1);
+                }
+                if n + 1 < v {
+                    adj.push(n + 1);
+                }
+                adj
+            })
+            .collect();
+        let mut base: Vec<f64> = (0..v).map(|n| (n % 7) as f64 / 10.0).collect();
+        let mut history = propagate_full(&neigh, &base);
+        base[0] = 0.95;
+        let work = propagate_dirty(&mut history, &neigh, &base, &[0usize].into_iter().collect());
+        assert_eq!(history, propagate_full(&neigh, &base));
+        let full_work = (v as u64) * (SWEEPS as u64);
+        assert!(work < full_work / 2, "dirty ball {work} vs full {full_work}");
+    }
+}

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Regenerate the trust bench table in EXPERIMENTS.md from BENCH_trust.json.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --offline -q
+./target/release/covidkg trust-table

@@ -72,6 +72,16 @@ echo "==> EXPERIMENTS.md KG table regenerates from the committed BENCH_kg.json"
 ./target/release/covidkg kg-table
 grep -q '<!-- kg-table:begin -->' EXPERIMENTS.md
 
+echo "==> trust equivalence property tests (incremental vs full rebuild, prior ledger)"
+cargo test -p covidkg-trust --test trust_prop --offline -q
+
+echo "==> trust smoke: trust/bias wire byte-identity + re-rank knob over TCP"
+./target/release/covidkg trust-smoke --corpus 48
+
+echo "==> EXPERIMENTS.md trust table regenerates from the committed BENCH_trust.json"
+./target/release/covidkg trust-table
+grep -q '<!-- trust-table:begin -->' EXPERIMENTS.md
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets --offline"
     cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -57,6 +57,8 @@ pub use covidkg_repl as repl;
 pub use covidkg_bench as bench;
 /// HNSW approximate-nearest-neighbour index (the dense retrieval tier).
 pub use covidkg_ann as ann;
+/// Provenance-weighted trust scoring (the fourth wire traffic class).
+pub use covidkg_trust as trust;
 
 pub use covidkg_ann::{AnnStats, HnswConfig, HnswIndex};
 pub use covidkg_net::{HttpClient, HttpServer, NetConfig};

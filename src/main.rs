@@ -43,7 +43,7 @@ COMMANDS:
     search <query>           run a search engine over the system
     kg [query]               browse the knowledge graph / search its nodes
     profiles                 print the vaccine side-effect meta-profiles
-    bias                     print the corpus bias-interrogation report
+    bias                     print the trust-weighted bias report + trust store epoch
     stats                    print the storage report + data generation
     serve                    run the HTTP front-end (stop with EOF/ctrl-d)
     replicate                follow a primary (--from) and serve reads locally
@@ -64,6 +64,10 @@ COMMANDS:
     kg-bench                 query latency + incremental materialization
                              speedup vs full rebuild (emits BENCH_kg.json)
     kg-table                 regenerate the EXPERIMENTS.md KG table from BENCH_kg.json
+    trust-smoke              trust tier end-to-end check incl. wire byte-identity
+    trust-bench              trust-node lookup latency + incremental trust maintenance
+                             speedup vs full rebuild (emits BENCH_trust.json)
+    trust-table              regenerate the EXPERIMENTS.md trust table from BENCH_trust.json
     chaos                    deterministic fault-injection survival run
 
 OPTIONS:
@@ -358,7 +362,21 @@ fn run() -> Result<(), String> {
         }
         "bias" => {
             let system = open_system(&args, false)?;
-            print!("{}", system.bias_report().render());
+            // Served from the memoized, trust-weighted bias document so
+            // the CLI reads the same incrementally maintained store as
+            // the `/bias/report` wire route.
+            let doc = system.bias_document();
+            print!(
+                "{}",
+                doc.get("rendered")
+                    .and_then(covidkg::json::Value::as_str)
+                    .unwrap_or_default()
+            );
+            println!(
+                "trust store: epoch {}, generation {}",
+                doc.get("epoch").and_then(covidkg::json::Value::as_i64).unwrap_or(0),
+                doc.get("generation").and_then(covidkg::json::Value::as_i64).unwrap_or(0),
+            );
         }
         "stats" => {
             let system = open_system(&args, false)?;
@@ -428,6 +446,7 @@ fn run() -> Result<(), String> {
             println!("  GET /search/{{semantic|hybrid}}?q=&page=");
             println!("  GET /kg/query?start=&steps=&fanout=&k=");
             println!("  GET /kg/profile/{{vaccine}}   GET /kg/node/{{id}}");
+            println!("  GET /trust/node/{{id}}   GET /trust/source/{{venue}}   GET /bias/report");
             println!("  GET /stats   GET /metrics");
             println!("(EOF on stdin — ctrl-d — shuts down gracefully)");
             // Block until stdin closes, then drain and exit.
@@ -452,6 +471,9 @@ fn run() -> Result<(), String> {
         "kg-smoke" => kg_smoke(&args)?,
         "kg-bench" => kg_bench(&args)?,
         "kg-table" => kg_table()?,
+        "trust-smoke" => trust_smoke(&args)?,
+        "trust-bench" => trust_bench(&args)?,
+        "trust-table" => trust_table()?,
         "net-bench" => {
             let system = open_system(&args, false)?;
             let server = Arc::new(Server::start(
@@ -1779,6 +1801,306 @@ fn render_kg_table(bench: &covidkg::json::Value) -> String {
                 int(r, "profiles"),
                 num(r, "query_p50_us"),
                 num(r, "query_p99_us"),
+                num(r, "full_rebuild_ms"),
+                num(r, "incremental_refresh_us"),
+                num(r, "speedup"),
+            ));
+        }
+    }
+    out
+}
+
+/// Percent-encode a path segment so venues with spaces or punctuation
+/// survive the request line.
+fn encode_path_segment(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// The `trust-smoke` body: the fourth traffic class end to end — node
+/// trust, source credibility and the trust-weighted bias report over
+/// real TCP, byte-identical to the in-process serializations with the
+/// miss→hit cache-header contract checked on every route, plus the
+/// `trust` re-rank knob (off ⇒ byte-identical to the default ranking).
+/// Used by CI.
+fn trust_smoke(args: &Args) -> Result<(), String> {
+    let corpus = args.corpus.clamp(48, 120);
+    let system = CovidKg::build(CovidKgConfig {
+        corpus_size: corpus,
+        seed: args.seed,
+        max_training_rows: 300,
+        ..CovidKgConfig::default()
+    })
+    .map_err(|e| format!("build failed: {e}"))?;
+    let server = Arc::new(Server::start(system, ServeConfig::default()));
+    let mut http = HttpServer::start(
+        Arc::clone(&server),
+        NetConfig {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            ..NetConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind failed: {e}"))?;
+    let mut client = covidkg::HttpClient::connect(http.local_addr(), Duration::from_secs(10))
+        .map_err(|e| format!("connect: {e}"))?;
+
+    // 1. All three trust routes: wire body == in-process serialization,
+    //    twice each (miss then cache hit), same bytes both times.
+    let venue = server
+        .with_system(|s| s.trust_store().venues().next().map(str::to_string))
+        .ok_or("corpus produced no source venues — cannot smoke /trust/source")?;
+    let routes = [
+        (
+            "/trust/node/0".to_string(),
+            server
+                .with_system(|s| s.trust_node(0).map(|d| d.to_json()))
+                .ok_or("node 0 carries no trust document")?,
+        ),
+        (
+            format!("/trust/source/{}", encode_path_segment(&venue)),
+            server
+                .with_system(|s| s.trust_source(&venue).map(|d| d.to_json()))
+                .ok_or_else(|| format!("venue {venue:?} has no credibility document"))?,
+        ),
+        (
+            "/bias/report".to_string(),
+            server.with_system(|s| s.bias_document().to_json()),
+        ),
+    ];
+    for (url, local) in &routes {
+        for want_cache in ["miss", "hit"] {
+            let resp = client.get(url).map_err(|e| format!("GET {url}: {e}"))?;
+            if resp.status != 200 {
+                return Err(format!("{url} returned {}", resp.status));
+            }
+            if resp.header("X-Cache") != Some(want_cache) {
+                return Err(format!(
+                    "{url} X-Cache = {:?}, wanted {want_cache:?}",
+                    resp.header("X-Cache")
+                ));
+            }
+            if resp.body != local.as_bytes() {
+                return Err(format!("{url} wire body diverged from the in-process document"));
+            }
+        }
+        println!(
+            "{url}: wire response byte-identical to in-process ({} bytes), miss then hit",
+            local.len()
+        );
+    }
+
+    // 2. The `trust` knob defaults off: trust=0 must be byte-identical
+    //    to omitting the parameter on both /search and /kg/query.
+    for (plain, knobbed) in [
+        (
+            "/search/all-fields?q=vaccine".to_string(),
+            "/search/all-fields?q=vaccine&trust=0".to_string(),
+        ),
+        (
+            "/kg/query?start=kind:category&steps=child&fanout=16&k=10".to_string(),
+            "/kg/query?start=kind:category&steps=child&fanout=16&k=10&trust=0".to_string(),
+        ),
+    ] {
+        let a = client.get(&plain).map_err(|e| format!("GET {plain}: {e}"))?;
+        let b = client.get(&knobbed).map_err(|e| format!("GET {knobbed}: {e}"))?;
+        if a.status != 200 || b.status != 200 {
+            return Err(format!("{plain} / {knobbed}: {} / {}", a.status, b.status));
+        }
+        if a.body != b.body {
+            return Err(format!("trust=0 changed the {plain} body"));
+        }
+        println!("{knobbed}: byte-identical to the default ranking");
+    }
+
+    // 3. trust=1 engages the re-rank and says so in a header.
+    for url in [
+        "/search/all-fields?q=vaccine&trust=1",
+        "/kg/query?start=kind:category&steps=child&fanout=16&k=10&trust=1",
+    ] {
+        let resp = client.get(url).map_err(|e| format!("GET {url}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("{url} returned {}", resp.status));
+        }
+        if resp.header("X-Trust") != Some("re-ranked") {
+            return Err(format!(
+                "{url} X-Trust = {:?}, wanted \"re-ranked\"",
+                resp.header("X-Trust")
+            ));
+        }
+        println!("{url}: trust re-rank engaged (X-Trust: re-ranked)");
+    }
+
+    http.shutdown();
+    server.shutdown();
+    println!("TRUST SMOKE PASSED");
+    Ok(())
+}
+
+/// The `trust-bench` body: node-trust lookup latency plus the cost of
+/// keeping trust scores fresh — a one-paper incremental refresh against
+/// a full re-extract-and-re-propagate rebuild — at three corpus sizes.
+/// Emits `BENCH_trust.json`.
+fn trust_bench(args: &Args) -> Result<(), String> {
+    use covidkg::core::{doc_paper_facts, scan_paper_facts};
+    use covidkg::trust::TrustStore;
+    const LOOKUP_ITERS: usize = 200;
+    const FULL_REPEATS: usize = 5;
+    const INCR_REPEATS: usize = 50;
+    let sizes = [120usize, 480, 1200];
+    println!(
+        "trust-bench: {LOOKUP_ITERS} node lookups; one-paper incremental refresh \
+         vs full re-extraction + re-propagation rebuild"
+    );
+    let mut rows = Vec::new();
+    let mut final_speedup = 0.0;
+    for &n in &sizes {
+        let system = CovidKg::build(CovidKgConfig {
+            corpus_size: n,
+            seed: args.seed,
+            max_training_rows: 300,
+            ..CovidKgConfig::default()
+        })
+        .map_err(|e| format!("build at {n} docs failed: {e}"))?;
+        let publications = system.publications();
+        let kg = system.kg();
+        let epoch = publications.mutation_epoch();
+
+        // Phase 1 — node-trust lookup latency across the graph.
+        let stride = (kg.len() / 16).max(1);
+        let ids: Vec<usize> = (0..kg.len()).step_by(stride).collect();
+        let mut latencies = Vec::new();
+        for i in 0..LOOKUP_ITERS {
+            let id = ids[i % ids.len()];
+            let t = Instant::now();
+            let doc = system.trust_node(id);
+            latencies.push(t.elapsed());
+            std::hint::black_box(doc);
+        }
+        latencies.sort();
+        let lp50 = latencies[latencies.len() / 2];
+        let lp99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+
+        // Phase 2 — maintenance. Full = re-extract every stored paper's
+        // trust facts and re-propagate from scratch (what every ingest
+        // would cost without the mutation-log store). Incremental =
+        // refresh one touched paper (what ingest costs now).
+        let mut full_times = Vec::new();
+        for _ in 0..FULL_REPEATS {
+            let t = Instant::now();
+            let mut store = TrustStore::new();
+            store.rebuild_all(scan_paper_facts(publications), kg, epoch);
+            full_times.push(t.elapsed());
+            std::hint::black_box(store.stats());
+        }
+        full_times.sort();
+        let full = full_times[full_times.len() / 2];
+
+        let facts = scan_paper_facts(publications);
+        let target = facts
+            .iter()
+            .max_by_key(|f| f.claims.len())
+            .map(|f| f.paper_id.clone())
+            .ok_or("no stored papers to refresh")?;
+        let mut store = TrustStore::new();
+        store.rebuild_all(facts, kg, epoch);
+        let mut incr_times = Vec::new();
+        for i in 0..INCR_REPEATS {
+            let touched = [target.clone()];
+            let t = Instant::now();
+            store.refresh(epoch + 1 + i as u64, &touched, kg, |id| {
+                publications.get(id).map(|doc| doc_paper_facts(&doc, id))
+            });
+            incr_times.push(t.elapsed());
+        }
+        incr_times.sort();
+        let incr = incr_times[incr_times.len() / 2];
+        let speedup = full.as_secs_f64() / incr.as_secs_f64().max(1e-9);
+        final_speedup = speedup;
+
+        let stats = system.trust_store().stats();
+        println!(
+            "  {n} docs: {} trust nodes from {} papers, {} venues; lookup p50 {:.0} µs, \
+             p99 {:.0} µs; full rebuild {:.2} ms vs incremental {:.0} µs ({speedup:.1}x)",
+            stats.nodes,
+            stats.papers,
+            stats.venues,
+            lp50.as_secs_f64() * 1e6,
+            lp99.as_secs_f64() * 1e6,
+            full.as_secs_f64() * 1e3,
+            incr.as_secs_f64() * 1e6,
+        );
+        rows.push(covidkg::json::obj! {
+            "docs" => n,
+            "trust_nodes" => stats.nodes as i64,
+            "papers" => stats.papers as i64,
+            "venues" => stats.venues as i64,
+            "claims" => stats.claims as i64,
+            "lookup_p50_us" => lp50.as_secs_f64() * 1e6,
+            "lookup_p99_us" => lp99.as_secs_f64() * 1e6,
+            "full_rebuild_ms" => full.as_secs_f64() * 1e3,
+            "incremental_refresh_us" => incr.as_secs_f64() * 1e6,
+            "speedup" => speedup,
+        });
+    }
+    if final_speedup < 5.0 {
+        eprintln!(
+            "warning: largest corpus missed the target (incremental speedup \
+             {final_speedup:.1}x >= 5.0x)"
+        );
+    }
+    let report = covidkg::json::obj! {
+        "bench" => "trust",
+        "seed" => args.seed as i64,
+        "sizes" => covidkg::json::Value::Array(rows),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_trust.json");
+    std::fs::write(path, report.to_json_pretty() + "\n")
+        .map_err(|e| format!("write BENCH_trust.json: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// The `trust-table` body: regenerate the trust maintenance table in
+/// `EXPERIMENTS.md` between its marker comments from `BENCH_trust.json`.
+fn trust_table() -> Result<(), String> {
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_trust.json");
+    let exp_path = concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md");
+    let raw = std::fs::read_to_string(bench_path)
+        .map_err(|e| format!("read {bench_path}: {e} (run `covidkg trust-bench` first)"))?;
+    let bench = covidkg::json::parse(&raw).map_err(|e| format!("parse BENCH_trust.json: {e}"))?;
+    let doc = std::fs::read_to_string(exp_path).map_err(|e| format!("read {exp_path}: {e}"))?;
+    let updated = splice_marked(&doc, "trust-table", &render_trust_table(&bench))?;
+    std::fs::write(exp_path, updated).map_err(|e| format!("write {exp_path}: {e}"))?;
+    println!("updated the trust table in EXPERIMENTS.md from BENCH_trust.json");
+    Ok(())
+}
+
+/// Render the markdown rows of the trust benchmark table.
+fn render_trust_table(bench: &covidkg::json::Value) -> String {
+    use covidkg::json::Value;
+    let num = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+    let int = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_i64()).unwrap_or(0);
+    let mut out = String::from(
+        "| corpus | trust nodes | venues | lookup p50 | lookup p99 | full rebuild | \
+         incremental | speedup |\n|---|---|---|---|---|---|---|---|\n",
+    );
+    if let Some(Value::Array(sizes)) = bench.get("sizes") {
+        for r in sizes {
+            out.push_str(&format!(
+                "| {} docs | {} | {} | {:.0} µs | {:.0} µs | {:.2} ms | {:.0} µs | {:.1}x |\n",
+                int(r, "docs"),
+                int(r, "trust_nodes"),
+                int(r, "venues"),
+                num(r, "lookup_p50_us"),
+                num(r, "lookup_p99_us"),
                 num(r, "full_rebuild_ms"),
                 num(r, "incremental_refresh_us"),
                 num(r, "speedup"),
